@@ -1,0 +1,54 @@
+// Reproduces Table 8 and Figure 6: multithreaded execution times of
+// OCDDISCOVER on LETTER, LINEITEM, and DBTESMA, plus the times normalized
+// to the single-thread run. The paper's observations to look for:
+//  * LINEITEM (few checks, many rows) gains more than LETTER (few checks,
+//    few rows);
+//  * DBTESMA (many checks) spreads its candidate workload best.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ocd_discover.h"
+#include "datagen/registry.h"
+
+int main() {
+  std::printf("Table 8 + Figure 6 reproduction: thread scalability\n\n");
+  const std::vector<std::size_t> threads = {1, 2, 4, 8, 12};
+  const char* datasets[] = {"LETTER", "LINEITEM", "DBTESMA"};
+
+  std::printf("%-10s", "dataset");
+  for (std::size_t t : threads) std::printf(" %9zut", t);
+  std::printf("   (seconds)\n");
+
+  std::vector<std::vector<double>> all_times;
+  for (const char* name : datasets) {
+    ocdd::rel::CodedRelation r = ocdd::bench::LoadCoded(name);
+    std::vector<double> times;
+    std::printf("%-10s", name);
+    for (std::size_t t : threads) {
+      ocdd::core::OcdDiscoverOptions opts;
+      opts.num_threads = t;
+      opts.time_limit_seconds = ocdd::bench::RunBudgetSeconds();
+      auto result = ocdd::core::DiscoverOcds(r, opts);
+      times.push_back(result.elapsed_seconds);
+      std::printf(" %10.3f", result.elapsed_seconds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    all_times.push_back(times);
+  }
+
+  std::printf("\nNormalized to the 1-thread run (Figure 6 series):\n");
+  std::printf("%-10s", "dataset");
+  for (std::size_t t : threads) std::printf(" %9zut", t);
+  std::printf("\n");
+  for (std::size_t d = 0; d < all_times.size(); ++d) {
+    std::printf("%-10s", datasets[d]);
+    for (double t : all_times[d]) {
+      std::printf(" %10.3f", all_times[d][0] > 0 ? t / all_times[d][0] : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Incremental maintenance vs. full re-discovery (§7's future-work
+// scenario): rows stream into a table whose dependency set must stay
+// current. The monitor's cheap revalidation path re-checks only the
+// discovered dependencies; the naive alternative re-runs OCDDISCOVER per
+// batch.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/monitor.h"
+#include "datagen/lineitem.h"
+
+int main() {
+  std::printf("Incremental dependency maintenance under appends (paper "
+              "section 7)\n\n");
+  std::size_t base_rows = 20000;
+  std::size_t batch = 500;
+  int batches = 8;
+
+  // Stream lineitem rows: a 20k-row base plus eight 500-row batches.
+  ocdd::rel::Relation full =
+      ocdd::datagen::MakeLineitem(base_rows + batch * batches, 42);
+  ocdd::rel::Relation base = full.HeadRows(base_rows);
+
+  ocdd::WallTimer init_timer;
+  ocdd::core::DependencyMonitor monitor(base);
+  double init_s = init_timer.ElapsedSeconds();
+  std::printf("initial discovery on %zu rows: %.3fs (%zu OCDs, %zu ODs)\n\n",
+              base_rows, init_s, monitor.current().ocds.size(),
+              monitor.current().ods.size());
+
+  std::printf("%7s %12s %14s %9s %11s\n", "batch", "monitor_s",
+              "rediscover_s", "regime", "deps_alive");
+  double monitor_total = 0.0;
+  double naive_total = 0.0;
+  for (int i = 0; i < batches; ++i) {
+    std::vector<std::vector<ocdd::rel::Value>> rows;
+    std::size_t start = base_rows + static_cast<std::size_t>(i) * batch;
+    for (std::size_t r = start; r < start + batch; ++r) {
+      std::vector<ocdd::rel::Value> row;
+      for (std::size_t c = 0; c < full.num_columns(); ++c) {
+        row.push_back(full.ValueAt(r, c));
+      }
+      rows.push_back(std::move(row));
+    }
+
+    ocdd::WallTimer timer;
+    auto report = monitor.AppendRows(rows);
+    double t_monitor = timer.ElapsedSeconds();
+    monitor_total += t_monitor;
+    if (!report.ok()) {
+      std::printf("append failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+
+    // Naive alternative: encode + full re-discovery on the grown table.
+    timer.Restart();
+    auto fresh = ocdd::core::DiscoverOcds(
+        ocdd::rel::CodedRelation::Encode(monitor.relation()));
+    double t_naive = timer.ElapsedSeconds();
+    naive_total += t_naive;
+
+    std::printf("%7d %12.4f %14.4f %9s %11zu\n", i + 1, t_monitor, t_naive,
+                report->rediscovered ? "re-run" : "cheap",
+                monitor.current().ocds.size() + monitor.current().ods.size());
+    std::fflush(stdout);
+    (void)fresh;
+  }
+  std::printf("\ntotals: monitor %.3fs vs naive re-discovery %.3fs "
+              "(%.2fx)\n", monitor_total, naive_total,
+              monitor_total > 0 ? naive_total / monitor_total : 0.0);
+  std::printf("note: the monitor's cost includes rebuilding/encoding the "
+              "grown relation; the saving\nis the skipped candidate-tree "
+              "search whenever no structure breaks.\n");
+  return 0;
+}

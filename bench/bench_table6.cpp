@@ -1,0 +1,86 @@
+// Reproduces Table 6: per-dataset statistics for fastFDs-equivalent FD
+// discovery (TANE), ORDER, FASTOD, and OCDDISCOVER — dependency counts,
+// candidate checks, and wall-clock times. Dataset sizes default to the
+// scaled-down bench configuration; set OCDD_SCALE=full for paper rows and
+// OCDD_BENCH_BUDGET=<seconds> to adjust the per-run time limit
+// (the paper used 5 hours).
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "algo/fastod/fastod.h"
+#include "algo/fd/tane.h"
+#include "algo/order/order_discover.h"
+#include "bench_util.h"
+#include "core/expansion.h"
+#include "core/ocd_discover.h"
+#include "datagen/registry.h"
+
+namespace {
+
+using ocdd::bench::FormatTime;
+using ocdd::bench::LoadCoded;
+using ocdd::bench::RunBudgetSeconds;
+
+void RunDataset(const ocdd::datagen::DatasetSpec& spec) {
+  ocdd::rel::CodedRelation r = LoadCoded(spec.name);
+  double budget = RunBudgetSeconds();
+
+  // fastFDs stand-in: TANE minimal FDs.
+  ocdd::algo::TaneOptions tane_opts;
+  tane_opts.time_limit_seconds = budget;
+  auto tane = ocdd::algo::DiscoverFds(r, tane_opts);
+
+  // ORDER baseline.
+  ocdd::algo::OrderDiscoverOptions order_opts;
+  order_opts.time_limit_seconds = budget;
+  auto order = ocdd::algo::DiscoverOrderDependencies(r, order_opts);
+
+  // FASTOD baseline.
+  ocdd::algo::FastodOptions fastod_opts;
+  fastod_opts.time_limit_seconds = budget;
+  auto fastod = ocdd::algo::DiscoverFastod(r, fastod_opts);
+
+  // OCDDISCOVER.
+  ocdd::core::OcdDiscoverOptions ocd_opts;
+  ocd_opts.time_limit_seconds = budget;
+  auto mine = ocdd::core::DiscoverOcds(r, ocd_opts);
+  ocdd::core::ExpansionOptions exp_opts;
+  exp_opts.max_materialized = 200000;
+  auto expanded = ocdd::core::ExpandResults(mine, r, exp_opts);
+
+  std::printf(
+      "%-11s %8zu %4zu | %8zu %-9s | %8zu %-9s | %7zu %8zu %-9s | %6zu %10" PRIu64
+      " %8" PRIu64 " %-9s\n",
+      spec.name.c_str(), r.num_rows(), r.num_columns(),
+      tane.fds.size(), FormatTime(tane.elapsed_seconds, tane.completed).c_str(),
+      order.ods.size(),
+      FormatTime(order.elapsed_seconds, order.completed).c_str(),
+      fastod.num_constancy, fastod.num_compatible + fastod.num_constancy,
+      FormatTime(fastod.elapsed_seconds, fastod.completed).c_str(),
+      mine.ocds.size(), expanded.total_count, mine.num_checks,
+      FormatTime(mine.elapsed_seconds, mine.completed).c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 6 reproduction: dataset statistics and per-algorithm "
+              "results\n");
+  std::printf("(TLE = budget of %.0fs reached; partial results reported for "
+              "ocddiscover)\n\n", RunBudgetSeconds());
+  std::printf(
+      "%-11s %8s %4s | %8s %-9s | %8s %-9s | %7s %8s %-9s | %6s %10s %8s %-9s\n",
+      "dataset", "|r|", "|U|", "tane|Fd|", "time", "ord|Od|", "time",
+      "fod|Fd|", "fod|Od|", "time", "|Ocd|", "|Od|exp", "#checks", "time");
+  std::printf("%s\n", std::string(130, '-').c_str());
+  for (const auto& spec : ocdd::datagen::AllDatasets()) {
+    RunDataset(spec);
+  }
+  std::printf("\nNotes: datasets are seeded synthetic analogues (DESIGN.md "
+              "section 2); |Od|exp expands OCDs, emitted ODs, equivalence\n"
+              "classes and constants back to the original schema (paper "
+              "section 5.2); fod|Od| counts canonical set-based ODs.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef OCDD_BENCH_BENCH_UTIL_H_
+#define OCDD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/registry.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::bench {
+
+/// Per-algorithm wall-clock budget for one run. Tuned so the default bench
+/// suite finishes in minutes; `OCDD_BENCH_BUDGET` (seconds) overrides, and
+/// `OCDD_SCALE=full` raises it toward the paper's 5-hour regime.
+inline double RunBudgetSeconds() {
+  if (const char* env = std::getenv("OCDD_BENCH_BUDGET")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return datagen::FullScaleRequested() ? 18000.0 : 10.0;
+}
+
+/// Loads a registry dataset at bench scale (paper rows under
+/// `OCDD_SCALE=full`, scaled-down default otherwise) and encodes it.
+inline rel::CodedRelation LoadCoded(const std::string& name,
+                                    std::size_t rows_override = 0) {
+  auto spec = datagen::FindDataset(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    std::exit(1);
+  }
+  std::size_t rows = rows_override != 0 ? rows_override
+                     : datagen::FullScaleRequested() ? spec->paper_rows
+                                                     : spec->default_rows;
+  auto r = datagen::MakeDataset(name, rows);
+  if (!r.ok()) {
+    std::fprintf(stderr, "failed to build %s: %s\n", name.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return rel::CodedRelation::Encode(*r);
+}
+
+/// Formats seconds like the paper's tables: "1.23s" / "4m07s" / "TLE".
+inline std::string FormatTime(double seconds, bool completed) {
+  char buf[64];
+  if (!completed) {
+    std::snprintf(buf, sizeof(buf), "TLE(%.0fs)", seconds);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%dm%04.1fs",
+                  static_cast<int>(seconds / 60.0),
+                  seconds - 60.0 * static_cast<int>(seconds / 60.0));
+  }
+  return buf;
+}
+
+}  // namespace ocdd::bench
+
+#endif  // OCDD_BENCH_BENCH_UTIL_H_

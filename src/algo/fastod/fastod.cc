@@ -1,0 +1,311 @@
+#include "algo/fastod/fastod.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "algo/attr_set.h"
+#include "algo/partition/stripped_partition.h"
+#include "common/timer.h"
+#include "od/dependency_set.h"
+
+namespace ocdd::algo {
+
+namespace {
+
+struct Pair {
+  std::size_t a;  ///< a < b
+  std::size_t b;
+
+  friend bool operator==(const Pair& x, const Pair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const Pair& x, const Pair& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+struct Node {
+  AttrSet set;
+  StrippedPartition partition;
+  AttrSet cc;                      ///< constancy candidates (TANE's C⁺)
+  std::vector<Pair> swap_pairs;    ///< active pairs, context = set \ {a,b}
+  std::vector<Pair> falsified;     ///< pairs whose check found a swap
+};
+
+struct SwapOutcome {
+  bool swap = false;
+  bool a_varies = false;  ///< some context class holds ≥ 2 distinct a-values
+  bool b_varies = false;
+};
+
+/// Checks order compatibility of columns `a`, `b` within every class of the
+/// context partition. A *swap* is a same-class pair of rows with
+/// `a` strictly increasing and `b` strictly decreasing.
+SwapOutcome CheckSwap(const rel::CodedRelation& relation,
+                      const StrippedPartition& context, std::size_t a,
+                      std::size_t b) {
+  SwapOutcome out;
+  const std::vector<std::int32_t>& ca = relation.column(a).codes;
+  const std::vector<std::int32_t>& cb = relation.column(b).codes;
+
+  std::vector<std::pair<std::int32_t, std::int32_t>> vals;
+  for (const std::vector<std::uint32_t>& cls : context.classes()) {
+    vals.clear();
+    vals.reserve(cls.size());
+    for (std::uint32_t row : cls) vals.emplace_back(ca[row], cb[row]);
+    std::sort(vals.begin(), vals.end());
+
+    if (vals.front().first != vals.back().first) out.a_varies = true;
+
+    // Walk a-groups; track the max b seen in earlier groups.
+    bool have_prev = false;
+    std::int32_t prev_max_b = 0;
+    std::size_t i = 0;
+    while (i < vals.size()) {
+      std::size_t j = i + 1;
+      std::int32_t group_min_b = vals[i].second;
+      std::int32_t group_max_b = vals[i].second;
+      while (j < vals.size() && vals[j].first == vals[i].first) {
+        group_max_b = std::max(group_max_b, vals[j].second);
+        ++j;
+      }
+      if (group_min_b != group_max_b) out.b_varies = true;
+      if (have_prev) {
+        if (prev_max_b != group_min_b) out.b_varies = true;
+        if (prev_max_b > group_min_b) {
+          out.swap = true;
+        }
+      }
+      prev_max_b = have_prev ? std::max(prev_max_b, group_max_b) : group_max_b;
+      have_prev = true;
+      i = j;
+    }
+    if (out.swap && out.a_varies && out.b_varies) return out;  // early exit
+  }
+  return out;
+}
+
+}  // namespace
+
+FastodResult DiscoverFastod(const rel::CodedRelation& relation,
+                            const FastodOptions& options) {
+  WallTimer timer;
+  FastodResult result;
+  std::size_t n = relation.num_columns();
+  std::size_t m = relation.num_rows();
+  if (n == 0 || n > AttrSet::kMaxAttrs) {
+    result.completed = n == 0;
+    return result;
+  }
+
+  const AttrSet universe = AttrSet::FullUniverse(n);
+
+  auto budget_exceeded = [&] {
+    if (options.max_checks != 0 && result.num_checks >= options.max_checks) {
+      return true;
+    }
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  };
+
+  // Partition history for the two preceding levels.
+  std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> hist_prev1;
+  std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> hist_prev2;
+  hist_prev1.emplace(AttrSet{}, StrippedPartition::ForEmptySet(m));
+
+  // Level 1.
+  std::vector<Node> level;
+  level.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    Node node;
+    node.set = AttrSet::Single(a);
+    node.partition = StrippedPartition::ForColumn(relation, a);
+    node.cc = universe;
+    level.push_back(std::move(node));
+  }
+
+  bool aborted = false;
+  std::size_t ell = 1;
+  while (!level.empty() && !aborted) {
+    if (options.max_level != 0 && ell > options.max_level) {
+      aborted = true;
+      break;
+    }
+
+    // --- constancy (FD) candidates, exactly TANE ---
+    for (Node& node : level) {
+      if (budget_exceeded()) {
+        aborted = true;
+        break;
+      }
+      for (std::size_t a : node.set.Intersect(node.cc).ToVector()) {
+        AttrSet lhs = node.set.WithoutAttr(a);
+        auto it = hist_prev1.find(lhs);
+        if (it == hist_prev1.end()) continue;
+        ++result.num_checks;
+        if (it->second.error() == node.partition.error()) {
+          od::CanonicalOd fd;
+          fd.kind = od::CanonicalOd::Kind::kConstancy;
+          for (std::size_t b : lhs.ToVector()) {
+            fd.context.push_back(b);
+          }
+          fd.right = a;
+          result.ods.push_back(std::move(fd));
+          node.cc.Remove(a);
+          node.cc = node.cc.Without(universe.Without(node.set));
+        }
+      }
+    }
+    if (aborted) break;
+
+    // --- swap candidates ---
+    for (Node& node : level) {
+      if (budget_exceeded()) {
+        aborted = true;
+        break;
+      }
+      for (const Pair& pair : node.swap_pairs) {
+        AttrSet context_set =
+            node.set.WithoutAttr(pair.a).WithoutAttr(pair.b);
+        const StrippedPartition* context = nullptr;
+        auto it = hist_prev2.find(context_set);
+        if (it != hist_prev2.end()) context = &it->second;
+        if (context == nullptr) continue;
+        ++result.num_checks;
+        SwapOutcome outcome = CheckSwap(relation, *context, pair.a, pair.b);
+        if (outcome.swap) {
+          node.falsified.push_back(pair);
+        } else if (outcome.a_varies && outcome.b_varies) {
+          // Valid and not implied by a constancy OD over this context.
+          od::CanonicalOd dep;
+          dep.kind = od::CanonicalOd::Kind::kOrderCompatible;
+          for (std::size_t c : context_set.ToVector()) {
+            dep.context.push_back(c);
+          }
+          dep.left = pair.a;
+          dep.right = pair.b;
+          result.ods.push_back(std::move(dep));
+        }
+        // Valid-but-trivial pairs (a or b constant per class): the
+        // constancy OD implies compatibility here and in every larger
+        // context — neither emitted nor propagated.
+      }
+    }
+    if (aborted) break;
+
+    // --- prune nodes with nothing left to contribute ---
+    std::vector<Node> kept;
+    kept.reserve(level.size());
+    for (Node& node : level) {
+      if (!node.cc.empty() || !node.falsified.empty()) {
+        kept.push_back(std::move(node));
+      }
+    }
+    level = std::move(kept);
+
+    // --- generate level ℓ+1 ---
+    std::unordered_map<AttrSet, std::size_t, AttrSetHash> index;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      index.emplace(level[i].set, i);
+    }
+    hist_prev2 = std::move(hist_prev1);
+    hist_prev1.clear();
+    for (const Node& node : level) {
+      hist_prev1.emplace(node.set, node.partition);
+    }
+
+    std::map<std::vector<std::size_t>, std::vector<std::size_t>> blocks;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      std::vector<std::size_t> attrs = level[i].set.ToVector();
+      attrs.pop_back();
+      blocks[attrs].push_back(i);
+    }
+
+    std::vector<Node> next;
+    for (const auto& [prefix, members] : blocks) {
+      if (aborted) break;
+      for (std::size_t i = 0; i < members.size() && !aborted; ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (budget_exceeded()) {
+            aborted = true;
+            break;
+          }
+          const Node& x1 = level[members[i]];
+          const Node& x2 = level[members[j]];
+          AttrSet y = x1.set.Union(x2.set);
+
+          bool all_present = true;
+          AttrSet cc = universe;
+          for (std::size_t c : y.ToVector()) {
+            auto it = index.find(y.WithoutAttr(c));
+            if (it == index.end()) {
+              all_present = false;
+              break;
+            }
+            cc = cc.Intersect(level[it->second].cc);
+          }
+          if (!all_present) continue;
+
+          // A pair {a,b} is active in Y iff every immediate sub-node
+          // swap-falsified it (valid pairs were pruned as implied).
+          std::vector<Pair> pairs;
+          if (ell >= 2) {
+            std::vector<std::size_t> attrs = y.ToVector();
+            for (std::size_t pi = 0; pi < attrs.size(); ++pi) {
+              for (std::size_t pj = pi + 1; pj < attrs.size(); ++pj) {
+                Pair pair{attrs[pi], attrs[pj]};
+                bool active = true;
+                for (std::size_t c : attrs) {
+                  if (c == pair.a || c == pair.b) continue;
+                  const Node& sub = level[index.at(y.WithoutAttr(c))];
+                  if (std::find(sub.falsified.begin(), sub.falsified.end(),
+                                pair) == sub.falsified.end()) {
+                    active = false;
+                    break;
+                  }
+                }
+                if (active) pairs.push_back(pair);
+              }
+            }
+          } else {
+            // ell == 1: level-2 nodes get their single initial pair.
+            std::vector<std::size_t> attrs = y.ToVector();
+            pairs.push_back(Pair{attrs[0], attrs[1]});
+          }
+
+          if (cc.empty() && pairs.empty()) continue;
+          Node node;
+          node.set = y;
+          node.partition =
+              StrippedPartition::Product(x1.partition, x2.partition, m);
+          node.cc = cc;
+          node.swap_pairs = std::move(pairs);
+          next.push_back(std::move(node));
+        }
+      }
+    }
+    if (aborted) break;
+    level = std::move(next);
+    ++ell;
+  }
+
+  od::SortUnique(result.ods);
+  for (const od::CanonicalOd& dep : result.ods) {
+    if (dep.kind == od::CanonicalOd::Kind::kConstancy) {
+      ++result.num_constancy;
+    } else {
+      ++result.num_compatible;
+    }
+  }
+  result.completed = !aborted;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ocdd::algo

@@ -1,0 +1,160 @@
+#include "algo/fd/tane.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "algo/attr_set.h"
+#include "algo/partition/stripped_partition.h"
+#include "common/timer.h"
+#include "od/dependency_set.h"
+
+namespace ocdd::algo {
+
+namespace {
+
+struct Node {
+  AttrSet set;
+  StrippedPartition partition;
+  AttrSet cplus;  ///< TANE's C⁺(X): still-possible RHS attributes
+};
+
+}  // namespace
+
+TaneResult DiscoverFds(const rel::CodedRelation& relation,
+                       const TaneOptions& options) {
+  WallTimer timer;
+  TaneResult result;
+  std::size_t n = relation.num_columns();
+  std::size_t m = relation.num_rows();
+  if (n == 0 || n > AttrSet::kMaxAttrs) {
+    result.completed = n == 0;
+    return result;
+  }
+
+  const AttrSet universe = AttrSet::FullUniverse(n);
+  const std::size_t empty_error = m >= 2 ? m - 1 : 0;  // e(π(∅))
+
+  auto budget_exceeded = [&] {
+    if (options.max_checks != 0 && result.num_checks >= options.max_checks) {
+      return true;
+    }
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  };
+
+  // Level 1.
+  std::vector<Node> level;
+  level.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    Node node;
+    node.set = AttrSet::Single(a);
+    node.partition = StrippedPartition::ForColumn(relation, a);
+    node.cplus = universe;
+    level.push_back(std::move(node));
+  }
+
+  // Errors of the previous level's partitions, for the e(X\A) lookups.
+  std::unordered_map<AttrSet, std::size_t, AttrSetHash> prev_errors;
+  prev_errors.emplace(AttrSet{}, empty_error);
+
+  bool aborted = false;
+  std::size_t lhs_size = 0;  // |X\A| at the current level
+  while (!level.empty() && !aborted) {
+    if (options.max_lhs_size != 0 && lhs_size > options.max_lhs_size) break;
+
+    // --- compute dependencies ---
+    for (Node& node : level) {
+      if (budget_exceeded()) {
+        aborted = true;
+        break;
+      }
+      for (std::size_t a : node.set.Intersect(node.cplus).ToVector()) {
+        AttrSet lhs = node.set.WithoutAttr(a);
+        auto it = prev_errors.find(lhs);
+        if (it == prev_errors.end()) continue;  // subset was pruned
+        ++result.num_checks;
+        if (it->second == node.partition.error()) {
+          od::FunctionalDependency fd;
+          for (std::size_t b : lhs.ToVector()) fd.lhs.push_back(b);
+          fd.rhs = a;
+          result.fds.push_back(std::move(fd));
+          node.cplus.Remove(a);
+          node.cplus = node.cplus.Without(universe.Without(node.set));
+        }
+      }
+    }
+    if (aborted) break;
+
+    // --- prune nodes with empty C⁺ ---
+    std::vector<Node> kept;
+    kept.reserve(level.size());
+    for (Node& node : level) {
+      if (!node.cplus.empty()) kept.push_back(std::move(node));
+    }
+    level = std::move(kept);
+
+    // --- generate the next level (prefix-block join) ---
+    prev_errors.clear();
+    std::unordered_map<AttrSet, std::size_t, AttrSetHash> index;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      index.emplace(level[i].set, i);
+      prev_errors.emplace(level[i].set, level[i].partition.error());
+    }
+
+    std::map<std::vector<std::size_t>, std::vector<std::size_t>> blocks;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      std::vector<std::size_t> attrs = level[i].set.ToVector();
+      attrs.pop_back();  // prefix = all but the largest attribute
+      blocks[attrs].push_back(i);
+    }
+
+    std::vector<Node> next;
+    for (const auto& [prefix, members] : blocks) {
+      if (aborted) break;
+      for (std::size_t i = 0; i < members.size() && !aborted; ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (budget_exceeded()) {
+            aborted = true;
+            break;
+          }
+          const Node& x1 = level[members[i]];
+          const Node& x2 = level[members[j]];
+          AttrSet y = x1.set.Union(x2.set);
+          // All immediate subsets must have survived pruning.
+          bool all_present = true;
+          AttrSet cplus = universe;
+          for (std::size_t c : y.ToVector()) {
+            auto it = index.find(y.WithoutAttr(c));
+            if (it == index.end()) {
+              all_present = false;
+              break;
+            }
+            cplus = cplus.Intersect(level[it->second].cplus);
+          }
+          if (!all_present || cplus.empty()) continue;
+          Node node;
+          node.set = y;
+          node.partition =
+              StrippedPartition::Product(x1.partition, x2.partition, m);
+          node.cplus = cplus;
+          next.push_back(std::move(node));
+        }
+      }
+    }
+    if (aborted) break;
+    level = std::move(next);
+    ++lhs_size;
+  }
+
+  od::SortUnique(result.fds);
+  result.completed = !aborted;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ocdd::algo

@@ -1,0 +1,82 @@
+#include "algo/partition/stripped_partition.h"
+
+#include <algorithm>
+
+namespace ocdd::algo {
+
+StrippedPartition StrippedPartition::ForColumn(
+    const rel::CodedRelation& relation, rel::ColumnId column) {
+  const std::vector<std::int32_t>& codes = relation.column(column).codes;
+  std::int32_t num_codes = relation.column(column).num_distinct;
+
+  // Codes are dense ranks in [0, num_distinct); bucket directly.
+  std::vector<std::vector<std::uint32_t>> buckets(
+      static_cast<std::size_t>(std::max<std::int32_t>(num_codes, 0)));
+  for (std::uint32_t row = 0; row < codes.size(); ++row) {
+    std::size_t code = static_cast<std::size_t>(codes[row]);
+    if (code >= buckets.size()) buckets.resize(code + 1);
+    buckets[code].push_back(row);
+  }
+
+  StrippedPartition out;
+  for (std::vector<std::uint32_t>& cls : buckets) {
+    if (cls.size() >= 2) {
+      out.stripped_rows_ += cls.size();
+      out.classes_.push_back(std::move(cls));
+    }
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::ForEmptySet(std::size_t num_rows) {
+  StrippedPartition out;
+  if (num_rows >= 2) {
+    std::vector<std::uint32_t> all(num_rows);
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      all[i] = static_cast<std::uint32_t>(i);
+    }
+    out.stripped_rows_ = num_rows;
+    out.classes_.push_back(std::move(all));
+  }
+  return out;
+}
+
+StrippedPartition StrippedPartition::Product(const StrippedPartition& a,
+                                             const StrippedPartition& b,
+                                             std::size_t num_rows) {
+  // TANE's probe-table product: label rows by their class in `a`, then split
+  // each class of `a` by the class structure of `b`.
+  constexpr std::int32_t kNoClass = -1;
+  std::vector<std::int32_t> class_of(num_rows, kNoClass);
+  for (std::size_t i = 0; i < a.classes_.size(); ++i) {
+    for (std::uint32_t row : a.classes_[i]) {
+      class_of[row] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // For each class of `b`, group its rows by their `a`-class; groups of ≥ 2
+  // rows form classes of the product.
+  StrippedPartition out;
+  std::vector<std::vector<std::uint32_t>> splits(a.classes_.size());
+  std::vector<std::size_t> touched;
+  for (const std::vector<std::uint32_t>& cls_b : b.classes_) {
+    touched.clear();
+    for (std::uint32_t row : cls_b) {
+      std::int32_t ca = class_of[row];
+      if (ca == kNoClass) continue;  // row is a singleton in `a`
+      std::size_t idx = static_cast<std::size_t>(ca);
+      if (splits[idx].empty()) touched.push_back(idx);
+      splits[idx].push_back(row);
+    }
+    for (std::size_t idx : touched) {
+      if (splits[idx].size() >= 2) {
+        out.stripped_rows_ += splits[idx].size();
+        out.classes_.push_back(std::move(splits[idx]));
+      }
+      splits[idx].clear();
+    }
+  }
+  return out;
+}
+
+}  // namespace ocdd::algo

@@ -1,0 +1,58 @@
+#ifndef OCDD_ALGO_PARTITION_STRIPPED_PARTITION_H_
+#define OCDD_ALGO_PARTITION_STRIPPED_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relation/coded_relation.h"
+
+namespace ocdd::algo {
+
+/// A stripped partition π̂(X): the equivalence classes of rows agreeing on
+/// an attribute set X, with singleton classes removed (TANE [9]).
+///
+/// Stripped partitions support the two checks the set-lattice algorithms
+/// (TANE, FASTOD) need:
+///  * FD `X → A` holds iff `error()` of π(X) equals that of π(X ∪ {A});
+///  * swap checks only need classes with ≥ 2 rows, which is exactly what a
+///    stripped partition retains.
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+
+  /// Partition by a single column's codes.
+  static StrippedPartition ForColumn(const rel::CodedRelation& relation,
+                                     rel::ColumnId column);
+
+  /// Partition of the empty attribute set: one class with all rows (unless
+  /// the relation has < 2 rows, in which case it is empty).
+  static StrippedPartition ForEmptySet(std::size_t num_rows);
+
+  /// Product π(X ∪ Y) from π(X) and π(Y) — the standard TANE probe-table
+  /// refinement, O(stripped rows).
+  static StrippedPartition Product(const StrippedPartition& a,
+                                   const StrippedPartition& b,
+                                   std::size_t num_rows);
+
+  std::size_t num_classes() const { return classes_.size(); }
+
+  /// Σ |class| over stripped classes.
+  std::size_t num_stripped_rows() const { return stripped_rows_; }
+
+  /// e(π) = num_stripped_rows() − num_classes(); FD `X → A` holds iff
+  /// e(π(X)) == e(π(X ∪ {A})).
+  std::size_t error() const { return stripped_rows_ - classes_.size(); }
+
+  const std::vector<std::vector<std::uint32_t>>& classes() const {
+    return classes_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> classes_;
+  std::size_t stripped_rows_ = 0;
+};
+
+}  // namespace ocdd::algo
+
+#endif  // OCDD_ALGO_PARTITION_STRIPPED_PARTITION_H_

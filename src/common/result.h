@@ -1,0 +1,87 @@
+#ifndef OCDD_COMMON_RESULT_H_
+#define OCDD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ocdd {
+
+/// A value-or-error holder, in the spirit of `absl::StatusOr<T>` /
+/// `std::expected<T, Status>`.
+///
+/// A `Result<T>` always holds either a `T` (then `ok()` is true) or a
+/// non-OK `Status`. Accessing the value of an error result is a programming
+/// bug and asserts in debug builds.
+///
+///   Result<Relation> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirrors StatusOr ergonomics).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` is a caller bug and is
+  /// converted into an Internal error to preserve the invariant.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when holding a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates the error of a `Result` expression, otherwise binds its value.
+///
+///   OCDD_ASSIGN_OR_RETURN(Relation rel, ReadCsv(path));
+#define OCDD_ASSIGN_OR_RETURN(decl, expr)           \
+  OCDD_ASSIGN_OR_RETURN_IMPL_(                      \
+      OCDD_RESULT_CONCAT_(_ocdd_result_, __LINE__), decl, expr)
+
+#define OCDD_RESULT_CONCAT_INNER_(a, b) a##b
+#define OCDD_RESULT_CONCAT_(a, b) OCDD_RESULT_CONCAT_INNER_(a, b)
+#define OCDD_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).value()
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_RESULT_H_

@@ -1,0 +1,106 @@
+#ifndef OCDD_COMMON_RNG_H_
+#define OCDD_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ocdd {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64 core).
+///
+/// All dataset generators and sampling procedures in this repository are
+/// driven by `Rng` so that every experiment is bit-reproducible from its
+/// seed. splitmix64 is statistically strong enough for data synthesis and
+/// has a trivially portable implementation (no libstdc++ distribution
+/// differences across platforms).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound) {
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): rank r has weight 1/(r+1)^s.
+  /// Used by generators to produce realistic low-cardinality hot values.
+  std::size_t Zipf(std::size_t n, double s);
+
+  /// Returns `k` distinct indices sampled uniformly from [0, n) in random
+  /// order (partial Fisher-Yates). Requires k <= n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+inline std::size_t Rng::Zipf(std::size_t n, double s) {
+  // Inverse-CDF over the (small) support; generators call this with n in the
+  // tens or hundreds, so the linear scan is fine.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+  }
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    if (u <= acc) return r;
+  }
+  return n - 1;
+}
+
+inline std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                              std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + Uniform(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_RNG_H_

@@ -1,0 +1,60 @@
+#ifndef OCDD_COMMON_THREAD_POOL_H_
+#define OCDD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ocdd {
+
+/// A fixed-size worker pool with a shared FIFO task queue.
+///
+/// The pool powers the parallel OCDDISCOVER driver (paper §4.2.2): each level
+/// of the candidate tree is sharded into tasks, submitted with `Submit()`,
+/// and the driver synchronizes the level barrier with `WaitIdle()`.
+///
+/// Thread-safety: `Submit()` and `WaitIdle()` may be called from any thread;
+/// the destructor joins all workers after draining the queue.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, n) across the pool and waits for all
+  /// of them. `fn` must be safe to invoke concurrently.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,37 @@
+#ifndef OCDD_COMMON_TIMER_H_
+#define OCDD_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ocdd {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+///
+/// The timer starts at construction; `Restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/restart, in whole milliseconds.
+  std::int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_TIMER_H_

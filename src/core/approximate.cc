@@ -1,0 +1,311 @@
+#include "core/approximate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/list_partition.h"
+
+namespace ocdd::core {
+
+namespace {
+
+/// Row ranks under the two lists, plus a row order sorted by (x, y).
+struct RankedRows {
+  std::vector<std::int32_t> xr;
+  std::vector<std::int32_t> yr;
+  std::vector<std::uint32_t> order;  // rows sorted by (xr, yr)
+};
+
+RankedRows RankRows(const rel::CodedRelation& relation,
+                    const od::AttributeList& x, const od::AttributeList& y) {
+  RankedRows out;
+  out.xr = ListPartition::ForList(relation, x).codes();
+  out.yr = ListPartition::ForList(relation, y).codes();
+  out.order.resize(relation.num_rows());
+  std::iota(out.order.begin(), out.order.end(), 0);
+  std::sort(out.order.begin(), out.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (out.xr[a] != out.xr[b]) return out.xr[a] < out.xr[b];
+              return out.yr[a] < out.yr[b];
+            });
+  return out;
+}
+
+/// Longest non-decreasing subsequence length (patience sorting): `tails[k]`
+/// holds the smallest possible last element of a non-decreasing subsequence
+/// of length k+1.
+std::size_t LongestNonDecreasingSubsequence(
+    const std::vector<std::int32_t>& seq) {
+  std::vector<std::int32_t> tails;
+  for (std::int32_t v : seq) {
+    auto it = std::upper_bound(tails.begin(), tails.end(), v);
+    if (it == tails.end()) {
+      tails.push_back(v);
+    } else {
+      *it = v;
+    }
+  }
+  return tails.size();
+}
+
+/// Fenwick tree over y-ranks supporting prefix-max queries.
+class MaxFenwick {
+ public:
+  explicit MaxFenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  /// max over positions [0, pos] (inclusive); 0 when empty.
+  std::uint64_t PrefixMax(std::size_t pos) const {
+    std::uint64_t best = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+      best = std::max(best, tree_[i]);
+    }
+    return best;
+  }
+
+  void Update(std::size_t pos, std::uint64_t value) {
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] = std::max(tree_[i], value);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
+
+}  // namespace
+
+ApproximateError OcdError(const rel::CodedRelation& relation,
+                          const od::AttributeList& x,
+                          const od::AttributeList& y) {
+  ApproximateError out;
+  std::size_t m = relation.num_rows();
+  if (m < 2) return out;
+  RankedRows ranked = RankRows(relation, x, y);
+
+  // With rows ordered by (x, y), a subset is swap-free iff its y-rank
+  // subsequence is non-decreasing (x-ties were pre-sorted by y, so they can
+  // always all be kept).
+  std::vector<std::int32_t> seq;
+  seq.reserve(m);
+  for (std::uint32_t row : ranked.order) seq.push_back(ranked.yr[row]);
+  std::size_t keep = LongestNonDecreasingSubsequence(seq);
+  out.removals = m - keep;
+  out.ratio = static_cast<double>(out.removals) / static_cast<double>(m);
+  return out;
+}
+
+ApproximateError OdError(const rel::CodedRelation& relation,
+                         const od::AttributeList& lhs,
+                         const od::AttributeList& rhs) {
+  ApproximateError out;
+  std::size_t m = relation.num_rows();
+  if (m < 2) return out;
+  RankedRows ranked = RankRows(relation, lhs, rhs);
+
+  // Collapse rows into (x-rank, y-rank) blocks with multiplicities; the
+  // kept subset picks blocks with strictly increasing x (one y per x) and
+  // non-decreasing y, maximizing the total multiplicity.
+  struct Block {
+    std::int32_t x;
+    std::int32_t y;
+    std::uint64_t count;
+  };
+  std::vector<Block> blocks;
+  std::size_t max_y = 0;
+  for (std::size_t i = 0; i < m;) {
+    std::uint32_t row = ranked.order[i];
+    std::size_t j = i + 1;
+    while (j < m && ranked.xr[ranked.order[j]] == ranked.xr[row] &&
+           ranked.yr[ranked.order[j]] == ranked.yr[row]) {
+      ++j;
+    }
+    blocks.push_back(Block{ranked.xr[row], ranked.yr[row],
+                           static_cast<std::uint64_t>(j - i)});
+    max_y = std::max(max_y, static_cast<std::size_t>(ranked.yr[row]));
+    i = j;
+  }
+
+  // Weighted longest chain: process blocks grouped by x (ascending); each
+  // block's best chain ends with an earlier-x block of y' ≤ y. Updates are
+  // deferred until the whole x-group is scored so that two blocks with the
+  // same x can never be chained together.
+  MaxFenwick fenwick(max_y + 1);
+  std::uint64_t best_total = 0;
+  for (std::size_t i = 0; i < blocks.size();) {
+    std::size_t j = i;
+    while (j < blocks.size() && blocks[j].x == blocks[i].x) ++j;
+    std::vector<std::uint64_t> scores(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      scores[k - i] =
+          blocks[k].count +
+          fenwick.PrefixMax(static_cast<std::size_t>(blocks[k].y));
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      fenwick.Update(static_cast<std::size_t>(blocks[k].y), scores[k - i]);
+      best_total = std::max(best_total, scores[k - i]);
+    }
+    i = j;
+  }
+
+  out.removals = m - static_cast<std::size_t>(best_total);
+  out.ratio = static_cast<double>(out.removals) / static_cast<double>(m);
+  return out;
+}
+
+std::vector<std::uint32_t> OcdRepairRows(const rel::CodedRelation& relation,
+                                         const od::AttributeList& x,
+                                         const od::AttributeList& y) {
+  std::size_t m = relation.num_rows();
+  if (m < 2) return {};
+  RankedRows ranked = RankRows(relation, x, y);
+
+  // Longest non-decreasing subsequence with predecessor reconstruction
+  // (patience sorting keeping, per pile, the position that ends there).
+  std::vector<std::int32_t> tails;            // last y-rank per length
+  std::vector<std::size_t> tail_pos;          // position achieving tails[k]
+  std::vector<std::int64_t> parent(m, -1);    // previous position in the LNDS
+  std::vector<std::size_t> length_at(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t v = ranked.yr[ranked.order[i]];
+    auto it = std::upper_bound(tails.begin(), tails.end(), v);
+    std::size_t k = static_cast<std::size_t>(it - tails.begin());
+    if (it == tails.end()) {
+      tails.push_back(v);
+      tail_pos.push_back(i);
+    } else {
+      *it = v;
+      tail_pos[k] = i;
+    }
+    parent[i] = k == 0 ? -1 : static_cast<std::int64_t>(tail_pos[k - 1]);
+    length_at[i] = k + 1;
+  }
+
+  // Walk back from the end of the longest subsequence; everything not on
+  // the kept chain is the removal witness.
+  std::vector<bool> keep(m, false);
+  std::int64_t pos = static_cast<std::int64_t>(tail_pos.back());
+  while (pos >= 0) {
+    keep[static_cast<std::size_t>(pos)] = true;
+    pos = parent[static_cast<std::size_t>(pos)];
+  }
+  std::vector<std::uint32_t> removals;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!keep[i]) removals.push_back(ranked.order[i]);
+  }
+  std::sort(removals.begin(), removals.end());
+  return removals;
+}
+
+std::vector<std::uint32_t> OdRepairRows(const rel::CodedRelation& relation,
+                                        const od::AttributeList& lhs,
+                                        const od::AttributeList& rhs) {
+  std::size_t m = relation.num_rows();
+  if (m < 2) return {};
+  RankedRows ranked = RankRows(relation, lhs, rhs);
+
+  // Same weighted-chain dynamic program as OdError, with row lists and
+  // backpointers per block so the kept subset can be reconstructed.
+  struct Block {
+    std::int32_t x;
+    std::int32_t y;
+    std::vector<std::uint32_t> rows;
+    std::uint64_t score = 0;
+    std::int64_t parent = -1;
+  };
+  std::vector<Block> blocks;
+  std::size_t max_y = 0;
+  for (std::size_t i = 0; i < m;) {
+    std::uint32_t row = ranked.order[i];
+    Block b;
+    b.x = ranked.xr[row];
+    b.y = ranked.yr[row];
+    std::size_t j = i;
+    while (j < m && ranked.xr[ranked.order[j]] == b.x &&
+           ranked.yr[ranked.order[j]] == b.y) {
+      b.rows.push_back(ranked.order[j]);
+      ++j;
+    }
+    max_y = std::max(max_y, static_cast<std::size_t>(b.y));
+    blocks.push_back(std::move(b));
+    i = j;
+  }
+
+  // Fenwick over y-ranks holding (best score, block index) pairs.
+  struct Entry {
+    std::uint64_t score = 0;
+    std::int64_t block = -1;
+  };
+  std::vector<Entry> tree(max_y + 2);
+  auto prefix_best = [&](std::size_t pos) {
+    Entry best;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+      if (tree[i].score > best.score) best = tree[i];
+    }
+    return best;
+  };
+  auto update = [&](std::size_t pos, const Entry& e) {
+    for (std::size_t i = pos + 1; i < tree.size(); i += i & (~i + 1)) {
+      if (e.score > tree[i].score) tree[i] = e;
+    }
+  };
+
+  std::int64_t best_block = -1;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < blocks.size();) {
+    std::size_t j = i;
+    while (j < blocks.size() && blocks[j].x == blocks[i].x) ++j;
+    for (std::size_t k = i; k < j; ++k) {
+      Entry prev = prefix_best(static_cast<std::size_t>(blocks[k].y));
+      blocks[k].score = prev.score + blocks[k].rows.size();
+      blocks[k].parent = prev.block;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      update(static_cast<std::size_t>(blocks[k].y),
+             Entry{blocks[k].score, static_cast<std::int64_t>(k)});
+      if (blocks[k].score > best_score) {
+        best_score = blocks[k].score;
+        best_block = static_cast<std::int64_t>(k);
+      }
+    }
+    i = j;
+  }
+
+  std::vector<bool> keep_row(m, false);
+  for (std::int64_t b = best_block; b >= 0;
+       b = blocks[static_cast<std::size_t>(b)].parent) {
+    for (std::uint32_t row : blocks[static_cast<std::size_t>(b)].rows) {
+      keep_row[row] = true;
+    }
+  }
+  std::vector<std::uint32_t> removals;
+  for (std::uint32_t row = 0; row < m; ++row) {
+    if (!keep_row[row]) removals.push_back(row);
+  }
+  return removals;
+}
+
+std::vector<ApproximateOcd> DiscoverApproximatePairOcds(
+    const rel::CodedRelation& relation, double max_ratio) {
+  std::vector<ApproximateOcd> out;
+  for (rel::ColumnId a = 0; a < relation.num_columns(); ++a) {
+    if (relation.column(a).is_constant()) continue;
+    for (rel::ColumnId b = a + 1; b < relation.num_columns(); ++b) {
+      if (relation.column(b).is_constant()) continue;
+      ApproximateError err =
+          OcdError(relation, od::AttributeList{a}, od::AttributeList{b});
+      if (err.ratio <= max_ratio) {
+        out.push_back(ApproximateOcd{
+            od::OrderCompatibility{od::AttributeList{a},
+                                   od::AttributeList{b}},
+            err});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ocdd::core

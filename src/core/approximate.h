@@ -1,0 +1,86 @@
+#ifndef OCDD_CORE_APPROXIMATE_H_
+#define OCDD_CORE_APPROXIMATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "od/attribute_list.h"
+#include "od/dependency.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::core {
+
+/// Approximate order dependencies under the g₃ error measure used for
+/// approximate FDs [11]: the minimum number of tuples whose removal makes
+/// the dependency hold exactly. Real data rarely satisfies interesting ODs
+/// perfectly — a handful of dirty rows destroys them — so profiling tools
+/// report the dependencies that hold on all but a small fraction of rows.
+
+struct ApproximateError {
+  /// g₃: minimum tuples to remove.
+  std::size_t removals = 0;
+  /// removals / num_rows (0 for an empty relation).
+  double ratio = 0.0;
+
+  bool exact() const { return removals == 0; }
+};
+
+/// g₃ error of the OCD `x ~ y`.
+///
+/// A swap is a row pair with `x` strictly increasing and `y` strictly
+/// decreasing; the largest swap-free subset corresponds to the longest
+/// non-decreasing subsequence of y-ranks with rows ordered by (x, y) ranks,
+/// so the error is computed exactly in O(m log m).
+ApproximateError OcdError(const rel::CodedRelation& relation,
+                          const od::AttributeList& x,
+                          const od::AttributeList& y);
+
+/// g₃ error of the OD `lhs → rhs`.
+///
+/// The largest valid subset must in addition be split-free: rows tied on
+/// `lhs` must agree on `rhs`, i.e. the kept rows form blocks of identical
+/// (lhs-rank, rhs-rank) with at most one rhs-rank per lhs-rank and
+/// rhs-ranks non-decreasing. Solved exactly as a weighted
+/// longest-chain problem with a Fenwick max-tree in O(B log B) over the
+/// B ≤ m distinct blocks.
+ApproximateError OdError(const rel::CodedRelation& relation,
+                         const od::AttributeList& lhs,
+                         const od::AttributeList& rhs);
+
+/// One approximately-order-compatible column pair.
+struct ApproximateOcd {
+  od::OrderCompatibility ocd;
+  ApproximateError error;
+
+  friend bool operator<(const ApproximateOcd& a, const ApproximateOcd& b) {
+    if (a.error.removals != b.error.removals) {
+      return a.error.removals < b.error.removals;
+    }
+    return a.ocd < b.ocd;
+  }
+};
+
+/// A minimum-size set of row ids whose removal makes `x ~ y` hold exactly —
+/// a g₃ witness (`size() == OcdError(...).removals`). The data-cleaning
+/// view of approximate dependencies (§1 mentions cleansing): these are the
+/// rows to quarantine so the rest of the table satisfies the dependency.
+std::vector<std::uint32_t> OcdRepairRows(const rel::CodedRelation& relation,
+                                         const od::AttributeList& x,
+                                         const od::AttributeList& y);
+
+/// Minimum-size removal witness for the OD `lhs → rhs`
+/// (`size() == OdError(...).removals`).
+std::vector<std::uint32_t> OdRepairRows(const rel::CodedRelation& relation,
+                                        const od::AttributeList& lhs,
+                                        const od::AttributeList& rhs);
+
+/// Every single-attribute pair `A ~ B` whose g₃ ratio is at most
+/// `max_ratio`, sorted by increasing error. `max_ratio` = 0 reduces to
+/// exact pairwise OCD discovery. Constant columns are skipped (their error
+/// is trivially 0 against everything).
+std::vector<ApproximateOcd> DiscoverApproximatePairOcds(
+    const rel::CodedRelation& relation, double max_ratio);
+
+}  // namespace ocdd::core
+
+#endif  // OCDD_CORE_APPROXIMATE_H_

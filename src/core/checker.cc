@@ -1,0 +1,80 @@
+#include "core/checker.h"
+
+#include "relation/sorted_index.h"
+
+namespace ocdd::core {
+
+bool OrderChecker::HoldsOcd(const AttributeList& x,
+                            const AttributeList& y) const {
+  stats_.ocd_checks.fetch_add(1, std::memory_order_relaxed);
+
+  // Theorem 4.1: X ~ Y iff XY → YX. Sorting by the concatenation XY makes
+  // the Y projection the only possible source of violations: for adjacent
+  // rows a ⪯_XY b, YX(a) ≻ YX(b) iff Y(a) ≻ Y(b) (see DESIGN.md §5).
+  AttributeList xy = x.Concat(y);
+  std::vector<std::uint32_t> index =
+      rel::SortRowsByList(relation_, xy.ids());
+  for (std::size_t i = 0; i + 1 < index.size(); ++i) {
+    if (rel::CompareRowsOnList(relation_, y.ids(), index[i], index[i + 1]) >
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+OdCheckOutcome OrderChecker::CheckOd(const AttributeList& lhs,
+                                     const AttributeList& rhs,
+                                     bool early_exit) const {
+  stats_.od_checks.fetch_add(1, std::memory_order_relaxed);
+
+  OdCheckOutcome outcome;
+  std::size_t m = relation_.num_rows();
+  if (m < 2) return outcome;
+
+  // Sort by lhs, tie-broken by rhs: within an lhs-group rows are
+  // rhs-ascending, so the group's rhs-minimum is its first row and its
+  // rhs-maximum is its last row.
+  AttributeList sort_key = lhs.Concat(rhs);
+  std::vector<std::uint32_t> index =
+      rel::SortRowsByList(relation_, sort_key.ids());
+
+  bool have_prev = false;
+  std::uint32_t prev_groups_max = 0;  // row with max rhs among earlier groups
+  std::size_t i = 0;
+  while (i < m) {
+    // Find the end of the lhs-group starting at i.
+    std::size_t j = i + 1;
+    while (j < m && rel::CompareRowsOnList(relation_, lhs.ids(), index[i],
+                                           index[j]) == 0) {
+      ++j;
+    }
+    // Split: the group's rhs-extremes differ.
+    if (rel::CompareRowsOnList(relation_, rhs.ids(), index[i],
+                               index[j - 1]) != 0) {
+      outcome.has_split = true;
+      if (early_exit) return outcome;
+    }
+    // Swap: some earlier group's rhs-max exceeds this group's rhs-min.
+    if (have_prev && rel::CompareRowsOnList(relation_, rhs.ids(),
+                                            prev_groups_max, index[i]) > 0) {
+      outcome.has_swap = true;
+      if (early_exit) return outcome;
+    }
+    if (!have_prev || rel::CompareRowsOnList(relation_, rhs.ids(),
+                                             prev_groups_max,
+                                             index[j - 1]) < 0) {
+      prev_groups_max = index[j - 1];
+    }
+    have_prev = true;
+    i = j;
+  }
+  return outcome;
+}
+
+bool OrderChecker::HoldsOd(const AttributeList& lhs,
+                           const AttributeList& rhs) const {
+  return CheckOd(lhs, rhs, /*early_exit=*/true).valid();
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,113 @@
+#include "core/column_reduction.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace ocdd::core {
+
+ColumnId ColumnReduction::Representative(ColumnId id) const {
+  for (const std::vector<ColumnId>& cls : equivalence_classes) {
+    for (ColumnId member : cls) {
+      if (member == id) return cls.front();
+    }
+  }
+  return id;
+}
+
+std::vector<ColumnId> ColumnReduction::ClassOf(ColumnId representative) const {
+  for (const std::vector<ColumnId>& cls : equivalence_classes) {
+    if (cls.front() == representative) return cls;
+  }
+  return {representative};
+}
+
+std::string ColumnReduction::ToString(
+    const rel::CodedRelation& relation) const {
+  std::string out;
+  out += "constant: {";
+  for (std::size_t i = 0; i < constant_columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += relation.column_name(constant_columns[i]);
+  }
+  out += "}, classes: ";
+  for (const auto& cls : equivalence_classes) {
+    out += "{";
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+      if (i > 0) out += ",";
+      out += relation.column_name(cls[i]);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+namespace {
+
+// 64-bit FNV-1a over the code vector; collisions re-verified exactly.
+std::uint64_t HashCodes(const std::vector<std::int32_t>& codes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::int32_t c : codes) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ColumnReduction ReduceColumns(const rel::CodedRelation& relation) {
+  ColumnReduction out;
+  std::size_t n = relation.num_columns();
+
+  // (a) constant columns.
+  std::vector<bool> is_constant(n, false);
+  for (ColumnId c = 0; c < n; ++c) {
+    if (relation.column(c).is_constant()) {
+      is_constant[c] = true;
+      out.constant_columns.push_back(c);
+    }
+  }
+
+  // (b) order-equivalent classes: bucket by code-vector hash, verify
+  // exactly inside each bucket.
+  std::unordered_map<std::uint64_t, std::vector<ColumnId>> buckets;
+  for (ColumnId c = 0; c < n; ++c) {
+    if (is_constant[c]) continue;
+    buckets[HashCodes(relation.column(c).codes)].push_back(c);
+  }
+
+  std::vector<bool> merged_away(n, false);
+  std::vector<std::vector<ColumnId>> classes;
+  for (auto& [hash, cols] : buckets) {
+    if (cols.size() < 2) continue;
+    std::sort(cols.begin(), cols.end());
+    std::vector<bool> used(cols.size(), false);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<ColumnId> cls{cols[i]};
+      for (std::size_t j = i + 1; j < cols.size(); ++j) {
+        if (used[j]) continue;
+        if (relation.column(cols[i]).codes == relation.column(cols[j]).codes) {
+          cls.push_back(cols[j]);
+          used[j] = true;
+        }
+      }
+      if (cls.size() >= 2) {
+        for (std::size_t k = 1; k < cls.size(); ++k) {
+          merged_away[cls[k]] = true;
+        }
+        classes.push_back(std::move(cls));
+      }
+    }
+  }
+  std::sort(classes.begin(), classes.end());
+  out.equivalence_classes = std::move(classes);
+
+  for (ColumnId c = 0; c < n; ++c) {
+    if (!is_constant[c] && !merged_away[c]) out.reduced_universe.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,54 @@
+#ifndef OCDD_CORE_COLUMN_REDUCTION_H_
+#define OCDD_CORE_COLUMN_REDUCTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relation/coded_relation.h"
+
+namespace ocdd::core {
+
+using rel::ColumnId;
+
+/// Output of the `columnsReduction()` phase (paper §4.1).
+struct ColumnReduction {
+  /// Attributes surviving the reduction (U′): non-constant class
+  /// representatives, in ascending id order.
+  std::vector<ColumnId> reduced_universe;
+
+  /// Constant columns removed. Each is ordered by every attribute list, so
+  /// it contributes `[] → C` and, by expansion, `A → C` for every A.
+  std::vector<ColumnId> constant_columns;
+
+  /// Order-equivalence classes with ≥ 2 members; the first member is the
+  /// representative kept in `reduced_universe`.
+  std::vector<std::vector<ColumnId>> equivalence_classes;
+
+  /// Returns the representative of `id` (itself when not merged away).
+  ColumnId Representative(ColumnId id) const;
+
+  /// For a representative, all columns it stands for (itself included);
+  /// for a non-representative or constant column, just {id}.
+  std::vector<ColumnId> ClassOf(ColumnId representative) const;
+
+  std::string ToString(const rel::CodedRelation& relation) const;
+};
+
+/// Applies the paper's two reduction operations:
+///  (a) removal of constant columns;
+///  (b) merging of order-equivalent columns (`A ↔ B`) into classes, keeping
+///      the smallest id as representative.
+///
+/// Order equivalence of two single columns holds iff their dense
+/// order-preserving codes are identical vectors: `A ↔ B` means the two
+/// columns induce the same weak ordering of rows, and the dense-rank
+/// encoding is the canonical representative of exactly that weak ordering.
+/// Grouping therefore hashes the code vectors — O(n·m) overall instead of
+/// O(n²) pairwise OD checks (equivalent to the paper's pairwise `A → B`,
+/// `B → A` checks followed by connected components).
+ColumnReduction ReduceColumns(const rel::CodedRelation& relation);
+
+}  // namespace ocdd::core
+
+#endif  // OCDD_CORE_COLUMN_REDUCTION_H_

@@ -1,0 +1,42 @@
+#include "core/entropy.h"
+
+#include <algorithm>
+
+namespace ocdd::core {
+
+std::vector<ColumnEntropyInfo> RankColumnsByEntropy(
+    const rel::CodedRelation& relation) {
+  std::vector<ColumnEntropyInfo> out;
+  out.reserve(relation.num_columns());
+  for (rel::ColumnId c = 0; c < relation.num_columns(); ++c) {
+    out.push_back(ColumnEntropyInfo{c, relation.ColumnEntropy(c),
+                                    relation.column(c).num_distinct});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ColumnEntropyInfo& a, const ColumnEntropyInfo& b) {
+              if (a.entropy != b.entropy) return a.entropy > b.entropy;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<rel::ColumnId> TopEntropyColumns(const rel::CodedRelation& relation,
+                                             std::size_t k) {
+  std::vector<ColumnEntropyInfo> ranked = RankColumnsByEntropy(relation);
+  k = std::min(k, ranked.size());
+  std::vector<rel::ColumnId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(ranked[i].id);
+  return out;
+}
+
+std::vector<rel::ColumnId> ColumnsWithMinDistinct(
+    const rel::CodedRelation& relation, std::int32_t min_distinct) {
+  std::vector<rel::ColumnId> out;
+  for (rel::ColumnId c = 0; c < relation.num_columns(); ++c) {
+    if (relation.column(c).num_distinct >= min_distinct) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,37 @@
+#ifndef OCDD_CORE_ENTROPY_H_
+#define OCDD_CORE_ENTROPY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relation/coded_relation.h"
+
+namespace ocdd::core {
+
+/// Per-column diversity statistics (paper §5.4, Definition 5.1).
+struct ColumnEntropyInfo {
+  rel::ColumnId id = 0;
+  double entropy = 0.0;          ///< Shannon entropy, natural log.
+  std::int32_t num_distinct = 0;
+};
+
+/// Entropy and distinct counts for every column, sorted by *decreasing*
+/// entropy (ties broken by ascending id). The order matches the sampling
+/// protocol of Figure 7: most diverse columns first, constants last.
+std::vector<ColumnEntropyInfo> RankColumnsByEntropy(
+    const rel::CodedRelation& relation);
+
+/// The `k` most diverse columns (by the ranking above), as ids in ranking
+/// order. `k` is clamped to the column count.
+std::vector<rel::ColumnId> TopEntropyColumns(const rel::CodedRelation& relation,
+                                             std::size_t k);
+
+/// Columns with at least `min_distinct` distinct values — the paper's
+/// suggested guard against quasi-constant columns (§5.4).
+std::vector<rel::ColumnId> ColumnsWithMinDistinct(
+    const rel::CodedRelation& relation, std::int32_t min_distinct);
+
+}  // namespace ocdd::core
+
+#endif  // OCDD_CORE_ENTROPY_H_

@@ -1,0 +1,132 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+#include <set>
+
+#include "od/dependency_set.h"
+
+namespace ocdd::core {
+
+namespace {
+
+using od::AttributeList;
+using od::OrderDependency;
+
+/// Collects expanded ODs with dedup and a materialization cap.
+class Sink {
+ public:
+  Sink(std::uint64_t cap) : cap_(cap) {}
+
+  void Add(OrderDependency od) {
+    // The set keeps every distinct OD so both deduplication and the count
+    // stay exact; only the materialized output vector is capped.
+    auto [it, inserted] = seen_.insert(std::move(od));
+    if (inserted) ++total_;
+  }
+
+  ExpandedResult Finish() && {
+    ExpandedResult out;
+    out.total_count = total_;
+    out.truncated = total_ > cap_;
+    out.ods.reserve(std::min<std::uint64_t>(total_, cap_));
+    for (const OrderDependency& od : seen_) {
+      if (out.ods.size() >= cap_) break;
+      out.ods.push_back(od);
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t cap_;
+  std::uint64_t total_ = 0;
+  bool truncated_ = false;
+  std::set<OrderDependency> seen_;
+};
+
+/// Enumerates every substitution of a list's attributes by members of their
+/// order-equivalence classes (Replace theorem) and calls `fn` on each.
+template <typename Fn>
+void ForEachSubstitution(const AttributeList& list,
+                         const ColumnReduction& reduction, const Fn& fn) {
+  std::vector<std::vector<ColumnId>> choices;
+  choices.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    choices.push_back(reduction.ClassOf(list[i]));
+  }
+  std::vector<std::size_t> pick(list.size(), 0);
+  for (;;) {
+    std::vector<ColumnId> attrs(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      attrs[i] = choices[i][pick[i]];
+    }
+    fn(AttributeList(std::move(attrs)));
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < pick.size()) {
+      if (++pick[pos] < choices[pos].size()) break;
+      pick[pos] = 0;
+      ++pos;
+    }
+    if (pos == pick.size()) break;
+    if (pick.empty()) break;
+  }
+}
+
+}  // namespace
+
+ExpandedResult ExpandResults(const OcdDiscoverResult& result,
+                             const rel::CodedRelation& relation,
+                             const ExpansionOptions& options) {
+  Sink sink(options.max_materialized);
+  const ColumnReduction& red = result.reduction;
+
+  auto add_all_substitutions = [&](const AttributeList& lhs,
+                                   const AttributeList& rhs) {
+    ForEachSubstitution(lhs, red, [&](const AttributeList& l) {
+      ForEachSubstitution(rhs, red, [&](const AttributeList& r) {
+        sink.Add(OrderDependency{l, r});
+      });
+    });
+  };
+
+  // (1) directly emitted ODs.
+  for (const OrderDependency& od : result.ods) {
+    add_all_substitutions(od.lhs, od.rhs);
+  }
+
+  // (2) per OCD: the defining order equivalence, plus Theorem 3.8 forms.
+  for (const od::OrderCompatibility& ocd : result.ocds) {
+    AttributeList xy = ocd.lhs.Concat(ocd.rhs);
+    AttributeList yx = ocd.rhs.Concat(ocd.lhs);
+    add_all_substitutions(xy, yx);
+    add_all_substitutions(yx, xy);
+    if (options.include_repeated_attribute_ods) {
+      add_all_substitutions(xy, ocd.rhs);
+      add_all_substitutions(yx, ocd.lhs);
+    }
+  }
+
+  // (3) order-equivalent columns themselves: A → B and B → A per class pair.
+  for (const std::vector<ColumnId>& cls : red.equivalence_classes) {
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+      for (std::size_t j = 0; j < cls.size(); ++j) {
+        if (i == j) continue;
+        sink.Add(OrderDependency{AttributeList{cls[i]}, AttributeList{cls[j]}});
+      }
+    }
+  }
+
+  // (4) constants: ordered by every attribute.
+  if (options.include_constant_ods) {
+    for (ColumnId c : red.constant_columns) {
+      for (ColumnId a = 0; a < relation.num_columns(); ++a) {
+        if (a == c) continue;
+        sink.Add(OrderDependency{AttributeList{a}, AttributeList{c}});
+      }
+    }
+  }
+
+  return std::move(sink).Finish();
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,57 @@
+#ifndef OCDD_CORE_EXPANSION_H_
+#define OCDD_CORE_EXPANSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ocd_discover.h"
+#include "od/dependency.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::core {
+
+/// Controls for `ExpandResults`.
+struct ExpansionOptions {
+  /// Stop materializing ODs past this count; `total_count` keeps counting.
+  std::uint64_t max_materialized = 1'000'000;
+
+  /// Include the repeated-attribute forms `XY → Y` / `YX → X` implied by
+  /// each OCD (Theorem 3.8) — the dependencies ORDER cannot discover.
+  bool include_repeated_attribute_ods = true;
+
+  /// Include `A → C` for every constant column C and attribute A ≠ C.
+  bool include_constant_ods = true;
+};
+
+/// Results of expanding a discovery run back to the original schema (§5.2).
+struct ExpandedResult {
+  /// Materialized ODs over the *original* universe (representatives
+  /// substituted by every member of their equivalence class), deduplicated
+  /// and sorted; truncated at `max_materialized`.
+  std::vector<od::OrderDependency> ods;
+
+  /// Exact number of distinct expanded ODs, whether materialized or not.
+  std::uint64_t total_count = 0;
+
+  bool truncated = false;
+};
+
+/// Expands a discovery result to the full OD set over the original schema:
+///
+///  1. every emitted OD `X → Y` as-is;
+///  2. per OCD `X ~ Y`: the defining equivalence `XY → YX`, `YX → XY`, and
+///     (optionally) the Theorem-3.8 forms `XY → Y`, `YX → X`;
+///  3. every OD rewritten over each combination of order-equivalence class
+///     members of its attributes (Replace theorem);
+///  4. per constant column C: `A → C` for every other attribute A
+///     (a constant is ordered by everything).
+///
+/// This is the translation the paper applies before comparing counts with
+/// ORDER and FASTOD (§5.2).
+ExpandedResult ExpandResults(const OcdDiscoverResult& result,
+                             const rel::CodedRelation& relation,
+                             const ExpansionOptions& options = {});
+
+}  // namespace ocdd::core
+
+#endif  // OCDD_CORE_EXPANSION_H_

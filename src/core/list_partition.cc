@@ -1,0 +1,123 @@
+#include "core/list_partition.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ocdd::core {
+
+ListPartition ListPartition::ForColumn(const rel::CodedRelation& relation,
+                                       rel::ColumnId column) {
+  ListPartition out;
+  out.codes_ = relation.column(column).codes;
+  out.num_groups_ = relation.column(column).num_distinct;
+  return out;
+}
+
+ListPartition ListPartition::ForList(const rel::CodedRelation& relation,
+                                     const od::AttributeList& list) {
+  ListPartition out = ForColumn(relation, list[0]);
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    out = out.Refine(relation, list[i]);
+  }
+  return out;
+}
+
+ListPartition ListPartition::Refine(const rel::CodedRelation& relation,
+                                    rel::ColumnId column) const {
+  const std::vector<std::int32_t>& col = relation.column(column).codes;
+  std::size_t m = codes_.size();
+
+  // Bucket rows by their current rank (counting sort pass), then order each
+  // bucket by the new attribute's codes.
+  std::vector<std::uint32_t> offsets(
+      static_cast<std::size_t>(num_groups_) + 1, 0);
+  for (std::int32_t c : codes_) {
+    ++offsets[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t g = 1; g < offsets.size(); ++g) {
+    offsets[g] += offsets[g - 1];
+  }
+  std::vector<std::uint32_t> rows(m);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::uint32_t row = 0; row < m; ++row) {
+      rows[cursor[static_cast<std::size_t>(codes_[row])]++] = row;
+    }
+  }
+
+  ListPartition out;
+  out.codes_.resize(m);
+  std::int32_t next_rank = -1;
+  for (std::int32_t g = 0; g < num_groups_; ++g) {
+    std::uint32_t begin = offsets[static_cast<std::size_t>(g)];
+    std::uint32_t end = offsets[static_cast<std::size_t>(g) + 1];
+    std::sort(rows.begin() + begin, rows.begin() + end,
+              [&](std::uint32_t a, std::uint32_t b) {
+                return col[a] < col[b];
+              });
+    std::int32_t prev_code = std::numeric_limits<std::int32_t>::min();
+    for (std::uint32_t i = begin; i < end; ++i) {
+      if (col[rows[i]] != prev_code) {
+        ++next_rank;
+        prev_code = col[rows[i]];
+      }
+      out.codes_[rows[i]] = next_rank;
+    }
+  }
+  out.num_groups_ = next_rank + 1;
+  return out;
+}
+
+namespace {
+
+/// Per-lhs-group min/max of the rhs ranks, indexed by lhs rank.
+struct GroupExtremes {
+  std::vector<std::int32_t> min_rhs;
+  std::vector<std::int32_t> max_rhs;
+};
+
+GroupExtremes ComputeExtremes(const ListPartition& lhs,
+                              const ListPartition& rhs) {
+  GroupExtremes out;
+  std::size_t groups = static_cast<std::size_t>(lhs.num_groups());
+  out.min_rhs.assign(groups, std::numeric_limits<std::int32_t>::max());
+  out.max_rhs.assign(groups, std::numeric_limits<std::int32_t>::min());
+  const auto& lc = lhs.codes();
+  const auto& rc = rhs.codes();
+  for (std::size_t row = 0; row < lc.size(); ++row) {
+    std::size_t g = static_cast<std::size_t>(lc[row]);
+    out.min_rhs[g] = std::min(out.min_rhs[g], rc[row]);
+    out.max_rhs[g] = std::max(out.max_rhs[g], rc[row]);
+  }
+  return out;
+}
+
+}  // namespace
+
+OdCheckOutcome ListPartition::CheckOd(const ListPartition& lhs,
+                                      const ListPartition& rhs) {
+  OdCheckOutcome outcome;
+  if (lhs.num_rows() < 2) return outcome;
+  GroupExtremes ext = ComputeExtremes(lhs, rhs);
+  std::int32_t running_max = std::numeric_limits<std::int32_t>::min();
+  for (std::size_t g = 0; g < ext.min_rhs.size(); ++g) {
+    if (ext.min_rhs[g] != ext.max_rhs[g]) outcome.has_split = true;
+    if (running_max > ext.min_rhs[g]) outcome.has_swap = true;
+    running_max = std::max(running_max, ext.max_rhs[g]);
+  }
+  return outcome;
+}
+
+bool ListPartition::CheckOcd(const ListPartition& lhs,
+                             const ListPartition& rhs) {
+  if (lhs.num_rows() < 2) return true;
+  GroupExtremes ext = ComputeExtremes(lhs, rhs);
+  std::int32_t running_max = std::numeric_limits<std::int32_t>::min();
+  for (std::size_t g = 0; g < ext.min_rhs.size(); ++g) {
+    if (running_max > ext.min_rhs[g]) return false;
+    running_max = std::max(running_max, ext.max_rhs[g]);
+  }
+  return true;
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,92 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/checker.h"
+
+namespace ocdd::core {
+
+DependencyMonitor::DependencyMonitor(rel::Relation base,
+                                     OcdDiscoverOptions options)
+    : options_(options), relation_(std::move(base)) {
+  Rebuild();
+}
+
+void DependencyMonitor::Rebuild() {
+  coded_ = rel::CodedRelation::Encode(relation_);
+  state_ = DiscoverOcds(coded_, options_);
+}
+
+Result<DependencyMonitor::UpdateReport> DependencyMonitor::AppendRows(
+    const std::vector<std::vector<rel::Value>>& rows) {
+  // Grow the relation (schema-validated row by row).
+  rel::Relation::Builder builder(relation_.schema());
+  std::vector<rel::Value> row(relation_.num_columns());
+  for (std::size_t r = 0; r < relation_.num_rows(); ++r) {
+    for (std::size_t c = 0; c < relation_.num_columns(); ++c) {
+      row[c] = relation_.ValueAt(r, c);
+    }
+    OCDD_RETURN_IF_ERROR(builder.AddRow(row));
+  }
+  for (const std::vector<rel::Value>& new_row : rows) {
+    OCDD_RETURN_IF_ERROR(builder.AddRow(new_row));
+  }
+  relation_ = std::move(builder).Build();
+  ++num_appends_;
+
+  rel::CodedRelation grown = rel::CodedRelation::Encode(relation_);
+  OrderChecker checker(grown);
+  UpdateReport report;
+
+  // Structural damage: constants that started varying.
+  for (rel::ColumnId c : state_.reduction.constant_columns) {
+    if (!grown.column(c).is_constant()) {
+      report.constant_broke = true;
+    }
+  }
+  // Structural damage: equivalence classes that split.
+  for (const std::vector<rel::ColumnId>& cls :
+       state_.reduction.equivalence_classes) {
+    for (std::size_t i = 1; i < cls.size(); ++i) {
+      if (grown.column(cls[0]).codes != grown.column(cls[i]).codes) {
+        report.equivalence_broke = true;
+      }
+    }
+  }
+
+  // Revalidate the dependency set on the grown relation.
+  std::vector<od::OrderDependency> live_ods;
+  for (const od::OrderDependency& od : state_.ods) {
+    if (checker.HoldsOd(od.lhs, od.rhs)) {
+      live_ods.push_back(od);
+    } else {
+      report.invalidated_ods.push_back(od);
+      report.od_broke = true;
+    }
+  }
+  std::vector<od::OrderCompatibility> live_ocds;
+  for (const od::OrderCompatibility& ocd : state_.ocds) {
+    if (checker.HoldsOcd(ocd.lhs, ocd.rhs)) {
+      live_ocds.push_back(ocd);
+    } else {
+      report.invalidated_ocds.push_back(ocd);
+    }
+  }
+
+  if (report.constant_broke || report.equivalence_broke || report.od_broke) {
+    // Previously-implicit dependencies may now need explicit discovery.
+    coded_ = std::move(grown);
+    state_ = DiscoverOcds(coded_, options_);
+    report.rediscovered = true;
+    return report;
+  }
+
+  // Cheap path: dropping the falsified OCDs *is* the fresh result.
+  coded_ = std::move(grown);
+  state_.ocds = std::move(live_ocds);
+  state_.ods = std::move(live_ods);
+  return report;
+}
+
+}  // namespace ocdd::core

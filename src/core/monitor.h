@@ -1,0 +1,78 @@
+#ifndef OCDD_CORE_MONITOR_H_
+#define OCDD_CORE_MONITOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ocd_discover.h"
+#include "relation/coded_relation.h"
+#include "relation/relation.h"
+
+namespace ocdd::core {
+
+/// Maintains a discovered dependency set while rows are appended — the
+/// paper's future-work scenario (§7, "dynamic inputs, where additional rows
+/// may be added at runtime").
+///
+/// The key monotonicity property: inserting rows can only *invalidate*
+/// dependencies, never create new ones (a dependency valid on the grown
+/// instance was valid on every subset). Maintenance therefore alternates
+/// between two regimes:
+///
+///  * **cheap revalidation** — when neither the column-reduction structure
+///    (constants, order-equivalence classes) nor any emitted OD breaks,
+///    dropping the OCDs the new rows falsified is *exactly* equivalent to a
+///    fresh discovery on the grown relation: by downward closure
+///    (Theorem 3.6) a broken OCD's entire subtree breaks with it, and the
+///    Theorem-3.9 pruning decisions are unchanged;
+///  * **re-discovery** — when a constant column starts varying, an
+///    equivalence class splits, or an emitted OD breaks, previously-implicit
+///    dependencies stop being derivable, so the monitor re-runs OCDDISCOVER
+///    on the grown relation.
+class DependencyMonitor {
+ public:
+  /// What one `AppendRows` call did.
+  struct UpdateReport {
+    /// OCDs/ODs the new rows falsified (before any re-discovery).
+    std::vector<od::OrderCompatibility> invalidated_ocds;
+    std::vector<od::OrderDependency> invalidated_ods;
+
+    /// True when structural damage forced a full re-run.
+    bool rediscovered = false;
+
+    /// Why the re-run happened (diagnostics).
+    bool constant_broke = false;
+    bool equivalence_broke = false;
+    bool od_broke = false;
+  };
+
+  /// Runs the initial discovery on `base`.
+  explicit DependencyMonitor(rel::Relation base,
+                             OcdDiscoverOptions options = {});
+
+  DependencyMonitor(const DependencyMonitor&) = delete;
+  DependencyMonitor& operator=(const DependencyMonitor&) = delete;
+
+  /// Appends `rows` (validated against the schema) and updates the
+  /// dependency set.
+  Result<UpdateReport> AppendRows(
+      const std::vector<std::vector<rel::Value>>& rows);
+
+  const rel::Relation& relation() const { return relation_; }
+  const OcdDiscoverResult& current() const { return state_; }
+  std::size_t num_appends() const { return num_appends_; }
+
+ private:
+  void Rebuild();
+
+  OcdDiscoverOptions options_;
+  rel::Relation relation_;
+  rel::CodedRelation coded_;
+  OcdDiscoverResult state_;
+  std::size_t num_appends_ = 0;
+};
+
+}  // namespace ocdd::core
+
+#endif  // OCDD_CORE_MONITOR_H_

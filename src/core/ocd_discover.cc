@@ -1,0 +1,263 @@
+#include "core/ocd_discover.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/checker.h"
+#include "core/list_partition.h"
+#include "od/dependency_set.h"
+
+namespace ocdd::core {
+
+namespace {
+
+using od::AttributeList;
+using od::AttributeListHash;
+
+/// One node of the candidate tree: the pair (X, Y) of an OCD candidate.
+struct Candidate {
+  AttributeList x;
+  AttributeList y;
+
+  friend bool operator==(const Candidate& a, const Candidate& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+struct CandidateHash {
+  std::size_t operator()(const Candidate& c) const {
+    AttributeListHash h;
+    return h(c.x) * 1000003ULL ^ h(c.y);
+  }
+};
+
+/// Per-candidate check outcome, filled by the (possibly parallel) check
+/// phase and consumed by the sequential generation phase.
+struct CheckedCandidate {
+  bool checked = false;  // false when the budget aborted before this one
+  bool ocd_valid = false;
+  bool od_xy = false;
+  bool od_yx = false;
+};
+
+class Driver {
+ public:
+  Driver(const rel::CodedRelation& relation, const OcdDiscoverOptions& options)
+      : relation_(relation), options_(options), checker_(relation) {}
+
+  OcdDiscoverResult Run() {
+    WallTimer timer;
+    OcdDiscoverResult result;
+
+    if (options_.apply_column_reduction) {
+      result.reduction = ReduceColumns(relation_);
+    } else {
+      for (ColumnId c = 0; c < relation_.num_columns(); ++c) {
+        result.reduction.reduced_universe.push_back(c);
+      }
+    }
+    const std::vector<ColumnId>& universe = result.reduction.reduced_universe;
+
+    // Level ℓ = 2: all unordered single-attribute pairs (Algorithm 1 line 4).
+    std::vector<Candidate> level;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      for (std::size_t j = i + 1; j < universe.size(); ++j) {
+        level.push_back(Candidate{AttributeList{universe[i]},
+                                  AttributeList{universe[j]}});
+      }
+    }
+    result.candidates_generated += level.size();
+
+    od::DependencyStore store;
+    std::size_t current_level = 2;
+    bool aborted = false;
+
+    std::unique_ptr<ThreadPool> pool;
+    if (options_.num_threads > 1) {
+      pool = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+
+    while (!level.empty() && !aborted) {
+      if (options_.max_level != 0 && current_level > options_.max_level) {
+        aborted = true;
+        break;
+      }
+
+      // Sorted-partition mode: make sure both sides of every candidate have
+      // a cached rank vector before the (parallel, read-only) check phase.
+      if (options_.use_sorted_partitions) {
+        for (const Candidate& c : level) {
+          EnsurePartition(c.x);
+          EnsurePartition(c.y);
+        }
+      }
+
+      std::vector<CheckedCandidate> checked(level.size());
+      auto check_one = [&](std::size_t i) {
+        if (abort_flag_.load(std::memory_order_relaxed)) return;
+        if (BudgetExceeded(timer)) {
+          abort_flag_.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const Candidate& c = level[i];
+        CheckedCandidate& out = checked[i];
+        out.checked = true;
+
+        const ListPartition* px = FindPartition(c.x);
+        const ListPartition* py = FindPartition(c.y);
+        if (px != nullptr && py != nullptr) {
+          part_checks_.fetch_add(1, std::memory_order_relaxed);
+          out.ocd_valid = ListPartition::CheckOcd(*px, *py);
+          if (out.ocd_valid) {
+            part_checks_.fetch_add(2, std::memory_order_relaxed);
+            out.od_xy = ListPartition::CheckOd(*px, *py).valid();
+            out.od_yx = ListPartition::CheckOd(*py, *px).valid();
+          }
+          return;
+        }
+
+        out.ocd_valid = checker_.HoldsOcd(c.x, c.y);
+        if (out.ocd_valid) {
+          // §4.2.1: at every valid OCD node, test both embedded ODs. These
+          // drive pruning and are emitted when valid (Algorithm 3).
+          out.od_xy = checker_.HoldsOd(c.x, c.y);
+          out.od_yx = checker_.HoldsOd(c.y, c.x);
+        }
+      };
+
+      if (pool) {
+        pool->ParallelFor(level.size(), check_one);
+      } else {
+        for (std::size_t i = 0; i < level.size(); ++i) check_one(i);
+      }
+      aborted = abort_flag_.load(std::memory_order_relaxed);
+
+      // Sequential generation phase: emission + next level (deduplicated).
+      std::vector<Candidate> next;
+      std::unordered_set<Candidate, CandidateHash> seen;
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const Candidate& c = level[i];
+        const CheckedCandidate& r = checked[i];
+        if (!r.checked || !r.ocd_valid) continue;
+
+        store.AddOcd(od::OrderCompatibility{c.x, c.y});
+        if (r.od_xy) store.AddOd(od::OrderDependency{c.x, c.y});
+        if (r.od_yx) store.AddOd(od::OrderDependency{c.y, c.x});
+
+        bool extend_x = !r.od_xy || !options_.apply_od_pruning;
+        bool extend_y = !r.od_yx || !options_.apply_od_pruning;
+        if (!extend_x && !extend_y) continue;
+
+        for (ColumnId a : universe) {
+          if (c.x.Contains(a) || c.y.Contains(a)) continue;
+          if (extend_x) {
+            Candidate child{c.x.WithAppended(a), c.y};
+            if (seen.insert(child).second) next.push_back(std::move(child));
+          }
+          if (extend_y) {
+            Candidate child{c.x, c.y.WithAppended(a)};
+            if (seen.insert(child).second) next.push_back(std::move(child));
+          }
+        }
+        if (options_.max_candidates_per_level != 0 &&
+            next.size() > options_.max_candidates_per_level) {
+          aborted = true;
+          break;
+        }
+      }
+
+      if (!aborted) {
+        result.levels_completed = current_level;
+      }
+      result.candidates_generated += next.size();
+      level = std::move(next);
+      ++current_level;
+    }
+
+    store.Finalize();
+    result.ocds = store.ocds();
+    result.ods = store.ods();
+    result.num_checks = TotalChecks();
+    result.completed = !aborted;
+    result.partition_cache_bytes = cache_bytes_;
+    result.elapsed_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  std::uint64_t TotalChecks() const {
+    return checker_.stats().TotalChecks() +
+           part_checks_.load(std::memory_order_relaxed);
+  }
+
+  bool BudgetExceeded(const WallTimer& timer) const {
+    if (options_.max_checks != 0 && TotalChecks() >= options_.max_checks) {
+      return true;
+    }
+    if (options_.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options_.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Cached-partition lookup; nullptr when the list was not cached (the
+  /// caller falls back to the sort-based checker). Read-only, thread-safe
+  /// during the check phase.
+  const ListPartition* FindPartition(const od::AttributeList& list) const {
+    if (!options_.use_sorted_partitions) return nullptr;
+    auto it = part_cache_.find(list);
+    return it == part_cache_.end() ? nullptr : &it->second;
+  }
+
+  /// Computes (recursively, via the list's prefix) and caches the sorted
+  /// partition of `list`, honoring the memory budget. Sequential use only.
+  const ListPartition* EnsurePartition(const od::AttributeList& list) {
+    auto it = part_cache_.find(list);
+    if (it != part_cache_.end()) return &it->second;
+    ListPartition part;
+    if (list.size() == 1) {
+      part = ListPartition::ForColumn(relation_, list[0]);
+    } else {
+      od::AttributeList prefix(std::vector<ColumnId>(
+          list.ids().begin(), list.ids().end() - 1));
+      const ListPartition* parent = EnsurePartition(prefix);
+      if (parent == nullptr) return nullptr;
+      part = parent->Refine(relation_, list[list.size() - 1]);
+    }
+    std::size_t bytes = part.MemoryBytes();
+    if (options_.max_partition_cache_bytes != 0 &&
+        cache_bytes_ + bytes > options_.max_partition_cache_bytes) {
+      return nullptr;
+    }
+    cache_bytes_ += bytes;
+    auto [pos, inserted] = part_cache_.emplace(list, std::move(part));
+    (void)inserted;
+    return &pos->second;
+  }
+
+  const rel::CodedRelation& relation_;
+  const OcdDiscoverOptions& options_;
+  OrderChecker checker_;
+  std::atomic<bool> abort_flag_{false};
+  std::atomic<std::uint64_t> part_checks_{0};
+  std::unordered_map<od::AttributeList, ListPartition, AttributeListHash>
+      part_cache_;
+  std::size_t cache_bytes_ = 0;
+};
+
+}  // namespace
+
+OcdDiscoverResult DiscoverOcds(const rel::CodedRelation& relation,
+                               const OcdDiscoverOptions& options) {
+  Driver driver(relation, options);
+  return driver.Run();
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,110 @@
+#ifndef OCDD_CORE_OCD_DISCOVER_H_
+#define OCDD_CORE_OCD_DISCOVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/column_reduction.h"
+#include "od/dependency.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::core {
+
+/// Tuning knobs for a discovery run.
+struct OcdDiscoverOptions {
+  /// Worker threads for candidate checking (paper §4.2.2); 1 = sequential.
+  std::size_t num_threads = 1;
+
+  /// Abort once this many candidate checks have been performed
+  /// (0 = unlimited). Mirrors the paper's 5-hour wall-clock cut-off; partial
+  /// results discovered so far are returned with `completed == false`.
+  std::uint64_t max_checks = 0;
+
+  /// Wall-clock budget in seconds (0 = unlimited); same partial-result
+  /// semantics as `max_checks`.
+  double time_limit_seconds = 0.0;
+
+  /// Cap on the tree level ℓ = |X| + |Y| (0 = unlimited).
+  std::size_t max_level = 0;
+
+  /// Abort when a level would exceed this many candidates — a memory
+  /// backstop for quasi-constant blow-ups (§5.3.2), where the paper sees
+  /// levels with millions of candidates. 0 = unlimited.
+  std::size_t max_candidates_per_level = 4'000'000;
+
+  /// Disable to skip the columnsReduction() phase (ablation).
+  bool apply_column_reduction = true;
+
+  /// Check candidates with cached *sorted partitions* (list_partition.h)
+  /// instead of sorting a fresh row index per candidate. This is the
+  /// linear-time checking scheme of ORDER [10] that §5.3.1 notes could be
+  /// re-implemented in this approach: each side's rank vector is derived
+  /// from its parent's by one O(m)-ish refinement and every check becomes
+  /// O(m). Costs memory proportional to (#distinct list sides × rows);
+  /// bounded by `max_partition_cache_bytes`, beyond which candidates fall
+  /// back to the sort-based checker. Results are identical either way.
+  bool use_sorted_partitions = false;
+
+  /// Memory budget for the sorted-partition cache (0 = unlimited).
+  std::size_t max_partition_cache_bytes = 1ULL << 30;  // 1 GiB
+
+  /// Disable to skip the Theorem-3.9 pruning rules: every valid OCD then
+  /// extends both sides regardless of the embedded ODs (ablation). The
+  /// search then also visits — and reports — OCDs that the pruned run
+  /// leaves implicit (they are derivable from emitted ODs), at the cost of
+  /// strictly more candidates and checks.
+  bool apply_od_pruning = true;
+};
+
+/// Output of `DiscoverOcds`.
+struct OcdDiscoverResult {
+  /// Minimal OCDs (disjoint duplicate-free sides) over the reduced
+  /// universe U′, canonicalized and sorted.
+  std::vector<od::OrderCompatibility> ocds;
+
+  /// ODs emitted at valid OCD nodes (`X → Y` and/or `Y → X` where both the
+  /// OCD and the OD hold), sorted.
+  std::vector<od::OrderDependency> ods;
+
+  /// The columnsReduction() output: constants and equivalence classes are
+  /// an integral part of the result (paper §4.1).
+  ColumnReduction reduction;
+
+  /// Total candidate checks performed (OCD single checks + OD checks) —
+  /// the `#checks` column of Table 6.
+  std::uint64_t num_checks = 0;
+
+  /// Number of OCD candidates generated across all levels.
+  std::uint64_t candidates_generated = 0;
+
+  /// Highest tree level fully processed (level ℓ holds candidates with
+  /// |X| + |Y| = ℓ; the first level is 2).
+  std::size_t levels_completed = 0;
+
+  /// False when a budget (checks/time/level) stopped the run early.
+  bool completed = true;
+
+  /// Peak footprint of the sorted-partition cache (0 when the sort-based
+  /// checker was used throughout).
+  std::size_t partition_cache_bytes = 0;
+
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs OCDDISCOVER (Algorithm 1) over `relation`.
+///
+/// The search enumerates OCD candidates `X ~ Y` with disjoint,
+/// duplicate-free sides breadth-first: level 2 holds all single-attribute
+/// pairs; a valid candidate spawns `XA ~ Y` and `X ~ YA` for every unused
+/// attribute A, except that a side whose full OD already holds is not
+/// extended (its extensions are implied — Theorem 3.9). Invalid candidates
+/// spawn nothing (Theorem 3.7). Each candidate is validated with the
+/// single-check reduction of Theorem 4.1.
+OcdDiscoverResult DiscoverOcds(const rel::CodedRelation& relation,
+                               const OcdDiscoverOptions& options = {});
+
+}  // namespace ocdd::core
+
+#endif  // OCDD_CORE_OCD_DISCOVER_H_

@@ -1,0 +1,224 @@
+#include "core/polarized.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "core/checker.h"
+#include "od/attribute_list.h"
+#include "od/dependency_set.h"
+
+namespace ocdd::core {
+
+std::string PolarizedListToString(const PolarizedList& list,
+                                  const rel::CodedRelation& relation) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) out += ",";
+    out += relation.column_name(list[i].column);
+    out += list[i].descending ? "-" : "+";
+  }
+  out += "]";
+  return out;
+}
+
+std::string PolarizedOcd::ToString(const rel::CodedRelation& relation) const {
+  return PolarizedListToString(lhs, relation) + " ~ " +
+         PolarizedListToString(rhs, relation);
+}
+
+std::string PolarizedOd::ToString(const rel::CodedRelation& relation) const {
+  return PolarizedListToString(lhs, relation) + " -> " +
+         PolarizedListToString(rhs, relation);
+}
+
+rel::CodedRelation AugmentWithReversedColumns(
+    const rel::CodedRelation& relation) {
+  std::vector<rel::CodedColumn> columns = relation.columns();
+  columns.reserve(relation.num_columns() * 2);
+  for (std::size_t c = 0; c < relation.num_columns(); ++c) {
+    rel::CodedColumn reversed = relation.column(c);
+    reversed.name += "(desc)";
+    std::int32_t top = reversed.num_distinct - 1;
+    for (std::int32_t& code : reversed.codes) code = top - code;
+    columns.push_back(std::move(reversed));
+  }
+  return rel::CodedRelation::FromColumns(std::move(columns));
+}
+
+int CompareRowsOnPolarizedList(const rel::CodedRelation& relation,
+                               const PolarizedList& list, std::uint32_t row_a,
+                               std::uint32_t row_b) {
+  for (const PolarizedAttribute& attr : list) {
+    std::int32_t a = relation.code(row_a, attr.column);
+    std::int32_t b = relation.code(row_b, attr.column);
+    if (a != b) {
+      int cmp = a < b ? -1 : 1;
+      return attr.descending ? -cmp : cmp;
+    }
+  }
+  return 0;
+}
+
+bool BruteForceHoldsPolarizedOd(const rel::CodedRelation& relation,
+                                const PolarizedList& lhs,
+                                const PolarizedList& rhs) {
+  std::size_t m = relation.num_rows();
+  for (std::uint32_t p = 0; p < m; ++p) {
+    for (std::uint32_t q = 0; q < m; ++q) {
+      if (CompareRowsOnPolarizedList(relation, lhs, p, q) <= 0 &&
+          CompareRowsOnPolarizedList(relation, rhs, p, q) > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+using od::AttributeList;
+using od::AttributeListHash;
+
+/// Decodes an augmented column id back to (column, direction).
+PolarizedAttribute Decode(rel::ColumnId virtual_id, std::size_t n) {
+  if (virtual_id < n) return PolarizedAttribute{virtual_id, false};
+  return PolarizedAttribute{virtual_id - n, true};
+}
+
+PolarizedList DecodeList(const AttributeList& list, std::size_t n) {
+  PolarizedList out;
+  out.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    out.push_back(Decode(list[i], n));
+  }
+  return out;
+}
+
+rel::ColumnId BaseColumn(rel::ColumnId virtual_id, std::size_t n) {
+  return virtual_id < n ? virtual_id : virtual_id - n;
+}
+
+struct Candidate {
+  AttributeList x;
+  AttributeList y;
+
+  friend bool operator==(const Candidate& a, const Candidate& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+struct CandidateHash {
+  std::size_t operator()(const Candidate& c) const {
+    AttributeListHash h;
+    return h(c.x) * 1000003ULL ^ h(c.y);
+  }
+};
+
+bool UsesBase(const AttributeList& list, rel::ColumnId base, std::size_t n) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (BaseColumn(list[i], n) == base) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PolarizedDiscoverResult DiscoverPolarizedOcds(
+    const rel::CodedRelation& relation,
+    const PolarizedDiscoverOptions& options) {
+  WallTimer timer;
+  PolarizedDiscoverResult result;
+  std::size_t n = relation.num_columns();
+
+  rel::CodedRelation augmented = AugmentWithReversedColumns(relation);
+  OrderChecker checker(augmented);
+
+  // Non-constant base columns only; a constant is trivially compatible with
+  // everything in both directions.
+  std::vector<rel::ColumnId> active;
+  for (rel::ColumnId c = 0; c < n; ++c) {
+    if (!relation.column(c).is_constant()) active.push_back(c);
+  }
+
+  // Level 2, mirror-canonical: the lhs head is ascending. Per unordered
+  // base pair {a, b} with a < b this yields (a+, b+) and (a+, b-); the
+  // mirror images (a-, b-) and (a-, b+) are equivalent.
+  std::vector<Candidate> level;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      level.push_back(Candidate{AttributeList{active[i]},
+                                AttributeList{active[j]}});
+      level.push_back(Candidate{AttributeList{active[i]},
+                                AttributeList{active[j] + n}});
+    }
+  }
+  result.candidates_generated += level.size();
+
+  auto budget_exceeded = [&] {
+    if (options.max_checks != 0 &&
+        checker.stats().TotalChecks() >= options.max_checks) {
+      return true;
+    }
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  };
+
+  std::size_t current_level = 2;
+  bool aborted = false;
+  while (!level.empty() && !aborted) {
+    if (options.max_level != 0 && current_level > options.max_level) {
+      aborted = true;
+      break;
+    }
+    std::vector<Candidate> next;
+    std::unordered_set<Candidate, CandidateHash> seen;
+    for (const Candidate& c : level) {
+      if (budget_exceeded()) {
+        aborted = true;
+        break;
+      }
+      if (!checker.HoldsOcd(c.x, c.y)) continue;
+      result.ocds.push_back(
+          PolarizedOcd{DecodeList(c.x, n), DecodeList(c.y, n)});
+      bool od_xy = checker.HoldsOd(c.x, c.y);
+      bool od_yx = checker.HoldsOd(c.y, c.x);
+      if (od_xy) {
+        result.ods.push_back(
+            PolarizedOd{DecodeList(c.x, n), DecodeList(c.y, n)});
+      }
+      if (od_yx) {
+        result.ods.push_back(
+            PolarizedOd{DecodeList(c.y, n), DecodeList(c.x, n)});
+      }
+      for (rel::ColumnId base : active) {
+        if (UsesBase(c.x, base, n) || UsesBase(c.y, base, n)) continue;
+        for (rel::ColumnId v : {base, base + n}) {
+          if (!od_xy) {
+            Candidate child{c.x.WithAppended(v), c.y};
+            if (seen.insert(child).second) next.push_back(std::move(child));
+          }
+          if (!od_yx) {
+            Candidate child{c.x, c.y.WithAppended(v)};
+            if (seen.insert(child).second) next.push_back(std::move(child));
+          }
+        }
+      }
+    }
+    result.candidates_generated += next.size();
+    level = std::move(next);
+    ++current_level;
+  }
+
+  std::sort(result.ocds.begin(), result.ocds.end());
+  std::sort(result.ods.begin(), result.ods.end());
+  result.num_checks = checker.stats().TotalChecks();
+  result.completed = !aborted;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ocdd::core

@@ -1,0 +1,89 @@
+#include "datagen/fixtures.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ocdd::datagen {
+
+namespace {
+
+using rel::Attribute;
+using rel::Column;
+using rel::DataType;
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+
+Relation BuildIntTable(const std::vector<std::string>& names,
+                       const std::vector<std::vector<std::int64_t>>& columns) {
+  std::vector<Attribute> attrs;
+  std::vector<Column> cols;
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    attrs.push_back(Attribute{names[c], DataType::kInt});
+    std::vector<Value> vals;
+    vals.reserve(columns[c].size());
+    for (std::int64_t v : columns[c]) vals.push_back(Value::Int(v));
+    cols.push_back(Column::FromValues(DataType::kInt, vals));
+  }
+  auto r = Relation::FromColumns(Schema(std::move(attrs)), std::move(cols));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+Relation MakeTaxInfo() {
+  std::vector<Attribute> attrs = {
+      {"name", DataType::kString},   {"income", DataType::kInt},
+      {"savings", DataType::kInt},   {"bracket", DataType::kInt},
+      {"tax", DataType::kInt},
+  };
+  Relation::Builder b{Schema(std::move(attrs))};
+  auto add = [&](const char* name, std::int64_t income, std::int64_t savings,
+                 std::int64_t bracket, std::int64_t tax) {
+    auto s = b.AddRow({Value::String(name), Value::Int(income),
+                       Value::Int(savings), Value::Int(bracket),
+                       Value::Int(tax)});
+    assert(s.ok());
+    (void)s;
+  };
+  add("T. Green", 35000, 3000, 1, 5250);
+  add("J. Smith", 40000, 4000, 1, 6000);
+  add("J. Doe", 40000, 3800, 1, 6000);
+  add("S. Black", 55000, 6500, 2, 8500);
+  add("W. White", 60000, 6500, 2, 9500);
+  add("M. Darrel", 80000, 10000, 3, 14000);
+  return std::move(b).Build();
+}
+
+Relation MakeYes() {
+  // Neither A → B (A=2 ties with B 2,3: split) nor B → A (B=3 ties with
+  // A 2,3: split), but sorting by either column leaves both non-decreasing:
+  // A ~ B holds.
+  return BuildIntTable({"A", "B"}, {{1, 2, 2, 3, 4},  //
+                                    {1, 2, 3, 3, 4}});
+}
+
+Relation MakeNo() {
+  // Rows 4 and 5 form a swap (A: 3 < 4, B: 7 > 1), so no OD or OCD holds
+  // between A and B. B's values are all distinct, so the FD B → A holds —
+  // the one FD Table 6 reports for this dataset.
+  return BuildIntTable({"A", "B"}, {{1, 2, 3, 3, 4},  //
+                                    {4, 5, 6, 7, 1}});
+}
+
+Relation MakeNumbers() {
+  // Reconstruction of Table 7 (the printed table is corrupted in the
+  // available paper text). The documented property is preserved:
+  // [B] → [AC] does NOT hold — e.g. rows 2 and 3 have B: 3 > 2 while
+  // A: 2 < 3 (a swap) — so a correct FASTOD must not report it.
+  return BuildIntTable({"A", "B", "C", "D", "E"},
+                       {{1, 2, 3, 3, 4, 4},
+                        {3, 3, 2, 1, 4, 5},
+                        {1, 2, 2, 2, 2, 3},
+                        {1, 2, 2, 3, 4, 2},
+                        {2, 1, 3, 3, 1, 4}});
+}
+
+}  // namespace ocdd::datagen

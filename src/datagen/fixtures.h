@@ -1,0 +1,34 @@
+#ifndef OCDD_DATAGEN_FIXTURES_H_
+#define OCDD_DATAGEN_FIXTURES_H_
+
+#include "relation/relation.h"
+
+namespace ocdd::datagen {
+
+/// Table 1 of the paper: the TaxInfo relation (name, income, savings,
+/// bracket, tax). Carries `income → bracket`, `income ↔ tax`,
+/// `income ~ savings`, and the motivating ODs of the introduction.
+rel::Relation MakeTaxInfo();
+
+/// The YES dataset (paper Table 5(a) / §5.1): two columns where neither
+/// `A → B` nor `B → A` holds, yet `A ~ B` (equivalently `AB ↔ BA`) does.
+/// ORDER finds nothing here; OCDDISCOVER finds the OCD — the paper's
+/// incompleteness demonstration (§5.2.1).
+rel::Relation MakeYes();
+
+/// The NO dataset (paper Table 5(b) / §5.1): two columns with a swap, so
+/// no OD/OCD holds in either direction; the single FD `B → A` holds
+/// (matching `|Fd| = 1` in Table 6).
+rel::Relation MakeNo();
+
+/// The NUMBERS dataset (paper Table 7): a 6-row, 5-column integer table on
+/// which the original FASTOD binary reported spurious ODs such as
+/// `[B] → [AC]` (§5.2.2). The paper's table print is partially corrupted in
+/// the available text; this reconstruction preserves the documented
+/// property: `[B] → [AC]` must NOT hold (B has a swap against A), which the
+/// regression tests assert against a correct checker.
+rel::Relation MakeNumbers();
+
+}  // namespace ocdd::datagen
+
+#endif  // OCDD_DATAGEN_FIXTURES_H_

@@ -1,0 +1,440 @@
+#include "datagen/generators.h"
+
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ocdd::datagen {
+
+namespace {
+
+using rel::Attribute;
+using rel::DataType;
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+
+const char* const kFirstNames[] = {"James", "Mary", "Robert", "Patricia",
+                                   "John", "Jennifer", "Michael", "Linda",
+                                   "David", "Elizabeth", "William", "Barbara",
+                                   "Richard", "Susan", "Joseph", "Jessica"};
+const char* const kLastNames[] = {"Smith", "Johnson", "Williams", "Brown",
+                                  "Jones", "Garcia", "Miller", "Davis",
+                                  "Rodriguez", "Martinez", "Hernandez",
+                                  "Lopez", "Gonzalez", "Wilson", "Anderson",
+                                  "Thomas", "Taylor", "Moore", "Jackson",
+                                  "Martin"};
+const char* const kCities[] = {"Raleigh", "Durham", "Charlotte", "Greensboro",
+                               "Asheville", "Wilmington", "Fayetteville",
+                               "Cary", "Winston", "Concord", "Gastonia",
+                               "Jacksonville", "Chapel Hill", "Huntersville",
+                               "Apex", "Burlington", "Kannapolis", "Wilson",
+                               "Hickory", "Goldsboro"};
+
+std::string FourDigitDate(std::int64_t days_since_2000) {
+  static constexpr int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                            31, 31, 30, 31, 30, 31};
+  std::int64_t year = 2000 + days_since_2000 / 365;
+  std::int64_t doy = days_since_2000 % 365;
+  int month = 0;
+  while (doy >= kDaysPerMonth[month]) {
+    doy -= kDaysPerMonth[month];
+    ++month;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02d-%02lld",
+                static_cast<long long>(year), month + 1,
+                static_cast<long long>(doy + 1));
+  return buf;
+}
+
+void MustAdd(Relation::Builder& b, const std::vector<Value>& row) {
+  auto s = b.AddRow(row);
+  assert(s.ok());
+  (void)s;
+}
+
+}  // namespace
+
+Relation MakeLetter(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  attrs.push_back({"lettr", DataType::kString});
+  const char* const feature_names[16] = {
+      "x_box", "y_box", "width", "high", "onpix", "x_bar", "y_bar", "x2bar",
+      "y2bar", "xybar", "x2ybr", "xy2br", "x_ege", "xegvy", "y_ege", "yegvx"};
+  for (const char* name : feature_names) {
+    attrs.push_back({name, DataType::kInt});
+  }
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    char letter = static_cast<char>('A' + rng.Uniform(26));
+    // A latent "ink amount" couples the geometric features loosely, like the
+    // real letter-recognition data: correlated but far from order-exact.
+    std::int64_t latent = static_cast<std::int64_t>(rng.Uniform(8));
+    std::vector<Value> row;
+    row.reserve(17);
+    row.push_back(Value::String(std::string(1, letter)));
+    for (int f = 0; f < 16; ++f) {
+      std::int64_t v = latent / 2 + static_cast<std::int64_t>(rng.Uniform(9));
+      if (v > 15) v = 15;
+      row.push_back(Value::Int(v));
+    }
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
+Relation MakeDbtesma(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  // 30 columns: key, 3-level hierarchy ×2, ordered families, codes, noise.
+  const char* names[30] = {
+      "key",      "batch",    "region",   "zone",      "grp",
+      "grp_code", "seq",      "seq_sq",   "seq_label", "price",
+      "price_r",  "discount", "cat1",     "cat2",      "cat3",
+      "cat4",     "flag1",    "flag2",    "flag3",     "noise1",
+      "noise2",   "noise3",   "noise4",   "noise5",    "rank1",
+      "rank2",    "mirror1",  "mirror2",  "const1",    "const2"};
+  std::vector<DataType> types(30, DataType::kInt);
+  types[8] = DataType::kString;   // seq_label
+  types[9] = DataType::kDouble;   // price
+  types[10] = DataType::kDouble;  // price_r
+  for (int c = 0; c < 30; ++c) attrs.push_back({names[c], types[c]});
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::int64_t key = static_cast<std::int64_t>(i) + 1;
+    std::int64_t batch = key / 10;         // key → batch, monotone
+    std::int64_t region = batch / 10;      // batch → region, monotone
+    std::int64_t zone = region / 5;        // region → zone, monotone
+    std::int64_t grp = static_cast<std::int64_t>(rng.Uniform(50));
+    std::int64_t grp_code = grp * 3 + 7;   // grp ↔ grp_code (order equiv.)
+    std::int64_t seq = static_cast<std::int64_t>(rng.Uniform(1000));
+    std::int64_t seq_sq = seq * seq;       // seq ↔ seq_sq (order equiv.)
+    char lbl[32];
+    std::snprintf(lbl, sizeof(lbl), "S%06lld", static_cast<long long>(seq));
+    double price = static_cast<double>(rng.Uniform(100000)) / 100.0;
+    double price_r = price + 0.005;        // price ↔ price_r
+    std::int64_t discount = static_cast<std::int64_t>(rng.Uniform(5));
+    std::int64_t cat1 = static_cast<std::int64_t>(rng.Uniform(8));
+    std::int64_t cat2 = cat1 / 2;          // cat1 → cat2, monotone
+    std::int64_t cat3 = static_cast<std::int64_t>(rng.Uniform(12));
+    std::int64_t cat4 = static_cast<std::int64_t>(rng.Uniform(4));
+    std::int64_t flag1 = rng.Bernoulli(0.5) ? 1 : 0;
+    std::int64_t flag2 = rng.Bernoulli(0.2) ? 1 : 0;
+    std::int64_t flag3 = rng.Bernoulli(0.05) ? 1 : 0;  // quasi-constant
+    std::vector<Value> row = {
+        Value::Int(key),      Value::Int(batch),    Value::Int(region),
+        Value::Int(zone),     Value::Int(grp),      Value::Int(grp_code),
+        Value::Int(seq),      Value::Int(seq_sq),   Value::String(lbl),
+        Value::Double(price), Value::Double(price_r), Value::Int(discount),
+        Value::Int(cat1),     Value::Int(cat2),     Value::Int(cat3),
+        Value::Int(cat4),     Value::Int(flag1),    Value::Int(flag2),
+        Value::Int(flag3),
+    };
+    for (int nz = 0; nz < 5; ++nz) {
+      row.push_back(Value::Int(static_cast<std::int64_t>(rng.Uniform(100))));
+    }
+    std::int64_t rank1 = static_cast<std::int64_t>(rng.Uniform(20));
+    row.push_back(Value::Int(rank1));
+    row.push_back(Value::Int(rank1 / 4));  // rank1 → rank2, monotone
+    std::int64_t mirror = static_cast<std::int64_t>(rng.Uniform(30));
+    row.push_back(Value::Int(mirror));
+    row.push_back(Value::Int(mirror * 2 + 1));  // mirror1 ↔ mirror2
+    row.push_back(Value::Int(7));               // const1
+    row.push_back(Value::Int(1));               // const2
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
+Relation MakeNcvoter(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs = {
+      {"voter_id", DataType::kInt},      {"last_name", DataType::kString},
+      {"first_name", DataType::kString}, {"midl_name", DataType::kString},
+      {"city", DataType::kString},       {"zip_code", DataType::kInt},
+      {"county_id", DataType::kInt},     {"precinct", DataType::kInt},
+      {"age", DataType::kInt},           {"birth_year", DataType::kInt},
+      {"party", DataType::kString},      {"gender", DataType::kString},
+      {"race", DataType::kString},       {"ethnic", DataType::kString},
+      {"status", DataType::kString},     {"reason", DataType::kString},
+      {"registr_dt", DataType::kString}, {"district", DataType::kInt},
+      {"ward", DataType::kInt},
+  };
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  const char* parties[3] = {"DEM", "REP", "UNA"};
+  const char* races[5] = {"W", "B", "A", "I", "O"};
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::int64_t voter_id = 100000 + static_cast<std::int64_t>(i);
+    std::size_t city_idx = rng.Zipf(20, 1.0);
+    // Three zips per city; zip determines city, county, precinct, district.
+    std::int64_t zip =
+        27000 + static_cast<std::int64_t>(city_idx) * 3 +
+        static_cast<std::int64_t>(rng.Uniform(3));
+    std::int64_t county = static_cast<std::int64_t>(city_idx) / 2;
+    std::int64_t precinct = zip % 40;
+    std::int64_t age = 18 + static_cast<std::int64_t>(rng.Uniform(80));
+    std::int64_t birth_year = 2008 - age;  // inversely ordered vs age
+    bool active = rng.Bernoulli(0.9);
+    std::int64_t reg_days = static_cast<std::int64_t>(rng.Uniform(3000));
+    std::vector<Value> row = {
+        Value::Int(voter_id),
+        Value::String(kLastNames[rng.Uniform(20)]),
+        Value::String(kFirstNames[rng.Uniform(16)]),
+        rng.Bernoulli(0.3) ? Value::Null()
+                           : Value::String(std::string(
+                                 1, static_cast<char>('A' + rng.Uniform(26)))),
+        Value::String(kCities[city_idx]),
+        Value::Int(zip),
+        Value::Int(county),
+        Value::Int(precinct),
+        Value::Int(age),
+        Value::Int(birth_year),
+        Value::String(parties[rng.Uniform(3)]),
+        Value::String(rng.Bernoulli(0.52) ? "F" : "M"),
+        Value::String(races[rng.Zipf(5, 1.2)]),
+        Value::String(rng.Bernoulli(0.08) ? "HL" : "NL"),
+        Value::String(active ? "ACTIVE" : "INACTIVE"),
+        active ? Value::String("VERIFIED") : Value::String("REMOVED"),
+        Value::String(FourDigitDate(reg_days)),
+        Value::Int(zip % 13),
+        Value::Int(precinct % 5),
+    };
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
+Relation MakeHepatitis(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs = {
+      {"class", DataType::kInt},        {"age", DataType::kInt},
+      {"sex", DataType::kInt},          {"steroid", DataType::kInt},
+      {"antivirals", DataType::kInt},   {"fatigue", DataType::kInt},
+      {"malaise", DataType::kInt},      {"anorexia", DataType::kInt},
+      {"liver_big", DataType::kInt},    {"liver_firm", DataType::kInt},
+      {"spleen", DataType::kInt},       {"spiders", DataType::kInt},
+      {"ascites", DataType::kInt},      {"varices", DataType::kInt},
+      {"bilirubin", DataType::kDouble}, {"alk_phosphate", DataType::kInt},
+      {"sgot", DataType::kInt},         {"albumin", DataType::kDouble},
+      {"protime", DataType::kInt},      {"histology", DataType::kInt},
+  };
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    bool dies = rng.Bernoulli(0.2);
+    auto binary = [&](double p_yes, double p_null) {
+      if (rng.Bernoulli(p_null)) return Value::Null();
+      return Value::Int(rng.Bernoulli(p_yes) ? 2 : 1);
+    };
+    double bili = 0.3 + static_cast<double>(rng.Uniform(70)) / 10.0;
+    std::int64_t age = 7 + static_cast<std::int64_t>(rng.Uniform(72));
+    std::vector<Value> row = {
+        Value::Int(dies ? 1 : 2),
+        Value::Int(age),
+        binary(0.1, 0.0),   // sex, skewed
+        binary(0.5, 0.01),  // steroid
+        binary(0.15, 0.0),  // antivirals, quasi-constant
+        binary(0.6, 0.01),
+        binary(0.4, 0.01),
+        binary(0.2, 0.01),
+        binary(0.8, 0.06),
+        binary(0.4, 0.07),
+        binary(0.2, 0.03),
+        binary(0.3, 0.03),
+        binary(0.1, 0.03),  // ascites, quasi-constant
+        binary(0.1, 0.03),  // varices, quasi-constant
+        Value::Double(bili),
+        rng.Bernoulli(0.18) ? Value::Null()
+                            : Value::Int(30 + static_cast<std::int64_t>(
+                                                  rng.Uniform(250))),
+        rng.Bernoulli(0.03) ? Value::Null()
+                            : Value::Int(10 + static_cast<std::int64_t>(
+                                                  rng.Uniform(600))),
+        rng.Bernoulli(0.1)
+            ? Value::Null()
+            : Value::Double(2.0 + static_cast<double>(rng.Uniform(45)) / 10.0),
+        rng.Bernoulli(0.43) ? Value::Null()
+                            : Value::Int(static_cast<std::int64_t>(
+                                  rng.Uniform(100))),
+        // Histology follows age deterministically and monotonically: the
+        // one clean OD (`age → histology`) the tiny dataset always carries.
+        Value::Int(age < 40 ? 1 : 2),
+    };
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
+Relation MakeHorse(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  // 29 columns mirroring the UCI horse-colic schema's shape.
+  const char* names[29] = {
+      "surgery",   "age_cat",    "hospital_id", "rectal_temp", "pulse",
+      "resp_rate", "temp_extr",  "periph_pulse", "mucous",     "cap_refill",
+      "pain",      "peristalsis", "abd_dist",    "naso_reflux", "reflux_ph",
+      "rectal_exam", "abdomen",  "cell_vol",    "protein",     "abdo_appear",
+      "abdo_protein", "outcome", "surgical",    "lesion1",     "lesion2",
+      "lesion3",   "cp_data",    "pulse_band",  "site_const"};
+  std::vector<DataType> types(29, DataType::kInt);
+  types[3] = DataType::kDouble;   // rectal_temp
+  types[14] = DataType::kDouble;  // reflux_ph
+  types[18] = DataType::kDouble;  // protein
+  for (int c = 0; c < 29; ++c) attrs.push_back({names[c], types[c]});
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto cat = [&](std::uint64_t k, double p_null) {
+      if (rng.Bernoulli(p_null)) return Value::Null();
+      return Value::Int(1 + static_cast<std::int64_t>(rng.Uniform(k)));
+    };
+    std::int64_t pulse = 30 + static_cast<std::int64_t>(rng.Uniform(150));
+    std::int64_t cell_vol = 23 + static_cast<std::int64_t>(rng.Uniform(52));
+    std::vector<Value> row = {
+        cat(2, 0.0),                        // surgery
+        Value::Int(rng.Bernoulli(0.08) ? 9 : 1),  // age: quasi-constant
+        Value::Int(500000 + static_cast<std::int64_t>(rng.Uniform(300))),
+        rng.Bernoulli(0.2) ? Value::Null()
+                           : Value::Double(35.5 + static_cast<double>(
+                                                      rng.Uniform(50)) /
+                                                      10.0),
+        rng.Bernoulli(0.08) ? Value::Null() : Value::Int(pulse),
+        cat(50, 0.19),   // resp_rate
+        cat(4, 0.19),    // temp_extr
+        cat(4, 0.23),    // periph_pulse
+        cat(6, 0.16),    // mucous
+        cat(3, 0.11),    // cap_refill
+        cat(5, 0.18),    // pain
+        cat(4, 0.15),    // peristalsis
+        cat(4, 0.19),    // abd_dist
+        cat(3, 0.35),    // naso_reflux
+        rng.Bernoulli(0.82)
+            ? Value::Null()
+            : Value::Double(1.0 + static_cast<double>(rng.Uniform(65)) / 10.0),
+        cat(4, 0.34),    // rectal_exam
+        cat(5, 0.39),    // abdomen
+        Value::Int(cell_vol),
+        Value::Double(3.0 + static_cast<double>(rng.Uniform(60)) / 10.0),
+        cat(3, 0.55),    // abdo_appear
+        cat(2, 0.66),    // abdo_protein
+        cat(3, 0.0),     // outcome
+        // The last block mirrors the real colic data's severity flags:
+        // thresholds of the packed cell volume. Pairwise order compatible
+        // but mutually unordered quasi-constants — the combination that
+        // drives the Figure 5 slowdown when they join a column sample.
+        Value::Int(cell_vol >= 58 ? 1 : 0),  // surgical: quasi-constant flag
+        Value::Int(static_cast<std::int64_t>(rng.Uniform(28)) * 100 +
+                   static_cast<std::int64_t>(rng.Uniform(100))),
+        Value::Int(cell_vol >= 65 ? 1 : 0),  // lesion2: quasi-constant flag
+        Value::Int(0),                       // lesion3: constant in practice
+        Value::Int(cell_vol >= 50 ? 1 : 0),  // cp_data: quasi-constant flag
+        // A banded copy of cell_vol (which is never NULL): the clean
+        // monotone FD that gives HORSE a discoverable OD.
+        Value::Int(cell_vol / 20),
+        Value::Int(3),           // constant column
+    };
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
+Relation MakeFlight(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  // Column plan (total 109):
+  //  0..9     high-entropy identifiers & exact times (unique-ish)
+  //  10..39   medium-entropy route/time/delay columns (some correlated)
+  //  40..94   quasi-constant flags and codes (2–4 distinct values)
+  //  95..108  constant columns (14)
+  for (int c = 0; c < 10; ++c) {
+    attrs.push_back({"id" + std::to_string(c),
+                     c < 6 ? DataType::kInt : DataType::kString});
+  }
+  for (int c = 0; c < 30; ++c) {
+    attrs.push_back({"mid" + std::to_string(c), DataType::kInt});
+  }
+  for (int c = 0; c < 55; ++c) {
+    attrs.push_back({"flag" + std::to_string(c), DataType::kInt});
+  }
+  for (int c = 0; c < 14; ++c) {
+    attrs.push_back({"const" + std::to_string(c),
+                     c % 2 == 0 ? DataType::kInt : DataType::kString});
+  }
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Value> row;
+    row.reserve(109);
+    // Identifiers: unique, several mutually order-equivalent (same order).
+    std::int64_t base = static_cast<std::int64_t>(i);
+    row.push_back(Value::Int(base));                  // id0
+    row.push_back(Value::Int(base * 7 + 1));          // id1 ↔ id0
+    row.push_back(Value::Int(base * 13));             // id2 ↔ id0
+    row.push_back(Value::Int(
+        static_cast<std::int64_t>(rng.Uniform(1000000))));  // id3 random
+    row.push_back(Value::Int(
+        static_cast<std::int64_t>(rng.Uniform(1000000))));  // id4 random
+    row.push_back(Value::Int(base % 997));            // id5: near-unique
+    for (int c = 6; c < 10; ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "T%08lld",
+                    static_cast<long long>(base * (c + 1) % 99999989));
+      row.push_back(Value::String(buf));
+    }
+    // Medium band: delays with correlated families.
+    std::int64_t dep_delay = static_cast<std::int64_t>(rng.Uniform(180)) - 10;
+    std::int64_t arr_delay = dep_delay + static_cast<std::int64_t>(
+                                             rng.Uniform(30)) - 15;
+    std::int64_t air_time = 30 + static_cast<std::int64_t>(rng.Uniform(360));
+    std::int64_t distance = air_time * 8 + static_cast<std::int64_t>(
+                                               rng.Uniform(40));
+    row.push_back(Value::Int(dep_delay));
+    row.push_back(Value::Int(arr_delay));
+    row.push_back(Value::Int(air_time));
+    row.push_back(Value::Int(distance));
+    row.push_back(Value::Int(air_time / 60));  // hours: monotone in air_time
+    for (int c = 5; c < 30; ++c) {
+      row.push_back(Value::Int(static_cast<std::int64_t>(
+          rng.Uniform(20 + static_cast<std::uint64_t>(c) * 10))));
+    }
+    // Quasi-constant band: 2–4 distinct values, heavily skewed.
+    // The first 35 flags are *threshold indicators of the departure delay*
+    // (e.g. delayed>15, delayed>30, cancelled, diverted, ...). Flags derived
+    // from one latent are pairwise order compatible but do not order each
+    // other (splits both ways), so the candidate tree expands over all of
+    // them without pruning — the quasi-constant blow-up of §5.3.2/§5.4. The
+    // remaining 20 flags are independent noise.
+    for (int c = 0; c < 35; ++c) {
+      std::int64_t threshold = 130 + c;  // 1-fraction from ~22% down to ~3%
+      row.push_back(Value::Int(dep_delay >= threshold ? 1 : 0));
+    }
+    for (int c = 0; c < 20; ++c) {
+      std::uint64_t card = 2 + (static_cast<std::uint64_t>(c) % 3);
+      std::int64_t v = rng.Bernoulli(0.92)
+                           ? 0
+                           : 1 + static_cast<std::int64_t>(
+                                     rng.Uniform(card - 1));
+      row.push_back(Value::Int(v));
+    }
+    // Constants.
+    for (int c = 0; c < 14; ++c) {
+      if (c % 2 == 0) {
+        row.push_back(Value::Int(2015));
+      } else {
+        row.push_back(Value::String("AA"));
+      }
+    }
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace ocdd::datagen

@@ -1,0 +1,52 @@
+#ifndef OCDD_DATAGEN_GENERATORS_H_
+#define OCDD_DATAGEN_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace ocdd::datagen {
+
+/// Synthetic analogues of the HPI repeatability datasets (paper §5.1). The
+/// originals are not redistributable offline; each generator reproduces the
+/// column count and the *structural* properties the evaluation depends on
+/// (see DESIGN.md §2). All are deterministic in (rows, seed).
+
+/// LETTER analogue: 17 columns — one class label plus 16 small-integer
+/// feature columns that are noisy enough that no exact OD survives at
+/// scale, but with many minimal FDs from the dense feature space.
+rel::Relation MakeLetter(std::size_t rows, std::uint64_t seed = 42);
+
+/// DBTESMA analogue: 30 columns — a unique key, functional hierarchies
+/// (key → region → zone), order-correlated column families, and
+/// low-cardinality codes. Rich in both FDs and OCDs.
+rel::Relation MakeDbtesma(std::size_t rows, std::uint64_t seed = 42);
+
+/// NCVOTER analogue: 19 columns of voter-roll shape — id, names, city/zip
+/// with the FD zip → city, ages, party/gender/status codes, registration
+/// dates, precinct derived from zip.
+rel::Relation MakeNcvoter(std::size_t rows, std::uint64_t seed = 42);
+
+/// HEPATITIS analogue: 20 columns, default 155 rows — mostly binary
+/// categorical attributes with '?'-style NULLs plus a few clinical numeric
+/// columns. The tiny row count makes accidental dependencies abundant, the
+/// property that gives the real HEPATITIS its huge FD count.
+rel::Relation MakeHepatitis(std::size_t rows, std::uint64_t seed = 42);
+
+/// HORSE (colic) analogue: 29 columns, default 300 rows — heavy categorical
+/// mix with many NULLs, several quasi-constant columns, and a couple of
+/// correlated vitals; the dataset whose quasi-constant column drives the
+/// Figure 5 blow-up.
+rel::Relation MakeHorse(std::size_t rows, std::uint64_t seed = 42);
+
+/// FLIGHT analogue: 109 columns, default 1000 rows — a wide schema with a
+/// deliberate entropy spectrum: unique identifiers, medium-cardinality
+/// route/time columns, a large band of quasi-constant flags (2–4 distinct
+/// values), and fully constant columns. Reproduces the Figure 7 cliff when
+/// columns are added in decreasing-entropy order.
+rel::Relation MakeFlight(std::size_t rows, std::uint64_t seed = 42);
+
+}  // namespace ocdd::datagen
+
+#endif  // OCDD_DATAGEN_GENERATORS_H_

@@ -1,0 +1,147 @@
+#include "datagen/lineitem.h"
+
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ocdd::datagen {
+
+namespace {
+
+using rel::Attribute;
+using rel::DataType;
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+
+/// Renders day-number `d` (days since 1992-01-01) as "yyyy-mm-dd" with a
+/// simplified 365-day calendar — monotone in `d`, which is all the ordering
+/// semantics need.
+std::string DayToDate(std::int64_t d) {
+  static constexpr int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                            31, 31, 30, 31, 30, 31};
+  std::int64_t year = 1992 + d / 365;
+  std::int64_t doy = d % 365;
+  int month = 0;
+  while (doy >= kDaysPerMonth[month]) {
+    doy -= kDaysPerMonth[month];
+    ++month;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02d-%02lld",
+                static_cast<long long>(year), month + 1,
+                static_cast<long long>(doy + 1));
+  return buf;
+}
+
+const char* const kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                     "NONE", "TAKE BACK RETURN"};
+const char* const kShipMode[] = {"AIR", "FOB", "MAIL", "RAIL",
+                                 "REG AIR", "SHIP", "TRUCK"};
+const char* const kCommentWords[] = {"carefully", "quickly", "furiously",
+                                     "packages", "deposits", "accounts",
+                                     "requests", "ideas", "pending", "bold"};
+
+}  // namespace
+
+Relation MakeLineitem(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs = {
+      {"l_orderkey", DataType::kInt},
+      {"l_partkey", DataType::kInt},
+      {"l_suppkey", DataType::kInt},
+      {"l_linenumber", DataType::kInt},
+      {"l_quantity", DataType::kInt},
+      {"l_extendedprice", DataType::kDouble},
+      {"l_discount", DataType::kDouble},
+      {"l_tax", DataType::kDouble},
+      {"l_returnflag", DataType::kString},
+      {"l_linestatus", DataType::kString},
+      {"l_shipdate", DataType::kString},
+      {"l_commitdate", DataType::kString},
+      {"l_receiptdate", DataType::kString},
+      {"l_shipinstruct", DataType::kString},
+      {"l_shipmode", DataType::kString},
+      {"l_comment", DataType::kString},
+  };
+  Relation::Builder b{Schema(std::move(attrs))};
+
+  std::int64_t orderkey = 0;
+  std::int64_t lines_left = 0;
+  std::int64_t linenumber = 0;
+  std::int64_t order_day = 0;
+  std::size_t num_parts = rows / 5 + 20;
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (lines_left == 0) {
+      orderkey += 1 + static_cast<std::int64_t>(rng.Uniform(4));
+      lines_left = 1 + static_cast<std::int64_t>(rng.Uniform(7));
+      linenumber = 0;
+      // Orders are appended roughly chronologically; days drift forward.
+      order_day = static_cast<std::int64_t>(
+          (2400.0 * static_cast<double>(i)) / static_cast<double>(rows) +
+          rng.Uniform(60));
+    }
+    --lines_left;
+    ++linenumber;
+
+    std::int64_t partkey =
+        1 + static_cast<std::int64_t>(rng.Uniform(num_parts));
+    std::int64_t suppkey = 1 + (partkey * 7 + 3) % 100;
+    std::int64_t quantity = 1 + static_cast<std::int64_t>(rng.Uniform(50));
+    // TPC-H price formula: retail price depends on the part alone; the
+    // extended price scales it by quantity, correlating the two.
+    double retail = 900.0 + static_cast<double>((partkey * 97) % 1000) / 10.0;
+    double extended = retail * static_cast<double>(quantity);
+    double discount = static_cast<double>(rng.Uniform(11)) / 100.0;
+    double tax = static_cast<double>(rng.Uniform(9)) / 100.0;
+
+    std::int64_t ship_day =
+        order_day + 1 + static_cast<std::int64_t>(rng.Uniform(120));
+    std::int64_t commit_day =
+        order_day + 30 + static_cast<std::int64_t>(rng.Uniform(60));
+    std::int64_t receipt_day =
+        ship_day + 1 + static_cast<std::int64_t>(rng.Uniform(30));
+
+    // TPC-H semantics: lines shipped after the "current date" horizon are
+    // still open ('O'/'N'); older ones are finished and possibly returned.
+    constexpr std::int64_t kCurrentDay = 1900;
+    const char* linestatus = ship_day > kCurrentDay ? "O" : "F";
+    const char* returnflag =
+        receipt_day > kCurrentDay ? "N" : (rng.Bernoulli(0.5) ? "A" : "R");
+
+    std::string comment;
+    int words = 2 + static_cast<int>(rng.Uniform(3));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) comment += ' ';
+      comment += kCommentWords[rng.Uniform(10)];
+    }
+
+    auto s = b.AddRow({
+        Value::Int(orderkey),
+        Value::Int(partkey),
+        Value::Int(suppkey),
+        Value::Int(linenumber),
+        Value::Int(quantity),
+        Value::Double(extended),
+        Value::Double(discount),
+        Value::Double(tax),
+        Value::String(returnflag),
+        Value::String(linestatus),
+        Value::String(DayToDate(ship_day)),
+        Value::String(DayToDate(commit_day)),
+        Value::String(DayToDate(receipt_day)),
+        Value::String(kShipInstruct[rng.Uniform(4)]),
+        Value::String(kShipMode[rng.Uniform(7)]),
+        Value::String(comment),
+    });
+    assert(s.ok());
+    (void)s;
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace ocdd::datagen

@@ -1,0 +1,21 @@
+#ifndef OCDD_DATAGEN_LINEITEM_H_
+#define OCDD_DATAGEN_LINEITEM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace ocdd::datagen {
+
+/// A TPC-H-flavoured LINEITEM generator: 16 columns with the shape the
+/// paper's LINEITEM dataset exercises — a monotone order key, order-grouped
+/// line numbers, price/quantity correlations, low-cardinality flags, and
+/// three chronologically-linked date columns (ship ≤ receipt, commit near
+/// ship). Dates are `yyyy-mm-dd` strings so lexicographic order equals
+/// chronological order. Deterministic in (rows, seed).
+rel::Relation MakeLineitem(std::size_t rows, std::uint64_t seed = 42);
+
+}  // namespace ocdd::datagen
+
+#endif  // OCDD_DATAGEN_LINEITEM_H_

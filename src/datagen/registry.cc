@@ -1,0 +1,64 @@
+#include "datagen/registry.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "datagen/fixtures.h"
+#include "datagen/generators.h"
+#include "datagen/lineitem.h"
+
+namespace ocdd::datagen {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>& specs = *new std::vector<DatasetSpec>{
+      {"DBTESMA", 250000, 20000, 30, false},
+      {"DBTESMA_1K", 1000, 1000, 30, false},
+      {"FLIGHT_1K", 1000, 1000, 109, false},
+      {"HEPATITIS", 155, 155, 20, false},
+      {"HORSE", 300, 300, 29, false},
+      {"LETTER", 20000, 5000, 17, false},
+      {"LINEITEM", 6001215, 50000, 16, false},
+      {"NCVOTER_1K", 1000, 1000, 19, false},
+      {"NO", 5, 5, 2, true},
+      {"NUMBERS", 6, 6, 5, true},
+      {"YES", 5, 5, 2, true},
+  };
+  return specs;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  std::string upper;
+  for (char c : name) {
+    upper.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 32) : c);
+  }
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == upper) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<rel::Relation> MakeDataset(const std::string& name, std::size_t rows,
+                                  std::uint64_t seed) {
+  OCDD_ASSIGN_OR_RETURN(DatasetSpec spec, FindDataset(name));
+  std::size_t n = rows == 0 ? spec.default_rows : rows;
+  if (spec.name == "DBTESMA" || spec.name == "DBTESMA_1K") {
+    return MakeDbtesma(n, seed);
+  }
+  if (spec.name == "FLIGHT_1K") return MakeFlight(n, seed);
+  if (spec.name == "HEPATITIS") return MakeHepatitis(n, seed);
+  if (spec.name == "HORSE") return MakeHorse(n, seed);
+  if (spec.name == "LETTER") return MakeLetter(n, seed);
+  if (spec.name == "LINEITEM") return MakeLineitem(n, seed);
+  if (spec.name == "NCVOTER_1K") return MakeNcvoter(n, seed);
+  if (spec.name == "NO") return MakeNo();
+  if (spec.name == "NUMBERS") return MakeNumbers();
+  if (spec.name == "YES") return MakeYes();
+  return Status::Internal("unhandled dataset: " + spec.name);
+}
+
+bool FullScaleRequested() {
+  const char* scale = std::getenv("OCDD_SCALE");
+  return scale != nullptr && AsciiToLower(scale) == "full";
+}
+
+}  // namespace ocdd::datagen

@@ -1,0 +1,44 @@
+#ifndef OCDD_DATAGEN_REGISTRY_H_
+#define OCDD_DATAGEN_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace ocdd::datagen {
+
+/// Descriptor of one evaluation dataset (paper Table 6).
+struct DatasetSpec {
+  std::string name;
+  /// Row count used in the paper's evaluation.
+  std::size_t paper_rows = 0;
+  /// Scaled-down default so the full benchmark suite runs in minutes.
+  std::size_t default_rows = 0;
+  std::size_t num_columns = 0;
+  /// Fixture datasets have a fixed instance; `rows` overrides are ignored.
+  bool fixed = false;
+};
+
+/// All Table-6 datasets, in the paper's (alphabetical) order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Finds a spec by (case-insensitive) name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Materializes a dataset. `rows == 0` picks `default_rows`
+/// (or the fixture's intrinsic size). Unknown names yield NotFound.
+Result<rel::Relation> MakeDataset(const std::string& name,
+                                  std::size_t rows = 0,
+                                  std::uint64_t seed = 42);
+
+/// True when the environment requests paper-scale runs
+/// (`OCDD_SCALE=full`); benches use this to pick `paper_rows`.
+bool FullScaleRequested();
+
+}  // namespace ocdd::datagen
+
+#endif  // OCDD_DATAGEN_REGISTRY_H_

@@ -1,0 +1,116 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "relation/sorted_index.h"
+
+namespace ocdd::engine {
+
+bool Executor::VerifyPhysicalOrder() const {
+  if (physical_.empty()) return true;
+  for (std::uint32_t row = 0; row + 1 < relation_.num_rows(); ++row) {
+    if (rel::CompareRowsOnList(relation_, physical_, row, row + 1) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Plan Executor::Explain(const Query& query) const {
+  Plan plan;
+  if (kb_ != nullptr) {
+    plan.simplified_order_by = kb_->SimplifyOrderBy(query.order_by).columns;
+  } else {
+    // Without OD knowledge only exact duplicates can be dropped.
+    for (rel::ColumnId c : query.order_by) {
+      if (std::find(plan.simplified_order_by.begin(),
+                    plan.simplified_order_by.end(),
+                    c) == plan.simplified_order_by.end()) {
+        plan.simplified_order_by.push_back(c);
+      }
+    }
+  }
+
+  // Sort elision: the physical order must imply the simplified clause.
+  // Discovered ODs remain valid on any filtered subset (removing rows can
+  // never create a violating pair), so the reasoning is filter-safe.
+  if (plan.simplified_order_by.empty()) {
+    plan.sort_elided = true;
+  } else if (!physical_.empty()) {
+    if (kb_ != nullptr) {
+      plan.sort_elided =
+          kb_->Orders(od::AttributeList(physical_),
+                      od::AttributeList(plan.simplified_order_by));
+    } else {
+      // Prefix rule only: physically sorted by (a,b,...) serves any prefix.
+      plan.sort_elided =
+          plan.simplified_order_by.size() <= physical_.size() &&
+          std::equal(plan.simplified_order_by.begin(),
+                     plan.simplified_order_by.end(), physical_.begin());
+    }
+  }
+
+  plan.explanation = "scan";
+  if (!query.filters.empty()) plan.explanation += "->filter";
+  if (!plan.sort_elided) {
+    plan.explanation += "->sort(";
+    for (std::size_t i = 0; i < plan.simplified_order_by.size(); ++i) {
+      if (i > 0) plan.explanation += ",";
+      plan.explanation +=
+          relation_.column_name(plan.simplified_order_by[i]);
+    }
+    plan.explanation += ")";
+  } else if (!query.order_by.empty()) {
+    plan.explanation += " (sort elided)";
+  }
+  if (query.limit != 0) plan.explanation += "->limit";
+  return plan;
+}
+
+std::vector<std::uint32_t> Executor::Execute(const Query& query) const {
+  Plan plan = Explain(query);
+
+  // Scan + filter, in physical (row id) order.
+  std::vector<std::uint32_t> rows;
+  rows.reserve(relation_.num_rows());
+  for (std::uint32_t row = 0; row < relation_.num_rows(); ++row) {
+    bool keep = true;
+    for (const Predicate& p : query.filters) {
+      std::int32_t code = relation_.code(row, p.column);
+      bool ok = p.op == Predicate::Op::kEq   ? code == p.code
+                : p.op == Predicate::Op::kLe ? code <= p.code
+                                             : code >= p.code;
+      if (!ok) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) rows.push_back(row);
+  }
+
+  if (!plan.sort_elided && !plan.simplified_order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return rel::CompareRowsOnList(
+                                  relation_, plan.simplified_order_by, a,
+                                  b) < 0;
+                     });
+  }
+
+  if (query.limit != 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  return rows;
+}
+
+bool Executor::IsSorted(const std::vector<std::uint32_t>& rows,
+                        const SortSpec& spec) const {
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rel::CompareRowsOnList(relation_, spec, rows[i], rows[i + 1]) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ocdd::engine

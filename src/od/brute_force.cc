@@ -1,0 +1,121 @@
+#include "od/brute_force.h"
+
+#include "relation/sorted_index.h"
+
+namespace ocdd::od {
+
+bool BruteForceHoldsOd(const rel::CodedRelation& relation,
+                       const AttributeList& lhs, const AttributeList& rhs) {
+  std::size_t m = relation.num_rows();
+  for (std::uint32_t p = 0; p < m; ++p) {
+    for (std::uint32_t q = 0; q < m; ++q) {
+      int cl = rel::CompareRowsOnList(relation, lhs.ids(), p, q);
+      if (cl <= 0) {
+        int cr = rel::CompareRowsOnList(relation, rhs.ids(), p, q);
+        if (cr > 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BruteForceHoldsOcd(const rel::CodedRelation& relation,
+                        const AttributeList& x, const AttributeList& y) {
+  AttributeList xy = x.Concat(y);
+  AttributeList yx = y.Concat(x);
+  return BruteForceHoldsOd(relation, xy, yx) &&
+         BruteForceHoldsOd(relation, yx, xy);
+}
+
+bool BruteForceHoldsFd(const rel::CodedRelation& relation,
+                       const std::vector<ColumnId>& lhs, ColumnId rhs) {
+  std::size_t m = relation.num_rows();
+  for (std::uint32_t p = 0; p < m; ++p) {
+    for (std::uint32_t q = p + 1; q < m; ++q) {
+      bool equal = true;
+      for (ColumnId c : lhs) {
+        if (relation.code(p, c) != relation.code(q, c)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal && relation.code(p, rhs) != relation.code(q, rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void EnumerateListsRec(const std::vector<ColumnId>& universe,
+                       std::size_t max_len, std::vector<ColumnId>& current,
+                       std::vector<AttributeList>& out) {
+  if (!current.empty()) out.push_back(AttributeList(current));
+  if (current.size() == max_len) return;
+  for (ColumnId id : universe) {
+    bool used = false;
+    for (ColumnId c : current) {
+      if (c == id) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    current.push_back(id);
+    EnumerateListsRec(universe, max_len, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<AttributeList> EnumerateLists(const std::vector<ColumnId>& universe,
+                                          std::size_t max_len) {
+  std::vector<AttributeList> out;
+  std::vector<ColumnId> current;
+  EnumerateListsRec(universe, max_len, current, out);
+  return out;
+}
+
+std::vector<OrderCompatibility> BruteForceAllOcds(
+    const rel::CodedRelation& relation, std::size_t max_side_len) {
+  std::vector<ColumnId> universe(relation.num_columns());
+  for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+  std::vector<AttributeList> lists = EnumerateLists(universe, max_side_len);
+
+  std::vector<OrderCompatibility> out;
+  for (const AttributeList& x : lists) {
+    for (const AttributeList& y : lists) {
+      if (!(x < y)) continue;  // canonical orientation, skips x == y
+      if (!x.DisjointWith(y)) continue;
+      if (BruteForceHoldsOcd(relation, x, y)) {
+        out.push_back(OrderCompatibility{x, y});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<OrderDependency> BruteForceAllOds(
+    const rel::CodedRelation& relation, std::size_t max_side_len,
+    bool disjoint_only) {
+  std::vector<ColumnId> universe(relation.num_columns());
+  for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+  std::vector<AttributeList> lists = EnumerateLists(universe, max_side_len);
+
+  std::vector<OrderDependency> out;
+  for (const AttributeList& x : lists) {
+    for (const AttributeList& y : lists) {
+      if (x == y) continue;
+      if (disjoint_only && !x.DisjointWith(y)) continue;
+      if (BruteForceHoldsOd(relation, x, y)) {
+        out.push_back(OrderDependency{x, y});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ocdd::od

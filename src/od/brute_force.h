@@ -1,0 +1,50 @@
+#ifndef OCDD_OD_BRUTE_FORCE_H_
+#define OCDD_OD_BRUTE_FORCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "od/attribute_list.h"
+#include "od/dependency.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::od {
+
+/// Semantic ground-truth checkers, straight from Definitions 2.2–2.4 by
+/// enumerating all O(m²) tuple pairs. Exponentially slower than the
+/// production checkers — these exist so that tests can verify the fast
+/// implementations against the definitions on small instances.
+
+/// Definition 2.2: for every tuple pair, `p ⪯_lhs q ⟹ p ⪯_rhs q`.
+bool BruteForceHoldsOd(const rel::CodedRelation& relation,
+                       const AttributeList& lhs, const AttributeList& rhs);
+
+/// Definition 2.4 via `X ~ Y ≡ XY ↔ YX`.
+bool BruteForceHoldsOcd(const rel::CodedRelation& relation,
+                        const AttributeList& x, const AttributeList& y);
+
+/// Definition 2.3: `p =_lhs q ⟹ p =_rhs q` (lhs as a set).
+bool BruteForceHoldsFd(const rel::CodedRelation& relation,
+                       const std::vector<ColumnId>& lhs, ColumnId rhs);
+
+/// Enumerates every valid OCD `X ~ Y` with disjoint, duplicate-free sides of
+/// length in [1, max_side_len], canonicalized (lhs < rhs). Exhaustive over
+/// all list permutations — intended for relations with ≤ 6 columns.
+std::vector<OrderCompatibility> BruteForceAllOcds(
+    const rel::CodedRelation& relation, std::size_t max_side_len);
+
+/// Enumerates every valid OD `X → Y` with duplicate-free sides whose lengths
+/// are in [1, max_side_len]. When `disjoint_only`, skips candidates whose
+/// sides share attributes (ORDER's candidate space).
+std::vector<OrderDependency> BruteForceAllOds(const rel::CodedRelation& relation,
+                                              std::size_t max_side_len,
+                                              bool disjoint_only);
+
+/// Enumerates all duplicate-free attribute lists over `universe` with length
+/// in [1, max_len]. Exposed for tests and for the inference engine.
+std::vector<AttributeList> EnumerateLists(const std::vector<ColumnId>& universe,
+                                          std::size_t max_len);
+
+}  // namespace ocdd::od
+
+#endif  // OCDD_OD_BRUTE_FORCE_H_

@@ -1,0 +1,74 @@
+#include "od/dependency.h"
+
+namespace ocdd::od {
+
+namespace {
+
+std::string SetToString(const std::vector<ColumnId>& ids,
+                        const rel::CodedRelation* relation) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += relation ? relation->column_name(ids[i]) : std::to_string(ids[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string OrderDependency::ToString(
+    const rel::CodedRelation& relation) const {
+  return lhs.ToString(relation) + " -> " + rhs.ToString(relation);
+}
+
+std::string OrderDependency::ToString() const {
+  return lhs.ToString() + " -> " + rhs.ToString();
+}
+
+std::string OrderCompatibility::ToString(
+    const rel::CodedRelation& relation) const {
+  return lhs.ToString(relation) + " ~ " + rhs.ToString(relation);
+}
+
+std::string OrderCompatibility::ToString() const {
+  return lhs.ToString() + " ~ " + rhs.ToString();
+}
+
+std::string FunctionalDependency::ToString(
+    const rel::CodedRelation& relation) const {
+  return SetToString(lhs, &relation) + " -> " + relation.column_name(rhs);
+}
+
+std::string FunctionalDependency::ToString() const {
+  return SetToString(lhs, nullptr) + " -> " + std::to_string(rhs);
+}
+
+namespace {
+
+std::string CanonicalOdToString(const CanonicalOd& od,
+                                const rel::CodedRelation* relation) {
+  auto name = [&](ColumnId id) {
+    return relation ? relation->column_name(id) : std::to_string(id);
+  };
+  std::string out = SetToString(od.context, relation);
+  out += ": ";
+  if (od.kind == CanonicalOd::Kind::kConstancy) {
+    out += "[] -> " + name(od.right);
+  } else {
+    out += name(od.left) + " ~ " + name(od.right);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalOd::ToString(const rel::CodedRelation& relation) const {
+  return CanonicalOdToString(*this, &relation);
+}
+
+std::string CanonicalOd::ToString() const {
+  return CanonicalOdToString(*this, nullptr);
+}
+
+}  // namespace ocdd::od

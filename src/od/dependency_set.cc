@@ -1,0 +1,24 @@
+#include "od/dependency_set.h"
+
+namespace ocdd::od {
+
+void DependencyStore::MergeFrom(DependencyStore&& other) {
+  auto append = [](auto& dst, auto& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+    src.clear();
+  };
+  append(ods_, other.ods_);
+  append(ocds_, other.ocds_);
+  append(fds_, other.fds_);
+  append(canonical_, other.canonical_);
+}
+
+void DependencyStore::Finalize() {
+  SortUnique(ods_);
+  SortUnique(ocds_);
+  SortUnique(fds_);
+  SortUnique(canonical_);
+}
+
+}  // namespace ocdd::od

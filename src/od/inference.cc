@@ -1,0 +1,156 @@
+#include "od/inference.h"
+
+#include "od/brute_force.h"
+
+namespace ocdd::od {
+
+OdInferenceEngine::OdInferenceEngine(std::vector<ColumnId> universe,
+                                     std::size_t max_list_len)
+    : universe_(std::move(universe)), max_list_len_(max_list_len) {
+  lists_.push_back(AttributeList{});  // the empty list [ ]
+  std::vector<AttributeList> nonempty = EnumerateLists(universe_, max_list_len_);
+  lists_.insert(lists_.end(), nonempty.begin(), nonempty.end());
+  for (std::size_t i = 0; i < lists_.size(); ++i) {
+    list_ids_.emplace(lists_[i], static_cast<int>(i));
+  }
+  implies_.assign(lists_.size(), std::vector<bool>(lists_.size(), false));
+  // Reflexivity (AX1): every list orders each of its prefixes (and itself).
+  for (std::size_t i = 0; i < lists_.size(); ++i) {
+    for (std::size_t j = 0; j < lists_.size(); ++j) {
+      if (lists_[i].HasPrefix(lists_[j])) implies_[i][j] = true;
+    }
+  }
+}
+
+int OdInferenceEngine::ListId(const AttributeList& list) const {
+  auto it = list_ids_.find(list);
+  if (it == list_ids_.end()) return -1;
+  return it->second;
+}
+
+bool OdInferenceEngine::Set(std::size_t i, std::size_t j) {
+  if (implies_[i][j]) return false;
+  implies_[i][j] = true;
+  dirty_ = true;
+  return true;
+}
+
+bool OdInferenceEngine::AddOd(const OrderDependency& od) {
+  int lhs = ListId(od.lhs.Normalized());
+  int rhs = ListId(od.rhs.Normalized());
+  if (lhs < 0 || rhs < 0) return false;
+  Set(static_cast<std::size_t>(lhs), static_cast<std::size_t>(rhs));
+  return true;
+}
+
+bool OdInferenceEngine::AddOcd(const OrderCompatibility& ocd) {
+  AttributeList xy = ocd.lhs.Concat(ocd.rhs).Normalized();
+  AttributeList yx = ocd.rhs.Concat(ocd.lhs).Normalized();
+  int a = ListId(xy);
+  int b = ListId(yx);
+  if (a < 0 || b < 0) return false;
+  Set(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+  Set(static_cast<std::size_t>(b), static_cast<std::size_t>(a));
+  return true;
+}
+
+void OdInferenceEngine::ComputeClosure() {
+  std::size_t n = lists_.size();
+  // Iterate rule application to fixpoint. Each pass applies Prefix and
+  // Suffix to every known implication, then closes transitively.
+  dirty_ = true;
+  while (dirty_) {
+    dirty_ = false;
+
+    // Transitivity (AX4): Floyd–Warshall.
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!implies_[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (implies_[k][j] && !implies_[i][j]) {
+            implies_[i][j] = true;
+            dirty_ = true;
+          }
+        }
+      }
+    }
+
+    // Prefix (AX2) and Suffix: applied to a snapshot of current facts.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!implies_[i][j]) continue;
+        // Suffix (AX5): X → Y  ⟹  X ↔ YX; the variant X ↔ XY is also a
+        // sound consequence and cheap to add.
+        int yx = ListId(lists_[j].Concat(lists_[i]).Normalized());
+        if (yx >= 0) {
+          Set(i, static_cast<std::size_t>(yx));
+          Set(static_cast<std::size_t>(yx), i);
+        }
+        int xy = ListId(lists_[i].Concat(lists_[j]).Normalized());
+        if (xy >= 0) {
+          Set(i, static_cast<std::size_t>(xy));
+          Set(static_cast<std::size_t>(xy), i);
+        }
+        // Prefix: X → Y  ⟹  ZX → ZY for every materialized Z.
+        // Lists whose concatenation normalizes past max_list_len_ are simply
+        // absent from the lattice; ListId returning -1 filters them out.
+        for (std::size_t z = 1; z < n; ++z) {  // z == 0 is the empty list
+          int zx = ListId(lists_[z].Concat(lists_[i]).Normalized());
+          int zy = ListId(lists_[z].Concat(lists_[j]).Normalized());
+          if (zx >= 0 && zy >= 0) {
+            Set(static_cast<std::size_t>(zx), static_cast<std::size_t>(zy));
+          }
+        }
+        // Replace (append form, derived from the Replace theorem of [16]):
+        // X ↔ Y  ⟹  XZ → YZ. Equivalent lists induce the same weak order,
+        // so a common suffix breaks ties identically.
+        if (implies_[j][i]) {
+          for (std::size_t z = 1; z < n; ++z) {
+            int xz = ListId(lists_[i].Concat(lists_[z]).Normalized());
+            int yz = ListId(lists_[j].Concat(lists_[z]).Normalized());
+            if (xz >= 0 && yz >= 0) {
+              Set(static_cast<std::size_t>(xz), static_cast<std::size_t>(yz));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+bool OdInferenceEngine::Implies(const OrderDependency& od) const {
+  int lhs = ListId(od.lhs.Normalized());
+  int rhs = ListId(od.rhs.Normalized());
+  if (lhs < 0 || rhs < 0) return false;
+  return implies_[static_cast<std::size_t>(lhs)][static_cast<std::size_t>(rhs)];
+}
+
+bool OdInferenceEngine::ImpliesOcd(const OrderCompatibility& ocd) const {
+  AttributeList xy = ocd.lhs.Concat(ocd.rhs).Normalized();
+  AttributeList yx = ocd.rhs.Concat(ocd.lhs).Normalized();
+  return ImpliesEquivalence(xy, yx);
+}
+
+bool OdInferenceEngine::ImpliesEquivalence(const AttributeList& x,
+                                           const AttributeList& y) const {
+  int a = ListId(x.Normalized());
+  int b = ListId(y.Normalized());
+  if (a < 0 || b < 0) return false;
+  return implies_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] &&
+         implies_[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)];
+}
+
+std::vector<OrderDependency> OdInferenceEngine::AllImpliedOds(
+    bool skip_reflexive) const {
+  std::vector<OrderDependency> out;
+  for (std::size_t i = 0; i < lists_.size(); ++i) {
+    for (std::size_t j = 0; j < lists_.size(); ++j) {
+      if (i == j || !implies_[i][j]) continue;
+      if (skip_reflexive && lists_[i].HasPrefix(lists_[j])) continue;
+      out.push_back(OrderDependency{lists_[i], lists_[j]});
+    }
+  }
+  return out;
+}
+
+}  // namespace ocdd::od

@@ -1,0 +1,83 @@
+#ifndef OCDD_OD_INFERENCE_H_
+#define OCDD_OD_INFERENCE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "od/attribute_list.h"
+#include "od/dependency.h"
+
+namespace ocdd::od {
+
+/// Syntactic inference over the J_OD axiom system (Table 3 of the paper),
+/// restricted to normalized (duplicate-free) attribute lists of bounded
+/// length over a small universe.
+///
+/// The engine materializes every duplicate-free list of length ≤
+/// `max_list_len` over `universe` (including the empty list) and closes an
+/// implication matrix `X → Y` under:
+///
+///  * AX1 Reflexivity  — `XY → X` (every list orders each of its prefixes);
+///  * AX2 Prefix       — `X → Y  ⟹  ZX → ZY` for every list `Z`;
+///  * AX3 Normalization— lists are kept in normalized form; rule results
+///                       are normalized before insertion;
+///  * AX4 Transitivity — Floyd–Warshall closure;
+///  * AX5 Suffix       — `X → Y  ⟹  X ↔ YX` (plus the sound variant
+///                       `X ↔ XY`);
+///  * Replace (derived)— `X ↔ Y  ⟹  XZ → YZ` (equivalent lists induce the
+///                       same weak order, so a common suffix breaks ties
+///                       identically).
+///
+/// The closure is *sound* (everything derived is implied by J_OD). It is
+/// used by tests to validate the paper's minimality theorems and by the
+/// result-expansion step to recognize redundant dependencies. Note: general
+/// OD inference is co-NP-complete [7]; this bounded engine is only suitable
+/// for universes of ≲6 attributes.
+class OdInferenceEngine {
+ public:
+  /// `universe`: attribute ids; `max_list_len`: longest list materialized.
+  OdInferenceEngine(std::vector<ColumnId> universe, std::size_t max_list_len);
+
+  /// Declares `od` as given. Sides are normalized; sides longer than
+  /// `max_list_len` after normalization are ignored (returns false).
+  bool AddOd(const OrderDependency& od);
+
+  /// Declares `X ~ Y`, i.e. both `XY → YX` and `YX → XY`.
+  bool AddOcd(const OrderCompatibility& ocd);
+
+  /// Runs the rules to fixpoint. Call after all Add*; may be called again
+  /// after adding more facts.
+  void ComputeClosure();
+
+  /// True when `od` follows from the added facts (after ComputeClosure()).
+  bool Implies(const OrderDependency& od) const;
+
+  /// True when both directions of the OCD's defining equivalence follow.
+  bool ImpliesOcd(const OrderCompatibility& ocd) const;
+
+  /// True when `X ↔ Y` follows.
+  bool ImpliesEquivalence(const AttributeList& x, const AttributeList& y) const;
+
+  /// Every implied OD between materialized lists (excluding trivially
+  /// reflexive `X → prefix(X)` pairs when `skip_reflexive`).
+  std::vector<OrderDependency> AllImpliedOds(bool skip_reflexive) const;
+
+  std::size_t num_lists() const { return lists_.size(); }
+
+ private:
+  int ListId(const AttributeList& list) const;
+  bool Get(std::size_t i, std::size_t j) const { return implies_[i][j]; }
+  bool Set(std::size_t i, std::size_t j);
+
+  std::vector<ColumnId> universe_;
+  std::size_t max_list_len_;
+  std::vector<AttributeList> lists_;
+  std::unordered_map<AttributeList, int, AttributeListHash> list_ids_;
+  std::vector<std::vector<bool>> implies_;
+  bool dirty_ = false;
+};
+
+}  // namespace ocdd::od
+
+#endif  // OCDD_OD_INFERENCE_H_

@@ -1,0 +1,62 @@
+#include "optimizer/index_advisor.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocdd::opt {
+
+std::vector<IndexRecommendation> AdviseIndexes(
+    const OdKnowledgeBase& kb,
+    const std::vector<std::vector<ColumnId>>& workload) {
+  // 1. Simplify every clause.
+  std::vector<std::vector<ColumnId>> simplified;
+  simplified.reserve(workload.size());
+  for (const std::vector<ColumnId>& clause : workload) {
+    simplified.push_back(kb.SimplifyOrderBy(clause).columns);
+  }
+
+  // 2. Consider clauses longest-first (ties broken by column ids, then by
+  //    workload position) so broad indexes get kept before narrow ones.
+  std::vector<std::size_t> order(workload.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (simplified[a].size() != simplified[b].size()) {
+                       return simplified[a].size() > simplified[b].size();
+                     }
+                     return simplified[a] < simplified[b];
+                   });
+
+  std::vector<IndexRecommendation> kept;
+  for (std::size_t w : order) {
+    const std::vector<ColumnId>& clause = simplified[w];
+    if (clause.empty()) {
+      // Fully redundant clause (all constants/duplicates): any index — or
+      // none — serves it; attach to the first kept index if one exists.
+      if (!kept.empty()) kept.front().serves.push_back(w);
+      continue;
+    }
+    bool served = false;
+    for (IndexRecommendation& idx : kept) {
+      if (kb.Orders(AttributeList(idx.columns), AttributeList(clause))) {
+        idx.serves.push_back(w);
+        served = true;
+        break;
+      }
+    }
+    if (!served) {
+      kept.push_back(IndexRecommendation{clause, {w}});
+    }
+  }
+
+  for (IndexRecommendation& idx : kept) {
+    std::sort(idx.serves.begin(), idx.serves.end());
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const IndexRecommendation& a, const IndexRecommendation& b) {
+              return a.columns < b.columns;
+            });
+  return kept;
+}
+
+}  // namespace ocdd::opt

@@ -1,0 +1,44 @@
+#ifndef OCDD_OPTIMIZER_INDEX_ADVISOR_H_
+#define OCDD_OPTIMIZER_INDEX_ADVISOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "optimizer/order_by_rewrite.h"
+
+namespace ocdd::opt {
+
+/// One recommended composite index.
+struct IndexRecommendation {
+  /// Key columns of the composite index, in order.
+  std::vector<ColumnId> columns;
+  /// Indices (into the input workload) of the ORDER BY clauses this index
+  /// satisfies — including via discovered order dependencies.
+  std::vector<std::size_t> serves;
+
+  friend bool operator==(const IndexRecommendation& a,
+                         const IndexRecommendation& b) {
+    return a.columns == b.columns && a.serves == b.serves;
+  }
+};
+
+/// Index selection driven by order dependencies — the second §1 application
+/// ("order dependencies can be exploited ... for selecting indexes").
+///
+/// Given a workload of ORDER BY clauses, the advisor:
+///  1. simplifies each clause with the knowledge base (dropping columns the
+///     kept prefix already orders);
+///  2. greedily keeps one index per group of clauses that order each other:
+///     longer simplified clauses are considered first, and a clause whose
+///     ordering an already-kept index derives (`kb.Orders(index, clause)`)
+///     is served by that index instead of getting its own.
+///
+/// The result is deterministic; it is a greedy cover, not a provably
+/// minimum one (minimum index selection is NP-hard already without ODs).
+std::vector<IndexRecommendation> AdviseIndexes(
+    const OdKnowledgeBase& kb,
+    const std::vector<std::vector<ColumnId>>& workload);
+
+}  // namespace ocdd::opt
+
+#endif  // OCDD_OPTIMIZER_INDEX_ADVISOR_H_

@@ -1,0 +1,124 @@
+#include "optimizer/order_by_rewrite.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace ocdd::opt {
+
+const char* RewriteReasonName(RewriteReason r) {
+  switch (r) {
+    case RewriteReason::kKept:
+      return "kept";
+    case RewriteReason::kDuplicate:
+      return "duplicate";
+    case RewriteReason::kConstant:
+      return "constant";
+    case RewriteReason::kOrderedByPrefix:
+      return "ordered-by-prefix";
+  }
+  return "unknown";
+}
+
+void OdKnowledgeBase::AddOd(const od::OrderDependency& od) {
+  ods_.push_back(od);
+}
+
+void OdKnowledgeBase::AddOcd(const od::OrderCompatibility& ocd) {
+  AttributeList xy = ocd.lhs.Concat(ocd.rhs);
+  AttributeList yx = ocd.rhs.Concat(ocd.lhs);
+  ods_.push_back(od::OrderDependency{xy, yx});
+  ods_.push_back(od::OrderDependency{yx, xy});
+}
+
+void OdKnowledgeBase::AddEquivalenceClass(const std::vector<ColumnId>& cls) {
+  if (cls.size() >= 2) classes_.push_back(cls);
+}
+
+void OdKnowledgeBase::AddConstant(ColumnId c) { constants_.push_back(c); }
+
+ColumnId OdKnowledgeBase::Rep(ColumnId c) const {
+  for (const std::vector<ColumnId>& cls : classes_) {
+    for (ColumnId member : cls) {
+      if (member == c) return cls.front();
+    }
+  }
+  return c;
+}
+
+AttributeList OdKnowledgeBase::RepList(const AttributeList& l) const {
+  std::vector<ColumnId> out;
+  out.reserve(l.size());
+  for (std::size_t i = 0; i < l.size(); ++i) out.push_back(Rep(l[i]));
+  return AttributeList(std::move(out)).Normalized();
+}
+
+bool OdKnowledgeBase::Orders(const AttributeList& lhs,
+                             const AttributeList& rhs) const {
+  // Constants are ordered by anything; strip them from the goal first.
+  std::vector<ColumnId> goal_attrs;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    ColumnId r = Rep(rhs[i]);
+    if (std::find(constants_.begin(), constants_.end(), rhs[i]) !=
+        constants_.end()) {
+      continue;
+    }
+    goal_attrs.push_back(r);
+  }
+  AttributeList goal = AttributeList(std::move(goal_attrs)).Normalized();
+  if (goal.empty()) return true;
+  AttributeList start = RepList(lhs);
+
+  // BFS over attribute lists. Edges out of node N:
+  //  * every proper prefix of N            (Reflexivity: N → prefix)
+  //  * RHS of any stored OD whose LHS is a prefix of N
+  //    (N → LHS by reflexivity, LHS → RHS stored, transitivity chains).
+  std::set<AttributeList> visited;
+  std::deque<AttributeList> frontier;
+  auto push = [&](const AttributeList& n) {
+    if (visited.insert(n).second) frontier.push_back(n);
+  };
+  push(start);
+  while (!frontier.empty()) {
+    AttributeList node = std::move(frontier.front());
+    frontier.pop_front();
+    if (node.HasPrefix(goal)) return true;
+    for (std::size_t len = 1; len < node.size(); ++len) {
+      push(AttributeList(std::vector<ColumnId>(node.ids().begin(),
+                                               node.ids().begin() + len)));
+    }
+    for (const od::OrderDependency& od : ods_) {
+      AttributeList od_lhs = RepList(od.lhs);
+      if (node.HasPrefix(od_lhs)) push(RepList(od.rhs));
+    }
+  }
+  return false;
+}
+
+RewriteResult OdKnowledgeBase::SimplifyOrderBy(
+    const std::vector<ColumnId>& clause) const {
+  RewriteResult result;
+  for (ColumnId c : clause) {
+    RewriteStep step;
+    step.column = c;
+    if (std::find(result.columns.begin(), result.columns.end(), c) !=
+        result.columns.end()) {
+      step.reason = RewriteReason::kDuplicate;
+    } else if (std::find(constants_.begin(), constants_.end(), c) !=
+               constants_.end()) {
+      step.reason = RewriteReason::kConstant;
+    } else if (!result.columns.empty() &&
+               Orders(AttributeList(result.columns), AttributeList{c})) {
+      step.reason = RewriteReason::kOrderedByPrefix;
+      step.justification = AttributeList(result.columns).ToString() +
+                           " -> [" + std::to_string(c) + "]";
+    } else {
+      step.reason = RewriteReason::kKept;
+      result.columns.push_back(c);
+    }
+    result.steps.push_back(std::move(step));
+  }
+  return result;
+}
+
+}  // namespace ocdd::opt

@@ -1,0 +1,87 @@
+#ifndef OCDD_OPTIMIZER_ORDER_BY_REWRITE_H_
+#define OCDD_OPTIMIZER_ORDER_BY_REWRITE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "od/attribute_list.h"
+#include "od/dependency.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::opt {
+
+using od::AttributeList;
+using rel::ColumnId;
+
+/// Why a column was kept in or dropped from an ORDER BY clause.
+enum class RewriteReason {
+  kKept,             ///< contributes ordering information
+  kDuplicate,        ///< already appears earlier in the clause
+  kConstant,         ///< constant column — ordered by anything
+  kOrderedByPrefix,  ///< the kept prefix already orders this column
+};
+
+const char* RewriteReasonName(RewriteReason r);
+
+/// One per input ORDER BY column, in clause order.
+struct RewriteStep {
+  ColumnId column = 0;
+  RewriteReason reason = RewriteReason::kKept;
+  /// For kOrderedByPrefix: a rendering of the derivation (diagnostics).
+  std::string justification;
+};
+
+struct RewriteResult {
+  /// The simplified clause (a subsequence of the input).
+  std::vector<ColumnId> columns;
+  std::vector<RewriteStep> steps;
+};
+
+/// A knowledge base of discovered dependencies used to rewrite SQL
+/// `ORDER BY` clauses — the paper's §1 application: given
+/// `income → bracket` and `income ↔ tax`,
+/// `ORDER BY income, bracket, tax` simplifies to `ORDER BY income`.
+///
+/// `Orders()` is a *sound but incomplete* derivation procedure (general OD
+/// inference is co-NP-complete [7]): it searches the graph whose nodes are
+/// attribute lists and whose edges are (i) list → each of its prefixes
+/// (Reflexivity) and (ii) stored ODs applied to any node they prefix
+/// (Reflexivity + Transitivity). Equivalence classes are handled by
+/// rewriting every attribute to its class representative first.
+class OdKnowledgeBase {
+ public:
+  /// Registers a discovered OD `lhs → rhs`.
+  void AddOd(const od::OrderDependency& od);
+
+  /// Registers an OCD `X ~ Y` as its defining pair of ODs
+  /// (`XY → YX`, `YX → XY`).
+  void AddOcd(const od::OrderCompatibility& ocd);
+
+  /// Declares the columns of `cls` mutually order-equivalent
+  /// (e.g. from column reduction); the first member is the representative.
+  void AddEquivalenceClass(const std::vector<ColumnId>& cls);
+
+  /// Declares `c` constant (ordered by everything).
+  void AddConstant(ColumnId c);
+
+  /// True when the knowledge base can derive that sorting by `lhs` implies
+  /// the data is sorted by `rhs`.
+  bool Orders(const AttributeList& lhs, const AttributeList& rhs) const;
+
+  /// Left-to-right clause simplification: a column is dropped when it is a
+  /// duplicate, constant, or already ordered by the kept prefix.
+  RewriteResult SimplifyOrderBy(const std::vector<ColumnId>& clause) const;
+
+ private:
+  ColumnId Rep(ColumnId c) const;
+  AttributeList RepList(const AttributeList& l) const;
+
+  std::vector<od::OrderDependency> ods_;
+  std::vector<std::vector<ColumnId>> classes_;
+  std::vector<ColumnId> constants_;
+};
+
+}  // namespace ocdd::opt
+
+#endif  // OCDD_OPTIMIZER_ORDER_BY_REWRITE_H_

@@ -1,0 +1,202 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ocdd::rel {
+
+namespace {
+
+/// Splits raw CSV text into records of fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> Tokenize(const std::string& text,
+                                                       char sep) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_char_in_record = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_char_in_record = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      any_char_in_record = true;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      any_char_in_record = true;
+    } else if (c == sep) {
+      end_field();
+      any_char_in_record = true;
+    } else if (c == '\n') {
+      // Trailing newline after the last record must not create an empty row.
+      if (any_char_in_record || !record.empty() || !field.empty()) {
+        end_record();
+      }
+    } else if (c == '\r') {
+      // Swallow the CR of CRLF; a bare CR inside a field is kept.
+      if (i + 1 < text.size() && text[i + 1] == '\n') continue;
+      field.push_back(c);
+      any_char_in_record = true;
+    } else {
+      field.push_back(c);
+      any_char_in_record = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field at end of input");
+  }
+  if (any_char_in_record || !record.empty() || !field.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options) {
+  OCDD_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                        Tokenize(text, options.separator));
+  if (records.empty()) {
+    return Status::ParseError("empty CSV input");
+  }
+
+  std::vector<std::string> names;
+  std::size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (std::size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back("col" + std::to_string(i));
+    }
+  }
+  std::size_t width = names.size();
+  for (std::size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::ParseError(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(width));
+    }
+  }
+
+  // Per-column type inference over the data rows.
+  std::vector<Attribute> attrs(width);
+  std::vector<std::string> fields;
+  fields.reserve(records.size());
+  for (std::size_t c = 0; c < width; ++c) {
+    fields.clear();
+    for (std::size_t r = first_data; r < records.size(); ++r) {
+      fields.push_back(records[r][c]);
+    }
+    attrs[c].name = names[c];
+    attrs[c].type = InferColumnType(fields, options.type_inference);
+  }
+
+  std::vector<DataType> types(width);
+  for (std::size_t c = 0; c < width; ++c) types[c] = attrs[c].type;
+
+  Relation::Builder builder{Schema(std::move(attrs))};
+  std::vector<Value> row(width);
+  for (std::size_t r = first_data; r < records.size(); ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      row[c] = ParseField(records[r][c], types[c], options.type_inference);
+    }
+    OCDD_RETURN_IF_ERROR(builder.AddRow(row));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char sep) {
+  for (char c : s) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string& out, const std::string& s, char sep) {
+  if (!NeedsQuoting(s, sep)) {
+    out += s;
+    return;
+  }
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Relation& relation, char separator) {
+  std::string out;
+  const Schema& schema = relation.schema();
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(separator);
+    AppendField(out, schema.attribute(c).name, separator);
+  }
+  out.push_back('\n');
+  for (std::size_t r = 0; r < relation.num_rows(); ++r) {
+    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out.push_back(separator);
+      AppendField(out, relation.ValueAt(r, c).ToString(), separator);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    char separator) {
+  std::ofstream outf(path, std::ios::binary);
+  if (!outf) {
+    return Status::InvalidArgument("cannot create file: " + path);
+  }
+  outf << WriteCsvString(relation, separator);
+  if (!outf) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ocdd::rel

@@ -1,0 +1,47 @@
+#ifndef OCDD_RELATION_CSV_H_
+#define OCDD_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+#include "relation/type_inference.h"
+
+namespace ocdd::rel {
+
+/// CSV parsing options (RFC-4180-style quoting, configurable separator).
+struct CsvOptions {
+  char separator = ',';
+  /// When true the first record provides column names; otherwise columns are
+  /// named "col0", "col1", ...
+  bool has_header = true;
+  TypeInferenceOptions type_inference;
+};
+
+/// Parses CSV text into a typed relation.
+///
+/// Quoting: fields may be enclosed in double quotes; quoted fields may
+/// contain the separator, newlines, and doubled quotes (`""` -> `"`).
+/// Records may end in LF or CRLF. Ragged rows yield a ParseError.
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options = {});
+
+/// Reads and parses a CSV file from disk.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Serializes a relation as CSV (header + rows). Fields containing the
+/// separator, quotes, or newlines are quoted; NULLs are written as empty
+/// fields.
+std::string WriteCsvString(const Relation& relation, char separator = ',');
+
+/// Writes `relation` to `path`; returns an error if the file cannot be
+/// created.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    char separator = ',');
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_CSV_H_

@@ -1,0 +1,101 @@
+#include "relation/relation.h"
+
+#include <utility>
+
+namespace ocdd::rel {
+
+Relation::Builder::Builder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (std::size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.attribute(i).type);
+  }
+}
+
+Status Relation::Builder::AddRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != schema width " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    DataType t = schema_.attribute(i).type;
+    bool ok = (t == DataType::kInt && v.is_int()) ||
+              (t == DataType::kDouble && (v.is_double() || v.is_int())) ||
+              (t == DataType::kString && v.is_string());
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema_.attribute(i).name + "' at row " +
+                                     std::to_string(num_rows_));
+    }
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Relation Relation::Builder::Build() && {
+  return Relation(std::move(schema_), std::move(columns_), num_rows_);
+}
+
+Result<Relation> Relation::FromColumns(Schema schema,
+                                       std::vector<Column> columns) {
+  if (columns.size() != schema.num_columns()) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  std::size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].size() != rows) {
+      return Status::InvalidArgument("ragged columns: column " +
+                                     std::to_string(i) + " has " +
+                                     std::to_string(columns[i].size()) +
+                                     " rows, expected " + std::to_string(rows));
+    }
+    if (columns[i].type() != schema.attribute(i).type) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " type does not match schema");
+    }
+  }
+  return Relation(std::move(schema), std::move(columns), rows);
+}
+
+Result<Relation> Relation::ProjectColumns(
+    const std::vector<ColumnId>& columns) const {
+  std::vector<Attribute> attrs;
+  std::vector<Column> cols;
+  attrs.reserve(columns.size());
+  cols.reserve(columns.size());
+  for (ColumnId id : columns) {
+    if (id >= num_columns()) {
+      return Status::InvalidArgument("column id " + std::to_string(id) +
+                                     " out of range");
+    }
+    attrs.push_back(schema_.attribute(id));
+    cols.push_back(columns_[id]);
+  }
+  return Relation(Schema(std::move(attrs)), std::move(cols), num_rows_);
+}
+
+Relation Relation::HeadRows(std::size_t n) const {
+  if (n >= num_rows_) return *this;
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  return SelectRows(rows);
+}
+
+Relation Relation::SelectRows(const std::vector<std::size_t>& rows) const {
+  Builder b(schema_);
+  std::vector<Value> row(num_columns());
+  for (std::size_t r : rows) {
+    for (std::size_t c = 0; c < num_columns(); ++c) {
+      row[c] = columns_[c].ValueAt(r);
+    }
+    // Types are preserved by construction, so AddRow cannot fail here.
+    Status s = b.AddRow(row);
+    (void)s;
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace ocdd::rel

@@ -1,0 +1,86 @@
+#ifndef OCDD_RELATION_RELATION_H_
+#define OCDD_RELATION_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/column.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace ocdd::rel {
+
+/// Index of a column within a relation's schema.
+using ColumnId = std::size_t;
+
+/// An immutable in-memory table: a schema plus columnar data.
+///
+/// `Relation` is the input type of every discovery algorithm in this
+/// library. Construction goes through `Builder` (row-at-a-time, used by the
+/// CSV reader and the dataset generators) or `FromColumns`.
+class Relation {
+ public:
+  /// Incremental row-oriented construction.
+  class Builder {
+   public:
+    explicit Builder(Schema schema);
+
+    /// Appends one row; `row.size()` must equal the schema width and every
+    /// cell must be NULL or match its column type. Returns InvalidArgument
+    /// otherwise.
+    Status AddRow(const std::vector<Value>& row);
+
+    /// Finalizes; the builder must not be reused afterwards.
+    Relation Build() &&;
+
+   private:
+    Schema schema_;
+    std::vector<Column> columns_;
+    std::size_t num_rows_ = 0;
+  };
+
+  Relation() = default;
+
+  /// Wraps pre-built columns; all columns must have equal length and types
+  /// matching the schema.
+  static Result<Relation> FromColumns(Schema schema,
+                                      std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return schema_.num_columns(); }
+  const Column& column(ColumnId id) const { return columns_[id]; }
+
+  /// Cell accessor for reporting paths (slow; hot loops use CodedRelation).
+  Value ValueAt(std::size_t row, ColumnId col) const {
+    return columns_[col].ValueAt(row);
+  }
+
+  /// Returns a relation restricted to `columns`, in the given order.
+  /// Out-of-range ids yield InvalidArgument.
+  Result<Relation> ProjectColumns(const std::vector<ColumnId>& columns) const;
+
+  /// Returns a relation containing the first `n` rows (n may exceed
+  /// num_rows(), yielding a copy). Used by the row-scalability benchmarks.
+  Relation HeadRows(std::size_t n) const;
+
+  /// Returns a relation with the given row subset, in the given order.
+  Relation SelectRows(const std::vector<std::size_t>& rows) const;
+
+ private:
+  Relation(Schema schema, std::vector<Column> columns, std::size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_RELATION_H_

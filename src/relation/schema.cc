@@ -1,0 +1,28 @@
+#include "relation/schema.h"
+
+namespace ocdd::rel {
+
+std::optional<std::size_t> Schema::FindColumn(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::AddAttribute(Attribute a) {
+  attributes_.push_back(std::move(a));
+  return attributes_.size() - 1;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += DataTypeName(attributes_[i].type);
+  }
+  return out;
+}
+
+}  // namespace ocdd::rel

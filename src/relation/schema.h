@@ -1,0 +1,49 @@
+#ifndef OCDD_RELATION_SCHEMA_H_
+#define OCDD_RELATION_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace ocdd::rel {
+
+/// An attribute (column) descriptor: name and inferred type.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// Ordered list of attributes of a relation.
+///
+/// Attribute positions are the canonical identifiers used throughout the
+/// library (`ColumnId` = index into the schema); names are for I/O and
+/// reporting.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::size_t num_columns() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Position of the attribute named `name`, if present.
+  std::optional<std::size_t> FindColumn(const std::string& name) const;
+
+  /// Appends an attribute and returns its position.
+  std::size_t AddAttribute(Attribute a);
+
+  /// "name:type, name:type, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_SCHEMA_H_

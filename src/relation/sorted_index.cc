@@ -1,0 +1,40 @@
+#include "relation/sorted_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocdd::rel {
+
+int CompareRowsOnList(const CodedRelation& relation,
+                      const std::vector<ColumnId>& attrs, std::uint32_t row_a,
+                      std::uint32_t row_b) {
+  for (ColumnId col : attrs) {
+    std::int32_t a = relation.code(row_a, col);
+    std::int32_t b = relation.code(row_b, col);
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> SortRowsByList(const CodedRelation& relation,
+                                          const std::vector<ColumnId>& attrs) {
+  std::vector<std::uint32_t> index(relation.num_rows());
+  std::iota(index.begin(), index.end(), 0);
+  std::sort(index.begin(), index.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return CompareRowsOnList(relation, attrs, a, b) < 0;
+            });
+  return index;
+}
+
+std::vector<std::uint32_t> StableSortRowsByList(
+    const CodedRelation& relation, const std::vector<ColumnId>& attrs,
+    std::vector<std::uint32_t> base) {
+  std::stable_sort(base.begin(), base.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return CompareRowsOnList(relation, attrs, a, b) < 0;
+                   });
+  return base;
+}
+
+}  // namespace ocdd::rel

@@ -1,0 +1,33 @@
+#ifndef OCDD_RELATION_SORTED_INDEX_H_
+#define OCDD_RELATION_SORTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/coded_relation.h"
+
+namespace ocdd::rel {
+
+/// Lexicographic three-way comparison of two rows over an attribute list
+/// (paper Definition 2.1, the `⪯` operator). Returns <0, 0, >0.
+int CompareRowsOnList(const CodedRelation& relation,
+                      const std::vector<ColumnId>& attrs, std::uint32_t row_a,
+                      std::uint32_t row_b);
+
+/// Returns a permutation of row ids sorted lexicographically by `attrs`
+/// (ascending, NULLS FIRST by construction of the codes). This is the
+/// `generateIndex()` primitive of Algorithm 2.
+std::vector<std::uint32_t> SortRowsByList(const CodedRelation& relation,
+                                          const std::vector<ColumnId>& attrs);
+
+/// Like `SortRowsByList` but reorders `base` (a previously computed index
+/// whose order is used as the tie-break via stable sort). Sorting an index
+/// that is already ordered by a prefix of `attrs` is faster in practice and
+/// keeps results deterministic.
+std::vector<std::uint32_t> StableSortRowsByList(
+    const CodedRelation& relation, const std::vector<ColumnId>& attrs,
+    std::vector<std::uint32_t> base);
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_SORTED_INDEX_H_

@@ -1,0 +1,58 @@
+#include "relation/type_inference.h"
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace ocdd::rel {
+
+bool IsNullMarker(const std::string& field, const TypeInferenceOptions& opts) {
+  std::string_view stripped = StripAsciiWhitespace(field);
+  for (const std::string& marker : opts.null_markers) {
+    if (stripped == marker) return true;
+  }
+  return false;
+}
+
+DataType InferColumnType(const std::vector<std::string>& fields,
+                         const TypeInferenceOptions& opts) {
+  if (opts.force_lexicographic) return DataType::kString;
+  bool all_int = true;
+  bool all_double = true;
+  bool any_value = false;
+  for (const std::string& f : fields) {
+    if (IsNullMarker(f, opts)) continue;
+    any_value = true;
+    std::string_view stripped = StripAsciiWhitespace(f);
+    if (all_int && !ParseInt64(stripped).has_value()) all_int = false;
+    if (!all_int && all_double && !ParseDouble(stripped).has_value()) {
+      all_double = false;
+    }
+    if (!all_int && !all_double) return DataType::kString;
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt;
+  if (all_double) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Value ParseField(const std::string& field, DataType type,
+                 const TypeInferenceOptions& opts) {
+  if (IsNullMarker(field, opts)) return Value::Null();
+  std::string_view stripped = StripAsciiWhitespace(field);
+  switch (type) {
+    case DataType::kInt: {
+      auto v = ParseInt64(stripped);
+      return v ? Value::Int(*v) : Value::Null();
+    }
+    case DataType::kDouble: {
+      auto v = ParseDouble(stripped);
+      return v ? Value::Double(*v) : Value::Null();
+    }
+    case DataType::kString:
+      return Value::String(std::string(field));
+  }
+  return Value::Null();
+}
+
+}  // namespace ocdd::rel

@@ -1,0 +1,43 @@
+#ifndef OCDD_RELATION_TYPE_INFERENCE_H_
+#define OCDD_RELATION_TYPE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace ocdd::rel {
+
+/// Options controlling how raw text fields become typed values.
+struct TypeInferenceOptions {
+  /// Strings that denote NULL (compared after whitespace stripping).
+  /// The defaults match the HPI profiling datasets ("" and "?") plus the
+  /// SQL spelling.
+  std::vector<std::string> null_markers = {"", "?", "NULL", "null"};
+
+  /// When true, skip inference entirely and treat every column as kString.
+  /// This mirrors FASTOD's behaviour as described in the paper (§5.2.2),
+  /// where all columns compare lexicographically.
+  bool force_lexicographic = false;
+};
+
+/// Returns true if `field` denotes NULL under `opts`.
+bool IsNullMarker(const std::string& field, const TypeInferenceOptions& opts);
+
+/// Infers the most specific type for a column of raw text fields:
+/// kInt if every non-null field parses as int64, else kDouble if every
+/// non-null field parses as double, else kString. An all-NULL column is
+/// kString.
+DataType InferColumnType(const std::vector<std::string>& fields,
+                         const TypeInferenceOptions& opts);
+
+/// Converts one raw field to a typed value; `type` should come from
+/// `InferColumnType` over the column (a non-conforming field falls back to
+/// NULL for kInt/kDouble, which cannot happen when `type` was inferred from
+/// this column).
+Value ParseField(const std::string& field, DataType type,
+                 const TypeInferenceOptions& opts);
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_TYPE_INFERENCE_H_

@@ -1,0 +1,75 @@
+#include "relation/value.h"
+
+#include <cstdio>
+
+namespace ocdd::rel {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(int_value());
+  if (is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", double_value());
+    return buf;
+  }
+  return string_value();
+}
+
+namespace {
+
+// Rank of the alternative for cross-kind comparisons: NULL < numbers < strings.
+int KindRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_string()) return 2;
+  return 1;
+}
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  int ka = KindRank(a);
+  int kb = KindRank(b);
+  if (ka != kb) return ka < kb ? -1 : 1;
+  switch (ka) {
+    case 0:  // both NULL: SQL `SET ANSI_NULLS ON` semantics — NULL = NULL.
+      return 0;
+    case 1: {  // numeric
+      double da = a.is_int() ? static_cast<double>(a.int_value())
+                             : a.double_value();
+      double db = b.is_int() ? static_cast<double>(b.int_value())
+                             : b.double_value();
+      if (a.is_int() && b.is_int()) {
+        std::int64_t ia = a.int_value();
+        std::int64_t ib = b.int_value();
+        return ia < ib ? -1 : (ia > ib ? 1 : 0);
+      }
+      return CompareDoubles(da, db);
+    }
+    default: {  // strings
+      const std::string& sa = a.string_value();
+      const std::string& sb = b.string_value();
+      int c = sa.compare(sb);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace ocdd::rel

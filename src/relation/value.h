@@ -1,0 +1,75 @@
+#ifndef OCDD_RELATION_VALUE_H_
+#define OCDD_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ocdd::rel {
+
+/// Logical type of a column after type inference.
+///
+/// Columns are homogeneously typed; per-cell NULLs are tracked separately by
+/// the column's null mask (see column.h). The discovery algorithms follow the
+/// paper's semantics (§4.3): `NULL = NULL` and `NULLS FIRST` — both are
+/// realized once during dictionary encoding, after which NULLs need no
+/// special-casing anywhere.
+enum class DataType {
+  kInt,     ///< 64-bit signed integer, natural ordering.
+  kDouble,  ///< IEEE double, natural ordering.
+  kString,  ///< UTF-8 byte string, lexicographic (byte-wise) ordering.
+};
+
+const char* DataTypeName(DataType t);
+
+/// A single cell value: NULL, integer, double, or string.
+///
+/// `Value` is the row-oriented interchange type used at relation-building
+/// and result-reporting boundaries; the hot discovery loops never touch it
+/// (they operate on integer codes, see coded_relation.h).
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : repr_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(std::int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  std::int64_t int_value() const { return std::get<std::int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Renders the value; NULL renders as the empty string.
+  std::string ToString() const;
+
+  /// Total order with NULL first and NULL == NULL; numeric types compare
+  /// numerically across int/double, strings byte-wise. Comparing a number
+  /// with a string orders the number first (deterministic but should not
+  /// occur inside a typed column).
+  ///
+  /// Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+ private:
+  using Repr = std::variant<std::monostate, std::int64_t, double, std::string>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_VALUE_H_

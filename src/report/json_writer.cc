@@ -1,0 +1,241 @@
+#include "report/json_writer.h"
+
+#include <cstdio>
+
+namespace ocdd::report {
+
+namespace {
+
+using od::AttributeList;
+using rel::CodedRelation;
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void AppendName(std::string& out, const CodedRelation& r,
+                rel::ColumnId col) {
+  out += '"';
+  out += JsonEscape(r.column_name(col));
+  out += '"';
+}
+
+void AppendNameArray(std::string& out, const CodedRelation& r,
+                     const std::vector<rel::ColumnId>& cols) {
+  out += '[';
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendName(out, r, cols[i]);
+  }
+  out += ']';
+}
+
+void AppendList(std::string& out, const CodedRelation& r,
+                const AttributeList& list) {
+  AppendNameArray(out, r, list.ids());
+}
+
+void AppendPair(std::string& out, const CodedRelation& r,
+                const AttributeList& lhs, const AttributeList& rhs) {
+  out += "{\"lhs\":";
+  AppendList(out, r, lhs);
+  out += ",\"rhs\":";
+  AppendList(out, r, rhs);
+  out += '}';
+}
+
+void AppendHeader(std::string& out, const char* algorithm,
+                  const CodedRelation& r, bool completed,
+                  std::uint64_t checks, double elapsed) {
+  out += "{\"algorithm\":\"";
+  out += algorithm;
+  out += "\",\"num_rows\":";
+  out += std::to_string(r.num_rows());
+  out += ",\"num_columns\":";
+  out += std::to_string(r.num_columns());
+  out += ",\"completed\":";
+  out += completed ? "true" : "false";
+  out += ",\"checks\":";
+  out += std::to_string(checks);
+  out += ",\"elapsed_seconds\":";
+  AppendDouble(out, elapsed);
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const core::OcdDiscoverResult& result,
+                   const CodedRelation& relation) {
+  std::string out;
+  AppendHeader(out, "ocddiscover", relation, result.completed,
+               result.num_checks, result.elapsed_seconds);
+  out += ",\"reduction\":{\"constants\":";
+  AppendNameArray(out, relation, result.reduction.constant_columns);
+  out += ",\"equivalence_classes\":[";
+  for (std::size_t i = 0; i < result.reduction.equivalence_classes.size();
+       ++i) {
+    if (i > 0) out += ',';
+    AppendNameArray(out, relation, result.reduction.equivalence_classes[i]);
+  }
+  out += "]},\"ocds\":[";
+  for (std::size_t i = 0; i < result.ocds.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPair(out, relation, result.ocds[i].lhs, result.ocds[i].rhs);
+  }
+  out += "],\"ods\":[";
+  for (std::size_t i = 0; i < result.ods.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPair(out, relation, result.ods[i].lhs, result.ods[i].rhs);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const algo::TaneResult& result,
+                   const CodedRelation& relation) {
+  std::string out;
+  AppendHeader(out, "tane", relation, result.completed, result.num_checks,
+               result.elapsed_seconds);
+  out += ",\"fds\":[";
+  for (std::size_t i = 0; i < result.fds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"lhs\":";
+    AppendNameArray(out, relation, result.fds[i].lhs);
+    out += ",\"rhs\":";
+    AppendName(out, relation, result.fds[i].rhs);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const algo::OrderDiscoverResult& result,
+                   const CodedRelation& relation) {
+  std::string out;
+  AppendHeader(out, "order", relation, result.completed, result.num_checks,
+               result.elapsed_seconds);
+  out += ",\"ods\":[";
+  for (std::size_t i = 0; i < result.ods.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPair(out, relation, result.ods[i].lhs, result.ods[i].rhs);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const algo::FastodResult& result,
+                   const CodedRelation& relation) {
+  std::string out;
+  AppendHeader(out, "fastod", relation, result.completed, result.num_checks,
+               result.elapsed_seconds);
+  out += ",\"canonical_ods\":[";
+  for (std::size_t i = 0; i < result.ods.size(); ++i) {
+    const od::CanonicalOd& od = result.ods[i];
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"";
+    out += od.kind == od::CanonicalOd::Kind::kConstancy ? "constancy"
+                                                        : "compatible";
+    out += "\",\"context\":";
+    AppendNameArray(out, relation, od.context);
+    if (od.kind == od::CanonicalOd::Kind::kOrderCompatible) {
+      out += ",\"left\":";
+      AppendName(out, relation, od.left);
+    }
+    out += ",\"right\":";
+    AppendName(out, relation, od.right);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const algo::FastodBidResult& result,
+                   const CodedRelation& relation) {
+  std::string out;
+  AppendHeader(out, "fastod_bid", relation, result.completed,
+               result.num_checks, result.elapsed_seconds);
+  out += ",\"canonical_ods\":[";
+  for (std::size_t i = 0; i < result.ods.size(); ++i) {
+    const algo::BidCanonicalOd& od = result.ods[i];
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"";
+    switch (od.kind) {
+      case algo::BidCanonicalOd::Kind::kConstancy:
+        out += "constancy";
+        break;
+      case algo::BidCanonicalOd::Kind::kConcordant:
+        out += "concordant";
+        break;
+      case algo::BidCanonicalOd::Kind::kAntiConcordant:
+        out += "anti_concordant";
+        break;
+    }
+    out += "\",\"context\":";
+    AppendNameArray(out, relation, od.context);
+    if (od.kind != algo::BidCanonicalOd::Kind::kConstancy) {
+      out += ",\"left\":";
+      AppendName(out, relation, od.left);
+    }
+    out += ",\"right\":";
+    AppendName(out, relation, od.right);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJson(const std::vector<core::ApproximateOcd>& pairs,
+                   const CodedRelation& relation) {
+  std::string out = "{\"algorithm\":\"approx_ocd\",\"pairs\":[";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"lhs\":";
+    AppendList(out, relation, pairs[i].ocd.lhs);
+    out += ",\"rhs\":";
+    AppendList(out, relation, pairs[i].ocd.rhs);
+    out += ",\"removals\":";
+    out += std::to_string(pairs[i].error.removals);
+    out += ",\"ratio\":";
+    AppendDouble(out, pairs[i].error.ratio);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ocdd::report

@@ -1,0 +1,62 @@
+#ifndef OCDD_REPORT_JSON_WRITER_H_
+#define OCDD_REPORT_JSON_WRITER_H_
+
+#include <string>
+
+#include "algo/fastod/fastod.h"
+#include "algo/fastod/fastod_bid.h"
+#include "algo/fd/tane.h"
+#include "algo/order/order_discover.h"
+#include "core/approximate.h"
+#include "core/ocd_discover.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::report {
+
+/// JSON serialization of discovery results, for downstream tooling
+/// (dashboards, Metanome-style result stores, diffing between profiling
+/// runs). The writer emits a stable, documented schema; attribute lists are
+/// arrays of column *names* so the output is self-describing.
+///
+/// Escaping covers the JSON string escape set (quotes, backslash, control
+/// characters); all numbers are emitted as plain decimal literals.
+
+/// `{"lists": {"lhs": [...], "rhs": [...]}}`-style rendering helpers.
+std::string JsonEscape(const std::string& s);
+
+/// An OCDDISCOVER run:
+/// `{"algorithm":"ocddiscover","num_rows":..,"num_columns":..,
+///   "completed":..,"checks":..,"elapsed_seconds":..,
+///   "reduction":{"constants":[..],"equivalence_classes":[[..],..]},
+///   "ocds":[{"lhs":[..],"rhs":[..]},..],
+///   "ods":[{"lhs":[..],"rhs":[..]},..]}`
+std::string ToJson(const core::OcdDiscoverResult& result,
+                   const rel::CodedRelation& relation);
+
+/// A TANE run: `{"algorithm":"tane","fds":[{"lhs":[..],"rhs":".."},..],...}`.
+std::string ToJson(const algo::TaneResult& result,
+                   const rel::CodedRelation& relation);
+
+/// An ORDER run: `{"algorithm":"order","ods":[...],...}`.
+std::string ToJson(const algo::OrderDiscoverResult& result,
+                   const rel::CodedRelation& relation);
+
+/// A FASTOD run: canonical ODs as
+/// `{"kind":"constancy"|"compatible","context":[..],"left":"..","right":".."}`.
+std::string ToJson(const algo::FastodResult& result,
+                   const rel::CodedRelation& relation);
+
+/// A bidirectional FASTOD run; compatibility kinds are
+/// `"concordant"` / `"anti_concordant"`.
+std::string ToJson(const algo::FastodBidResult& result,
+                   const rel::CodedRelation& relation);
+
+/// Approximate pairwise OCDs:
+/// `{"algorithm":"approx_ocd","pairs":[{"lhs":..,"rhs":..,"removals":..,
+///   "ratio":..},..]}`.
+std::string ToJson(const std::vector<core::ApproximateOcd>& pairs,
+                   const rel::CodedRelation& relation);
+
+}  // namespace ocdd::report
+
+#endif  // OCDD_REPORT_JSON_WRITER_H_

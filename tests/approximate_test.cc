@@ -1,0 +1,195 @@
+#include "core/approximate.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "datagen/fixtures.h"
+#include "od/brute_force.h"
+#include "test_util.h"
+
+namespace ocdd::core {
+namespace {
+
+using od::AttributeList;
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+/// Exhaustive g₃ oracle: tries every row subset (relation must be tiny).
+/// `check` receives the retained-row relation and returns validity.
+template <typename CheckFn>
+std::size_t ExhaustiveMinRemovals(const CodedRelation& r,
+                                  const CheckFn& check) {
+  std::size_t m = r.num_rows();
+  std::size_t best = m;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    std::size_t removed = m - static_cast<std::size_t>(
+                                  __builtin_popcountll(mask));
+    if (removed >= best) continue;
+    // Build the retained relation.
+    std::vector<rel::CodedColumn> cols;
+    for (std::size_t c = 0; c < r.num_columns(); ++c) {
+      rel::CodedColumn col = r.column(c);
+      std::vector<std::int32_t> keep;
+      for (std::size_t row = 0; row < m; ++row) {
+        if ((mask >> row) & 1) keep.push_back(col.codes[row]);
+      }
+      col.codes = std::move(keep);
+      cols.push_back(std::move(col));
+    }
+    if (check(CodedRelation::FromColumns(std::move(cols)))) best = removed;
+  }
+  return best;
+}
+
+TEST(ApproximateTest, ExactOcdHasZeroError) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {10, 20, 30}});
+  ApproximateError err = OcdError(r, AttributeList{0}, AttributeList{1});
+  EXPECT_EQ(err.removals, 0u);
+  EXPECT_TRUE(err.exact());
+}
+
+TEST(ApproximateTest, SingleOutlierCostsOne) {
+  // One inverted row breaks A ~ B; removing it restores compatibility.
+  CodedRelation r =
+      CodedIntTable({{1, 2, 3, 4, 5}, {1, 2, 9, 4, 5}});
+  ApproximateError err = OcdError(r, AttributeList{0}, AttributeList{1});
+  EXPECT_EQ(err.removals, 1u);
+  EXPECT_DOUBLE_EQ(err.ratio, 0.2);
+}
+
+TEST(ApproximateTest, OdErrorCountsSplitsToo) {
+  // A ~ B exactly, but the A=1 tie with different B values is a split:
+  // the OD A → B needs one removal while the OCD needs none.
+  CodedRelation r = CodedIntTable({{1, 1, 2}, {1, 2, 3}});
+  EXPECT_EQ(OcdError(r, AttributeList{0}, AttributeList{1}).removals, 0u);
+  EXPECT_EQ(OdError(r, AttributeList{0}, AttributeList{1}).removals, 1u);
+}
+
+TEST(ApproximateTest, TinyRelationIsAlwaysExact) {
+  CodedRelation r = CodedIntTable({{5}, {1}});
+  EXPECT_EQ(OcdError(r, AttributeList{0}, AttributeList{1}).removals, 0u);
+  EXPECT_EQ(OdError(r, AttributeList{0}, AttributeList{1}).removals, 0u);
+}
+
+TEST(ApproximateTest, ListSidesWork) {
+  CodedRelation r = CodedIntTable({{1, 1, 2}, {1, 2, 1}, {3, 5, 4}});
+  // [A,B] totally orders the rows as r0 < r1 < r2, so [A,B] → [C] has no
+  // splits, only the swap between rows 1 and 2 (AB: (1,2) < (2,1) while
+  // C: 5 > 4); one removal fixes it.
+  ApproximateError err =
+      OdError(r, AttributeList{0, 1}, AttributeList{2});
+  EXPECT_EQ(err.removals, 1u);
+}
+
+TEST(ApproximateTest, DiscoverPairsRespectsThreshold) {
+  CodedRelation yes = CodedRelation::Encode(datagen::MakeYes());
+  std::vector<ApproximateOcd> exact = DiscoverApproximatePairOcds(yes, 0.0);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0].error.removals, 0u);
+
+  CodedRelation no = CodedRelation::Encode(datagen::MakeNo());
+  EXPECT_TRUE(DiscoverApproximatePairOcds(no, 0.0).empty());
+  std::vector<ApproximateOcd> loose = DiscoverApproximatePairOcds(no, 0.5);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_EQ(loose[0].error.removals, 1u);  // drop the swapped row
+}
+
+TEST(ApproximateTest, DiscoverPairsSortedByError) {
+  CodedRelation r = testutil::RandomCodedTable(9, 30, 5, 4);
+  std::vector<ApproximateOcd> found = DiscoverApproximatePairOcds(r, 1.0);
+  for (std::size_t i = 1; i < found.size(); ++i) {
+    EXPECT_LE(found[i - 1].error.removals, found[i].error.removals);
+  }
+}
+
+class ApproximateOracleTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ApproximateOracleTest, OcdErrorMatchesExhaustiveSearch) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam(), 8, 2, 4);
+  AttributeList x{0}, y{1};
+  std::size_t truth = ExhaustiveMinRemovals(r, [&](const CodedRelation& sub) {
+    return od::BruteForceHoldsOcd(sub, x, y);
+  });
+  EXPECT_EQ(OcdError(r, x, y).removals, truth);
+}
+
+TEST_P(ApproximateOracleTest, OdErrorMatchesExhaustiveSearch) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 100, 8, 2, 3);
+  AttributeList x{0}, y{1};
+  std::size_t truth = ExhaustiveMinRemovals(r, [&](const CodedRelation& sub) {
+    return od::BruteForceHoldsOd(sub, x, y);
+  });
+  EXPECT_EQ(OdError(r, x, y).removals, truth);
+}
+
+TEST_P(ApproximateOracleTest, OdErrorWithListLhsMatchesExhaustiveSearch) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 200, 7, 3, 2);
+  AttributeList x{0, 1}, y{2};
+  std::size_t truth = ExhaustiveMinRemovals(r, [&](const CodedRelation& sub) {
+    return od::BruteForceHoldsOd(sub, x, y);
+  });
+  EXPECT_EQ(OdError(r, x, y).removals, truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproximateOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// ---------------------------------------------------------------------------
+// Repair witnesses: minimum-size row sets whose removal restores exactness.
+// ---------------------------------------------------------------------------
+
+CodedRelation RemoveRows(const CodedRelation& r,
+                         const std::vector<std::uint32_t>& removals) {
+  std::vector<bool> drop(r.num_rows(), false);
+  for (std::uint32_t row : removals) drop[row] = true;
+  std::vector<rel::CodedColumn> cols;
+  for (std::size_t c = 0; c < r.num_columns(); ++c) {
+    rel::CodedColumn col = r.column(c);
+    std::vector<std::int32_t> keep;
+    for (std::size_t row = 0; row < r.num_rows(); ++row) {
+      if (!drop[row]) keep.push_back(col.codes[row]);
+    }
+    col.codes = std::move(keep);
+    cols.push_back(std::move(col));
+  }
+  return CodedRelation::FromColumns(std::move(cols));
+}
+
+TEST(RepairTest, OcdWitnessOnKnownOutlier) {
+  CodedRelation r = CodedIntTable({{1, 2, 3, 4, 5}, {1, 2, 9, 4, 5}});
+  std::vector<std::uint32_t> w =
+      OcdRepairRows(r, AttributeList{0}, AttributeList{1});
+  EXPECT_EQ(w, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(RepairTest, ExactDependencyNeedsNoRepair) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_TRUE(OcdRepairRows(r, AttributeList{0}, AttributeList{1}).empty());
+  EXPECT_TRUE(OdRepairRows(r, AttributeList{0}, AttributeList{1}).empty());
+}
+
+class RepairWitnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RepairWitnessTest, OcdWitnessIsMinimalAndSufficient) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 400, 10, 2, 4);
+  AttributeList x{0}, y{1};
+  std::vector<std::uint32_t> w = OcdRepairRows(r, x, y);
+  EXPECT_EQ(w.size(), OcdError(r, x, y).removals);
+  EXPECT_TRUE(od::BruteForceHoldsOcd(RemoveRows(r, w), x, y));
+}
+
+TEST_P(RepairWitnessTest, OdWitnessIsMinimalAndSufficient) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 500, 10, 3, 3);
+  AttributeList x{0, 1}, y{2};
+  std::vector<std::uint32_t> w = OdRepairRows(r, x, y);
+  EXPECT_EQ(w.size(), OdError(r, x, y).removals);
+  EXPECT_TRUE(od::BruteForceHoldsOd(RemoveRows(r, w), x, y));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairWitnessTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ocdd::core

@@ -1,0 +1,89 @@
+#include "od/attribute_list.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+
+namespace ocdd::od {
+namespace {
+
+TEST(AttributeListTest, BasicAccessors) {
+  AttributeList l{2, 0, 1};
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_FALSE(l.empty());
+  EXPECT_EQ(l[0], 2u);
+  EXPECT_EQ(l[2], 1u);
+  EXPECT_TRUE(AttributeList{}.empty());
+}
+
+TEST(AttributeListTest, Contains) {
+  AttributeList l{2, 0};
+  EXPECT_TRUE(l.Contains(0));
+  EXPECT_TRUE(l.Contains(2));
+  EXPECT_FALSE(l.Contains(1));
+}
+
+TEST(AttributeListTest, DisjointWith) {
+  EXPECT_TRUE((AttributeList{0, 1}).DisjointWith(AttributeList{2, 3}));
+  EXPECT_FALSE((AttributeList{0, 1}).DisjointWith(AttributeList{1, 2}));
+  EXPECT_TRUE(AttributeList{}.DisjointWith(AttributeList{0}));
+}
+
+TEST(AttributeListTest, WithAppendedDoesNotMutate) {
+  AttributeList l{0};
+  AttributeList l2 = l.WithAppended(3);
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_EQ(l2, (AttributeList{0, 3}));
+}
+
+TEST(AttributeListTest, Concat) {
+  EXPECT_EQ((AttributeList{0, 1}).Concat(AttributeList{2}),
+            (AttributeList{0, 1, 2}));
+  EXPECT_EQ(AttributeList{}.Concat(AttributeList{1}), AttributeList{1});
+}
+
+TEST(AttributeListTest, NormalizedDropsLaterDuplicates) {
+  // The Normalization axiom (AX3): [A,B,A] ↔ [A,B].
+  EXPECT_EQ((AttributeList{0, 1, 0}).Normalized(), (AttributeList{0, 1}));
+  EXPECT_EQ((AttributeList{2, 2, 2}).Normalized(), AttributeList{2});
+  EXPECT_EQ((AttributeList{0, 1, 2}).Normalized(), (AttributeList{0, 1, 2}));
+  EXPECT_EQ(AttributeList{}.Normalized(), AttributeList{});
+}
+
+TEST(AttributeListTest, HasPrefix) {
+  AttributeList l{0, 1, 2};
+  EXPECT_TRUE(l.HasPrefix(AttributeList{}));
+  EXPECT_TRUE(l.HasPrefix(AttributeList{0}));
+  EXPECT_TRUE(l.HasPrefix(AttributeList{0, 1}));
+  EXPECT_TRUE(l.HasPrefix(l));
+  EXPECT_FALSE(l.HasPrefix(AttributeList{1}));
+  EXPECT_FALSE(l.HasPrefix(AttributeList{0, 2}));
+  EXPECT_FALSE(l.HasPrefix(AttributeList{0, 1, 2, 3}));
+}
+
+TEST(AttributeListTest, ToStringWithNames) {
+  rel::CodedRelation r = testutil::CodedIntTable({{1}, {2}, {3}});
+  EXPECT_EQ((AttributeList{2, 0}).ToString(r), "[C,A]");
+  EXPECT_EQ((AttributeList{2, 0}).ToString(), "[2,0]");
+}
+
+TEST(AttributeListTest, OrderingAndEquality) {
+  EXPECT_LT(AttributeList{0}, (AttributeList{0, 1}));
+  EXPECT_LT((AttributeList{0, 1}), (AttributeList{1}));
+  EXPECT_EQ((AttributeList{1, 2}), (AttributeList{1, 2}));
+}
+
+TEST(AttributeListTest, HashDistinguishesOrder) {
+  AttributeListHash h;
+  std::unordered_set<AttributeList, AttributeListHash> set;
+  set.insert(AttributeList{0, 1});
+  set.insert(AttributeList{1, 0});
+  set.insert(AttributeList{0, 1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_NE(h(AttributeList{0, 1}), h(AttributeList{1, 0}));
+}
+
+}  // namespace
+}  // namespace ocdd::od

@@ -1,0 +1,117 @@
+#include "od/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/fixtures.h"
+#include "test_util.h"
+
+namespace ocdd::od {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+TEST(BruteForceOdTest, Table1MotivatingDependencies) {
+  CodedRelation tax = CodedRelation::Encode(datagen::MakeTaxInfo());
+  // Columns: 0 name, 1 income, 2 savings, 3 bracket, 4 tax.
+  AttributeList income{1}, savings{2}, bracket{3}, taxcol{4};
+
+  EXPECT_TRUE(BruteForceHoldsOd(tax, income, bracket));  // income → bracket
+  EXPECT_TRUE(BruteForceHoldsOd(tax, income, taxcol));   // income → tax
+  EXPECT_TRUE(BruteForceHoldsOd(tax, taxcol, income));   // tax → income
+  EXPECT_FALSE(BruteForceHoldsOd(tax, bracket, income)); // bracket -/-> income
+  EXPECT_FALSE(BruteForceHoldsOd(tax, income, savings)); // split at 40,000
+  EXPECT_TRUE(BruteForceHoldsOcd(tax, income, savings)); // income ~ savings
+}
+
+TEST(BruteForceOdTest, ReflexivityOnPrefixes) {
+  CodedRelation r = testutil::RandomCodedTable(1, 10, 3, 4);
+  EXPECT_TRUE(BruteForceHoldsOd(r, AttributeList{0, 1}, AttributeList{0}));
+  EXPECT_TRUE(
+      BruteForceHoldsOd(r, AttributeList{2, 1, 0}, AttributeList{2, 1}));
+  EXPECT_TRUE(BruteForceHoldsOd(r, AttributeList{1}, AttributeList{1}));
+}
+
+TEST(BruteForceOdTest, AnythingOrdersEmptyList) {
+  CodedRelation r = testutil::RandomCodedTable(2, 8, 2, 3);
+  EXPECT_TRUE(BruteForceHoldsOd(r, AttributeList{0}, AttributeList{}));
+}
+
+TEST(BruteForceOdTest, SplitViolation) {
+  // A ties on rows 0,1 but B differs: the FD part of A → B fails.
+  CodedRelation r = CodedIntTable({{1, 1}, {1, 2}});
+  EXPECT_FALSE(BruteForceHoldsOd(r, AttributeList{0}, AttributeList{1}));
+  // But no swap: A ~ B still holds.
+  EXPECT_TRUE(BruteForceHoldsOcd(r, AttributeList{0}, AttributeList{1}));
+}
+
+TEST(BruteForceOdTest, SwapViolation) {
+  CodedRelation r = CodedIntTable({{1, 2}, {2, 1}});
+  EXPECT_FALSE(BruteForceHoldsOd(r, AttributeList{0}, AttributeList{1}));
+  EXPECT_FALSE(BruteForceHoldsOcd(r, AttributeList{0}, AttributeList{1}));
+}
+
+TEST(BruteForceOcdTest, YesAndNoFixtures) {
+  CodedRelation yes = CodedRelation::Encode(datagen::MakeYes());
+  EXPECT_TRUE(BruteForceHoldsOcd(yes, AttributeList{0}, AttributeList{1}));
+  EXPECT_FALSE(BruteForceHoldsOd(yes, AttributeList{0}, AttributeList{1}));
+  EXPECT_FALSE(BruteForceHoldsOd(yes, AttributeList{1}, AttributeList{0}));
+
+  CodedRelation no = CodedRelation::Encode(datagen::MakeNo());
+  EXPECT_FALSE(BruteForceHoldsOcd(no, AttributeList{0}, AttributeList{1}));
+}
+
+TEST(BruteForceFdTest, Basics) {
+  CodedRelation r = CodedIntTable({{1, 1, 2}, {5, 5, 7}, {1, 2, 3}});
+  EXPECT_TRUE(BruteForceHoldsFd(r, {0}, 1));   // A → B
+  EXPECT_FALSE(BruteForceHoldsFd(r, {0}, 2));  // A -/-> C (1,1 → 1,2)
+  EXPECT_TRUE(BruteForceHoldsFd(r, {2}, 0));   // C unique → everything
+  EXPECT_TRUE(BruteForceHoldsFd(r, {0, 2}, 1));
+}
+
+TEST(BruteForceFdTest, EmptyLhsMeansConstant) {
+  CodedRelation constant = CodedIntTable({{3, 3, 3}});
+  EXPECT_TRUE(BruteForceHoldsFd(constant, {}, 0));
+  CodedRelation varying = CodedIntTable({{3, 4, 3}});
+  EXPECT_FALSE(BruteForceHoldsFd(varying, {}, 0));
+}
+
+TEST(EnumerateListsTest, CountsPermutations) {
+  // Over 3 attributes with max_len 2: 3 singletons + 6 ordered pairs.
+  std::vector<AttributeList> lists = EnumerateLists({0, 1, 2}, 2);
+  EXPECT_EQ(lists.size(), 9u);
+  // With max_len 3: + 6 permutations of length 3.
+  EXPECT_EQ(EnumerateLists({0, 1, 2}, 3).size(), 15u);
+}
+
+TEST(EnumerateListsTest, NoDuplicateAttributesWithinList) {
+  for (const AttributeList& l : EnumerateLists({0, 1, 2, 3}, 3)) {
+    EXPECT_EQ(l, l.Normalized());
+  }
+}
+
+TEST(BruteForceAllOcdsTest, YesDatasetHasExactlyOne) {
+  CodedRelation yes = CodedRelation::Encode(datagen::MakeYes());
+  std::vector<OrderCompatibility> ocds = BruteForceAllOcds(yes, 2);
+  ASSERT_EQ(ocds.size(), 1u);
+  EXPECT_EQ(ocds[0].lhs, AttributeList{0});
+  EXPECT_EQ(ocds[0].rhs, AttributeList{1});
+}
+
+TEST(BruteForceAllOcdsTest, NoDatasetHasNone) {
+  CodedRelation no = CodedRelation::Encode(datagen::MakeNo());
+  EXPECT_TRUE(BruteForceAllOcds(no, 2).empty());
+}
+
+TEST(BruteForceAllOdsTest, DisjointOnlyFiltersSharedAttributes) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {1, 2, 3}});
+  std::vector<OrderDependency> all = BruteForceAllOds(r, 2, false);
+  std::vector<OrderDependency> disjoint = BruteForceAllOds(r, 2, true);
+  EXPECT_GT(all.size(), disjoint.size());
+  for (const OrderDependency& od : disjoint) {
+    EXPECT_TRUE(od.lhs.DisjointWith(od.rhs));
+  }
+}
+
+}  // namespace
+}  // namespace ocdd::od

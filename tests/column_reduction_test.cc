@@ -1,0 +1,124 @@
+#include "core/column_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "od/brute_force.h"
+#include "test_util.h"
+
+namespace ocdd::core {
+namespace {
+
+using od::AttributeList;
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+TEST(ColumnReductionTest, NoReductionOnIndependentColumns) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {3, 1, 2}, {2, 3, 1}});
+  ColumnReduction red = ReduceColumns(r);
+  EXPECT_TRUE(red.constant_columns.empty());
+  EXPECT_TRUE(red.equivalence_classes.empty());
+  EXPECT_EQ(red.reduced_universe, (std::vector<rel::ColumnId>{0, 1, 2}));
+}
+
+TEST(ColumnReductionTest, RemovesConstantColumns) {
+  CodedRelation r = CodedIntTable({{7, 7, 7}, {1, 2, 3}, {0, 0, 0}});
+  ColumnReduction red = ReduceColumns(r);
+  EXPECT_EQ(red.constant_columns, (std::vector<rel::ColumnId>{0, 2}));
+  EXPECT_EQ(red.reduced_universe, (std::vector<rel::ColumnId>{1}));
+}
+
+TEST(ColumnReductionTest, MergesOrderEquivalentColumns) {
+  // B = 2*A + 5 is order-equivalent to A; C is independent.
+  CodedRelation r =
+      CodedIntTable({{3, 1, 2}, {11, 7, 9}, {1, 2, 2}});
+  ColumnReduction red = ReduceColumns(r);
+  ASSERT_EQ(red.equivalence_classes.size(), 1u);
+  EXPECT_EQ(red.equivalence_classes[0], (std::vector<rel::ColumnId>{0, 1}));
+  EXPECT_EQ(red.reduced_universe, (std::vector<rel::ColumnId>{0, 2}));
+}
+
+TEST(ColumnReductionTest, ThreeWayEquivalenceClass) {
+  CodedRelation r = CodedIntTable(
+      {{5, 1, 3}, {50, 10, 30}, {500, 100, 300}, {1, 2, 3}});
+  ColumnReduction red = ReduceColumns(r);
+  ASSERT_EQ(red.equivalence_classes.size(), 1u);
+  EXPECT_EQ(red.equivalence_classes[0],
+            (std::vector<rel::ColumnId>{0, 1, 2}));
+  EXPECT_EQ(red.reduced_universe, (std::vector<rel::ColumnId>{0, 3}));
+}
+
+TEST(ColumnReductionTest, FdAloneIsNotEquivalence) {
+  // A → B functionally and monotonically, but B has ties A doesn't: not
+  // order-equivalent (B -/-> A).
+  CodedRelation r = CodedIntTable({{1, 2, 3, 4}, {1, 1, 2, 2}});
+  ColumnReduction red = ReduceColumns(r);
+  EXPECT_TRUE(red.equivalence_classes.empty());
+  EXPECT_EQ(red.reduced_universe.size(), 2u);
+}
+
+TEST(ColumnReductionTest, SameValuesDifferentOrderNotEquivalent) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {1, 3, 2}});
+  ColumnReduction red = ReduceColumns(r);
+  EXPECT_TRUE(red.equivalence_classes.empty());
+}
+
+TEST(ColumnReductionTest, RepresentativeAndClassOf) {
+  // With two rows, all three ascending columns share the code vector [0,1]:
+  // one equivalence class {A,B,C} represented by A.
+  CodedRelation r = CodedIntTable({{1, 2}, {10, 20}, {5, 6}});
+  ColumnReduction red = ReduceColumns(r);
+  ASSERT_EQ(red.equivalence_classes.size(), 1u);
+  EXPECT_EQ(red.Representative(0), 0u);
+  EXPECT_EQ(red.Representative(1), 0u);
+  EXPECT_EQ(red.Representative(2), 0u);
+  EXPECT_EQ(red.ClassOf(0).size(), 3u);
+  EXPECT_EQ(red.ClassOf(2), (std::vector<rel::ColumnId>{2}));  // not a rep
+  EXPECT_EQ(red.reduced_universe, (std::vector<rel::ColumnId>{0}));
+}
+
+TEST(ColumnReductionTest, ToStringMentionsClassesAndConstants) {
+  CodedRelation r = CodedIntTable({{1, 1}, {2, 3}, {4, 6}});
+  ColumnReduction red = ReduceColumns(r);
+  std::string s = red.ToString(r);
+  EXPECT_NE(s.find("A"), std::string::npos);
+}
+
+// Property: the code-vector-equality shortcut must coincide with the
+// semantic definition of order equivalence (A → B and B → A).
+class ReductionAgreementTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReductionAgreementTest, EquivalenceMatchesSemanticDefinition) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam(), 10, 4, 2);
+  ColumnReduction red = ReduceColumns(r);
+  for (rel::ColumnId a = 0; a < r.num_columns(); ++a) {
+    for (rel::ColumnId b = 0; b < r.num_columns(); ++b) {
+      if (a == b) continue;
+      if (r.column(a).is_constant() || r.column(b).is_constant()) continue;
+      bool semantic =
+          od::BruteForceHoldsOd(r, AttributeList{a}, AttributeList{b}) &&
+          od::BruteForceHoldsOd(r, AttributeList{b}, AttributeList{a});
+      bool merged = red.Representative(a) == red.Representative(b);
+      EXPECT_EQ(semantic, merged) << "columns " << a << "," << b;
+    }
+  }
+}
+
+TEST_P(ReductionAgreementTest, ConstantsMatchSemantics) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 500, 6, 4, 2);
+  ColumnReduction red = ReduceColumns(r);
+  for (rel::ColumnId c = 0; c < r.num_columns(); ++c) {
+    bool listed = std::find(red.constant_columns.begin(),
+                            red.constant_columns.end(),
+                            c) != red.constant_columns.end();
+    EXPECT_EQ(listed, r.column(c).is_constant());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionAgreementTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ocdd::core

@@ -1,0 +1,130 @@
+#include "relation/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace ocdd::rel {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeaderAndTypes) {
+  auto r = ReadCsvString("a,b,c\n1,2.5,x\n3,4.0,y\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->num_columns(), 3u);
+  EXPECT_EQ(r->schema().attribute(0).type, DataType::kInt);
+  EXPECT_EQ(r->schema().attribute(1).type, DataType::kDouble);
+  EXPECT_EQ(r->schema().attribute(2).type, DataType::kString);
+  EXPECT_EQ(r->ValueAt(1, 0), Value::Int(3));
+  EXPECT_EQ(r->ValueAt(0, 2), Value::String("x"));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto r = ReadCsvString("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().attribute(0).name, "col0");
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, QuotedFieldsWithSeparatorAndNewline) {
+  auto r = ReadCsvString("a,b\n\"x,y\",\"line1\nline2\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ValueAt(0, 0), Value::String("x,y"));
+  EXPECT_EQ(r->ValueAt(0, 1), Value::String("line1\nline2"));
+}
+
+TEST(CsvReadTest, EscapedQuotes) {
+  auto r = ReadCsvString("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ValueAt(0, 0), Value::String("he said \"hi\""));
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  auto r = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->ValueAt(1, 1), Value::Int(4));
+}
+
+TEST(CsvReadTest, NullMarkers) {
+  auto r = ReadCsvString("a,b\n1,?\n,x\n2,y\n");
+  ASSERT_TRUE(r.ok());
+  // '?' and empty are NULL; column a stays int, b stays string.
+  EXPECT_EQ(r->schema().attribute(0).type, DataType::kInt);
+  EXPECT_TRUE(r->ValueAt(0, 1).is_null());
+  EXPECT_TRUE(r->ValueAt(1, 0).is_null());
+  EXPECT_EQ(r->ValueAt(2, 0), Value::Int(2));
+}
+
+TEST(CsvReadTest, RaggedRowIsError) {
+  auto r = ReadCsvString("a,b\n1,2\n3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, UnterminatedQuoteIsError) {
+  auto r = ReadCsvString("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvReadTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, CustomSeparator) {
+  CsvOptions opts;
+  opts.separator = ';';
+  auto r = ReadCsvString("a;b\n1;2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ValueAt(0, 1), Value::Int(2));
+}
+
+TEST(CsvReadTest, ForceLexicographicTreatsEverythingAsString) {
+  CsvOptions opts;
+  opts.type_inference.force_lexicographic = true;
+  auto r = ReadCsvString("a\n10\n9\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().attribute(0).type, DataType::kString);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  std::string input = "a,b,c\n1,x y,2.5\n3,\"q,r\",4.5\n";
+  auto r = ReadCsvString(input);
+  ASSERT_TRUE(r.ok());
+  std::string out = WriteCsvString(*r);
+  auto r2 = ReadCsvString(out);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), r->num_rows());
+  for (std::size_t i = 0; i < r->num_rows(); ++i) {
+    for (std::size_t c = 0; c < r->num_columns(); ++c) {
+      EXPECT_EQ(r2->ValueAt(i, c), r->ValueAt(i, c)) << i << "," << c;
+    }
+  }
+}
+
+TEST(CsvWriteTest, QuotesSpecialFields) {
+  auto r = ReadCsvString("a\n\"x,y\"\n");
+  ASSERT_TRUE(r.ok());
+  std::string out = WriteCsvString(*r);
+  EXPECT_EQ(out, "a\n\"x,y\"\n");
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  auto r = ReadCsvString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(r.ok());
+  std::string path = ::testing::TempDir() + "/ocdd_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*r, path).ok());
+  auto r2 = ReadCsvFile(path);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), 2u);
+  EXPECT_EQ(r2->ValueAt(1, 1), Value::String("y"));
+}
+
+}  // namespace
+}  // namespace ocdd::rel

@@ -1,0 +1,158 @@
+#include "datagen/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/fixtures.h"
+#include "datagen/generators.h"
+#include "datagen/lineitem.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::datagen {
+namespace {
+
+TEST(FixturesTest, TaxInfoShape) {
+  rel::Relation r = MakeTaxInfo();
+  EXPECT_EQ(r.num_rows(), 6u);
+  EXPECT_EQ(r.num_columns(), 5u);
+  EXPECT_EQ(r.schema().attribute(1).name, "income");
+}
+
+TEST(FixturesTest, YesNoNumbersShapes) {
+  EXPECT_EQ(MakeYes().num_rows(), 5u);
+  EXPECT_EQ(MakeYes().num_columns(), 2u);
+  EXPECT_EQ(MakeNo().num_rows(), 5u);
+  EXPECT_EQ(MakeNumbers().num_rows(), 6u);
+  EXPECT_EQ(MakeNumbers().num_columns(), 5u);
+}
+
+TEST(RegistryTest, AllDatasetsListsEleven) {
+  EXPECT_EQ(AllDatasets().size(), 11u);
+}
+
+TEST(RegistryTest, FindDatasetIsCaseInsensitive) {
+  EXPECT_TRUE(FindDataset("lineitem").ok());
+  EXPECT_TRUE(FindDataset("LINEITEM").ok());
+  EXPECT_TRUE(FindDataset("LineItem").ok());
+  EXPECT_FALSE(FindDataset("nosuch").ok());
+}
+
+TEST(RegistryTest, MakeDatasetHonorsShapes) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    auto r = MakeDataset(spec.name, 0, 42);
+    ASSERT_TRUE(r.ok()) << spec.name;
+    EXPECT_EQ(r->num_columns(), spec.num_columns) << spec.name;
+    if (spec.fixed) {
+      EXPECT_EQ(r->num_rows(), spec.paper_rows) << spec.name;
+    } else {
+      EXPECT_EQ(r->num_rows(), spec.default_rows) << spec.name;
+    }
+  }
+}
+
+TEST(RegistryTest, RowOverride) {
+  auto r = MakeDataset("LINEITEM", 123);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 123u);
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  rel::Relation a = MakeNcvoter(50, 7);
+  rel::Relation b = MakeNcvoter(50, 7);
+  rel::Relation c = MakeNcvoter(50, 8);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  bool identical = true;
+  bool differs_from_c = false;
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    for (std::size_t col = 0; col < a.num_columns(); ++col) {
+      if (!(a.ValueAt(i, col) == b.ValueAt(i, col))) identical = false;
+      if (!(a.ValueAt(i, col) == c.ValueAt(i, col))) differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(identical);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(GeneratorsTest, LineitemChronologyInvariants) {
+  rel::Relation r = MakeLineitem(500, 3);
+  auto ship = r.schema().FindColumn("l_shipdate");
+  auto receipt = r.schema().FindColumn("l_receiptdate");
+  auto order = r.schema().FindColumn("l_orderkey");
+  auto line = r.schema().FindColumn("l_linenumber");
+  ASSERT_TRUE(ship && receipt && order && line);
+  std::int64_t prev_order = -1;
+  std::int64_t prev_line = 0;
+  for (std::size_t i = 0; i < r.num_rows(); ++i) {
+    // Receipt strictly after shipment (dates are ISO strings).
+    EXPECT_LT(r.ValueAt(i, *ship).string_value(),
+              r.ValueAt(i, *receipt).string_value());
+    // Order keys non-decreasing; line numbers restart per order.
+    std::int64_t ok = r.ValueAt(i, *order).int_value();
+    std::int64_t ln = r.ValueAt(i, *line).int_value();
+    EXPECT_GE(ok, prev_order);
+    if (ok == prev_order) {
+      EXPECT_EQ(ln, prev_line + 1);
+    } else {
+      EXPECT_EQ(ln, 1);
+    }
+    prev_order = ok;
+    prev_line = ln;
+  }
+}
+
+TEST(GeneratorsTest, DbtesmaEmbeddedStructure) {
+  rel::CodedRelation r = rel::CodedRelation::Encode(MakeDbtesma(500, 5));
+  // const1/const2 are constants.
+  auto find = [&](const std::string& name) {
+    for (rel::ColumnId c = 0; c < r.num_columns(); ++c) {
+      if (r.column_name(c) == name) return c;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return rel::ColumnId{0};
+  };
+  EXPECT_TRUE(r.column(find("const1")).is_constant());
+  EXPECT_TRUE(r.column(find("const2")).is_constant());
+  // grp and grp_code share the same code vector (order-equivalent).
+  EXPECT_EQ(r.column(find("grp")).codes, r.column(find("grp_code")).codes);
+  EXPECT_EQ(r.column(find("mirror1")).codes,
+            r.column(find("mirror2")).codes);
+}
+
+TEST(GeneratorsTest, HepatitisHasNulls) {
+  rel::Relation r = MakeHepatitis(155, 11);
+  bool any_null = false;
+  for (std::size_t i = 0; i < r.num_rows() && !any_null; ++i) {
+    for (std::size_t c = 0; c < r.num_columns(); ++c) {
+      if (r.ValueAt(i, c).is_null()) {
+        any_null = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_null);
+  EXPECT_EQ(r.num_columns(), 20u);
+}
+
+TEST(GeneratorsTest, HorseHasConstantAndMonotonePair) {
+  rel::CodedRelation r = rel::CodedRelation::Encode(MakeHorse(300, 13));
+  EXPECT_EQ(r.num_columns(), 29u);
+  // site_const is constant; lesion3 is constant (always 0).
+  int constants = 0;
+  for (rel::ColumnId c = 0; c < r.num_columns(); ++c) {
+    if (r.column(c).is_constant()) ++constants;
+  }
+  EXPECT_GE(constants, 2);
+}
+
+TEST(GeneratorsTest, FullScaleEnvFlag) {
+  // The helper just reads the environment; with it unset, default scale.
+  unsetenv("OCDD_SCALE");
+  EXPECT_FALSE(FullScaleRequested());
+  setenv("OCDD_SCALE", "full", 1);
+  EXPECT_TRUE(FullScaleRequested());
+  setenv("OCDD_SCALE", "FULL", 1);
+  EXPECT_TRUE(FullScaleRequested());
+  unsetenv("OCDD_SCALE");
+}
+
+}  // namespace
+}  // namespace ocdd::datagen

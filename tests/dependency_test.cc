@@ -1,0 +1,100 @@
+#include "od/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "od/dependency_set.h"
+#include "test_util.h"
+
+namespace ocdd::od {
+namespace {
+
+TEST(OrderDependencyTest, ToString) {
+  rel::CodedRelation r = testutil::CodedIntTable({{1}, {2}, {3}});
+  OrderDependency od{AttributeList{0, 1}, AttributeList{2}};
+  EXPECT_EQ(od.ToString(r), "[A,B] -> [C]");
+  EXPECT_EQ(od.ToString(), "[0,1] -> [2]");
+}
+
+TEST(OrderDependencyTest, OrderingForSets) {
+  OrderDependency a{AttributeList{0}, AttributeList{1}};
+  OrderDependency b{AttributeList{0}, AttributeList{2}};
+  OrderDependency c{AttributeList{1}, AttributeList{0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (OrderDependency{AttributeList{0}, AttributeList{1}}));
+}
+
+TEST(OrderCompatibilityTest, CanonicalPutsSmallerSideFirst) {
+  OrderCompatibility ocd{AttributeList{2}, AttributeList{0}};
+  OrderCompatibility canon = ocd.Canonical();
+  EXPECT_EQ(canon.lhs, AttributeList{0});
+  EXPECT_EQ(canon.rhs, AttributeList{2});
+  // Already canonical stays put.
+  EXPECT_EQ(canon.Canonical(), canon);
+}
+
+TEST(OrderCompatibilityTest, ToString) {
+  rel::CodedRelation r = testutil::CodedIntTable({{1}, {2}});
+  OrderCompatibility ocd{AttributeList{0}, AttributeList{1}};
+  EXPECT_EQ(ocd.ToString(r), "[A] ~ [B]");
+}
+
+TEST(FunctionalDependencyTest, ToString) {
+  rel::CodedRelation r = testutil::CodedIntTable({{1}, {2}, {3}});
+  FunctionalDependency fd{{0, 2}, 1};
+  EXPECT_EQ(fd.ToString(r), "{A,C} -> B");
+  FunctionalDependency empty{{}, 0};
+  EXPECT_EQ(empty.ToString(r), "{} -> A");
+}
+
+TEST(CanonicalOdTest, ToStringBothKinds) {
+  rel::CodedRelation r = testutil::CodedIntTable({{1}, {2}, {3}});
+  CanonicalOd constancy;
+  constancy.kind = CanonicalOd::Kind::kConstancy;
+  constancy.context = {0};
+  constancy.right = 2;
+  EXPECT_EQ(constancy.ToString(r), "{A}: [] -> C");
+
+  CanonicalOd compat;
+  compat.kind = CanonicalOd::Kind::kOrderCompatible;
+  compat.context = {};
+  compat.left = 0;
+  compat.right = 1;
+  EXPECT_EQ(compat.ToString(r), "{}: A ~ B");
+}
+
+TEST(SortUniqueTest, SortsAndDeduplicates) {
+  std::vector<OrderDependency> v = {
+      {AttributeList{1}, AttributeList{0}},
+      {AttributeList{0}, AttributeList{1}},
+      {AttributeList{1}, AttributeList{0}},
+  };
+  SortUnique(v);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], (OrderDependency{AttributeList{0}, AttributeList{1}}));
+}
+
+TEST(DependencyStoreTest, CanonicalizesOcdsOnAdd) {
+  DependencyStore store;
+  store.AddOcd(OrderCompatibility{AttributeList{2}, AttributeList{1}});
+  store.AddOcd(OrderCompatibility{AttributeList{1}, AttributeList{2}});
+  store.Finalize();
+  ASSERT_EQ(store.ocds().size(), 1u);
+  EXPECT_EQ(store.ocds()[0].lhs, AttributeList{1});
+}
+
+TEST(DependencyStoreTest, MergeFromMovesEverything) {
+  DependencyStore a;
+  DependencyStore b;
+  a.AddOd(OrderDependency{AttributeList{0}, AttributeList{1}});
+  b.AddOd(OrderDependency{AttributeList{1}, AttributeList{2}});
+  b.AddFd(FunctionalDependency{{0}, 1});
+  a.MergeFrom(std::move(b));
+  a.Finalize();
+  EXPECT_EQ(a.ods().size(), 2u);
+  EXPECT_EQ(a.fds().size(), 1u);
+  EXPECT_EQ(a.TotalCount(), 3u);
+}
+
+}  // namespace
+}  // namespace ocdd::od

@@ -1,0 +1,76 @@
+#include "core/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "test_util.h"
+
+namespace ocdd::core {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+TEST(EntropyTest, RankingIsDescending) {
+  CodedRelation r = CodedIntTable({
+      {1, 1, 1, 1},  // constant: H = 0
+      {1, 2, 3, 4},  // all distinct: H = ln 4
+      {1, 1, 2, 2},  // H = ln 2
+  });
+  std::vector<ColumnEntropyInfo> ranked = RankColumnsByEntropy(r);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].id, 1u);
+  EXPECT_EQ(ranked[1].id, 2u);
+  EXPECT_EQ(ranked[2].id, 0u);
+  EXPECT_NEAR(ranked[0].entropy, std::log(4.0), 1e-12);
+  EXPECT_NEAR(ranked[2].entropy, 0.0, 1e-12);
+  EXPECT_EQ(ranked[2].num_distinct, 1);
+}
+
+TEST(EntropyTest, TiesBrokenByColumnId) {
+  CodedRelation r = CodedIntTable({{1, 2}, {3, 4}});
+  std::vector<ColumnEntropyInfo> ranked = RankColumnsByEntropy(r);
+  EXPECT_EQ(ranked[0].id, 0u);
+  EXPECT_EQ(ranked[1].id, 1u);
+}
+
+TEST(EntropyTest, TopEntropyColumnsClampsK) {
+  CodedRelation r = CodedIntTable({{1, 2}, {1, 1}});
+  EXPECT_EQ(TopEntropyColumns(r, 1), (std::vector<rel::ColumnId>{0}));
+  EXPECT_EQ(TopEntropyColumns(r, 10).size(), 2u);
+}
+
+TEST(EntropyTest, ColumnsWithMinDistinct) {
+  CodedRelation r = CodedIntTable({{1, 1, 1}, {1, 2, 1}, {1, 2, 3}});
+  EXPECT_EQ(ColumnsWithMinDistinct(r, 2),
+            (std::vector<rel::ColumnId>{1, 2}));
+  EXPECT_EQ(ColumnsWithMinDistinct(r, 3), (std::vector<rel::ColumnId>{2}));
+  EXPECT_EQ(ColumnsWithMinDistinct(r, 1).size(), 3u);
+}
+
+TEST(EntropyTest, FlightGeneratorHasTheDesignedEntropySpectrum) {
+  CodedRelation flight =
+      CodedRelation::Encode(datagen::MakeFlight(300, 7));
+  std::vector<ColumnEntropyInfo> ranked = RankColumnsByEntropy(flight);
+  ASSERT_EQ(ranked.size(), 109u);
+  // Front of the ranking: near-unique identifiers.
+  EXPECT_GT(ranked[0].entropy, std::log(250.0));
+  // Back of the ranking: the constant columns at exactly zero.
+  EXPECT_DOUBLE_EQ(ranked.back().entropy, 0.0);
+  int constants = 0;
+  for (const ColumnEntropyInfo& info : ranked) {
+    if (info.num_distinct <= 1) ++constants;
+  }
+  EXPECT_EQ(constants, 14);
+  // A broad quasi-constant band exists (2–4 distinct values).
+  int quasi = 0;
+  for (const ColumnEntropyInfo& info : ranked) {
+    if (info.num_distinct >= 2 && info.num_distinct <= 4) ++quasi;
+  }
+  EXPECT_GE(quasi, 40);
+}
+
+}  // namespace
+}  // namespace ocdd::core

@@ -1,0 +1,195 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/ocd_discover.h"
+#include "datagen/fixtures.h"
+#include "datagen/lineitem.h"
+#include "test_util.h"
+
+namespace ocdd::engine {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+opt::OdKnowledgeBase MineKb(const CodedRelation& r) {
+  core::OcdDiscoverResult mined = core::DiscoverOcds(r);
+  opt::OdKnowledgeBase kb;
+  for (const auto& od : mined.ods) kb.AddOd(od);
+  for (const auto& ocd : mined.ocds) kb.AddOcd(ocd);
+  for (const auto& cls : mined.reduction.equivalence_classes) {
+    kb.AddEquivalenceClass(cls);
+  }
+  for (auto c : mined.reduction.constant_columns) kb.AddConstant(c);
+  return kb;
+}
+
+TEST(ExecutorTest, PlainSortWorks) {
+  CodedRelation r = CodedIntTable({{3, 1, 2}, {30, 10, 20}});
+  Executor ex(r);
+  Query q;
+  q.order_by = {0};
+  std::vector<std::uint32_t> rows = ex.Execute(q);
+  EXPECT_EQ(rows, (std::vector<std::uint32_t>{1, 2, 0}));
+  EXPECT_TRUE(ex.IsSorted(rows, q.order_by));
+}
+
+TEST(ExecutorTest, FiltersApply) {
+  CodedRelation r = CodedIntTable({{1, 2, 3, 4}});
+  Executor ex(r);
+  Query q;
+  q.filters = {Predicate{0, Predicate::Op::kGe, 2}};  // code >= 2
+  std::vector<std::uint32_t> rows = ex.Execute(q);
+  EXPECT_EQ(rows, (std::vector<std::uint32_t>{2, 3}));
+
+  q.filters = {Predicate{0, Predicate::Op::kEq, 1}};
+  EXPECT_EQ(ex.Execute(q), (std::vector<std::uint32_t>{1}));
+  q.filters = {Predicate{0, Predicate::Op::kLe, 0}};
+  EXPECT_EQ(ex.Execute(q), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(ExecutorTest, LimitApplies) {
+  CodedRelation r = CodedIntTable({{5, 4, 3, 2, 1}});
+  Executor ex(r);
+  Query q;
+  q.order_by = {0};
+  q.limit = 2;
+  std::vector<std::uint32_t> rows = ex.Execute(q);
+  EXPECT_EQ(rows, (std::vector<std::uint32_t>{4, 3}));
+}
+
+TEST(ExecutorTest, SortElidedWhenPhysicalOrderMatches) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {9, 8, 7}});
+  Executor ex(r);
+  ex.DeclarePhysicalOrder({0});
+  ASSERT_TRUE(ex.VerifyPhysicalOrder());
+  Query q;
+  q.order_by = {0};
+  Plan plan = ex.Explain(q);
+  EXPECT_TRUE(plan.sort_elided);
+  EXPECT_NE(plan.explanation.find("sort elided"), std::string::npos);
+  EXPECT_TRUE(ex.IsSorted(ex.Execute(q), q.order_by));
+}
+
+TEST(ExecutorTest, NoElisionWithoutKnowledge) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {10, 20, 30}});
+  Executor ex(r);
+  ex.DeclarePhysicalOrder({0});
+  Query q;
+  q.order_by = {1};  // physically sorted by 0; ORDER BY 1 needs the OD
+  EXPECT_FALSE(ex.Explain(q).sort_elided);
+}
+
+TEST(ExecutorTest, OdKnowledgeEnablesElision) {
+  // Column 1 is ordered by column 0 (strictly monotone): with the mined
+  // knowledge base, ORDER BY col1 rides the physical order on col0.
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {10, 20, 30}, {7, 5, 9}});
+  opt::OdKnowledgeBase kb = MineKb(r);
+  Executor ex(r, &kb);
+  ex.DeclarePhysicalOrder({0});
+  Query q;
+  q.order_by = {1};
+  Plan plan = ex.Explain(q);
+  EXPECT_TRUE(plan.sort_elided);
+  EXPECT_TRUE(ex.IsSorted(ex.Execute(q), q.order_by));
+}
+
+TEST(ExecutorTest, TaxInfoMotivatingQuery) {
+  // SELECT ... ORDER BY income, bracket, tax with the table stored in
+  // income order: the whole ORDER BY disappears.
+  CodedRelation tax =
+      CodedRelation::Encode(datagen::MakeTaxInfo());
+  opt::OdKnowledgeBase kb = MineKb(tax);
+  Executor ex(tax, &kb);
+  ex.DeclarePhysicalOrder({1});  // income
+  ASSERT_TRUE(ex.VerifyPhysicalOrder());
+  Query q;
+  q.order_by = {1, 3, 4};  // income, bracket, tax
+  Plan plan = ex.Explain(q);
+  EXPECT_EQ(plan.simplified_order_by, (SortSpec{1}));
+  EXPECT_TRUE(plan.sort_elided);
+  std::vector<std::uint32_t> rows = ex.Execute(q);
+  EXPECT_TRUE(ex.IsSorted(rows, q.order_by));  // the ORIGINAL clause
+  EXPECT_EQ(rows.size(), tax.num_rows());
+}
+
+TEST(ExecutorTest, ElisionIsFilterSafe) {
+  // ODs survive row filtering; elided plans must stay correct under WHERE.
+  CodedRelation r = CodedIntTable(
+      {{1, 2, 3, 4, 5}, {2, 4, 6, 8, 10}, {5, 4, 3, 2, 1}});
+  opt::OdKnowledgeBase kb = MineKb(r);
+  Executor ex(r, &kb);
+  ex.DeclarePhysicalOrder({0});
+  Query q;
+  q.order_by = {1};
+  q.filters = {Predicate{2, Predicate::Op::kLe, 3}};
+  ASSERT_TRUE(ex.Explain(q).sort_elided);
+  std::vector<std::uint32_t> rows = ex.Execute(q);
+  EXPECT_TRUE(ex.IsSorted(rows, q.order_by));
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST(ExecutorTest, VerifyPhysicalOrderDetectsLies) {
+  CodedRelation r = CodedIntTable({{2, 1, 3}});
+  Executor ex(r);
+  ex.DeclarePhysicalOrder({0});
+  EXPECT_FALSE(ex.VerifyPhysicalOrder());
+}
+
+TEST(ExecutorTest, LineitemPhysicalOrderHolds) {
+  CodedRelation li =
+      CodedRelation::Encode(datagen::MakeLineitem(2000, 42));
+  Executor ex(li);
+  ex.DeclarePhysicalOrder({0, 3});  // (l_orderkey, l_linenumber)
+  EXPECT_TRUE(ex.VerifyPhysicalOrder());
+}
+
+// Property: with and without the knowledge base, a query returns the same
+// row multiset and both outputs satisfy the *original* ORDER BY — OD-based
+// planning never changes semantics.
+class ExecutorEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorEquivalenceTest, KbPlansAreSemanticallyEquivalent) {
+  Rng rng(GetParam());
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 11, 40, 4, 4);
+  opt::OdKnowledgeBase kb = MineKb(r);
+
+  Executor with_kb(r, &kb);
+  Executor without_kb(r);
+  // Random physical order declaration only when actually true.
+  // (Row-id order is what scanning yields, so declare nothing.)
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Query q;
+    std::size_t clause_len = 1 + rng.Uniform(3);
+    for (std::size_t i = 0; i < clause_len; ++i) {
+      q.order_by.push_back(rng.Uniform(4));
+    }
+    if (rng.Bernoulli(0.5)) {
+      q.filters.push_back(Predicate{
+          static_cast<rel::ColumnId>(rng.Uniform(4)),
+          rng.Bernoulli(0.5) ? Predicate::Op::kLe : Predicate::Op::kGe,
+          static_cast<std::int32_t>(rng.Uniform(4))});
+    }
+
+    std::vector<std::uint32_t> a = with_kb.Execute(q);
+    std::vector<std::uint32_t> b = without_kb.Execute(q);
+    EXPECT_TRUE(with_kb.IsSorted(a, q.order_by));
+    EXPECT_TRUE(without_kb.IsSorted(b, q.order_by));
+    std::multiset<std::uint32_t> ma(a.begin(), a.end());
+    std::multiset<std::uint32_t> mb(b.begin(), b.end());
+    EXPECT_EQ(ma, mb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ocdd::engine

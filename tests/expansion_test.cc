@@ -1,0 +1,98 @@
+#include "core/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ocd_discover.h"
+#include "datagen/fixtures.h"
+#include "od/brute_force.h"
+#include "test_util.h"
+
+namespace ocdd::core {
+namespace {
+
+using od::AttributeList;
+using od::OrderDependency;
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+TEST(ExpansionTest, YesDatasetYieldsTheorem38Forms) {
+  CodedRelation yes = CodedRelation::Encode(datagen::MakeYes());
+  OcdDiscoverResult result = DiscoverOcds(yes);
+  ExpandedResult expanded = ExpandResults(result, yes);
+  std::set<OrderDependency> ods(expanded.ods.begin(), expanded.ods.end());
+  // From A ~ B: AB → BA, BA → AB, and the repeated-attribute forms
+  // AB → B, BA → A (Theorem 3.8) — the ODs ORDER cannot discover.
+  EXPECT_TRUE(ods.count(
+      OrderDependency{AttributeList{0, 1}, AttributeList{1, 0}}));
+  EXPECT_TRUE(ods.count(
+      OrderDependency{AttributeList{1, 0}, AttributeList{0, 1}}));
+  EXPECT_TRUE(
+      ods.count(OrderDependency{AttributeList{0, 1}, AttributeList{1}}));
+  EXPECT_TRUE(
+      ods.count(OrderDependency{AttributeList{1, 0}, AttributeList{0}}));
+  EXPECT_EQ(expanded.total_count, ods.size());
+  EXPECT_FALSE(expanded.truncated);
+}
+
+TEST(ExpansionTest, AllExpandedOdsAreSemanticallyValid) {
+  CodedRelation r = testutil::RandomCodedTable(3, 10, 4, 3);
+  OcdDiscoverResult result = DiscoverOcds(r);
+  ExpandedResult expanded = ExpandResults(result, r);
+  for (const OrderDependency& od : expanded.ods) {
+    EXPECT_TRUE(od::BruteForceHoldsOd(r, od.lhs, od.rhs)) << od.ToString();
+  }
+}
+
+TEST(ExpansionTest, EquivalenceClassSubstitution) {
+  // A ↔ B (same codes); C ordered by both. Discovery runs on the
+  // representative A; expansion must also produce the B variants.
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {10, 20, 30}, {5, 5, 7}});
+  OcdDiscoverResult result = DiscoverOcds(r);
+  ASSERT_EQ(result.reduction.equivalence_classes.size(), 1u);
+  ExpandedResult expanded = ExpandResults(result, r);
+  std::set<OrderDependency> ods(expanded.ods.begin(), expanded.ods.end());
+  // Mutual single-column equivalence ODs.
+  EXPECT_TRUE(ods.count(OrderDependency{AttributeList{0}, AttributeList{1}}));
+  EXPECT_TRUE(ods.count(OrderDependency{AttributeList{1}, AttributeList{0}}));
+  // A → C discovered on the representative; B → C from substitution.
+  EXPECT_TRUE(ods.count(OrderDependency{AttributeList{0}, AttributeList{2}}));
+  EXPECT_TRUE(ods.count(OrderDependency{AttributeList{1}, AttributeList{2}}));
+}
+
+TEST(ExpansionTest, ConstantColumnOds) {
+  CodedRelation r = CodedIntTable({{9, 9, 9}, {1, 2, 3}, {2, 1, 3}});
+  OcdDiscoverResult result = DiscoverOcds(r);
+  ExpandedResult expanded = ExpandResults(result, r);
+  std::set<OrderDependency> ods(expanded.ods.begin(), expanded.ods.end());
+  EXPECT_TRUE(ods.count(OrderDependency{AttributeList{1}, AttributeList{0}}));
+  EXPECT_TRUE(ods.count(OrderDependency{AttributeList{2}, AttributeList{0}}));
+}
+
+TEST(ExpansionTest, OptionsDisableConstantAndRepeatedForms) {
+  CodedRelation yes = CodedRelation::Encode(datagen::MakeYes());
+  OcdDiscoverResult result = DiscoverOcds(yes);
+  ExpansionOptions opts;
+  opts.include_repeated_attribute_ods = false;
+  ExpandedResult expanded = ExpandResults(result, yes, opts);
+  std::set<OrderDependency> ods(expanded.ods.begin(), expanded.ods.end());
+  EXPECT_FALSE(
+      ods.count(OrderDependency{AttributeList{0, 1}, AttributeList{1}}));
+  EXPECT_TRUE(ods.count(
+      OrderDependency{AttributeList{0, 1}, AttributeList{1, 0}}));
+}
+
+TEST(ExpansionTest, MaterializationCap) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {10, 20, 30}, {7, 8, 9}});
+  OcdDiscoverResult result = DiscoverOcds(r);
+  ExpansionOptions opts;
+  opts.max_materialized = 2;
+  ExpandedResult expanded = ExpandResults(result, r, opts);
+  EXPECT_LE(expanded.ods.size(), 2u);
+  EXPECT_GT(expanded.total_count, 2u);
+  EXPECT_TRUE(expanded.truncated);
+}
+
+}  // namespace
+}  // namespace ocdd::core

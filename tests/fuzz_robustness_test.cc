@@ -1,0 +1,158 @@
+// Robustness sweeps: randomly generated (and deliberately malformed) inputs
+// must never crash, and every code path must return either a Status error
+// or internally-consistent results. These are deterministic "mini-fuzzers"
+// seeded per test case.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/fastod/fastod.h"
+#include "algo/fd/tane.h"
+#include "algo/order/order_discover.h"
+#include "common/rng.h"
+#include "core/expansion.h"
+#include "core/ocd_discover.h"
+#include "relation/csv.h"
+#include "test_util.h"
+
+namespace ocdd {
+namespace {
+
+class CsvFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const char alphabet[] = "abc123,\"\n\r\t ?.;-";
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string text;
+    std::size_t len = rng.Uniform(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    auto result = rel::ReadCsvString(text);
+    if (result.ok()) {
+      // A parsed relation must be internally consistent.
+      EXPECT_EQ(result->num_columns(), result->schema().num_columns());
+      for (std::size_t c = 0; c < result->num_columns(); ++c) {
+        EXPECT_EQ(result->column(c).size(), result->num_rows());
+      }
+      // And must round-trip through the writer.
+      auto again = rel::ReadCsvString(rel::WriteCsvString(*result));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->num_rows(), result->num_rows());
+    }
+  }
+}
+
+TEST_P(CsvFuzzTest, ParsedRelationsSurviveDiscovery) {
+  Rng rng(GetParam() + 5000);
+  for (int doc = 0; doc < 10; ++doc) {
+    // Structured-random CSV: consistent width, random typed-ish cells.
+    std::size_t cols = 1 + rng.Uniform(4);
+    std::size_t rows = 1 + rng.Uniform(12);
+    std::string text;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > 0) text += ',';
+      text += 'c';
+      text += std::to_string(c);
+    }
+    text += '\n';
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (c > 0) text += ',';
+        switch (rng.Uniform(4)) {
+          case 0:
+            text += std::to_string(rng.UniformInt(-5, 5));
+            break;
+          case 1:
+            text += std::to_string(rng.UniformInt(0, 3));
+            text += ".5";
+            break;
+          case 2:
+            text += "?";
+            break;
+          default:
+            text.push_back(static_cast<char>('a' + rng.Uniform(3)));
+        }
+      }
+      text += '\n';
+    }
+    auto parsed = rel::ReadCsvString(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    rel::CodedRelation coded = rel::CodedRelation::Encode(*parsed);
+    auto result = core::DiscoverOcds(coded);
+    EXPECT_TRUE(result.completed);
+    auto expanded = core::ExpandResults(result, coded);
+    EXPECT_GE(expanded.total_count, result.ods.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+class AlgorithmFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgorithmFuzzTest, AllAlgorithmsAgreeOnInvariants) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    std::size_t rows = 2 + rng.Uniform(15);
+    std::size_t cols = 2 + rng.Uniform(4);
+    std::uint64_t domain = 1 + rng.Uniform(4);
+    rel::CodedRelation r = testutil::RandomCodedTable(
+        GetParam() * 1000 + static_cast<std::uint64_t>(trial), rows, cols,
+        domain);
+
+    auto mine = core::DiscoverOcds(r);
+    auto order = algo::DiscoverOrderDependencies(r);
+    auto fastod = algo::DiscoverFastod(r);
+    auto tane = algo::DiscoverFds(r);
+
+    // Cross-algorithm invariants that hold for every instance:
+    EXPECT_EQ(fastod.num_constancy, tane.fds.size());
+    // ORDER's single-column OD count can never exceed what OCDDISCOVER's
+    // expansion accounts for.
+    core::ExpandedResult exp = core::ExpandResults(mine, r);
+    for (const auto& od : order.ods) {
+      if (od.lhs.size() == 1 && od.rhs.size() == 1) {
+        bool covered = false;
+        for (const auto& e : exp.ods) {
+          if (e == od) {
+            covered = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(covered) << od.ToString();
+      }
+    }
+    // Every discovery reports sane counters.
+    EXPECT_GE(mine.candidates_generated, mine.ocds.size());
+    EXPECT_TRUE(mine.completed);
+    EXPECT_TRUE(order.completed);
+    EXPECT_TRUE(fastod.completed);
+    EXPECT_TRUE(tane.completed);
+  }
+}
+
+TEST_P(AlgorithmFuzzTest, DegenerateRelations) {
+  // Edge shapes: single row, single column, all-equal, all-distinct.
+  std::vector<rel::CodedRelation> shapes;
+  shapes.push_back(testutil::CodedIntTable({{42}}));
+  shapes.push_back(testutil::CodedIntTable({{7, 7, 7, 7}}));
+  shapes.push_back(testutil::CodedIntTable({{1, 2, 3, 4}}));
+  shapes.push_back(testutil::CodedIntTable({{1}, {2}, {3}, {4}, {5}}));
+  shapes.push_back(
+      testutil::CodedIntTable({{1, 1}, {1, 1}, {1, 1}, {1, 1}}));
+  for (const auto& r : shapes) {
+    EXPECT_TRUE(core::DiscoverOcds(r).completed);
+    EXPECT_TRUE(algo::DiscoverOrderDependencies(r).completed);
+    EXPECT_TRUE(algo::DiscoverFastod(r).completed);
+    EXPECT_TRUE(algo::DiscoverFds(r).completed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace ocdd

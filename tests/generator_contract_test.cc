@@ -1,0 +1,152 @@
+// Contracts of the synthetic dataset generators: DESIGN.md §2 claims each
+// analogue preserves specific structural properties of its original — these
+// tests pin those claims so generator edits cannot silently invalidate the
+// benchmark story.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/entropy.h"
+#include "datagen/generators.h"
+#include "datagen/lineitem.h"
+#include "od/brute_force.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::datagen {
+namespace {
+
+using od::AttributeList;
+using rel::CodedRelation;
+
+rel::ColumnId Col(const CodedRelation& r, const char* name) {
+  for (rel::ColumnId c = 0; c < r.num_columns(); ++c) {
+    if (r.column_name(c) == name) return c;
+  }
+  ADD_FAILURE() << "missing column " << name;
+  return 0;
+}
+
+TEST(GeneratorContractTest, DbtesmaOdChain) {
+  CodedRelation r = CodedRelation::Encode(MakeDbtesma(1500, 3));
+  // key → batch → region → zone: the chain bench_optimizer elides sorts on.
+  auto od = [&](const char* a, const char* b) {
+    return od::BruteForceHoldsOd(r, AttributeList{Col(r, a)},
+                                 AttributeList{Col(r, b)});
+  };
+  EXPECT_TRUE(od("key", "batch"));
+  EXPECT_TRUE(od("batch", "region"));
+  EXPECT_TRUE(od("region", "zone"));
+  EXPECT_TRUE(od("key", "zone"));
+  EXPECT_FALSE(od("batch", "key"));  // strictly coarser, not invertible
+  EXPECT_TRUE(od("cat1", "cat2"));
+  EXPECT_TRUE(od("rank1", "rank2"));
+}
+
+TEST(GeneratorContractTest, DbtesmaEquivalencesAndConstants) {
+  CodedRelation r = CodedRelation::Encode(MakeDbtesma(800, 9));
+  EXPECT_EQ(r.column(Col(r, "grp")).codes, r.column(Col(r, "grp_code")).codes);
+  EXPECT_EQ(r.column(Col(r, "seq")).codes, r.column(Col(r, "seq_sq")).codes);
+  EXPECT_EQ(r.column(Col(r, "price")).codes,
+            r.column(Col(r, "price_r")).codes);
+  EXPECT_TRUE(r.column(Col(r, "const1")).is_constant());
+  EXPECT_TRUE(r.column(Col(r, "const2")).is_constant());
+}
+
+TEST(GeneratorContractTest, NcvoterFunctionalStructure) {
+  CodedRelation r = CodedRelation::Encode(MakeNcvoter(600, 4));
+  // zip determines city, county, precinct, district (the FD family).
+  EXPECT_TRUE(od::BruteForceHoldsFd(r, {Col(r, "zip_code")}, Col(r, "city")));
+  EXPECT_TRUE(
+      od::BruteForceHoldsFd(r, {Col(r, "zip_code")}, Col(r, "county_id")));
+  EXPECT_TRUE(
+      od::BruteForceHoldsFd(r, {Col(r, "zip_code")}, Col(r, "precinct")));
+  // age and birth_year are inversely ordered (polarized pair).
+  EXPECT_TRUE(od::BruteForceHoldsFd(r, {Col(r, "age")}, Col(r, "birth_year")));
+  EXPECT_FALSE(od::BruteForceHoldsOd(r, AttributeList{Col(r, "age")},
+                                     AttributeList{Col(r, "birth_year")}));
+}
+
+TEST(GeneratorContractTest, HorseQuasiConstantFlagsAreCompatible) {
+  CodedRelation r = CodedRelation::Encode(MakeHorse(300, 5));
+  // The severity flags are thresholds of cell_vol: pairwise order
+  // compatible, unordered either way — the Figure 5 blow-up drivers.
+  rel::ColumnId surgical = Col(r, "surgical");
+  rel::ColumnId cp = Col(r, "cp_data");
+  rel::ColumnId lesion2 = Col(r, "lesion2");
+  for (auto [a, b] : {std::pair{surgical, cp}, std::pair{surgical, lesion2},
+                      std::pair{cp, lesion2}}) {
+    EXPECT_TRUE(
+        od::BruteForceHoldsOcd(r, AttributeList{a}, AttributeList{b}));
+    EXPECT_FALSE(od::BruteForceHoldsOd(r, AttributeList{a}, AttributeList{b}));
+    EXPECT_FALSE(od::BruteForceHoldsOd(r, AttributeList{b}, AttributeList{a}));
+  }
+  // cell_vol orders its band column.
+  EXPECT_TRUE(od::BruteForceHoldsOd(r, AttributeList{Col(r, "cell_vol")},
+                                    AttributeList{Col(r, "pulse_band")}));
+}
+
+TEST(GeneratorContractTest, HepatitisCarriesTheAgeHistologyOd) {
+  CodedRelation r = CodedRelation::Encode(MakeHepatitis(155, 8));
+  EXPECT_TRUE(od::BruteForceHoldsOd(r, AttributeList{Col(r, "age")},
+                                    AttributeList{Col(r, "histology")}));
+}
+
+TEST(GeneratorContractTest, FlightThresholdFlagsAreMutuallyCompatible) {
+  CodedRelation r = CodedRelation::Encode(MakeFlight(500, 6));
+  // flag0..flag34 are thresholds of the departure delay: compatible with
+  // the delay column and with each other; independent flags (35+) are not.
+  rel::ColumnId delay = Col(r, "mid0");
+  rel::ColumnId f0 = Col(r, "flag0");
+  rel::ColumnId f10 = Col(r, "flag10");
+  rel::ColumnId noise = Col(r, "flag40");
+  EXPECT_TRUE(
+      od::BruteForceHoldsOcd(r, AttributeList{delay}, AttributeList{f0}));
+  EXPECT_TRUE(
+      od::BruteForceHoldsOcd(r, AttributeList{f0}, AttributeList{f10}));
+  EXPECT_FALSE(
+      od::BruteForceHoldsOcd(r, AttributeList{f0}, AttributeList{noise}));
+}
+
+TEST(GeneratorContractTest, LetterHasNoExactDependenciesAtScale) {
+  CodedRelation r = CodedRelation::Encode(MakeLetter(5000, 2));
+  // Spot-check: the noisy feature columns produce no exact pairwise OCDs —
+  // the property that makes LETTER's Table 6 row report zero ODs.
+  int compatible = 0;
+  for (rel::ColumnId a = 1; a < 6; ++a) {
+    for (rel::ColumnId b = a + 1; b < 6; ++b) {
+      if (od::BruteForceHoldsOcd(r, AttributeList{a}, AttributeList{b})) {
+        ++compatible;
+      }
+    }
+  }
+  EXPECT_EQ(compatible, 0);
+}
+
+TEST(GeneratorContractTest, LineitemCorrelationFamilies) {
+  CodedRelation r = CodedRelation::Encode(MakeLineitem(3000, 5));
+  // linestatus mirrors the shipping horizon: exact OCD with shipdate.
+  EXPECT_TRUE(od::BruteForceHoldsOcd(
+      r, AttributeList{Col(r, "l_linestatus")},
+      AttributeList{Col(r, "l_shipdate")}));
+  // The date columns are noisy relatives, not exact dependencies.
+  EXPECT_FALSE(od::BruteForceHoldsOcd(
+      r, AttributeList{Col(r, "l_shipdate")},
+      AttributeList{Col(r, "l_receiptdate")}));
+}
+
+TEST(GeneratorContractTest, FlightEntropyBandsAreOrdered) {
+  CodedRelation r = CodedRelation::Encode(MakeFlight(400, 10));
+  // id band > mid band > flag band > constants, on average.
+  auto entropy = [&](const char* name) {
+    return r.ColumnEntropy(Col(r, name));
+  };
+  EXPECT_GT(entropy("id0"), entropy("mid5"));
+  EXPECT_GT(entropy("mid5"), entropy("flag3"));
+  EXPECT_GT(entropy("flag3"), entropy("const0"));
+  EXPECT_DOUBLE_EQ(entropy("const0"), 0.0);
+}
+
+}  // namespace
+}  // namespace ocdd::datagen

@@ -1,0 +1,101 @@
+#include "optimizer/index_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ocd_discover.h"
+#include "datagen/fixtures.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::opt {
+namespace {
+
+using od::OrderDependency;
+
+TEST(IndexAdvisorTest, NoKnowledgeKeepsDistinctClauses) {
+  OdKnowledgeBase kb;
+  auto rec = AdviseIndexes(kb, {{0, 1}, {2}});
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec[0].columns, (std::vector<ColumnId>{0, 1}));
+  EXPECT_EQ(rec[1].columns, (std::vector<ColumnId>{2}));
+}
+
+TEST(IndexAdvisorTest, PrefixClausesAreServedByLongerIndex) {
+  OdKnowledgeBase kb;
+  auto rec = AdviseIndexes(kb, {{0}, {0, 1}, {0, 1, 2}});
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].columns, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ(rec[0].serves, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(IndexAdvisorTest, OdCollapsesWorkload) {
+  OdKnowledgeBase kb;
+  kb.AddOd(OrderDependency{od::AttributeList{0}, od::AttributeList{1}});
+  auto rec = AdviseIndexes(kb, {{0}, {1}});
+  // Index on 0 orders 1 via the OD: a single index suffices.
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].columns, (std::vector<ColumnId>{0}));
+  EXPECT_EQ(rec[0].serves, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IndexAdvisorTest, ConstantOnlyClauseNeedsNoIndex) {
+  OdKnowledgeBase kb;
+  kb.AddConstant(5);
+  auto rec = AdviseIndexes(kb, {{5}});
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(IndexAdvisorTest, ConstantOnlyClauseAttachesToExistingIndex) {
+  OdKnowledgeBase kb;
+  kb.AddConstant(5);
+  auto rec = AdviseIndexes(kb, {{0, 1}, {5}});
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].serves, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IndexAdvisorTest, SimplificationShrinksIndexKeys) {
+  OdKnowledgeBase kb;
+  kb.AddOd(OrderDependency{od::AttributeList{0}, od::AttributeList{1}});
+  auto rec = AdviseIndexes(kb, {{0, 1, 2}});
+  // Column 1 is redundant inside the clause: the index key is (0, 2).
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].columns, (std::vector<ColumnId>{0, 2}));
+}
+
+TEST(IndexAdvisorTest, TaxInfoEndToEnd) {
+  // Mining TaxInfo: one index on income covers sorting by income, tax, and
+  // bracket in any of the motivating combinations.
+  rel::CodedRelation tax =
+      rel::CodedRelation::Encode(datagen::MakeTaxInfo());
+  core::OcdDiscoverResult mined = core::DiscoverOcds(tax);
+  OdKnowledgeBase kb;
+  for (const auto& od : mined.ods) kb.AddOd(od);
+  for (const auto& ocd : mined.ocds) kb.AddOcd(ocd);
+  for (const auto& cls : mined.reduction.equivalence_classes) {
+    kb.AddEquivalenceClass(cls);
+  }
+  // Columns: 0 name, 1 income, 2 savings, 3 bracket, 4 tax.
+  auto rec = AdviseIndexes(kb, {{1, 3, 4}, {4}, {3}, {1}});
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].columns, (std::vector<ColumnId>{1}));
+  EXPECT_EQ(rec[0].serves, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(IndexAdvisorTest, EveryWorkloadClauseIsAccounted) {
+  OdKnowledgeBase kb;
+  kb.AddOd(OrderDependency{od::AttributeList{2}, od::AttributeList{0}});
+  std::vector<std::vector<ColumnId>> workload = {{0}, {1, 2}, {2}, {2, 1}};
+  auto rec = AdviseIndexes(kb, workload);
+  std::vector<bool> served(workload.size(), false);
+  for (const auto& idx : rec) {
+    for (std::size_t w : idx.serves) {
+      EXPECT_FALSE(served[w]) << "clause " << w << " served twice";
+      served[w] = true;
+    }
+  }
+  for (std::size_t w = 0; w < workload.size(); ++w) {
+    EXPECT_TRUE(served[w]) << "clause " << w << " unserved";
+  }
+}
+
+}  // namespace
+}  // namespace ocdd::opt

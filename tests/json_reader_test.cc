@@ -1,0 +1,125 @@
+#include "report/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ocd_discover.h"
+#include "algo/fd/tane.h"
+#include "datagen/fixtures.h"
+#include "report/json_writer.h"
+#include "test_util.h"
+
+namespace ocdd::report {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->bool_value(), true);
+  EXPECT_EQ(ParseJson("false")->bool_value(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e2")->number_value(), -150.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(ParseJson("\"a\\\"b\"")->string_value(), "a\"b");
+  EXPECT_EQ(ParseJson("\"a\\n\\t\\\\\"")->string_value(), "a\n\t\\");
+  EXPECT_EQ(ParseJson("\"\\u0041\"")->string_value(), "A");
+  EXPECT_EQ(ParseJson("\"\\u00e9\"")->string_value(), "\xc3\xa9");  // é
+}
+
+TEST(JsonParseTest, Structures) {
+  auto v = ParseJson(R"({"a":[1,2,{"b":true}],"c":null})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)["a"][0].number_value(), 1.0);
+  EXPECT_TRUE((*v)["a"][2]["b"].bool_value());
+  EXPECT_TRUE((*v)["c"].is_null());
+  EXPECT_TRUE((*v)["missing"].is_null());
+  EXPECT_TRUE((*v)["a"][99].is_null());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = ParseJson(" { \"a\" : [ 1 , 2 ] } ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"].array().size(), 2u);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"bad \\q escape\"").ok());
+  EXPECT_FALSE(ParseJson("-").ok());
+}
+
+TEST(JsonParseTest, DeepNestingIsRejectedNotCrashed) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesAndReserializes) {
+  CodedRelation tax = CodedRelation::Encode(datagen::MakeTaxInfo());
+  auto result = core::DiscoverOcds(tax);
+  std::string json = ToJson(result, tax);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)["algorithm"].string_value(), "ocddiscover");
+  EXPECT_DOUBLE_EQ((*parsed)["num_rows"].number_value(), 6.0);
+  EXPECT_EQ((*parsed)["ocds"].array().size(), result.ocds.size());
+  // Canonical serialization round-trips to an equal document.
+  auto again = ParseJson(SerializeJson(*parsed));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again == *parsed);
+}
+
+TEST(ReportDiffTest, IdenticalReportsDiffEmpty) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {4, 5, 6}});
+  auto result = core::DiscoverOcds(r);
+  auto doc = ParseJson(ToJson(result, r));
+  ASSERT_TRUE(doc.ok());
+  auto diff = DiffReports(*doc, *doc);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->empty());
+}
+
+TEST(ReportDiffTest, DetectsLostDependency) {
+  // Same schema; the data change swaps two B values, killing the OD and
+  // OCD between A and B.
+  CodedRelation before = CodedIntTable({{1, 2, 3}, {4, 4, 6}});
+  CodedRelation after = CodedIntTable({{1, 2, 3}, {4, 6, 4}});
+  auto doc_a = ParseJson(ToJson(core::DiscoverOcds(before), before));
+  auto doc_b = ParseJson(ToJson(core::DiscoverOcds(after), after));
+  ASSERT_TRUE(doc_a.ok() && doc_b.ok());
+  auto diff = DiffReports(*doc_a, *doc_b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->empty());
+  bool any_removed = false;
+  for (const auto& entry : *diff) {
+    if (entry.change == ReportDiffEntry::Change::kRemoved) any_removed = true;
+  }
+  EXPECT_TRUE(any_removed);
+}
+
+TEST(ReportDiffTest, CrossAlgorithmDiffRejected) {
+  CodedRelation r = CodedIntTable({{1, 2}, {3, 4}});
+  auto a = ParseJson(ToJson(core::DiscoverOcds(r), r));
+  auto b = ParseJson(ToJson(algo::DiscoverFds(r), r));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(DiffReports(*a, *b).ok());
+}
+
+TEST(ReportDiffTest, NonReportsRejected) {
+  auto junk = ParseJson("{\"x\":1}");
+  ASSERT_TRUE(junk.ok());
+  EXPECT_FALSE(DiffReports(*junk, *junk).ok());
+}
+
+}  // namespace
+}  // namespace ocdd::report

@@ -1,0 +1,124 @@
+#include "report/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/fixtures.h"
+#include "test_util.h"
+
+namespace ocdd::report {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+/// Minimal structural validator: balanced braces/brackets outside strings,
+/// proper string termination. Not a full parser — enough to catch broken
+/// emission.
+bool LooksLikeValidJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, OcdDiscoverResult) {
+  CodedRelation tax = CodedRelation::Encode(datagen::MakeTaxInfo());
+  auto result = core::DiscoverOcds(tax);
+  std::string json = ToJson(result, tax);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"algorithm\":\"ocddiscover\""), std::string::npos);
+  EXPECT_NE(json.find("\"equivalence_classes\":[[\"income\",\"tax\"]]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lhs\":[\"income\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
+}
+
+TEST(JsonWriterTest, TaneResult) {
+  CodedRelation no = CodedRelation::Encode(datagen::MakeNo());
+  auto result = algo::DiscoverFds(no);
+  std::string json = ToJson(result, no);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"fds\":[{\"lhs\":[\"B\"],\"rhs\":\"A\"}]"),
+            std::string::npos);
+}
+
+TEST(JsonWriterTest, OrderResult) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {4, 5, 6}});
+  auto result = algo::DiscoverOrderDependencies(r);
+  std::string json = ToJson(result, r);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"algorithm\":\"order\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, FastodResult) {
+  CodedRelation numbers = CodedRelation::Encode(datagen::MakeNumbers());
+  auto result = algo::DiscoverFastod(numbers);
+  std::string json = ToJson(result, numbers);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"kind\":\"constancy\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, FastodBidResult) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {9, 8, 7}});
+  auto result = algo::DiscoverFastodBid(r);
+  std::string json = ToJson(result, r);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"kind\":\"anti_concordant\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, ApproximatePairs) {
+  CodedRelation no = CodedRelation::Encode(datagen::MakeNo());
+  auto pairs = core::DiscoverApproximatePairOcds(no, 1.0);
+  std::string json = ToJson(pairs, no);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+  EXPECT_NE(json.find("\"removals\":1"), std::string::npos);
+}
+
+TEST(JsonWriterTest, EscapedColumnNamesSurvive) {
+  rel::CodedColumn weird;
+  weird.name = "col\"with\\specials\n";
+  weird.codes = {0, 1};
+  weird.num_distinct = 2;
+  CodedRelation r = CodedRelation::FromColumns({weird});
+  auto result = core::DiscoverOcds(r);
+  std::string json = ToJson(result, r);
+  EXPECT_TRUE(LooksLikeValidJson(json)) << json;
+}
+
+}  // namespace
+}  // namespace ocdd::report

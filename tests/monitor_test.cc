@@ -1,0 +1,134 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/fixtures.h"
+#include "test_util.h"
+
+namespace ocdd::core {
+namespace {
+
+using rel::Value;
+
+rel::Relation ThreeColTable() {
+  return testutil::IntTable({{1, 2, 3}, {10, 20, 30}, {5, 5, 7}});
+}
+
+TEST(MonitorTest, InitialStateMatchesFreshDiscovery) {
+  DependencyMonitor monitor(ThreeColTable());
+  OcdDiscoverResult fresh =
+      DiscoverOcds(rel::CodedRelation::Encode(ThreeColTable()));
+  EXPECT_EQ(monitor.current().ocds, fresh.ocds);
+  EXPECT_EQ(monitor.current().ods, fresh.ods);
+}
+
+TEST(MonitorTest, CompatibleAppendKeepsEverything) {
+  DependencyMonitor monitor(ThreeColTable());
+  std::size_t ocds_before = monitor.current().ocds.size();
+  auto report = monitor.AppendRows({{Value::Int(4), Value::Int(40),
+                                     Value::Int(9)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->rediscovered);
+  EXPECT_TRUE(report->invalidated_ocds.empty());
+  EXPECT_TRUE(report->invalidated_ods.empty());
+  EXPECT_EQ(monitor.current().ocds.size(), ocds_before);
+  EXPECT_EQ(monitor.relation().num_rows(), 4u);
+}
+
+TEST(MonitorTest, SchemaViolationIsRejected) {
+  DependencyMonitor monitor(ThreeColTable());
+  auto report = monitor.AppendRows({{Value::Int(4)}});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(MonitorTest, EquivalenceBreakTriggersRediscovery) {
+  // A ↔ B initially (identical orders); the new row breaks the class.
+  DependencyMonitor monitor(ThreeColTable());
+  ASSERT_EQ(monitor.current().reduction.equivalence_classes.size(), 1u);
+  auto report = monitor.AppendRows({{Value::Int(4), Value::Int(1),
+                                     Value::Int(9)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->equivalence_broke);
+  EXPECT_TRUE(report->rediscovered);
+  EXPECT_TRUE(monitor.current().reduction.equivalence_classes.empty());
+}
+
+TEST(MonitorTest, ConstantBreakTriggersRediscovery) {
+  DependencyMonitor monitor(
+      testutil::IntTable({{7, 7, 7}, {1, 2, 3}}));
+  ASSERT_EQ(monitor.current().reduction.constant_columns.size(), 1u);
+  auto report = monitor.AppendRows({{Value::Int(8), Value::Int(4)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->constant_broke);
+  EXPECT_TRUE(report->rediscovered);
+  EXPECT_TRUE(monitor.current().reduction.constant_columns.empty());
+}
+
+TEST(MonitorTest, OcdOnlyBreakUsesCheapPath) {
+  // YES dataset: A ~ B holds but no OD does; a swapped row kills the OCD
+  // without touching structure → cheap revalidation.
+  DependencyMonitor monitor(datagen::MakeYes());
+  ASSERT_EQ(monitor.current().ocds.size(), 1u);
+  auto report = monitor.AppendRows({{Value::Int(10), Value::Int(0)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->rediscovered);
+  ASSERT_EQ(report->invalidated_ocds.size(), 1u);
+  EXPECT_TRUE(monitor.current().ocds.empty());
+}
+
+TEST(MonitorTest, OdBreakTriggersRediscovery) {
+  // income → bracket holds on TaxInfo; a row with high income and low
+  // bracket breaks the OD (and the income ↔ tax class stays intact only if
+  // the new row respects it — make it break the OD specifically).
+  DependencyMonitor monitor(datagen::MakeTaxInfo());
+  // Columns: name, income, savings, bracket, tax.
+  auto report = monitor.AppendRows(
+      {{Value::String("Z. Test"), Value::Int(90000), Value::Int(11000),
+        Value::Int(1), Value::Int(15000)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->od_broke);
+  EXPECT_TRUE(report->rediscovered);
+}
+
+// Property: after any sequence of appends, the monitor's state must equal a
+// fresh discovery on the grown relation — across both maintenance regimes.
+class MonitorEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MonitorEquivalenceTest, StateMatchesFreshDiscoveryAfterAppends) {
+  Rng rng(GetParam());
+  // Small domain so appends regularly break dependencies.
+  std::vector<std::vector<std::int64_t>> cols(4);
+  for (auto& c : cols) {
+    for (int r = 0; r < 8; ++r) {
+      c.push_back(static_cast<std::int64_t>(rng.Uniform(3)));
+    }
+  }
+  DependencyMonitor monitor(testutil::IntTable(cols));
+
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::vector<rel::Value>> rows;
+    std::size_t batch_size = 1 + rng.Uniform(3);
+    for (std::size_t r = 0; r < batch_size; ++r) {
+      std::vector<rel::Value> row;
+      for (std::size_t c = 0; c < 4; ++c) {
+        row.push_back(rel::Value::Int(
+            static_cast<std::int64_t>(rng.Uniform(3))));
+      }
+      rows.push_back(std::move(row));
+    }
+    ASSERT_TRUE(monitor.AppendRows(rows).ok());
+
+    OcdDiscoverResult fresh =
+        DiscoverOcds(rel::CodedRelation::Encode(monitor.relation()));
+    EXPECT_EQ(monitor.current().ocds, fresh.ocds) << "batch " << batch;
+    EXPECT_EQ(monitor.current().ods, fresh.ods) << "batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace ocdd::core

@@ -1,0 +1,121 @@
+#include "optimizer/order_by_rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ocd_discover.h"
+#include "datagen/fixtures.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::opt {
+namespace {
+
+using od::OrderCompatibility;
+using od::OrderDependency;
+
+TEST(OdKnowledgeBaseTest, OrdersReflexivePrefix) {
+  OdKnowledgeBase kb;
+  EXPECT_TRUE(kb.Orders(AttributeList{0, 1}, AttributeList{0}));
+  EXPECT_TRUE(kb.Orders(AttributeList{0, 1}, AttributeList{0, 1}));
+  EXPECT_FALSE(kb.Orders(AttributeList{0, 1}, AttributeList{1}));
+}
+
+TEST(OdKnowledgeBaseTest, OrdersViaStoredOd) {
+  OdKnowledgeBase kb;
+  kb.AddOd(OrderDependency{AttributeList{0}, AttributeList{1}});
+  EXPECT_TRUE(kb.Orders(AttributeList{0}, AttributeList{1}));
+  // Stored ODs apply to longer clauses whose prefix matches.
+  EXPECT_TRUE(kb.Orders(AttributeList{0, 2}, AttributeList{1}));
+  EXPECT_FALSE(kb.Orders(AttributeList{2}, AttributeList{1}));
+}
+
+TEST(OdKnowledgeBaseTest, OrdersTransitively) {
+  OdKnowledgeBase kb;
+  kb.AddOd(OrderDependency{AttributeList{0}, AttributeList{1}});
+  kb.AddOd(OrderDependency{AttributeList{1}, AttributeList{2}});
+  EXPECT_TRUE(kb.Orders(AttributeList{0}, AttributeList{2}));
+}
+
+TEST(OdKnowledgeBaseTest, ConstantsAreAlwaysOrdered) {
+  OdKnowledgeBase kb;
+  kb.AddConstant(3);
+  EXPECT_TRUE(kb.Orders(AttributeList{0}, AttributeList{3}));
+  EXPECT_TRUE(kb.Orders(AttributeList{1}, AttributeList{3}));
+}
+
+TEST(OdKnowledgeBaseTest, EquivalenceClassSubstitution) {
+  OdKnowledgeBase kb;
+  kb.AddEquivalenceClass({0, 4});  // 0 represents 4
+  kb.AddOd(OrderDependency{AttributeList{0}, AttributeList{2}});
+  // The OD applies to the equivalent column too.
+  EXPECT_TRUE(kb.Orders(AttributeList{4}, AttributeList{2}));
+  EXPECT_TRUE(kb.Orders(AttributeList{0}, AttributeList{4}));
+}
+
+TEST(OdKnowledgeBaseTest, SimplifyDropsDuplicates) {
+  OdKnowledgeBase kb;
+  RewriteResult r = kb.SimplifyOrderBy({2, 0, 2});
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{2, 0}));
+  EXPECT_EQ(r.steps[2].reason, RewriteReason::kDuplicate);
+}
+
+TEST(OdKnowledgeBaseTest, SimplifyKeepsUnrelatedColumns) {
+  OdKnowledgeBase kb;
+  RewriteResult r = kb.SimplifyOrderBy({0, 1, 2});
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{0, 1, 2}));
+  for (const RewriteStep& s : r.steps) {
+    EXPECT_EQ(s.reason, RewriteReason::kKept);
+  }
+}
+
+TEST(OdKnowledgeBaseTest, MotivatingExampleFromPaperSection1) {
+  // TaxInfo columns: 0 name, 1 income, 2 savings, 3 bracket, 4 tax.
+  // Given income → bracket and income ↔ tax:
+  // ORDER BY income, bracket, tax  →  ORDER BY income.
+  rel::CodedRelation tax = rel::CodedRelation::Encode(datagen::MakeTaxInfo());
+  core::OcdDiscoverResult discovered = core::DiscoverOcds(tax);
+
+  OdKnowledgeBase kb;
+  for (const OrderDependency& od : discovered.ods) kb.AddOd(od);
+  for (const OrderCompatibility& ocd : discovered.ocds) kb.AddOcd(ocd);
+  for (const auto& cls : discovered.reduction.equivalence_classes) {
+    kb.AddEquivalenceClass(cls);
+  }
+  for (ColumnId c : discovered.reduction.constant_columns) {
+    kb.AddConstant(c);
+  }
+
+  RewriteResult r = kb.SimplifyOrderBy({1, 3, 4});
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{1}));
+  EXPECT_EQ(r.steps[1].reason, RewriteReason::kOrderedByPrefix);
+  EXPECT_EQ(r.steps[2].reason, RewriteReason::kOrderedByPrefix);
+}
+
+TEST(OdKnowledgeBaseTest, OcdAloneDoesNotDropColumns) {
+  // A ~ B is weaker than A → B: ORDER BY a, b must keep b.
+  OdKnowledgeBase kb;
+  kb.AddOcd(OrderCompatibility{AttributeList{0}, AttributeList{1}});
+  RewriteResult r = kb.SimplifyOrderBy({0, 1});
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{0, 1}));
+}
+
+TEST(OdKnowledgeBaseTest, OcdHelpsConcatenatedPrefix) {
+  // From A ~ B the KB knows AB → BA: ORDER BY a, b, then by prefix AB the
+  // column sequence b,a adds nothing — i.e. ORDER BY a, b, a drops the
+  // trailing a as duplicate, and ORDER BY a, b orders [b] via AB → BA? No:
+  // BA's first column is b, so [a,b] orders [b].
+  OdKnowledgeBase kb;
+  kb.AddOcd(OrderCompatibility{AttributeList{0}, AttributeList{1}});
+  EXPECT_TRUE(kb.Orders(AttributeList{0, 1}, AttributeList{1, 0}));
+  EXPECT_TRUE(kb.Orders(AttributeList{0, 1}, AttributeList{1}));
+}
+
+TEST(RewriteReasonTest, Names) {
+  EXPECT_STREQ(RewriteReasonName(RewriteReason::kKept), "kept");
+  EXPECT_STREQ(RewriteReasonName(RewriteReason::kDuplicate), "duplicate");
+  EXPECT_STREQ(RewriteReasonName(RewriteReason::kConstant), "constant");
+  EXPECT_STREQ(RewriteReasonName(RewriteReason::kOrderedByPrefix),
+               "ordered-by-prefix");
+}
+
+}  // namespace
+}  // namespace ocdd::opt

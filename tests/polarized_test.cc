@@ -1,0 +1,166 @@
+#include "core/polarized.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ocd_discover.h"
+#include "datagen/generators.h"
+#include "test_util.h"
+
+namespace ocdd::core {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+PolarizedList Asc(std::initializer_list<rel::ColumnId> cols) {
+  PolarizedList out;
+  for (rel::ColumnId c : cols) out.push_back({c, false});
+  return out;
+}
+
+TEST(PolarizedTest, AugmentReversesCodes) {
+  CodedRelation r = CodedIntTable({{10, 30, 20}});
+  CodedRelation aug = AugmentWithReversedColumns(r);
+  ASSERT_EQ(aug.num_columns(), 2u);
+  EXPECT_EQ(aug.column(0).codes, (std::vector<std::int32_t>{0, 2, 1}));
+  EXPECT_EQ(aug.column(1).codes, (std::vector<std::int32_t>{2, 0, 1}));
+  EXPECT_EQ(aug.column_name(1), "A(desc)");
+}
+
+TEST(PolarizedTest, CompareRespectsDirections) {
+  CodedRelation r = CodedIntTable({{1, 2}, {5, 3}});
+  // A ascending: row0 < row1. A descending: row0 > row1.
+  EXPECT_LT(CompareRowsOnPolarizedList(r, {{0, false}}, 0, 1), 0);
+  EXPECT_GT(CompareRowsOnPolarizedList(r, {{0, true}}, 0, 1), 0);
+  // (A+, B-): A decides first.
+  EXPECT_LT(CompareRowsOnPolarizedList(r, {{0, false}, {1, true}}, 0, 1), 0);
+}
+
+TEST(PolarizedTest, BruteForceInverseOrderEquivalence) {
+  // B = -A: A ascending orders B descending and vice versa.
+  CodedRelation r = CodedIntTable({{1, 2, 3}, {9, 6, 3}});
+  EXPECT_TRUE(BruteForceHoldsPolarizedOd(r, {{0, false}}, {{1, true}}));
+  EXPECT_TRUE(BruteForceHoldsPolarizedOd(r, {{1, true}}, {{0, false}}));
+  EXPECT_FALSE(BruteForceHoldsPolarizedOd(r, {{0, false}}, {{1, false}}));
+}
+
+TEST(PolarizedTest, DiscoveryFindsInversePair) {
+  CodedRelation r = CodedIntTable({{1, 2, 3, 4}, {8, 7, 5, 1}, {2, 9, 4, 7}});
+  PolarizedDiscoverResult result = DiscoverPolarizedOcds(r);
+  // A+ ~ B- must be discovered along with the two polarized ODs.
+  bool found_ocd = false;
+  for (const PolarizedOcd& ocd : result.ocds) {
+    if (ocd.lhs == PolarizedList{{0, false}} &&
+        ocd.rhs == PolarizedList{{1, true}}) {
+      found_ocd = true;
+    }
+  }
+  EXPECT_TRUE(found_ocd);
+  std::set<PolarizedOd> ods(result.ods.begin(), result.ods.end());
+  EXPECT_TRUE(ods.count(PolarizedOd{{{0, false}}, {{1, true}}}));
+  EXPECT_TRUE(ods.count(PolarizedOd{{{1, true}}, {{0, false}}}));
+}
+
+TEST(PolarizedTest, MirrorCanonicalHeadIsAscending) {
+  CodedRelation r = testutil::RandomCodedTable(5, 12, 4, 3);
+  PolarizedDiscoverResult result = DiscoverPolarizedOcds(r);
+  for (const PolarizedOcd& ocd : result.ocds) {
+    ASSERT_FALSE(ocd.lhs.empty());
+    EXPECT_FALSE(ocd.lhs.front().descending) << ocd.ToString(r);
+  }
+}
+
+TEST(PolarizedTest, ConstantColumnsAreSkipped) {
+  CodedRelation r = CodedIntTable({{7, 7, 7}, {1, 2, 3}});
+  PolarizedDiscoverResult result = DiscoverPolarizedOcds(r);
+  for (const PolarizedOcd& ocd : result.ocds) {
+    for (const PolarizedAttribute& a : ocd.lhs) EXPECT_NE(a.column, 0u);
+    for (const PolarizedAttribute& a : ocd.rhs) EXPECT_NE(a.column, 0u);
+  }
+}
+
+TEST(PolarizedTest, BudgetStopsEarly) {
+  CodedRelation r = testutil::RandomCodedTable(7, 20, 6, 2);
+  PolarizedDiscoverOptions opts;
+  opts.max_checks = 2;
+  PolarizedDiscoverResult result = DiscoverPolarizedOcds(r, opts);
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(PolarizedTest, NcvoterAgeBirthYearInverse) {
+  CodedRelation voters =
+      CodedRelation::Encode(datagen::MakeNcvoter(200, 11));
+  auto age = [&] {
+    for (rel::ColumnId c = 0; c < voters.num_columns(); ++c) {
+      if (voters.column_name(c) == "age") return c;
+    }
+    return rel::ColumnId{0};
+  }();
+  auto birth = [&] {
+    for (rel::ColumnId c = 0; c < voters.num_columns(); ++c) {
+      if (voters.column_name(c) == "birth_year") return c;
+    }
+    return rel::ColumnId{0};
+  }();
+  // birth_year = 2008 − age: an inverse order equivalence only the
+  // polarized machinery can express.
+  EXPECT_TRUE(
+      BruteForceHoldsPolarizedOd(voters, {{age, false}}, {{birth, true}}));
+  EXPECT_TRUE(
+      BruteForceHoldsPolarizedOd(voters, {{birth, true}}, {{age, false}}));
+}
+
+class PolarizedSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PolarizedSoundnessTest, AllResultsHoldSemantically) {
+  CodedRelation r = testutil::RandomCodedTable(GetParam(), 10, 3, 3);
+  PolarizedDiscoverResult result = DiscoverPolarizedOcds(r);
+  ASSERT_TRUE(result.completed);
+  for (const PolarizedOd& od : result.ods) {
+    EXPECT_TRUE(BruteForceHoldsPolarizedOd(r, od.lhs, od.rhs))
+        << od.ToString(r);
+  }
+  for (const PolarizedOcd& ocd : result.ocds) {
+    PolarizedList xy = ocd.lhs;
+    xy.insert(xy.end(), ocd.rhs.begin(), ocd.rhs.end());
+    PolarizedList yx = ocd.rhs;
+    yx.insert(yx.end(), ocd.lhs.begin(), ocd.lhs.end());
+    EXPECT_TRUE(BruteForceHoldsPolarizedOd(r, xy, yx)) << ocd.ToString(r);
+    EXPECT_TRUE(BruteForceHoldsPolarizedOd(r, yx, xy)) << ocd.ToString(r);
+  }
+}
+
+TEST_P(PolarizedSoundnessTest, AscendingOnlyResultsCoverPlainDiscovery) {
+  // Every unidirectional OCD found by the plain algorithm (without column
+  // reduction) must appear among the polarized results as all-ascending.
+  CodedRelation r = testutil::RandomCodedTable(GetParam() + 50, 10, 3, 3);
+  OcdDiscoverOptions plain_opts;
+  plain_opts.apply_column_reduction = false;
+  plain_opts.max_level = 4;
+  OcdDiscoverResult plain = DiscoverOcds(r, plain_opts);
+
+  PolarizedDiscoverResult polarized = DiscoverPolarizedOcds(r);
+  std::set<PolarizedOcd> found(polarized.ocds.begin(), polarized.ocds.end());
+  for (const auto& ocd : plain.ocds) {
+    PolarizedOcd want{Asc(std::initializer_list<rel::ColumnId>{}),
+                      Asc(std::initializer_list<rel::ColumnId>{})};
+    for (std::size_t i = 0; i < ocd.lhs.size(); ++i) {
+      want.lhs.push_back({ocd.lhs[i], false});
+    }
+    for (std::size_t i = 0; i < ocd.rhs.size(); ++i) {
+      want.rhs.push_back({ocd.rhs[i], false});
+    }
+    bool present = found.count(want) > 0 ||
+                   found.count(PolarizedOcd{want.rhs, want.lhs}) > 0;
+    EXPECT_TRUE(present) << ocd.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolarizedSoundnessTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ocdd::core

@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ocdd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkewsLow) {
+  Rng rng(19);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::size_t v = rng.Zipf(10, 1.2);
+    EXPECT_LT(v, 10u);
+    if (v < 3) ++low;
+  }
+  // Ranks 0-2 carry well over half the Zipf(1.2) mass over 10 items.
+  EXPECT_GT(low, 1000);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  std::vector<std::size_t> s = rng.SampleWithoutReplacement(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (std::size_t v : s) EXPECT_LT(v, 20u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(29);
+  std::vector<std::size_t> s = rng.SampleWithoutReplacement(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ocdd

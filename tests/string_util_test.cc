@@ -1,0 +1,70 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ocdd {
+namespace {
+
+TEST(StripAsciiWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(" a b "), "a b");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(SplitString("abc", ';'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"one"}, ","), "one");
+}
+
+TEST(AsciiToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("AbC123"), "abc123");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(ParseInt64Test, AcceptsPlainIntegers) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-17"), -17);
+  EXPECT_EQ(ParseInt64("+5"), 5);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("12a").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64(" 12").has_value());
+  EXPECT_FALSE(ParseInt64("12 ").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").has_value());  // overflow
+}
+
+TEST(ParseDoubleTest, AcceptsDecimals) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("42"), 42.0);
+}
+
+TEST(ParseDoubleTest, RejectsNonNumbers) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("0x1p3").has_value());
+}
+
+}  // namespace
+}  // namespace ocdd

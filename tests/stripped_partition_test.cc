@@ -1,0 +1,113 @@
+#include "algo/partition/stripped_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_util.h"
+
+namespace ocdd::algo {
+namespace {
+
+using rel::CodedRelation;
+using testutil::CodedIntTable;
+
+std::set<std::set<std::uint32_t>> AsSets(const StrippedPartition& p) {
+  std::set<std::set<std::uint32_t>> out;
+  for (const auto& cls : p.classes()) {
+    out.insert(std::set<std::uint32_t>(cls.begin(), cls.end()));
+  }
+  return out;
+}
+
+TEST(StrippedPartitionTest, ForColumnGroupsEqualValues) {
+  CodedRelation r = CodedIntTable({{5, 3, 5, 3, 7}});
+  StrippedPartition p = StrippedPartition::ForColumn(r, 0);
+  EXPECT_EQ(p.num_classes(), 2u);
+  EXPECT_EQ(p.num_stripped_rows(), 4u);
+  EXPECT_EQ(p.error(), 2u);
+  EXPECT_EQ(AsSets(p), (std::set<std::set<std::uint32_t>>{{0, 2}, {1, 3}}));
+}
+
+TEST(StrippedPartitionTest, SingletonsAreStripped) {
+  CodedRelation r = CodedIntTable({{1, 2, 3}});
+  StrippedPartition p = StrippedPartition::ForColumn(r, 0);
+  EXPECT_EQ(p.num_classes(), 0u);
+  EXPECT_EQ(p.error(), 0u);
+}
+
+TEST(StrippedPartitionTest, ConstantColumnIsOneClass) {
+  CodedRelation r = CodedIntTable({{4, 4, 4}});
+  StrippedPartition p = StrippedPartition::ForColumn(r, 0);
+  EXPECT_EQ(p.num_classes(), 1u);
+  EXPECT_EQ(p.num_stripped_rows(), 3u);
+}
+
+TEST(StrippedPartitionTest, ForEmptySet) {
+  StrippedPartition p = StrippedPartition::ForEmptySet(5);
+  EXPECT_EQ(p.num_classes(), 1u);
+  EXPECT_EQ(p.num_stripped_rows(), 5u);
+  EXPECT_EQ(p.error(), 4u);
+  EXPECT_EQ(StrippedPartition::ForEmptySet(1).num_classes(), 0u);
+  EXPECT_EQ(StrippedPartition::ForEmptySet(0).num_classes(), 0u);
+}
+
+TEST(StrippedPartitionTest, ProductRefines) {
+  CodedRelation r = CodedIntTable({
+      {1, 1, 1, 2, 2, 2},  // A
+      {7, 7, 8, 8, 9, 9},  // B
+  });
+  StrippedPartition pa = StrippedPartition::ForColumn(r, 0);
+  StrippedPartition pb = StrippedPartition::ForColumn(r, 1);
+  StrippedPartition pab = StrippedPartition::Product(pa, pb, r.num_rows());
+  // {A,B} groups: {0,1} (1,7), {2} (1,8), {3} (2,8), {4,5} (2,9).
+  EXPECT_EQ(AsSets(pab),
+            (std::set<std::set<std::uint32_t>>{{0, 1}, {4, 5}}));
+  EXPECT_EQ(pab.error(), 2u);
+}
+
+TEST(StrippedPartitionTest, ProductIsCommutativeOnContent) {
+  CodedRelation r = testutil::RandomCodedTable(5, 40, 2, 3);
+  StrippedPartition pa = StrippedPartition::ForColumn(r, 0);
+  StrippedPartition pb = StrippedPartition::ForColumn(r, 1);
+  StrippedPartition ab = StrippedPartition::Product(pa, pb, r.num_rows());
+  StrippedPartition ba = StrippedPartition::Product(pb, pa, r.num_rows());
+  EXPECT_EQ(AsSets(ab), AsSets(ba));
+  EXPECT_EQ(ab.error(), ba.error());
+}
+
+TEST(StrippedPartitionTest, ProductMatchesDirectPartition) {
+  CodedRelation r = testutil::RandomCodedTable(9, 60, 3, 3);
+  StrippedPartition pa = StrippedPartition::ForColumn(r, 0);
+  StrippedPartition pb = StrippedPartition::ForColumn(r, 1);
+  StrippedPartition prod = StrippedPartition::Product(pa, pb, r.num_rows());
+
+  // Build the ground-truth partition of {A,B} by pairing codes.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::set<std::uint32_t>>
+      groups;
+  for (std::uint32_t row = 0; row < r.num_rows(); ++row) {
+    groups[{r.code(row, 0), r.code(row, 1)}].insert(row);
+  }
+  std::set<std::set<std::uint32_t>> truth;
+  for (auto& [key, rows] : groups) {
+    if (rows.size() >= 2) truth.insert(rows);
+  }
+  EXPECT_EQ(AsSets(prod), truth);
+}
+
+TEST(StrippedPartitionTest, FdCheckViaErrors) {
+  // A → B holds; B → A does not.
+  CodedRelation r = CodedIntTable({
+      {1, 1, 2, 3},  // A
+      {5, 5, 5, 6},  // B
+  });
+  StrippedPartition pa = StrippedPartition::ForColumn(r, 0);
+  StrippedPartition pb = StrippedPartition::ForColumn(r, 1);
+  StrippedPartition pab = StrippedPartition::Product(pa, pb, r.num_rows());
+  EXPECT_EQ(pa.error(), pab.error());  // A → B
+  EXPECT_NE(pb.error(), pab.error());  // B -/-> A
+}
+
+}  // namespace
+}  // namespace ocdd::algo

@@ -1,0 +1,58 @@
+#ifndef OCDD_TESTS_TEST_UTIL_H_
+#define OCDD_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "relation/coded_relation.h"
+#include "relation/relation.h"
+
+namespace ocdd::testutil {
+
+/// Builds an all-integer relation from column vectors; column names are
+/// "A", "B", "C", ... Aborts on malformed input (test-only helper).
+inline rel::Relation IntTable(
+    const std::vector<std::vector<std::int64_t>>& columns) {
+  std::vector<rel::Attribute> attrs;
+  std::vector<rel::Column> cols;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    attrs.push_back(
+        rel::Attribute{std::string(1, static_cast<char>('A' + c)),
+                       rel::DataType::kInt});
+    std::vector<rel::Value> vals;
+    for (std::int64_t v : columns[c]) vals.push_back(rel::Value::Int(v));
+    cols.push_back(rel::Column::FromValues(rel::DataType::kInt, vals));
+  }
+  auto r = rel::Relation::FromColumns(rel::Schema(std::move(attrs)),
+                                      std::move(cols));
+  return std::move(r).value();
+}
+
+/// IntTable + Encode in one step.
+inline rel::CodedRelation CodedIntTable(
+    const std::vector<std::vector<std::int64_t>>& columns) {
+  return rel::CodedRelation::Encode(IntTable(columns));
+}
+
+/// A random small integer relation: `cols` columns × `rows` rows with values
+/// drawn from [0, domain). Small domains make dependencies (ties, orders)
+/// likely, which is what the property tests want to exercise.
+inline rel::CodedRelation RandomCodedTable(std::uint64_t seed,
+                                           std::size_t rows, std::size_t cols,
+                                           std::uint64_t domain) {
+  Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> columns(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    columns[c].reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      columns[c].push_back(static_cast<std::int64_t>(rng.Uniform(domain)));
+    }
+  }
+  return CodedIntTable(columns);
+}
+
+}  // namespace ocdd::testutil
+
+#endif  // OCDD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,200 @@
+// Semantic validation of the paper's theory (Sections 2–4): each theorem is
+// tested as a universally-quantified implication over randomized relations
+// and enumerated attribute lists — if a premise combination holds on an
+// instance, the conclusion must hold too. A failure would falsify the
+// theorem (or this library's semantics); these tests double as executable
+// statements of the paper's claims.
+
+#include <gtest/gtest.h>
+
+#include "od/brute_force.h"
+#include "relation/sorted_index.h"
+#include "test_util.h"
+
+namespace ocdd::od {
+namespace {
+
+using rel::CodedRelation;
+
+class TheoremTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CodedRelation MakeRelation(std::uint64_t salt, std::size_t cols = 4,
+                             std::uint64_t domain = 3) const {
+    return testutil::RandomCodedTable(GetParam() * 131 + salt, 8, cols,
+                                      domain);
+  }
+};
+
+// Theorem 2 of [16] (restated §2.2): when an OD fails, there is a split
+// (tie on X, difference on Y) or a swap (strict inversion) — never neither.
+TEST_P(TheoremTest, SplitSwapDichotomy) {
+  CodedRelation r = MakeRelation(1);
+  std::vector<AttributeList> lists = EnumerateLists({0, 1, 2, 3}, 2);
+  for (const AttributeList& x : lists) {
+    for (const AttributeList& y : lists) {
+      if (BruteForceHoldsOd(r, x, y)) continue;
+      bool split = false;
+      bool swap = false;
+      for (std::uint32_t p = 0; p < r.num_rows(); ++p) {
+        for (std::uint32_t q = 0; q < r.num_rows(); ++q) {
+          int cx = rel::CompareRowsOnList(r, x.ids(), p, q);
+          int cy = rel::CompareRowsOnList(r, y.ids(), p, q);
+          if (cx == 0 && cy != 0) split = true;
+          if (cx < 0 && cy > 0) swap = true;
+        }
+      }
+      EXPECT_TRUE(split || swap)
+          << x.ToString() << " -> " << y.ToString() << " fails with neither";
+    }
+  }
+}
+
+// Theorem 3.6 (downward closure for OCDs): XY ~ ZV implies X ~ Z.
+TEST_P(TheoremTest, DownwardClosure) {
+  CodedRelation r = MakeRelation(2);
+  std::vector<AttributeList> lists = EnumerateLists({0, 1, 2, 3}, 2);
+  for (const AttributeList& xy : lists) {
+    for (const AttributeList& zv : lists) {
+      if (!BruteForceHoldsOcd(r, xy, zv)) continue;
+      // Every prefix pair must be order compatible.
+      for (std::size_t i = 1; i <= xy.size(); ++i) {
+        for (std::size_t j = 1; j <= zv.size(); ++j) {
+          AttributeList x(std::vector<rel::ColumnId>(
+              xy.ids().begin(), xy.ids().begin() + i));
+          AttributeList z(std::vector<rel::ColumnId>(
+              zv.ids().begin(), zv.ids().begin() + j));
+          EXPECT_TRUE(BruteForceHoldsOcd(r, x, z))
+              << xy.ToString() << " ~ " << zv.ToString() << " but not "
+              << x.ToString() << " ~ " << z.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Theorem 3.8: X ~ Y iff XY → Y.
+TEST_P(TheoremTest, Theorem38) {
+  CodedRelation r = MakeRelation(3);
+  std::vector<AttributeList> lists = EnumerateLists({0, 1, 2}, 2);
+  for (const AttributeList& x : lists) {
+    for (const AttributeList& y : lists) {
+      if (!x.DisjointWith(y)) continue;
+      EXPECT_EQ(BruteForceHoldsOcd(r, x, y),
+                BruteForceHoldsOd(r, x.Concat(y), y))
+          << x.ToString() << ", " << y.ToString();
+    }
+  }
+}
+
+// Theorem 4.1: XY → YX alone decides X ~ Y (both directions follow).
+TEST_P(TheoremTest, Theorem41SingleCheck) {
+  CodedRelation r = MakeRelation(4);
+  std::vector<AttributeList> lists = EnumerateLists({0, 1, 2}, 2);
+  for (const AttributeList& x : lists) {
+    for (const AttributeList& y : lists) {
+      if (!x.DisjointWith(y)) continue;
+      AttributeList xy = x.Concat(y);
+      AttributeList yx = y.Concat(x);
+      EXPECT_EQ(BruteForceHoldsOd(r, xy, yx), BruteForceHoldsOd(r, yx, xy))
+          << x.ToString() << ", " << y.ToString();
+    }
+  }
+}
+
+// Theorem 3.10 (Completeness of minimal OCD, case 1): Y ~ Z ⟹ XY ~ XZ.
+TEST_P(TheoremTest, Theorem310CommonPrefix) {
+  CodedRelation r = MakeRelation(5, 3);
+  for (rel::ColumnId x = 0; x < 3; ++x) {
+    for (rel::ColumnId y = 0; y < 3; ++y) {
+      for (rel::ColumnId z = 0; z < 3; ++z) {
+        if (x == y || x == z || y == z) continue;
+        if (!BruteForceHoldsOcd(r, AttributeList{y}, AttributeList{z})) {
+          continue;
+        }
+        EXPECT_TRUE(BruteForceHoldsOcd(r, AttributeList{x, y},
+                                       AttributeList{x, z}))
+            << "Y~Z held for y=" << y << " z=" << z << " but XY~XZ failed";
+      }
+    }
+  }
+}
+
+// Theorem 3.11 (case 2): {X ~ Y, XZ ~ Y, X ~ YZ} ⟹ XZ ~ YZ.
+TEST_P(TheoremTest, Theorem311RepeatedSuffix) {
+  CodedRelation r = MakeRelation(6, 3);
+  for (rel::ColumnId x = 0; x < 3; ++x) {
+    for (rel::ColumnId y = 0; y < 3; ++y) {
+      for (rel::ColumnId z = 0; z < 3; ++z) {
+        if (x == y || x == z || y == z) continue;
+        AttributeList X{x}, Y{y};
+        AttributeList XZ{x, z}, YZ{y, z};
+        if (!BruteForceHoldsOcd(r, X, Y)) continue;
+        if (!BruteForceHoldsOcd(r, XZ, Y)) continue;
+        if (!BruteForceHoldsOcd(r, X, YZ)) continue;
+        EXPECT_TRUE(BruteForceHoldsOcd(r, XZ, YZ))
+            << "x=" << x << " y=" << y << " z=" << z;
+      }
+    }
+  }
+}
+
+// Theorem 3.12 (case 3): {X ~ M, XY ~ M, X ~ MY, XY ~ MN} ⟹ XY ~ MYN.
+TEST_P(TheoremTest, Theorem312RepeatedMiddle) {
+  CodedRelation r = MakeRelation(7, 4, 2);
+  for (rel::ColumnId x = 0; x < 4; ++x) {
+    for (rel::ColumnId y = 0; y < 4; ++y) {
+      for (rel::ColumnId mm = 0; mm < 4; ++mm) {
+        for (rel::ColumnId nn = 0; nn < 4; ++nn) {
+          if (x == y || x == mm || x == nn || y == mm || y == nn ||
+              mm == nn) {
+            continue;
+          }
+          AttributeList X{x}, XY{x, y}, M{mm}, MY{mm, y}, MN{mm, nn},
+              MYN{mm, y, nn};
+          if (!BruteForceHoldsOcd(r, X, M)) continue;
+          if (!BruteForceHoldsOcd(r, XY, M)) continue;
+          if (!BruteForceHoldsOcd(r, X, MY)) continue;
+          if (!BruteForceHoldsOcd(r, XY, MN)) continue;
+          EXPECT_TRUE(BruteForceHoldsOcd(r, XY, MYN))
+              << "x=" << x << " y=" << y << " m=" << mm << " n=" << nn;
+        }
+      }
+    }
+  }
+}
+
+// OD = FD + OCD (§2.2): X → Y holds iff X ~ Y and the set-FD X → Y hold.
+TEST_P(TheoremTest, OdDecomposition) {
+  CodedRelation r = MakeRelation(8, 3);
+  for (rel::ColumnId x = 0; x < 3; ++x) {
+    for (rel::ColumnId y = 0; y < 3; ++y) {
+      if (x == y) continue;
+      bool od = BruteForceHoldsOd(r, AttributeList{x}, AttributeList{y});
+      bool ocd = BruteForceHoldsOcd(r, AttributeList{x}, AttributeList{y});
+      bool fd = BruteForceHoldsFd(r, {x}, y);
+      EXPECT_EQ(od, ocd && fd) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+// Constant columns (§4.1): a constant column is ordered by every list.
+TEST_P(TheoremTest, ConstantsOrderedByEverything) {
+  CodedRelation base = MakeRelation(9, 3);
+  rel::CodedColumn constant;
+  constant.name = "const";
+  constant.codes.assign(base.num_rows(), 0);
+  constant.num_distinct = 1;
+  std::vector<rel::CodedColumn> cols = base.columns();
+  cols.push_back(constant);
+  CodedRelation r = CodedRelation::FromColumns(std::move(cols));
+  rel::ColumnId c = r.num_columns() - 1;
+  for (const AttributeList& x : EnumerateLists({0, 1, 2}, 2)) {
+    EXPECT_TRUE(BruteForceHoldsOd(r, x, AttributeList{c}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ocdd::od

@@ -1,0 +1,77 @@
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ocdd::rel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("x y").ToString(), "x y");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, NullEqualsNull) {
+  // SQL `SET ANSI_NULLS ON` semantics (paper §4.3).
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+  EXPECT_TRUE(Value::Null() == Value::Null());
+}
+
+TEST(ValueTest, NullsFirst) {
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_LT(Value::Compare(Value::Null(), Value::String("")), 0);
+  EXPECT_GT(Value::Compare(Value::Double(0.0), Value::Null()), 0);
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Int(2)), 0);
+  EXPECT_GT(Value::Compare(Value::Int(3), Value::Int(2)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Int(2)), 0);
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Double(1.5)), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(2.5), Value::Int(2)), 0);
+}
+
+TEST(ValueTest, StringComparisonIsBytewise) {
+  EXPECT_LT(Value::Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_LT(Value::Compare(Value::String("ab"), Value::String("abc")), 0);
+  EXPECT_EQ(Value::Compare(Value::String("x"), Value::String("x")), 0);
+  // Lexicographic, not numeric: "10" < "9".
+  EXPECT_LT(Value::Compare(Value::String("10"), Value::String("9")), 0);
+}
+
+TEST(ValueTest, NumbersOrderBeforeStrings) {
+  EXPECT_LT(Value::Compare(Value::Int(999), Value::String("0")), 0);
+}
+
+TEST(ValueTest, LargeIntsCompareExactly) {
+  // Values that would collide if compared through double.
+  std::int64_t a = (1LL << 53) + 1;
+  std::int64_t b = (1LL << 53) + 2;
+  EXPECT_LT(Value::Compare(Value::Int(a), Value::Int(b)), 0);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt), "int");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+}
+
+}  // namespace
+}  // namespace ocdd::rel
