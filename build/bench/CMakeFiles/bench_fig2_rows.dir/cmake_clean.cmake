@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rows.dir/bench_fig2_rows.cpp.o"
+  "CMakeFiles/bench_fig2_rows.dir/bench_fig2_rows.cpp.o.d"
+  "bench_fig2_rows"
+  "bench_fig2_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

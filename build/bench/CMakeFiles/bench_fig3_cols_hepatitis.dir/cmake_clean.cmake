@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cols_hepatitis.dir/bench_fig3_cols_hepatitis.cpp.o"
+  "CMakeFiles/bench_fig3_cols_hepatitis.dir/bench_fig3_cols_hepatitis.cpp.o.d"
+  "bench_fig3_cols_hepatitis"
+  "bench_fig3_cols_hepatitis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cols_hepatitis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

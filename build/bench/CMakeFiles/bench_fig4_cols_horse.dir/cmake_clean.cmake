@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cols_horse.dir/bench_fig4_cols_horse.cpp.o"
+  "CMakeFiles/bench_fig4_cols_horse.dir/bench_fig4_cols_horse.cpp.o.d"
+  "bench_fig4_cols_horse"
+  "bench_fig4_cols_horse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cols_horse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_deps.dir/bench_fig5_deps.cpp.o"
+  "CMakeFiles/bench_fig5_deps.dir/bench_fig5_deps.cpp.o.d"
+  "bench_fig5_deps"
+  "bench_fig5_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_threads.dir/bench_fig6_threads.cpp.o"
+  "CMakeFiles/bench_fig6_threads.dir/bench_fig6_threads.cpp.o.d"
+  "bench_fig6_threads"
+  "bench_fig6_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

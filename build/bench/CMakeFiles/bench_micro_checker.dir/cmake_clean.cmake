@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_checker.dir/bench_micro_checker.cpp.o"
+  "CMakeFiles/bench_micro_checker.dir/bench_micro_checker.cpp.o.d"
+  "bench_micro_checker"
+  "bench_micro_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

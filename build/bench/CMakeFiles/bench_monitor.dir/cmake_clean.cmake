@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor.dir/bench_monitor.cpp.o"
+  "CMakeFiles/bench_monitor.dir/bench_monitor.cpp.o.d"
+  "bench_monitor"
+  "bench_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6.dir/bench_table6.cpp.o"
+  "CMakeFiles/bench_table6.dir/bench_table6.cpp.o.d"
+  "bench_table6"
+  "bench_table6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cleaning.dir/data_cleaning.cpp.o"
+  "CMakeFiles/data_cleaning.dir/data_cleaning.cpp.o.d"
+  "data_cleaning"
+  "data_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_monitor.dir/incremental_monitor.cpp.o"
+  "CMakeFiles/incremental_monitor.dir/incremental_monitor.cpp.o.d"
+  "incremental_monitor"
+  "incremental_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_discovery.dir/parallel_discovery.cpp.o"
+  "CMakeFiles/parallel_discovery.dir/parallel_discovery.cpp.o.d"
+  "parallel_discovery"
+  "parallel_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

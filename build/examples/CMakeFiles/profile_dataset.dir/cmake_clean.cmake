@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_dataset.dir/profile_dataset.cpp.o"
+  "CMakeFiles/profile_dataset.dir/profile_dataset.cpp.o.d"
+  "profile_dataset"
+  "profile_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

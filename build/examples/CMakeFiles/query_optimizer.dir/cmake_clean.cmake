@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_optimizer.dir/query_optimizer.cpp.o"
+  "CMakeFiles/query_optimizer.dir/query_optimizer.cpp.o.d"
+  "query_optimizer"
+  "query_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

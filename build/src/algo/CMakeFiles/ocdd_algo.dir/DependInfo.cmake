@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/fastod/fastod.cc" "src/algo/CMakeFiles/ocdd_algo.dir/fastod/fastod.cc.o" "gcc" "src/algo/CMakeFiles/ocdd_algo.dir/fastod/fastod.cc.o.d"
+  "/root/repo/src/algo/fastod/fastod_bid.cc" "src/algo/CMakeFiles/ocdd_algo.dir/fastod/fastod_bid.cc.o" "gcc" "src/algo/CMakeFiles/ocdd_algo.dir/fastod/fastod_bid.cc.o.d"
+  "/root/repo/src/algo/fd/tane.cc" "src/algo/CMakeFiles/ocdd_algo.dir/fd/tane.cc.o" "gcc" "src/algo/CMakeFiles/ocdd_algo.dir/fd/tane.cc.o.d"
+  "/root/repo/src/algo/order/order_discover.cc" "src/algo/CMakeFiles/ocdd_algo.dir/order/order_discover.cc.o" "gcc" "src/algo/CMakeFiles/ocdd_algo.dir/order/order_discover.cc.o.d"
+  "/root/repo/src/algo/partition/stripped_partition.cc" "src/algo/CMakeFiles/ocdd_algo.dir/partition/stripped_partition.cc.o" "gcc" "src/algo/CMakeFiles/ocdd_algo.dir/partition/stripped_partition.cc.o.d"
+  "/root/repo/src/algo/ucc/ucc.cc" "src/algo/CMakeFiles/ocdd_algo.dir/ucc/ucc.cc.o" "gcc" "src/algo/CMakeFiles/ocdd_algo.dir/ucc/ucc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ocdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ocdd_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/ocdd_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

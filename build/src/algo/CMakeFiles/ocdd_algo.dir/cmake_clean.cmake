@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_algo.dir/fastod/fastod.cc.o"
+  "CMakeFiles/ocdd_algo.dir/fastod/fastod.cc.o.d"
+  "CMakeFiles/ocdd_algo.dir/fastod/fastod_bid.cc.o"
+  "CMakeFiles/ocdd_algo.dir/fastod/fastod_bid.cc.o.d"
+  "CMakeFiles/ocdd_algo.dir/fd/tane.cc.o"
+  "CMakeFiles/ocdd_algo.dir/fd/tane.cc.o.d"
+  "CMakeFiles/ocdd_algo.dir/order/order_discover.cc.o"
+  "CMakeFiles/ocdd_algo.dir/order/order_discover.cc.o.d"
+  "CMakeFiles/ocdd_algo.dir/partition/stripped_partition.cc.o"
+  "CMakeFiles/ocdd_algo.dir/partition/stripped_partition.cc.o.d"
+  "CMakeFiles/ocdd_algo.dir/ucc/ucc.cc.o"
+  "CMakeFiles/ocdd_algo.dir/ucc/ucc.cc.o.d"
+  "libocdd_algo.a"
+  "libocdd_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ocdd_algo.
+# This may be replaced when dependencies are built.

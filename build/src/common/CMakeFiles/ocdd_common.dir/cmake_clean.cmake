@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_common.dir/status.cc.o"
+  "CMakeFiles/ocdd_common.dir/status.cc.o.d"
+  "CMakeFiles/ocdd_common.dir/string_util.cc.o"
+  "CMakeFiles/ocdd_common.dir/string_util.cc.o.d"
+  "CMakeFiles/ocdd_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ocdd_common.dir/thread_pool.cc.o.d"
+  "libocdd_common.a"
+  "libocdd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

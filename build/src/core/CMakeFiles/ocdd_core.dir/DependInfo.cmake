@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approximate.cc" "src/core/CMakeFiles/ocdd_core.dir/approximate.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/approximate.cc.o.d"
+  "/root/repo/src/core/checker.cc" "src/core/CMakeFiles/ocdd_core.dir/checker.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/checker.cc.o.d"
+  "/root/repo/src/core/column_reduction.cc" "src/core/CMakeFiles/ocdd_core.dir/column_reduction.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/column_reduction.cc.o.d"
+  "/root/repo/src/core/entropy.cc" "src/core/CMakeFiles/ocdd_core.dir/entropy.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/entropy.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/core/CMakeFiles/ocdd_core.dir/expansion.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/expansion.cc.o.d"
+  "/root/repo/src/core/list_partition.cc" "src/core/CMakeFiles/ocdd_core.dir/list_partition.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/list_partition.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/ocdd_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/ocd_discover.cc" "src/core/CMakeFiles/ocdd_core.dir/ocd_discover.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/ocd_discover.cc.o.d"
+  "/root/repo/src/core/polarized.cc" "src/core/CMakeFiles/ocdd_core.dir/polarized.cc.o" "gcc" "src/core/CMakeFiles/ocdd_core.dir/polarized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/od/CMakeFiles/ocdd_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/ocdd_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_core.dir/approximate.cc.o"
+  "CMakeFiles/ocdd_core.dir/approximate.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/checker.cc.o"
+  "CMakeFiles/ocdd_core.dir/checker.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/column_reduction.cc.o"
+  "CMakeFiles/ocdd_core.dir/column_reduction.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/entropy.cc.o"
+  "CMakeFiles/ocdd_core.dir/entropy.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/expansion.cc.o"
+  "CMakeFiles/ocdd_core.dir/expansion.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/list_partition.cc.o"
+  "CMakeFiles/ocdd_core.dir/list_partition.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/monitor.cc.o"
+  "CMakeFiles/ocdd_core.dir/monitor.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/ocd_discover.cc.o"
+  "CMakeFiles/ocdd_core.dir/ocd_discover.cc.o.d"
+  "CMakeFiles/ocdd_core.dir/polarized.cc.o"
+  "CMakeFiles/ocdd_core.dir/polarized.cc.o.d"
+  "libocdd_core.a"
+  "libocdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

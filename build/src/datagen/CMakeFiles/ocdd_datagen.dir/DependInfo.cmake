@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/fixtures.cc" "src/datagen/CMakeFiles/ocdd_datagen.dir/fixtures.cc.o" "gcc" "src/datagen/CMakeFiles/ocdd_datagen.dir/fixtures.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/datagen/CMakeFiles/ocdd_datagen.dir/generators.cc.o" "gcc" "src/datagen/CMakeFiles/ocdd_datagen.dir/generators.cc.o.d"
+  "/root/repo/src/datagen/lineitem.cc" "src/datagen/CMakeFiles/ocdd_datagen.dir/lineitem.cc.o" "gcc" "src/datagen/CMakeFiles/ocdd_datagen.dir/lineitem.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/datagen/CMakeFiles/ocdd_datagen.dir/registry.cc.o" "gcc" "src/datagen/CMakeFiles/ocdd_datagen.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/ocdd_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

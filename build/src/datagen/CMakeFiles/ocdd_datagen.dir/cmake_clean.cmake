@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_datagen.dir/fixtures.cc.o"
+  "CMakeFiles/ocdd_datagen.dir/fixtures.cc.o.d"
+  "CMakeFiles/ocdd_datagen.dir/generators.cc.o"
+  "CMakeFiles/ocdd_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/ocdd_datagen.dir/lineitem.cc.o"
+  "CMakeFiles/ocdd_datagen.dir/lineitem.cc.o.d"
+  "CMakeFiles/ocdd_datagen.dir/registry.cc.o"
+  "CMakeFiles/ocdd_datagen.dir/registry.cc.o.d"
+  "libocdd_datagen.a"
+  "libocdd_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/ocdd_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/ocdd_engine.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/ocdd_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ocdd_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/ocdd_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

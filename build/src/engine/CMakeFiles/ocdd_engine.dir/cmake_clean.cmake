@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_engine.dir/executor.cc.o"
+  "CMakeFiles/ocdd_engine.dir/executor.cc.o.d"
+  "libocdd_engine.a"
+  "libocdd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/od/attribute_list.cc" "src/od/CMakeFiles/ocdd_od.dir/attribute_list.cc.o" "gcc" "src/od/CMakeFiles/ocdd_od.dir/attribute_list.cc.o.d"
+  "/root/repo/src/od/brute_force.cc" "src/od/CMakeFiles/ocdd_od.dir/brute_force.cc.o" "gcc" "src/od/CMakeFiles/ocdd_od.dir/brute_force.cc.o.d"
+  "/root/repo/src/od/dependency.cc" "src/od/CMakeFiles/ocdd_od.dir/dependency.cc.o" "gcc" "src/od/CMakeFiles/ocdd_od.dir/dependency.cc.o.d"
+  "/root/repo/src/od/dependency_set.cc" "src/od/CMakeFiles/ocdd_od.dir/dependency_set.cc.o" "gcc" "src/od/CMakeFiles/ocdd_od.dir/dependency_set.cc.o.d"
+  "/root/repo/src/od/inference.cc" "src/od/CMakeFiles/ocdd_od.dir/inference.cc.o" "gcc" "src/od/CMakeFiles/ocdd_od.dir/inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/ocdd_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

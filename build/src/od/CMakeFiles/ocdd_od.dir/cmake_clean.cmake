@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_od.dir/attribute_list.cc.o"
+  "CMakeFiles/ocdd_od.dir/attribute_list.cc.o.d"
+  "CMakeFiles/ocdd_od.dir/brute_force.cc.o"
+  "CMakeFiles/ocdd_od.dir/brute_force.cc.o.d"
+  "CMakeFiles/ocdd_od.dir/dependency.cc.o"
+  "CMakeFiles/ocdd_od.dir/dependency.cc.o.d"
+  "CMakeFiles/ocdd_od.dir/dependency_set.cc.o"
+  "CMakeFiles/ocdd_od.dir/dependency_set.cc.o.d"
+  "CMakeFiles/ocdd_od.dir/inference.cc.o"
+  "CMakeFiles/ocdd_od.dir/inference.cc.o.d"
+  "libocdd_od.a"
+  "libocdd_od.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_od.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

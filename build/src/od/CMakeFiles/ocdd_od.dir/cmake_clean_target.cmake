@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocdd_od.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ocdd_od.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_optimizer.dir/index_advisor.cc.o"
+  "CMakeFiles/ocdd_optimizer.dir/index_advisor.cc.o.d"
+  "CMakeFiles/ocdd_optimizer.dir/order_by_rewrite.cc.o"
+  "CMakeFiles/ocdd_optimizer.dir/order_by_rewrite.cc.o.d"
+  "libocdd_optimizer.a"
+  "libocdd_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

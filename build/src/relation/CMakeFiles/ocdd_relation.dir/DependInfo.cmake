@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/coded_relation.cc" "src/relation/CMakeFiles/ocdd_relation.dir/coded_relation.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/coded_relation.cc.o.d"
+  "/root/repo/src/relation/column.cc" "src/relation/CMakeFiles/ocdd_relation.dir/column.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/column.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/ocdd_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/relation/CMakeFiles/ocdd_relation.dir/relation.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/ocdd_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/sorted_index.cc" "src/relation/CMakeFiles/ocdd_relation.dir/sorted_index.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/sorted_index.cc.o.d"
+  "/root/repo/src/relation/type_inference.cc" "src/relation/CMakeFiles/ocdd_relation.dir/type_inference.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/type_inference.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/relation/CMakeFiles/ocdd_relation.dir/value.cc.o" "gcc" "src/relation/CMakeFiles/ocdd_relation.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

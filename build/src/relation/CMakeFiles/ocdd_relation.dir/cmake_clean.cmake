@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_relation.dir/coded_relation.cc.o"
+  "CMakeFiles/ocdd_relation.dir/coded_relation.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/column.cc.o"
+  "CMakeFiles/ocdd_relation.dir/column.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/csv.cc.o"
+  "CMakeFiles/ocdd_relation.dir/csv.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/relation.cc.o"
+  "CMakeFiles/ocdd_relation.dir/relation.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/schema.cc.o"
+  "CMakeFiles/ocdd_relation.dir/schema.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/sorted_index.cc.o"
+  "CMakeFiles/ocdd_relation.dir/sorted_index.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/type_inference.cc.o"
+  "CMakeFiles/ocdd_relation.dir/type_inference.cc.o.d"
+  "CMakeFiles/ocdd_relation.dir/value.cc.o"
+  "CMakeFiles/ocdd_relation.dir/value.cc.o.d"
+  "libocdd_relation.a"
+  "libocdd_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ocdd_relation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_report.dir/json_reader.cc.o"
+  "CMakeFiles/ocdd_report.dir/json_reader.cc.o.d"
+  "CMakeFiles/ocdd_report.dir/json_writer.cc.o"
+  "CMakeFiles/ocdd_report.dir/json_writer.cc.o.d"
+  "libocdd_report.a"
+  "libocdd_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_test.dir/approximate_test.cc.o"
+  "CMakeFiles/approximate_test.dir/approximate_test.cc.o.d"
+  "approximate_test"
+  "approximate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

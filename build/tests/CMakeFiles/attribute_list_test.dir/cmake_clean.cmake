@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_list_test.dir/attribute_list_test.cc.o"
+  "CMakeFiles/attribute_list_test.dir/attribute_list_test.cc.o.d"
+  "attribute_list_test"
+  "attribute_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

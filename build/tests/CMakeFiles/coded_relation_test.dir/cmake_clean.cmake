@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coded_relation_test.dir/coded_relation_test.cc.o"
+  "CMakeFiles/coded_relation_test.dir/coded_relation_test.cc.o.d"
+  "coded_relation_test"
+  "coded_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coded_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

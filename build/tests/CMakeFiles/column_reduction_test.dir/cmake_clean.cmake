@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_reduction_test.dir/column_reduction_test.cc.o"
+  "CMakeFiles/column_reduction_test.dir/column_reduction_test.cc.o.d"
+  "column_reduction_test"
+  "column_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_test.dir/dependency_test.cc.o"
+  "CMakeFiles/dependency_test.dir/dependency_test.cc.o.d"
+  "dependency_test"
+  "dependency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_test.dir/entropy_test.cc.o"
+  "CMakeFiles/entropy_test.dir/entropy_test.cc.o.d"
+  "entropy_test"
+  "entropy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_test.dir/expansion_test.cc.o"
+  "CMakeFiles/expansion_test.dir/expansion_test.cc.o.d"
+  "expansion_test"
+  "expansion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

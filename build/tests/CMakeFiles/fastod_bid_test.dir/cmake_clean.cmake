@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastod_bid_test.dir/fastod_bid_test.cc.o"
+  "CMakeFiles/fastod_bid_test.dir/fastod_bid_test.cc.o.d"
+  "fastod_bid_test"
+  "fastod_bid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastod_bid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastod_test.dir/fastod_test.cc.o"
+  "CMakeFiles/fastod_test.dir/fastod_test.cc.o.d"
+  "fastod_test"
+  "fastod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_contract_test.dir/generator_contract_test.cc.o"
+  "CMakeFiles/generator_contract_test.dir/generator_contract_test.cc.o.d"
+  "generator_contract_test"
+  "generator_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

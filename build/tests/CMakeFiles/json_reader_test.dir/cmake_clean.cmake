@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_reader_test.dir/json_reader_test.cc.o"
+  "CMakeFiles/json_reader_test.dir/json_reader_test.cc.o.d"
+  "json_reader_test"
+  "json_reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

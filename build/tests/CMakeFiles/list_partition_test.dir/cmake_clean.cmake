@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_partition_test.dir/list_partition_test.cc.o"
+  "CMakeFiles/list_partition_test.dir/list_partition_test.cc.o.d"
+  "list_partition_test"
+  "list_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

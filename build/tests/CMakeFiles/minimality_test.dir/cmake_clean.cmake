@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimality_test.dir/minimality_test.cc.o"
+  "CMakeFiles/minimality_test.dir/minimality_test.cc.o.d"
+  "minimality_test"
+  "minimality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/null_semantics_test.dir/null_semantics_test.cc.o"
+  "CMakeFiles/null_semantics_test.dir/null_semantics_test.cc.o.d"
+  "null_semantics_test"
+  "null_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/null_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocd_discover_test.dir/ocd_discover_test.cc.o"
+  "CMakeFiles/ocd_discover_test.dir/ocd_discover_test.cc.o.d"
+  "ocd_discover_test"
+  "ocd_discover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocd_discover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

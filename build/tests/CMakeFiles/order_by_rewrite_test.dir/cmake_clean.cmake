@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_by_rewrite_test.dir/order_by_rewrite_test.cc.o"
+  "CMakeFiles/order_by_rewrite_test.dir/order_by_rewrite_test.cc.o.d"
+  "order_by_rewrite_test"
+  "order_by_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_by_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_discover_test.dir/order_discover_test.cc.o"
+  "CMakeFiles/order_discover_test.dir/order_discover_test.cc.o.d"
+  "order_discover_test"
+  "order_discover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_discover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for order_discover_test.
+# This may be replaced when dependencies are built.

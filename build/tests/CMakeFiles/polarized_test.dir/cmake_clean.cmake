@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarized_test.dir/polarized_test.cc.o"
+  "CMakeFiles/polarized_test.dir/polarized_test.cc.o.d"
+  "polarized_test"
+  "polarized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorted_index_test.dir/sorted_index_test.cc.o"
+  "CMakeFiles/sorted_index_test.dir/sorted_index_test.cc.o.d"
+  "sorted_index_test"
+  "sorted_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorted_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stripped_partition_test.dir/stripped_partition_test.cc.o"
+  "CMakeFiles/stripped_partition_test.dir/stripped_partition_test.cc.o.d"
+  "stripped_partition_test"
+  "stripped_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stripped_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

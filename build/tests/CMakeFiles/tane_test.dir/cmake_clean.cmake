@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tane_test.dir/tane_test.cc.o"
+  "CMakeFiles/tane_test.dir/tane_test.cc.o.d"
+  "tane_test"
+  "tane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

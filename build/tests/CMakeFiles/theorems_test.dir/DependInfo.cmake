@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/theorems_test.cc" "tests/CMakeFiles/theorems_test.dir/theorems_test.cc.o" "gcc" "tests/CMakeFiles/theorems_test.dir/theorems_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ocdd_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ocdd_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ocdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/ocdd_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ocdd_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/ocdd_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ocdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ocdd_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/ocdd_optimizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

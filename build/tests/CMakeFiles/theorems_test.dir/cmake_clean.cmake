@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorems_test.dir/theorems_test.cc.o"
+  "CMakeFiles/theorems_test.dir/theorems_test.cc.o.d"
+  "theorems_test"
+  "theorems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucc_test.dir/ucc_test.cc.o"
+  "CMakeFiles/ucc_test.dir/ucc_test.cc.o.d"
+  "ucc_test"
+  "ucc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocdd_cli.dir/ocdd_cli.cpp.o"
+  "CMakeFiles/ocdd_cli.dir/ocdd_cli.cpp.o.d"
+  "ocdd"
+  "ocdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocdd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
