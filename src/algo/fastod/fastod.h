@@ -5,12 +5,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
 #include "od/dependency.h"
 #include "relation/coded_relation.h"
 
 namespace ocdd::algo {
 
 struct FastodOptions {
+  /// Injectable run control (deadline, budgets, cancellation, fault
+  /// injection); nullptr = private context from the knobs below.
+  RunContext* run_context = nullptr;
+
   std::uint64_t max_checks = 0;     ///< 0 = unlimited
   double time_limit_seconds = 0.0;  ///< 0 = unlimited
   std::size_t max_level = 0;        ///< cap on |X| (0 = unlimited)
@@ -25,6 +30,7 @@ struct FastodResult {
   std::size_t num_compatible = 0;
   std::uint64_t num_checks = 0;
   bool completed = true;
+  StopReason stop_reason = StopReason::kNone;  ///< kNone when completed
   double elapsed_seconds = 0.0;
 };
 

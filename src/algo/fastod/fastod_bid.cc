@@ -7,6 +7,7 @@
 
 #include "algo/attr_set.h"
 #include "algo/partition/stripped_partition.h"
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "od/dependency_set.h"
 
@@ -129,42 +130,50 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
 
   const AttrSet universe = AttrSet::FullUniverse(n);
 
-  auto budget_exceeded = [&] {
-    if (options.max_checks != 0 && result.num_checks >= options.max_checks) {
-      return true;
-    }
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options.time_limit_seconds) {
-      return true;
-    }
-    return false;
-  };
+  RunContext local_ctx;
+  RunContext* ctx =
+      options.run_context != nullptr ? options.run_context : &local_ctx;
+  if (options.max_checks != 0) ctx->set_check_budget(options.max_checks);
+  if (options.time_limit_seconds > 0.0) {
+    ctx->set_time_limit_seconds(options.time_limit_seconds);
+  }
 
   std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> hist_prev1;
   std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> hist_prev2;
   hist_prev1.emplace(AttrSet{}, StrippedPartition::ForEmptySet(m));
 
   std::vector<Node> level;
+  std::size_t level_bytes = 0;
+  bool aborted = false;
+  StopReason cap_reason = StopReason::kNone;
   level.reserve(n);
-  for (std::size_t a = 0; a < n; ++a) {
+  for (std::size_t a = 0; a < n && !aborted; ++a) {
     Node node;
     node.set = AttrSet::Single(a);
     node.partition = StrippedPartition::ForColumn(relation, a);
     node.cc = universe;
+    std::size_t bytes = node.partition.MemoryBytes();
+    if (!ctx->ChargeMemory(bytes)) {
+      aborted = true;
+      break;
+    }
+    level_bytes += bytes;
     level.push_back(std::move(node));
   }
 
-  bool aborted = false;
   std::size_t ell = 1;
+  try {
   while (!level.empty() && !aborted) {
+    ctx->AtInjectionPoint("fastod_bid.level");
     if (options.max_level != 0 && ell > options.max_level) {
       aborted = true;
+      cap_reason = StopReason::kLevelCap;
       break;
     }
 
     // Constancy (FD) candidates — identical to TANE / FASTOD.
     for (Node& node : level) {
-      if (budget_exceeded()) {
+      if (ctx->ShouldStop()) {
         aborted = true;
         break;
       }
@@ -172,7 +181,9 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
         AttrSet lhs = node.set.WithoutAttr(a);
         auto it = hist_prev1.find(lhs);
         if (it == hist_prev1.end()) continue;
+        ctx->AtInjectionPoint("fastod_bid.fd_check");
         ++result.num_checks;
+        ctx->CountCheck(1);
         if (it->second.error() == node.partition.error()) {
           BidCanonicalOd fd;
           fd.kind = BidCanonicalOd::Kind::kConstancy;
@@ -188,7 +199,7 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
 
     // Polarized swap candidates.
     for (Node& node : level) {
-      if (budget_exceeded()) {
+      if (ctx->ShouldStop()) {
         aborted = true;
         break;
       }
@@ -197,7 +208,9 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
             node.set.WithoutAttr(pair.a).WithoutAttr(pair.b);
         auto it = hist_prev2.find(context_set);
         if (it == hist_prev2.end()) continue;
+        ctx->AtInjectionPoint("fastod_bid.swap_check");
         ++result.num_checks;
+        ctx->CountCheck(1);
         SwapOutcome outcome =
             CheckSwapBid(relation, it->second, pair.a, pair.b, pair.anti);
         if (outcome.swap) {
@@ -245,11 +258,12 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
     }
 
     std::vector<Node> next;
+    std::size_t next_bytes = 0;
     for (const auto& [prefix, members] : blocks) {
       if (aborted) break;
       for (std::size_t i = 0; i < members.size() && !aborted; ++i) {
         for (std::size_t j = i + 1; j < members.size(); ++j) {
-          if (budget_exceeded()) {
+          if (ctx->ShouldStop()) {
             aborted = true;
             break;
           }
@@ -297,21 +311,36 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
           }
 
           if (cc.empty() && pairs.empty()) continue;
+          ctx->AtInjectionPoint("fastod_bid.generate");
           Node node;
           node.set = y;
           node.partition =
               StrippedPartition::Product(x1.partition, x2.partition, m);
           node.cc = cc;
           node.swap_pairs = std::move(pairs);
+          std::size_t bytes = node.partition.MemoryBytes();
+          if (!ctx->ChargeMemory(bytes)) {
+            aborted = true;
+            break;
+          }
+          next_bytes += bytes;
           next.push_back(std::move(node));
         }
       }
     }
     if (aborted) break;
     level = std::move(next);
+    ctx->ReleaseMemory(level_bytes);
+    level_bytes = next_bytes;
     ++ell;
   }
+  } catch (const FaultInjectedError&) {
+    ctx->RequestStop(StopReason::kFaultInjected);
+    aborted = true;
+  }
+  ctx->ReleaseMemory(level_bytes);
 
+  aborted = aborted || ctx->stop_requested();
   od::SortUnique(result.ods);
   for (const BidCanonicalOd& od : result.ods) {
     switch (od.kind) {
@@ -327,6 +356,9 @@ FastodBidResult DiscoverFastodBid(const rel::CodedRelation& relation,
     }
   }
   result.completed = !aborted;
+  result.stop_reason = ctx->stop_reason() != StopReason::kNone
+                           ? ctx->stop_reason()
+                           : cap_reason;
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include "algo/attr_set.h"
 #include "algo/partition/stripped_partition.h"
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "od/dependency_set.h"
 
@@ -33,28 +34,33 @@ TaneResult DiscoverFds(const rel::CodedRelation& relation,
     return result;
   }
 
+  RunContext local_ctx;
+  RunContext* ctx =
+      options.run_context != nullptr ? options.run_context : &local_ctx;
+  if (options.max_checks != 0) ctx->set_check_budget(options.max_checks);
+  if (options.time_limit_seconds > 0.0) {
+    ctx->set_time_limit_seconds(options.time_limit_seconds);
+  }
+
   const AttrSet universe = AttrSet::FullUniverse(n);
   const std::size_t empty_error = m >= 2 ? m - 1 : 0;  // e(π(∅))
 
-  auto budget_exceeded = [&] {
-    if (options.max_checks != 0 && result.num_checks >= options.max_checks) {
-      return true;
-    }
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options.time_limit_seconds) {
-      return true;
-    }
-    return false;
-  };
-
   // Level 1.
   std::vector<Node> level;
+  std::size_t level_bytes = 0;
+  bool aborted = false;
   level.reserve(n);
-  for (std::size_t a = 0; a < n; ++a) {
+  for (std::size_t a = 0; a < n && !aborted; ++a) {
     Node node;
     node.set = AttrSet::Single(a);
     node.partition = StrippedPartition::ForColumn(relation, a);
     node.cplus = universe;
+    std::size_t bytes = node.partition.MemoryBytes();
+    if (!ctx->ChargeMemory(bytes)) {
+      aborted = true;
+      break;
+    }
+    level_bytes += bytes;
     level.push_back(std::move(node));
   }
 
@@ -62,97 +68,117 @@ TaneResult DiscoverFds(const rel::CodedRelation& relation,
   std::unordered_map<AttrSet, std::size_t, AttrSetHash> prev_errors;
   prev_errors.emplace(AttrSet{}, empty_error);
 
-  bool aborted = false;
   std::size_t lhs_size = 0;  // |X\A| at the current level
-  while (!level.empty() && !aborted) {
-    if (options.max_lhs_size != 0 && lhs_size > options.max_lhs_size) break;
+  try {
+    while (!level.empty() && !aborted) {
+      ctx->AtInjectionPoint("tane.level");
+      if (options.max_lhs_size != 0 && lhs_size > options.max_lhs_size) break;
 
-    // --- compute dependencies ---
-    for (Node& node : level) {
-      if (budget_exceeded()) {
-        aborted = true;
-        break;
-      }
-      for (std::size_t a : node.set.Intersect(node.cplus).ToVector()) {
-        AttrSet lhs = node.set.WithoutAttr(a);
-        auto it = prev_errors.find(lhs);
-        if (it == prev_errors.end()) continue;  // subset was pruned
-        ++result.num_checks;
-        if (it->second == node.partition.error()) {
-          od::FunctionalDependency fd;
-          for (std::size_t b : lhs.ToVector()) fd.lhs.push_back(b);
-          fd.rhs = a;
-          result.fds.push_back(std::move(fd));
-          node.cplus.Remove(a);
-          node.cplus = node.cplus.Without(universe.Without(node.set));
+      // --- compute dependencies ---
+      for (Node& node : level) {
+        if (ctx->ShouldStop()) {
+          aborted = true;
+          break;
+        }
+        for (std::size_t a : node.set.Intersect(node.cplus).ToVector()) {
+          AttrSet lhs = node.set.WithoutAttr(a);
+          auto it = prev_errors.find(lhs);
+          if (it == prev_errors.end()) continue;  // subset was pruned
+          ctx->AtInjectionPoint("tane.check");
+          ++result.num_checks;
+          ctx->CountCheck(1);
+          if (it->second == node.partition.error()) {
+            od::FunctionalDependency fd;
+            for (std::size_t b : lhs.ToVector()) fd.lhs.push_back(b);
+            fd.rhs = a;
+            result.fds.push_back(std::move(fd));
+            node.cplus.Remove(a);
+            node.cplus = node.cplus.Without(universe.Without(node.set));
+          }
         }
       }
-    }
-    if (aborted) break;
-
-    // --- prune nodes with empty C⁺ ---
-    std::vector<Node> kept;
-    kept.reserve(level.size());
-    for (Node& node : level) {
-      if (!node.cplus.empty()) kept.push_back(std::move(node));
-    }
-    level = std::move(kept);
-
-    // --- generate the next level (prefix-block join) ---
-    prev_errors.clear();
-    std::unordered_map<AttrSet, std::size_t, AttrSetHash> index;
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      index.emplace(level[i].set, i);
-      prev_errors.emplace(level[i].set, level[i].partition.error());
-    }
-
-    std::map<std::vector<std::size_t>, std::vector<std::size_t>> blocks;
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      std::vector<std::size_t> attrs = level[i].set.ToVector();
-      attrs.pop_back();  // prefix = all but the largest attribute
-      blocks[attrs].push_back(i);
-    }
-
-    std::vector<Node> next;
-    for (const auto& [prefix, members] : blocks) {
       if (aborted) break;
-      for (std::size_t i = 0; i < members.size() && !aborted; ++i) {
-        for (std::size_t j = i + 1; j < members.size(); ++j) {
-          if (budget_exceeded()) {
-            aborted = true;
-            break;
-          }
-          const Node& x1 = level[members[i]];
-          const Node& x2 = level[members[j]];
-          AttrSet y = x1.set.Union(x2.set);
-          // All immediate subsets must have survived pruning.
-          bool all_present = true;
-          AttrSet cplus = universe;
-          for (std::size_t c : y.ToVector()) {
-            auto it = index.find(y.WithoutAttr(c));
-            if (it == index.end()) {
-              all_present = false;
+
+      // --- prune nodes with empty C⁺ ---
+      std::vector<Node> kept;
+      kept.reserve(level.size());
+      for (Node& node : level) {
+        if (!node.cplus.empty()) kept.push_back(std::move(node));
+      }
+      level = std::move(kept);
+
+      // --- generate the next level (prefix-block join) ---
+      prev_errors.clear();
+      std::unordered_map<AttrSet, std::size_t, AttrSetHash> index;
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        index.emplace(level[i].set, i);
+        prev_errors.emplace(level[i].set, level[i].partition.error());
+      }
+
+      std::map<std::vector<std::size_t>, std::vector<std::size_t>> blocks;
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        std::vector<std::size_t> attrs = level[i].set.ToVector();
+        attrs.pop_back();  // prefix = all but the largest attribute
+        blocks[attrs].push_back(i);
+      }
+
+      std::vector<Node> next;
+      std::size_t next_bytes = 0;
+      for (const auto& [prefix, members] : blocks) {
+        if (aborted) break;
+        for (std::size_t i = 0; i < members.size() && !aborted; ++i) {
+          for (std::size_t j = i + 1; j < members.size(); ++j) {
+            if (ctx->ShouldStop()) {
+              aborted = true;
               break;
             }
-            cplus = cplus.Intersect(level[it->second].cplus);
+            const Node& x1 = level[members[i]];
+            const Node& x2 = level[members[j]];
+            AttrSet y = x1.set.Union(x2.set);
+            // All immediate subsets must have survived pruning.
+            bool all_present = true;
+            AttrSet cplus = universe;
+            for (std::size_t c : y.ToVector()) {
+              auto it = index.find(y.WithoutAttr(c));
+              if (it == index.end()) {
+                all_present = false;
+                break;
+              }
+              cplus = cplus.Intersect(level[it->second].cplus);
+            }
+            if (!all_present || cplus.empty()) continue;
+            ctx->AtInjectionPoint("tane.generate");
+            Node node;
+            node.set = y;
+            node.partition =
+                StrippedPartition::Product(x1.partition, x2.partition, m);
+            node.cplus = cplus;
+            std::size_t bytes = node.partition.MemoryBytes();
+            if (!ctx->ChargeMemory(bytes)) {
+              aborted = true;
+              break;
+            }
+            next_bytes += bytes;
+            next.push_back(std::move(node));
           }
-          if (!all_present || cplus.empty()) continue;
-          Node node;
-          node.set = y;
-          node.partition =
-              StrippedPartition::Product(x1.partition, x2.partition, m);
-          node.cplus = cplus;
-          next.push_back(std::move(node));
         }
       }
+      if (aborted) break;
+      level = std::move(next);
+      ctx->ReleaseMemory(level_bytes);
+      level_bytes = next_bytes;
+      ++lhs_size;
     }
-    if (aborted) break;
-    level = std::move(next);
-    ++lhs_size;
+  } catch (const FaultInjectedError&) {
+    ctx->RequestStop(StopReason::kFaultInjected);
+    aborted = true;
   }
+  ctx->ReleaseMemory(level_bytes);
 
+  aborted = aborted || ctx->stop_requested();
   od::SortUnique(result.fds);
   result.completed = !aborted;
+  result.stop_reason = ctx->stop_reason();
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

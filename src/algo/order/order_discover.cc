@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "core/checker.h"
 #include "core/list_partition.h"
@@ -37,11 +38,29 @@ struct CandidateHash {
 
 }  // namespace
 
+namespace {
+
+/// Frontier memory unit charged to the RunContext budget.
+std::size_t CandidateBytes(const Candidate& c) {
+  return sizeof(Candidate) +
+         (c.lhs.size() + c.rhs.size()) * sizeof(rel::ColumnId);
+}
+
+}  // namespace
+
 OrderDiscoverResult DiscoverOrderDependencies(
     const rel::CodedRelation& relation, const OrderDiscoverOptions& options) {
   WallTimer timer;
   OrderDiscoverResult result;
   OrderChecker checker(relation);
+
+  RunContext local_ctx;
+  RunContext* ctx =
+      options.run_context != nullptr ? options.run_context : &local_ctx;
+  if (options.max_checks != 0) ctx->set_check_budget(options.max_checks);
+  if (options.time_limit_seconds > 0.0) {
+    ctx->set_time_limit_seconds(options.time_limit_seconds);
+  }
 
   // Sorted-partition cache (only populated when the option is set): each
   // list's rank vector derives from its prefix's by one refinement.
@@ -78,82 +97,114 @@ OrderDiscoverResult DiscoverOrderDependencies(
 
   // Level 2: every ordered pair (A, B), A ≠ B — direction matters for ODs.
   std::vector<Candidate> level;
-  for (rel::ColumnId a = 0; a < n; ++a) {
+  std::size_t level_bytes = 0;
+  bool aborted = false;
+  StopReason cap_reason = StopReason::kNone;
+  for (rel::ColumnId a = 0; a < n && !aborted; ++a) {
     for (rel::ColumnId b = 0; b < n; ++b) {
       if (a == b) continue;
-      level.push_back(Candidate{AttributeList{a}, AttributeList{b}});
+      Candidate c{AttributeList{a}, AttributeList{b}};
+      std::size_t bytes = CandidateBytes(c);
+      if (!ctx->ChargeMemory(bytes)) {
+        aborted = true;
+        break;
+      }
+      level_bytes += bytes;
+      level.push_back(std::move(c));
     }
   }
   result.candidates_generated += level.size();
 
-  auto budget_exceeded = [&] {
-    if (options.max_checks != 0 &&
-        checker.stats().TotalChecks() + part_checks >= options.max_checks) {
-      return true;
-    }
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options.time_limit_seconds) {
-      return true;
-    }
-    return false;
-  };
-
   std::size_t current_level = 2;
-  bool aborted = false;
-  while (!level.empty() && !aborted) {
-    if (options.max_level != 0 && current_level > options.max_level) {
-      aborted = true;
-      break;
-    }
-    std::vector<Candidate> next;
-    std::unordered_set<Candidate, CandidateHash> seen;
-    for (const Candidate& c : level) {
-      if (budget_exceeded()) {
+  try {
+    while (!level.empty() && !aborted) {
+      ctx->AtInjectionPoint("order.level");
+      if (options.max_level != 0 && current_level > options.max_level) {
         aborted = true;
+        cap_reason = StopReason::kLevelCap;
         break;
       }
-      // Full classification: a swap must be detected even when a split
-      // occurs first, because only swaps prune the subtree.
-      OdCheckOutcome outcome;
-      const core::ListPartition* pl = nullptr;
-      const core::ListPartition* pr = nullptr;
-      if (options.use_sorted_partitions) {
-        pl = ensure(c.lhs);
-        pr = ensure(c.rhs);
-      }
-      if (pl != nullptr && pr != nullptr) {
-        outcome = core::ListPartition::CheckOd(*pl, *pr);
-        ++part_checks;
-      } else {
-        outcome = checker.CheckOd(c.lhs, c.rhs, /*early_exit=*/false);
-      }
-      if (outcome.valid()) {
-        result.ods.push_back(od::OrderDependency{c.lhs, c.rhs});
-        // Extend RHS only: X → YA is not implied by X → Y, but XA → Y is.
-        for (rel::ColumnId a = 0; a < n; ++a) {
-          if (c.lhs.Contains(a) || c.rhs.Contains(a)) continue;
-          Candidate child{c.lhs, c.rhs.WithAppended(a)};
-          if (seen.insert(child).second) next.push_back(std::move(child));
+      std::vector<Candidate> next;
+      std::size_t next_bytes = 0;
+      std::unordered_set<Candidate, CandidateHash> seen;
+      for (const Candidate& c : level) {
+        if (ctx->ShouldStop()) {
+          aborted = true;
+          break;
         }
-      } else if (!outcome.has_swap) {
-        // Split only: extending the RHS can never repair a split, extending
-        // the LHS can.
-        for (rel::ColumnId a = 0; a < n; ++a) {
-          if (c.lhs.Contains(a) || c.rhs.Contains(a)) continue;
-          Candidate child{c.lhs.WithAppended(a), c.rhs};
-          if (seen.insert(child).second) next.push_back(std::move(child));
+        ctx->AtInjectionPoint("order.check");
+        // Full classification: a swap must be detected even when a split
+        // occurs first, because only swaps prune the subtree.
+        OdCheckOutcome outcome;
+        const core::ListPartition* pl = nullptr;
+        const core::ListPartition* pr = nullptr;
+        if (options.use_sorted_partitions) {
+          pl = ensure(c.lhs);
+          pr = ensure(c.rhs);
         }
+        ctx->CountCheck(1);
+        if (pl != nullptr && pr != nullptr) {
+          outcome = core::ListPartition::CheckOd(*pl, *pr);
+          ++part_checks;
+        } else {
+          outcome = checker.CheckOd(c.lhs, c.rhs, /*early_exit=*/false);
+        }
+        if (outcome.valid()) {
+          ctx->AtInjectionPoint("order.generate");
+          result.ods.push_back(od::OrderDependency{c.lhs, c.rhs});
+          // Extend RHS only: X → YA is not implied by X → Y, but XA → Y is.
+          for (rel::ColumnId a = 0; a < n; ++a) {
+            if (c.lhs.Contains(a) || c.rhs.Contains(a)) continue;
+            Candidate child{c.lhs, c.rhs.WithAppended(a)};
+            if (seen.count(child) != 0) continue;
+            std::size_t bytes = CandidateBytes(child);
+            if (!ctx->ChargeMemory(bytes)) {
+              aborted = true;
+              break;
+            }
+            next_bytes += bytes;
+            seen.insert(child);
+            next.push_back(std::move(child));
+          }
+        } else if (!outcome.has_swap) {
+          // Split only: extending the RHS can never repair a split,
+          // extending the LHS can.
+          for (rel::ColumnId a = 0; a < n; ++a) {
+            if (c.lhs.Contains(a) || c.rhs.Contains(a)) continue;
+            Candidate child{c.lhs.WithAppended(a), c.rhs};
+            if (seen.count(child) != 0) continue;
+            std::size_t bytes = CandidateBytes(child);
+            if (!ctx->ChargeMemory(bytes)) {
+              aborted = true;
+              break;
+            }
+            next_bytes += bytes;
+            seen.insert(child);
+            next.push_back(std::move(child));
+          }
+        }
+        // Swap: prune the whole subtree.
+        if (aborted) break;
       }
-      // Swap: prune the whole subtree.
+      result.candidates_generated += next.size();
+      level = std::move(next);
+      ctx->ReleaseMemory(level_bytes);
+      level_bytes = next_bytes;
+      ++current_level;
     }
-    result.candidates_generated += next.size();
-    level = std::move(next);
-    ++current_level;
+  } catch (const FaultInjectedError&) {
+    ctx->RequestStop(StopReason::kFaultInjected);
+    aborted = true;
   }
+  ctx->ReleaseMemory(level_bytes);
 
+  aborted = aborted || ctx->stop_requested();
   od::SortUnique(result.ods);
   result.num_checks = checker.stats().TotalChecks() + part_checks;
   result.completed = !aborted;
+  result.stop_reason = ctx->stop_reason() != StopReason::kNone
+                           ? ctx->stop_reason()
+                           : cap_reason;
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
 #include "od/dependency.h"
 #include "relation/coded_relation.h"
 
@@ -12,6 +13,10 @@ namespace ocdd::algo {
 
 /// Budgets for an ORDER run (mirroring OcdDiscoverOptions).
 struct OrderDiscoverOptions {
+  /// Injectable run control (deadline, budgets, cancellation, fault
+  /// injection); nullptr = private context from the knobs below.
+  RunContext* run_context = nullptr;
+
   std::uint64_t max_checks = 0;        ///< 0 = unlimited
   double time_limit_seconds = 0.0;     ///< 0 = unlimited
   std::size_t max_level = 0;           ///< cap on |X|+|Y| (0 = unlimited)
@@ -33,6 +38,7 @@ struct OrderDiscoverResult {
   std::uint64_t num_checks = 0;
   std::uint64_t candidates_generated = 0;
   bool completed = true;
+  StopReason stop_reason = StopReason::kNone;  ///< kNone when completed
   double elapsed_seconds = 0.0;
 };
 

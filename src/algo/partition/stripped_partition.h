@@ -48,6 +48,18 @@ class StrippedPartition {
     return classes_;
   }
 
+  /// Heap-inclusive footprint estimate, the unit the RunContext memory
+  /// budget is charged in by the set-lattice algorithms.
+  std::size_t MemoryBytes() const {
+    std::size_t bytes =
+        sizeof(StrippedPartition) +
+        classes_.capacity() * sizeof(std::vector<std::uint32_t>);
+    for (const std::vector<std::uint32_t>& cls : classes_) {
+      bytes += cls.capacity() * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   std::vector<std::vector<std::uint32_t>> classes_;
   std::size_t stripped_rows_ = 0;

@@ -7,6 +7,7 @@
 
 #include "algo/attr_set.h"
 #include "algo/partition/stripped_partition.h"
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "od/dependency_set.h"
 
@@ -42,31 +43,39 @@ UccResult DiscoverUccs(const rel::CodedRelation& relation,
     return result;
   }
 
-  auto budget_exceeded = [&] {
-    if (options.max_checks != 0 && result.num_checks >= options.max_checks) {
-      return true;
-    }
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options.time_limit_seconds) {
-      return true;
-    }
-    return false;
-  };
+  RunContext local_ctx;
+  RunContext* ctx =
+      options.run_context != nullptr ? options.run_context : &local_ctx;
+  if (options.max_checks != 0) ctx->set_check_budget(options.max_checks);
+  if (options.time_limit_seconds > 0.0) {
+    ctx->set_time_limit_seconds(options.time_limit_seconds);
+  }
 
   std::vector<Node> level;
+  std::size_t level_bytes = 0;
+  bool aborted = false;
+  StopReason cap_reason = StopReason::kNone;
   level.reserve(n);
-  for (std::size_t a = 0; a < n; ++a) {
+  for (std::size_t a = 0; a < n && !aborted; ++a) {
     Node node;
     node.set = AttrSet::Single(a);
     node.partition = StrippedPartition::ForColumn(relation, a);
+    std::size_t bytes = node.partition.MemoryBytes();
+    if (!ctx->ChargeMemory(bytes)) {
+      aborted = true;
+      break;
+    }
+    level_bytes += bytes;
     level.push_back(std::move(node));
   }
 
-  bool aborted = false;
   std::size_t size = 1;
+  try {
   while (!level.empty() && !aborted) {
+    ctx->AtInjectionPoint("ucc.level");
     if (options.max_size != 0 && size > options.max_size) {
       aborted = true;
+      cap_reason = StopReason::kLevelCap;
       break;
     }
 
@@ -74,11 +83,13 @@ UccResult DiscoverUccs(const rel::CodedRelation& relation,
     std::vector<Node> survivors;
     survivors.reserve(level.size());
     for (Node& node : level) {
-      if (budget_exceeded()) {
+      if (ctx->ShouldStop()) {
         aborted = true;
         break;
       }
+      ctx->AtInjectionPoint("ucc.check");
       ++result.num_checks;
+      ctx->CountCheck(1);
       if (node.partition.error() == 0) {
         // No stripped class has ≥ 2 rows agreeing on the set: unique.
         Ucc ucc;
@@ -104,11 +115,12 @@ UccResult DiscoverUccs(const rel::CodedRelation& relation,
       blocks[attrs].push_back(i);
     }
     std::vector<Node> next;
+    std::size_t next_bytes = 0;
     for (const auto& [prefix, members] : blocks) {
       if (aborted) break;
       for (std::size_t i = 0; i < members.size() && !aborted; ++i) {
         for (std::size_t j = i + 1; j < members.size(); ++j) {
-          if (budget_exceeded()) {
+          if (ctx->ShouldStop()) {
             aborted = true;
             break;
           }
@@ -123,21 +135,39 @@ UccResult DiscoverUccs(const rel::CodedRelation& relation,
             }
           }
           if (!all_present) continue;
+          ctx->AtInjectionPoint("ucc.generate");
           Node node;
           node.set = y;
           node.partition =
               StrippedPartition::Product(x1.partition, x2.partition, m);
+          std::size_t bytes = node.partition.MemoryBytes();
+          if (!ctx->ChargeMemory(bytes)) {
+            aborted = true;
+            break;
+          }
+          next_bytes += bytes;
           next.push_back(std::move(node));
         }
       }
     }
     if (aborted) break;
     level = std::move(next);
+    ctx->ReleaseMemory(level_bytes);
+    level_bytes = next_bytes;
     ++size;
   }
+  } catch (const FaultInjectedError&) {
+    ctx->RequestStop(StopReason::kFaultInjected);
+    aborted = true;
+  }
+  ctx->ReleaseMemory(level_bytes);
 
+  aborted = aborted || ctx->stop_requested();
   od::SortUnique(result.uccs);
   result.completed = !aborted;
+  result.stop_reason = ctx->stop_reason() != StopReason::kNone
+                           ? ctx->stop_reason()
+                           : cap_reason;
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

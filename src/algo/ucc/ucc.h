@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "relation/coded_relation.h"
 
 namespace ocdd::algo {
@@ -32,6 +33,10 @@ struct Ucc {
 };
 
 struct UccOptions {
+  /// Injectable run control (deadline, budgets, cancellation, fault
+  /// injection); nullptr = private context from the knobs below.
+  RunContext* run_context = nullptr;
+
   std::uint64_t max_checks = 0;     ///< 0 = unlimited
   double time_limit_seconds = 0.0;  ///< 0 = unlimited
   std::size_t max_size = 0;         ///< cap on |X| (0 = unlimited)
@@ -41,6 +46,7 @@ struct UccResult {
   std::vector<Ucc> uccs;  ///< minimal UCCs, sorted
   std::uint64_t num_checks = 0;
   bool completed = true;
+  StopReason stop_reason = StopReason::kNone;  ///< kNone when completed
   double elapsed_seconds = 0.0;
 };
 

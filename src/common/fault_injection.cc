@@ -1,0 +1,51 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+
+namespace ocdd {
+
+void FaultInjector::Arm(const std::string& point, FaultAction action,
+                        std::uint64_t after_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arming arming;
+  arming.action = action;
+  std::uint64_t seen = 0;
+  auto it = hits_.find(point);
+  if (it != hits_.end()) seen = it->second;
+  arming.fire_at = seen + (after_hits == 0 ? 1 : after_hits);
+  armed_[point] = arming;
+}
+
+FaultAction FaultInjector::Poll(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t count = ++hits_[point];
+  auto it = armed_.find(point);
+  if (it == armed_.end()) return FaultAction::kNone;
+  if (count < it->second.fire_at) return FaultAction::kNone;
+  FaultAction action = it->second.action;
+  armed_.erase(it);  // one-shot
+  return action;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(hits_.size());
+  for (const auto& [name, count] : hits_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  hits_.clear();
+}
+
+}  // namespace ocdd

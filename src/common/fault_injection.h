@@ -1,0 +1,78 @@
+#ifndef OCDD_COMMON_FAULT_INJECTION_H_
+#define OCDD_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ocdd {
+
+/// What an armed injection point does when it fires.
+enum class FaultAction {
+  kNone = 0,        ///< not armed / already fired
+  kCancel,          ///< cooperative stop, as if `RunContext::Cancel()` raced in
+  kAllocFailure,    ///< simulated allocation failure → memory-budget stop
+  kThrow,           ///< throws FaultInjectedError from the injection point
+};
+
+/// The exception `FaultAction::kThrow` raises. Algorithms treat it like any
+/// other exception escaping their check machinery: the run stops, the partial
+/// result is returned with `StopReason::kFaultInjected`.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Test-only fault harness, compiled in always and enabled by attaching an
+/// instance to a `RunContext`. Each discovery algorithm names the interesting
+/// spots in its check loop (`"tane.check"`, `"ocd.generate"`, ...) and calls
+/// `RunContext::AtInjectionPoint(name)` there; with no injector attached that
+/// call is a single null-pointer test.
+///
+/// An arming is one-shot: the `after_hits`-th hit of the point fires the
+/// action and disarms it. Hit counters keep counting either way, so tests can
+/// discover how often a point is reached before choosing where to strike.
+///
+/// Thread-safe: `Poll` may be called from pool workers.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point` to fire `action` on its `after_hits`-th hit from now
+  /// (1 = the very next hit). Re-arming a point replaces the old arming.
+  void Arm(const std::string& point, FaultAction action,
+           std::uint64_t after_hits = 1);
+
+  /// Counts a hit of `point`; returns the action to perform (usually kNone).
+  FaultAction Poll(const char* point);
+
+  /// Total hits of `point` so far (0 for never-reached points).
+  std::uint64_t hits(const std::string& point) const;
+
+  /// Every point name seen by `Poll`, sorted — lets tests enumerate the
+  /// injection surface of an algorithm after a dry run.
+  std::vector<std::string> SeenPoints() const;
+
+  /// Clears hit counters and armings.
+  void Reset();
+
+ private:
+  struct Arming {
+    FaultAction action = FaultAction::kNone;
+    std::uint64_t fire_at = 0;  ///< absolute hit count that triggers
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Arming> armed_;
+  std::unordered_map<std::string, std::uint64_t> hits_;
+};
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,133 @@
+#include "common/run_context.h"
+
+#include <string>
+
+#include "common/fault_injection.h"
+
+namespace ocdd {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCheckBudget:
+      return "check_budget";
+    case StopReason::kMemoryBudget:
+      return "memory_budget";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kFaultInjected:
+      return "fault_injected";
+    case StopReason::kLevelCap:
+      return "level_cap";
+  }
+  return "unknown";
+}
+
+void RunContext::set_time_limit_seconds(double seconds) {
+  if (seconds <= 0.0) {
+    has_deadline_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void RunContext::set_deadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_ = deadline;
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void RunContext::set_check_budget(std::uint64_t checks) {
+  check_budget_.store(checks, std::memory_order_relaxed);
+}
+
+void RunContext::set_memory_budget(std::size_t bytes) {
+  memory_budget_.store(bytes, std::memory_order_relaxed);
+}
+
+void RunContext::RequestStop(StopReason reason) {
+  if (reason == StopReason::kNone) return;
+  int expected = static_cast<int>(StopReason::kNone);
+  stop_reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+}
+
+bool RunContext::ShouldStop() {
+  if (stop_reason_.load(std::memory_order_relaxed) !=
+      static_cast<int>(StopReason::kNone)) {
+    return true;
+  }
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    RequestStop(StopReason::kCancelled);
+    return true;
+  }
+  std::uint64_t budget = check_budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && checks_.load(std::memory_order_relaxed) >= budget) {
+    RequestStop(StopReason::kCheckBudget);
+    return true;
+  }
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    RequestStop(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+bool RunContext::CountCheck(std::uint64_t n) {
+  checks_.fetch_add(n, std::memory_order_relaxed);
+  return ShouldStop();
+}
+
+bool RunContext::ChargeMemory(std::size_t bytes) {
+  std::size_t budget = memory_budget_.load(std::memory_order_relaxed);
+  std::size_t used =
+      memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget != 0 && used > budget) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    RequestStop(StopReason::kMemoryBudget);
+    return false;
+  }
+  std::size_t peak = memory_peak_.load(std::memory_order_relaxed);
+  while (used > peak &&
+         !memory_peak_.compare_exchange_weak(peak, used,
+                                             std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void RunContext::ReleaseMemory(std::size_t bytes) {
+  memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void RunContext::AtInjectionPoint(const char* point) {
+  if (injector_ == nullptr) return;
+  switch (injector_->Poll(point)) {
+    case FaultAction::kNone:
+      return;
+    case FaultAction::kCancel:
+      RequestStop(StopReason::kFaultInjected);
+      return;
+    case FaultAction::kAllocFailure:
+      RequestStop(StopReason::kMemoryBudget);
+      return;
+    case FaultAction::kThrow:
+      throw FaultInjectedError(std::string("fault injected at ") + point);
+  }
+}
+
+void RunContext::Reset() {
+  stop_reason_.store(static_cast<int>(StopReason::kNone),
+                     std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  checks_.store(0, std::memory_order_relaxed);
+  memory_used_.store(0, std::memory_order_relaxed);
+  memory_peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ocdd

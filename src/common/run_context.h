@@ -1,0 +1,155 @@
+#ifndef OCDD_COMMON_RUN_CONTEXT_H_
+#define OCDD_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace ocdd {
+
+class FaultInjector;
+
+/// Why a discovery run stopped before exhausting its search space.
+///
+/// Every algorithm result struct carries a `StopReason` next to its
+/// `completed` flag; `kNone` means the run was not stopped (it either
+/// completed, or a structural cap like `max_lhs_size` truncated it without
+/// going through the RunContext).
+enum class StopReason {
+  kNone = 0,
+  kDeadline,       ///< the wall-clock deadline passed
+  kCheckBudget,    ///< the candidate-check budget was spent
+  kMemoryBudget,   ///< the byte-accounted memory budget was exceeded
+  kCancelled,      ///< Cancel() was called (signal handler, other thread)
+  kFaultInjected,  ///< a fault-injection point fired (or a check threw)
+  kLevelCap,       ///< a max-level / max-candidates structural cap tripped
+};
+
+/// Stable lower_snake_case name for `reason` (e.g. "check_budget"), used by
+/// the JSON report schema and the CLI.
+const char* StopReasonName(StopReason reason);
+
+/// Shared run-control handle for every discovery algorithm — the single
+/// implementation of the budget/cancellation semantics that used to be
+/// hand-rolled per algorithm.
+///
+/// A RunContext carries:
+///  * a monotonic **deadline** (`set_time_limit_seconds` / `set_deadline`),
+///  * a **candidate-check budget** in units of individual validity checks
+///    (OCD single checks, OD checks, FD error comparisons, UCC uniqueness
+///    probes — whatever the algorithm counts in its `num_checks`),
+///  * a byte-accounted **memory budget** (`ChargeMemory`/`ReleaseMemory`,
+///    charged by algorithms for their dominant allocations: candidate
+///    frontiers and per-level partition sets),
+///  * an atomic **cancellation flag** — `Cancel()` is async-signal-safe and
+///    callable from any thread or signal handler,
+///  * an optional **fault injector** (see fault_injection.h).
+///
+/// The first stop condition observed wins: `stop_reason()` is latched once
+/// and never overwritten, so a run that hits its deadline while a SIGINT
+/// races in reports exactly one reason.
+///
+/// Thread-safety: all methods are safe to call concurrently *during* a run.
+/// Configuration (`set_*`) must happen before the run starts; `Reset()` must
+/// not race with a run.
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  // ---- configuration (before the run) ----
+
+  /// Arms the deadline `seconds` from now; <= 0 disarms it.
+  void set_time_limit_seconds(double seconds);
+
+  /// Arms an absolute monotonic deadline.
+  void set_deadline(std::chrono::steady_clock::time_point deadline);
+
+  /// Total candidate checks allowed; 0 = unlimited.
+  void set_check_budget(std::uint64_t checks);
+  std::uint64_t check_budget() const {
+    return check_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Byte budget for `ChargeMemory`; 0 = unlimited.
+  void set_memory_budget(std::size_t bytes);
+  std::size_t memory_budget() const {
+    return memory_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a fault injector (not owned); nullptr detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  // ---- cooperative cancellation ----
+
+  /// Requests a cooperative stop with reason `kCancelled`. Only touches an
+  /// atomic flag, hence safe from signal handlers.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Latches `reason` as the stop reason unless one is already set.
+  void RequestStop(StopReason reason);
+
+  // ---- hot-path API (called inside algorithm loops) ----
+
+  /// Evaluates every stop condition, latching the first one observed.
+  /// Returns true when the run should unwind.
+  bool ShouldStop();
+
+  /// Accounts `n` candidate checks, then evaluates `ShouldStop()`.
+  bool CountCheck(std::uint64_t n = 1);
+
+  /// Accounts an allocation of `bytes`. Returns false — and latches
+  /// `kMemoryBudget` — when the charge would exceed the budget (the charge
+  /// is then *not* recorded, mirroring a failed allocation).
+  bool ChargeMemory(std::size_t bytes);
+
+  /// Returns previously charged bytes to the budget.
+  void ReleaseMemory(std::size_t bytes);
+
+  /// Fault-injection hook: a no-op without an injector; otherwise may latch
+  /// a stop, simulate allocation failure, or throw FaultInjectedError.
+  void AtInjectionPoint(const char* point);
+
+  // ---- observers ----
+
+  bool stop_requested() const {
+    return stop_reason_.load(std::memory_order_relaxed) !=
+               static_cast<int>(StopReason::kNone) ||
+           cancelled_.load(std::memory_order_relaxed);
+  }
+  StopReason stop_reason() const {
+    return static_cast<StopReason>(
+        stop_reason_.load(std::memory_order_relaxed));
+  }
+  std::uint64_t checks() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  std::size_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_memory() const {
+    return memory_peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears latched stop state and counters (budgets and the injector stay)
+  /// so the context can drive another run. Must not race with a run.
+  void Reset();
+
+ private:
+  std::atomic<int> stop_reason_{static_cast<int>(StopReason::kNone)};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> checks_{0};
+  std::atomic<std::uint64_t> check_budget_{0};
+  std::atomic<std::size_t> memory_used_{0};
+  std::atomic<std::size_t> memory_peak_{0};
+  std::atomic<std::size_t> memory_budget_{0};
+  std::atomic<bool> has_deadline_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_RUN_CONTEXT_H_

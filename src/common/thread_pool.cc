@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <string>
+#include <utility>
 
 namespace ocdd {
 
@@ -13,45 +16,69 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::ResourceExhausted("ThreadPool::Submit after Shutdown");
+    }
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+  return Status::OK();
 }
 
-void ThreadPool::WaitIdle() {
+Status ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  Status out = std::move(first_error_);
+  first_error_ = Status::OK();
+  return out;
 }
 
-void ThreadPool::ParallelFor(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::ParallelFor(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return Status::OK();
   // Static chunking: one contiguous range per worker keeps per-task overhead
   // negligible for the fine-grained candidate checks this pool is used for.
   std::size_t chunks = std::min(n, workers_.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   for (std::size_t c = 0; c < chunks; ++c) {
-    Submit([&next, n, &fn] {
+    Status submitted = Submit([&next, &failed, n, &fn] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // recorded by the worker wrapper
+        }
       }
     });
+    if (!submitted.ok()) return submitted;
   }
-  WaitIdle();
+  return WaitIdle();
+}
+
+void ThreadPool::RecordFailureLocked(Status status) {
+  if (first_error_.ok()) first_error_ = std::move(status);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -69,9 +96,17 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    Status failure = Status::OK();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      failure = Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      failure = Status::Internal("task threw a non-std exception");
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (!failure.ok()) RecordFailureLocked(std::move(failure));
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

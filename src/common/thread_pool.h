@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace ocdd {
 
 /// A fixed-size worker pool with a shared FIFO task queue.
@@ -18,8 +20,15 @@ namespace ocdd {
 /// of the candidate tree is sharded into tasks, submitted with `Submit()`,
 /// and the driver synchronizes the level barrier with `WaitIdle()`.
 ///
+/// Fault containment: a task that throws does not take the process down.
+/// The worker catches the exception, records the first failure as a Status,
+/// and keeps serving the queue; `WaitIdle()` (and `ParallelFor()`) return
+/// that Status so the caller can unwind cooperatively.
+///
 /// Thread-safety: `Submit()` and `WaitIdle()` may be called from any thread;
-/// the destructor joins all workers after draining the queue.
+/// `Shutdown()` (also run by the destructor) drains outstanding work and
+/// joins the workers. Submitting after shutdown is a no-op that returns an
+/// error instead of undefined behavior.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (minimum 1).
@@ -28,23 +37,35 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains outstanding work, then joins the workers.
+  /// Calls `Shutdown()`.
   ~ThreadPool();
 
-  /// Enqueues `task` for execution. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  /// Drains outstanding work, then joins the workers. Idempotent; after it
+  /// returns, `Submit` rejects new work.
+  void Shutdown();
 
-  /// Blocks until the queue is empty and no task is executing.
-  void WaitIdle();
+  /// Enqueues `task` for execution. Returns an error (and drops the task)
+  /// when the pool has shut down. Tasks may throw: the first exception is
+  /// captured and surfaced by `WaitIdle()`.
+  Status Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing. Returns the
+  /// first task failure recorded since the previous `WaitIdle()` (and clears
+  /// it), or OK.
+  Status WaitIdle();
 
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for every i in [0, n) across the pool and waits for all
-  /// of them. `fn` must be safe to invoke concurrently.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// of them. `fn` must be safe to invoke concurrently. Returns the first
+  /// failure thrown by any invocation (remaining indices may be skipped
+  /// after a failure), or OK.
+  Status ParallelFor(std::size_t n,
+                     const std::function<void(std::size_t)>& fn);
 
  private:
   void WorkerLoop();
+  void RecordFailureLocked(Status status);
 
   std::mutex mu_;
   std::condition_variable work_available_;
@@ -52,6 +73,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool shutdown_ = false;
+  Status first_error_;
   std::vector<std::thread> workers_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "core/checker.h"
 
 namespace ocdd::core {
@@ -55,9 +56,33 @@ Result<DependencyMonitor::UpdateReport> DependencyMonitor::AppendRows(
     }
   }
 
-  // Revalidate the dependency set on the grown relation.
+  // Revalidate the dependency set on the grown relation. The options'
+  // RunContext (if any) budgets this sweep like a discovery run; once it
+  // stops, the remaining dependencies are retained *unverified* — they held
+  // before the append, which is the sound conservative choice.
+  RunContext* ctx = options_.run_context;
+  bool stopped = false;
+  auto sweep_stopped = [&]() -> bool {
+    if (stopped) return true;
+    if (ctx == nullptr) return false;
+    try {
+      ctx->AtInjectionPoint("monitor.revalidate");
+    } catch (const FaultInjectedError&) {
+      ctx->RequestStop(StopReason::kFaultInjected);
+      stopped = true;
+      return true;
+    }
+    if (ctx->ShouldStop()) stopped = true;
+    return stopped;
+  };
+
   std::vector<od::OrderDependency> live_ods;
   for (const od::OrderDependency& od : state_.ods) {
+    if (sweep_stopped()) {
+      live_ods.push_back(od);
+      continue;
+    }
+    if (ctx != nullptr) ctx->CountCheck(1);
     if (checker.HoldsOd(od.lhs, od.rhs)) {
       live_ods.push_back(od);
     } else {
@@ -67,6 +92,11 @@ Result<DependencyMonitor::UpdateReport> DependencyMonitor::AppendRows(
   }
   std::vector<od::OrderCompatibility> live_ocds;
   for (const od::OrderCompatibility& ocd : state_.ocds) {
+    if (sweep_stopped()) {
+      live_ocds.push_back(ocd);
+      continue;
+    }
+    if (ctx != nullptr) ctx->CountCheck(1);
     if (checker.HoldsOcd(ocd.lhs, ocd.rhs)) {
       live_ocds.push_back(ocd);
     } else {
@@ -74,7 +104,11 @@ Result<DependencyMonitor::UpdateReport> DependencyMonitor::AppendRows(
     }
   }
 
-  if (report.constant_broke || report.equivalence_broke || report.od_broke) {
+  report.revalidation_complete = !stopped;
+  report.stop_reason = ctx != nullptr ? ctx->stop_reason() : StopReason::kNone;
+
+  if (!stopped &&
+      (report.constant_broke || report.equivalence_broke || report.od_broke)) {
     // Previously-implicit dependencies may now need explicit discovery.
     coded_ = std::move(grown);
     state_ = DiscoverOcds(coded_, options_);
@@ -82,10 +116,13 @@ Result<DependencyMonitor::UpdateReport> DependencyMonitor::AppendRows(
     return report;
   }
 
-  // Cheap path: dropping the falsified OCDs *is* the fresh result.
+  // Cheap path (or stopped mid-sweep, where a re-discovery under a latched
+  // context would discard everything): drop the known-falsified
+  // dependencies, keep the rest.
   coded_ = std::move(grown);
   state_.ocds = std::move(live_ocds);
   state_.ods = std::move(live_ods);
+  state_.completed = state_.completed && !stopped;
   return report;
 }
 

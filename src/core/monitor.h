@@ -45,9 +45,22 @@ class DependencyMonitor {
     bool constant_broke = false;
     bool equivalence_broke = false;
     bool od_broke = false;
+
+    /// False when the options' RunContext stopped the revalidation sweep
+    /// mid-way: unverified dependencies are conservatively *retained* (they
+    /// held before the append and may still hold), and any re-discovery is
+    /// skipped. `stop_reason` says why (kNone when the sweep finished).
+    bool revalidation_complete = true;
+    StopReason stop_reason = StopReason::kNone;
   };
 
   /// Runs the initial discovery on `base`.
+  ///
+  /// When `options.run_context` is set, the same context governs the
+  /// initial discovery, every AppendRows revalidation sweep, and any
+  /// re-discovery. A latched stop persists across calls until the caller
+  /// invokes RunContext::Reset() — deliberate, so a cancelled monitor stays
+  /// cancelled.
   explicit DependencyMonitor(rel::Relation base,
                              OcdDiscoverOptions options = {});
 

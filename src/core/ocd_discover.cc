@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/checker.h"
@@ -37,6 +38,13 @@ struct CandidateHash {
   }
 };
 
+/// Heap-inclusive footprint estimate of one candidate, the unit the
+/// RunContext memory budget is charged in for the level frontier.
+std::size_t CandidateBytes(const Candidate& c) {
+  return sizeof(Candidate) +
+         (c.x.size() + c.y.size()) * sizeof(rel::ColumnId);
+}
+
 /// Per-candidate check outcome, filled by the (possibly parallel) check
 /// phase and consumed by the sequential generation phase.
 struct CheckedCandidate {
@@ -49,7 +57,13 @@ struct CheckedCandidate {
 class Driver {
  public:
   Driver(const rel::CodedRelation& relation, const OcdDiscoverOptions& options)
-      : relation_(relation), options_(options), checker_(relation) {}
+      : relation_(relation), options_(options), checker_(relation) {
+    ctx_ = options.run_context != nullptr ? options.run_context : &local_ctx_;
+    if (options.max_checks != 0) ctx_->set_check_budget(options.max_checks);
+    if (options.time_limit_seconds > 0.0) {
+      ctx_->set_time_limit_seconds(options.time_limit_seconds);
+    }
+  }
 
   OcdDiscoverResult Run() {
     WallTimer timer;
@@ -66,125 +80,185 @@ class Driver {
 
     // Level ℓ = 2: all unordered single-attribute pairs (Algorithm 1 line 4).
     std::vector<Candidate> level;
-    for (std::size_t i = 0; i < universe.size(); ++i) {
+    std::size_t level_bytes = 0;
+    bool aborted = false;
+    StopReason cap_reason = StopReason::kNone;
+    for (std::size_t i = 0; i < universe.size() && !aborted; ++i) {
       for (std::size_t j = i + 1; j < universe.size(); ++j) {
-        level.push_back(Candidate{AttributeList{universe[i]},
-                                  AttributeList{universe[j]}});
+        Candidate c{AttributeList{universe[i]}, AttributeList{universe[j]}};
+        std::size_t bytes = CandidateBytes(c);
+        if (!ctx_->ChargeMemory(bytes)) {
+          aborted = true;
+          break;
+        }
+        level_bytes += bytes;
+        level.push_back(std::move(c));
       }
     }
     result.candidates_generated += level.size();
 
     od::DependencyStore store;
     std::size_t current_level = 2;
-    bool aborted = false;
 
     std::unique_ptr<ThreadPool> pool;
     if (options_.num_threads > 1) {
       pool = std::make_unique<ThreadPool>(options_.num_threads);
     }
 
-    while (!level.empty() && !aborted) {
-      if (options_.max_level != 0 && current_level > options_.max_level) {
-        aborted = true;
-        break;
-      }
-
-      // Sorted-partition mode: make sure both sides of every candidate have
-      // a cached rank vector before the (parallel, read-only) check phase.
-      if (options_.use_sorted_partitions) {
-        for (const Candidate& c : level) {
-          EnsurePartition(c.x);
-          EnsurePartition(c.y);
-        }
-      }
-
-      std::vector<CheckedCandidate> checked(level.size());
-      auto check_one = [&](std::size_t i) {
-        if (abort_flag_.load(std::memory_order_relaxed)) return;
-        if (BudgetExceeded(timer)) {
-          abort_flag_.store(true, std::memory_order_relaxed);
-          return;
-        }
-        const Candidate& c = level[i];
-        CheckedCandidate& out = checked[i];
-        out.checked = true;
-
-        const ListPartition* px = FindPartition(c.x);
-        const ListPartition* py = FindPartition(c.y);
-        if (px != nullptr && py != nullptr) {
-          part_checks_.fetch_add(1, std::memory_order_relaxed);
-          out.ocd_valid = ListPartition::CheckOcd(*px, *py);
-          if (out.ocd_valid) {
-            part_checks_.fetch_add(2, std::memory_order_relaxed);
-            out.od_xy = ListPartition::CheckOd(*px, *py).valid();
-            out.od_yx = ListPartition::CheckOd(*py, *px).valid();
-          }
-          return;
-        }
-
-        out.ocd_valid = checker_.HoldsOcd(c.x, c.y);
-        if (out.ocd_valid) {
-          // §4.2.1: at every valid OCD node, test both embedded ODs. These
-          // drive pruning and are emitted when valid (Algorithm 3).
-          out.od_xy = checker_.HoldsOd(c.x, c.y);
-          out.od_yx = checker_.HoldsOd(c.y, c.x);
-        }
-      };
-
-      if (pool) {
-        pool->ParallelFor(level.size(), check_one);
-      } else {
-        for (std::size_t i = 0; i < level.size(); ++i) check_one(i);
-      }
-      aborted = abort_flag_.load(std::memory_order_relaxed);
-
-      // Sequential generation phase: emission + next level (deduplicated).
-      std::vector<Candidate> next;
-      std::unordered_set<Candidate, CandidateHash> seen;
-      for (std::size_t i = 0; i < level.size(); ++i) {
-        const Candidate& c = level[i];
-        const CheckedCandidate& r = checked[i];
-        if (!r.checked || !r.ocd_valid) continue;
-
-        store.AddOcd(od::OrderCompatibility{c.x, c.y});
-        if (r.od_xy) store.AddOd(od::OrderDependency{c.x, c.y});
-        if (r.od_yx) store.AddOd(od::OrderDependency{c.y, c.x});
-
-        bool extend_x = !r.od_xy || !options_.apply_od_pruning;
-        bool extend_y = !r.od_yx || !options_.apply_od_pruning;
-        if (!extend_x && !extend_y) continue;
-
-        for (ColumnId a : universe) {
-          if (c.x.Contains(a) || c.y.Contains(a)) continue;
-          if (extend_x) {
-            Candidate child{c.x.WithAppended(a), c.y};
-            if (seen.insert(child).second) next.push_back(std::move(child));
-          }
-          if (extend_y) {
-            Candidate child{c.x, c.y.WithAppended(a)};
-            if (seen.insert(child).second) next.push_back(std::move(child));
-          }
-        }
-        if (options_.max_candidates_per_level != 0 &&
-            next.size() > options_.max_candidates_per_level) {
+    try {
+      while (!level.empty() && !aborted) {
+        ctx_->AtInjectionPoint("ocd.level");
+        if (ctx_->ShouldStop()) {
           aborted = true;
           break;
         }
-      }
+        if (options_.max_level != 0 && current_level > options_.max_level) {
+          aborted = true;
+          cap_reason = StopReason::kLevelCap;
+          break;
+        }
 
-      if (!aborted) {
-        result.levels_completed = current_level;
+        // Sorted-partition mode: make sure both sides of every candidate
+        // have a cached rank vector before the (parallel, read-only) check
+        // phase.
+        if (options_.use_sorted_partitions) {
+          for (const Candidate& c : level) {
+            EnsurePartition(c.x);
+            EnsurePartition(c.y);
+          }
+        }
+
+        std::vector<CheckedCandidate> checked(level.size());
+        auto check_one = [&](std::size_t i) {
+          if (ctx_->ShouldStop()) return;
+          ctx_->AtInjectionPoint("ocd.check");
+          const Candidate& c = level[i];
+          CheckedCandidate& out = checked[i];
+          out.checked = true;
+
+          const ListPartition* px = FindPartition(c.x);
+          const ListPartition* py = FindPartition(c.y);
+          if (px != nullptr && py != nullptr) {
+            part_checks_.fetch_add(1, std::memory_order_relaxed);
+            ctx_->CountCheck(1);
+            out.ocd_valid = ListPartition::CheckOcd(*px, *py);
+            if (out.ocd_valid) {
+              part_checks_.fetch_add(2, std::memory_order_relaxed);
+              ctx_->CountCheck(2);
+              out.od_xy = ListPartition::CheckOd(*px, *py).valid();
+              out.od_yx = ListPartition::CheckOd(*py, *px).valid();
+            }
+            return;
+          }
+
+          ctx_->CountCheck(1);
+          out.ocd_valid = checker_.HoldsOcd(c.x, c.y);
+          if (out.ocd_valid) {
+            // §4.2.1: at every valid OCD node, test both embedded ODs. These
+            // drive pruning and are emitted when valid (Algorithm 3).
+            ctx_->CountCheck(2);
+            out.od_xy = checker_.HoldsOd(c.x, c.y);
+            out.od_yx = checker_.HoldsOd(c.y, c.x);
+          }
+        };
+
+        if (pool) {
+          Status check_status = pool->ParallelFor(level.size(), check_one);
+          if (!check_status.ok()) {
+            // A check task threw (fault injection or otherwise): the pool
+            // contained it; stop the run and return the sound prefix.
+            ctx_->RequestStop(StopReason::kFaultInjected);
+          }
+        } else {
+          for (std::size_t i = 0; i < level.size(); ++i) check_one(i);
+        }
+        aborted = ctx_->stop_requested();
+
+        // Sequential generation phase: emission + next level (deduplicated).
+        // On abort the emission still runs — every candidate the check phase
+        // finished contributes to the partial result — but no children are
+        // generated.
+        std::vector<Candidate> next;
+        std::size_t next_bytes = 0;
+        std::unordered_set<Candidate, CandidateHash> seen;
+        for (std::size_t i = 0; i < level.size(); ++i) {
+          const Candidate& c = level[i];
+          const CheckedCandidate& r = checked[i];
+          if (!r.checked || !r.ocd_valid) continue;
+          ctx_->AtInjectionPoint("ocd.generate");
+
+          store.AddOcd(od::OrderCompatibility{c.x, c.y});
+          if (r.od_xy) store.AddOd(od::OrderDependency{c.x, c.y});
+          if (r.od_yx) store.AddOd(od::OrderDependency{c.y, c.x});
+          if (aborted) continue;
+
+          bool extend_x = !r.od_xy || !options_.apply_od_pruning;
+          bool extend_y = !r.od_yx || !options_.apply_od_pruning;
+          if (!extend_x && !extend_y) continue;
+
+          for (ColumnId a : universe) {
+            if (c.x.Contains(a) || c.y.Contains(a)) continue;
+            if (extend_x) {
+              Candidate child{c.x.WithAppended(a), c.y};
+              if (seen.count(child) == 0) {
+                std::size_t bytes = CandidateBytes(child);
+                if (!ctx_->ChargeMemory(bytes)) {
+                  aborted = true;
+                  break;
+                }
+                next_bytes += bytes;
+                seen.insert(child);
+                next.push_back(std::move(child));
+              }
+            }
+            if (extend_y) {
+              Candidate child{c.x, c.y.WithAppended(a)};
+              if (seen.count(child) == 0) {
+                std::size_t bytes = CandidateBytes(child);
+                if (!ctx_->ChargeMemory(bytes)) {
+                  aborted = true;
+                  break;
+                }
+                next_bytes += bytes;
+                seen.insert(child);
+                next.push_back(std::move(child));
+              }
+            }
+          }
+          if (options_.max_candidates_per_level != 0 &&
+              next.size() > options_.max_candidates_per_level) {
+            aborted = true;
+            cap_reason = StopReason::kLevelCap;
+            break;
+          }
+        }
+
+        if (!aborted) {
+          result.levels_completed = current_level;
+        }
+        result.candidates_generated += next.size();
+        level = std::move(next);
+        ctx_->ReleaseMemory(level_bytes);
+        level_bytes = next_bytes;
+        ++current_level;
       }
-      result.candidates_generated += next.size();
-      level = std::move(next);
-      ++current_level;
+    } catch (const FaultInjectedError&) {
+      // An injection point fired `kThrow` in the sequential path. The
+      // emitted prefix in `store` is intact and sound; report the stop.
+      ctx_->RequestStop(StopReason::kFaultInjected);
+      aborted = true;
     }
+    ctx_->ReleaseMemory(level_bytes);
 
+    aborted = aborted || ctx_->stop_requested();
     store.Finalize();
     result.ocds = store.ocds();
     result.ods = store.ods();
     result.num_checks = TotalChecks();
     result.completed = !aborted;
+    result.stop_reason =
+        ctx_->stop_reason() != StopReason::kNone ? ctx_->stop_reason()
+                                                 : cap_reason;
     result.partition_cache_bytes = cache_bytes_;
     result.elapsed_seconds = timer.ElapsedSeconds();
     return result;
@@ -194,17 +268,6 @@ class Driver {
   std::uint64_t TotalChecks() const {
     return checker_.stats().TotalChecks() +
            part_checks_.load(std::memory_order_relaxed);
-  }
-
-  bool BudgetExceeded(const WallTimer& timer) const {
-    if (options_.max_checks != 0 && TotalChecks() >= options_.max_checks) {
-      return true;
-    }
-    if (options_.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options_.time_limit_seconds) {
-      return true;
-    }
-    return false;
   }
 
   /// Cached-partition lookup; nullptr when the list was not cached (the
@@ -218,6 +281,7 @@ class Driver {
 
   /// Computes (recursively, via the list's prefix) and caches the sorted
   /// partition of `list`, honoring the memory budget. Sequential use only.
+  /// Cache overflow is graceful (sort-based fallback), not a run stop.
   const ListPartition* EnsurePartition(const od::AttributeList& list) {
     auto it = part_cache_.find(list);
     if (it != part_cache_.end()) return &it->second;
@@ -245,7 +309,8 @@ class Driver {
   const rel::CodedRelation& relation_;
   const OcdDiscoverOptions& options_;
   OrderChecker checker_;
-  std::atomic<bool> abort_flag_{false};
+  RunContext local_ctx_;
+  RunContext* ctx_ = nullptr;
   std::atomic<std::uint64_t> part_checks_{0};
   std::unordered_map<od::AttributeList, ListPartition, AttributeListHash>
       part_cache_;

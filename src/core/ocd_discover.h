@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/run_context.h"
 #include "core/column_reduction.h"
 #include "od/dependency.h"
 #include "relation/coded_relation.h"
@@ -14,6 +15,13 @@ namespace ocdd::core {
 
 /// Tuning knobs for a discovery run.
 struct OcdDiscoverOptions {
+  /// Injectable run control: deadline, check/memory budgets, cooperative
+  /// cancellation, fault injection (see common/run_context.h). Not owned;
+  /// may be nullptr, in which case the run uses a private context built from
+  /// the legacy knobs below. When both are given, `max_checks` and
+  /// `time_limit_seconds` are merged into the provided context.
+  RunContext* run_context = nullptr;
+
   /// Worker threads for candidate checking (paper §4.2.2); 1 = sequential.
   std::size_t num_threads = 1;
 
@@ -83,8 +91,13 @@ struct OcdDiscoverResult {
   /// |X| + |Y| = ℓ; the first level is 2).
   std::size_t levels_completed = 0;
 
-  /// False when a budget (checks/time/level) stopped the run early.
+  /// False when a budget (checks/time/level), cancellation, or fault stopped
+  /// the run early.
   bool completed = true;
+
+  /// Why the run stopped (`kNone` when `completed`). Level and
+  /// candidates-per-level caps report `kLevelCap`.
+  StopReason stop_reason = StopReason::kNone;
 
   /// Peak footprint of the sorted-partition cache (0 when the sort-based
   /// checker was used throughout).

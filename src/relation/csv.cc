@@ -31,6 +31,12 @@ Result<std::vector<std::vector<std::string>>> Tokenize(const std::string& text,
 
   for (std::size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
+    if (c == '\0') {
+      // NUL never appears in valid CSV text (inside or outside quotes); it
+      // is the signature of binary input fed to the text reader.
+      return Status::ParseError("embedded NUL byte at offset " +
+                                std::to_string(i));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {

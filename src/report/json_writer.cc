@@ -48,7 +48,8 @@ void AppendPair(std::string& out, const CodedRelation& r,
 
 void AppendHeader(std::string& out, const char* algorithm,
                   const CodedRelation& r, bool completed,
-                  std::uint64_t checks, double elapsed) {
+                  StopReason stop_reason, std::uint64_t checks,
+                  double elapsed) {
   out += "{\"algorithm\":\"";
   out += algorithm;
   out += "\",\"num_rows\":";
@@ -57,7 +58,9 @@ void AppendHeader(std::string& out, const char* algorithm,
   out += std::to_string(r.num_columns());
   out += ",\"completed\":";
   out += completed ? "true" : "false";
-  out += ",\"checks\":";
+  out += ",\"stop_reason\":\"";
+  out += StopReasonName(stop_reason);
+  out += "\",\"checks\":";
   out += std::to_string(checks);
   out += ",\"elapsed_seconds\":";
   AppendDouble(out, elapsed);
@@ -103,7 +106,8 @@ std::string ToJson(const core::OcdDiscoverResult& result,
                    const CodedRelation& relation) {
   std::string out;
   AppendHeader(out, "ocddiscover", relation, result.completed,
-               result.num_checks, result.elapsed_seconds);
+               result.stop_reason, result.num_checks,
+               result.elapsed_seconds);
   out += ",\"reduction\":{\"constants\":";
   AppendNameArray(out, relation, result.reduction.constant_columns);
   out += ",\"equivalence_classes\":[";
@@ -129,7 +133,8 @@ std::string ToJson(const core::OcdDiscoverResult& result,
 std::string ToJson(const algo::TaneResult& result,
                    const CodedRelation& relation) {
   std::string out;
-  AppendHeader(out, "tane", relation, result.completed, result.num_checks,
+  AppendHeader(out, "tane", relation, result.completed,
+               result.stop_reason, result.num_checks,
                result.elapsed_seconds);
   out += ",\"fds\":[";
   for (std::size_t i = 0; i < result.fds.size(); ++i) {
@@ -147,7 +152,8 @@ std::string ToJson(const algo::TaneResult& result,
 std::string ToJson(const algo::OrderDiscoverResult& result,
                    const CodedRelation& relation) {
   std::string out;
-  AppendHeader(out, "order", relation, result.completed, result.num_checks,
+  AppendHeader(out, "order", relation, result.completed,
+               result.stop_reason, result.num_checks,
                result.elapsed_seconds);
   out += ",\"ods\":[";
   for (std::size_t i = 0; i < result.ods.size(); ++i) {
@@ -161,7 +167,8 @@ std::string ToJson(const algo::OrderDiscoverResult& result,
 std::string ToJson(const algo::FastodResult& result,
                    const CodedRelation& relation) {
   std::string out;
-  AppendHeader(out, "fastod", relation, result.completed, result.num_checks,
+  AppendHeader(out, "fastod", relation, result.completed,
+               result.stop_reason, result.num_checks,
                result.elapsed_seconds);
   out += ",\"canonical_ods\":[";
   for (std::size_t i = 0; i < result.ods.size(); ++i) {
@@ -188,7 +195,8 @@ std::string ToJson(const algo::FastodBidResult& result,
                    const CodedRelation& relation) {
   std::string out;
   AppendHeader(out, "fastod_bid", relation, result.completed,
-               result.num_checks, result.elapsed_seconds);
+               result.stop_reason, result.num_checks,
+               result.elapsed_seconds);
   out += ",\"canonical_ods\":[";
   for (std::size_t i = 0; i < result.ods.size(); ++i) {
     const algo::BidCanonicalOd& od = result.ods[i];

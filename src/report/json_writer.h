@@ -26,7 +26,9 @@ std::string JsonEscape(const std::string& s);
 
 /// An OCDDISCOVER run:
 /// `{"algorithm":"ocddiscover","num_rows":..,"num_columns":..,
-///   "completed":..,"checks":..,"elapsed_seconds":..,
+///   "completed":..,"stop_reason":"none"|"deadline"|"check_budget"|
+///   "memory_budget"|"cancelled"|"fault_injected"|"level_cap",
+///   "checks":..,"elapsed_seconds":..,
 ///   "reduction":{"constants":[..],"equivalence_classes":[[..],..]},
 ///   "ocds":[{"lhs":[..],"rhs":[..]},..],
 ///   "ods":[{"lhs":[..],"rhs":[..]},..]}`

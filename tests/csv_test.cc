@@ -67,6 +67,28 @@ TEST(CsvReadTest, UnterminatedQuoteIsError) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(CsvReadTest, UnterminatedQuoteAtEofIsParseError) {
+  // The quote opens and the input ends without closing it or a newline.
+  auto r = ReadCsvString("a,b\n1,\"no close");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, EmbeddedNulByteIsParseError) {
+  std::string input("a,b\n1,x\0y\n", 10);
+  ASSERT_EQ(input.size(), 10u);  // the NUL survived construction
+  auto r = ReadCsvString(input);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, NulByteInsideQuotedFieldIsParseError) {
+  std::string input("a\n\"x\0y\"\n", 8);
+  auto r = ReadCsvString(input);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
 TEST(CsvReadTest, EmptyInputIsError) {
   EXPECT_FALSE(ReadCsvString("").ok());
 }

@@ -1,0 +1,388 @@
+// Fault-injection matrix over every discovery algorithm: each named
+// injection point is struck with every action (cancel, simulated alloc
+// failure, forced exception) at several hit positions, and the partial
+// result must be a sound, well-formed prefix of the complete run — never a
+// crash, never an escaped exception, never a dependency the complete run
+// would not emit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/fastod/fastod.h"
+#include "algo/fastod/fastod_bid.h"
+#include "algo/fd/tane.h"
+#include "algo/order/order_discover.h"
+#include "algo/ucc/ucc.h"
+#include "common/fault_injection.h"
+#include "common/run_context.h"
+#include "core/monitor.h"
+#include "core/ocd_discover.h"
+#include "od/brute_force.h"
+#include "test_util.h"
+
+namespace ocdd {
+namespace {
+
+using rel::CodedRelation;
+
+/// Every algorithm exercises the same 12×4 relation, built so that each
+/// lattice has real structure: A is a key (every OD/FD from A holds), B is a
+/// coarsening of A (A ~ B is a valid OCD with ties), C anti-correlates with
+/// A (swaps → pruned subtrees), and B/D are non-unique with ties (UCC joins
+/// past level 1).
+CodedRelation TestTable() {
+  return testutil::CodedIntTable({
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},  // A: key, ascending
+      {0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5},     // B: A/2 — OCD with A
+      {6, 6, 5, 5, 4, 4, 3, 3, 2, 2, 1, 1},     // C: descending, swaps A
+      {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2},     // D: small cyclic domain
+  });
+}
+
+/// One run of some algorithm under a caller-provided context.
+struct Outcome {
+  bool completed = false;
+  StopReason reason = StopReason::kNone;
+  std::vector<std::string> deps;  ///< rendered dependencies, sorted
+};
+
+using RunFn = std::function<Outcome(RunContext*)>;
+
+/// Dry-runs `run` to learn the injection surface and the complete output,
+/// then strikes every (point, action, position) combination and checks the
+/// partial-result contract.
+void CheckInjectionMatrix(const std::string& algorithm, const RunFn& run,
+                          std::size_t min_points) {
+  FaultInjector dry;
+  RunContext dry_ctx;
+  dry_ctx.set_fault_injector(&dry);
+  Outcome complete = run(&dry_ctx);
+  ASSERT_TRUE(complete.completed) << algorithm << ": dry run must finish";
+  ASSERT_EQ(complete.reason, StopReason::kNone) << algorithm;
+  std::sort(complete.deps.begin(), complete.deps.end());
+
+  std::vector<std::string> points = dry.SeenPoints();
+  ASSERT_GE(points.size(), min_points)
+      << algorithm << ": too few injection points reached";
+
+  const struct {
+    FaultAction action;
+    StopReason expected;
+  } kActions[] = {
+      {FaultAction::kCancel, StopReason::kFaultInjected},
+      {FaultAction::kAllocFailure, StopReason::kMemoryBudget},
+      {FaultAction::kThrow, StopReason::kFaultInjected},
+  };
+
+  for (const std::string& point : points) {
+    std::uint64_t total = dry.hits(point);
+    ASSERT_GE(total, 1u) << algorithm << "/" << point;
+    // Deterministic spread over the point's lifetime: first, middle, last.
+    std::vector<std::uint64_t> positions{1, total / 2 + 1, total};
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+    for (const auto& [action, expected] : kActions) {
+      for (std::uint64_t at : positions) {
+        SCOPED_TRACE(algorithm + "/" + point + " action=" +
+                     std::to_string(static_cast<int>(action)) + " hit=" +
+                     std::to_string(at));
+        FaultInjector fi;
+        fi.Arm(point, action, at);
+        RunContext ctx;
+        ctx.set_fault_injector(&fi);
+        Outcome partial = run(&ctx);  // must not throw or crash
+        EXPECT_FALSE(partial.completed);
+        EXPECT_EQ(partial.reason, expected);
+        std::sort(partial.deps.begin(), partial.deps.end());
+        EXPECT_TRUE(std::includes(complete.deps.begin(), complete.deps.end(),
+                                  partial.deps.begin(), partial.deps.end()))
+            << "partial result is not a subset of the complete output";
+      }
+    }
+  }
+}
+
+Outcome RunOcdDiscover(RunContext* ctx, const CodedRelation& coded,
+                       std::size_t num_threads = 1) {
+  core::OcdDiscoverOptions opts;
+  opts.run_context = ctx;
+  opts.num_threads = num_threads;
+  core::OcdDiscoverResult r = core::DiscoverOcds(coded, opts);
+  Outcome out{r.completed, r.stop_reason, {}};
+  for (const auto& ocd : r.ocds) out.deps.push_back("OCD " + ocd.ToString(coded));
+  for (const auto& od : r.ods) out.deps.push_back("OD " + od.ToString(coded));
+  return out;
+}
+
+TEST(FaultInjectionTest, OcdDiscoverMatrix) {
+  CodedRelation coded = TestTable();
+  CheckInjectionMatrix(
+      "ocddiscover",
+      [&](RunContext* ctx) { return RunOcdDiscover(ctx, coded); },
+      /*min_points=*/3);
+}
+
+TEST(FaultInjectionTest, OcdDiscoverParallelSurvivesThrow) {
+  CodedRelation coded = TestTable();
+  RunContext dry_ctx;
+  Outcome complete = RunOcdDiscover(&dry_ctx, coded, /*num_threads=*/2);
+  ASSERT_TRUE(complete.completed);
+  std::sort(complete.deps.begin(), complete.deps.end());
+
+  for (std::uint64_t at : {std::uint64_t{1}, std::uint64_t{5}}) {
+    FaultInjector fi;
+    fi.Arm("ocd.check", FaultAction::kThrow, at);
+    RunContext ctx;
+    ctx.set_fault_injector(&fi);
+    // The throw happens on a pool worker; the pool contains it, the driver
+    // sees the failed Status and unwinds with kFaultInjected.
+    Outcome partial = RunOcdDiscover(&ctx, coded, /*num_threads=*/2);
+    EXPECT_FALSE(partial.completed);
+    EXPECT_EQ(partial.reason, StopReason::kFaultInjected);
+    std::sort(partial.deps.begin(), partial.deps.end());
+    EXPECT_TRUE(std::includes(complete.deps.begin(), complete.deps.end(),
+                              partial.deps.begin(), partial.deps.end()));
+  }
+}
+
+TEST(FaultInjectionTest, OrderMatrix) {
+  CodedRelation coded = TestTable();
+  CheckInjectionMatrix(
+      "order",
+      [&](RunContext* ctx) {
+        algo::OrderDiscoverOptions opts;
+        opts.run_context = ctx;
+        algo::OrderDiscoverResult r =
+            algo::DiscoverOrderDependencies(coded, opts);
+        Outcome out{r.completed, r.stop_reason, {}};
+        for (const auto& od : r.ods) out.deps.push_back(od.ToString(coded));
+        return out;
+      },
+      /*min_points=*/3);
+}
+
+TEST(FaultInjectionTest, TaneMatrix) {
+  CodedRelation coded = TestTable();
+  CheckInjectionMatrix(
+      "tane",
+      [&](RunContext* ctx) {
+        algo::TaneOptions opts;
+        opts.run_context = ctx;
+        algo::TaneResult r = algo::DiscoverFds(coded, opts);
+        Outcome out{r.completed, r.stop_reason, {}};
+        for (const auto& fd : r.fds) out.deps.push_back(fd.ToString(coded));
+        return out;
+      },
+      /*min_points=*/3);
+}
+
+TEST(FaultInjectionTest, FastodMatrix) {
+  CodedRelation coded = TestTable();
+  CheckInjectionMatrix(
+      "fastod",
+      [&](RunContext* ctx) {
+        algo::FastodOptions opts;
+        opts.run_context = ctx;
+        algo::FastodResult r = algo::DiscoverFastod(coded, opts);
+        Outcome out{r.completed, r.stop_reason, {}};
+        for (const auto& od : r.ods) out.deps.push_back(od.ToString(coded));
+        return out;
+      },
+      /*min_points=*/3);
+}
+
+TEST(FaultInjectionTest, FastodBidMatrix) {
+  CodedRelation coded = TestTable();
+  CheckInjectionMatrix(
+      "fastod_bid",
+      [&](RunContext* ctx) {
+        algo::FastodBidOptions opts;
+        opts.run_context = ctx;
+        algo::FastodBidResult r = algo::DiscoverFastodBid(coded, opts);
+        Outcome out{r.completed, r.stop_reason, {}};
+        for (const auto& od : r.ods) out.deps.push_back(od.ToString(coded));
+        return out;
+      },
+      /*min_points=*/3);
+}
+
+TEST(FaultInjectionTest, UccMatrix) {
+  CodedRelation coded = TestTable();
+  CheckInjectionMatrix(
+      "ucc",
+      [&](RunContext* ctx) {
+        algo::UccOptions opts;
+        opts.run_context = ctx;
+        algo::UccResult r = algo::DiscoverUccs(coded, opts);
+        Outcome out{r.completed, r.stop_reason, {}};
+        for (const auto& u : r.uccs) out.deps.push_back(u.ToString(coded));
+        return out;
+      },
+      /*min_points=*/3);
+}
+
+// ---- soundness of partial results (brute-force ground truth) ----
+
+TEST(FaultInjectionTest, OcdDiscoverPartialIsSound) {
+  CodedRelation coded = TestTable();
+  for (std::uint64_t at : {std::uint64_t{2}, std::uint64_t{7}}) {
+    FaultInjector fi;
+    fi.Arm("ocd.check", FaultAction::kThrow, at);
+    RunContext ctx;
+    ctx.set_fault_injector(&fi);
+    core::OcdDiscoverOptions opts;
+    opts.run_context = &ctx;
+    core::OcdDiscoverResult r = core::DiscoverOcds(coded, opts);
+    EXPECT_FALSE(r.completed);
+    for (const auto& ocd : r.ocds) {
+      EXPECT_TRUE(od::BruteForceHoldsOcd(coded, ocd.lhs, ocd.rhs))
+          << ocd.ToString(coded);
+    }
+    for (const auto& o : r.ods) {
+      EXPECT_TRUE(od::BruteForceHoldsOd(coded, o.lhs, o.rhs))
+          << o.ToString(coded);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, TanePartialIsSound) {
+  CodedRelation coded = TestTable();
+  FaultInjector fi;
+  fi.Arm("tane.check", FaultAction::kCancel, 4);
+  RunContext ctx;
+  ctx.set_fault_injector(&fi);
+  algo::TaneOptions opts;
+  opts.run_context = &ctx;
+  algo::TaneResult r = algo::DiscoverFds(coded, opts);
+  EXPECT_FALSE(r.completed);
+  for (const auto& fd : r.fds) {
+    EXPECT_TRUE(od::BruteForceHoldsFd(coded, fd.lhs, fd.rhs))
+        << fd.ToString(coded);
+  }
+}
+
+// ---- budget-driven stops through the shared context ----
+
+TEST(FaultInjectionTest, MemoryBudgetStopsEveryAlgorithm) {
+  CodedRelation coded = TestTable();
+  // 1 byte cannot hold even one partition/candidate: every algorithm must
+  // stop immediately, cleanly, with the memory-budget reason.
+  {
+    RunContext ctx;
+    ctx.set_memory_budget(1);
+    core::OcdDiscoverOptions o;
+    o.run_context = &ctx;
+    auto r = core::DiscoverOcds(coded, o);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stop_reason, StopReason::kMemoryBudget);
+  }
+  {
+    RunContext ctx;
+    ctx.set_memory_budget(1);
+    algo::TaneOptions o;
+    o.run_context = &ctx;
+    auto r = algo::DiscoverFds(coded, o);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stop_reason, StopReason::kMemoryBudget);
+  }
+  {
+    RunContext ctx;
+    ctx.set_memory_budget(1);
+    algo::FastodOptions o;
+    o.run_context = &ctx;
+    auto r = algo::DiscoverFastod(coded, o);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stop_reason, StopReason::kMemoryBudget);
+  }
+  {
+    RunContext ctx;
+    ctx.set_memory_budget(1);
+    algo::FastodBidOptions o;
+    o.run_context = &ctx;
+    auto r = algo::DiscoverFastodBid(coded, o);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stop_reason, StopReason::kMemoryBudget);
+  }
+  {
+    RunContext ctx;
+    ctx.set_memory_budget(1);
+    algo::OrderDiscoverOptions o;
+    o.run_context = &ctx;
+    auto r = algo::DiscoverOrderDependencies(coded, o);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stop_reason, StopReason::kMemoryBudget);
+  }
+  {
+    RunContext ctx;
+    ctx.set_memory_budget(1);
+    algo::UccOptions o;
+    o.run_context = &ctx;
+    auto r = algo::DiscoverUccs(coded, o);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.stop_reason, StopReason::kMemoryBudget);
+  }
+}
+
+TEST(FaultInjectionTest, MemoryIsReleasedOnCompletion) {
+  CodedRelation coded = TestTable();
+  RunContext ctx;
+  core::OcdDiscoverOptions opts;
+  opts.run_context = &ctx;
+  auto r = core::DiscoverOcds(coded, opts);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(ctx.memory_used(), 0u) << "levels must release their charge";
+  EXPECT_GT(ctx.peak_memory(), 0u);
+}
+
+TEST(FaultInjectionTest, CancelledContextYieldsCancelledResult) {
+  CodedRelation coded = TestTable();
+  RunContext ctx;
+  ctx.Cancel();  // as a signal handler would, before/while the run starts
+  core::OcdDiscoverOptions opts;
+  opts.run_context = &ctx;
+  auto r = core::DiscoverOcds(coded, opts);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.stop_reason, StopReason::kCancelled);
+}
+
+// ---- the monitor's revalidation sweep ----
+
+TEST(FaultInjectionTest, MonitorStopsRevalidationConservatively) {
+  RunContext ctx;
+  core::OcdDiscoverOptions opts;
+  opts.run_context = &ctx;
+  core::DependencyMonitor monitor(
+      testutil::IntTable({
+          {1, 2, 3, 4, 5, 6},
+          {0, 0, 1, 1, 2, 2},
+          {1, 1, 2, 2, 3, 3},
+      }),
+      opts);
+  ASSERT_TRUE(monitor.current().completed);
+  std::size_t deps_before =
+      monitor.current().ocds.size() + monitor.current().ods.size();
+  ASSERT_GT(deps_before, 0u);
+
+  // Stop after the very first revalidation check: the sweep must keep the
+  // unverified dependencies and skip any re-discovery.
+  FaultInjector fi;
+  fi.Arm("monitor.revalidate", FaultAction::kCancel, 2);
+  ctx.set_fault_injector(&fi);
+  auto report = monitor.AppendRows({{rel::Value::Int(7), rel::Value::Int(3),
+                                     rel::Value::Int(4)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->revalidation_complete);
+  EXPECT_EQ(report->stop_reason, StopReason::kFaultInjected);
+  EXPECT_FALSE(report->rediscovered);
+  EXPECT_EQ(monitor.current().ocds.size() + monitor.current().ods.size(),
+            deps_before - report->invalidated_ocds.size() -
+                report->invalidated_ods.size());
+  EXPECT_FALSE(monitor.current().completed);
+}
+
+}  // namespace
+}  // namespace ocdd

@@ -88,6 +88,24 @@ TEST_P(CsvFuzzTest, ParsedRelationsSurviveDiscovery) {
   }
 }
 
+TEST_P(CsvFuzzTest, NulBytesAreRejectedNotCrashed) {
+  // Sprinkle NUL bytes into otherwise-plausible CSV: the reader must return
+  // kParseError (never parse a relation containing NUL, never crash).
+  Rng rng(GetParam() + 9000);
+  const char alphabet[] = "ab1,\"\n";
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string text;
+    std::size_t len = 1 + rng.Uniform(80);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    text.insert(rng.Uniform(text.size() + 1), 1, '\0');
+    auto result = rel::ReadCsvString(text);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
                          ::testing::Range<std::uint64_t>(0, 6));
 

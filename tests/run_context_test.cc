@@ -1,0 +1,200 @@
+#include "common/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+
+namespace ocdd {
+namespace {
+
+TEST(StopReasonTest, NamesAreStable) {
+  // The JSON schema and CLI depend on these exact strings.
+  EXPECT_STREQ(StopReasonName(StopReason::kNone), "none");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kCheckBudget), "check_budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kMemoryBudget), "memory_budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonName(StopReason::kFaultInjected), "fault_injected");
+  EXPECT_STREQ(StopReasonName(StopReason::kLevelCap), "level_cap");
+}
+
+TEST(RunContextTest, FreshContextDoesNotStop) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_FALSE(ctx.stop_requested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kNone);
+}
+
+TEST(RunContextTest, CheckBudgetLatches) {
+  RunContext ctx;
+  ctx.set_check_budget(3);
+  EXPECT_FALSE(ctx.CountCheck(1));
+  EXPECT_FALSE(ctx.CountCheck(1));
+  EXPECT_TRUE(ctx.CountCheck(1));  // 3rd check spends the budget
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCheckBudget);
+  EXPECT_EQ(ctx.checks(), 3u);
+  EXPECT_TRUE(ctx.ShouldStop());
+}
+
+TEST(RunContextTest, BatchedCountCheck) {
+  RunContext ctx;
+  ctx.set_check_budget(10);
+  EXPECT_FALSE(ctx.CountCheck(9));
+  EXPECT_TRUE(ctx.CountCheck(5));  // overshoot still stops
+  EXPECT_EQ(ctx.checks(), 14u);
+}
+
+TEST(RunContextTest, ZeroBudgetIsUnlimited) {
+  RunContext ctx;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ctx.CountCheck(1));
+}
+
+TEST(RunContextTest, DeadlineStops) {
+  RunContext ctx;
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(RunContextTest, TimeLimitZeroDisarms) {
+  RunContext ctx;
+  ctx.set_time_limit_seconds(-1.0);
+  EXPECT_FALSE(ctx.ShouldStop());
+}
+
+TEST(RunContextTest, MemoryChargeAndRelease) {
+  RunContext ctx;
+  ctx.set_memory_budget(100);
+  EXPECT_TRUE(ctx.ChargeMemory(60));
+  EXPECT_EQ(ctx.memory_used(), 60u);
+  EXPECT_FALSE(ctx.ChargeMemory(50));  // would hit 110 > 100
+  EXPECT_EQ(ctx.memory_used(), 60u);   // failed charge is undone
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kMemoryBudget);
+  ctx.ReleaseMemory(60);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+  EXPECT_EQ(ctx.peak_memory(), 60u);  // peak survives the release
+}
+
+TEST(RunContextTest, CancelIsObservedAsCancelled) {
+  RunContext ctx;
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.stop_requested());
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(RunContextTest, FirstReasonWins) {
+  RunContext ctx;
+  ctx.RequestStop(StopReason::kDeadline);
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+  ctx.RequestStop(StopReason::kMemoryBudget);
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(RunContextTest, ResetClearsStateButKeepsBudgets) {
+  RunContext ctx;
+  ctx.set_check_budget(2);
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.CountCheck(2));
+  ctx.Reset();
+  EXPECT_FALSE(ctx.stop_requested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kNone);
+  EXPECT_EQ(ctx.checks(), 0u);
+  // The budget survived Reset: spending it again stops again.
+  EXPECT_TRUE(ctx.CountCheck(2));
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCheckBudget);
+}
+
+TEST(RunContextTest, CancelFromAnotherThread) {
+  RunContext ctx;
+  std::thread t([&ctx] { ctx.Cancel(); });
+  t.join();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(FaultInjectorTest, UnarmedPollCountsHits) {
+  FaultInjector fi;
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kNone);
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kNone);
+  EXPECT_EQ(fi.hits("p"), 2u);
+  EXPECT_EQ(fi.hits("never"), 0u);
+}
+
+TEST(FaultInjectorTest, ArmFiresOnceThenDisarms) {
+  FaultInjector fi;
+  fi.Arm("p", FaultAction::kThrow, 2);
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kNone);   // hit 1
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kThrow);  // hit 2 fires
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kNone);   // one-shot: disarmed
+  EXPECT_EQ(fi.hits("p"), 3u);
+}
+
+TEST(FaultInjectorTest, AfterHitsIsRelativeToNow) {
+  FaultInjector fi;
+  fi.Poll("p");
+  fi.Poll("p");
+  fi.Arm("p", FaultAction::kCancel, 1);  // the very next hit
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kCancel);
+}
+
+TEST(FaultInjectorTest, SeenPointsEnumeratesSorted) {
+  FaultInjector fi;
+  fi.Poll("b.check");
+  fi.Poll("a.level");
+  fi.Poll("b.check");
+  EXPECT_EQ(fi.SeenPoints(),
+            (std::vector<std::string>{"a.level", "b.check"}));
+}
+
+TEST(FaultInjectorTest, ResetClearsHitsAndArmings) {
+  FaultInjector fi;
+  fi.Arm("p", FaultAction::kThrow, 1);
+  fi.Poll("q");
+  fi.Reset();
+  EXPECT_EQ(fi.hits("q"), 0u);
+  EXPECT_EQ(fi.Poll("p"), FaultAction::kNone);  // arming gone
+}
+
+TEST(RunContextFaultTest, NoInjectorIsANoOp) {
+  RunContext ctx;
+  ctx.AtInjectionPoint("anything");
+  EXPECT_FALSE(ctx.stop_requested());
+}
+
+TEST(RunContextFaultTest, CancelActionLatchesFaultInjected) {
+  RunContext ctx;
+  FaultInjector fi;
+  fi.Arm("p", FaultAction::kCancel, 1);
+  ctx.set_fault_injector(&fi);
+  ctx.AtInjectionPoint("p");
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kFaultInjected);
+}
+
+TEST(RunContextFaultTest, AllocFailureActionLatchesMemoryBudget) {
+  RunContext ctx;
+  FaultInjector fi;
+  fi.Arm("p", FaultAction::kAllocFailure, 1);
+  ctx.set_fault_injector(&fi);
+  ctx.AtInjectionPoint("p");
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kMemoryBudget);
+}
+
+TEST(RunContextFaultTest, ThrowActionThrowsFaultInjectedError) {
+  RunContext ctx;
+  FaultInjector fi;
+  fi.Arm("p", FaultAction::kThrow, 1);
+  ctx.set_fault_injector(&fi);
+  EXPECT_THROW(ctx.AtInjectionPoint("p"), FaultInjectedError);
+}
+
+}  // namespace
+}  // namespace ocdd

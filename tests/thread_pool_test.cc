@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace ocdd {
@@ -76,6 +77,75 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNoOp) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  Status s = pool.Submit([&ran] { ran = 1; });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(pool.WaitIdle().ok());  // rejected task never ran, no error
+  EXPECT_EQ(ran.load(), 0);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesStatusViaWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  ASSERT_TRUE(pool.Submit([] {
+    throw std::runtime_error("boom");
+  }).ok());
+  ASSERT_TRUE(pool.Submit([&after] { after.fetch_add(1); }).ok());
+  Status s = pool.WaitIdle();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("boom"), std::string::npos);
+  // The failure did not kill the worker: the other task still ran, and the
+  // error was cleared by the first WaitIdle.
+  EXPECT_EQ(after.load(), 1);
+  EXPECT_TRUE(pool.WaitIdle().ok());
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsContained) {
+  ThreadPool pool(1);
+  ASSERT_TRUE(pool.Submit([] { throw 42; }).ok());
+  Status s = pool.WaitIdle();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("non-std"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, OnlyFirstFailureIsRecorded) {
+  ThreadPool pool(1);  // single worker => deterministic failure order
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("first"); }).ok());
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("second"); }).ok());
+  Status s = pool.WaitIdle();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("first"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesThrownFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  Status s = pool.ParallelFor(100, [&](std::size_t i) {
+    if (i == 3) throw std::runtime_error("index 3 failed");
+    visited.fetch_add(1);
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("index 3 failed"), std::string::npos);
+  // Remaining indices may be skipped, but never more than all of them.
+  EXPECT_LE(visited.load(), 99);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterParallelForFailure) {
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(
+      8, [](std::size_t) { throw std::runtime_error("fail"); });
+  EXPECT_FALSE(s.ok());
+  std::atomic<int> counter{0};
+  Status s2 = pool.ParallelFor(50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_TRUE(s2.ok());
+  EXPECT_EQ(counter.load(), 50);
 }
 
 }  // namespace

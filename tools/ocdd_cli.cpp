@@ -13,7 +13,14 @@
 //
 // <source> is either a CSV file path (anything ending in .csv) or the name
 // of a built-in synthetic dataset (see `ocdd generate` / DESIGN.md §2).
+//
+// Every discovery command honors `--time-limit SEC`, `--memory-limit MIB`,
+// and `--max-checks N` (see docs/robustness.md), and Ctrl-C (SIGINT): the
+// first signal requests cooperative cancellation, the run drains, and the
+// partial results are printed with `"completed":false` and a stop reason —
+// exit status stays 0 because a truncated answer is still an answer.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -25,6 +32,7 @@
 #include "algo/fd/tane.h"
 #include "algo/ucc/ucc.h"
 #include "algo/order/order_discover.h"
+#include "common/run_context.h"
 #include "common/string_util.h"
 #include "core/approximate.h"
 #include "core/entropy.h"
@@ -42,6 +50,12 @@ namespace {
 
 using ocdd::Result;
 using ocdd::Status;
+
+/// Shared by every discovery command; SIGINT cancels it (Cancel() is
+/// async-signal-safe — a single atomic store).
+ocdd::RunContext g_run_context;
+
+extern "C" void HandleSigint(int) { g_run_context.Cancel(); }
 
 struct Args {
   std::string command;
@@ -87,6 +101,26 @@ Result<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
+/// Budgets shared by all discovery commands; `--time-limit` stays on the
+/// per-algorithm options (merged into the context by the algorithm itself).
+void ApplyRunFlags(const Args& args) {
+  std::size_t memory_mib = args.GetSize("memory-limit", 0);
+  if (memory_mib != 0) {
+    g_run_context.set_memory_budget(memory_mib << 20);
+  }
+  std::size_t max_checks = args.GetSize("max-checks", 0);
+  if (max_checks != 0) {
+    g_run_context.set_check_budget(max_checks);
+  }
+  std::signal(SIGINT, HandleSigint);
+}
+
+std::string PartialNote(bool completed, ocdd::StopReason reason) {
+  if (completed) return "";
+  return std::string(" (stopped: ") + ocdd::StopReasonName(reason) +
+         " — partial results)";
+}
+
 Result<ocdd::rel::Relation> LoadSource(const Args& args) {
   if (args.source.empty()) {
     return Status::InvalidArgument("missing <source> (CSV path or dataset)");
@@ -113,6 +147,8 @@ int CmdDiscover(const Args& args) {
       ocdd::rel::CodedRelation::Encode(*relation, enc);
 
   ocdd::core::OcdDiscoverOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.num_threads = args.GetSize("threads", 1);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   opts.max_level = args.GetSize("max-level", 0);
@@ -127,7 +163,7 @@ int CmdDiscover(const Args& args) {
               coded.num_rows(), coded.num_columns(),
               static_cast<unsigned long long>(result.num_checks),
               result.elapsed_seconds,
-              result.completed ? "" : " (budget hit — partial results)");
+              PartialNote(result.completed, result.stop_reason).c_str());
   std::printf("# reduction: %s\n", result.reduction.ToString(coded).c_str());
   for (const auto& ocd : result.ocds) {
     std::printf("OCD %s\n", ocd.ToString(coded).c_str());
@@ -157,6 +193,8 @@ int CmdFds(const Args& args) {
   }
   auto coded = ocdd::rel::CodedRelation::Encode(*relation);
   ocdd::algo::TaneOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverFds(coded, opts);
   if (args.Has("json")) {
@@ -164,7 +202,8 @@ int CmdFds(const Args& args) {
     return 0;
   }
   std::printf("# %zu minimal FDs in %.3fs%s\n", result.fds.size(),
-              result.elapsed_seconds, result.completed ? "" : " (partial)");
+              result.elapsed_seconds,
+              PartialNote(result.completed, result.stop_reason).c_str());
   for (const auto& fd : result.fds) {
     std::printf("FD  %s\n", fd.ToString(coded).c_str());
   }
@@ -179,6 +218,8 @@ int CmdFastod(const Args& args) {
   }
   auto coded = ocdd::rel::CodedRelation::Encode(*relation);
   ocdd::algo::FastodOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverFastod(coded, opts);
   if (args.Has("json")) {
@@ -187,7 +228,8 @@ int CmdFastod(const Args& args) {
   }
   std::printf("# %zu constancy + %zu compatibility canonical ODs in %.3fs%s\n",
               result.num_constancy, result.num_compatible,
-              result.elapsed_seconds, result.completed ? "" : " (partial)");
+              result.elapsed_seconds,
+              PartialNote(result.completed, result.stop_reason).c_str());
   for (const auto& od : result.ods) {
     std::printf("COD %s\n", od.ToString(coded).c_str());
   }
@@ -202,6 +244,8 @@ int CmdFastodBid(const Args& args) {
   }
   auto coded = ocdd::rel::CodedRelation::Encode(*relation);
   ocdd::algo::FastodBidOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverFastodBid(coded, opts);
   if (args.Has("json")) {
@@ -211,7 +255,8 @@ int CmdFastodBid(const Args& args) {
   std::printf("# %zu constancy + %zu concordant + %zu anti-concordant "
               "canonical ODs in %.3fs%s\n",
               result.num_constancy, result.num_concordant, result.num_anti,
-              result.elapsed_seconds, result.completed ? "" : " (partial)");
+              result.elapsed_seconds,
+              PartialNote(result.completed, result.stop_reason).c_str());
   for (const auto& od : result.ods) {
     std::printf("BOD %s\n", od.ToString(coded).c_str());
   }
@@ -226,6 +271,8 @@ int CmdOrder(const Args& args) {
   }
   auto coded = ocdd::rel::CodedRelation::Encode(*relation);
   ocdd::algo::OrderDiscoverOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverOrderDependencies(coded, opts);
   if (args.Has("json")) {
@@ -233,7 +280,8 @@ int CmdOrder(const Args& args) {
     return 0;
   }
   std::printf("# %zu disjoint-side ODs in %.3fs%s\n", result.ods.size(),
-              result.elapsed_seconds, result.completed ? "" : " (partial)");
+              result.elapsed_seconds,
+              PartialNote(result.completed, result.stop_reason).c_str());
   for (const auto& od : result.ods) {
     std::printf("OD  %s\n", od.ToString(coded).c_str());
   }
@@ -248,11 +296,13 @@ int CmdUccs(const Args& args) {
   }
   auto coded = ocdd::rel::CodedRelation::Encode(*relation);
   ocdd::algo::UccOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverUccs(coded, opts);
   std::printf("# %zu minimal unique column combinations in %.3fs%s\n",
               result.uccs.size(), result.elapsed_seconds,
-              result.completed ? "" : " (partial)");
+              PartialNote(result.completed, result.stop_reason).c_str());
   std::printf("# primary-key candidates, most order-relevant first "
               "(section 5.4):\n");
   for (const auto& ucc : ocdd::algo::RankKeyCandidates(coded, result)) {
@@ -359,6 +409,8 @@ int CmdRewrite(const Args& args) {
   }
 
   ocdd::core::OcdDiscoverOptions opts;
+  opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 30.0);
   auto mined = ocdd::core::DiscoverOcds(coded, opts);
   ocdd::opt::OdKnowledgeBase kb;
@@ -421,6 +473,8 @@ int CmdExplain(const Args& args) {
   if (!parse_cols(order_by, query.order_by)) return 1;
 
   ocdd::core::OcdDiscoverOptions mine_opts;
+  mine_opts.run_context = &g_run_context;
+  ApplyRunFlags(args);
   mine_opts.time_limit_seconds = args.GetDouble("time-limit", 30.0);
   auto mined = ocdd::core::DiscoverOcds(coded, mine_opts);
   ocdd::opt::OdKnowledgeBase kb;
@@ -547,9 +601,12 @@ void Usage() {
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"
       "          NCVOTER_1K)\n"
       "flags: --rows N --seed S --threads N --time-limit SEC --max-level L\n"
+      "       --memory-limit MIB --max-checks N\n"
       "       --expand --partitions --lex --max-ratio R --order-by LIST\n"
       "       --json\n"
-      "       --out FILE\n",
+      "       --out FILE\n"
+      "Ctrl-C cancels a discovery run cooperatively: partial results are\n"
+      "printed with a stop reason and the exit status stays 0.\n",
       stderr);
 }
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the project under AddressSanitizer+UBSan and ThreadSanitizer and
+# runs the full test suite under each (see docs/robustness.md).
+#
+#   tools/run_sanitizers.sh [asan|tsan]     # default: both
+#
+# Each sanitizer gets its own build tree (build-asan/, build-tsan/) so the
+# regular build/ stays untouched. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_one() {
+  local preset="$1"
+  local dir="build-${preset}"
+  echo "==> ${preset}: configuring ${dir}"
+  cmake -B "${dir}" -S . -DOCDD_SANITIZE="${preset}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==> ${preset}: building"
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "==> ${preset}: running tests"
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+presets=("${@:-asan tsan}")
+# Re-split in case the default "asan tsan" arrived as one word.
+for preset in ${presets[@]}; do
+  case "${preset}" in
+    asan|tsan) run_one "${preset}" ;;
+    *) echo "unknown sanitizer preset: ${preset} (use asan or tsan)" >&2
+       exit 2 ;;
+  esac
+done
+echo "==> all sanitizer runs passed"
