@@ -1,0 +1,150 @@
+#include "datagen/random_relation.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ocdd::datagen {
+
+namespace {
+
+using Cell = std::optional<std::int64_t>;
+using ColumnData = std::vector<Cell>;
+
+/// One column's raw draw, before NULL injection.
+ColumnData DrawColumn(Rng& rng, std::size_t rows,
+                      const std::vector<ColumnData>& earlier) {
+  ColumnData col(rows);
+  // Flavors are weighted toward the tie-heavy/low-cardinality shapes where
+  // split/swap bookkeeping is easiest to get wrong.
+  std::uint64_t flavor = rng.Uniform(earlier.empty() ? 6 : 8);
+  switch (flavor) {
+    case 0: {  // constant
+      std::int64_t v = rng.UniformInt(-3, 3);
+      for (auto& c : col) c = v;
+      break;
+    }
+    case 1: {  // tiny domain: dense ties
+      std::uint64_t domain = 2 + rng.Uniform(2);  // 2..3 distinct values
+      for (auto& c : col) c = static_cast<std::int64_t>(rng.Uniform(domain));
+      break;
+    }
+    case 2: {  // medium domain
+      std::uint64_t domain = 2 + rng.Uniform(rows);
+      for (auto& c : col) c = static_cast<std::int64_t>(rng.Uniform(domain));
+      break;
+    }
+    case 3: {  // high cardinality / near-key (collisions still possible)
+      for (auto& c : col) c = rng.UniformInt(0, 4 * rows);
+      break;
+    }
+    case 4: {  // near-sorted ascending with a few perturbations
+      for (std::size_t r = 0; r < rows; ++r) {
+        col[r] = static_cast<std::int64_t>(r / (1 + rng.Uniform(2)));
+      }
+      std::size_t flips = rng.Uniform(3);
+      for (std::size_t f = 0; f < flips && rows > 1; ++f) {
+        std::size_t i = rng.Uniform(rows - 1);
+        std::swap(col[i], col[i + 1]);
+      }
+      break;
+    }
+    case 5: {  // skewed: one hot value plus a tail
+      for (auto& c : col) {
+        c = rng.Bernoulli(0.6) ? 0 : rng.UniformInt(1, 5);
+      }
+      break;
+    }
+    case 6: {  // order-equivalent copy of an earlier column (monotone recode)
+      const ColumnData& src = earlier[rng.Uniform(earlier.size())];
+      std::int64_t scale = 1 + static_cast<std::int64_t>(rng.Uniform(4));
+      std::int64_t shift = rng.UniformInt(-10, 10);
+      for (std::size_t r = 0; r < rows; ++r) {
+        col[r] = src[r] ? Cell(*src[r] * scale + shift) : std::nullopt;
+      }
+      break;
+    }
+    default: {  // coarsened copy: src determines col → OD/FD material
+      const ColumnData& src = earlier[rng.Uniform(earlier.size())];
+      std::int64_t div = 2 + static_cast<std::int64_t>(rng.Uniform(3));
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (src[r]) {
+          // Floor division keeps the coarsening monotone for negatives too.
+          std::int64_t v = *src[r];
+          std::int64_t q = v / div;
+          if (v % div != 0 && v < 0) --q;
+          col[r] = q;
+        }
+      }
+      break;
+    }
+  }
+  return col;
+}
+
+}  // namespace
+
+rel::Relation MakeRandomRelation(Rng& rng, const RandomRelationSpec& spec) {
+  std::size_t rows =
+      spec.min_rows + rng.Uniform(spec.max_rows - spec.min_rows + 1);
+  std::size_t cols =
+      spec.min_cols + rng.Uniform(spec.max_cols - spec.min_cols + 1);
+
+  std::vector<ColumnData> data;
+  data.reserve(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    data.push_back(DrawColumn(rng, rows, data));
+  }
+
+  // NULL injection. NULLs share the smallest code (NULLS FIRST), so blocks
+  // of them both create ties and pull rows to the front of every sort.
+  for (ColumnData& col : data) {
+    if (!rng.Bernoulli(spec.null_column_prob)) continue;
+    double rate = 0.1 + 0.4 * rng.UniformDouble();
+    for (Cell& cell : col) {
+      if (rng.Bernoulli(rate)) cell = std::nullopt;
+    }
+  }
+
+  // Row duplication: repeat a sampled block of rows verbatim. Equal tuples
+  // exercise the `p ⪯ q ∧ q ⪯ p` corner of Definition 2.2.
+  if (rng.Bernoulli(spec.duplicate_rows_prob) && rows > 1) {
+    std::size_t copies = 1 + rng.Uniform(rows / 2 + 1);
+    for (std::size_t k = 0; k < copies; ++k) {
+      std::size_t src = rng.Uniform(rows);
+      for (ColumnData& col : data) col.push_back(col[src]);
+    }
+    rows += copies;
+  }
+
+  // Final row shuffle (sometimes skipped to keep near-sorted layouts).
+  if (rng.Bernoulli(0.7)) {
+    std::vector<std::size_t> perm(rows);
+    for (std::size_t r = 0; r < rows; ++r) perm[r] = r;
+    rng.Shuffle(perm);
+    for (ColumnData& col : data) {
+      ColumnData shuffled(rows);
+      for (std::size_t r = 0; r < rows; ++r) shuffled[r] = col[perm[r]];
+      col = std::move(shuffled);
+    }
+  }
+
+  std::vector<rel::Attribute> attrs;
+  std::vector<rel::Column> columns;
+  for (std::size_t c = 0; c < cols; ++c) {
+    attrs.push_back(rel::Attribute{std::string(1, static_cast<char>('A' + c)),
+                                   rel::DataType::kInt});
+    std::vector<rel::Value> vals;
+    vals.reserve(rows);
+    for (const Cell& cell : data[c]) {
+      vals.push_back(cell ? rel::Value::Int(*cell) : rel::Value::Null());
+    }
+    columns.push_back(rel::Column::FromValues(rel::DataType::kInt, vals));
+  }
+  auto built = rel::Relation::FromColumns(rel::Schema(std::move(attrs)),
+                                          std::move(columns));
+  return std::move(built).value();
+}
+
+}  // namespace ocdd::datagen

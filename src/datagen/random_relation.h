@@ -1,0 +1,39 @@
+#ifndef OCDD_DATAGEN_RANDOM_RELATION_H_
+#define OCDD_DATAGEN_RANDOM_RELATION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.h"
+#include "relation/relation.h"
+
+namespace ocdd::datagen {
+
+/// Shape envelope for a random QA relation. The generator samples the
+/// concrete shape (and per-column structure) from `rng`, sweeping the
+/// corners where OD discovery implementations historically diverge:
+/// heavy ties, constant columns, NULL blocks, duplicated rows, near-sorted
+/// data, order-equivalent column copies, coarsened (OD-inducing) copies,
+/// and both high- and low-cardinality domains.
+struct RandomRelationSpec {
+  std::size_t min_rows = 4;
+  std::size_t max_rows = 24;
+  std::size_t min_cols = 2;
+  std::size_t max_cols = 5;
+
+  /// Probability that any given column receives NULLs (NULL rate is then
+  /// sampled per column).
+  double null_column_prob = 0.35;
+
+  /// Probability that the whole relation gets a round of row duplication.
+  double duplicate_rows_prob = 0.35;
+};
+
+/// Draws one relation from the spec. Deterministic in the state of `rng`:
+/// the same Rng seed and call sequence always produce the same relation.
+/// All columns are kInt with names "A", "B", "C", ...
+rel::Relation MakeRandomRelation(Rng& rng, const RandomRelationSpec& spec = {});
+
+}  // namespace ocdd::datagen
+
+#endif  // OCDD_DATAGEN_RANDOM_RELATION_H_

@@ -54,6 +54,16 @@ bool OdInferenceEngine::AddOcd(const OrderCompatibility& ocd) {
   return true;
 }
 
+bool OdInferenceEngine::AddEquivalence(const AttributeList& x,
+                                       const AttributeList& y) {
+  int a = ListId(x.Normalized());
+  int b = ListId(y.Normalized());
+  if (a < 0 || b < 0) return false;
+  Set(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+  Set(static_cast<std::size_t>(b), static_cast<std::size_t>(a));
+  return true;
+}
+
 void OdInferenceEngine::ComputeClosure() {
   std::size_t n = lists_.size();
   // Iterate rule application to fixpoint. Each pass applies Prefix and

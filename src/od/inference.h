@@ -46,6 +46,10 @@ class OdInferenceEngine {
   /// Declares `X ~ Y`, i.e. both `XY → YX` and `YX → XY`.
   bool AddOcd(const OrderCompatibility& ocd);
 
+  /// Declares `X ↔ Y` (both `X → Y` and `Y → X`). Used to seed
+  /// order-equivalence classes and constant columns (`[] ↔ [C]`).
+  bool AddEquivalence(const AttributeList& x, const AttributeList& y);
+
   /// Runs the rules to fixpoint. Call after all Add*; may be called again
   /// after adding more facts.
   void ComputeClosure();

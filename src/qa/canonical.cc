@@ -1,0 +1,220 @@
+#include "qa/canonical.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace ocdd::qa {
+
+namespace {
+
+using Context = std::vector<rel::ColumnId>;
+
+/// Rows grouped by their code tuple over `context`; the empty context yields
+/// one group with every row.
+std::vector<std::vector<std::uint32_t>> GroupByContext(
+    const rel::CodedRelation& relation, const Context& context) {
+  std::map<std::vector<std::int32_t>, std::vector<std::uint32_t>> groups;
+  std::size_t m = relation.num_rows();
+  std::vector<std::int32_t> key(context.size());
+  for (std::uint32_t row = 0; row < m; ++row) {
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      key[i] = relation.code(row, context[i]);
+    }
+    groups[key].push_back(row);
+  }
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(groups.size());
+  for (auto& [k, rows] : groups) out.push_back(std::move(rows));
+  return out;
+}
+
+bool SubsetOf(const Context& a, const Context& b) {
+  // Both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool ContainsId(const Context& ctx, rel::ColumnId id) {
+  return std::binary_search(ctx.begin(), ctx.end(), id);
+}
+
+Context SortedUnion(const Context& a, const Context& b) {
+  Context out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Prefix of `list` as a sorted id set: {list[0], ..., list[n-1]}.
+Context PrefixSet(const od::AttributeList& list, std::size_t n) {
+  Context out(list.ids().begin(), list.ids().begin() + n);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Shared shape of the two mapping theorems, parameterized over how a
+/// canonical OD is decided (emitted-set closure vs semantic re-check).
+template <typename ConstancyFn, typename CompatFn>
+bool OcdViaCanonical(const od::AttributeList& x, const od::AttributeList& y,
+                     const ConstancyFn& constancy, const CompatFn& compat) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      if (x[i] == y[j]) continue;  // trivially compatible with itself
+      Context ctx = SortedUnion(PrefixSet(x, i), PrefixSet(y, j));
+      if (ContainsId(ctx, x[i]) || ContainsId(ctx, y[j])) continue;
+      if (!compat(ctx, x[i], y[j]) && !constancy(ctx, x[i]) &&
+          !constancy(ctx, y[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <typename ConstancyFn, typename CompatFn>
+bool OdViaCanonical(const od::OrderDependency& od, const ConstancyFn& constancy,
+                    const CompatFn& compat) {
+  od::AttributeList lhs = od.lhs.Normalized();
+  od::AttributeList rhs = od.rhs.Normalized();
+  Context lhs_set = PrefixSet(lhs, lhs.size());
+  for (std::size_t j = 0; j < rhs.size(); ++j) {
+    if (ContainsId(lhs_set, rhs[j])) continue;
+    if (!constancy(lhs_set, rhs[j])) return false;
+  }
+  return OcdViaCanonical(lhs, rhs, constancy, compat);
+}
+
+}  // namespace
+
+bool HoldsConstancy(const rel::CodedRelation& relation, const Context& context,
+                    rel::ColumnId a) {
+  for (const auto& rows : GroupByContext(relation, context)) {
+    std::int32_t first = relation.code(rows.front(), a);
+    for (std::uint32_t row : rows) {
+      if (relation.code(row, a) != first) return false;
+    }
+  }
+  return true;
+}
+
+bool HoldsCompat(const rel::CodedRelation& relation, const Context& context,
+                 rel::ColumnId a, rel::ColumnId b) {
+  if (a == b) return true;
+  for (const auto& rows : GroupByContext(relation, context)) {
+    std::vector<std::pair<std::int32_t, std::int32_t>> vals;
+    vals.reserve(rows.size());
+    for (std::uint32_t row : rows) {
+      vals.emplace_back(relation.code(row, a), relation.code(row, b));
+    }
+    std::sort(vals.begin(), vals.end());
+    // A swap is i < j with a strictly increasing and b strictly decreasing;
+    // sorted by (a, b), that is a b-value below the running maximum of
+    // earlier (strictly smaller) a-groups.
+    bool have_prev = false;
+    std::int32_t prev_max_b = 0;
+    std::size_t i = 0;
+    while (i < vals.size()) {
+      std::size_t j = i;
+      std::int32_t group_max_b = vals[i].second;
+      while (j < vals.size() && vals[j].first == vals[i].first) {
+        group_max_b = std::max(group_max_b, vals[j].second);
+        ++j;
+      }
+      if (have_prev && prev_max_b > vals[i].second) return false;
+      prev_max_b = have_prev ? std::max(prev_max_b, group_max_b) : group_max_b;
+      have_prev = true;
+      i = j;
+    }
+  }
+  return true;
+}
+
+CanonicalClosure::CanonicalClosure(const std::vector<od::CanonicalOd>& emitted) {
+  for (const od::CanonicalOd& cod : emitted) {
+    Context ctx = cod.context;
+    std::sort(ctx.begin(), ctx.end());
+    if (cod.kind == od::CanonicalOd::Kind::kConstancy) {
+      constancy_.emplace_back(std::move(ctx), cod.right);
+    } else {
+      rel::ColumnId lo = std::min(cod.left, cod.right);
+      rel::ColumnId hi = std::max(cod.left, cod.right);
+      compat_.emplace_back(std::move(ctx), std::make_pair(lo, hi));
+    }
+  }
+}
+
+bool CanonicalClosure::ImpliesConstancy(const Context& context,
+                                        rel::ColumnId a) const {
+  if (ContainsId(context, a)) return true;
+  for (const auto& [ctx, rhs] : constancy_) {
+    if (rhs == a && SubsetOf(ctx, context)) return true;
+  }
+  return false;
+}
+
+bool CanonicalClosure::ImpliesCompat(const Context& context, rel::ColumnId a,
+                                     rel::ColumnId b) const {
+  if (a == b) return true;
+  if (ImpliesConstancy(context, a) || ImpliesConstancy(context, b)) {
+    return true;
+  }
+  rel::ColumnId lo = std::min(a, b);
+  rel::ColumnId hi = std::max(a, b);
+  for (const auto& [ctx, pair] : compat_) {
+    if (pair.first == lo && pair.second == hi && SubsetOf(ctx, context)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CanonicalClosure::ImpliesOd(const od::OrderDependency& od) const {
+  return OdViaCanonical(
+      od,
+      [this](const Context& ctx, rel::ColumnId a) {
+        return ImpliesConstancy(ctx, a);
+      },
+      [this](const Context& ctx, rel::ColumnId a, rel::ColumnId b) {
+        return ImpliesCompat(ctx, a, b);
+      });
+}
+
+bool CanonicalClosure::ImpliesOcd(const od::OrderCompatibility& ocd) const {
+  return OcdViaCanonical(
+      ocd.lhs.Normalized(), ocd.rhs.Normalized(),
+      [this](const Context& ctx, rel::ColumnId a) {
+        return ImpliesConstancy(ctx, a);
+      },
+      [this](const Context& ctx, rel::ColumnId a, rel::ColumnId b) {
+        return ImpliesCompat(ctx, a, b);
+      });
+}
+
+bool SemanticOdViaCanonical(const rel::CodedRelation& relation,
+                            const od::OrderDependency& od) {
+  return OdViaCanonical(
+      od,
+      [&relation](const Context& ctx, rel::ColumnId a) {
+        return HoldsConstancy(relation, ctx, a);
+      },
+      [&relation](const Context& ctx, rel::ColumnId a, rel::ColumnId b) {
+        return HoldsCompat(relation, ctx, a, b);
+      });
+}
+
+bool SemanticOcdViaCanonical(const rel::CodedRelation& relation,
+                             const od::OrderCompatibility& ocd) {
+  return OcdViaCanonical(
+      ocd.lhs.Normalized(), ocd.rhs.Normalized(),
+      [&relation](const Context& ctx, rel::ColumnId a) {
+        return HoldsConstancy(relation, ctx, a);
+      },
+      [&relation](const Context& ctx, rel::ColumnId a, rel::ColumnId b) {
+        return HoldsCompat(relation, ctx, a, b);
+      });
+}
+
+}  // namespace ocdd::qa

@@ -1,0 +1,73 @@
+#ifndef OCDD_QA_CANONICAL_H_
+#define OCDD_QA_CANONICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "od/dependency.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::qa {
+
+/// Semantic ground-truth checks for set-based canonical ODs (the FASTOD
+/// vocabulary), straight from their definitions over the equivalence classes
+/// of the context:
+///  * constancy  `ctx : [] ↦ a` — `a` takes one value within every class;
+///  * compatibility `ctx : a ~ b` — no swap between `a` and `b` within any
+///    class (two rows of one class with `a` strictly increasing and `b`
+///    strictly decreasing).
+bool HoldsConstancy(const rel::CodedRelation& relation,
+                    const std::vector<rel::ColumnId>& context,
+                    rel::ColumnId a);
+bool HoldsCompat(const rel::CodedRelation& relation,
+                 const std::vector<rel::ColumnId>& context, rel::ColumnId a,
+                 rel::ColumnId b);
+
+/// Decision procedure over FASTOD's *minimal* canonical output, implementing
+/// its pruning semantics in reverse:
+///  * `ctx : [] ↦ a` follows iff `a ∈ ctx` or some emitted constancy OD has
+///    the same RHS and a context ⊆ ctx;
+///  * `ctx : a ~ b` follows iff it is constancy-implied (ctx ↦ a or
+///    ctx ↦ b) or some emitted compatibility OD over {a, b} has a
+///    context ⊆ ctx.
+///
+/// List-form dependencies are decided through the set-based mapping theorems
+/// (Szlichta et al. [7]):
+///  * `X ~ Y`  ⟺  ∀ i, j:  {x₁..xᵢ₋₁} ∪ {y₁..yⱼ₋₁} : xᵢ ~ yⱼ;
+///  * `X → Y`  ⟺  `X ~ Y` and `set(X) ↦ A` for every attribute A of Y.
+///
+/// With FASTOD's complete minimal canonical set as input, `ImpliesOd` /
+/// `ImpliesOcd` decide exactly the semantic validity of any list
+/// dependency — the oracle leans on this to compare FASTOD against the
+/// list-based algorithms by closure, not by syntax.
+class CanonicalClosure {
+ public:
+  explicit CanonicalClosure(const std::vector<od::CanonicalOd>& emitted);
+
+  bool ImpliesConstancy(const std::vector<rel::ColumnId>& context,
+                        rel::ColumnId a) const;
+  bool ImpliesCompat(const std::vector<rel::ColumnId>& context,
+                     rel::ColumnId a, rel::ColumnId b) const;
+  bool ImpliesOd(const od::OrderDependency& od) const;
+  bool ImpliesOcd(const od::OrderCompatibility& ocd) const;
+
+ private:
+  /// (sorted context, rhs) for constancy claims.
+  std::vector<std::pair<std::vector<rel::ColumnId>, rel::ColumnId>> constancy_;
+  /// (sorted context, min(a,b), max(a,b)) for compatibility claims.
+  std::vector<std::pair<std::vector<rel::ColumnId>,
+                        std::pair<rel::ColumnId, rel::ColumnId>>> compat_;
+};
+
+/// The same mapping theorems evaluated against the *relation* instead of an
+/// emitted set, using the semantic checks above. Equal to brute-force OD/OCD
+/// validity by the theorems — the oracle cross-checks that equality on every
+/// instance, guarding both the theorems' implementation and the checkers.
+bool SemanticOdViaCanonical(const rel::CodedRelation& relation,
+                            const od::OrderDependency& od);
+bool SemanticOcdViaCanonical(const rel::CodedRelation& relation,
+                             const od::OrderCompatibility& ocd);
+
+}  // namespace ocdd::qa
+
+#endif  // OCDD_QA_CANONICAL_H_

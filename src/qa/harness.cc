@@ -1,0 +1,344 @@
+#include "qa/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "od/brute_force.h"
+#include "qa/canonical.h"
+#include "qa/metamorphic.h"
+#include "qa/shrinker.h"
+#include "relation/csv.h"
+
+namespace ocdd::qa {
+
+std::uint64_t IterationSeed(std::uint64_t seed, std::uint64_t i) {
+  // Iteration 0 is the master seed itself so that `qa --seed S --iters 1`
+  // replays a failure reported with iteration seed S exactly.
+  if (i == 0) return seed;
+  std::uint64_t z = seed + i * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr std::size_t kMaxDiscrepanciesPerFailure = 20;
+
+void MaybeWriteRepro(const QaOptions& options, QaFailure* failure) {
+  if (options.repro_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options.repro_dir, ec);
+  std::string path = options.repro_dir + "/qa_iter" +
+                     std::to_string(failure->iteration) + "_seed" +
+                     std::to_string(failure->iteration_seed) + ".csv";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << failure->csv;
+  out.flush();
+  if (out) failure->repro_path = path;
+}
+
+QaFailure MakeFailure(std::uint64_t iteration, std::uint64_t iteration_seed,
+                      std::string kind, std::vector<Discrepancy> discrepancies,
+                      const rel::Relation& relation) {
+  QaFailure f;
+  f.iteration = iteration;
+  f.iteration_seed = iteration_seed;
+  f.kind = std::move(kind);
+  if (discrepancies.size() > kMaxDiscrepanciesPerFailure) {
+    discrepancies.resize(kMaxDiscrepanciesPerFailure);
+  }
+  f.discrepancies = std::move(discrepancies);
+  f.csv = rel::WriteCsvString(relation);
+  f.rows = relation.num_rows();
+  f.cols = relation.num_columns();
+  return f;
+}
+
+/// Re-runs algorithms under a check budget / an armed fault and asserts the
+/// partial result is a sound subset of the complete run: every partial claim
+/// must hold semantically and be derivable from the complete closure. The
+/// RunContext composition (PR 1) promises stopped runs degrade to valid
+/// partial answers — this is where that promise is audited.
+std::vector<Discrepancy> CheckStoppedRuns(const rel::CodedRelation& coded,
+                                          const AlgorithmRuns& runs,
+                                          std::uint64_t* checks,
+                                          std::uint64_t* skipped) {
+  std::vector<Discrepancy> out;
+  const std::size_t n = coded.num_columns();
+  const std::size_t L = DefaultMaxListLen(n);
+
+  auto check_list_partial = [&](const ClaimSet& partial,
+                                const od::OdInferenceEngine& complete,
+                                const char* algorithm, const char* how) {
+    for (const auto& od : partial.ods) {
+      ++*checks;
+      if (!od::BruteForceHoldsOd(coded, od.lhs, od.rhs)) {
+        out.push_back({"stopped_run", algorithm,
+                       std::string(how) + " unsound OD " + od.ToString()});
+        continue;
+      }
+      if (od.lhs.Normalized().size() > L || od.rhs.Normalized().size() > L) {
+        ++*skipped;
+        continue;
+      }
+      if (!complete.Implies(od)) {
+        out.push_back({"stopped_run", algorithm,
+                       std::string(how) + " OD outside complete closure " +
+                           od.ToString()});
+      }
+    }
+    for (const auto& ocd : partial.ocds) {
+      ++*checks;
+      if (!od::BruteForceHoldsOcd(coded, ocd.lhs, ocd.rhs)) {
+        out.push_back({"stopped_run", algorithm,
+                       std::string(how) + " unsound OCD " + ocd.ToString()});
+        continue;
+      }
+      if (ocd.lhs.Concat(ocd.rhs).Normalized().size() > L) {
+        ++*skipped;
+        continue;
+      }
+      if (!complete.ImpliesOcd(ocd)) {
+        out.push_back({"stopped_run", algorithm,
+                       std::string(how) + " OCD outside complete closure " +
+                           ocd.ToString()});
+      }
+    }
+  };
+
+  if (runs.ocdd.num_checks >= 2) {
+    od::OdInferenceEngine complete = BuildClosureEngine(n, L, runs.ocdd, skipped);
+
+    RunContext budgeted;
+    budgeted.set_check_budget(runs.ocdd.num_checks / 2);
+    check_list_partial(RunOcddiscoverClaims(coded, &budgeted), complete,
+                       "ocddiscover", "budgeted");
+
+    FaultInjector injector;
+    injector.Arm("ocd.check", FaultAction::kCancel,
+                 std::max<std::uint64_t>(1, runs.ocdd.num_checks / 3));
+    RunContext faulted;
+    faulted.set_fault_injector(&injector);
+    check_list_partial(RunOcddiscoverClaims(coded, &faulted), complete,
+                       "ocddiscover", "fault-injected");
+  }
+
+  if (runs.order.num_checks >= 2) {
+    od::OdInferenceEngine complete =
+        BuildClosureEngine(n, L, runs.order, skipped);
+    RunContext budgeted;
+    budgeted.set_check_budget(runs.order.num_checks / 2);
+    check_list_partial(RunOrderClaims(coded, &budgeted), complete, "order",
+                       "budgeted");
+  }
+
+  if (runs.fastod.num_checks >= 2) {
+    CanonicalClosure complete(runs.fastod.canonical);
+    RunContext budgeted;
+    budgeted.set_check_budget(runs.fastod.num_checks / 2);
+    ClaimSet partial = RunFastodClaims(coded, &budgeted);
+    for (const auto& cod : partial.canonical) {
+      ++*checks;
+      std::vector<rel::ColumnId> ctx = cod.context;
+      std::sort(ctx.begin(), ctx.end());
+      bool constancy = cod.kind == od::CanonicalOd::Kind::kConstancy;
+      bool sound = constancy ? HoldsConstancy(coded, ctx, cod.right)
+                             : HoldsCompat(coded, ctx, cod.left, cod.right);
+      if (!sound) {
+        out.push_back({"stopped_run", "fastod",
+                       "budgeted unsound " + cod.ToString()});
+        continue;
+      }
+      bool implied = constancy
+                         ? complete.ImpliesConstancy(ctx, cod.right)
+                         : complete.ImpliesCompat(ctx, cod.left, cod.right);
+      if (!implied) {
+        out.push_back({"stopped_run", "fastod",
+                       "budgeted claim outside complete closure " +
+                           cod.ToString()});
+      }
+    }
+  }
+
+  return out;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+QaSummary RunQa(const QaOptions& options) {
+  QaSummary summary;
+  summary.seed = options.seed;
+  summary.iters_requested = options.iters;
+  summary.corruption = CorruptionModeName(options.inject);
+
+  for (std::size_t i = 0; i < options.iters; ++i) {
+    if (summary.failures.size() >= options.max_failures) break;
+    ++summary.iterations_run;
+    const std::uint64_t iter_seed = IterationSeed(options.seed, i);
+    Rng rng(iter_seed);
+    rel::Relation relation = datagen::MakeRandomRelation(rng, options.spec);
+    rel::CodedRelation coded = rel::CodedRelation::Encode(relation);
+    AlgorithmRuns runs = RunAllClaims(coded);
+
+    // Corruption is delivered through the shared fault-injection subsystem:
+    // arm the qa point, let the oracle poll it.
+    FaultInjector injector;
+    OracleOptions oracle_options;
+    oracle_options.max_side_len = options.max_side_len;
+    if (options.inject != CorruptionMode::kNone) {
+      injector.Arm(CorruptionPoint(options.inject), FaultAction::kCancel, 1);
+      oracle_options.injector = &injector;
+    }
+
+    OracleReport report = CrossCheckRuns(coded, runs, oracle_options);
+    summary.oracle_comparisons += report.comparisons;
+    summary.skipped += report.skipped;
+
+    if (!report.clean()) {
+      OracleOptions shrink_options;
+      shrink_options.max_side_len = options.max_side_len;
+      shrink_options.corruption = options.inject;
+      auto still_fails = [&shrink_options](const rel::Relation& r) {
+        if (r.num_rows() == 0 || r.num_columns() == 0) return false;
+        return !CrossCheck(rel::CodedRelation::Encode(r), shrink_options)
+                    .clean();
+      };
+      ShrinkResult shrunk = ShrinkFailingRelation(relation, still_fails);
+      summary.shrink_evaluations += shrunk.evaluations;
+      // Report the discrepancies of the *shrunk* instance — same failure,
+      // minimal statement.
+      OracleReport shrunk_report =
+          CrossCheck(rel::CodedRelation::Encode(shrunk.relation),
+                     shrink_options);
+      QaFailure f = MakeFailure(
+          i, iter_seed, "oracle",
+          shrunk_report.clean() ? std::move(report.discrepancies)
+                                : std::move(shrunk_report.discrepancies),
+          shrunk.relation);
+      MaybeWriteRepro(options, &f);
+      summary.failures.push_back(std::move(f));
+      continue;
+    }
+
+    bool failed = false;
+    if (options.metamorphic) {
+      for (Transform t : kAllTransforms) {
+        OracleReport mreport = CheckMetamorphic(relation, runs, t, rng);
+        summary.metamorphic_comparisons += mreport.comparisons;
+        summary.skipped += mreport.skipped;
+        if (!mreport.clean()) {
+          QaFailure f = MakeFailure(
+              i, iter_seed, std::string("metamorphic/") + TransformName(t),
+              std::move(mreport.discrepancies), relation);
+          MaybeWriteRepro(options, &f);
+          summary.failures.push_back(std::move(f));
+          failed = true;
+          break;
+        }
+      }
+    }
+    if (failed) continue;
+
+    if (options.stopped_runs && i % 5 == 0 && runs.AllCompleted()) {
+      std::vector<Discrepancy> ds = CheckStoppedRuns(
+          coded, runs, &summary.stopped_run_checks, &summary.skipped);
+      if (!ds.empty()) {
+        QaFailure f =
+            MakeFailure(i, iter_seed, "stopped_run", std::move(ds), relation);
+        MaybeWriteRepro(options, &f);
+        summary.failures.push_back(std::move(f));
+      }
+    }
+  }
+
+  return summary;
+}
+
+std::string SummaryToJson(const QaSummary& summary) {
+  std::string out = "{\n";
+  out += "  \"seed\": " + std::to_string(summary.seed) + ",\n";
+  out += "  \"iters_requested\": " + std::to_string(summary.iters_requested) +
+         ",\n";
+  out += "  \"iterations_run\": " + std::to_string(summary.iterations_run) +
+         ",\n";
+  out += "  \"corruption\": ";
+  AppendJsonString(out, summary.corruption);
+  out += ",\n";
+  out += "  \"oracle_comparisons\": " +
+         std::to_string(summary.oracle_comparisons) + ",\n";
+  out += "  \"metamorphic_comparisons\": " +
+         std::to_string(summary.metamorphic_comparisons) + ",\n";
+  out += "  \"stopped_run_checks\": " +
+         std::to_string(summary.stopped_run_checks) + ",\n";
+  out += "  \"skipped\": " + std::to_string(summary.skipped) + ",\n";
+  out += "  \"shrink_evaluations\": " +
+         std::to_string(summary.shrink_evaluations) + ",\n";
+  out += std::string("  \"clean\": ") + (summary.clean() ? "true" : "false") +
+         ",\n";
+  out += "  \"failures\": [";
+  for (std::size_t i = 0; i < summary.failures.size(); ++i) {
+    const QaFailure& f = summary.failures[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"iteration\": " + std::to_string(f.iteration) +
+           ", \"seed\": " + std::to_string(f.iteration_seed) + ", \"kind\": ";
+    AppendJsonString(out, f.kind);
+    out += ", \"rows\": " + std::to_string(f.rows) +
+           ", \"cols\": " + std::to_string(f.cols) + ", \"repro_path\": ";
+    AppendJsonString(out, f.repro_path);
+    out += ", \"csv\": ";
+    AppendJsonString(out, f.csv);
+    out += ", \"discrepancies\": [";
+    for (std::size_t d = 0; d < f.discrepancies.size(); ++d) {
+      if (d > 0) out += ", ";
+      AppendJsonString(out, f.discrepancies[d].ToString());
+    }
+    out += "]}";
+  }
+  out += summary.failures.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ocdd::qa

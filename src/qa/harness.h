@@ -1,0 +1,87 @@
+#ifndef OCDD_QA_HARNESS_H_
+#define OCDD_QA_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/random_relation.h"
+#include "qa/oracle.h"
+
+namespace ocdd::qa {
+
+struct QaOptions {
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  /// Brute-force ground-truth side-length bound.
+  std::size_t max_side_len = 2;
+  /// Corruption to arm through the fault-injection subsystem (end-to-end
+  /// harness self-test: detect → shrink → repro).
+  CorruptionMode inject = CorruptionMode::kNone;
+  /// Run the metamorphic transforms on instances the oracle found clean.
+  bool metamorphic = true;
+  /// Periodically re-run algorithms under check budgets / injected faults
+  /// and assert the partial results are sound subsets of the complete ones.
+  bool stopped_runs = true;
+  /// Stop collecting after this many failures (each is shrunk, which costs
+  /// many oracle evaluations).
+  std::size_t max_failures = 8;
+  /// When non-empty, shrunk repro CSVs are written here.
+  std::string repro_dir;
+  datagen::RandomRelationSpec spec;
+};
+
+struct QaFailure {
+  std::uint64_t iteration = 0;
+  /// The per-iteration derived seed; `qa --seed <this> --iters 1` replays
+  /// the failing instance exactly. (Iteration seeds are derived, not
+  /// sequential — see IterationSeed.)
+  std::uint64_t iteration_seed = 0;
+  /// "oracle", "metamorphic/<transform>", or "stopped_run".
+  std::string kind;
+  std::vector<Discrepancy> discrepancies;
+  /// CSV of the shrunk failing relation (oracle failures) or of the base
+  /// instance (metamorphic / stopped-run failures, which depend on more
+  /// state than the relation alone).
+  std::string csv;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// File the CSV was written to, when QaOptions::repro_dir is set.
+  std::string repro_path;
+};
+
+struct QaSummary {
+  std::uint64_t seed = 0;
+  std::size_t iters_requested = 0;
+  std::uint64_t iterations_run = 0;
+  std::string corruption;
+  std::uint64_t oracle_comparisons = 0;
+  std::uint64_t metamorphic_comparisons = 0;
+  std::uint64_t stopped_run_checks = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t shrink_evaluations = 0;
+  std::vector<QaFailure> failures;
+
+  bool clean() const { return failures.empty(); }
+};
+
+/// Seed of iteration `i` under master seed `seed` — a splitmix-style spread
+/// so neighbouring iterations share no low-bit structure.
+std::uint64_t IterationSeed(std::uint64_t seed, std::uint64_t i);
+
+/// The differential/metamorphic sweep: per iteration, generate a random
+/// relation from the iteration seed, run every algorithm, cross-check
+/// (CrossCheckRuns), then metamorphic transforms and periodic stopped-run
+/// subset checks. Failing instances are shrunk (ShrinkFailingRelation) and
+/// reported with a replay seed. Fully deterministic in `options`.
+QaSummary RunQa(const QaOptions& options);
+
+/// Deterministic JSON rendering of a summary — a pure function of the
+/// summary (no timing, no environment), so equal seeds yield byte-identical
+/// reports.
+std::string SummaryToJson(const QaSummary& summary);
+
+}  // namespace ocdd::qa
+
+#endif  // OCDD_QA_HARNESS_H_

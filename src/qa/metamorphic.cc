@@ -1,0 +1,322 @@
+#include "qa/metamorphic.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "od/inference.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::qa {
+
+const char* TransformName(Transform t) {
+  switch (t) {
+    case Transform::kRowShuffle:
+      return "row_shuffle";
+    case Transform::kRowDuplicate:
+      return "row_duplicate";
+    case Transform::kColumnPermute:
+      return "column_permute";
+    case Transform::kMonotoneRecode:
+      return "monotone_recode";
+    case Transform::kNullBlock:
+      return "null_block";
+  }
+  return "?";
+}
+
+namespace {
+
+rel::Relation RebuildWithColumn(const rel::Relation& base, rel::ColumnId target,
+                                rel::Column replacement) {
+  std::vector<rel::Column> columns;
+  for (std::size_t c = 0; c < base.num_columns(); ++c) {
+    columns.push_back(c == target ? std::move(replacement) : base.column(c));
+  }
+  return rel::Relation::FromColumns(base.schema(), std::move(columns)).value();
+}
+
+rel::Relation MonotoneRecode(const rel::Relation& base, Rng& rng) {
+  rel::Relation out = base;
+  for (std::size_t c = 0; c < base.num_columns(); ++c) {
+    const rel::Column& col = base.column(c);
+    if (col.type() != rel::DataType::kInt) continue;
+    if (!rng.Bernoulli(0.75)) continue;
+    std::int64_t scale = 1 + static_cast<std::int64_t>(rng.Uniform(5));
+    std::int64_t shift = rng.UniformInt(-7, 7);
+    bool representable = true;
+    std::vector<rel::Value> vals;
+    vals.reserve(base.num_rows());
+    for (std::size_t r = 0; r < base.num_rows(); ++r) {
+      if (col.is_null(r)) {
+        vals.push_back(rel::Value::Null());
+        continue;
+      }
+      std::int64_t v = col.int_at(r);
+      if (std::llabs(v) > (std::int64_t{1} << 40)) {
+        representable = false;  // keep the recode overflow-free
+        break;
+      }
+      vals.push_back(rel::Value::Int(v * scale + shift));
+    }
+    if (!representable) continue;
+    out = RebuildWithColumn(
+        out, c, rel::Column::FromValues(rel::DataType::kInt, vals));
+  }
+  return out;
+}
+
+rel::Relation NullBlock(const rel::Relation& base, Rng& rng) {
+  // Candidates: NULL-free, non-empty columns (any type — the minimum is
+  // whatever sorts first).
+  std::vector<rel::ColumnId> candidates;
+  for (std::size_t c = 0; c < base.num_columns(); ++c) {
+    bool has_null = false;
+    for (std::size_t r = 0; r < base.num_rows(); ++r) {
+      if (base.column(c).is_null(r)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null && base.num_rows() > 0) candidates.push_back(c);
+  }
+  if (candidates.empty()) return base;
+  rel::ColumnId target = candidates[rng.Uniform(candidates.size())];
+
+  rel::Value min = base.ValueAt(0, target);
+  for (std::size_t r = 1; r < base.num_rows(); ++r) {
+    rel::Value v = base.ValueAt(r, target);
+    if (v < min) min = v;
+  }
+  std::vector<rel::Value> vals;
+  vals.reserve(base.num_rows());
+  for (std::size_t r = 0; r < base.num_rows(); ++r) {
+    rel::Value v = base.ValueAt(r, target);
+    vals.push_back(v == min ? rel::Value::Null() : v);
+  }
+  return RebuildWithColumn(
+      base, target,
+      rel::Column::FromValues(base.column(target).type(), vals));
+}
+
+/// Rewrites every column id in `claims` through `new_id` and re-normalizes
+/// orderings the relabeling may have disturbed (OCD orientation, canonical
+/// compat orientation, sorted contexts/FD sides).
+ClaimSet RelabelClaims(const ClaimSet& claims,
+                       const std::vector<rel::ColumnId>& new_id) {
+  auto map_list = [&new_id](const od::AttributeList& l) {
+    std::vector<rel::ColumnId> ids;
+    ids.reserve(l.size());
+    for (rel::ColumnId id : l.ids()) ids.push_back(new_id[id]);
+    return od::AttributeList(std::move(ids));
+  };
+  ClaimSet out = claims;
+  for (auto& od : out.ods) {
+    od = od::OrderDependency{map_list(od.lhs), map_list(od.rhs)};
+  }
+  for (auto& ocd : out.ocds) {
+    ocd = od::OrderCompatibility{map_list(ocd.lhs), map_list(ocd.rhs)}
+              .Canonical();
+  }
+  for (auto& c : out.constant_columns) c = new_id[c];
+  for (auto& cls : out.equivalence_classes) {
+    for (auto& c : cls) c = new_id[c];
+  }
+  for (auto& cod : out.canonical) {
+    for (auto& c : cod.context) c = new_id[c];
+    std::sort(cod.context.begin(), cod.context.end());
+    cod.right = new_id[cod.right];
+    if (cod.kind == od::CanonicalOd::Kind::kOrderCompatible) {
+      cod.left = new_id[cod.left];
+      if (cod.left > cod.right) std::swap(cod.left, cod.right);
+    }
+  }
+  for (auto& fd : out.fds) {
+    for (auto& c : fd.lhs) c = new_id[c];
+    std::sort(fd.lhs.begin(), fd.lhs.end());
+    fd.rhs = new_id[fd.rhs];
+  }
+  out.SortAll();
+  return out;
+}
+
+/// Orients compat canonical ODs left < right so syntactic comparison is
+/// independent of the emitter's pair orientation.
+void NormalizeCanonicalOrientation(ClaimSet& claims) {
+  for (auto& cod : claims.canonical) {
+    std::sort(cod.context.begin(), cod.context.end());
+    if (cod.kind == od::CanonicalOd::Kind::kOrderCompatible &&
+        cod.left > cod.right) {
+      std::swap(cod.left, cod.right);
+    }
+  }
+  claims.SortAll();
+}
+
+}  // namespace
+
+rel::Relation ApplyTransform(const rel::Relation& base, Transform transform,
+                             Rng& rng,
+                             std::vector<rel::ColumnId>* column_perm) {
+  if (column_perm != nullptr) {
+    column_perm->resize(base.num_columns());
+    for (std::size_t i = 0; i < base.num_columns(); ++i) {
+      (*column_perm)[i] = i;
+    }
+  }
+  switch (transform) {
+    case Transform::kRowShuffle: {
+      std::vector<std::size_t> rows(base.num_rows());
+      for (std::size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+      rng.Shuffle(rows);
+      return base.SelectRows(rows);
+    }
+    case Transform::kRowDuplicate: {
+      std::vector<std::size_t> rows(base.num_rows());
+      for (std::size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+      if (!rows.empty()) {
+        std::size_t copies = 1 + rng.Uniform(base.num_rows());
+        for (std::size_t k = 0; k < copies; ++k) {
+          rows.push_back(rng.Uniform(base.num_rows()));
+        }
+      }
+      return base.SelectRows(rows);
+    }
+    case Transform::kColumnPermute: {
+      std::vector<rel::ColumnId> perm(base.num_columns());
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      rng.Shuffle(perm);
+      if (column_perm != nullptr) *column_perm = perm;
+      return base.ProjectColumns(perm).value();
+    }
+    case Transform::kMonotoneRecode:
+      return MonotoneRecode(base, rng);
+    case Transform::kNullBlock:
+      return NullBlock(base, rng);
+  }
+  return base;
+}
+
+OracleReport CheckMetamorphic(const rel::Relation& base,
+                              const AlgorithmRuns& base_runs,
+                              Transform transform, Rng& rng) {
+  OracleReport report;
+  const std::string check = std::string("metamorphic/") + TransformName(transform);
+  auto fail = [&report, &check](const char* algorithm, std::string detail) {
+    report.discrepancies.push_back(Discrepancy{check, algorithm,
+                                               std::move(detail)});
+  };
+
+  std::vector<rel::ColumnId> perm;
+  rel::Relation transformed = ApplyTransform(base, transform, rng, &perm);
+  rel::CodedRelation coded = rel::CodedRelation::Encode(transformed);
+  AlgorithmRuns t_runs = RunAllClaims(coded);
+
+  report.all_completed = base_runs.AllCompleted() && t_runs.AllCompleted();
+  if (!report.all_completed) {
+    ++report.skipped;  // invariance undefined across stopped runs
+    return report;
+  }
+
+  // new_id[base column] = its position after the transform.
+  std::vector<rel::ColumnId> new_id(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) new_id[perm[i]] = i;
+
+  auto compare_rendered = [&](const char* algorithm, const ClaimSet& expected,
+                              const ClaimSet& actual) {
+    std::vector<std::string> want = expected.Render();
+    std::vector<std::string> got = actual.Render();
+    report.comparisons += want.size() + got.size();
+    std::vector<std::string> missing;
+    std::vector<std::string> spurious;
+    std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                        std::back_inserter(missing));
+    std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                        std::back_inserter(spurious));
+    for (const auto& line : missing) fail(algorithm, "missing " + line);
+    for (const auto& line : spurious) fail(algorithm, "spurious " + line);
+  };
+
+  if (transform != Transform::kColumnPermute) {
+    compare_rendered("ocddiscover", base_runs.ocdd, t_runs.ocdd);
+    compare_rendered("order", base_runs.order, t_runs.order);
+    ClaimSet want_fastod = base_runs.fastod;
+    ClaimSet got_fastod = t_runs.fastod;
+    NormalizeCanonicalOrientation(want_fastod);
+    NormalizeCanonicalOrientation(got_fastod);
+    compare_rendered("fastod", want_fastod, got_fastod);
+    compare_rendered("tane", base_runs.tane, t_runs.tane);
+    return report;
+  }
+
+  // Column permutation: relabel base claims into the new id space first.
+  compare_rendered("order", RelabelClaims(base_runs.order, new_id),
+                   t_runs.order);
+  ClaimSet want_fastod = RelabelClaims(base_runs.fastod, new_id);
+  ClaimSet got_fastod = t_runs.fastod;
+  NormalizeCanonicalOrientation(got_fastod);
+  compare_rendered("fastod", want_fastod, got_fastod);
+  compare_rendered("tane", RelabelClaims(base_runs.tane, new_id), t_runs.tane);
+
+  // OCDDISCOVER's reduction may elect different representatives under
+  // relabeling, changing the emitted syntax without changing the theory —
+  // compare by mutual derivability instead.
+  const std::size_t n = base.num_columns();
+  const std::size_t L = DefaultMaxListLen(n);
+  ClaimSet want_ocdd = RelabelClaims(base_runs.ocdd, new_id);
+  od::OdInferenceEngine eng_want =
+      BuildClosureEngine(n, L, want_ocdd, &report.skipped);
+  od::OdInferenceEngine eng_got =
+      BuildClosureEngine(n, L, t_runs.ocdd, &report.skipped);
+
+  auto derivable_from = [&](const ClaimSet& claims,
+                            const od::OdInferenceEngine& other,
+                            const char* direction) {
+    for (const auto& od : claims.ods) {
+      if (od.lhs.Normalized().size() > L || od.rhs.Normalized().size() > L) {
+        ++report.skipped;
+        continue;
+      }
+      ++report.comparisons;
+      if (!other.Implies(od)) {
+        fail("ocddiscover", std::string(direction) + " OD " + od.ToString());
+      }
+    }
+    for (const auto& ocd : claims.ocds) {
+      if (ocd.lhs.Concat(ocd.rhs).Normalized().size() > L) {
+        ++report.skipped;
+        continue;
+      }
+      ++report.comparisons;
+      if (!other.ImpliesOcd(ocd)) {
+        fail("ocddiscover", std::string(direction) + " OCD " + ocd.ToString());
+      }
+    }
+    for (rel::ColumnId c : claims.constant_columns) {
+      ++report.comparisons;
+      if (!other.ImpliesEquivalence(od::AttributeList{},
+                                    od::AttributeList{c})) {
+        fail("ocddiscover",
+             std::string(direction) + " CONST [" + std::to_string(c) + "]");
+      }
+    }
+    for (const auto& cls : claims.equivalence_classes) {
+      for (std::size_t i = 1; i < cls.size(); ++i) {
+        ++report.comparisons;
+        if (!other.ImpliesEquivalence(od::AttributeList{cls[0]},
+                                      od::AttributeList{cls[i]})) {
+          fail("ocddiscover", std::string(direction) + " EQUIV [" +
+                                  std::to_string(cls[0]) + "," +
+                                  std::to_string(cls[i]) + "]");
+        }
+      }
+    }
+  };
+  derivable_from(want_ocdd, eng_got, "lost");
+  derivable_from(t_runs.ocdd, eng_want, "gained");
+
+  return report;
+}
+
+}  // namespace ocdd::qa

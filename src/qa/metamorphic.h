@@ -1,0 +1,69 @@
+#ifndef OCDD_QA_METAMORPHIC_H_
+#define OCDD_QA_METAMORPHIC_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "qa/claims.h"
+#include "qa/oracle.h"
+#include "relation/relation.h"
+
+namespace ocdd::qa {
+
+/// Closure-preserving relation transforms. Each leaves the set of valid
+/// dependencies invariant, so every algorithm must make equivalent claims on
+/// the transformed instance:
+///  * kRowShuffle — OD/OCD/FD validity quantifies over tuple pairs, never
+///    over physical positions;
+///  * kRowDuplicate — appending copies of existing tuples adds only
+///    reflexive pairs (`p ⪯ q ∧ q ⪯ p` corners);
+///  * kColumnPermute — dependencies relabel along the permutation; the
+///    closure is isomorphic;
+///  * kMonotoneRecode — a strictly increasing recode of a column preserves
+///    every `<`/`=` relationship, hence the dense-rank codes verbatim;
+///  * kNullBlock — replacing every occurrence of a NULL-free column's
+///    minimum value with NULL is invisible under NULL = NULL / NULLS FIRST:
+///    the NULLs inherit exactly the dense code the minimum held.
+enum class Transform {
+  kRowShuffle,
+  kRowDuplicate,
+  kColumnPermute,
+  kMonotoneRecode,
+  kNullBlock,
+};
+
+inline constexpr std::array<Transform, 5> kAllTransforms = {
+    Transform::kRowShuffle,   Transform::kRowDuplicate,
+    Transform::kColumnPermute, Transform::kMonotoneRecode,
+    Transform::kNullBlock,
+};
+
+const char* TransformName(Transform t);
+
+/// Applies `transform` to `base`. Deterministic given the Rng state.
+/// `column_perm` (optional out) receives the column permutation used —
+/// `perm[i]` is the base column now at position `i`; identity for every
+/// transform except kColumnPermute.
+rel::Relation ApplyTransform(const rel::Relation& base, Transform transform,
+                             Rng& rng,
+                             std::vector<rel::ColumnId>* column_perm = nullptr);
+
+/// Runs all algorithms on the transformed instance and asserts claim
+/// equivalence against `base_runs`:
+///  * identity-code transforms (shuffle, duplicate, recode, NULL block):
+///    claim sets must match syntactically, algorithm by algorithm;
+///  * kColumnPermute: ORDER / FASTOD / TANE claims must match syntactically
+///    after relabeling; OCDDISCOVER is compared by closure equivalence
+///    (mutual derivability), because its reduction may elect different
+///    class representatives under relabeling.
+///
+/// Discrepancies carry check = "metamorphic/<transform>".
+OracleReport CheckMetamorphic(const rel::Relation& base,
+                              const AlgorithmRuns& base_runs,
+                              Transform transform, Rng& rng);
+
+}  // namespace ocdd::qa
+
+#endif  // OCDD_QA_METAMORPHIC_H_

@@ -1,0 +1,68 @@
+#include "qa/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ocdd::qa {
+
+ShrinkResult ShrinkFailingRelation(const rel::Relation& failing,
+                                   const FailurePredicate& still_fails,
+                                   std::size_t max_evaluations) {
+  rel::Relation cur = failing;
+  std::size_t evals = 0;
+  auto reproduces = [&](const rel::Relation& cand) {
+    if (evals >= max_evaluations) return false;
+    ++evals;
+    return still_fails(cand);
+  };
+
+  bool progress = true;
+  while (progress && evals < max_evaluations) {
+    progress = false;
+
+    // Column drops, last column first so surviving ids stay stable longest.
+    for (std::size_t c = cur.num_columns(); c-- > 0;) {
+      if (cur.num_columns() <= 1) break;
+      std::vector<rel::ColumnId> keep;
+      keep.reserve(cur.num_columns() - 1);
+      for (std::size_t k = 0; k < cur.num_columns(); ++k) {
+        if (k != c) keep.push_back(k);
+      }
+      auto cand = cur.ProjectColumns(keep);
+      if (cand.ok() && reproduces(*cand)) {
+        cur = std::move(cand).value();
+        progress = true;
+      }
+    }
+
+    // Row-block removal with halving granularity (ddmin-style).
+    std::size_t chunk = std::max<std::size_t>(1, cur.num_rows() / 2);
+    while (true) {
+      std::size_t start = 0;
+      while (start < cur.num_rows() && cur.num_rows() > 1) {
+        std::size_t end = std::min(cur.num_rows(), start + chunk);
+        if (end - start >= cur.num_rows()) break;  // keep at least one row
+        std::vector<std::size_t> keep;
+        keep.reserve(cur.num_rows() - (end - start));
+        for (std::size_t r = 0; r < cur.num_rows(); ++r) {
+          if (r < start || r >= end) keep.push_back(r);
+        }
+        rel::Relation cand = cur.SelectRows(keep);
+        if (reproduces(cand)) {
+          cur = std::move(cand);
+          progress = true;
+          // retry the same position — the next block slid into it
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+
+  return ShrinkResult{std::move(cur), evals};
+}
+
+}  // namespace ocdd::qa

@@ -1,0 +1,36 @@
+#ifndef OCDD_QA_SHRINKER_H_
+#define OCDD_QA_SHRINKER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "relation/relation.h"
+
+namespace ocdd::qa {
+
+/// Returns true when the instance still reproduces the failure under
+/// investigation. Must be deterministic — the shrinker re-evaluates
+/// candidates freely and assumes a stable verdict.
+using FailurePredicate = std::function<bool(const rel::Relation&)>;
+
+struct ShrinkResult {
+  rel::Relation relation;
+  /// Predicate evaluations spent (candidate relations tried).
+  std::size_t evaluations = 0;
+};
+
+/// Greedy delta-debugging minimizer: repeatedly drops columns and
+/// binary-searched row blocks from `failing` while `still_fails` keeps
+/// returning true, until a fixpoint (or the evaluation budget) is reached.
+/// The result is 1-minimal-ish, not globally minimal — good enough to turn a
+/// 24×5 fuzz instance into a repro a human can eyeball.
+///
+/// `failing` itself must satisfy the predicate; the returned relation always
+/// does, and keeps at least one row and one column.
+ShrinkResult ShrinkFailingRelation(const rel::Relation& failing,
+                                   const FailurePredicate& still_fails,
+                                   std::size_t max_evaluations = 4000);
+
+}  // namespace ocdd::qa
+
+#endif  // OCDD_QA_SHRINKER_H_

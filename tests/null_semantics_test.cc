@@ -11,6 +11,8 @@
 #include "core/ocd_discover.h"
 #include "datagen/registry.h"
 #include "od/brute_force.h"
+#include "qa/claims.h"
+#include "qa/metamorphic.h"
 #include "relation/csv.h"
 #include "test_util.h"
 
@@ -133,6 +135,59 @@ TEST(NullSemanticsTest, BruteForceAndCheckerAgreeUnderNulls) {
       }
     }
   }
+}
+
+TEST(NullSemanticsTest, NullBlockTransformPreservesEncodedCodes) {
+  // qa's NULL-block metamorphic transform replaces every occurrence of a
+  // NULL-free column's minimum value with NULL. Under NULL = NULL and NULLS
+  // FIRST the NULLs inherit exactly the dense code the minimum held, so the
+  // coded matrix — and with it every dependency — is untouched.
+  Relation base = testutil::IntTable({{3, 1, 4, 1, 5}, {9, 2, 6, 5, 3}});
+  CodedRelation before = CodedRelation::Encode(base);
+  Rng rng(123);
+  Relation blocked = qa::ApplyTransform(base, qa::Transform::kNullBlock, rng);
+  CodedRelation after = CodedRelation::Encode(blocked);
+  bool introduced_null = false;
+  for (std::size_t c = 0; c < after.num_columns(); ++c) {
+    EXPECT_EQ(before.column(c).codes, after.column(c).codes) << "col " << c;
+    for (std::size_t row = 0; row < blocked.num_rows(); ++row) {
+      if (blocked.ValueAt(row, c).is_null()) introduced_null = true;
+    }
+  }
+  EXPECT_TRUE(introduced_null);
+}
+
+TEST(NullSemanticsTest, NullBlockClaimsInvariantUnderRowShuffle) {
+  // Metamorphic NULLS FIRST case: inject a NULL block, then shuffle the
+  // rows. OD/OCD/FD validity quantifies over tuple pairs, never positions,
+  // so every algorithm must make identical claims — NULL rows included.
+  Rng rng(2024);
+  Relation base = testutil::IntTable(
+      {{3, 1, 4, 1, 5, 2}, {9, 2, 6, 5, 3, 2}, {1, 1, 2, 2, 3, 1}});
+  Relation with_nulls =
+      qa::ApplyTransform(base, qa::Transform::kNullBlock, rng);
+  auto runs = qa::RunAllClaims(CodedRelation::Encode(with_nulls));
+  auto report = qa::CheckMetamorphic(with_nulls, runs,
+                                     qa::Transform::kRowShuffle, rng);
+  EXPECT_TRUE(report.clean())
+      << report.discrepancies[0].ToString();
+  EXPECT_GT(report.comparisons, 0u);
+}
+
+TEST(NullSemanticsTest, NullBlockClaimsInvariantUnderRowDuplication) {
+  // Duplicating rows only adds reflexive tuple pairs; with NULL = NULL the
+  // duplicated NULL rows tie with their originals and change nothing.
+  Rng rng(777);
+  Relation base = testutil::IntTable(
+      {{3, 1, 4, 1, 5, 2}, {9, 2, 6, 5, 3, 2}, {1, 1, 2, 2, 3, 1}});
+  Relation with_nulls =
+      qa::ApplyTransform(base, qa::Transform::kNullBlock, rng);
+  auto runs = qa::RunAllClaims(CodedRelation::Encode(with_nulls));
+  auto report = qa::CheckMetamorphic(with_nulls, runs,
+                                     qa::Transform::kRowDuplicate, rng);
+  EXPECT_TRUE(report.clean())
+      << report.discrepancies[0].ToString();
+  EXPECT_GT(report.comparisons, 0u);
 }
 
 TEST(NullSemanticsTest, DiscoveryOnNullHeavyHorseSampleIsSound) {

@@ -1,0 +1,138 @@
+// Tests of the greedy repro shrinker and the end-to-end harness loop:
+// inject fault → oracle detects → shrink → tiny CSV repro that replays.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "od/brute_force.h"
+#include "qa/harness.h"
+#include "qa/oracle.h"
+#include "qa/shrinker.h"
+#include "relation/coded_relation.h"
+#include "relation/csv.h"
+#include "test_util.h"
+
+namespace ocdd {
+namespace {
+
+using rel::CodedRelation;
+using rel::Relation;
+
+TEST(ShrinkerTest, DropsIrrelevantRowsAndColumns) {
+  // The "failure": column B contains the value 7. Planted in one row of a
+  // 20×4 table; everything else is noise the shrinker should remove.
+  std::vector<std::vector<std::int64_t>> cols(4);
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 4; ++c) cols[c].push_back(r + c);
+  }
+  cols[1][13] = 7007;
+  Relation failing = testutil::IntTable(cols);
+
+  auto has_marker = [](const Relation& r) {
+    for (std::size_t c = 0; c < r.schema().num_columns(); ++c) {
+      if (r.schema().attribute(c).name != "B") continue;
+      for (std::size_t row = 0; row < r.num_rows(); ++row) {
+        const auto& v = r.ValueAt(row, c);
+        if (!v.is_null() && v.int_value() == 7007) return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_marker(failing));
+
+  auto result = qa::ShrinkFailingRelation(failing, has_marker);
+  EXPECT_TRUE(has_marker(result.relation));
+  EXPECT_EQ(result.relation.num_rows(), 1u);
+  EXPECT_EQ(result.relation.schema().num_columns(), 1u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(ShrinkerTest, DeterministicAndWithinBudget) {
+  Relation failing = std::move(rel::ReadCsvString(
+                                   "A,B,C\n1,2,3\n4,5,6\n7,8,9\n2,2,2\n"))
+                         .value();
+  auto at_least_two_rows = [](const Relation& r) {
+    return r.num_rows() >= 2;
+  };
+  auto a = qa::ShrinkFailingRelation(failing, at_least_two_rows);
+  auto b = qa::ShrinkFailingRelation(failing, at_least_two_rows);
+  EXPECT_EQ(rel::WriteCsvString(a.relation), rel::WriteCsvString(b.relation));
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.relation.num_rows(), 2u);
+
+  // A budget of zero evaluations returns the input untouched.
+  auto c = qa::ShrinkFailingRelation(failing, at_least_two_rows,
+                                     /*max_evaluations=*/0);
+  EXPECT_EQ(rel::WriteCsvString(c.relation), rel::WriteCsvString(failing));
+}
+
+TEST(ShrinkerTest, KeepsOracleFailureMinimalAndFailing) {
+  // Shrink a real oracle failure (corrupted ORDER claims) and check the
+  // shrunk instance still trips the same corrupted cross-check.
+  Relation failing = testutil::IntTable(
+      {{5, 1, 4, 2, 3}, {1, 2, 3, 4, 5}, {2, 2, 1, 1, 2}});
+  auto trips_oracle = [](const Relation& r) {
+    qa::OracleOptions opts;
+    opts.corruption = qa::CorruptionMode::kInventOrderOd;
+    return !qa::CrossCheck(CodedRelation::Encode(r), opts).clean();
+  };
+  ASSERT_TRUE(trips_oracle(failing));
+  auto result = qa::ShrinkFailingRelation(failing, trips_oracle);
+  EXPECT_TRUE(trips_oracle(result.relation));
+  EXPECT_LE(result.relation.num_rows(), 3u);
+  EXPECT_LE(result.relation.schema().num_columns(), 2u);
+}
+
+TEST(HarnessEndToEndTest, InjectedFaultYieldsReplayableShrunkRepro) {
+  // The acceptance-criteria loop: a deliberately injected fault must produce
+  // a shrunk CSV repro plus a seed that replays deterministically.
+  qa::QaOptions opts;
+  opts.seed = 42;
+  opts.iters = 2;
+  opts.inject = qa::CorruptionMode::kDropFastodCompat;
+  opts.metamorphic = false;
+  opts.stopped_runs = false;
+  auto run = qa::RunQa(opts);
+  ASSERT_FALSE(run.clean());
+  ASSERT_EQ(run.iterations_run, 2u);
+  EXPECT_GT(run.shrink_evaluations, 0u);
+
+  for (const auto& failure : run.failures) {
+    EXPECT_EQ(failure.kind, "oracle");
+    EXPECT_FALSE(failure.discrepancies.empty());
+    // The shrunk instance is tiny and still fails under the same corruption.
+    EXPECT_LE(failure.rows, 4u);
+    EXPECT_LE(failure.cols, 3u);
+    auto shrunk = rel::ReadCsvString(failure.csv);
+    ASSERT_TRUE(shrunk.ok());
+    qa::OracleOptions oracle_opts;
+    oracle_opts.corruption = opts.inject;
+    EXPECT_FALSE(
+        qa::CrossCheck(CodedRelation::Encode(*shrunk), oracle_opts).clean());
+    EXPECT_TRUE(
+        qa::CrossCheck(CodedRelation::Encode(*shrunk)).clean());
+  }
+}
+
+TEST(HarnessEndToEndTest, ReproDirReceivesCsvFiles) {
+  std::string dir = ::testing::TempDir() + "ocdd_qa_repros";
+  qa::QaOptions opts;
+  opts.seed = 42;
+  opts.iters = 1;
+  opts.inject = qa::CorruptionMode::kInventOrderOd;
+  opts.metamorphic = false;
+  opts.stopped_runs = false;
+  opts.repro_dir = dir;
+  auto run = qa::RunQa(opts);
+  ASSERT_EQ(run.failures.size(), 1u);
+  ASSERT_FALSE(run.failures[0].repro_path.empty());
+  auto from_disk = rel::ReadCsvFile(run.failures[0].repro_path);
+  ASSERT_TRUE(from_disk.ok());
+  EXPECT_EQ(rel::WriteCsvString(*from_disk), run.failures[0].csv);
+}
+
+}  // namespace
+}  // namespace ocdd

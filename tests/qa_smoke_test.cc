@@ -1,0 +1,42 @@
+// Bounded tier-1 smoke run of the QA harness: fixed seeds, few iterations,
+// full oracle + metamorphic + stopped-run coverage. The nightly sweep
+// (tools/run_qa_nightly.sh) runs the same harness three orders of magnitude
+// longer; this test keeps the loop itself honest on every ctest run.
+
+#include <gtest/gtest.h>
+
+#include "qa/harness.h"
+
+namespace ocdd {
+namespace {
+
+TEST(QaSmokeTest, FixedSeedSweepIsClean) {
+  for (std::uint64_t seed : {42ull, 7ull}) {
+    qa::QaOptions opts;
+    opts.seed = seed;
+    opts.iters = 12;
+    auto run = qa::RunQa(opts);
+    EXPECT_EQ(run.iterations_run, 12u);
+    EXPECT_GT(run.oracle_comparisons, 0u);
+    EXPECT_GT(run.metamorphic_comparisons, 0u);
+    ASSERT_TRUE(run.clean())
+        << "seed " << seed << " iteration " << run.failures[0].iteration
+        << " (" << run.failures[0].kind
+        << "): " << run.failures[0].discrepancies[0].ToString()
+        << "\nreplay: ocdd qa --seed " << run.failures[0].iteration_seed
+        << " --iters 1\n" << run.failures[0].csv;
+  }
+}
+
+TEST(QaSmokeTest, StoppedRunChecksExecute) {
+  qa::QaOptions opts;
+  opts.seed = 3;
+  opts.iters = 6;  // stopped-run checks fire every 5th iteration
+  opts.metamorphic = false;
+  auto run = qa::RunQa(opts);
+  EXPECT_TRUE(run.clean());
+  EXPECT_GT(run.stopped_run_checks, 0u);
+}
+
+}  // namespace
+}  // namespace ocdd

@@ -10,6 +10,8 @@
 //   ocdd profile  <source>
 //   ocdd rewrite  <source> --order-by col1,col2,...
 //   ocdd generate <dataset> [--rows N] [--seed S] [--out file.csv]
+//   ocdd qa       [--seed S] [--iters K] [--inject MODE] [--json]
+//                 [--repro-dir DIR]
 //
 // <source> is either a CSV file path (anything ending in .csv) or the name
 // of a built-in synthetic dataset (see `ocdd generate` / DESIGN.md §2).
@@ -42,6 +44,7 @@
 #include "datagen/registry.h"
 #include "engine/executor.h"
 #include "optimizer/order_by_rewrite.h"
+#include "qa/harness.h"
 #include "relation/csv.h"
 #include "report/json_reader.h"
 #include "report/json_writer.h"
@@ -76,6 +79,13 @@ struct Args {
     return it == flags.end()
                ? dflt
                : static_cast<std::size_t>(std::atoll(it->second.c_str()));
+  }
+  /// Full-range uint64 parse — qa replay seeds routinely exceed int64.
+  std::uint64_t GetU64(const std::string& name, std::uint64_t dflt) const {
+    auto it = flags.find(name);
+    return it == flags.end()
+               ? dflt
+               : std::strtoull(it->second.c_str(), nullptr, 10);
   }
 };
 
@@ -580,6 +590,84 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
+int CmdQa(const Args& args) {
+  ocdd::qa::QaOptions opts;
+  opts.seed = args.GetU64("seed", 42);
+  opts.iters = args.GetSize("iters", 100);
+  opts.max_side_len = args.GetSize("max-side", 2);
+  opts.metamorphic = !args.Has("no-metamorphic");
+  opts.stopped_runs = !args.Has("no-stopped-runs");
+  opts.max_failures = args.GetSize("max-failures", 8);
+  opts.repro_dir = args.Get("repro-dir", "");
+  opts.spec.max_rows = args.GetSize("max-rows", opts.spec.max_rows);
+  opts.spec.max_cols = args.GetSize("max-cols", opts.spec.max_cols);
+
+  std::string inject = args.Get("inject", "none");
+  if (inject == "none") {
+    opts.inject = ocdd::qa::CorruptionMode::kNone;
+  } else if (inject == "drop-ocddiscover") {
+    opts.inject = ocdd::qa::CorruptionMode::kDropOcddiscover;
+  } else if (inject == "invent-order-od") {
+    opts.inject = ocdd::qa::CorruptionMode::kInventOrderOd;
+  } else if (inject == "drop-fastod-compat") {
+    opts.inject = ocdd::qa::CorruptionMode::kDropFastodCompat;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --inject mode '%s' (none, drop-ocddiscover, "
+                 "invent-order-od, drop-fastod-compat)\n",
+                 inject.c_str());
+    return 2;
+  }
+
+  ocdd::qa::QaSummary summary = ocdd::qa::RunQa(opts);
+
+  if (args.Has("json")) {
+    std::fputs(ocdd::qa::SummaryToJson(summary).c_str(), stdout);
+  } else {
+    std::printf("qa: seed=%llu iters=%zu corruption=%s\n",
+                static_cast<unsigned long long>(summary.seed),
+                summary.iters_requested, summary.corruption.c_str());
+    std::printf("  iterations run ......... %llu\n",
+                static_cast<unsigned long long>(summary.iterations_run));
+    std::printf("  oracle comparisons ..... %llu\n",
+                static_cast<unsigned long long>(summary.oracle_comparisons));
+    std::printf("  metamorphic comparisons  %llu\n",
+                static_cast<unsigned long long>(
+                    summary.metamorphic_comparisons));
+    std::printf("  stopped-run checks ..... %llu\n",
+                static_cast<unsigned long long>(summary.stopped_run_checks));
+    std::printf("  skipped (engine bound) . %llu\n",
+                static_cast<unsigned long long>(summary.skipped));
+    if (summary.clean()) {
+      std::printf("  result: CLEAN\n");
+    } else {
+      std::printf("  result: %zu FAILURE(S)\n", summary.failures.size());
+      for (const auto& f : summary.failures) {
+        std::printf("\n[%s] iteration=%llu replay: ocdd qa --seed %llu "
+                    "--iters 1%s%s  (%zux%zu)\n",
+                    f.kind.c_str(),
+                    static_cast<unsigned long long>(f.iteration),
+                    static_cast<unsigned long long>(f.iteration_seed),
+                    opts.inject == ocdd::qa::CorruptionMode::kNone
+                        ? ""
+                        : " --inject ",
+                    opts.inject == ocdd::qa::CorruptionMode::kNone
+                        ? ""
+                        : summary.corruption.c_str(),
+                    f.rows, f.cols);
+        if (!f.repro_path.empty()) {
+          std::printf("  repro csv: %s\n", f.repro_path.c_str());
+        }
+        for (const auto& d : f.discrepancies) {
+          std::printf("  %s\n", d.ToString().c_str());
+        }
+        std::printf("  --- shrunk instance ---\n%s", f.csv.c_str());
+      }
+    }
+  }
+  return summary.clean() ? 0 : 3;
+}
+
 void Usage() {
   std::fputs(
       "usage: ocdd <command> <source> [flags]\n"
@@ -597,6 +685,10 @@ void Usage() {
       "  explain    show the executor plan for --order-by [--physical cols]\n"
       "  diff       compare two --json reports: <before.json> --after <b.json>\n"
       "  generate   materialize a synthetic dataset (--out file.csv)\n"
+      "  qa         differential/metamorphic sweep over random relations:\n"
+      "             --seed S --iters K [--inject MODE] [--json]\n"
+      "             [--repro-dir DIR] [--max-rows N] [--max-cols N]\n"
+      "             exit 0 = clean, 3 = discrepancies (see docs/qa.md)\n"
       "<source>: a .csv path or a dataset name (YES, NO, NUMBERS, LINEITEM,\n"
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"
       "          NCVOTER_1K)\n"
@@ -632,6 +724,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") return CmdExplain(*args);
   if (cmd == "diff") return CmdDiff(*args);
   if (cmd == "generate") return CmdGenerate(*args);
+  if (cmd == "qa") return CmdQa(*args);
   Usage();
   return 2;
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Nightly QA sweep: a long differential/metamorphic fuzzing run of `ocdd qa`
+# under AddressSanitizer+UBSan (the existing OCDD_SANITIZE preset), plus an
+# end-to-end self-test that every injected corruption mode is detected,
+# shrunk, and written out as a repro (see docs/qa.md).
+#
+#   tools/run_qa_nightly.sh [iters] [seed]    # default: 2000 iterations,
+#                                             # seed derived from the date
+#
+# Repro CSVs from any failure land in build-asan/qa-repros/; the harness also
+# prints an `ocdd qa --seed <iteration_seed> --iters 1` replay line per
+# failure. Exits non-zero on the first unresolved discrepancy.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ITERS="${1:-2000}"
+SEED="${2:-$(date -u +%Y%m%d)}"
+DIR="build-asan"
+REPRO_DIR="${DIR}/qa-repros"
+
+echo "==> configuring ${DIR} (OCDD_SANITIZE=asan)"
+cmake -B "${DIR}" -S . -DOCDD_SANITIZE=asan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+echo "==> building ocdd_cli"
+cmake --build "${DIR}" -j "$(nproc)" --target ocdd_cli
+
+QA="${DIR}/tools/ocdd"
+mkdir -p "${REPRO_DIR}"
+
+echo "==> qa sweep: seed=${SEED} iters=${ITERS}"
+"${QA}" qa --seed "${SEED}" --iters "${ITERS}" --repro-dir "${REPRO_DIR}"
+
+# Harness self-test: every corruption mode must be caught (exit 3) — a clean
+# run under injection means the oracle has gone blind.
+for mode in drop-ocddiscover invent-order-od drop-fastod-compat; do
+  echo "==> inject self-test: ${mode}"
+  status=0
+  "${QA}" qa --seed "${SEED}" --iters 5 --inject "${mode}" \
+         --repro-dir "${REPRO_DIR}/inject-${mode}" >/dev/null || status=$?
+  if [[ "${status}" -ne 3 ]]; then
+    echo "inject ${mode}: expected exit 3 (failures detected), got ${status}" >&2
+    exit 1
+  fi
+done
+
+echo "==> nightly qa sweep passed"
