@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "algo/attr_set.h"
 #include "algo/partition/stripped_partition.h"
 #include "common/fault_injection.h"
+#include "common/snapshot.h"
 #include "common/timer.h"
 #include "od/dependency_set.h"
 
@@ -115,31 +118,247 @@ FastodResult DiscoverFastod(const rel::CodedRelation& relation,
   // Partition history for the two preceding levels.
   std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> hist_prev1;
   std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> hist_prev2;
-  hist_prev1.emplace(AttrSet{}, StrippedPartition::ForEmptySet(m));
 
-  // Level 1.
   std::vector<Node> level;
   std::size_t level_bytes = 0;
+  std::size_t ell = 1;
   bool aborted = false;
   StopReason cap_reason = StopReason::kNone;
-  level.reserve(n);
-  for (std::size_t a = 0; a < n && !aborted; ++a) {
-    Node node;
-    node.set = AttrSet::Single(a);
-    node.partition = StrippedPartition::ForColumn(relation, a);
-    node.cc = universe;
-    std::size_t bytes = node.partition.MemoryBytes();
-    if (!ctx->ChargeMemory(bytes)) {
-      aborted = true;
-      break;
-    }
-    level_bytes += bytes;
-    level.push_back(std::move(node));
+
+  CheckpointStats& ck = result.checkpoint_stats;
+  ck.enabled = options.checkpoint.enabled();
+  std::unique_ptr<SnapshotStore> snap;
+  const std::uint64_t fingerprint = ck.enabled ? relation.Fingerprint() : 0;
+  if (ck.enabled) {
+    snap = std::make_unique<SnapshotStore>(options.checkpoint.dir, "fastod");
+    snap->set_fault_injector(ctx->fault_injector());
   }
 
-  std::size_t ell = 1;
+  // Partitions are not persisted; any set's stripped partition can be
+  // refolded from its attributes, so snapshots carry only the lattice sets.
+  auto partition_for = [&](const AttrSet& s) {
+    std::vector<std::size_t> attrs = s.ToVector();
+    if (attrs.empty()) return StrippedPartition::ForEmptySet(m);
+    StrippedPartition p = StrippedPartition::ForColumn(relation, attrs[0]);
+    for (std::size_t i = 1; i < attrs.size(); ++i) {
+      p = StrippedPartition::Product(
+          p, StrippedPartition::ForColumn(relation, attrs[i]), m);
+    }
+    return p;
+  };
+
+  auto encode_state = [&](bool completed_flag) {
+    SnapshotBuilder b;
+    ByteWriter meta;
+    meta.U32(1);  // state format version
+    meta.U64(fingerprint);
+    meta.U64(ell);
+    meta.U64(result.num_checks);
+    meta.U8(completed_flag ? 1 : 0);
+    b.AddSection("meta", meta.Take());
+    ByteWriter fr;
+    fr.U32(static_cast<std::uint32_t>(level.size()));
+    for (const Node& node : level) {
+      fr.U64(node.set.lo);
+      fr.U64(node.set.hi);
+      fr.U64(node.cc.lo);
+      fr.U64(node.cc.hi);
+      fr.U32(static_cast<std::uint32_t>(node.swap_pairs.size()));
+      for (const Pair& p : node.swap_pairs) {
+        fr.U32(static_cast<std::uint32_t>(p.a));
+        fr.U32(static_cast<std::uint32_t>(p.b));
+      }
+      fr.U32(static_cast<std::uint32_t>(node.falsified.size()));
+      for (const Pair& p : node.falsified) {
+        fr.U32(static_cast<std::uint32_t>(p.a));
+        fr.U32(static_cast<std::uint32_t>(p.b));
+      }
+    }
+    b.AddSection("frontier", fr.Take());
+    ByteWriter hw;
+    for (const auto* hist : {&hist_prev1, &hist_prev2}) {
+      hw.U32(static_cast<std::uint32_t>(hist->size()));
+      for (const auto& [set, part] : *hist) {
+        hw.U64(set.lo);
+        hw.U64(set.hi);
+      }
+    }
+    b.AddSection("hist", hw.Take());
+    ByteWriter ow;
+    ow.U32(static_cast<std::uint32_t>(result.ods.size()));
+    for (const od::CanonicalOd& dep : result.ods) {
+      ow.U8(dep.kind == od::CanonicalOd::Kind::kConstancy ? 0 : 1);
+      ow.IdVec(dep.context);
+      ow.U32(static_cast<std::uint32_t>(dep.left));
+      ow.U32(static_cast<std::uint32_t>(dep.right));
+    }
+    b.AddSection("ods", ow.Take());
+    return b.Encode();
+  };
+
+  auto write_snapshot = [&](const std::string& blob) {
+    Result<std::uint64_t> gen =
+        snap->Write(blob, options.checkpoint.keep_generations);
+    if (gen.ok()) {
+      ++ck.snapshots_written;
+      ctx->MarkCheckpointed();
+      return true;
+    }
+    ck.warning = gen.status().message();
+    return false;
+  };
+
+  auto decode_state = [&](const SnapshotView& view) {
+    const std::string* meta_s = view.Find("meta");
+    const std::string* fr_s = view.Find("frontier");
+    const std::string* hist_s = view.Find("hist");
+    const std::string* ods_s = view.Find("ods");
+    if (meta_s == nullptr || fr_s == nullptr || hist_s == nullptr ||
+        ods_s == nullptr) {
+      ck.warning = "resume skipped: snapshot missing sections";
+      return false;
+    }
+    ByteReader meta(*meta_s);
+    if (meta.U32() != 1) {
+      ck.warning = "resume skipped: unknown snapshot state version";
+      return false;
+    }
+    if (meta.U64() != fingerprint) {
+      ck.warning = "resume skipped: snapshot is for a different relation";
+      return false;
+    }
+    std::uint64_t s_ell = meta.U64();
+    std::uint64_t s_checks = meta.U64();
+    meta.U8();  // completed flag; an empty frontier says the same thing
+    if (!meta.ok()) {
+      ck.warning = "resume skipped: snapshot meta damaged";
+      return false;
+    }
+    ByteReader fr(*fr_s);
+    std::uint32_t count = fr.U32();
+    std::vector<Node> restored;
+    restored.reserve(count);
+    for (std::uint32_t i = 0; i < count && fr.ok(); ++i) {
+      Node node;
+      node.set.lo = fr.U64();
+      node.set.hi = fr.U64();
+      node.cc.lo = fr.U64();
+      node.cc.hi = fr.U64();
+      std::uint32_t num_pairs = fr.U32();
+      for (std::uint32_t p = 0; p < num_pairs && fr.ok(); ++p) {
+        std::size_t a = fr.U32();
+        std::size_t b = fr.U32();
+        node.swap_pairs.push_back(Pair{a, b});
+      }
+      std::uint32_t num_falsified = fr.U32();
+      for (std::uint32_t p = 0; p < num_falsified && fr.ok(); ++p) {
+        std::size_t a = fr.U32();
+        std::size_t b = fr.U32();
+        node.falsified.push_back(Pair{a, b});
+      }
+      restored.push_back(std::move(node));
+    }
+    if (!fr.ok()) {
+      ck.warning = "resume skipped: snapshot frontier damaged";
+      return false;
+    }
+    ByteReader hr(*hist_s);
+    std::vector<AttrSet> hist1_sets;
+    std::vector<AttrSet> hist2_sets;
+    for (auto* sets : {&hist1_sets, &hist2_sets}) {
+      std::uint32_t num = hr.U32();
+      for (std::uint32_t i = 0; i < num && hr.ok(); ++i) {
+        AttrSet s;
+        s.lo = hr.U64();
+        s.hi = hr.U64();
+        sets->push_back(s);
+      }
+    }
+    if (!hr.ok()) {
+      ck.warning = "resume skipped: snapshot history damaged";
+      return false;
+    }
+    ByteReader orr(*ods_s);
+    std::uint32_t num_ods = orr.U32();
+    std::vector<od::CanonicalOd> restored_ods;
+    restored_ods.reserve(num_ods);
+    for (std::uint32_t i = 0; i < num_ods && orr.ok(); ++i) {
+      od::CanonicalOd dep;
+      dep.kind = orr.U8() == 0 ? od::CanonicalOd::Kind::kConstancy
+                               : od::CanonicalOd::Kind::kOrderCompatible;
+      dep.context = orr.IdVec();
+      dep.left = orr.U32();
+      dep.right = orr.U32();
+      restored_ods.push_back(std::move(dep));
+    }
+    if (!orr.ok()) {
+      ck.warning = "resume skipped: snapshot ods damaged";
+      return false;
+    }
+    // Commit: refold the frontier/history partitions and adopt the state.
+    for (Node& node : restored) {
+      node.partition = partition_for(node.set);
+      std::size_t bytes = node.partition.MemoryBytes();
+      if (!ctx->ChargeMemory(bytes)) {
+        aborted = true;
+        break;
+      }
+      level_bytes += bytes;
+    }
+    for (const AttrSet& s : hist1_sets) hist_prev1.emplace(s, partition_for(s));
+    for (const AttrSet& s : hist2_sets) hist_prev2.emplace(s, partition_for(s));
+    level = std::move(restored);
+    ell = static_cast<std::size_t>(s_ell);
+    result.num_checks = s_checks;
+    result.ods = std::move(restored_ods);
+    return true;
+  };
+
+  bool resumed = false;
+  if (ck.enabled && options.checkpoint.resume) {
+    Result<LoadedSnapshot> loaded = snap->Load();
+    if (loaded.ok()) {
+      ck.corrupt_skipped = loaded->corrupt_skipped;
+      if (decode_state(loaded->view)) {
+        resumed = true;
+        ck.resumed = true;
+        ck.resumed_generation = loaded->generation;
+      }
+    } else {
+      ck.warning = "resume skipped: " + loaded.status().message();
+    }
+  }
+
+  if (!resumed) {
+    hist_prev1.emplace(AttrSet{}, StrippedPartition::ForEmptySet(m));
+    // Level 1.
+    level.reserve(n);
+    for (std::size_t a = 0; a < n && !aborted; ++a) {
+      Node node;
+      node.set = AttrSet::Single(a);
+      node.partition = StrippedPartition::ForColumn(relation, a);
+      node.cc = universe;
+      std::size_t bytes = node.partition.MemoryBytes();
+      if (!ctx->ChargeMemory(bytes)) {
+        aborted = true;
+        break;
+      }
+      level_bytes += bytes;
+      level.push_back(std::move(node));
+    }
+  }
+
+  std::string pending_blob;
+  bool pending_written = true;
   try {
   while (!level.empty() && !aborted) {
+    if (snap) {
+      pending_blob = encode_state(false);
+      pending_written = false;
+      if (ctx->CheckpointDue()) {
+        pending_written = write_snapshot(pending_blob);
+      }
+    }
     ctx->AtInjectionPoint("fastod.level");
     if (options.max_level != 0 && ell > options.max_level) {
       aborted = true;
@@ -324,6 +543,23 @@ FastodResult DiscoverFastod(const rel::CodedRelation& relation,
   ctx->ReleaseMemory(level_bytes);
 
   aborted = aborted || ctx->stop_requested();
+
+  // Drain-to-checkpoint (see ocd_discover.cc for the protocol).
+  if (snap) {
+    if (aborted) {
+      if (!pending_written && !pending_blob.empty()) {
+        write_snapshot(pending_blob);
+      }
+    } else {
+      level.clear();
+      write_snapshot(encode_state(true));
+    }
+  }
+
+  result.stop_state.checks = result.num_checks;
+  result.stop_state.level = ell;
+  result.stop_state.frontier_size = level.size();
+
   od::SortUnique(result.ods);
   for (const od::CanonicalOd& dep : result.ods) {
     if (dep.kind == od::CanonicalOd::Kind::kConstancy) {

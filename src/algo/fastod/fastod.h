@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "common/snapshot.h"
 #include "od/dependency.h"
 #include "relation/coded_relation.h"
 
@@ -19,6 +20,12 @@ struct FastodOptions {
   std::uint64_t max_checks = 0;     ///< 0 = unlimited
   double time_limit_seconds = 0.0;  ///< 0 = unlimited
   std::size_t max_level = 0;        ///< cap on |X| (0 = unlimited)
+
+  /// Crash-safe checkpointing at lattice-level boundaries (the natural
+  /// snapshot point of the level-wise traversal); see docs/checkpointing.md.
+  /// Stripped partitions are not persisted — they are recomputed from the
+  /// serialized attribute sets on resume.
+  CheckpointConfig checkpoint;
 };
 
 struct FastodResult {
@@ -31,6 +38,10 @@ struct FastodResult {
   std::uint64_t num_checks = 0;
   bool completed = true;
   StopReason stop_reason = StopReason::kNone;  ///< kNone when completed
+  /// Where the run was when it stopped (meaningful when `!completed`).
+  StopState stop_state;
+  /// What checkpointing did (zero-initialized when disabled).
+  CheckpointStats checkpoint_stats;
   double elapsed_seconds = 0.0;
 };
 

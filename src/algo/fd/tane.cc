@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "algo/attr_set.h"
 #include "algo/partition/stripped_partition.h"
 #include "common/fault_injection.h"
+#include "common/snapshot.h"
 #include "common/timer.h"
 #include "od/dependency_set.h"
 
@@ -45,32 +48,215 @@ TaneResult DiscoverFds(const rel::CodedRelation& relation,
   const AttrSet universe = AttrSet::FullUniverse(n);
   const std::size_t empty_error = m >= 2 ? m - 1 : 0;  // e(π(∅))
 
-  // Level 1.
   std::vector<Node> level;
   std::size_t level_bytes = 0;
   bool aborted = false;
-  level.reserve(n);
-  for (std::size_t a = 0; a < n && !aborted; ++a) {
-    Node node;
-    node.set = AttrSet::Single(a);
-    node.partition = StrippedPartition::ForColumn(relation, a);
-    node.cplus = universe;
-    std::size_t bytes = node.partition.MemoryBytes();
-    if (!ctx->ChargeMemory(bytes)) {
-      aborted = true;
-      break;
-    }
-    level_bytes += bytes;
-    level.push_back(std::move(node));
-  }
 
   // Errors of the previous level's partitions, for the e(X\A) lookups.
   std::unordered_map<AttrSet, std::size_t, AttrSetHash> prev_errors;
-  prev_errors.emplace(AttrSet{}, empty_error);
 
   std::size_t lhs_size = 0;  // |X\A| at the current level
+
+  CheckpointStats& ck = result.checkpoint_stats;
+  ck.enabled = options.checkpoint.enabled();
+  std::unique_ptr<SnapshotStore> snap;
+  const std::uint64_t fingerprint = ck.enabled ? relation.Fingerprint() : 0;
+  if (ck.enabled) {
+    snap = std::make_unique<SnapshotStore>(options.checkpoint.dir, "tane");
+    snap->set_fault_injector(ctx->fault_injector());
+  }
+
+  auto partition_for = [&](const AttrSet& s) {
+    std::vector<std::size_t> attrs = s.ToVector();
+    if (attrs.empty()) return StrippedPartition::ForEmptySet(m);
+    StrippedPartition p = StrippedPartition::ForColumn(relation, attrs[0]);
+    for (std::size_t i = 1; i < attrs.size(); ++i) {
+      p = StrippedPartition::Product(
+          p, StrippedPartition::ForColumn(relation, attrs[i]), m);
+    }
+    return p;
+  };
+
+  auto encode_state = [&](bool completed_flag) {
+    SnapshotBuilder b;
+    ByteWriter meta;
+    meta.U32(1);  // state format version
+    meta.U64(fingerprint);
+    meta.U64(lhs_size);
+    meta.U64(result.num_checks);
+    meta.U8(completed_flag ? 1 : 0);
+    b.AddSection("meta", meta.Take());
+    ByteWriter fr;
+    fr.U32(static_cast<std::uint32_t>(level.size()));
+    for (const Node& node : level) {
+      fr.U64(node.set.lo);
+      fr.U64(node.set.hi);
+      fr.U64(node.cplus.lo);
+      fr.U64(node.cplus.hi);
+    }
+    b.AddSection("frontier", fr.Take());
+    ByteWriter er;
+    er.U32(static_cast<std::uint32_t>(prev_errors.size()));
+    for (const auto& [set, error] : prev_errors) {
+      er.U64(set.lo);
+      er.U64(set.hi);
+      er.U64(error);
+    }
+    b.AddSection("errors", er.Take());
+    ByteWriter fw;
+    fw.U32(static_cast<std::uint32_t>(result.fds.size()));
+    for (const od::FunctionalDependency& fd : result.fds) {
+      fw.IdVec(fd.lhs);
+      fw.U32(static_cast<std::uint32_t>(fd.rhs));
+    }
+    b.AddSection("fds", fw.Take());
+    return b.Encode();
+  };
+
+  auto write_snapshot = [&](const std::string& blob) {
+    Result<std::uint64_t> gen =
+        snap->Write(blob, options.checkpoint.keep_generations);
+    if (gen.ok()) {
+      ++ck.snapshots_written;
+      ctx->MarkCheckpointed();
+      return true;
+    }
+    ck.warning = gen.status().message();
+    return false;
+  };
+
+  auto decode_state = [&](const SnapshotView& view) {
+    const std::string* meta_s = view.Find("meta");
+    const std::string* fr_s = view.Find("frontier");
+    const std::string* err_s = view.Find("errors");
+    const std::string* fds_s = view.Find("fds");
+    if (meta_s == nullptr || fr_s == nullptr || err_s == nullptr ||
+        fds_s == nullptr) {
+      ck.warning = "resume skipped: snapshot missing sections";
+      return false;
+    }
+    ByteReader meta(*meta_s);
+    if (meta.U32() != 1) {
+      ck.warning = "resume skipped: unknown snapshot state version";
+      return false;
+    }
+    if (meta.U64() != fingerprint) {
+      ck.warning = "resume skipped: snapshot is for a different relation";
+      return false;
+    }
+    std::uint64_t s_lhs_size = meta.U64();
+    std::uint64_t s_checks = meta.U64();
+    meta.U8();  // completed flag; an empty frontier says the same thing
+    if (!meta.ok()) {
+      ck.warning = "resume skipped: snapshot meta damaged";
+      return false;
+    }
+    ByteReader fr(*fr_s);
+    std::uint32_t count = fr.U32();
+    std::vector<Node> restored;
+    restored.reserve(count);
+    for (std::uint32_t i = 0; i < count && fr.ok(); ++i) {
+      Node node;
+      node.set.lo = fr.U64();
+      node.set.hi = fr.U64();
+      node.cplus.lo = fr.U64();
+      node.cplus.hi = fr.U64();
+      restored.push_back(std::move(node));
+    }
+    if (!fr.ok()) {
+      ck.warning = "resume skipped: snapshot frontier damaged";
+      return false;
+    }
+    ByteReader er(*err_s);
+    std::uint32_t num_errors = er.U32();
+    std::unordered_map<AttrSet, std::size_t, AttrSetHash> restored_errors;
+    for (std::uint32_t i = 0; i < num_errors && er.ok(); ++i) {
+      AttrSet s;
+      s.lo = er.U64();
+      s.hi = er.U64();
+      restored_errors.emplace(s, static_cast<std::size_t>(er.U64()));
+    }
+    if (!er.ok()) {
+      ck.warning = "resume skipped: snapshot errors damaged";
+      return false;
+    }
+    ByteReader fre(*fds_s);
+    std::uint32_t num_fds = fre.U32();
+    std::vector<od::FunctionalDependency> restored_fds;
+    restored_fds.reserve(num_fds);
+    for (std::uint32_t i = 0; i < num_fds && fre.ok(); ++i) {
+      od::FunctionalDependency fd;
+      fd.lhs = fre.IdVec();
+      fd.rhs = fre.U32();
+      restored_fds.push_back(std::move(fd));
+    }
+    if (!fre.ok()) {
+      ck.warning = "resume skipped: snapshot fds damaged";
+      return false;
+    }
+    // Commit: refold the frontier partitions and adopt the state.
+    for (Node& node : restored) {
+      node.partition = partition_for(node.set);
+      std::size_t bytes = node.partition.MemoryBytes();
+      if (!ctx->ChargeMemory(bytes)) {
+        aborted = true;
+        break;
+      }
+      level_bytes += bytes;
+    }
+    level = std::move(restored);
+    prev_errors = std::move(restored_errors);
+    lhs_size = static_cast<std::size_t>(s_lhs_size);
+    result.num_checks = s_checks;
+    result.fds = std::move(restored_fds);
+    return true;
+  };
+
+  bool resumed = false;
+  if (ck.enabled && options.checkpoint.resume) {
+    Result<LoadedSnapshot> loaded = snap->Load();
+    if (loaded.ok()) {
+      ck.corrupt_skipped = loaded->corrupt_skipped;
+      if (decode_state(loaded->view)) {
+        resumed = true;
+        ck.resumed = true;
+        ck.resumed_generation = loaded->generation;
+      }
+    } else {
+      ck.warning = "resume skipped: " + loaded.status().message();
+    }
+  }
+
+  if (!resumed) {
+    // Level 1.
+    level.reserve(n);
+    for (std::size_t a = 0; a < n && !aborted; ++a) {
+      Node node;
+      node.set = AttrSet::Single(a);
+      node.partition = StrippedPartition::ForColumn(relation, a);
+      node.cplus = universe;
+      std::size_t bytes = node.partition.MemoryBytes();
+      if (!ctx->ChargeMemory(bytes)) {
+        aborted = true;
+        break;
+      }
+      level_bytes += bytes;
+      level.push_back(std::move(node));
+    }
+    prev_errors.emplace(AttrSet{}, empty_error);
+  }
+
+  std::string pending_blob;
+  bool pending_written = true;
   try {
     while (!level.empty() && !aborted) {
+      if (snap) {
+        pending_blob = encode_state(false);
+        pending_written = false;
+        if (ctx->CheckpointDue()) {
+          pending_written = write_snapshot(pending_blob);
+        }
+      }
       ctx->AtInjectionPoint("tane.level");
       if (options.max_lhs_size != 0 && lhs_size > options.max_lhs_size) break;
 
@@ -176,6 +362,23 @@ TaneResult DiscoverFds(const rel::CodedRelation& relation,
   ctx->ReleaseMemory(level_bytes);
 
   aborted = aborted || ctx->stop_requested();
+
+  // Drain-to-checkpoint (see ocd_discover.cc for the protocol).
+  if (snap) {
+    if (aborted) {
+      if (!pending_written && !pending_blob.empty()) {
+        write_snapshot(pending_blob);
+      }
+    } else {
+      level.clear();
+      write_snapshot(encode_state(true));
+    }
+  }
+
+  result.stop_state.checks = result.num_checks;
+  result.stop_state.level = lhs_size;
+  result.stop_state.frontier_size = level.size();
+
   od::SortUnique(result.fds);
   result.completed = !aborted;
   result.stop_reason = ctx->stop_reason();

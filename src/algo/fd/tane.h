@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "common/snapshot.h"
 #include "od/dependency.h"
 #include "relation/coded_relation.h"
 
@@ -19,6 +20,11 @@ struct TaneOptions {
   std::uint64_t max_checks = 0;     ///< 0 = unlimited
   double time_limit_seconds = 0.0;  ///< 0 = unlimited
   std::size_t max_lhs_size = 0;     ///< cap on |LHS| (0 = unlimited)
+
+  /// Crash-safe checkpointing at lattice-level boundaries; see
+  /// docs/checkpointing.md. Partitions are refolded on resume; the
+  /// previous level survives as its (set, error) pairs only.
+  CheckpointConfig checkpoint;
 };
 
 struct TaneResult {
@@ -27,6 +33,10 @@ struct TaneResult {
   std::uint64_t num_checks = 0;
   bool completed = true;
   StopReason stop_reason = StopReason::kNone;  ///< kNone when completed
+  /// Where the run was when it stopped (meaningful when `!completed`).
+  StopState stop_state;
+  /// What checkpointing did (zero-initialized when disabled).
+  CheckpointStats checkpoint_stats;
   double elapsed_seconds = 0.0;
 };
 

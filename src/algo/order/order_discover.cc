@@ -201,6 +201,9 @@ OrderDiscoverResult DiscoverOrderDependencies(
   aborted = aborted || ctx->stop_requested();
   od::SortUnique(result.ods);
   result.num_checks = checker.stats().TotalChecks() + part_checks;
+  result.stop_state.checks = result.num_checks;
+  result.stop_state.level = current_level;
+  result.stop_state.frontier_size = level.size();
   result.completed = !aborted;
   result.stop_reason = ctx->stop_reason() != StopReason::kNone
                            ? ctx->stop_reason()

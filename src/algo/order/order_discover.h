@@ -39,6 +39,8 @@ struct OrderDiscoverResult {
   std::uint64_t candidates_generated = 0;
   bool completed = true;
   StopReason stop_reason = StopReason::kNone;  ///< kNone when completed
+  /// Where the run was when it stopped (meaningful when `!completed`).
+  StopState stop_state;
   double elapsed_seconds = 0.0;
 };
 

@@ -50,11 +50,15 @@ void RunContext::set_memory_budget(std::size_t bytes) {
   memory_budget_.store(bytes, std::memory_order_relaxed);
 }
 
-void RunContext::RequestStop(StopReason reason) {
-  if (reason == StopReason::kNone) return;
+bool RunContext::RequestStop(StopReason reason) {
+  if (reason == StopReason::kNone) return false;
   int expected = static_cast<int>(StopReason::kNone);
-  stop_reason_.compare_exchange_strong(expected, static_cast<int>(reason),
-                                       std::memory_order_relaxed);
+  // compare_exchange is the whole precedence contract: exactly one caller
+  // transitions kNone -> reason; every later caller (even with a different
+  // reason) loses the race and must not overwrite.
+  return stop_reason_.compare_exchange_strong(expected,
+                                              static_cast<int>(reason),
+                                              std::memory_order_relaxed);
 }
 
 bool RunContext::ShouldStop() {
@@ -121,6 +125,52 @@ void RunContext::AtInjectionPoint(const char* point) {
   }
 }
 
+void RunContext::set_checkpoint_cadence(std::uint64_t every_checks,
+                                        double every_seconds) {
+  checkpoint_every_checks_.store(every_checks, std::memory_order_relaxed);
+  std::int64_t ns = 0;
+  if (every_seconds > 0.0) {
+    ns = static_cast<std::int64_t>(every_seconds * 1e9);
+  }
+  checkpoint_every_ns_.store(ns, std::memory_order_relaxed);
+  MarkCheckpointed();
+}
+
+bool RunContext::CheckpointDue() const {
+  const std::uint64_t every_checks =
+      checkpoint_every_checks_.load(std::memory_order_relaxed);
+  const std::int64_t every_ns =
+      checkpoint_every_ns_.load(std::memory_order_relaxed);
+  if (every_checks == 0 && every_ns == 0) return true;
+  if (every_checks != 0) {
+    const std::uint64_t since =
+        checks_.load(std::memory_order_relaxed) -
+        checkpoint_checks_mark_.load(std::memory_order_relaxed);
+    if (since >= every_checks) return true;
+  }
+  if (every_ns != 0) {
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now_ns - checkpoint_time_mark_ns_.load(std::memory_order_relaxed) >=
+        every_ns) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunContext::MarkCheckpointed() {
+  checkpoint_checks_mark_.store(checks_.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  checkpoint_time_mark_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
 void RunContext::Reset() {
   stop_reason_.store(static_cast<int>(StopReason::kNone),
                      std::memory_order_relaxed);
@@ -128,6 +178,7 @@ void RunContext::Reset() {
   checks_.store(0, std::memory_order_relaxed);
   memory_used_.store(0, std::memory_order_relaxed);
   memory_peak_.store(0, std::memory_order_relaxed);
+  MarkCheckpointed();
 }
 
 }  // namespace ocdd

@@ -30,6 +30,19 @@ enum class StopReason {
 /// the JSON report schema and the CLI.
 const char* StopReasonName(StopReason reason);
 
+/// Where a stopped run was when it stopped — enough for the supervisor to
+/// decide restart-vs-give-up and for triage ("died at level 7 with 40k
+/// candidates in flight"). Embedded in every algorithm result struct and
+/// emitted under "stop_state" in the JSON reports.
+struct StopState {
+  /// Candidate checks consumed when the run unwound.
+  std::uint64_t checks = 0;
+  /// Lattice/tree level the run was working on (0 = before level loop).
+  std::size_t level = 0;
+  /// Candidates/nodes in the frontier of that level.
+  std::size_t frontier_size = 0;
+};
+
 /// Shared run-control handle for every discovery algorithm — the single
 /// implementation of the budget/cancellation semantics that used to be
 /// hand-rolled per algorithm.
@@ -81,6 +94,16 @@ class RunContext {
 
   /// Attaches a fault injector (not owned); nullptr detaches.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Arms the checkpoint cadence: `CheckpointDue()` turns true after
+  /// `every_checks` further checks or `every_seconds` elapsed wall-clock
+  /// time, whichever comes first (0 disables that dimension; both 0 means
+  /// every call to `CheckpointDue()` reports true, i.e. checkpoint at every
+  /// opportunity). Algorithms consult this at safe boundaries (end of a
+  /// lattice level) and call `MarkCheckpointed()` after a successful write.
+  void set_checkpoint_cadence(std::uint64_t every_checks,
+                              double every_seconds);
 
   // ---- cooperative cancellation ----
 
@@ -88,8 +111,12 @@ class RunContext {
   /// atomic flag, hence safe from signal handlers.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// Latches `reason` as the stop reason unless one is already set.
-  void RequestStop(StopReason reason);
+  /// Latches `reason` as the stop reason unless one is already set: the
+  /// first reason wins, later calls never overwrite it (concurrent deadline
+  /// + SIGINT surface exactly one reason). Returns true when this call did
+  /// the latching, false when another reason was already in place (or
+  /// `reason` is `kNone`, which is a no-op).
+  bool RequestStop(StopReason reason);
 
   // ---- hot-path API (called inside algorithm loops) ----
 
@@ -111,6 +138,15 @@ class RunContext {
   /// Fault-injection hook: a no-op without an injector; otherwise may latch
   /// a stop, simulate allocation failure, or throw FaultInjectedError.
   void AtInjectionPoint(const char* point);
+
+  // ---- checkpoint cadence (consulted at level boundaries) ----
+
+  /// True when a snapshot should be taken at the next safe boundary. Always
+  /// true when checkpointing runs without a configured cadence.
+  bool CheckpointDue() const;
+
+  /// Restarts the cadence clock after a successful snapshot write.
+  void MarkCheckpointed();
 
   // ---- observers ----
 
@@ -147,6 +183,10 @@ class RunContext {
   std::atomic<std::size_t> memory_budget_{0};
   std::atomic<bool> has_deadline_{false};
   std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<std::uint64_t> checkpoint_every_checks_{0};
+  std::atomic<std::int64_t> checkpoint_every_ns_{0};
+  std::atomic<std::uint64_t> checkpoint_checks_mark_{0};
+  std::atomic<std::int64_t> checkpoint_time_mark_ns_{0};
   FaultInjector* injector_ = nullptr;
 };
 

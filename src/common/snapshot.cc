@@ -1,0 +1,328 @@
+#include "common/snapshot.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace ocdd {
+namespace {
+
+// File layout (all integers little-endian):
+//   8 bytes  magic "OCDDSNP1" (the trailing digit is the format version)
+//   u32      section count
+//   per section:
+//     u32    name length, then name bytes
+//     u64    payload length
+//     u32    CRC32 of the payload
+//     bytes  payload
+//   u32      CRC32 of everything above
+//   8 bytes  end magic "OCDDSNPE"
+// The end magic makes truncation detectable even before CRC checking; the
+// per-section CRCs localize corruption, and the file CRC catches damage in
+// the framing itself.
+constexpr char kMagic[] = "OCDDSNP1";
+constexpr char kEndMagic[] = "OCDDSNPE";
+constexpr std::size_t kMagicLen = 8;
+
+const std::uint32_t* Crc32Table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+Status IoError(const std::string& op, const std::string& path) {
+  return Status::Internal("snapshot " + op + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+// Durably writes `bytes` to `path` (open, write, fsync, close).
+Status WriteFileSynced(const std::string& path, const char* bytes,
+                       std::size_t len) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoError("open", path);
+  std::size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, bytes + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = IoError("write", path);
+      ::close(fd);
+      return s;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = IoError("fsync", path);
+    ::close(fd);
+    return s;
+  }
+  if (::close(fd) != 0) return IoError("close", path);
+  return Status::OK();
+}
+
+// Fsyncs the directory itself so the rename is durable.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("open dir", dir);
+  if (::fsync(fd) != 0) {
+    Status s = IoError("fsync dir", dir);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileAll(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = IoError("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return IoError("mkdir", dir);
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len) {
+  const std::uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string SnapshotBuilder::Encode() const {
+  std::string body(kMagic, kMagicLen);
+  {
+    ByteWriter w;
+    w.U32(static_cast<std::uint32_t>(sections_.size()));
+    body += w.Take();
+  }
+  for (const auto& [name, payload] : sections_) {
+    ByteWriter w;
+    w.Str(name);
+    w.U64(payload.size());
+    w.U32(Crc32(payload.data(), payload.size()));
+    body += w.Take();
+    body += payload;
+  }
+  ByteWriter trailer;
+  trailer.U32(Crc32(body.data(), body.size()));
+  body += trailer.Take();
+  body.append(kEndMagic, kMagicLen);
+  return body;
+}
+
+Result<SnapshotView> SnapshotView::Decode(const std::string& bytes) {
+  constexpr std::size_t kTrailerLen = 4 + kMagicLen;
+  if (bytes.size() < kMagicLen + 4 + kTrailerLen) {
+    return Status::ParseError("snapshot truncated");
+  }
+  if (bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status::ParseError("snapshot bad magic");
+  }
+  if (bytes.compare(bytes.size() - kMagicLen, kMagicLen, kEndMagic,
+                    kMagicLen) != 0) {
+    return Status::ParseError("snapshot torn (missing end magic)");
+  }
+  const std::size_t body_len = bytes.size() - kTrailerLen;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(bytes[body_len + i]))
+                  << (8 * i);
+  }
+  if (Crc32(bytes.data(), body_len) != stored_crc) {
+    return Status::ParseError("snapshot file CRC mismatch");
+  }
+
+  std::string body = bytes.substr(kMagicLen, body_len - kMagicLen);
+  ByteReader r(body);
+  std::uint32_t count = r.U32();
+  SnapshotView view;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = r.Str();
+    std::uint64_t payload_len = r.U64();
+    std::uint32_t section_crc = r.U32();
+    if (!r.ok()) return Status::ParseError("snapshot section header damaged");
+    std::string payload;
+    payload.reserve(payload_len);
+    for (std::uint64_t b = 0; b < payload_len; ++b) {
+      payload.push_back(static_cast<char>(r.U8()));
+    }
+    if (!r.ok()) return Status::ParseError("snapshot section truncated");
+    if (Crc32(payload.data(), payload.size()) != section_crc) {
+      return Status::ParseError("snapshot section '" + name +
+                                "' CRC mismatch");
+    }
+    view.sections_[std::move(name)] = std::move(payload);
+  }
+  if (!r.AtEnd()) return Status::ParseError("snapshot trailing bytes");
+  return view;
+}
+
+const std::string* SnapshotView::Find(const std::string& name) const {
+  auto it = sections_.find(name);
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SnapshotView::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, payload] : sections_) names.push_back(name);
+  return names;
+}
+
+std::string SnapshotStore::PathFor(std::uint64_t generation) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu",
+                static_cast<unsigned long long>(generation));
+  return dir_ + "/" + name_ + "." + buf + ".snap";
+}
+
+std::vector<std::uint64_t> SnapshotStore::Generations() const {
+  std::vector<std::uint64_t> gens;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return gens;
+  const std::string prefix = name_ + ".";
+  const std::string suffix = ".snap";
+  while (dirent* entry = ::readdir(d)) {
+    std::string fname = entry->d_name;
+    if (fname.size() <= prefix.size() + suffix.size()) continue;
+    if (fname.compare(0, prefix.size(), prefix) != 0) continue;
+    if (fname.compare(fname.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    std::string digits = fname.substr(
+        prefix.size(), fname.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    gens.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  ::closedir(d);
+  std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+  return gens;
+}
+
+Result<std::uint64_t> SnapshotStore::Write(const std::string& encoded,
+                                           std::size_t keep) {
+  OCDD_RETURN_IF_ERROR(EnsureDir(dir_));
+  std::vector<std::uint64_t> gens = Generations();
+  const std::uint64_t generation = gens.empty() ? 1 : gens.back() + 1;
+
+  // The fault points model distinct failure instants; the *point name*
+  // selects the mode, any armed action fires it.
+  std::string bytes = encoded;
+  bool torn = false;
+  if (injector_ != nullptr) {
+    if (injector_->Poll("snapshot.bit_flip") != FaultAction::kNone &&
+        !bytes.empty()) {
+      // Flip a bit in the middle of the image, after all CRCs were computed.
+      bytes[bytes.size() / 2] ^= 0x10;
+    }
+    if (injector_->Poll("snapshot.torn_write") != FaultAction::kNone) {
+      torn = true;
+    }
+  }
+
+  const std::string tmp_path = dir_ + "/" + name_ + ".tmp";
+  const std::size_t write_len = torn ? bytes.size() / 2 : bytes.size();
+  OCDD_RETURN_IF_ERROR(WriteFileSynced(tmp_path, bytes.data(), write_len));
+
+  if (injector_ != nullptr &&
+      injector_->Poll("snapshot.crash_before_rename") != FaultAction::kNone) {
+    // Simulated crash: the temp file is durable but never became a
+    // generation. A real crash would leave exactly this state.
+    return Status::Internal(
+        "snapshot fault injected: crash before rename (tmp left at " +
+        tmp_path + ")");
+  }
+
+  const std::string final_path = PathFor(generation);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return IoError("rename", final_path);
+  }
+  OCDD_RETURN_IF_ERROR(SyncDir(dir_));
+
+  // Read-back verification: only a snapshot that validates from disk counts
+  // as written, and only then may older generations be pruned. A torn or
+  // bit-flipped file fails here and the previous generations survive.
+  OCDD_ASSIGN_OR_RETURN(std::string reread, ReadFileAll(final_path));
+  OCDD_ASSIGN_OR_RETURN(SnapshotView view, SnapshotView::Decode(reread));
+  (void)view;
+
+  gens.push_back(generation);
+  if (keep < 1) keep = 1;
+  while (gens.size() > keep) {
+    ::unlink(PathFor(gens.front()).c_str());
+    gens.erase(gens.begin());
+  }
+  return generation;
+}
+
+Result<LoadedSnapshot> SnapshotStore::Load() const {
+  std::vector<std::uint64_t> gens = Generations();
+  LoadedSnapshot loaded;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    Result<std::string> bytes = ReadFileAll(PathFor(*it));
+    if (bytes.ok()) {
+      Result<SnapshotView> view = SnapshotView::Decode(bytes.value());
+      if (view.ok()) {
+        loaded.generation = *it;
+        loaded.view = std::move(view).value();
+        return loaded;
+      }
+    }
+    ++loaded.corrupt_skipped;
+  }
+  return Status::NotFound("no valid snapshot generation in " + dir_ +
+                          " (skipped " +
+                          std::to_string(loaded.corrupt_skipped) +
+                          " corrupt)");
+}
+
+}  // namespace ocdd

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/snapshot.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/checker.h"
@@ -78,35 +79,200 @@ class Driver {
     }
     const std::vector<ColumnId>& universe = result.reduction.reduced_universe;
 
-    // Level ℓ = 2: all unordered single-attribute pairs (Algorithm 1 line 4).
+    od::DependencyStore store;
     std::vector<Candidate> level;
     std::size_t level_bytes = 0;
+    std::size_t current_level = 2;
     bool aborted = false;
     StopReason cap_reason = StopReason::kNone;
-    for (std::size_t i = 0; i < universe.size() && !aborted; ++i) {
-      for (std::size_t j = i + 1; j < universe.size(); ++j) {
-        Candidate c{AttributeList{universe[i]}, AttributeList{universe[j]}};
+
+    CheckpointStats& ck = result.checkpoint_stats;
+    ck.enabled = options_.checkpoint.enabled();
+    std::unique_ptr<SnapshotStore> snap;
+    const std::uint64_t fingerprint =
+        ck.enabled ? relation_.Fingerprint() : 0;
+    if (ck.enabled) {
+      snap = std::make_unique<SnapshotStore>(options_.checkpoint.dir,
+                                             "ocddiscover");
+      snap->set_fault_injector(ctx_->fault_injector());
+    }
+
+    // State blob captured at the last level boundary (start of the level
+    // currently in flight); written on cadence, and at drain when the run
+    // stops mid-level so a restart redoes at most one level.
+    auto encode_state = [&](bool completed_flag) {
+      SnapshotBuilder b;
+      ByteWriter meta;
+      meta.U32(1);  // state format version
+      meta.U64(fingerprint);
+      meta.U64(current_level);
+      meta.U64(result.levels_completed);
+      meta.U64(TotalChecks());
+      meta.U64(result.candidates_generated);
+      meta.U8(completed_flag ? 1 : 0);
+      b.AddSection("meta", meta.Take());
+      ByteWriter fr;
+      fr.U32(static_cast<std::uint32_t>(level.size()));
+      for (const Candidate& c : level) {
+        fr.IdVec(c.x.ids());
+        fr.IdVec(c.y.ids());
+      }
+      b.AddSection("frontier", fr.Take());
+      ByteWriter cl;
+      cl.U32(static_cast<std::uint32_t>(store.ods().size()));
+      for (const od::OrderDependency& d : store.ods()) {
+        cl.IdVec(d.lhs.ids());
+        cl.IdVec(d.rhs.ids());
+      }
+      cl.U32(static_cast<std::uint32_t>(store.ocds().size()));
+      for (const od::OrderCompatibility& d : store.ocds()) {
+        cl.IdVec(d.lhs.ids());
+        cl.IdVec(d.rhs.ids());
+      }
+      b.AddSection("claims", cl.Take());
+      return b.Encode();
+    };
+
+    auto write_snapshot = [&](const std::string& blob) {
+      Result<std::uint64_t> gen =
+          snap->Write(blob, options_.checkpoint.keep_generations);
+      if (gen.ok()) {
+        ++ck.snapshots_written;
+        ctx_->MarkCheckpointed();
+        return true;
+      }
+      ck.warning = gen.status().message();
+      return false;
+    };
+
+    auto decode_state = [&](const SnapshotView& view) {
+      const std::string* meta_s = view.Find("meta");
+      const std::string* fr_s = view.Find("frontier");
+      const std::string* cl_s = view.Find("claims");
+      if (meta_s == nullptr || fr_s == nullptr || cl_s == nullptr) {
+        ck.warning = "resume skipped: snapshot missing sections";
+        return false;
+      }
+      ByteReader meta(*meta_s);
+      if (meta.U32() != 1) {
+        ck.warning = "resume skipped: unknown snapshot state version";
+        return false;
+      }
+      if (meta.U64() != fingerprint) {
+        ck.warning = "resume skipped: snapshot is for a different relation";
+        return false;
+      }
+      std::uint64_t s_level = meta.U64();
+      std::uint64_t s_levels_completed = meta.U64();
+      std::uint64_t s_checks = meta.U64();
+      std::uint64_t s_candidates = meta.U64();
+      meta.U8();  // completed flag; an empty frontier says the same thing
+      if (!meta.ok()) {
+        ck.warning = "resume skipped: snapshot meta damaged";
+        return false;
+      }
+      ByteReader fr(*fr_s);
+      std::uint32_t n = fr.U32();
+      std::vector<Candidate> restored;
+      restored.reserve(n);
+      for (std::uint32_t i = 0; i < n && fr.ok(); ++i) {
+        AttributeList x(fr.IdVec());
+        AttributeList y(fr.IdVec());
+        restored.push_back(Candidate{std::move(x), std::move(y)});
+      }
+      if (!fr.ok()) {
+        ck.warning = "resume skipped: snapshot frontier damaged";
+        return false;
+      }
+      ByteReader cl(*cl_s);
+      od::DependencyStore restored_store;
+      std::uint32_t num_ods = cl.U32();
+      for (std::uint32_t i = 0; i < num_ods && cl.ok(); ++i) {
+        AttributeList lhs(cl.IdVec());
+        AttributeList rhs(cl.IdVec());
+        restored_store.AddOd(
+            od::OrderDependency{std::move(lhs), std::move(rhs)});
+      }
+      std::uint32_t num_ocds = cl.U32();
+      for (std::uint32_t i = 0; i < num_ocds && cl.ok(); ++i) {
+        AttributeList lhs(cl.IdVec());
+        AttributeList rhs(cl.IdVec());
+        restored_store.AddOcd(
+            od::OrderCompatibility{std::move(lhs), std::move(rhs)});
+      }
+      if (!cl.ok()) {
+        ck.warning = "resume skipped: snapshot claims damaged";
+        return false;
+      }
+      // Commit: replay the frontier's memory charge, then adopt the state.
+      std::size_t restored_bytes = 0;
+      for (const Candidate& c : restored) {
         std::size_t bytes = CandidateBytes(c);
         if (!ctx_->ChargeMemory(bytes)) {
           aborted = true;
           break;
         }
-        level_bytes += bytes;
-        level.push_back(std::move(c));
+        restored_bytes += bytes;
+      }
+      level = std::move(restored);
+      level_bytes = restored_bytes;
+      current_level = static_cast<std::size_t>(s_level);
+      result.levels_completed = static_cast<std::size_t>(s_levels_completed);
+      result.candidates_generated = s_candidates;
+      checks_base_ = s_checks;
+      store = std::move(restored_store);
+      return true;
+    };
+
+    bool resumed = false;
+    if (ck.enabled && options_.checkpoint.resume) {
+      Result<LoadedSnapshot> loaded = snap->Load();
+      if (loaded.ok()) {
+        ck.corrupt_skipped = loaded->corrupt_skipped;
+        if (decode_state(loaded->view)) {
+          resumed = true;
+          ck.resumed = true;
+          ck.resumed_generation = loaded->generation;
+        }
+      } else {
+        ck.warning = "resume skipped: " + loaded.status().message();
       }
     }
-    result.candidates_generated += level.size();
 
-    od::DependencyStore store;
-    std::size_t current_level = 2;
+    if (!resumed) {
+      // Level ℓ = 2: all unordered single-attribute pairs (Algorithm 1
+      // line 4).
+      for (std::size_t i = 0; i < universe.size() && !aborted; ++i) {
+        for (std::size_t j = i + 1; j < universe.size(); ++j) {
+          Candidate c{AttributeList{universe[i]}, AttributeList{universe[j]}};
+          std::size_t bytes = CandidateBytes(c);
+          if (!ctx_->ChargeMemory(bytes)) {
+            aborted = true;
+            break;
+          }
+          level_bytes += bytes;
+          level.push_back(std::move(c));
+        }
+      }
+      result.candidates_generated += level.size();
+    }
 
     std::unique_ptr<ThreadPool> pool;
     if (options_.num_threads > 1) {
       pool = std::make_unique<ThreadPool>(options_.num_threads);
     }
 
+    std::string pending_blob;
+    bool pending_written = true;
     try {
       while (!level.empty() && !aborted) {
+        if (snap) {
+          pending_blob = encode_state(false);
+          pending_written = false;
+          if (ctx_->CheckpointDue()) {
+            pending_written = write_snapshot(pending_blob);
+          }
+        }
         ctx_->AtInjectionPoint("ocd.level");
         if (ctx_->ShouldStop()) {
           aborted = true;
@@ -251,6 +417,26 @@ class Driver {
     ctx_->ReleaseMemory(level_bytes);
 
     aborted = aborted || ctx_->stop_requested();
+
+    // Drain-to-checkpoint: a stopped run persists the state captured at the
+    // last level boundary, so `--resume` redoes at most the level that was
+    // in flight. A finished run writes a final generation (empty frontier)
+    // so resuming a completed run is a no-op that returns the full result.
+    if (snap) {
+      if (aborted) {
+        if (!pending_written && !pending_blob.empty()) {
+          write_snapshot(pending_blob);
+        }
+      } else {
+        level.clear();
+        write_snapshot(encode_state(true));
+      }
+    }
+
+    result.stop_state.checks = TotalChecks();
+    result.stop_state.level = current_level;
+    result.stop_state.frontier_size = level.size();
+
     store.Finalize();
     result.ocds = store.ocds();
     result.ods = store.ods();
@@ -266,7 +452,9 @@ class Driver {
 
  private:
   std::uint64_t TotalChecks() const {
-    return checker_.stats().TotalChecks() +
+    // checks_base_ carries the checks of previous attempts when this run
+    // was resumed from a snapshot, keeping reported totals cumulative.
+    return checks_base_ + checker_.stats().TotalChecks() +
            part_checks_.load(std::memory_order_relaxed);
   }
 
@@ -311,6 +499,7 @@ class Driver {
   OrderChecker checker_;
   RunContext local_ctx_;
   RunContext* ctx_ = nullptr;
+  std::uint64_t checks_base_ = 0;
   std::atomic<std::uint64_t> part_checks_{0};
   std::unordered_map<od::AttributeList, ListPartition, AttributeListHash>
       part_cache_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "common/snapshot.h"
 #include "core/column_reduction.h"
 #include "od/dependency.h"
 #include "relation/coded_relation.h"
@@ -64,6 +65,14 @@ struct OcdDiscoverOptions {
   /// leaves implicit (they are derivable from emitted ODs), at the cost of
   /// strictly more candidates and checks.
   bool apply_od_pruning = true;
+
+  /// Crash-safe checkpointing (see docs/checkpointing.md). Snapshots are
+  /// taken at level boundaries — the BFS frontier plus the emitted OCD/OD
+  /// sets — per the RunContext cadence, plus once on any early stop (drain)
+  /// and once at completion. With `resume` set, the newest valid generation
+  /// whose relation fingerprint matches is restored and the run redoes at
+  /// most the one level that was in flight.
+  CheckpointConfig checkpoint;
 };
 
 /// Output of `DiscoverOcds`.
@@ -98,6 +107,12 @@ struct OcdDiscoverResult {
   /// Why the run stopped (`kNone` when `completed`). Level and
   /// candidates-per-level caps report `kLevelCap`.
   StopReason stop_reason = StopReason::kNone;
+
+  /// Where the run was when it stopped (meaningful when `!completed`).
+  StopState stop_state;
+
+  /// What checkpointing did (zero-initialized when disabled).
+  CheckpointStats checkpoint_stats;
 
   /// Peak footprint of the sorted-partition cache (0 when the sort-based
   /// checker was used throughout).

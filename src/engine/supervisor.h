@@ -1,0 +1,89 @@
+#ifndef OCDD_ENGINE_SUPERVISOR_H_
+#define OCDD_ENGINE_SUPERVISOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/json_reader.h"
+
+namespace ocdd::engine {
+
+/// Supervised restarts for discovery runs (`ocdd supervise`, see
+/// docs/robustness.md).
+///
+/// The supervisor forks a child run, captures its stdout (one JSON report),
+/// and classifies the outcome:
+///  * crash (killed by a signal)            → restart with backoff;
+///  * clean exit, report `completed: true`  → success;
+///  * clean exit, retryable `stop_reason`   → restart with backoff
+///    (deadline / check_budget / memory_budget / cancelled / fault_injected
+///    — budgets are per attempt, so a restarted run makes fresh progress
+///    from its checkpoint);
+///  * clean exit, structural stop           → give up (a `level_cap` will
+///    recur on every retry);
+///  * non-zero exit                         → give up (input/usage errors
+///    don't heal).
+/// Restarting is only useful when the child runs with `--checkpoint`; from
+/// the second attempt on, `resume_flag` is appended to the child argv so
+/// each retry continues from the newest snapshot generation.
+
+struct SuperviseOptions {
+  /// Child argv; element 0 is the executable (resolved via PATH).
+  std::vector<std::string> child_args;
+
+  /// Total attempts, first run included. At least 1.
+  int max_attempts = 5;
+
+  /// Exponential backoff between attempts.
+  double initial_backoff_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 30.0;
+
+  /// Give up after this many consecutive *clean-exit stopped* attempts whose
+  /// `stop_state.level` did not advance — each attempt burns its budget
+  /// without completing a single further level, so retries cannot converge.
+  /// Crashes are exempt (a crash loses up to one level legitimately).
+  int no_progress_limit = 2;
+
+  /// Appended to the child argv from the second attempt on; empty disables.
+  std::string resume_flag = "--resume";
+};
+
+/// One child run, as observed by the supervisor.
+struct SuperviseAttempt {
+  int exit_code = 0;    ///< child exit status; -1 when killed by a signal
+  int term_signal = 0;  ///< terminating signal, 0 for clean exits
+  bool json_valid = false;  ///< stdout parsed as a JSON report
+  bool completed = false;   ///< report's `completed`
+  std::string stop_reason;  ///< report's `stop_reason`
+  std::uint64_t stop_checks = 0;
+  std::size_t stop_level = 0;
+  std::size_t stop_frontier = 0;
+  /// "success", "retry_crash", "retry_stopped", or "give_up".
+  std::string classification;
+  /// Sleep applied after this attempt (0 for the last one).
+  double backoff_seconds = 0.0;
+};
+
+struct SuperviseResult {
+  bool success = false;
+  /// Why the supervisor gave up; empty on success.
+  std::string give_up_reason;
+  std::vector<SuperviseAttempt> attempts;
+  /// The last attempt's parsed report, when any attempt produced one.
+  bool have_report = false;
+  report::JsonValue final_report;
+};
+
+/// Runs the child to success or exhaustion per `options`. Blocking.
+SuperviseResult SuperviseRun(const SuperviseOptions& options);
+
+/// One merged JSON document: the final child report (when present) plus a
+/// "supervisor" member recording every attempt and the overall outcome.
+std::string MergedResultJson(const SuperviseResult& result);
+
+}  // namespace ocdd::engine
+
+#endif  // OCDD_ENGINE_SUPERVISOR_H_

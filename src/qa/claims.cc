@@ -42,9 +42,11 @@ std::vector<std::string> ClaimSet::Render() const {
 }
 
 ClaimSet RunOcddiscoverClaims(const rel::CodedRelation& relation,
-                              RunContext* ctx) {
+                              RunContext* ctx,
+                              const CheckpointConfig* checkpoint) {
   core::OcdDiscoverOptions opts;
   opts.run_context = ctx;
+  if (checkpoint != nullptr) opts.checkpoint = *checkpoint;
   core::OcdDiscoverResult r = core::DiscoverOcds(relation, opts);
   ClaimSet claims;
   claims.algorithm = "ocddiscover";
@@ -73,9 +75,11 @@ ClaimSet RunOrderClaims(const rel::CodedRelation& relation, RunContext* ctx) {
   return claims;
 }
 
-ClaimSet RunFastodClaims(const rel::CodedRelation& relation, RunContext* ctx) {
+ClaimSet RunFastodClaims(const rel::CodedRelation& relation, RunContext* ctx,
+                         const CheckpointConfig* checkpoint) {
   algo::FastodOptions opts;
   opts.run_context = ctx;
+  if (checkpoint != nullptr) opts.checkpoint = *checkpoint;
   algo::FastodResult r = algo::DiscoverFastod(relation, opts);
   ClaimSet claims;
   claims.algorithm = "fastod";
@@ -87,9 +91,11 @@ ClaimSet RunFastodClaims(const rel::CodedRelation& relation, RunContext* ctx) {
   return claims;
 }
 
-ClaimSet RunTaneClaims(const rel::CodedRelation& relation, RunContext* ctx) {
+ClaimSet RunTaneClaims(const rel::CodedRelation& relation, RunContext* ctx,
+                       const CheckpointConfig* checkpoint) {
   algo::TaneOptions opts;
   opts.run_context = ctx;
+  if (checkpoint != nullptr) opts.checkpoint = *checkpoint;
   algo::TaneResult r = algo::DiscoverFds(relation, opts);
   ClaimSet claims;
   claims.algorithm = "tane";

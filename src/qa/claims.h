@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "common/snapshot.h"
 #include "od/dependency.h"
 #include "od/inference.h"
 #include "relation/coded_relation.h"
@@ -42,15 +43,21 @@ struct ClaimSet {
 
 /// Runs one algorithm and captures its claims. `ctx` is optional; when given
 /// it is used as the run's RunContext (budgets/faults included), which is how
-/// the harness produces deliberately stopped runs.
+/// the harness produces deliberately stopped runs. `checkpoint` (optional,
+/// checkpointable algorithms only) enables snapshot writes / resume — the
+/// resume-equivalence stage stops a checkpointed run mid-lattice, resumes it,
+/// and asserts the resumed claims equal an uninterrupted run's.
 ClaimSet RunOcddiscoverClaims(const rel::CodedRelation& relation,
-                              RunContext* ctx = nullptr);
+                              RunContext* ctx = nullptr,
+                              const CheckpointConfig* checkpoint = nullptr);
 ClaimSet RunOrderClaims(const rel::CodedRelation& relation,
                         RunContext* ctx = nullptr);
 ClaimSet RunFastodClaims(const rel::CodedRelation& relation,
-                         RunContext* ctx = nullptr);
+                         RunContext* ctx = nullptr,
+                         const CheckpointConfig* checkpoint = nullptr);
 ClaimSet RunTaneClaims(const rel::CodedRelation& relation,
-                       RunContext* ctx = nullptr);
+                       RunContext* ctx = nullptr,
+                       const CheckpointConfig* checkpoint = nullptr);
 
 /// All four differential voices over the same relation.
 struct AlgorithmRuns {

@@ -8,9 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/run_context.h"
+#include "common/snapshot.h"
 #include "od/brute_force.h"
 #include "qa/canonical.h"
 #include "qa/metamorphic.h"
@@ -172,6 +175,84 @@ std::vector<Discrepancy> CheckStoppedRuns(const rel::CodedRelation& coded,
   return out;
 }
 
+/// The resume-equivalence audit: for each checkpointable algorithm, run with
+/// a checkpoint directory under a check budget that stops it mid-lattice,
+/// then resume from the snapshot with no budget, and assert the resumed
+/// claims are *identical* to the uninterrupted run's — not merely a sound
+/// subset. This is the crash-safety contract `ocdd supervise` leans on: a
+/// kill + resume must converge to the same closure as a run that was never
+/// interrupted (docs/checkpointing.md).
+std::vector<Discrepancy> CheckResumedRuns(const rel::CodedRelation& coded,
+                                          const AlgorithmRuns& runs,
+                                          const std::string& scratch_dir,
+                                          std::uint64_t* checks) {
+  std::vector<Discrepancy> out;
+
+  auto check_one = [&](const char* algorithm, const ClaimSet& complete,
+                       auto runner) {
+    if (complete.num_checks < 2) return;
+    const std::string dir = scratch_dir + "/" + algorithm;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+
+    // Leg 1: checkpointed run stopped mid-lattice (drains to a snapshot; if
+    // the budget happens to suffice, the final snapshot marks completion and
+    // the resume below degenerates to a no-op replay — still equivalent).
+    CheckpointConfig stopped_cfg;
+    stopped_cfg.dir = dir;
+    RunContext stopped_ctx;
+    stopped_ctx.set_check_budget(complete.num_checks / 2);
+    (void)runner(coded, &stopped_ctx, &stopped_cfg);
+
+    // Leg 2: resume with no budget; must complete.
+    CheckpointConfig resume_cfg;
+    resume_cfg.dir = dir;
+    resume_cfg.resume = true;
+    RunContext resume_ctx;
+    ClaimSet resumed = runner(coded, &resume_ctx, &resume_cfg);
+
+    ++*checks;
+    if (!resumed.completed) {
+      out.push_back({"resumed_run", algorithm,
+                     "resumed run did not complete (stop reason " +
+                         std::string(StopReasonName(resumed.stop_reason)) +
+                         ")"});
+    } else {
+      std::vector<std::string> want = complete.Render();
+      std::vector<std::string> got = resumed.Render();
+      std::vector<std::string> missing, extra;
+      std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                          std::back_inserter(missing));
+      std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                          std::back_inserter(extra));
+      for (const std::string& s : missing) {
+        out.push_back({"resumed_run", algorithm, "resume lost claim " + s});
+      }
+      for (const std::string& s : extra) {
+        out.push_back({"resumed_run", algorithm, "resume invented claim " + s});
+      }
+    }
+    std::filesystem::remove_all(dir, ec);
+  };
+
+  check_one("ocddiscover", runs.ocdd,
+            [](const rel::CodedRelation& c, RunContext* ctx,
+               const CheckpointConfig* cfg) {
+              return RunOcddiscoverClaims(c, ctx, cfg);
+            });
+  check_one("fastod", runs.fastod,
+            [](const rel::CodedRelation& c, RunContext* ctx,
+               const CheckpointConfig* cfg) {
+              return RunFastodClaims(c, ctx, cfg);
+            });
+  check_one("tane", runs.tane,
+            [](const rel::CodedRelation& c, RunContext* ctx,
+               const CheckpointConfig* cfg) {
+              return RunTaneClaims(c, ctx, cfg);
+            });
+  return out;
+}
+
 void AppendJsonString(std::string& out, const std::string& s) {
   out += '"';
   for (char ch : s) {
@@ -212,6 +293,16 @@ QaSummary RunQa(const QaOptions& options) {
   summary.seed = options.seed;
   summary.iters_requested = options.iters;
   summary.corruption = CorruptionModeName(options.inject);
+
+  // Per-process scratch (ctest runs harness instances in parallel; a shared
+  // path would interleave snapshot generations across processes).
+  std::string scratch = options.checkpoint_scratch_dir;
+  const bool scratch_is_ours = options.resume_runs && scratch.empty();
+  if (scratch_is_ours) {
+    scratch = (std::filesystem::temp_directory_path() /
+               ("ocdd_qa_ckpt_" + std::to_string(::getpid())))
+                  .string();
+  }
 
   for (std::size_t i = 0; i < options.iters; ++i) {
     if (summary.failures.size() >= options.max_failures) break;
@@ -289,10 +380,26 @@ QaSummary RunQa(const QaOptions& options) {
             MakeFailure(i, iter_seed, "stopped_run", std::move(ds), relation);
         MaybeWriteRepro(options, &f);
         summary.failures.push_back(std::move(f));
+        continue;
+      }
+    }
+
+    if (options.resume_runs && i % 7 == 0 && runs.AllCompleted()) {
+      std::vector<Discrepancy> ds =
+          CheckResumedRuns(coded, runs, scratch, &summary.resume_checks);
+      if (!ds.empty()) {
+        QaFailure f =
+            MakeFailure(i, iter_seed, "resumed_run", std::move(ds), relation);
+        MaybeWriteRepro(options, &f);
+        summary.failures.push_back(std::move(f));
       }
     }
   }
 
+  if (scratch_is_ours) {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+  }
   return summary;
 }
 
@@ -312,6 +419,8 @@ std::string SummaryToJson(const QaSummary& summary) {
          std::to_string(summary.metamorphic_comparisons) + ",\n";
   out += "  \"stopped_run_checks\": " +
          std::to_string(summary.stopped_run_checks) + ",\n";
+  out += "  \"resume_checks\": " + std::to_string(summary.resume_checks) +
+         ",\n";
   out += "  \"skipped\": " + std::to_string(summary.skipped) + ",\n";
   out += "  \"shrink_evaluations\": " +
          std::to_string(summary.shrink_evaluations) + ",\n";

@@ -24,6 +24,13 @@ struct QaOptions {
   /// Periodically re-run algorithms under check budgets / injected faults
   /// and assert the partial results are sound subsets of the complete ones.
   bool stopped_runs = true;
+  /// Periodically stop a checkpointed run mid-lattice, resume it from its
+  /// snapshot, and assert the resumed claims equal the uninterrupted run's
+  /// (the crash-safety contract, docs/checkpointing.md).
+  bool resume_runs = true;
+  /// Scratch directory for resume-equivalence snapshots; empty means a
+  /// per-process directory under the system temp dir (removed afterwards).
+  std::string checkpoint_scratch_dir;
   /// Stop collecting after this many failures (each is shrunk, which costs
   /// many oracle evaluations).
   std::size_t max_failures = 8;
@@ -38,7 +45,7 @@ struct QaFailure {
   /// the failing instance exactly. (Iteration seeds are derived, not
   /// sequential — see IterationSeed.)
   std::uint64_t iteration_seed = 0;
-  /// "oracle", "metamorphic/<transform>", or "stopped_run".
+  /// "oracle", "metamorphic/<transform>", "stopped_run", or "resumed_run".
   std::string kind;
   std::vector<Discrepancy> discrepancies;
   /// CSV of the shrunk failing relation (oracle failures) or of the base
@@ -59,6 +66,7 @@ struct QaSummary {
   std::uint64_t oracle_comparisons = 0;
   std::uint64_t metamorphic_comparisons = 0;
   std::uint64_t stopped_run_checks = 0;
+  std::uint64_t resume_checks = 0;
   std::uint64_t skipped = 0;
   std::uint64_t shrink_evaluations = 0;
   std::vector<QaFailure> failures;

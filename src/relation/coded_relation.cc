@@ -119,6 +119,29 @@ CodedRelation CodedRelation::ProjectColumns(
   return out;
 }
 
+std::uint64_t CodedRelation::Fingerprint() const {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kPrime;
+    }
+  };
+  mix(num_rows_);
+  mix(columns_.size());
+  for (const CodedColumn& c : columns_) {
+    mix(c.name.size());
+    for (char ch : c.name) mix(static_cast<unsigned char>(ch));
+    mix(static_cast<std::uint64_t>(c.num_distinct));
+    mix(c.has_nulls ? 1 : 0);
+    for (std::int32_t code : c.codes) {
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(code)));
+    }
+  }
+  return h;
+}
+
 CodedRelation CodedRelation::HeadRows(std::size_t n) const {
   if (n >= num_rows_) return *this;
   CodedRelation out;

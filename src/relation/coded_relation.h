@@ -71,6 +71,12 @@ class CodedRelation {
   /// values are distinct.
   double ColumnEntropy(ColumnId col) const;
 
+  /// Stable 64-bit content fingerprint over shape, column names, and every
+  /// code, FNV-1a style. Checkpoint snapshots store it so a `--resume`
+  /// against a different input is detected and rejected rather than
+  /// producing a silently inconsistent merge of two relations' results.
+  std::uint64_t Fingerprint() const;
+
   /// Restriction to a column subset, in the given order (row data shared by
   /// copy of code vectors).
   CodedRelation ProjectColumns(const std::vector<ColumnId>& cols) const;

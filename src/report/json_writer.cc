@@ -49,7 +49,8 @@ void AppendPair(std::string& out, const CodedRelation& r,
 void AppendHeader(std::string& out, const char* algorithm,
                   const CodedRelation& r, bool completed,
                   StopReason stop_reason, std::uint64_t checks,
-                  double elapsed) {
+                  double elapsed, const StopState* stop_state = nullptr,
+                  const CheckpointStats* checkpoint = nullptr) {
   out += "{\"algorithm\":\"";
   out += algorithm;
   out += "\",\"num_rows\":";
@@ -64,6 +65,30 @@ void AppendHeader(std::string& out, const char* algorithm,
   out += std::to_string(checks);
   out += ",\"elapsed_seconds\":";
   AppendDouble(out, elapsed);
+  if (stop_state != nullptr) {
+    // Where the run stopped — drives `ocdd supervise`'s restart-vs-give-up
+    // decision and post-mortem triage of budget-stopped runs.
+    out += ",\"stop_state\":{\"checks\":";
+    out += std::to_string(stop_state->checks);
+    out += ",\"level\":";
+    out += std::to_string(stop_state->level);
+    out += ",\"frontier_size\":";
+    out += std::to_string(stop_state->frontier_size);
+    out += '}';
+  }
+  if (checkpoint != nullptr && checkpoint->enabled) {
+    out += ",\"checkpoint\":{\"resumed\":";
+    out += checkpoint->resumed ? "true" : "false";
+    out += ",\"resumed_generation\":";
+    out += std::to_string(checkpoint->resumed_generation);
+    out += ",\"snapshots_written\":";
+    out += std::to_string(checkpoint->snapshots_written);
+    out += ",\"corrupt_skipped\":";
+    out += std::to_string(checkpoint->corrupt_skipped);
+    out += ",\"warning\":\"";
+    out += JsonEscape(checkpoint->warning);
+    out += "\"}";
+  }
 }
 
 }  // namespace
@@ -107,7 +132,8 @@ std::string ToJson(const core::OcdDiscoverResult& result,
   std::string out;
   AppendHeader(out, "ocddiscover", relation, result.completed,
                result.stop_reason, result.num_checks,
-               result.elapsed_seconds);
+               result.elapsed_seconds, &result.stop_state,
+               &result.checkpoint_stats);
   out += ",\"reduction\":{\"constants\":";
   AppendNameArray(out, relation, result.reduction.constant_columns);
   out += ",\"equivalence_classes\":[";
@@ -135,7 +161,8 @@ std::string ToJson(const algo::TaneResult& result,
   std::string out;
   AppendHeader(out, "tane", relation, result.completed,
                result.stop_reason, result.num_checks,
-               result.elapsed_seconds);
+               result.elapsed_seconds, &result.stop_state,
+               &result.checkpoint_stats);
   out += ",\"fds\":[";
   for (std::size_t i = 0; i < result.fds.size(); ++i) {
     if (i > 0) out += ',';
@@ -154,7 +181,7 @@ std::string ToJson(const algo::OrderDiscoverResult& result,
   std::string out;
   AppendHeader(out, "order", relation, result.completed,
                result.stop_reason, result.num_checks,
-               result.elapsed_seconds);
+               result.elapsed_seconds, &result.stop_state);
   out += ",\"ods\":[";
   for (std::size_t i = 0; i < result.ods.size(); ++i) {
     if (i > 0) out += ',';
@@ -169,7 +196,8 @@ std::string ToJson(const algo::FastodResult& result,
   std::string out;
   AppendHeader(out, "fastod", relation, result.completed,
                result.stop_reason, result.num_checks,
-               result.elapsed_seconds);
+               result.elapsed_seconds, &result.stop_state,
+               &result.checkpoint_stats);
   out += ",\"canonical_ods\":[";
   for (std::size_t i = 0; i < result.ods.size(); ++i) {
     const od::CanonicalOd& od = result.ods[i];

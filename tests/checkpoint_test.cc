@@ -1,0 +1,391 @@
+#include "common/snapshot.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/run_context.h"
+#include "core/ocd_discover.h"
+#include "datagen/registry.h"
+#include "qa/claims.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("ocdd_ckpt_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+rel::CodedRelation TestRelation() {
+  auto relation = datagen::MakeDataset("LINEITEM", 120, 7);
+  EXPECT_TRUE(relation.ok());
+  return rel::CodedRelation::Encode(*relation);
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(ByteCodecTest, Roundtrip) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.Str("hello");
+  w.U32Vec({1, 2, 3});
+  w.IdVec({4, 5});
+  std::string bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.U32Vec(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(r.IdVec(), (std::vector<std::size_t>{4, 5}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteCodecTest, TruncationLatchesNotOk) {
+  ByteWriter w;
+  w.U64(42);
+  std::string bytes = w.Take();
+  bytes.resize(5);
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.U64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Latched: subsequent reads stay zero and not-ok.
+  EXPECT_EQ(r.U8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot container
+// ---------------------------------------------------------------------------
+
+std::string TwoSectionImage() {
+  SnapshotBuilder b;
+  b.AddSection("meta", "\x01\x02\x03");
+  b.AddSection("frontier", std::string(1000, 'x'));
+  return b.Encode();
+}
+
+TEST(SnapshotViewTest, Roundtrip) {
+  auto view = SnapshotView::Decode(TwoSectionImage());
+  ASSERT_TRUE(view.ok());
+  ASSERT_NE(view->Find("meta"), nullptr);
+  EXPECT_EQ(*view->Find("meta"), "\x01\x02\x03");
+  ASSERT_NE(view->Find("frontier"), nullptr);
+  EXPECT_EQ(view->Find("frontier")->size(), 1000u);
+  EXPECT_EQ(view->Find("absent"), nullptr);
+  EXPECT_EQ(view->SectionNames(),
+            (std::vector<std::string>{"frontier", "meta"}));
+}
+
+TEST(SnapshotViewTest, DetectsCorruption) {
+  const std::string good = TwoSectionImage();
+  EXPECT_TRUE(SnapshotView::Decode(good).ok());
+
+  // A flip anywhere must be caught by a section CRC or the file trailer.
+  for (std::size_t pos : {std::size_t{0}, good.size() / 2, good.size() - 1}) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x01);
+    EXPECT_FALSE(SnapshotView::Decode(bad).ok()) << "flip at " << pos;
+  }
+  // Torn prefix of every length fails; so do appended trailing bytes.
+  EXPECT_FALSE(SnapshotView::Decode(good.substr(0, good.size() / 2)).ok());
+  EXPECT_FALSE(SnapshotView::Decode("").ok());
+  EXPECT_FALSE(SnapshotView::Decode(good + "z").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Generation store
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotStoreTest, GenerationsAdvanceAndPrune) {
+  ScratchDir scratch("gens");
+  SnapshotStore store(scratch.path, "algo");
+  EXPECT_FALSE(store.Load().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    SnapshotBuilder b;
+    b.AddSection("meta", "gen" + std::to_string(i + 1));
+    auto gen = store.Write(b.Encode(), /*keep=*/2);
+    ASSERT_TRUE(gen.ok());
+    EXPECT_EQ(*gen, static_cast<std::uint64_t>(i + 1));
+  }
+  // keep=2 pruned generation 1.
+  EXPECT_EQ(store.Generations(), (std::vector<std::uint64_t>{2, 3}));
+
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 3u);
+  EXPECT_EQ(loaded->corrupt_skipped, 0u);
+  EXPECT_EQ(*loaded->view.Find("meta"), "gen3");
+}
+
+/// The fault matrix: each snapshot fault point leaves the previous
+/// generation recoverable.
+TEST(SnapshotStoreTest, FaultMatrixFallsBackToPreviousGeneration) {
+  struct Case {
+    const char* point;
+    bool write_fails;     ///< Write() reports an error
+    bool leaves_new_gen;  ///< a (corrupt) newer generation file exists
+  };
+  const Case cases[] = {
+      {"snapshot.bit_flip", true, true},
+      {"snapshot.torn_write", true, true},
+      {"snapshot.crash_before_rename", true, false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.point);
+    ScratchDir scratch(std::string("fault_") +
+                       (c.point + sizeof("snapshot.") - 1));
+    SnapshotStore store(scratch.path, "algo");
+
+    SnapshotBuilder good;
+    good.AddSection("meta", "good");
+    ASSERT_TRUE(store.Write(good.Encode()).ok());
+
+    FaultInjector injector;
+    injector.Arm(c.point, FaultAction::kThrow, 1);
+    store.set_fault_injector(&injector);
+    SnapshotBuilder next;
+    next.AddSection("meta", "doomed");
+    auto written = store.Write(next.Encode());
+    EXPECT_EQ(written.ok(), !c.write_fails);
+
+    std::vector<std::uint64_t> gens = store.Generations();
+    if (c.leaves_new_gen) {
+      EXPECT_EQ(gens, (std::vector<std::uint64_t>{1, 2}));
+    } else {
+      EXPECT_EQ(gens, (std::vector<std::uint64_t>{1}));
+    }
+
+    // Load must transparently recover the good generation.
+    auto loaded = store.Load();
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->generation, 1u);
+    EXPECT_EQ(loaded->corrupt_skipped, c.leaves_new_gen ? 1u : 0u);
+    EXPECT_EQ(*loaded->view.Find("meta"), "good");
+
+    // The armings are one-shot: the next write succeeds and supersedes the
+    // corrupt leftovers.
+    SnapshotBuilder retry;
+    retry.AddSection("meta", "recovered");
+    ASSERT_TRUE(store.Write(retry.Encode()).ok());
+    auto after = store.Load();
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after->view.Find("meta"), "recovered");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm stop → resume ≡ uninterrupted
+// ---------------------------------------------------------------------------
+
+using AlgoRunner = qa::ClaimSet (*)(const rel::CodedRelation&, RunContext*,
+                                    const CheckpointConfig*);
+
+void CheckStopResumeEquivalence(const char* tag, AlgoRunner runner) {
+  SCOPED_TRACE(tag);
+  rel::CodedRelation coded = TestRelation();
+  qa::ClaimSet complete = runner(coded, nullptr, nullptr);
+  ASSERT_TRUE(complete.completed);
+  ASSERT_GE(complete.num_checks, 2u);
+
+  ScratchDir scratch(std::string("resume_") + tag);
+  CheckpointConfig cfg;
+  cfg.dir = scratch.path;
+
+  // Stop mid-lattice under a check budget; the run drains to a snapshot.
+  RunContext stopped_ctx;
+  stopped_ctx.set_check_budget(complete.num_checks / 2);
+  qa::ClaimSet partial = runner(coded, &stopped_ctx, &cfg);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(partial.stop_reason, StopReason::kCheckBudget);
+
+  // Resume with no budget: identical claims to the uninterrupted run.
+  CheckpointConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  RunContext resume_ctx;
+  qa::ClaimSet resumed = runner(coded, &resume_ctx, &resume_cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.Render(), complete.Render());
+
+  // Resuming the *completed* run is a no-op that replays the full result.
+  RunContext again_ctx;
+  qa::ClaimSet again = runner(coded, &again_ctx, &resume_cfg);
+  EXPECT_TRUE(again.completed);
+  EXPECT_EQ(again.Render(), complete.Render());
+}
+
+TEST(CheckpointResumeTest, OcddiscoverStopResumeEquivalence) {
+  CheckStopResumeEquivalence("ocddiscover", &qa::RunOcddiscoverClaims);
+}
+
+TEST(CheckpointResumeTest, FastodStopResumeEquivalence) {
+  CheckStopResumeEquivalence("fastod", &qa::RunFastodClaims);
+}
+
+TEST(CheckpointResumeTest, TaneStopResumeEquivalence) {
+  CheckStopResumeEquivalence("tane", &qa::RunTaneClaims);
+}
+
+/// An injected fault (the stand-in for a crash the process survives) also
+/// drains to a snapshot, and the resumed run converges all the same.
+TEST(CheckpointResumeTest, FaultInjectedStopDrainsAndResumes) {
+  rel::CodedRelation coded = TestRelation();
+  qa::ClaimSet complete = qa::RunOcddiscoverClaims(coded);
+  ASSERT_TRUE(complete.completed);
+
+  ScratchDir scratch("fault_drain");
+  CheckpointConfig cfg;
+  cfg.dir = scratch.path;
+
+  FaultInjector injector;
+  injector.Arm("ocd.check", FaultAction::kThrow, complete.num_checks / 2);
+  RunContext faulted;
+  faulted.set_fault_injector(&injector);
+  qa::ClaimSet partial = qa::RunOcddiscoverClaims(coded, &faulted, &cfg);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(partial.stop_reason, StopReason::kFaultInjected);
+  EXPECT_FALSE(SnapshotStore(scratch.path, "ocddiscover").Generations()
+                   .empty());
+
+  CheckpointConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  RunContext resume_ctx;
+  qa::ClaimSet resumed =
+      qa::RunOcddiscoverClaims(coded, &resume_ctx, &resume_cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.Render(), complete.Render());
+}
+
+/// Corrupt newest generation at rest (bit flip on disk): resume falls back
+/// to the previous generation and still converges.
+TEST(CheckpointResumeTest, ResumeFallsBackPastCorruptGeneration) {
+  rel::CodedRelation coded = TestRelation();
+  qa::ClaimSet complete = qa::RunOcddiscoverClaims(coded);
+  ASSERT_TRUE(complete.completed);
+
+  ScratchDir scratch("at_rest");
+  CheckpointConfig cfg;
+  cfg.dir = scratch.path;
+  RunContext stopped_ctx;
+  stopped_ctx.set_check_budget(complete.num_checks / 2);
+  (void)qa::RunOcddiscoverClaims(coded, &stopped_ctx, &cfg);
+
+  SnapshotStore store(scratch.path, "ocddiscover");
+  std::vector<std::uint64_t> gens = store.Generations();
+  ASSERT_FALSE(gens.empty());
+  // Flip one byte in the middle of the newest generation file.
+  const std::string newest =
+      scratch.path + "/ocddiscover." +
+      [&] {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%06llu",
+                      static_cast<unsigned long long>(gens.back()));
+        return std::string(buf);
+      }() +
+      ".snap";
+  {
+    std::FILE* f = std::fopen(newest.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int ch = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(ch ^ 0x04, f);
+    std::fclose(f);
+  }
+
+  CheckpointConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  RunContext resume_ctx;
+  qa::ClaimSet resumed =
+      qa::RunOcddiscoverClaims(coded, &resume_ctx, &resume_cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.Render(), complete.Render());
+}
+
+/// A snapshot taken on one relation must not be applied to another: the
+/// fingerprint mismatch downgrades resume to a fresh (still correct) run.
+TEST(CheckpointResumeTest, FingerprintMismatchStartsFresh) {
+  rel::CodedRelation coded = TestRelation();
+  auto other_rel = datagen::MakeDataset("LINEITEM", 90, 99);
+  ASSERT_TRUE(other_rel.ok());
+  rel::CodedRelation other = rel::CodedRelation::Encode(*other_rel);
+  ASSERT_NE(coded.Fingerprint(), other.Fingerprint());
+
+  ScratchDir scratch("fingerprint");
+  core::OcdDiscoverOptions stop_opts;
+  stop_opts.checkpoint.dir = scratch.path;
+  RunContext stopped_ctx;
+  stopped_ctx.set_check_budget(5);
+  stop_opts.run_context = &stopped_ctx;
+  (void)core::DiscoverOcds(coded, stop_opts);
+
+  core::OcdDiscoverOptions resume_opts;
+  resume_opts.checkpoint.dir = scratch.path;
+  resume_opts.checkpoint.resume = true;
+  core::OcdDiscoverResult crossed = core::DiscoverOcds(other, resume_opts);
+  EXPECT_TRUE(crossed.completed);
+  EXPECT_FALSE(crossed.checkpoint_stats.resumed);
+  EXPECT_NE(crossed.checkpoint_stats.warning.find("different relation"),
+            std::string::npos);
+
+  core::OcdDiscoverResult fresh = core::DiscoverOcds(other);
+  EXPECT_EQ(crossed.ods, fresh.ods);
+  EXPECT_EQ(crossed.ocds, fresh.ocds);
+}
+
+/// Resume with an empty/missing directory warns and runs fresh.
+TEST(CheckpointResumeTest, ResumeWithoutSnapshotWarnsAndRunsFresh) {
+  rel::CodedRelation coded = TestRelation();
+  ScratchDir scratch("no_snapshot");
+  core::OcdDiscoverOptions opts;
+  opts.checkpoint.dir = scratch.path;
+  opts.checkpoint.resume = true;
+  core::OcdDiscoverResult result = core::DiscoverOcds(coded, opts);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.checkpoint_stats.resumed);
+  EXPECT_FALSE(result.checkpoint_stats.warning.empty());
+
+  core::OcdDiscoverResult fresh = core::DiscoverOcds(coded);
+  EXPECT_EQ(result.ods, fresh.ods);
+  EXPECT_EQ(result.ocds, fresh.ocds);
+}
+
+}  // namespace
+}  // namespace ocdd

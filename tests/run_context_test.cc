@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -111,6 +112,76 @@ TEST(RunContextTest, ResetClearsStateButKeepsBudgets) {
   // The budget survived Reset: spending it again stops again.
   EXPECT_TRUE(ctx.CountCheck(2));
   EXPECT_EQ(ctx.stop_reason(), StopReason::kCheckBudget);
+}
+
+TEST(RunContextTest, RequestStopReturnsWhetherItLatched) {
+  RunContext ctx;
+  // kNone is a no-op and never counts as latching.
+  EXPECT_FALSE(ctx.RequestStop(StopReason::kNone));
+  EXPECT_TRUE(ctx.RequestStop(StopReason::kDeadline));
+  // Every later reason loses, including a repeat of the winner.
+  EXPECT_FALSE(ctx.RequestStop(StopReason::kMemoryBudget));
+  EXPECT_FALSE(ctx.RequestStop(StopReason::kDeadline));
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(RunContextTest, ConcurrentRequestStopLatchesExactlyOne) {
+  // The precedence contract under contention: with N racing reasons, exactly
+  // one call wins and the surfaced reason is that winner's.
+  for (int round = 0; round < 50; ++round) {
+    RunContext ctx;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    const StopReason reasons[] = {StopReason::kDeadline,
+                                  StopReason::kCheckBudget,
+                                  StopReason::kMemoryBudget,
+                                  StopReason::kCancelled};
+    std::atomic<StopReason> winning_reason{StopReason::kNone};
+    for (StopReason r : reasons) {
+      threads.emplace_back([&ctx, &winners, &winning_reason, r] {
+        if (ctx.RequestStop(r)) {
+          winners.fetch_add(1);
+          winning_reason.store(r);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1);
+    EXPECT_EQ(ctx.stop_reason(), winning_reason.load());
+  }
+}
+
+TEST(RunContextTest, CheckpointCadenceDefaultsToAlwaysDue) {
+  RunContext ctx;
+  // Both dimensions 0: checkpoint at every opportunity.
+  EXPECT_TRUE(ctx.CheckpointDue());
+  ctx.MarkCheckpointed();
+  EXPECT_TRUE(ctx.CheckpointDue());
+}
+
+TEST(RunContextTest, CheckpointCadenceByChecks) {
+  RunContext ctx;
+  ctx.set_checkpoint_cadence(/*every_checks=*/10, /*every_seconds=*/0.0);
+  EXPECT_FALSE(ctx.CheckpointDue());
+  (void)ctx.CountCheck(9);
+  EXPECT_FALSE(ctx.CheckpointDue());
+  (void)ctx.CountCheck(1);
+  EXPECT_TRUE(ctx.CheckpointDue());
+  // MarkCheckpointed re-bases the counter.
+  ctx.MarkCheckpointed();
+  EXPECT_FALSE(ctx.CheckpointDue());
+  (void)ctx.CountCheck(10);
+  EXPECT_TRUE(ctx.CheckpointDue());
+}
+
+TEST(RunContextTest, CheckpointCadenceByTime) {
+  RunContext ctx;
+  ctx.set_checkpoint_cadence(/*every_checks=*/0, /*every_seconds=*/0.005);
+  EXPECT_FALSE(ctx.CheckpointDue());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(ctx.CheckpointDue());
+  ctx.MarkCheckpointed();
+  EXPECT_FALSE(ctx.CheckpointDue());
 }
 
 TEST(RunContextTest, CancelFromAnotherThread) {

@@ -1,0 +1,221 @@
+#include "engine/supervisor.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "report/json_reader.h"
+
+namespace ocdd::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch directory holding the fake-child script and its state files.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("ocdd_supervise_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Writes an executable sh script playing the child; the supervisor only
+/// sees argv, exit status, and stdout, so a script models any child exactly.
+std::string WriteScript(const ScratchDir& scratch, const std::string& body) {
+  std::string path = scratch.path + "/child.sh";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "#!/bin/sh\n" << body;
+  }
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+std::string ReportJson(bool completed, const std::string& stop_reason,
+                       int level) {
+  return "{\\\"completed\\\":" + std::string(completed ? "true" : "false") +
+         ",\\\"stop_reason\\\":\\\"" + stop_reason +
+         "\\\",\\\"stop_state\\\":{\\\"checks\\\":10,\\\"level\\\":" +
+         std::to_string(level) + ",\\\"frontier_size\\\":3}}";
+}
+
+SuperviseOptions FastOptions(std::vector<std::string> child_args) {
+  SuperviseOptions options;
+  options.child_args = std::move(child_args);
+  options.initial_backoff_seconds = 0.001;
+  options.max_backoff_seconds = 0.002;
+  return options;
+}
+
+TEST(SuperviseTest, ImmediateSuccess) {
+  ScratchDir scratch("success");
+  std::string script =
+      WriteScript(scratch, "echo \"" + ReportJson(true, "none", 5) + "\"\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  EXPECT_TRUE(result.success);
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_EQ(result.attempts[0].classification, "success");
+  EXPECT_TRUE(result.have_report);
+}
+
+TEST(SuperviseTest, CrashThenSuccessRestartsWithResume) {
+  ScratchDir scratch("crash");
+  // First invocation kills itself; later ones must carry --resume and
+  // succeed.
+  std::string script = WriteScript(
+      scratch, "marker=\"" + scratch.path + "/ran_once\"\n"
+               "if [ ! -f \"$marker\" ]; then\n"
+               "  touch \"$marker\"\n"
+               "  kill -9 $$\n"
+               "fi\n"
+               "case \" $* \" in *\" --resume \"*) ;; *) exit 9 ;; esac\n"
+               "echo \"" + ReportJson(true, "none", 5) + "\"\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  EXPECT_TRUE(result.success) << result.give_up_reason;
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[0].classification, "retry_crash");
+  EXPECT_EQ(result.attempts[0].term_signal, 9);
+  EXPECT_GT(result.attempts[0].backoff_seconds, 0.0);
+  EXPECT_EQ(result.attempts[1].classification, "success");
+}
+
+TEST(SuperviseTest, BudgetStopsRetryWhileLevelAdvances) {
+  ScratchDir scratch("budget");
+  // Three runs: stopped at level 3, stopped at level 4 (progress), done.
+  std::string script = WriteScript(
+      scratch,
+      "count_file=\"" + scratch.path + "/count\"\n"
+      "count=$(cat \"$count_file\" 2>/dev/null || echo 0)\n"
+      "count=$((count + 1)); echo $count > \"$count_file\"\n"
+      "case $count in\n"
+      "  1) echo \"" + ReportJson(false, "check_budget", 3) + "\" ;;\n"
+      "  2) echo \"" + ReportJson(false, "check_budget", 4) + "\" ;;\n"
+      "  *) echo \"" + ReportJson(true, "none", 6) + "\" ;;\n"
+      "esac\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  EXPECT_TRUE(result.success) << result.give_up_reason;
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts[0].classification, "retry_stopped");
+  EXPECT_EQ(result.attempts[0].stop_reason, "check_budget");
+  EXPECT_EQ(result.attempts[0].stop_level, 3u);
+  EXPECT_EQ(result.attempts[1].classification, "retry_stopped");
+  EXPECT_EQ(result.attempts[2].classification, "success");
+}
+
+TEST(SuperviseTest, NoLevelProgressGivesUp) {
+  ScratchDir scratch("stuck");
+  std::string script = WriteScript(
+      scratch, "echo \"" + ReportJson(false, "check_budget", 4) + "\"\n");
+  SuperviseOptions options = FastOptions({"/bin/sh", script});
+  options.max_attempts = 10;
+  SuperviseResult result = SuperviseRun(options);
+  EXPECT_FALSE(result.success);
+  // attempt 1 sets the baseline; attempts 2 and 3 show no advance.
+  EXPECT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts.back().classification, "give_up");
+  EXPECT_NE(result.give_up_reason.find("no level progress"),
+            std::string::npos);
+}
+
+TEST(SuperviseTest, NonRetryableStopGivesUpImmediately) {
+  ScratchDir scratch("level_cap");
+  std::string script = WriteScript(
+      scratch, "echo \"" + ReportJson(false, "level_cap", 4) + "\"\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  EXPECT_FALSE(result.success);
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_EQ(result.attempts[0].classification, "give_up");
+  EXPECT_NE(result.give_up_reason.find("not retryable"), std::string::npos);
+}
+
+TEST(SuperviseTest, NonZeroExitGivesUp) {
+  ScratchDir scratch("exit_code");
+  std::string script = WriteScript(scratch, "exit 2\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  EXPECT_FALSE(result.success);
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_EQ(result.attempts[0].exit_code, 2);
+  EXPECT_NE(result.give_up_reason.find("exited with code 2"),
+            std::string::npos);
+}
+
+TEST(SuperviseTest, GarbageOutputGivesUp) {
+  ScratchDir scratch("garbage");
+  std::string script = WriteScript(scratch, "echo not json at all\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.give_up_reason.find("no parseable JSON"),
+            std::string::npos);
+}
+
+TEST(SuperviseTest, CrashesExhaustAttemptBudget) {
+  ScratchDir scratch("always_crash");
+  std::string script = WriteScript(scratch, "kill -9 $$\n");
+  SuperviseOptions options = FastOptions({"/bin/sh", script});
+  options.max_attempts = 3;
+  SuperviseResult result = SuperviseRun(options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts.back().classification, "give_up");
+}
+
+TEST(SuperviseTest, MergedJsonCarriesReportAndSupervisor) {
+  ScratchDir scratch("merged");
+  std::string script =
+      WriteScript(scratch, "echo \"" + ReportJson(true, "none", 5) + "\"\n");
+  SuperviseResult result = SuperviseRun(FastOptions({"/bin/sh", script}));
+  ASSERT_TRUE(result.success);
+
+  auto doc = report::ParseJson(MergedResultJson(result));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE((*doc)["completed"].bool_value());
+  const report::JsonValue& sup = (*doc)["supervisor"];
+  EXPECT_TRUE(sup["success"].bool_value());
+  EXPECT_EQ(sup["num_attempts"].number_value(), 1.0);
+  EXPECT_EQ(sup["attempts"].array().size(), 1u);
+  EXPECT_EQ(sup["attempts"].array()[0]["classification"].string_value(),
+            "success");
+}
+
+#ifdef OCDD_CLI_PATH
+/// End-to-end: supervise the real CLI with a per-attempt check budget small
+/// enough to stop the first run mid-lattice; the resumed attempts must
+/// converge to a completed report.
+TEST(SuperviseTest, EndToEndCliResumeConverges) {
+  ScratchDir scratch("e2e");
+  SuperviseOptions options = FastOptions(
+      {OCDD_CLI_PATH, "run", "LINEITEM", "--rows", "80", "--algo", "fastod",
+       "--max-checks", "12000", "--checkpoint", scratch.path + "/ckpt",
+       "--json"});
+  options.max_attempts = 20;
+  options.no_progress_limit = 5;
+  SuperviseResult result = SuperviseRun(options);
+  ASSERT_TRUE(result.success) << result.give_up_reason;
+  ASSERT_GE(result.attempts.size(), 2u)
+      << "budget was expected to stop the first attempt";
+  EXPECT_EQ(result.attempts[0].classification, "retry_stopped");
+  EXPECT_EQ(result.attempts[0].stop_reason, "check_budget");
+  EXPECT_TRUE(result.attempts.back().completed);
+  // The merged report is the final child report: completed, with checkpoint
+  // stats showing the resume.
+  EXPECT_TRUE(result.final_report["completed"].bool_value());
+  EXPECT_TRUE(result.final_report["checkpoint"]["resumed"].bool_value());
+}
+#endif  // OCDD_CLI_PATH
+
+}  // namespace
+}  // namespace ocdd::engine

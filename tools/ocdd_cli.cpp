@@ -22,6 +22,9 @@
 // partial results are printed with `"completed":false` and a stop reason —
 // exit status stays 0 because a truncated answer is still an answer.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -41,8 +44,10 @@
 #include "core/expansion.h"
 #include "core/ocd_discover.h"
 #include "core/polarized.h"
+#include "common/snapshot.h"
 #include "datagen/registry.h"
 #include "engine/executor.h"
+#include "engine/supervisor.h"
 #include "optimizer/order_by_rewrite.h"
 #include "qa/harness.h"
 #include "relation/csv.h"
@@ -58,7 +63,20 @@ using ocdd::Status;
 /// async-signal-safe — a single atomic store).
 ocdd::RunContext g_run_context;
 
-extern "C" void HandleSigint(int) { g_run_context.Cancel(); }
+/// First SIGINT: cooperative cancellation — the run drains (writing a final
+/// checkpoint when one is configured) and prints partial results. Second
+/// SIGINT: the user wants out *now*; `_exit` (async-signal-safe) with the
+/// conventional 128+SIGINT status. See docs/robustness.md for the exit-code
+/// table.
+std::atomic<int> g_sigint_count{0};
+
+extern "C" void HandleSigint(int) {
+  if (g_sigint_count.fetch_add(1, std::memory_order_relaxed) == 0) {
+    g_run_context.Cancel();
+  } else {
+    _exit(130);
+  }
+}
 
 struct Args {
   std::string command;
@@ -125,6 +143,23 @@ void ApplyRunFlags(const Args& args) {
   std::signal(SIGINT, HandleSigint);
 }
 
+/// `--checkpoint DIR [--resume] [--checkpoint-every-checks N]
+/// [--checkpoint-every-seconds S] [--keep-generations K]` — shared by the
+/// checkpointable algorithms (discover, fds, fastod). Cadence defaults to
+/// "every level boundary" (both dimensions 0).
+ocdd::CheckpointConfig CheckpointFromArgs(const Args& args) {
+  ocdd::CheckpointConfig cfg;
+  cfg.dir = args.Get("checkpoint", "");
+  cfg.resume = args.Has("resume");
+  cfg.keep_generations = args.GetSize("keep-generations", 2);
+  if (cfg.enabled()) {
+    g_run_context.set_checkpoint_cadence(
+        args.GetU64("checkpoint-every-checks", 0),
+        args.GetDouble("checkpoint-every-seconds", 0.0));
+  }
+  return cfg;
+}
+
 std::string PartialNote(bool completed, ocdd::StopReason reason) {
   if (completed) return "";
   return std::string(" (stopped: ") + ocdd::StopReasonName(reason) +
@@ -163,6 +198,7 @@ int CmdDiscover(const Args& args) {
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   opts.max_level = args.GetSize("max-level", 0);
   opts.use_sorted_partitions = args.Has("partitions");
+  opts.checkpoint = CheckpointFromArgs(args);
   auto result = ocdd::core::DiscoverOcds(coded, opts);
 
   if (args.Has("json")) {
@@ -206,6 +242,7 @@ int CmdFds(const Args& args) {
   opts.run_context = &g_run_context;
   ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
+  opts.checkpoint = CheckpointFromArgs(args);
   auto result = ocdd::algo::DiscoverFds(coded, opts);
   if (args.Has("json")) {
     std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
@@ -231,6 +268,7 @@ int CmdFastod(const Args& args) {
   opts.run_context = &g_run_context;
   ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
+  opts.checkpoint = CheckpointFromArgs(args);
   auto result = ocdd::algo::DiscoverFastod(coded, opts);
   if (args.Has("json")) {
     std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
@@ -597,6 +635,7 @@ int CmdQa(const Args& args) {
   opts.max_side_len = args.GetSize("max-side", 2);
   opts.metamorphic = !args.Has("no-metamorphic");
   opts.stopped_runs = !args.Has("no-stopped-runs");
+  opts.resume_runs = !args.Has("no-resume-runs");
   opts.max_failures = args.GetSize("max-failures", 8);
   opts.repro_dir = args.Get("repro-dir", "");
   opts.spec.max_rows = args.GetSize("max-rows", opts.spec.max_rows);
@@ -636,6 +675,8 @@ int CmdQa(const Args& args) {
                     summary.metamorphic_comparisons));
     std::printf("  stopped-run checks ..... %llu\n",
                 static_cast<unsigned long long>(summary.stopped_run_checks));
+    std::printf("  resume-equivalence ..... %llu\n",
+                static_cast<unsigned long long>(summary.resume_checks));
     std::printf("  skipped (engine bound) . %llu\n",
                 static_cast<unsigned long long>(summary.skipped));
     if (summary.clean()) {
@@ -668,10 +709,93 @@ int CmdQa(const Args& args) {
   return summary.clean() ? 0 : 3;
 }
 
+/// `ocdd run <source> [--algo X] ...` — the checkpointable entry point used
+/// by `ocdd supervise` and the kill-and-resume nightly sweep. Dispatches to
+/// the same code paths as the per-algorithm commands; exists so the child
+/// argv stays stable no matter which algorithm is supervised.
+int CmdRun(const Args& args) {
+  std::string algo = args.Get("algo", "discover");
+  if (algo == "discover") return CmdDiscover(args);
+  if (algo == "fds" || algo == "tane") return CmdFds(args);
+  if (algo == "fastod") return CmdFastod(args);
+  std::fprintf(stderr,
+               "unknown --algo '%s' (discover, fds, fastod)\n", algo.c_str());
+  return 2;
+}
+
+/// Resolves this binary's own path so the supervised child is the same
+/// build, not whatever `ocdd` is first on PATH.
+std::string SelfExePath(const char* argv0) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
+int CmdSupervise(const Args& args, const char* argv0) {
+  if (args.Get("checkpoint", "").empty()) {
+    std::fprintf(stderr,
+                 "supervise requires --checkpoint DIR (restarts without a "
+                 "checkpoint would repeat work from scratch)\n");
+    return 2;
+  }
+
+  ocdd::engine::SuperviseOptions opts;
+  opts.max_attempts = static_cast<int>(args.GetSize("max-attempts", 5));
+  opts.initial_backoff_seconds = args.GetDouble("backoff", 0.5);
+  opts.backoff_multiplier = args.GetDouble("backoff-multiplier", 2.0);
+  opts.max_backoff_seconds = args.GetDouble("max-backoff", 30.0);
+  opts.no_progress_limit =
+      static_cast<int>(args.GetSize("no-progress-limit", 2));
+
+  // Child argv: this binary, `run`, the source, then every flag that is not
+  // supervisor-local. `--resume` is stripped (the supervisor appends it
+  // itself from the second attempt on) and `--json` is forced (the
+  // supervisor parses the child's stdout).
+  static const char* kSupervisorFlags[] = {
+      "max-attempts", "backoff", "backoff-multiplier", "max-backoff",
+      "no-progress-limit", "resume", "json"};
+  std::vector<std::string> child;
+  child.push_back(SelfExePath(argv0));
+  child.push_back("run");
+  if (!args.source.empty()) child.push_back(args.source);
+  for (const auto& [flag, value] : args.flags) {
+    bool skip = false;
+    for (const char* s : kSupervisorFlags) skip = skip || flag == s;
+    if (skip) continue;
+    child.push_back("--" + flag);
+    if (value != "true") child.push_back(value);
+  }
+  child.push_back("--json");
+  opts.child_args = std::move(child);
+
+  ocdd::engine::SuperviseResult result = ocdd::engine::SuperviseRun(opts);
+  std::printf("%s\n", ocdd::engine::MergedResultJson(result).c_str());
+  if (!result.success) {
+    std::fprintf(stderr, "supervise: gave up: %s\n",
+                 result.give_up_reason.c_str());
+    return 4;
+  }
+  return 0;
+}
+
 void Usage() {
   std::fputs(
       "usage: ocdd <command> <source> [flags]\n"
       "commands:\n"
+      "  run        checkpointable run: --algo discover|fds|fastod plus\n"
+      "             --checkpoint DIR [--resume]\n"
+      "             [--checkpoint-every-checks N]\n"
+      "             [--checkpoint-every-seconds S] [--keep-generations K]\n"
+      "  supervise  run under supervision: crashed or budget-stopped children\n"
+      "             are restarted with --resume and exponential backoff\n"
+      "             (--max-attempts N --backoff S --max-backoff S\n"
+      "              --backoff-multiplier M --no-progress-limit K);\n"
+      "             requires --checkpoint DIR; prints one merged JSON report;\n"
+      "             exit 4 = gave up\n"
       "  discover   OCDDISCOVER: order compatibility + order dependencies\n"
       "  fds        TANE: minimal functional dependencies\n"
       "  fastod     FASTOD: set-based canonical order dependencies\n"
@@ -694,11 +818,15 @@ void Usage() {
       "          NCVOTER_1K)\n"
       "flags: --rows N --seed S --threads N --time-limit SEC --max-level L\n"
       "       --memory-limit MIB --max-checks N\n"
+      "       --checkpoint DIR --resume\n"
       "       --expand --partitions --lex --max-ratio R --order-by LIST\n"
       "       --json\n"
       "       --out FILE\n"
-      "Ctrl-C cancels a discovery run cooperatively: partial results are\n"
-      "printed with a stop reason and the exit status stays 0.\n",
+      "The first Ctrl-C cancels a discovery run cooperatively: the run\n"
+      "drains (writing a final checkpoint when --checkpoint is set), partial\n"
+      "results are printed with a stop reason, and the exit status stays 0.\n"
+      "A second Ctrl-C exits immediately with status 130 (see\n"
+      "docs/robustness.md for the full exit-code table).\n",
       stderr);
 }
 
@@ -711,6 +839,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string& cmd = args->command;
+  if (cmd == "run") return CmdRun(*args);
+  if (cmd == "supervise") return CmdSupervise(*args, argv[0]);
   if (cmd == "discover") return CmdDiscover(*args);
   if (cmd == "fds") return CmdFds(*args);
   if (cmd == "fastod") return CmdFastod(*args);

@@ -44,4 +44,39 @@ for mode in drop-ocddiscover invent-order-od drop-fastod-compat; do
   fi
 done
 
+# Kill-and-resume sweep: a *real* SIGKILL — not the in-process fault
+# injection ctest uses — lands at a random instant of a checkpointed run;
+# the resumed run must produce a report identical (modulo timings, which
+# `ocdd diff` ignores) to an uninterrupted one. See docs/checkpointing.md.
+KR_DIR="${DIR}/kill-resume"
+rm -rf "${KR_DIR}"
+mkdir -p "${KR_DIR}"
+for algo in discover fastod fds; do
+  echo "==> kill-and-resume: ${algo}"
+  ref="${KR_DIR}/${algo}.ref.json"
+  "${QA}" run LINEITEM --rows 150 --algo "${algo}" --json > "${ref}"
+  ckpt="${KR_DIR}/${algo}-ckpt"
+  "${QA}" run LINEITEM --rows 150 --algo "${algo}" \
+         --checkpoint "${ckpt}" --json >/dev/null 2>&1 &
+  pid=$!
+  sleep "0.0$((RANDOM % 9 + 1))"
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  resumed="${KR_DIR}/${algo}.resumed.json"
+  "${QA}" run LINEITEM --rows 150 --algo "${algo}" \
+         --checkpoint "${ckpt}" --resume --json > "${resumed}"
+  if ! "${QA}" diff "${ref}" --after "${resumed}" | grep -q identical; then
+    echo "kill-and-resume ${algo}: resumed report differs from uninterrupted" >&2
+    "${QA}" diff "${ref}" --after "${resumed}" >&2
+    exit 1
+  fi
+done
+
+# The checkpoint/supervise suites again, under ASan/UBSan — the snapshot
+# write path (fsync/rename/read-back) and the fork/exec supervisor must be
+# clean under sanitizers, not just in the default tier-1 build.
+echo "==> checkpoint/supervise tests under asan"
+cmake --build "${DIR}" -j "$(nproc)" --target checkpoint_test supervise_test
+(cd "${DIR}" && ctest -R 'checkpoint_test|supervise_test' --output-on-failure)
+
 echo "==> nightly qa sweep passed"
