@@ -1,0 +1,119 @@
+#include "common/ingest_error.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ocdd {
+
+const char* IngestErrorCodeName(IngestErrorCode code) {
+  switch (code) {
+    case IngestErrorCode::kNone:
+      return "none";
+    case IngestErrorCode::kEmbeddedNul:
+      return "embedded_nul";
+    case IngestErrorCode::kUnterminatedQuote:
+      return "unterminated_quote";
+    case IngestErrorCode::kRaggedRow:
+      return "ragged_row";
+    case IngestErrorCode::kFieldTooLarge:
+      return "field_too_large";
+    case IngestErrorCode::kRecordTooLarge:
+      return "record_too_large";
+    case IngestErrorCode::kTooManyColumns:
+      return "too_many_columns";
+    case IngestErrorCode::kTooManyRows:
+      return "too_many_rows";
+    case IngestErrorCode::kEmptyInput:
+      return "empty_input";
+    case IngestErrorCode::kBadMagic:
+      return "bad_magic";
+    case IngestErrorCode::kBadLengthPrefix:
+      return "bad_length_prefix";
+    case IngestErrorCode::kTruncated:
+      return "truncated";
+    case IngestErrorCode::kCrcMismatch:
+      return "crc_mismatch";
+    case IngestErrorCode::kTrailingBytes:
+      return "trailing_bytes";
+    case IngestErrorCode::kMalformedSyntax:
+      return "malformed_syntax";
+    case IngestErrorCode::kNestingTooDeep:
+      return "nesting_too_deep";
+    case IngestErrorCode::kValueOutOfRange:
+      return "value_out_of_range";
+    case IngestErrorCode::kInputTooLarge:
+      return "input_too_large";
+  }
+  return "unknown";
+}
+
+std::string SanitizeExcerpt(const std::string& raw, std::size_t max_bytes) {
+  std::string out;
+  out.reserve(raw.size() < max_bytes ? raw.size() : max_bytes);
+  std::size_t used = 0;
+  for (char c : raw) {
+    if (used >= max_bytes) {
+      out += "...";
+      break;
+    }
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7F && c != '\\') {
+      out.push_back(c);
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned>(u));
+      out += buf;
+    }
+    ++used;
+  }
+  return out;
+}
+
+std::string IngestError::ToString() const {
+  std::string out = "ingest error [";
+  out += IngestErrorCodeName(code);
+  out += "] at byte ";
+  out += std::to_string(byte_offset);
+  if (row != 0) {
+    out += " (row ";
+    out += std::to_string(row);
+    if (column != 0) {
+      out += ", col ";
+      out += std::to_string(column);
+    }
+    out += ")";
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  if (!excerpt.empty()) {
+    out += "; excerpt \"";
+    out += excerpt;
+    out += '"';
+  }
+  return out;
+}
+
+Status IngestError::ToStatus() const { return Status::ParseError(ToString()); }
+
+std::string IngestCounts::ToString() const {
+  std::string out;
+  for (const auto& [name, n] : counts_) {
+    if (!out.empty()) out += ',';
+    out += name;
+    out += '=';
+    out += std::to_string(n);
+  }
+  return out;
+}
+
+}  // namespace ocdd

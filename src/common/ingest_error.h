@@ -1,0 +1,109 @@
+#ifndef OCDD_COMMON_INGEST_ERROR_H_
+#define OCDD_COMMON_INGEST_ERROR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace ocdd {
+
+/// Why a slice of untrusted input bytes was rejected at one of the ingest
+/// boundaries (CSV reader, snapshot codec, JSON report reader, claim
+/// parser). Every rejection that crosses a public API carries one of these
+/// codes so that callers — the quarantining CSV ingest in particular — can
+/// count, report, and triage malformed input per failure mode instead of
+/// pattern-matching free-text messages.
+enum class IngestErrorCode {
+  kNone = 0,
+  // CSV / text records
+  kEmbeddedNul,        ///< NUL byte in text input (binary fed to a text reader)
+  kUnterminatedQuote,  ///< quoted field never closed before end of input
+  kRaggedRow,          ///< record width differs from the header width
+  kFieldTooLarge,      ///< one field exceeds CsvLimits::max_field_bytes
+  kRecordTooLarge,     ///< one record exceeds CsvLimits::max_record_bytes
+  kTooManyColumns,     ///< record exceeds CsvLimits::max_columns fields
+  kTooManyRows,        ///< input exceeds CsvLimits::max_rows records
+  kEmptyInput,         ///< no records at all (header missing)
+  // Binary framing (snapshot codec and friends)
+  kBadMagic,           ///< leading/trailing magic bytes are wrong
+  kBadLengthPrefix,    ///< a length prefix exceeds the remaining bytes
+  kTruncated,          ///< input ends inside a fixed-width read
+  kCrcMismatch,        ///< checksum validation failed
+  kTrailingBytes,      ///< well-formed prefix followed by garbage
+  // Structured text (JSON reports, claim lines)
+  kMalformedSyntax,    ///< tokenizer/grammar-level rejection
+  kNestingTooDeep,     ///< recursion/nesting guard tripped
+  kValueOutOfRange,    ///< a parsed value violates a declared bound
+  kInputTooLarge,      ///< whole input exceeds the declared size limit
+};
+
+/// Stable lower_snake_case name for `code` (e.g. "ragged_row"); used in the
+/// JSON report schema, quarantine summaries, and error messages.
+const char* IngestErrorCodeName(IngestErrorCode code);
+
+/// One structured ingest rejection: what went wrong, where (byte offset
+/// into the input, 1-based row/column when the input is record-shaped), and
+/// a short sanitized excerpt of the offending bytes.
+struct IngestError {
+  IngestErrorCode code = IngestErrorCode::kNone;
+  /// Byte offset into the original input where the problem was detected.
+  std::uint64_t byte_offset = 0;
+  /// 1-based record number (counting the header); 0 when not record-shaped.
+  std::uint64_t row = 0;
+  /// 1-based field number within the record; 0 when unknown/not applicable.
+  std::uint64_t column = 0;
+  /// Human-readable specifics ("row has 5 fields, expected 3").
+  std::string detail;
+  /// Sanitized raw bytes around the failure (non-printables escaped,
+  /// truncated to a few dozen chars) — enough to eyeball the problem
+  /// without opening the quarantine file.
+  std::string excerpt;
+
+  /// "ingest error [ragged_row] at byte 17 (row 3, col 2): ...; excerpt ...".
+  std::string ToString() const;
+
+  /// The Status every ingest boundary returns for this rejection:
+  /// ParseError carrying `ToString()`.
+  Status ToStatus() const;
+};
+
+/// Escapes non-printable bytes (`\xNN`) and truncates to `max_bytes`,
+/// appending an ellipsis — safe to embed in logs and JSON no matter what
+/// the input contained.
+std::string SanitizeExcerpt(const std::string& raw, std::size_t max_bytes = 48);
+
+/// Per-code rejection counters, keyed by the stable code name so the
+/// rendering order (and the JSON member order) is deterministic.
+class IngestCounts {
+ public:
+  void Add(IngestErrorCode code, std::uint64_t n = 1) {
+    counts_[IngestErrorCodeName(code)] += n;
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [name, n] : counts_) t += n;
+    return t;
+  }
+  bool empty() const { return counts_.empty(); }
+  const std::map<std::string, std::uint64_t>& by_code() const {
+    return counts_;
+  }
+  /// Count for one stable code name (0 when the code never occurred).
+  std::uint64_t count(const std::string& code_name) const {
+    auto it = counts_.find(code_name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// "ragged_row=3,embedded_nul=1" (empty string when no rejections).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_INGEST_ERROR_H_

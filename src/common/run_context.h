@@ -41,6 +41,10 @@ struct StopState {
   std::size_t level = 0;
   /// Candidates/nodes in the frontier of that level.
   std::size_t frontier_size = 0;
+  /// Rows the ingest layer rejected (skipped or quarantined) before the run
+  /// started. Algorithms never touch this; the CLI stamps it after loading a
+  /// CSV source so stopped-run triage can see "the data was already short".
+  std::uint64_t ingest_rejected = 0;
 };
 
 /// Shared run-control handle for every discovery algorithm — the single

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/fault_injection.h"
+#include "common/ingest_error.h"
 #include "common/status.h"
 
 namespace ocdd {
@@ -179,17 +180,30 @@ Result<SnapshotView> SnapshotView::Decode(const std::string& bytes) {
   std::string body = bytes.substr(kMagicLen, body_len - kMagicLen);
   ByteReader r(body);
   std::uint32_t count = r.U32();
+  // A section header is at least 16 bytes (name length + payload length +
+  // CRC); an implausible count is rejected before the loop allocates
+  // anything on its behalf.
+  if (static_cast<std::uint64_t>(count) * 16 > r.remaining()) {
+    return Status::ParseError("snapshot section count " +
+                              std::to_string(count) +
+                              " exceeds remaining bytes");
+  }
   SnapshotView view;
   for (std::uint32_t i = 0; i < count; ++i) {
     std::string name = r.Str();
     std::uint64_t payload_len = r.U64();
     std::uint32_t section_crc = r.U32();
     if (!r.ok()) return Status::ParseError("snapshot section header damaged");
-    std::string payload;
-    payload.reserve(payload_len);
-    for (std::uint64_t b = 0; b < payload_len; ++b) {
-      payload.push_back(static_cast<char>(r.U8()));
+    // Validate the untrusted length against the remaining bytes *before*
+    // allocating: a corrupt generation must not be able to request a
+    // multi-GB buffer just by carrying a huge length prefix.
+    if (payload_len > r.remaining()) {
+      return Status::ParseError(
+          "snapshot section '" + SanitizeExcerpt(name, 32) + "' length " +
+          std::to_string(payload_len) + " exceeds remaining " +
+          std::to_string(r.remaining()) + " bytes");
     }
+    std::string payload = r.Bytes(static_cast<std::size_t>(payload_len));
     if (!r.ok()) return Status::ParseError("snapshot section truncated");
     if (Crc32(payload.data(), payload.size()) != section_crc) {
       return Status::ParseError("snapshot section '" + name +

@@ -103,16 +103,25 @@ class ByteReader {
     pos_ += 8;
     return v;
   }
+  /// `n` raw bytes. The bound check runs against the *remaining* input
+  /// before anything is allocated, so an adversarial length prefix (e.g.
+  /// 0xFFFFFFFF in a corrupt snapshot) is rejected without ever requesting
+  /// a multi-GB buffer.
+  std::string Bytes(std::size_t n) {
+    if (!Need(n)) return {};
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
   std::string Str() {
     std::uint32_t len = U32();
-    if (!Need(len)) return {};
-    std::string s = bytes_.substr(pos_, len);
-    pos_ += len;
-    return s;
+    return Bytes(len);
   }
   std::vector<std::uint32_t> U32Vec() {
     std::uint32_t count = U32();
     std::vector<std::uint32_t> v;
+    // Reject before reserve(): count is untrusted until the remaining
+    // bytes prove it plausible.
     if (!Need(static_cast<std::size_t>(count) * 4)) return v;
     v.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) v.push_back(U32());
@@ -126,6 +135,10 @@ class ByteReader {
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
+  /// Bytes left to read (0 once a read has failed).
+  std::size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
+  /// Current read position in the underlying byte string.
+  std::size_t pos() const { return pos_; }
 
  private:
   bool Need(std::size_t n) {

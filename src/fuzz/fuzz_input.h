@@ -1,0 +1,49 @@
+#ifndef OCDD_FUZZ_FUZZ_INPUT_H_
+#define OCDD_FUZZ_FUZZ_INPUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ocdd::fuzz {
+
+/// Slices a fuzzer's raw byte buffer into typed pieces. The convention
+/// shared by all our targets: a few leading bytes select options (policy,
+/// separator, limit preset), the remainder is the untrusted document fed to
+/// the parser under test. Every accessor degrades to a default instead of
+/// reading past the end, so a 0-byte input exercises the defaults.
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Next byte, or 0 when exhausted.
+  std::uint8_t TakeByte() {
+    if (pos_ >= size_) return 0;
+    return data_[pos_++];
+  }
+
+  /// Next byte reduced to [0, n); n must be > 0.
+  std::uint8_t TakeChoice(std::uint8_t n) { return TakeByte() % n; }
+
+  bool TakeBool() { return (TakeByte() & 1) != 0; }
+
+  /// Everything not yet consumed, as the document to parse.
+  std::string TakeRest() {
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    size_ - pos_);
+    pos_ = size_;
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ocdd::fuzz
+
+#endif  // OCDD_FUZZ_FUZZ_INPUT_H_

@@ -1,0 +1,164 @@
+#include "fuzz/targets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/snapshot.h"
+#include "fuzz/fuzz_input.h"
+#include "qa/claim_parser.h"
+#include "qa/claims.h"
+#include "relation/csv.h"
+#include "report/json_reader.h"
+
+namespace ocdd::fuzz {
+
+namespace {
+
+/// Invariant check that crashes loudly (not an assert: it must fire in
+/// Release builds, which is what both fuzzers and fuzz-lite run).
+void Check(bool cond, const char* what) {
+  if (cond) return;
+  std::fprintf(stderr, "fuzz target invariant violated: %s\n", what);
+  std::abort();
+}
+
+std::string Join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int RunCsvTarget(const std::uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+  rel::CsvOptions opts;
+  switch (in.TakeChoice(3)) {
+    case 0:
+      opts.on_bad_row = rel::BadRowPolicy::kFail;
+      break;
+    case 1:
+      opts.on_bad_row = rel::BadRowPolicy::kSkip;
+      break;
+    default:
+      opts.on_bad_row = rel::BadRowPolicy::kQuarantine;
+      break;
+  }
+  opts.has_header = in.TakeBool();
+  opts.separator = in.TakeBool() ? ';' : ',';
+  if (in.TakeBool()) {
+    // Tight limits so the limit-rejection paths get fuzzed too.
+    opts.limits.max_field_bytes = 16;
+    opts.limits.max_record_bytes = 64;
+    opts.limits.max_columns = 4;
+  }
+  const std::string text = in.TakeRest();
+
+  auto read = rel::ReadCsvWithReport(text, opts);
+  if (!read.ok()) return 0;
+  const rel::CsvIngestReport& report = read->report;
+  Check(report.rows_ingested == read->relation.num_rows(),
+        "csv: ingested row count != relation rows");
+  Check(report.records_total == report.rows_ingested + report.rows_rejected,
+        "csv: records_total != ingested + rejected");
+  Check(report.rejected_by_code.total() == report.rows_rejected,
+        "csv: per-code counts don't sum to rows_rejected");
+  if (opts.on_bad_row == rel::BadRowPolicy::kFail) {
+    Check(report.clean(), "csv: kFail accepted input with rejections");
+  }
+  if (opts.on_bad_row == rel::BadRowPolicy::kQuarantine) {
+    Check(report.quarantined_rows.size() == report.rows_rejected,
+          "csv: quarantined rows != rows_rejected");
+  }
+  // Whatever was accepted must survive a write/read round-trip.
+  auto again = rel::ReadCsvString(rel::WriteCsvString(read->relation));
+  Check(again.ok(), "csv: accepted relation fails to re-read");
+  Check(again->num_rows() == read->relation.num_rows(),
+        "csv: round-trip changed the row count");
+  return 0;
+}
+
+int RunSnapshotTarget(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  auto view = SnapshotView::Decode(bytes);
+  if (view.ok()) {
+    // Anything Decode accepts must re-encode and decode to the same
+    // sections.
+    SnapshotBuilder b;
+    for (const std::string& name : view->SectionNames()) {
+      b.AddSection(name, *view->Find(name));
+    }
+    auto again = SnapshotView::Decode(b.Encode());
+    Check(again.ok(), "snapshot: re-encoded image fails to decode");
+    Check(again->SectionNames() == view->SectionNames(),
+          "snapshot: round-trip changed the section set");
+  }
+  // Sweep the primitive codec too: interleaved reads over raw bytes must
+  // never run past the buffer, whatever the embedded length prefixes claim.
+  ByteReader r(bytes);
+  FuzzInput plan(data, size);
+  for (int i = 0; i < 16 && r.ok(); ++i) {
+    switch (plan.TakeChoice(6)) {
+      case 0:
+        r.U8();
+        break;
+      case 1:
+        r.U32();
+        break;
+      case 2:
+        r.U64();
+        break;
+      case 3:
+        Check(r.Str().size() <= bytes.size(), "bytereader: oversized string");
+        break;
+      case 4:
+        Check(r.U32Vec().size() * 4 <= bytes.size(),
+              "bytereader: oversized vector");
+        break;
+      default:
+        r.Bytes(plan.TakeByte());
+        break;
+    }
+    Check(r.pos() <= bytes.size(), "bytereader: position ran past the end");
+  }
+  return 0;
+}
+
+int RunJsonReportTarget(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto value = report::ParseJson(text);
+  if (!value.ok()) return 0;
+  // Canonical serialization must be a fixed point.
+  const std::string canonical = report::SerializeJson(*value);
+  auto again = report::ParseJson(canonical);
+  Check(again.ok(), "json: canonical form fails to re-parse");
+  Check(report::SerializeJson(*again) == canonical,
+        "json: canonical serialization is not a fixed point");
+  // Diffing a document against itself reports no changes (or a structured
+  // error for non-report shapes — never a crash).
+  auto diff = report::DiffReports(*value, *value);
+  if (diff.ok()) {
+    Check(diff->empty(), "json: self-diff reported differences");
+  }
+  return 0;
+}
+
+int RunClaimsTarget(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto claims = qa::ParseClaimLines(text);
+  if (!claims.ok()) return 0;
+  // Render() of a parsed set must re-parse to the same rendering.
+  const std::string rendered = Join(claims->Render());
+  auto again = qa::ParseClaimLines(rendered);
+  Check(again.ok(), "claims: rendered claims fail to re-parse");
+  Check(Join(again->Render()) == rendered,
+        "claims: render/parse is not a fixed point");
+  return 0;
+}
+
+}  // namespace ocdd::fuzz

@@ -1,0 +1,27 @@
+#ifndef OCDD_FUZZ_TARGETS_H_
+#define OCDD_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ocdd::fuzz {
+
+/// The four untrusted-byte boundaries, as plain functions over a raw byte
+/// buffer. Each one drives a deserializer plus the invariants that must
+/// hold on whatever it accepts (round-trips, count accounting), aborting
+/// the process on a violation — under libFuzzer/ASan that is a reported
+/// crash, under the fuzz-lite corpus replay a test failure.
+///
+/// The same functions back both harnesses: the libFuzzer entry points in
+/// fuzz_*.cc (built only with -DOCDD_FUZZ=ON under Clang) and the
+/// compiler-agnostic tests/fuzz_lite_test.cc corpus replay that keeps these
+/// paths in tier-1 on every build. All return 0 (the libFuzzer convention
+/// for "input processed").
+int RunCsvTarget(const std::uint8_t* data, std::size_t size);
+int RunSnapshotTarget(const std::uint8_t* data, std::size_t size);
+int RunJsonReportTarget(const std::uint8_t* data, std::size_t size);
+int RunClaimsTarget(const std::uint8_t* data, std::size_t size);
+
+}  // namespace ocdd::fuzz
+
+#endif  // OCDD_FUZZ_TARGETS_H_

@@ -1,0 +1,222 @@
+#include "qa/claim_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace ocdd::qa {
+
+namespace {
+
+/// Cursor over one claim line. Every helper returns false on mismatch and
+/// leaves a structured error for the caller to wrap; nothing here throws or
+/// reads past `line_`.
+class LineParser {
+ public:
+  LineParser(const std::string& line, const ClaimParseLimits& limits)
+      : line_(line), limits_(limits) {}
+
+  bool Literal(const char* s) {
+    std::size_t len = 0;
+    while (s[len] != '\0') ++len;
+    if (line_.compare(pos_, len, s) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  /// Unsigned decimal column id, bounded by `max_column_id`.
+  bool Id(rel::ColumnId* out) {
+    if (pos_ >= line_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    line_[pos_]))) {
+      return false;
+    }
+    std::uint64_t v = 0;
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(line_[pos_] - '0');
+      if (v >= limits_.max_column_id) {
+        out_of_range_ = true;
+        return false;
+      }
+      ++pos_;
+    }
+    *out = static_cast<rel::ColumnId>(v);
+    return true;
+  }
+
+  /// `open` ids `close`, comma-separated, possibly empty: "[1,2]", "{}", ...
+  bool IdSeq(char open, char close, std::vector<rel::ColumnId>* out) {
+    out->clear();
+    if (pos_ >= line_.size() || line_[pos_] != open) return false;
+    ++pos_;
+    if (pos_ < line_.size() && line_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      rel::ColumnId id = 0;
+      if (!Id(&id)) return false;
+      if (out->size() >= limits_.max_list_len) {
+        out_of_range_ = true;
+        return false;
+      }
+      out->push_back(id);
+      if (pos_ < line_.size() && line_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= line_.size() || line_[pos_] != close) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool List(std::vector<rel::ColumnId>* out) { return IdSeq('[', ']', out); }
+  bool Set(std::vector<rel::ColumnId>* out) { return IdSeq('{', '}', out); }
+
+  bool AtEnd() const { return pos_ == line_.size(); }
+  std::size_t pos() const { return pos_; }
+  /// True when the parse failed on a bound (id or list too large) rather
+  /// than on syntax.
+  bool out_of_range() const { return out_of_range_; }
+
+ private:
+  const std::string& line_;
+  const ClaimParseLimits& limits_;
+  std::size_t pos_ = 0;
+  bool out_of_range_ = false;
+};
+
+/// Parses one non-blank, non-comment line into `claims`. On failure returns
+/// false with `*rel_offset` at the position within the line where the parse
+/// stopped and `*code` describing why.
+bool ParseOneLine(const std::string& line, const ClaimParseLimits& limits,
+                  ClaimSet* claims, std::size_t* rel_offset,
+                  IngestErrorCode* code) {
+  LineParser p(line, limits);
+  std::vector<rel::ColumnId> a, b;
+  bool ok = false;
+  if (p.Literal("OD ")) {
+    ok = p.List(&a) && p.Literal(" -> ") && p.List(&b) && p.AtEnd();
+    if (ok) {
+      claims->ods.push_back(
+          {od::AttributeList(std::move(a)), od::AttributeList(std::move(b))});
+    }
+  } else if (p.Literal("OCD ")) {
+    ok = p.List(&a) && p.Literal(" ~ ") && p.List(&b) && p.AtEnd();
+    if (ok) {
+      claims->ocds.push_back(
+          {od::AttributeList(std::move(a)), od::AttributeList(std::move(b))});
+    }
+  } else if (p.Literal("CONST ")) {
+    ok = p.List(&a) && a.size() == 1 && p.AtEnd();
+    if (ok) claims->constant_columns.push_back(a[0]);
+  } else if (p.Literal("EQUIV ")) {
+    ok = p.List(&a) && p.AtEnd();
+    if (ok) claims->equivalence_classes.push_back(std::move(a));
+  } else if (p.Literal("COD ")) {
+    if (p.Set(&a) && p.Literal(": ")) {
+      od::CanonicalOd cod;
+      cod.context = std::move(a);
+      if (p.Literal("[] -> ")) {
+        cod.kind = od::CanonicalOd::Kind::kConstancy;
+        ok = p.Id(&cod.right) && p.AtEnd();
+      } else {
+        cod.kind = od::CanonicalOd::Kind::kOrderCompatible;
+        ok = p.Id(&cod.left) && p.Literal(" ~ ") && p.Id(&cod.right) &&
+             p.AtEnd();
+      }
+      if (ok) claims->canonical.push_back(std::move(cod));
+    }
+  } else if (p.Literal("FD ")) {
+    od::FunctionalDependency fd;
+    ok = p.Set(&fd.lhs) && p.Literal(" -> ") && p.Id(&fd.rhs) && p.AtEnd();
+    if (ok) claims->fds.push_back(std::move(fd));
+  }
+  if (!ok) {
+    *rel_offset = p.pos();
+    *code = p.out_of_range() ? IngestErrorCode::kValueOutOfRange
+                             : IngestErrorCode::kMalformedSyntax;
+  }
+  return ok;
+}
+
+IngestError MakeError(IngestErrorCode code, std::uint64_t byte_offset,
+                      std::uint64_t line_no, std::string detail,
+                      const std::string& line) {
+  IngestError err;
+  err.code = code;
+  err.byte_offset = byte_offset;
+  err.row = line_no;
+  err.detail = std::move(detail);
+  err.excerpt = SanitizeExcerpt(line);
+  return err;
+}
+
+}  // namespace
+
+Result<ClaimSet> ParseClaimLines(const std::string& text,
+                                 const ClaimParseLimits& limits) {
+  if (text.size() > limits.max_input_bytes) {
+    return MakeError(IngestErrorCode::kInputTooLarge, limits.max_input_bytes,
+                     0,
+                     "claim text exceeds max_input_bytes=" +
+                         std::to_string(limits.max_input_bytes),
+                     "")
+        .ToStatus();
+  }
+  ClaimSet claims;
+  claims.algorithm = "parsed";
+
+  std::size_t line_start = 0;
+  std::uint64_t line_no = 0;
+  while (line_start <= text.size()) {
+    if (line_start == text.size()) break;
+    std::size_t nl = text.find('\n', line_start);
+    std::size_t line_end = (nl == std::string::npos) ? text.size() : nl;
+    std::string line = text.substr(line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_no;
+    if (line_no > limits.max_lines) {
+      return MakeError(IngestErrorCode::kInputTooLarge, line_start, line_no,
+                       "claim text exceeds max_lines=" +
+                           std::to_string(limits.max_lines),
+                       line)
+          .ToStatus();
+    }
+    if (line.size() > limits.max_line_bytes) {
+      return MakeError(IngestErrorCode::kInputTooLarge, line_start, line_no,
+                       "claim line exceeds max_line_bytes=" +
+                           std::to_string(limits.max_line_bytes),
+                       line)
+          .ToStatus();
+    }
+    if (line.find('\0') != std::string::npos) {
+      return MakeError(IngestErrorCode::kEmbeddedNul,
+                       line_start + line.find('\0'), line_no,
+                       "embedded NUL byte", line)
+          .ToStatus();
+    }
+    if (!line.empty() && line[0] == '#') {
+      const std::string kAlgo = "# algorithm: ";
+      if (line.compare(0, kAlgo.size(), kAlgo) == 0) {
+        claims.algorithm = line.substr(kAlgo.size());
+      }
+    } else if (!line.empty()) {
+      std::size_t rel_offset = 0;
+      IngestErrorCode code = IngestErrorCode::kMalformedSyntax;
+      if (!ParseOneLine(line, limits, &claims, &rel_offset, &code)) {
+        return MakeError(code, line_start + rel_offset, line_no,
+                         "unrecognized claim line", line)
+            .ToStatus();
+      }
+    }
+    if (nl == std::string::npos) break;
+    line_start = nl + 1;
+  }
+  claims.SortAll();
+  return claims;
+}
+
+}  // namespace ocdd::qa

@@ -1,0 +1,48 @@
+#ifndef OCDD_QA_CLAIM_PARSER_H_
+#define OCDD_QA_CLAIM_PARSER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/ingest_error.h"
+#include "common/result.h"
+#include "qa/claims.h"
+
+namespace ocdd::qa {
+
+/// Declared limits for `ParseClaimLines` — claim files cross process
+/// boundaries (repro seeds, nightly artifacts), so the parser treats its
+/// input as untrusted bytes and bounds everything it allocates.
+struct ClaimParseLimits {
+  std::size_t max_input_bytes = 4u << 20;
+  std::size_t max_lines = 100000;
+  std::size_t max_line_bytes = 4096;
+  /// Max column ids in one attribute list / set.
+  std::size_t max_list_len = 256;
+  /// Column ids must be < this (a claim about column 4 billion is garbage,
+  /// not data).
+  std::size_t max_column_id = 1u << 20;
+};
+
+/// Parses the stable `ClaimSet::Render()` line vocabulary back into a
+/// ClaimSet — the inverse of Render() for the claim kinds it emits:
+///
+///   OD [1,2] -> [3]
+///   OCD [1] ~ [2]
+///   CONST [3]
+///   EQUIV [1,2,3]
+///   COD {1,2}: [] -> 3      (canonical constancy)
+///   COD {1}: 2 ~ 3          (canonical compatibility)
+///   FD {1,2} -> 3
+///
+/// Blank lines are skipped; lines starting with '#' are comments (the one
+/// form `# algorithm: <name>` sets ClaimSet::algorithm). Any other line is
+/// a structured ParseError (IngestError rendering: code, byte offset, line).
+/// The result is `SortAll()`-normalized, so Render() of the parsed set
+/// round-trips the claim lines exactly.
+Result<ClaimSet> ParseClaimLines(const std::string& text,
+                                 const ClaimParseLimits& limits = {});
+
+}  // namespace ocdd::qa
+
+#endif  // OCDD_QA_CLAIM_PARSER_H_

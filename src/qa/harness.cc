@@ -253,6 +253,201 @@ std::vector<Discrepancy> CheckResumedRuns(const rel::CodedRelation& coded,
   return out;
 }
 
+/// A CSV rendering of the instance with deterministic malformed rows
+/// spliced between the good ones.
+struct DirtyCsv {
+  std::string clean;  ///< WriteCsvString(relation), unmodified
+  std::string text;   ///< clean + injected bad rows
+  std::size_t num_bad = 0;
+  /// Exact accounting only holds when the clean rendering has no quote
+  /// characters — an injected `"broken` row next to a quoted field can merge
+  /// records, which the generic contract tolerates but exact counts don't.
+  bool exact = false;
+};
+
+DirtyCsv InjectBadRows(const rel::Relation& relation, Rng& rng) {
+  DirtyCsv dirty;
+  dirty.clean = rel::WriteCsvString(relation);
+  dirty.exact = dirty.clean.find('"') == std::string::npos;
+  dirty.num_bad = 1 + rng.Uniform(3);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < dirty.clean.size()) {
+    std::size_t nl = dirty.clean.find('\n', start);
+    std::size_t end = nl == std::string::npos ? dirty.clean.size() : nl;
+    lines.push_back(dirty.clean.substr(start, end - start));
+    start = end + 1;
+  }
+
+  // One-rejection-per-injection accounting constrains how injection kinds
+  // may mix: a stray `"` scans forward until the next quote or NUL, so a
+  // second `"broken` would close the first one's quote (merging the records
+  // between them) and a NUL row after a `"broken` would be swallowed into
+  // its span along with every good line between. Both are well-defined
+  // recovery behaviour, just not one-rejection-per-row. So each instance
+  // draws either from {ragged, broken-quote (at most one)} or from
+  // {ragged, NUL} — over iterations all three kinds are exercised.
+  const bool quote_flavour = rng.Uniform(2) == 0;
+  bool quote_used = false;
+  for (std::size_t b = 0; b < dirty.num_bad; ++b) {
+    std::string bad;
+    std::uint64_t kind = rng.Uniform(2);
+    if (kind == 1 && quote_flavour && quote_used) kind = 0;
+    if (kind == 0) {
+      // Ragged width (one field too few, or too many for 1-col).
+      bad = relation.num_columns() == 1 ? "!,!" : "!";
+    } else if (quote_flavour) {
+      bad = "\"broken";  // quote opened, never closed
+      quote_used = true;
+    } else {
+      // Binary fed to a text reader.
+      bad = std::string("nul") + '\0' + "byte";
+      if (relation.num_columns() > 1) {
+        bad += std::string(relation.num_columns() - 1, ',');
+      }
+    }
+    // Any data position, including past the last row; never before the
+    // header.
+    std::size_t at = 1 + rng.Uniform(lines.size());
+    lines.insert(lines.begin() + at, std::move(bad));
+  }
+
+  for (const std::string& line : lines) {
+    dirty.text += line;
+    dirty.text += '\n';
+  }
+  return dirty;
+}
+
+/// Self-contained consistency audit of the three bad-row policies on one
+/// text — needs no knowledge of how the text was produced, so it doubles as
+/// the shrinking predicate. Checks: skip and quarantine agree on
+/// readability and on the surviving relation; the quarantine accounting
+/// identities hold (total = ingested + rejected, per-code counts sum to
+/// rejected, one preserved raw row per rejection); strict fail errors
+/// exactly when rejections exist, with a structured IngestError rendering.
+std::vector<Discrepancy> CheckIngestContract(const std::string& text,
+                                             std::uint64_t* checks) {
+  std::vector<Discrepancy> out;
+  auto add = [&out](const char* policy, std::string detail) {
+    out.push_back({"ingest", policy, std::move(detail)});
+  };
+
+  rel::CsvOptions quarantine_opts;
+  quarantine_opts.on_bad_row = rel::BadRowPolicy::kQuarantine;
+  auto quarantined = rel::ReadCsvWithReport(text, quarantine_opts);
+  rel::CsvOptions skip_opts;
+  skip_opts.on_bad_row = rel::BadRowPolicy::kSkip;
+  auto skipped = rel::ReadCsvWithReport(text, skip_opts);
+
+  ++*checks;
+  if (quarantined.ok() != skipped.ok()) {
+    add("skip~quarantine",
+        std::string("policies disagree on readability: quarantine ") +
+            (quarantined.ok() ? "accepts" : "rejects") + ", skip " +
+            (skipped.ok() ? "accepts" : "rejects"));
+    return out;
+  }
+  if (!quarantined.ok()) return out;  // both reject (e.g. bad header) — fine
+
+  const rel::CsvIngestReport& report = quarantined->report;
+  ++*checks;
+  if (report.records_total != report.rows_ingested + report.rows_rejected) {
+    add("quarantine",
+        "count identity broken: " + std::to_string(report.records_total) +
+            " records != " + std::to_string(report.rows_ingested) +
+            " ingested + " + std::to_string(report.rows_rejected) +
+            " rejected");
+  }
+  ++*checks;
+  if (report.rejected_by_code.total() != report.rows_rejected) {
+    add("quarantine", "per-code counts sum to " +
+                          std::to_string(report.rejected_by_code.total()) +
+                          ", not rows_rejected " +
+                          std::to_string(report.rows_rejected) + " (" +
+                          report.rejected_by_code.ToString() + ")");
+  }
+  ++*checks;
+  if (report.quarantined_rows.size() != report.rows_rejected) {
+    add("quarantine", "preserved " +
+                          std::to_string(report.quarantined_rows.size()) +
+                          " raw rows for " +
+                          std::to_string(report.rows_rejected) +
+                          " rejections");
+  }
+  ++*checks;
+  if (quarantined->relation.num_rows() != report.rows_ingested) {
+    add("quarantine",
+        "relation has " + std::to_string(quarantined->relation.num_rows()) +
+            " rows, report counted " + std::to_string(report.rows_ingested));
+  }
+  ++*checks;
+  if (rel::WriteCsvString(quarantined->relation) !=
+      rel::WriteCsvString(skipped->relation)) {
+    add("skip~quarantine", "policies ingest different relations");
+  }
+
+  rel::CsvOptions fail_opts;  // kFail is the default
+  auto failed = rel::ReadCsvWithReport(text, fail_opts);
+  ++*checks;
+  if (failed.ok() != report.clean()) {
+    add("fail", report.clean()
+                    ? "strict fail rejects input quarantine found clean: " +
+                          failed.status().ToString()
+                    : "strict fail accepted input with " +
+                          std::to_string(report.rows_rejected) +
+                          " quarantined rejections");
+  }
+  ++*checks;
+  if (!failed.ok() && failed.status().ToString().find("ingest error [") ==
+                          std::string::npos) {
+    add("fail", "error is not a structured IngestError: " +
+                    failed.status().ToString());
+  }
+  return out;
+}
+
+/// The seeded ingest stage of one qa iteration: splice malformed rows into
+/// the instance's CSV, audit the policy contract, and — when the injection
+/// is quote-free so exact accounting is provable — pin the exact counts and
+/// the recovered relation against the known-good rendering.
+std::vector<Discrepancy> CheckIngest(const rel::Relation& relation, Rng& rng,
+                                     std::uint64_t* checks, DirtyCsv* dirty) {
+  *dirty = InjectBadRows(relation, rng);
+  std::vector<Discrepancy> out = CheckIngestContract(dirty->text, checks);
+  if (!out.empty() || !dirty->exact) return out;
+
+  rel::CsvOptions opts;
+  opts.on_bad_row = rel::BadRowPolicy::kQuarantine;
+  auto read = rel::ReadCsvWithReport(dirty->text, opts);
+  ++*checks;
+  if (!read.ok()) {
+    out.push_back({"ingest", "quarantine",
+                   "quote-free injection unreadable: " +
+                       read.status().ToString()});
+    return out;
+  }
+  if (read->report.rows_rejected != dirty->num_bad) {
+    out.push_back({"ingest", "quarantine",
+                   "injected " + std::to_string(dirty->num_bad) +
+                       " bad rows, counted " +
+                       std::to_string(read->report.rows_rejected) + " (" +
+                       read->report.rejected_by_code.ToString() + ")"});
+  }
+  if (read->report.rows_ingested != relation.num_rows()) {
+    out.push_back({"ingest", "quarantine",
+                   "ingested " + std::to_string(read->report.rows_ingested) +
+                       " of " + std::to_string(relation.num_rows()) +
+                       " good rows"});
+  }
+  if (rel::WriteCsvString(read->relation) != dirty->clean) {
+    out.push_back({"ingest", "quarantine",
+                   "recovered relation differs from the pre-injection one"});
+  }
+  return out;
+}
+
 void AppendJsonString(std::string& out, const std::string& s) {
   out += '"';
   for (char ch : s) {
@@ -354,6 +549,42 @@ QaSummary RunQa(const QaOptions& options) {
     }
 
     bool failed = false;
+    if (options.ingest) {
+      DirtyCsv dirty;
+      std::vector<Discrepancy> ds =
+          CheckIngest(relation, rng, &summary.ingest_checks, &dirty);
+      if (!ds.empty()) {
+        // Shrink by raw lines when the self-contained contract reproduces;
+        // exact-count mismatches depend on the injection and ship unshrunk.
+        std::string repro_text = dirty.text;
+        auto contract_fails = [](const std::string& text) {
+          std::uint64_t scratch = 0;
+          return !CheckIngestContract(text, &scratch).empty();
+        };
+        std::uint64_t scratch = 0;
+        if (!CheckIngestContract(dirty.text, &scratch).empty()) {
+          ShrinkCsvResult shrunk =
+              ShrinkFailingCsvLines(dirty.text, contract_fails);
+          summary.shrink_evaluations += shrunk.evaluations;
+          repro_text = std::move(shrunk.csv);
+        }
+        QaFailure f;
+        f.iteration = i;
+        f.iteration_seed = iter_seed;
+        f.kind = "ingest";
+        if (ds.size() > kMaxDiscrepanciesPerFailure) {
+          ds.resize(kMaxDiscrepanciesPerFailure);
+        }
+        f.discrepancies = std::move(ds);
+        f.csv = std::move(repro_text);
+        f.rows = relation.num_rows();
+        f.cols = relation.num_columns();
+        MaybeWriteRepro(options, &f);
+        summary.failures.push_back(std::move(f));
+        continue;
+      }
+    }
+
     if (options.metamorphic) {
       for (Transform t : kAllTransforms) {
         OracleReport mreport = CheckMetamorphic(relation, runs, t, rng);
@@ -420,6 +651,8 @@ std::string SummaryToJson(const QaSummary& summary) {
   out += "  \"stopped_run_checks\": " +
          std::to_string(summary.stopped_run_checks) + ",\n";
   out += "  \"resume_checks\": " + std::to_string(summary.resume_checks) +
+         ",\n";
+  out += "  \"ingest_checks\": " + std::to_string(summary.ingest_checks) +
          ",\n";
   out += "  \"skipped\": " + std::to_string(summary.skipped) + ",\n";
   out += "  \"shrink_evaluations\": " +

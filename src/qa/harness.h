@@ -28,6 +28,11 @@ struct QaOptions {
   /// snapshot, and assert the resumed claims equal the uninterrupted run's
   /// (the crash-safety contract, docs/checkpointing.md).
   bool resume_runs = true;
+  /// Splice seeded malformed rows into each instance's CSV rendering and
+  /// audit the ingest boundary: skip ≡ quarantine on the surviving relation,
+  /// exact per-code rejection accounting, and strict-fail erroring
+  /// structurally (docs/robustness.md). Failures are shrunk line-wise.
+  bool ingest = true;
   /// Scratch directory for resume-equivalence snapshots; empty means a
   /// per-process directory under the system temp dir (removed afterwards).
   std::string checkpoint_scratch_dir;
@@ -45,7 +50,10 @@ struct QaFailure {
   /// the failing instance exactly. (Iteration seeds are derived, not
   /// sequential — see IterationSeed.)
   std::uint64_t iteration_seed = 0;
-  /// "oracle", "metamorphic/<transform>", "stopped_run", or "resumed_run".
+  /// "oracle", "metamorphic/<transform>", "stopped_run", "resumed_run", or
+  /// "ingest". For "ingest" failures `csv` holds the raw corrupted text
+  /// (line-shrunk when the contract violation survives shrinking) and each
+  /// discrepancy names the bad-row policy it indicts.
   std::string kind;
   std::vector<Discrepancy> discrepancies;
   /// CSV of the shrunk failing relation (oracle failures) or of the base
@@ -67,6 +75,7 @@ struct QaSummary {
   std::uint64_t metamorphic_comparisons = 0;
   std::uint64_t stopped_run_checks = 0;
   std::uint64_t resume_checks = 0;
+  std::uint64_t ingest_checks = 0;
   std::uint64_t skipped = 0;
   std::uint64_t shrink_evaluations = 0;
   std::vector<QaFailure> failures;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 #include "relation/relation.h"
 
@@ -30,6 +31,30 @@ struct ShrinkResult {
 ShrinkResult ShrinkFailingRelation(const rel::Relation& failing,
                                    const FailurePredicate& still_fails,
                                    std::size_t max_evaluations = 4000);
+
+/// Returns true when the raw CSV text still reproduces the failure. Must be
+/// deterministic, like FailurePredicate.
+using CsvTextPredicate = std::function<bool(const std::string&)>;
+
+struct ShrinkCsvResult {
+  std::string csv;
+  /// Predicate evaluations spent (candidate texts tried).
+  std::size_t evaluations = 0;
+};
+
+/// Line-based delta-debugging over raw CSV *text* — for failures that live
+/// at the ingest boundary, where the offending bytes may not survive a
+/// parse/re-serialize cycle (malformed rows, broken quoting). Repeatedly
+/// drops binary-searched blocks of data lines while `still_fails` keeps
+/// returning true; the header line is always kept. Splitting on '\n' may cut
+/// through a quoted multi-line field — such candidates simply stop
+/// reproducing and are rejected by the predicate.
+///
+/// `failing_csv` itself must satisfy the predicate; the returned text always
+/// does (it is `failing_csv` verbatim when no line can be dropped).
+ShrinkCsvResult ShrinkFailingCsvLines(const std::string& failing_csv,
+                                      const CsvTextPredicate& still_fails,
+                                      std::size_t max_evaluations = 2000);
 
 }  // namespace ocdd::qa
 

@@ -1,125 +1,341 @@
 #include "relation/csv.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
+#include "common/run_context.h"
+
 namespace ocdd::rel {
+
+const char* BadRowPolicyName(BadRowPolicy policy) {
+  switch (policy) {
+    case BadRowPolicy::kFail:
+      return "fail";
+    case BadRowPolicy::kSkip:
+      return "skip";
+    case BadRowPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
 
 namespace {
 
-/// Splits raw CSV text into records of fields, honoring quotes.
-Result<std::vector<std::vector<std::string>>> Tokenize(const std::string& text,
-                                                       char sep) {
-  std::vector<std::vector<std::string>> records;
-  std::vector<std::string> record;
-  std::string field;
-  bool in_quotes = false;
-  bool field_was_quoted = false;
-  bool any_char_in_record = false;
+/// One physical record as scanned from the raw text: its fields when it
+/// tokenized cleanly, or a structured error plus the raw byte span
+/// `[begin, end)` (terminator excluded) for quarantining.
+struct RawRecord {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// 1-based physical record number (header counts as row 1).
+  std::uint64_t row = 0;
+  bool ok = true;
+  IngestError error;
+};
 
-  auto end_field = [&] {
-    record.push_back(std::move(field));
-    field.clear();
-    field_was_quoted = false;
-  };
-  auto end_record = [&] {
-    end_field();
-    records.push_back(std::move(record));
-    record.clear();
-    any_char_in_record = false;
-  };
+/// Record-at-a-time tokenizer with quote-state recovery: a structural error
+/// (NUL, oversized field/record, too many columns, unterminated quote)
+/// fails only the *current* record and resynchronizes at the next raw line
+/// terminator, so one mangled row cannot take the rest of the file with it.
+/// The declared CsvLimits are enforced while scanning — before the parser
+/// buffers more than one limit's worth of bytes on the input's behalf.
+class RecordScanner {
+ public:
+  RecordScanner(const std::string& text, const CsvOptions& options,
+                std::size_t start)
+      : text_(text), options_(options), pos_(start) {}
 
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    if (c == '\0') {
-      // NUL never appears in valid CSV text (inside or outside quotes); it
-      // is the signature of binary input fed to the text reader.
-      return Status::ParseError("embedded NUL byte at offset " +
-                                std::to_string(i));
-    }
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
+  /// Scans the next record into `*rec`; false at end of input. Blank lines
+  /// are skipped without producing a record.
+  bool Next(RawRecord* rec) {
+    const std::size_t n = text_.size();
+    // LF, CRLF, and lone CR all terminate records; runs of terminators are
+    // blank lines, not empty records.
+    while (pos_ < n) {
+      if (text_[pos_] == '\n') {
+        ++pos_;
+      } else if (text_[pos_] == '\r') {
+        pos_ += (pos_ + 1 < n && text_[pos_ + 1] == '\n') ? 2 : 1;
       } else {
+        break;
+      }
+    }
+    if (pos_ >= n) return false;
+
+    rec->fields.clear();
+    rec->ok = true;
+    rec->error = IngestError{};
+    rec->begin = pos_;
+    rec->row = ++row_;
+
+    const CsvLimits& lim = options_.limits;
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+    std::size_t quote_open_pos = 0;
+
+    auto end_field = [&]() -> bool {
+      if (rec->fields.size() >= lim.max_columns) return false;
+      rec->fields.push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      return true;
+    };
+    auto too_many_columns = [&](std::size_t at) {
+      Fail(rec, IngestErrorCode::kTooManyColumns, at, rec->fields.size() + 1,
+           "record exceeds max_columns=" + std::to_string(lim.max_columns));
+    };
+
+    while (pos_ < n) {
+      const std::size_t i = pos_;
+      const char c = text_[i];
+      if (i - rec->begin >= lim.max_record_bytes) {
+        Fail(rec, IngestErrorCode::kRecordTooLarge, i, 0,
+             "record exceeds max_record_bytes=" +
+                 std::to_string(lim.max_record_bytes));
+        return true;
+      }
+      if (c == '\0') {
+        // NUL never appears in valid CSV text (inside or outside quotes);
+        // it is the signature of binary input fed to the text reader.
+        Fail(rec, IngestErrorCode::kEmbeddedNul, i, rec->fields.size() + 1,
+             "embedded NUL byte");
+        return true;
+      }
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < n && text_[i + 1] == '"') {
+            field.push_back('"');
+            pos_ += 2;
+          } else {
+            in_quotes = false;
+            ++pos_;
+          }
+          continue;
+        }
+        if (field.size() >= lim.max_field_bytes) {
+          Fail(rec, IngestErrorCode::kFieldTooLarge, i, rec->fields.size() + 1,
+               "field exceeds max_field_bytes=" +
+                   std::to_string(lim.max_field_bytes));
+          return true;
+        }
         field.push_back(c);
+        ++pos_;
+        continue;
       }
-      any_char_in_record = true;
-      continue;
-    }
-    if (c == '"' && field.empty() && !field_was_quoted) {
-      in_quotes = true;
-      field_was_quoted = true;
-      any_char_in_record = true;
-    } else if (c == sep) {
-      end_field();
-      any_char_in_record = true;
-    } else if (c == '\n') {
-      // Trailing newline after the last record must not create an empty row.
-      if (any_char_in_record || !record.empty() || !field.empty()) {
-        end_record();
+      if (c == '"' && field.empty() && !field_was_quoted) {
+        in_quotes = true;
+        field_was_quoted = true;
+        quote_open_pos = i;
+        ++pos_;
+        continue;
       }
-    } else if (c == '\r') {
-      // Swallow the CR of CRLF; a bare CR inside a field is kept.
-      if (i + 1 < text.size() && text[i + 1] == '\n') continue;
+      if (c == options_.separator) {
+        if (!end_field()) {
+          too_many_columns(i);
+          return true;
+        }
+        ++pos_;
+        continue;
+      }
+      if (c == '\n' || c == '\r') {
+        rec->end = i;
+        pos_ = i + ((c == '\r' && i + 1 < n && text_[i + 1] == '\n') ? 2 : 1);
+        if (!end_field()) {
+          too_many_columns(i);
+        }
+        return true;
+      }
+      if (field.size() >= lim.max_field_bytes) {
+        Fail(rec, IngestErrorCode::kFieldTooLarge, i, rec->fields.size() + 1,
+             "field exceeds max_field_bytes=" +
+                 std::to_string(lim.max_field_bytes));
+        return true;
+      }
       field.push_back(c);
-      any_char_in_record = true;
+      ++pos_;
+    }
+    // End of input inside a record.
+    if (in_quotes) {
+      Fail(rec, IngestErrorCode::kUnterminatedQuote, quote_open_pos,
+           rec->fields.size() + 1,
+           "quoted field never closed before end of input");
+      return true;
+    }
+    rec->end = n;
+    if (!end_field()) {
+      too_many_columns(n);
+    }
+    return true;
+  }
+
+ private:
+  /// Marks the record bad and resynchronizes at the next raw '\n' after
+  /// `offset`. The scan is quote-blind: once a record is structurally
+  /// broken its quote state cannot be trusted, and a plain line boundary is
+  /// the recovery point that salvages the most subsequent rows.
+  void Fail(RawRecord* rec, IngestErrorCode code, std::size_t offset,
+            std::uint64_t column, std::string detail) {
+    rec->ok = false;
+    rec->error.code = code;
+    rec->error.byte_offset = offset;
+    rec->error.row = rec->row;
+    rec->error.column = column;
+    rec->error.detail = std::move(detail);
+    const std::size_t term = text_.find('\n', offset);
+    if (term == std::string::npos) {
+      rec->end = text_.size();
+      pos_ = text_.size();
     } else {
-      field.push_back(c);
-      any_char_in_record = true;
+      rec->end = (term > rec->begin && text_[term - 1] == '\r') ? term - 1
+                                                                : term;
+      pos_ = term + 1;
     }
+    rec->error.excerpt = SanitizeExcerpt(
+        text_.substr(rec->begin,
+                     std::min<std::size_t>(rec->end - rec->begin, 64)));
   }
-  if (in_quotes) {
-    return Status::ParseError("unterminated quoted field at end of input");
-  }
-  if (any_char_in_record || !record.empty() || !field.empty()) {
-    end_record();
-  }
-  return records;
+
+  const std::string& text_;
+  const CsvOptions& options_;
+  std::size_t pos_;
+  std::uint64_t row_ = 0;
+};
+
+constexpr std::size_t kMaxErrorSamples = 5;
+
+IngestError RaggedRowError(const std::string& text, const RawRecord& rec,
+                           std::size_t width) {
+  IngestError err;
+  err.code = IngestErrorCode::kRaggedRow;
+  err.byte_offset = rec.begin;
+  err.row = rec.row;
+  err.column = rec.fields.size();
+  err.detail = "row has " + std::to_string(rec.fields.size()) +
+               " fields, expected " + std::to_string(width);
+  err.excerpt = SanitizeExcerpt(
+      text.substr(rec.begin, std::min<std::size_t>(rec.end - rec.begin, 64)));
+  return err;
 }
 
 }  // namespace
 
-Result<Relation> ReadCsvString(const std::string& text,
-                               const CsvOptions& options) {
-  OCDD_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
-                        Tokenize(text, options.separator));
-  if (records.empty()) {
-    return Status::ParseError("empty CSV input");
-  }
+Result<CsvRead> ReadCsvWithReport(const std::string& text,
+                                  const CsvOptions& options) {
+  CsvRead out;
+  CsvIngestReport& report = out.report;
+
+  // A leading UTF-8 BOM is presentation, not data.
+  std::size_t start = 0;
+  if (text.size() >= 3 && text.compare(0, 3, "\xEF\xBB\xBF") == 0) start = 3;
+
+  RecordScanner scanner(text, options, start);
+  RawRecord rec;
 
   std::vector<std::string> names;
-  std::size_t first_data = 0;
-  if (options.has_header) {
-    names = records[0];
-    first_data = 1;
-  } else {
-    for (std::size_t i = 0; i < records[0].size(); ++i) {
-      names.push_back("col" + std::to_string(i));
+  std::vector<std::vector<std::string>> rows;
+  bool have_width = false;
+  std::size_t width = 0;
+
+  // Applies the bad-row policy to one rejected record. Returns non-OK only
+  // when the whole read must stop (kFail, or a RunContext budget ran out).
+  auto reject = [&](const RawRecord& bad, const IngestError& err) -> Status {
+    if (options.on_bad_row == BadRowPolicy::kFail) return err.ToStatus();
+    ++report.rows_rejected;
+    report.rejected_by_code.Add(err.code);
+    if (report.samples.size() < kMaxErrorSamples) report.samples.push_back(err);
+    if (options.on_bad_row == BadRowPolicy::kQuarantine) {
+      report.quarantined_rows.push_back(
+          text.substr(bad.begin, bad.end - bad.begin));
     }
-  }
-  std::size_t width = names.size();
-  for (std::size_t r = first_data; r < records.size(); ++r) {
-    if (records[r].size() != width) {
-      return Status::ParseError(
-          "row " + std::to_string(r) + " has " +
-          std::to_string(records[r].size()) + " fields, expected " +
-          std::to_string(width));
+    if (options.run_context != nullptr && options.run_context->CountCheck(1)) {
+      return Status::ResourceExhausted(
+          "ingest stopped after " + std::to_string(report.rows_rejected) +
+          " rejected rows (" +
+          StopReasonName(options.run_context->stop_reason()) +
+          "); last: " + err.ToString());
     }
+    return Status::OK();
+  };
+
+  while (scanner.Next(&rec)) {
+    if (!have_width) {
+      // The first record anchors the schema (names or width); it must be
+      // structurally sound no matter the policy — there is nothing to
+      // ingest against without it.
+      if (!rec.ok) return rec.error.ToStatus();
+      width = rec.fields.size();
+      have_width = true;
+      if (options.has_header) {
+        names = std::move(rec.fields);
+        continue;
+      }
+      for (std::size_t i = 0; i < width; ++i) {
+        names.push_back("col" + std::to_string(i));
+      }
+      // No header: the first record is data; fall through to count it.
+    }
+    ++report.records_total;
+    if (options.limits.max_rows != 0 &&
+        report.records_total > options.limits.max_rows) {
+      IngestError err;
+      err.code = IngestErrorCode::kTooManyRows;
+      err.byte_offset = rec.begin;
+      err.row = rec.row;
+      err.detail =
+          "input exceeds max_rows=" + std::to_string(options.limits.max_rows);
+      return err.ToStatus();
+    }
+    if (!rec.ok) {
+      OCDD_RETURN_IF_ERROR(reject(rec, rec.error));
+      continue;
+    }
+    if (rec.fields.size() != width) {
+      OCDD_RETURN_IF_ERROR(reject(rec, RaggedRowError(text, rec, width)));
+      continue;
+    }
+    rows.push_back(std::move(rec.fields));
+    ++report.rows_ingested;
   }
 
-  // Per-column type inference over the data rows.
+  if (!have_width) {
+    IngestError err;
+    err.code = IngestErrorCode::kEmptyInput;
+    err.detail = "empty CSV input";
+    return err.ToStatus();
+  }
+
+  // Quarantined raw rows go to the configured file; with no path they stay
+  // on the report (tests, fuzzers).
+  if (!report.quarantined_rows.empty() && !options.quarantine_path.empty()) {
+    std::ofstream q(options.quarantine_path,
+                    std::ios::binary | std::ios::trunc);
+    if (!q) {
+      return Status::Internal("cannot create quarantine file: " +
+                              options.quarantine_path);
+    }
+    for (const std::string& line : report.quarantined_rows) {
+      q << line << '\n';
+    }
+    q.flush();
+    if (!q) {
+      return Status::Internal("quarantine write failed: " +
+                              options.quarantine_path);
+    }
+    report.quarantine_path = options.quarantine_path;
+    report.quarantined_rows.clear();
+  }
+
+  // Per-column type inference over the ingested rows.
   std::vector<Attribute> attrs(width);
   std::vector<std::string> fields;
-  fields.reserve(records.size());
+  fields.reserve(rows.size());
   for (std::size_t c = 0; c < width; ++c) {
     fields.clear();
-    for (std::size_t r = first_data; r < records.size(); ++r) {
-      fields.push_back(records[r][c]);
+    for (const auto& row : rows) {
+      fields.push_back(row[c]);
     }
     attrs[c].name = names[c];
     attrs[c].type = InferColumnType(fields, options.type_inference);
@@ -129,25 +345,38 @@ Result<Relation> ReadCsvString(const std::string& text,
   for (std::size_t c = 0; c < width; ++c) types[c] = attrs[c].type;
 
   Relation::Builder builder{Schema(std::move(attrs))};
-  std::vector<Value> row(width);
-  for (std::size_t r = first_data; r < records.size(); ++r) {
+  std::vector<Value> row_values(width);
+  for (const auto& row : rows) {
     for (std::size_t c = 0; c < width; ++c) {
-      row[c] = ParseField(records[r][c], types[c], options.type_inference);
+      row_values[c] = ParseField(row[c], types[c], options.type_inference);
     }
-    OCDD_RETURN_IF_ERROR(builder.AddRow(row));
+    OCDD_RETURN_IF_ERROR(builder.AddRow(row_values));
   }
-  return std::move(builder).Build();
+  out.relation = std::move(builder).Build();
+  return out;
 }
 
-Result<Relation> ReadCsvFile(const std::string& path,
-                             const CsvOptions& options) {
+Result<CsvRead> ReadCsvFileWithReport(const std::string& path,
+                                      const CsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open file: " + path);
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ReadCsvString(buf.str(), options);
+  return ReadCsvWithReport(buf.str(), options);
+}
+
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options) {
+  OCDD_ASSIGN_OR_RETURN(CsvRead read, ReadCsvWithReport(text, options));
+  return std::move(read.relation);
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  OCDD_ASSIGN_OR_RETURN(CsvRead read, ReadCsvFileWithReport(path, options));
+  return std::move(read.relation);
 }
 
 namespace {
@@ -159,7 +388,14 @@ bool NeedsQuoting(const std::string& s, char sep) {
   return false;
 }
 
-void AppendField(std::string& out, const std::string& s, char sep) {
+void AppendField(std::string& out, const std::string& s, char sep,
+                 bool only_field) {
+  // In a single-column relation an empty field would render as a blank
+  // line, which the reader skips; quote it so the row survives round-trip.
+  if (s.empty() && only_field) {
+    out += "\"\"";
+    return;
+  }
   if (!NeedsQuoting(s, sep)) {
     out += s;
     return;
@@ -177,15 +413,16 @@ void AppendField(std::string& out, const std::string& s, char sep) {
 std::string WriteCsvString(const Relation& relation, char separator) {
   std::string out;
   const Schema& schema = relation.schema();
+  const bool single = schema.num_columns() == 1;
   for (std::size_t c = 0; c < schema.num_columns(); ++c) {
     if (c > 0) out.push_back(separator);
-    AppendField(out, schema.attribute(c).name, separator);
+    AppendField(out, schema.attribute(c).name, separator, single);
   }
   out.push_back('\n');
   for (std::size_t r = 0; r < relation.num_rows(); ++r) {
     for (std::size_t c = 0; c < schema.num_columns(); ++c) {
       if (c > 0) out.push_back(separator);
-      AppendField(out, relation.ValueAt(r, c).ToString(), separator);
+      AppendField(out, relation.ValueAt(r, c).ToString(), separator, single);
     }
     out.push_back('\n');
   }

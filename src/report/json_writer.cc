@@ -74,6 +74,8 @@ void AppendHeader(std::string& out, const char* algorithm,
     out += std::to_string(stop_state->level);
     out += ",\"frontier_size\":";
     out += std::to_string(stop_state->frontier_size);
+    out += ",\"ingest_rejected\":";
+    out += std::to_string(stop_state->ingest_rejected);
     out += '}';
   }
   if (checkpoint != nullptr && checkpoint->enabled) {
@@ -253,6 +255,37 @@ std::string ToJson(const algo::FastodBidResult& result,
   }
   out += "]}";
   return out;
+}
+
+std::string WithIngest(std::string report_json,
+                       const rel::CsvIngestReport& ingest) {
+  std::size_t brace = report_json.rfind('}');
+  if (brace == std::string::npos) return report_json;
+  std::string member = ",\"ingest\":{\"records_total\":";
+  member += std::to_string(ingest.records_total);
+  member += ",\"rows_ingested\":";
+  member += std::to_string(ingest.rows_ingested);
+  member += ",\"rows_rejected\":";
+  member += std::to_string(ingest.rows_rejected);
+  member += ",\"rejected_by_code\":{";
+  bool first = true;
+  for (const auto& [code, count] : ingest.rejected_by_code.by_code()) {
+    if (!first) member += ',';
+    first = false;
+    member += '"';
+    member += JsonEscape(code);
+    member += "\":";
+    member += std::to_string(count);
+  }
+  member += '}';
+  if (!ingest.quarantine_path.empty()) {
+    member += ",\"quarantine_path\":\"";
+    member += JsonEscape(ingest.quarantine_path);
+    member += '"';
+  }
+  member += '}';
+  report_json.insert(brace, member);
+  return report_json;
 }
 
 std::string ToJson(const std::vector<core::ApproximateOcd>& pairs,

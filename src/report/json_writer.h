@@ -10,6 +10,7 @@
 #include "core/approximate.h"
 #include "core/ocd_discover.h"
 #include "relation/coded_relation.h"
+#include "relation/csv.h"
 
 namespace ocdd::report {
 
@@ -58,6 +59,16 @@ std::string ToJson(const algo::FastodBidResult& result,
 ///   "ratio":..},..]}`.
 std::string ToJson(const std::vector<core::ApproximateOcd>& pairs,
                    const rel::CodedRelation& relation);
+
+/// Splices an `"ingest"` member — the untrusted-byte-boundary accounting of
+/// the CSV read that produced the relation — into a top-level JSON report
+/// object produced by one of the `ToJson` overloads:
+/// `"ingest":{"records_total":..,"rows_ingested":..,"rows_rejected":..,
+///   "rejected_by_code":{"ragged_row":..,...},"quarantine_path":".."}`
+/// (`quarantine_path` only when rows were quarantined to a file). Returns
+/// `report_json` unchanged if it is not a JSON object.
+std::string WithIngest(std::string report_json,
+                       const rel::CsvIngestReport& ingest);
 
 }  // namespace ocdd::report
 

@@ -88,6 +88,53 @@ TEST(ByteCodecTest, TruncationLatchesNotOk) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(ByteCodecTest, AdversarialStrLengthPrefixIsRejectedBeforeAllocating) {
+  // A string length prefix of 0xFFFFFFFF with only a few bytes behind it:
+  // the reader must latch not-ok without ever requesting a 4 GB buffer.
+  ByteWriter w;
+  w.U32(0xFFFFFFFFu);
+  w.U8('x');
+  std::string bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteCodecTest, AdversarialU32VecCountIsRejectedBeforeAllocating) {
+  ByteWriter w;
+  w.U32(0xFFFFFFFFu);  // claims 4 billion elements
+  w.U32(1);
+  w.U32(2);
+  std::string bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.U32Vec().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodecTest, AdversarialBytesLengthIsRejected) {
+  std::string bytes = "abc";
+  ByteReader r(bytes);
+  EXPECT_EQ(r.Bytes(static_cast<std::size_t>(-1)), "");
+  EXPECT_FALSE(r.ok());
+  // Latched: a subsequent in-bounds read still fails.
+  EXPECT_EQ(r.Bytes(1), "");
+}
+
+TEST(ByteCodecTest, RemainingAndPosTrackReads) {
+  ByteWriter w;
+  w.U32(7);
+  w.U64(9);
+  std::string bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.remaining(), 12u);
+  r.U32();
+  EXPECT_EQ(r.pos(), 4u);
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot container
 // ---------------------------------------------------------------------------
@@ -125,6 +172,46 @@ TEST(SnapshotViewTest, DetectsCorruption) {
   EXPECT_FALSE(SnapshotView::Decode(good.substr(0, good.size() / 2)).ok());
   EXPECT_FALSE(SnapshotView::Decode("").ok());
   EXPECT_FALSE(SnapshotView::Decode(good + "z").ok());
+}
+
+TEST(SnapshotViewTest, HugeSectionLengthWithValidCrcsIsRejected) {
+  // Hand-craft an image whose framing CRCs all validate but whose one
+  // section claims a ~16 EB payload. Decode must reject it on the
+  // length-vs-remaining check, never on a failed allocation.
+  ByteWriter body;
+  body.U32(1);                        // section count
+  body.Str("frontier");               // section name
+  body.U64(0xFFFFFFFFFFFFFFFFull);    // adversarial payload length
+  body.U32(0);                        // payload CRC (never reached)
+
+  std::string image = "OCDDSNP1" + body.Take();
+  const std::uint32_t file_crc = Crc32(image.data(), image.size());
+  ByteWriter trailer;
+  trailer.U32(file_crc);
+  image += trailer.Take();
+  image += "OCDDSNPE";
+
+  auto view = SnapshotView::Decode(image);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kParseError);
+  EXPECT_NE(view.status().message().find("exceeds remaining"),
+            std::string::npos)
+      << view.status().message();
+}
+
+TEST(SnapshotViewTest, HugeSectionCountIsRejected) {
+  ByteWriter body;
+  body.U32(0xFFFFFFFFu);  // claims 4 billion sections
+  std::string image = "OCDDSNP1" + body.Take();
+  const std::uint32_t file_crc = Crc32(image.data(), image.size());
+  ByteWriter trailer;
+  trailer.U32(file_crc);
+  image += trailer.Take();
+  image += "OCDDSNPE";
+
+  auto view = SnapshotView::Decode(image);
+  ASSERT_FALSE(view.ok());
+  EXPECT_NE(view.status().message().find("section count"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

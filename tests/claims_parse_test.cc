@@ -1,0 +1,161 @@
+#include "qa/claim_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/registry.h"
+#include "qa/claims.h"
+#include "relation/coded_relation.h"
+
+namespace ocdd::qa {
+namespace {
+
+std::string Join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ClaimParserTest, ParsesEveryClaimKind) {
+  const std::string text =
+      "# algorithm: fastod\n"
+      "OD [1,2] -> [3]\n"
+      "OCD [0] ~ [2]\n"
+      "CONST [4]\n"
+      "EQUIV [1,2,3]\n"
+      "COD {1,2}: [] -> 3\n"
+      "COD {1}: 2 ~ 3\n"
+      "FD {0,2} -> 1\n";
+  auto claims = ParseClaimLines(text);
+  ASSERT_TRUE(claims.ok()) << claims.status().message();
+  EXPECT_EQ(claims->algorithm, "fastod");
+  ASSERT_EQ(claims->ods.size(), 1u);
+  EXPECT_EQ(claims->ods[0].ToString(), "[1,2] -> [3]");
+  ASSERT_EQ(claims->ocds.size(), 1u);
+  ASSERT_EQ(claims->constant_columns.size(), 1u);
+  EXPECT_EQ(claims->constant_columns[0], 4u);
+  ASSERT_EQ(claims->equivalence_classes.size(), 1u);
+  ASSERT_EQ(claims->canonical.size(), 2u);
+  ASSERT_EQ(claims->fds.size(), 1u);
+  EXPECT_EQ(claims->fds[0].ToString(), "{0,2} -> 1");
+}
+
+TEST(ClaimParserTest, RenderRoundTripsExactly) {
+  const std::string text =
+      "CONST [4]\n"
+      "COD {1,2}: [] -> 3\n"
+      "COD {1}: 2 ~ 3\n"
+      "EQUIV [1,2,3]\n"
+      "FD {0,2} -> 1\n"
+      "OCD [0] ~ [2]\n"
+      "OD [1,2] -> [3]\n"
+      "OD [] -> [0]\n";
+  auto claims = ParseClaimLines(text);
+  ASSERT_TRUE(claims.ok());
+  // Render() is sorted; parsing its output again must be a fixed point.
+  std::string rendered = Join(claims->Render());
+  auto again = ParseClaimLines(rendered);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Join(again->Render()), rendered);
+}
+
+TEST(ClaimParserTest, RealAlgorithmClaimsRoundTrip) {
+  auto relation = datagen::MakeDataset("LINEITEM", 60, 6);
+  ASSERT_TRUE(relation.ok());
+  rel::CodedRelation coded = rel::CodedRelation::Encode(*relation);
+  AlgorithmRuns runs = RunAllClaims(coded);
+  for (const ClaimSet* claims :
+       {&runs.ocdd, &runs.order, &runs.fastod, &runs.tane}) {
+    std::string rendered = Join(claims->Render());
+    auto parsed = ParseClaimLines(rendered);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(Join(parsed->Render()), rendered) << claims->algorithm;
+  }
+}
+
+TEST(ClaimParserTest, BlankLinesAndCommentsAreSkipped) {
+  auto claims = ParseClaimLines("\n# comment\n\nOD [1] -> [2]\n\n");
+  ASSERT_TRUE(claims.ok());
+  EXPECT_EQ(claims->ods.size(), 1u);
+}
+
+TEST(ClaimParserTest, CrLfAccepted) {
+  auto claims = ParseClaimLines("OD [1] -> [2]\r\nCONST [0]\r\n");
+  ASSERT_TRUE(claims.ok());
+  EXPECT_EQ(claims->ods.size(), 1u);
+  EXPECT_EQ(claims->constant_columns.size(), 1u);
+}
+
+TEST(ClaimParserTest, MalformedLineIsStructuredError) {
+  auto claims = ParseClaimLines("OD [1] -> [2]\nOD [1 -> [2]\n");
+  ASSERT_FALSE(claims.ok());
+  EXPECT_EQ(claims.status().code(), StatusCode::kParseError);
+  EXPECT_NE(claims.status().message().find("malformed_syntax"),
+            std::string::npos)
+      << claims.status().message();
+  EXPECT_NE(claims.status().message().find("row 2"), std::string::npos);
+}
+
+TEST(ClaimParserTest, GarbagePrefixesRejected) {
+  for (const char* bad :
+       {"XX [1] -> [2]", "OD", "OD ", "OD [1]", "OD [1] ->", "OD [1] -> [2] ",
+        "CONST [1,2]", "COD {1}: 2", "FD {1} -> ", "OD [1,] -> [2]",
+        "od [1] -> [2]"}) {
+    auto claims = ParseClaimLines(std::string(bad) + "\n");
+    EXPECT_FALSE(claims.ok()) << bad;
+  }
+}
+
+TEST(ClaimParserTest, HugeColumnIdIsOutOfRange) {
+  auto claims = ParseClaimLines("OD [999999999999] -> [2]\n");
+  ASSERT_FALSE(claims.ok());
+  EXPECT_NE(claims.status().message().find("value_out_of_range"),
+            std::string::npos)
+      << claims.status().message();
+}
+
+TEST(ClaimParserTest, OversizedListIsOutOfRange) {
+  ClaimParseLimits limits;
+  limits.max_list_len = 4;
+  auto claims = ParseClaimLines("OD [1,2,3,4,5] -> [2]\n", limits);
+  ASSERT_FALSE(claims.ok());
+  EXPECT_NE(claims.status().message().find("value_out_of_range"),
+            std::string::npos);
+}
+
+TEST(ClaimParserTest, InputSizeLimitsEnforced) {
+  ClaimParseLimits limits;
+  limits.max_input_bytes = 16;
+  EXPECT_FALSE(ParseClaimLines("OD [1] -> [2]\nOD [3] -> [4]\n", limits).ok());
+
+  ClaimParseLimits line_limits;
+  line_limits.max_line_bytes = 8;
+  EXPECT_FALSE(ParseClaimLines("OD [1] -> [2]\n", line_limits).ok());
+
+  ClaimParseLimits count_limits;
+  count_limits.max_lines = 2;
+  EXPECT_FALSE(
+      ParseClaimLines("CONST [1]\nCONST [2]\nCONST [3]\n", count_limits).ok());
+}
+
+TEST(ClaimParserTest, EmbeddedNulIsRejected) {
+  std::string text("OD [1] -> [2]\nCON\0ST [1]\n", 25);
+  auto claims = ParseClaimLines(text);
+  ASSERT_FALSE(claims.ok());
+  EXPECT_NE(claims.status().message().find("embedded_nul"), std::string::npos);
+}
+
+TEST(ClaimParserTest, EmptyInputIsEmptyClaimSet) {
+  auto claims = ParseClaimLines("");
+  ASSERT_TRUE(claims.ok());
+  EXPECT_TRUE(claims->ods.empty());
+  EXPECT_TRUE(claims->Render().empty());
+}
+
+}  // namespace
+}  // namespace ocdd::qa

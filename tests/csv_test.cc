@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "common/run_context.h"
+
 namespace ocdd::rel {
 namespace {
 
@@ -129,6 +134,213 @@ TEST(CsvWriteTest, QuotesSpecialFields) {
   ASSERT_TRUE(r.ok());
   std::string out = WriteCsvString(*r);
   EXPECT_EQ(out, "a\n\"x,y\"\n");
+}
+
+TEST(CsvReadTest, Utf8BomIsStripped) {
+  auto r = ReadCsvString("\xEF\xBB\xBF" "a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  // Without stripping, the first column would be named "\xEF\xBB\xBFa".
+  EXPECT_EQ(r->schema().attribute(0).name, "a");
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+TEST(CsvReadTest, LoneCrTerminatesRecords) {
+  // Classic-Mac line endings: lone \r behaves exactly like \r\n and \n.
+  auto r = ReadCsvString("a,b\r1,2\r3,4\r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->ValueAt(1, 1), Value::Int(4));
+}
+
+TEST(CsvReadTest, MixedTerminatorsAgree) {
+  auto lf = ReadCsvString("a\n1\n2\n3\n");
+  auto cr = ReadCsvString("a\r1\r2\r3\r");
+  auto crlf = ReadCsvString("a\r\n1\r\n2\r\n3\r\n");
+  auto mixed = ReadCsvString("a\n1\r2\r\n3\n");
+  ASSERT_TRUE(lf.ok() && cr.ok() && crlf.ok() && mixed.ok());
+  EXPECT_EQ(cr->num_rows(), lf->num_rows());
+  EXPECT_EQ(crlf->num_rows(), lf->num_rows());
+  EXPECT_EQ(mixed->num_rows(), lf->num_rows());
+}
+
+TEST(CsvReadTest, CrInsideQuotesIsData) {
+  auto r = ReadCsvString("a\n\"x\ry\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ValueAt(0, 0), Value::String("x\ry"));
+}
+
+TEST(CsvReadTest, FailErrorNamesByteOffsetAndRow) {
+  // "3" starts at byte 8; it is physical record 3 (header is row 1).
+  auto r = ReadCsvString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("ragged_row"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("byte 8"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("row 3"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(CsvReadTest, MaxFieldBytesEnforced) {
+  CsvOptions opts;
+  opts.limits.max_field_bytes = 8;
+  auto ok = ReadCsvString("a\n12345678\n", opts);
+  EXPECT_TRUE(ok.ok());
+  auto bad = ReadCsvString("a\n123456789\n", opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("field_too_large"), std::string::npos);
+}
+
+TEST(CsvReadTest, MaxFieldBytesEnforcedInsideQuotes) {
+  CsvOptions opts;
+  opts.limits.max_field_bytes = 4;
+  auto bad = ReadCsvString("a\n\"123456789\"\n", opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("field_too_large"), std::string::npos);
+}
+
+TEST(CsvReadTest, MaxRecordBytesEnforced) {
+  CsvOptions opts;
+  opts.limits.max_record_bytes = 16;
+  auto bad = ReadCsvString("a,b\n" + std::string(40, 'x') + ",1\n", opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("record_too_large"),
+            std::string::npos);
+}
+
+TEST(CsvReadTest, MaxColumnsEnforced) {
+  CsvOptions opts;
+  opts.limits.max_columns = 3;
+  auto ok = ReadCsvString("a,b,c\n1,2,3\n", opts);
+  EXPECT_TRUE(ok.ok());
+  auto bad = ReadCsvString("a,b,c,d\n1,2,3,4\n", opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("too_many_columns"),
+            std::string::npos);
+}
+
+TEST(CsvReadTest, MaxRowsIsAlwaysFatal) {
+  CsvOptions opts;
+  opts.limits.max_rows = 2;
+  opts.on_bad_row = BadRowPolicy::kQuarantine;  // even under lax policy
+  auto bad = ReadCsvString("a\n1\n2\n3\n", opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("too_many_rows"), std::string::npos);
+}
+
+TEST(CsvPolicyTest, SkipDropsAndCountsBadRows) {
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kSkip;
+  std::string nul_row("\0,9\n", 4);
+  auto r = ReadCsvWithReport("a,b\n1,2\nragged\n3,4\n" + nul_row + "5,6\n",
+                             opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->relation.num_rows(), 3u);
+  EXPECT_EQ(r->report.records_total, 5u);
+  EXPECT_EQ(r->report.rows_ingested, 3u);
+  EXPECT_EQ(r->report.rows_rejected, 2u);
+  EXPECT_EQ(r->report.rejected_by_code.count("ragged_row"), 1u);
+  EXPECT_EQ(r->report.rejected_by_code.count("embedded_nul"), 1u);
+  EXPECT_TRUE(r->report.quarantined_rows.empty());
+  ASSERT_EQ(r->report.samples.size(), 2u);
+  EXPECT_EQ(r->report.samples[0].code, IngestErrorCode::kRaggedRow);
+  EXPECT_EQ(r->report.samples[0].row, 3u);
+}
+
+TEST(CsvPolicyTest, QuarantineKeepsRawRowsInMemory) {
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kQuarantine;
+  auto r = ReadCsvWithReport("a,b\nx\n1,2\ny,y,y\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->relation.num_rows(), 1u);
+  ASSERT_EQ(r->report.quarantined_rows.size(), 2u);
+  EXPECT_EQ(r->report.quarantined_rows[0], "x");
+  EXPECT_EQ(r->report.quarantined_rows[1], "y,y,y");
+  EXPECT_TRUE(r->report.quarantine_path.empty());
+}
+
+TEST(CsvPolicyTest, QuarantineWritesRawRowsToFile) {
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kQuarantine;
+  opts.quarantine_path = ::testing::TempDir() + "/ocdd_quarantine.txt";
+  auto r = ReadCsvWithReport("a,b\nbad row\n1,2\nworse,row,here\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->report.quarantine_path, opts.quarantine_path);
+  EXPECT_TRUE(r->report.quarantined_rows.empty());  // moved to the file
+  std::ifstream in(opts.quarantine_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "bad row\nworse,row,here\n");
+}
+
+TEST(CsvPolicyTest, QuarantinePreservesCrTerminatedRawBytes) {
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kQuarantine;
+  auto r = ReadCsvWithReport("a,b\r\nbad\r\n1,2\r\n", opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->report.quarantined_rows.size(), 1u);
+  // Terminator (including the \r of \r\n) is stripped from the raw row.
+  EXPECT_EQ(r->report.quarantined_rows[0], "bad");
+}
+
+TEST(CsvPolicyTest, RecoveryAfterBrokenQuoteSalvagesLaterRows) {
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kSkip;
+  opts.limits.max_field_bytes = 8;
+  // The quoted field blows the limit mid-record; the reader must resync at
+  // the next line and still ingest the rows after it.
+  auto r = ReadCsvWithReport("a,b\n\"0123456789xyz,2\n3,4\n5,6\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->relation.num_rows(), 2u);
+  EXPECT_EQ(r->report.rejected_by_code.count("field_too_large"), 1u);
+}
+
+TEST(CsvPolicyTest, BadHeaderIsFatalUnderEveryPolicy) {
+  for (BadRowPolicy policy : {BadRowPolicy::kFail, BadRowPolicy::kSkip,
+                              BadRowPolicy::kQuarantine}) {
+    CsvOptions opts;
+    opts.on_bad_row = policy;
+    std::string nul_header("a,\0\n1,2\n", 8);
+    auto r = ReadCsvWithReport(nul_header, opts);
+    EXPECT_FALSE(r.ok()) << BadRowPolicyName(policy);
+  }
+}
+
+TEST(CsvPolicyTest, RejectedRowsChargeRunContextBudget) {
+  RunContext ctx;
+  ctx.set_check_budget(3);
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kSkip;
+  opts.run_context = &ctx;
+  std::string text = "a,b\n";
+  for (int i = 0; i < 10; ++i) text += "bad\n";
+  auto r = ReadCsvWithReport(text, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCheckBudget);
+}
+
+TEST(CsvPolicyTest, CleanInputReportsClean) {
+  CsvOptions opts;
+  opts.on_bad_row = BadRowPolicy::kQuarantine;
+  auto r = ReadCsvWithReport("a,b\n1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->report.clean());
+  EXPECT_EQ(r->report.rows_ingested, 2u);
+  EXPECT_TRUE(r->report.rejected_by_code.empty());
+}
+
+TEST(CsvWriteTest, SingleColumnEmptyValueSurvivesRoundTrip) {
+  // A NULL in a single-column relation renders as "" — written unquoted it
+  // would be a blank line and silently vanish on re-read.
+  auto r = ReadCsvString("a\n\"\"\n1\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  auto again = ReadCsvString(WriteCsvString(*r));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_rows(), 2u);
 }
 
 TEST(CsvFileTest, MissingFileIsNotFound) {

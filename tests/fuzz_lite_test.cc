@@ -1,0 +1,143 @@
+// Compiler-agnostic replay of the checked-in fuzz corpora through the same
+// target functions the libFuzzer binaries drive (src/fuzz/targets.h), plus a
+// deterministic seeded mutation sweep over every corpus file. This is what
+// keeps the fuzz targets — and the invariants they assert — in tier-1 on
+// toolchains without Clang/libFuzzer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/targets.h"
+
+namespace ocdd::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+using TargetFn = int (*)(const std::uint8_t*, std::size_t);
+
+struct TargetCase {
+  const char* name;
+  TargetFn fn;
+};
+
+const TargetCase kTargets[] = {
+    {"csv", RunCsvTarget},
+    {"snapshot", RunSnapshotTarget},
+    {"json_report", RunJsonReportTarget},
+    {"claims", RunClaimsTarget},
+};
+
+std::vector<fs::path> CorpusFiles(const std::string& subdir,
+                                  const std::string& target) {
+  std::vector<fs::path> files;
+  fs::path dir = fs::path(OCDD_TEST_SRC_DIR) / subdir / target;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void RunBytes(TargetFn fn, const std::string& bytes) {
+  EXPECT_EQ(fn(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+               bytes.size()),
+            0);
+}
+
+class FuzzLiteTest : public ::testing::TestWithParam<TargetCase> {};
+
+TEST_P(FuzzLiteTest, SeedCorpusReplays) {
+  const TargetCase& target = GetParam();
+  auto files = CorpusFiles("fuzz_corpus", target.name);
+  ASSERT_FALSE(files.empty())
+      << "no seed corpus for " << target.name
+      << " under tests/fuzz_corpus/ — every fuzz target ships seeds";
+  for (const auto& file : files) {
+    SCOPED_TRACE(file.string());
+    RunBytes(target.fn, ReadFile(file));
+  }
+}
+
+TEST_P(FuzzLiteTest, PinnedReprosReplay) {
+  // Inputs pinned under tests/repros/fuzz/ after being found adversarial;
+  // they must stay handled forever.
+  const TargetCase& target = GetParam();
+  for (const auto& file : CorpusFiles("repros/fuzz", target.name)) {
+    SCOPED_TRACE(file.string());
+    RunBytes(target.fn, ReadFile(file));
+  }
+}
+
+TEST_P(FuzzLiteTest, DeterministicMutationSweep) {
+  // A poor man's fuzzer round: seeded byte-level mutations of every corpus
+  // file. Deterministic, so a failure here is immediately reproducible.
+  const TargetCase& target = GetParam();
+  Rng rng(0xF022 + std::string(target.name).size());
+  for (const auto& file : CorpusFiles("fuzz_corpus", target.name)) {
+    SCOPED_TRACE(file.string());
+    const std::string seed = ReadFile(file);
+    for (int round = 0; round < 64; ++round) {
+      std::string mutated = seed;
+      switch (rng.Uniform(4)) {
+        case 0:  // flip one bit
+          if (!mutated.empty()) {
+            std::size_t i = rng.Uniform(mutated.size());
+            mutated[i] = static_cast<char>(mutated[i] ^
+                                           (1u << rng.Uniform(8)));
+          }
+          break;
+        case 1:  // truncate
+          mutated.resize(rng.Uniform(mutated.size() + 1));
+          break;
+        case 2:  // insert a random byte
+          mutated.insert(rng.Uniform(mutated.size() + 1), 1,
+                         static_cast<char>(rng.Uniform(256)));
+          break;
+        default:  // duplicate a slice
+          if (!mutated.empty()) {
+            std::size_t from = rng.Uniform(mutated.size());
+            std::size_t len = rng.Uniform(mutated.size() - from) + 1;
+            mutated.insert(rng.Uniform(mutated.size() + 1),
+                           mutated.substr(from, len));
+          }
+          break;
+      }
+      RunBytes(target.fn, mutated);
+    }
+  }
+}
+
+TEST_P(FuzzLiteTest, EmptyAndTinyInputs) {
+  const TargetCase& target = GetParam();
+  RunBytes(target.fn, "");
+  for (int b = 0; b < 256; ++b) {
+    RunBytes(target.fn, std::string(1, static_cast<char>(b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FuzzLiteTest,
+                         ::testing::ValuesIn(kTargets),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace ocdd::fuzz

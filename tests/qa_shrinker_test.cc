@@ -86,6 +86,66 @@ TEST(ShrinkerTest, KeepsOracleFailureMinimalAndFailing) {
   EXPECT_LE(result.relation.schema().num_columns(), 2u);
 }
 
+TEST(CsvLineShrinkerTest, DropsCleanLinesKeepsHeaderAndBadLine) {
+  // A ragged row buried in noise: the line shrinker should strip every
+  // well-formed data line and keep header + offender.
+  std::string dirty = "a,b\n";
+  for (int r = 0; r < 16; ++r) {
+    dirty += std::to_string(r) + "," + std::to_string(r * 2) + "\n";
+  }
+  dirty += "!\n";
+  for (int r = 16; r < 24; ++r) {
+    dirty += std::to_string(r) + "," + std::to_string(r * 2) + "\n";
+  }
+
+  auto has_rejection = [](const std::string& text) {
+    rel::CsvOptions opts;
+    opts.on_bad_row = rel::BadRowPolicy::kSkip;
+    auto read = rel::ReadCsvWithReport(text, opts);
+    return read.ok() && read->report.rows_rejected > 0;
+  };
+  ASSERT_TRUE(has_rejection(dirty));
+
+  auto result = qa::ShrinkFailingCsvLines(dirty, has_rejection);
+  EXPECT_EQ(result.csv, "a,b\n!\n");
+  EXPECT_TRUE(has_rejection(result.csv));
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(CsvLineShrinkerTest, ReturnsInputWhenNothingDroppable) {
+  // Every data line is load-bearing for the predicate.
+  std::string dirty = "a,b\n!\n?\n";
+  auto needs_two = [](const std::string& text) {
+    rel::CsvOptions opts;
+    opts.on_bad_row = rel::BadRowPolicy::kSkip;
+    auto read = rel::ReadCsvWithReport(text, opts);
+    return read.ok() && read->report.rows_rejected >= 2;
+  };
+  ASSERT_TRUE(needs_two(dirty));
+  auto result = qa::ShrinkFailingCsvLines(dirty, needs_two);
+  EXPECT_EQ(result.csv, dirty);
+
+  // Too small to shrink at all: returned verbatim without evaluations.
+  auto tiny = qa::ShrinkFailingCsvLines("a,b\n!\n", needs_two);
+  EXPECT_EQ(tiny.csv, "a,b\n!\n");
+  EXPECT_EQ(tiny.evaluations, 0u);
+}
+
+TEST(CsvLineShrinkerTest, DeterministicAcrossRuns) {
+  std::string dirty = "a,b\n1,2\n!\n3,4\n\"broken\n5,6\n";
+  auto has_rejection = [](const std::string& text) {
+    rel::CsvOptions opts;
+    opts.on_bad_row = rel::BadRowPolicy::kSkip;
+    auto read = rel::ReadCsvWithReport(text, opts);
+    return read.ok() && read->report.rows_rejected > 0;
+  };
+  auto a = qa::ShrinkFailingCsvLines(dirty, has_rejection);
+  auto b = qa::ShrinkFailingCsvLines(dirty, has_rejection);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_TRUE(has_rejection(a.csv));
+}
+
 TEST(HarnessEndToEndTest, InjectedFaultYieldsReplayableShrunkRepro) {
   // The acceptance-criteria loop: a deliberately injected fault must produce
   // a shrunk CSV repro plus a seed that replays deterministically.

@@ -16,6 +16,12 @@
 // <source> is either a CSV file path (anything ending in .csv) or the name
 // of a built-in synthetic dataset (see `ocdd generate` / DESIGN.md §2).
 //
+// CSV sources go through the hardened ingest boundary: `--on-bad-row
+// fail|skip|quarantine` picks what happens to malformed data rows, and
+// `--quarantine FILE` preserves the rejected raw bytes for triage. Exact
+// per-error-code rejection counts are emitted under `"ingest"` in `--json`
+// reports (see docs/robustness.md).
+//
 // Every discovery command honors `--time-limit SEC`, `--memory-limit MIB`,
 // and `--max-checks N` (see docs/robustness.md), and Ctrl-C (SIGINT): the
 // first signal requests cooperative cancellation, the run drains, and the
@@ -120,7 +126,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
     flag = flag.substr(2);
     std::string value = "true";
-    if (i + 1 < argc && argv[i + 1][0] != '-') {
+    std::size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      // --flag=value spelling.
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
       value = argv[++i];
     }
     args.flags[flag] = value;
@@ -166,45 +177,90 @@ std::string PartialNote(bool completed, ocdd::StopReason reason) {
          " — partial results)";
 }
 
-Result<ocdd::rel::Relation> LoadSource(const Args& args) {
+bool IsCsvSource(const Args& args) {
+  return args.source.size() > 4 &&
+         args.source.substr(args.source.size() - 4) == ".csv";
+}
+
+/// `--on-bad-row fail|skip|quarantine` — what to do with data records that
+/// fail to ingest (ragged width, broken quoting, oversized fields, NUL
+/// bytes). Strict failure is the default; see docs/robustness.md.
+Result<ocdd::rel::BadRowPolicy> BadRowPolicyFromArgs(const Args& args) {
+  std::string name = args.Get("on-bad-row", "fail");
+  if (name == "fail") return ocdd::rel::BadRowPolicy::kFail;
+  if (name == "skip") return ocdd::rel::BadRowPolicy::kSkip;
+  if (name == "quarantine") return ocdd::rel::BadRowPolicy::kQuarantine;
+  return Status::InvalidArgument("unknown --on-bad-row '" + name +
+                                 "' (fail, skip, quarantine)");
+}
+
+/// Loads a CSV file or a built-in dataset. CSV sources go through the
+/// hardened boundary with ingest accounting; dataset sources report clean.
+/// Run flags must already be applied so rejected rows charge the budgets.
+Result<ocdd::rel::CsvRead> LoadSource(const Args& args) {
   if (args.source.empty()) {
     return Status::InvalidArgument("missing <source> (CSV path or dataset)");
   }
-  if (args.source.size() > 4 &&
-      args.source.substr(args.source.size() - 4) == ".csv") {
+  if (IsCsvSource(args)) {
     ocdd::rel::CsvOptions opts;
     opts.type_inference.force_lexicographic = args.Has("lex");
-    return ocdd::rel::ReadCsvFile(args.source, opts);
+    OCDD_ASSIGN_OR_RETURN(opts.on_bad_row, BadRowPolicyFromArgs(args));
+    opts.quarantine_path = args.Get("quarantine", "");
+    opts.run_context = &g_run_context;
+    return ocdd::rel::ReadCsvFileWithReport(args.source, opts);
   }
-  return ocdd::datagen::MakeDataset(args.source, args.GetSize("rows", 0),
-                                    args.GetSize("seed", 42));
+  OCDD_ASSIGN_OR_RETURN(
+      ocdd::rel::Relation relation,
+      ocdd::datagen::MakeDataset(args.source, args.GetSize("rows", 0),
+                                 args.GetSize("seed", 42)));
+  return ocdd::rel::CsvRead{std::move(relation), {}};
+}
+
+/// Non-JSON rendering of a dirty ingest report (one `#` comment line).
+void PrintIngestNote(const ocdd::rel::CsvIngestReport& report) {
+  if (report.clean()) return;
+  std::string codes;
+  for (const auto& [code, count] : report.rejected_by_code.by_code()) {
+    if (!codes.empty()) codes += ", ";
+    codes += code + "=" + std::to_string(count);
+  }
+  std::printf("# ingest: rejected %llu of %llu rows (%s)%s%s\n",
+              static_cast<unsigned long long>(report.rows_rejected),
+              static_cast<unsigned long long>(report.records_total),
+              codes.c_str(),
+              report.quarantine_path.empty() ? "" : " -> quarantined to ",
+              report.quarantine_path.c_str());
 }
 
 int CmdDiscover(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
   ocdd::rel::EncodeOptions enc;
   enc.force_lexicographic = args.Has("lex");
   ocdd::rel::CodedRelation coded =
-      ocdd::rel::CodedRelation::Encode(*relation, enc);
+      ocdd::rel::CodedRelation::Encode(source->relation, enc);
 
   ocdd::core::OcdDiscoverOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.num_threads = args.GetSize("threads", 1);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   opts.max_level = args.GetSize("max-level", 0);
   opts.use_sorted_partitions = args.Has("partitions");
   opts.checkpoint = CheckpointFromArgs(args);
   auto result = ocdd::core::DiscoverOcds(coded, opts);
+  result.stop_state.ingest_rejected = source->report.rows_rejected;
 
   if (args.Has("json")) {
-    std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
+    std::string json = ocdd::report::ToJson(result, coded);
+    if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    std::printf("%s\n", json.c_str());
     return 0;
   }
+  PrintIngestNote(source->report);
   std::printf("# %zu rows x %zu columns; %llu checks in %.3fs%s\n",
               coded.num_rows(), coded.num_columns(),
               static_cast<unsigned long long>(result.num_checks),
@@ -232,22 +288,26 @@ int CmdDiscover(const Args& args) {
 }
 
 int CmdFds(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   ocdd::algo::TaneOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   opts.checkpoint = CheckpointFromArgs(args);
   auto result = ocdd::algo::DiscoverFds(coded, opts);
+  result.stop_state.ingest_rejected = source->report.rows_rejected;
   if (args.Has("json")) {
-    std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
+    std::string json = ocdd::report::ToJson(result, coded);
+    if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    std::printf("%s\n", json.c_str());
     return 0;
   }
+  PrintIngestNote(source->report);
   std::printf("# %zu minimal FDs in %.3fs%s\n", result.fds.size(),
               result.elapsed_seconds,
               PartialNote(result.completed, result.stop_reason).c_str());
@@ -258,22 +318,26 @@ int CmdFds(const Args& args) {
 }
 
 int CmdFastod(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   ocdd::algo::FastodOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   opts.checkpoint = CheckpointFromArgs(args);
   auto result = ocdd::algo::DiscoverFastod(coded, opts);
+  result.stop_state.ingest_rejected = source->report.rows_rejected;
   if (args.Has("json")) {
-    std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
+    std::string json = ocdd::report::ToJson(result, coded);
+    if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    std::printf("%s\n", json.c_str());
     return 0;
   }
+  PrintIngestNote(source->report);
   std::printf("# %zu constancy + %zu compatibility canonical ODs in %.3fs%s\n",
               result.num_constancy, result.num_compatible,
               result.elapsed_seconds,
@@ -285,21 +349,24 @@ int CmdFastod(const Args& args) {
 }
 
 int CmdFastodBid(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   ocdd::algo::FastodBidOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverFastodBid(coded, opts);
   if (args.Has("json")) {
-    std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
+    std::string json = ocdd::report::ToJson(result, coded);
+    if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    std::printf("%s\n", json.c_str());
     return 0;
   }
+  PrintIngestNote(source->report);
   std::printf("# %zu constancy + %zu concordant + %zu anti-concordant "
               "canonical ODs in %.3fs%s\n",
               result.num_constancy, result.num_concordant, result.num_anti,
@@ -312,21 +379,25 @@ int CmdFastodBid(const Args& args) {
 }
 
 int CmdOrder(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   ocdd::algo::OrderDiscoverOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverOrderDependencies(coded, opts);
+  result.stop_state.ingest_rejected = source->report.rows_rejected;
   if (args.Has("json")) {
-    std::printf("%s\n", ocdd::report::ToJson(result, coded).c_str());
+    std::string json = ocdd::report::ToJson(result, coded);
+    if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    std::printf("%s\n", json.c_str());
     return 0;
   }
+  PrintIngestNote(source->report);
   std::printf("# %zu disjoint-side ODs in %.3fs%s\n", result.ods.size(),
               result.elapsed_seconds,
               PartialNote(result.completed, result.stop_reason).c_str());
@@ -337,17 +408,18 @@ int CmdOrder(const Args& args) {
 }
 
 int CmdUccs(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   ocdd::algo::UccOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
   auto result = ocdd::algo::DiscoverUccs(coded, opts);
+  PrintIngestNote(source->report);
   std::printf("# %zu minimal unique column combinations in %.3fs%s\n",
               result.uccs.size(), result.elapsed_seconds,
               PartialNote(result.completed, result.stop_reason).c_str());
@@ -360,18 +432,21 @@ int CmdUccs(const Args& args) {
 }
 
 int CmdApprox(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   double max_ratio = args.GetDouble("max-ratio", 0.05);
   auto found = ocdd::core::DiscoverApproximatePairOcds(coded, max_ratio);
   if (args.Has("json")) {
-    std::printf("%s\n", ocdd::report::ToJson(found, coded).c_str());
+    std::string json = ocdd::report::ToJson(found, coded);
+    if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    std::printf("%s\n", json.c_str());
     return 0;
   }
+  PrintIngestNote(source->report);
   std::printf("# %zu column pairs with g3 ratio <= %.3f\n", found.size(),
               max_ratio);
   for (const auto& a : found) {
@@ -383,12 +458,13 @@ int CmdApprox(const Args& args) {
 }
 
 int CmdPolarized(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
+  PrintIngestNote(source->report);
   ocdd::core::PolarizedDiscoverOptions opts;
   opts.max_level = args.GetSize("max-level", 4);
   opts.time_limit_seconds = args.GetDouble("time-limit", 0.0);
@@ -406,12 +482,13 @@ int CmdPolarized(const Args& args) {
 }
 
 int CmdProfile(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
+  PrintIngestNote(source->report);
   std::printf("# %zu rows x %zu columns\n", coded.num_rows(),
               coded.num_columns());
   std::printf("%-24s %10s %10s %8s\n", "column", "entropy", "distinct",
@@ -428,12 +505,13 @@ int CmdProfile(const Args& args) {
 }
 
 int CmdRewrite(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   std::string clause_text = args.Get("order-by", "");
   if (clause_text.empty()) {
     std::fprintf(stderr, "rewrite requires --order-by col1,col2,...\n");
@@ -458,7 +536,6 @@ int CmdRewrite(const Args& args) {
 
   ocdd::core::OcdDiscoverOptions opts;
   opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   opts.time_limit_seconds = args.GetDouble("time-limit", 30.0);
   auto mined = ocdd::core::DiscoverOcds(coded, opts);
   ocdd::opt::OdKnowledgeBase kb;
@@ -486,12 +563,13 @@ int CmdRewrite(const Args& args) {
 }
 
 int CmdExplain(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  ApplyRunFlags(args);
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto coded = ocdd::rel::CodedRelation::Encode(*relation);
+  auto coded = ocdd::rel::CodedRelation::Encode(source->relation);
   auto parse_cols = [&](const std::string& text,
                         std::vector<ocdd::rel::ColumnId>& out) {
     for (const std::string& name : ocdd::SplitString(text, ',')) {
@@ -522,7 +600,6 @@ int CmdExplain(const Args& args) {
 
   ocdd::core::OcdDiscoverOptions mine_opts;
   mine_opts.run_context = &g_run_context;
-  ApplyRunFlags(args);
   mine_opts.time_limit_seconds = args.GetDouble("time-limit", 30.0);
   auto mined = ocdd::core::DiscoverOcds(coded, mine_opts);
   ocdd::opt::OdKnowledgeBase kb;
@@ -608,23 +685,24 @@ int CmdDiff(const Args& args) {
 }
 
 int CmdGenerate(const Args& args) {
-  auto relation = LoadSource(args);
-  if (!relation.ok()) {
-    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+  auto source = LoadSource(args);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
+  const ocdd::rel::Relation& relation = source->relation;
   std::string out = args.Get("out", "");
   if (out.empty()) {
-    std::fputs(ocdd::rel::WriteCsvString(*relation).c_str(), stdout);
+    std::fputs(ocdd::rel::WriteCsvString(relation).c_str(), stdout);
     return 0;
   }
-  Status s = ocdd::rel::WriteCsvFile(*relation, out);
+  Status s = ocdd::rel::WriteCsvFile(relation, out);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %zu rows x %zu columns to %s\n", relation->num_rows(),
-              relation->num_columns(), out.c_str());
+  std::printf("wrote %zu rows x %zu columns to %s\n", relation.num_rows(),
+              relation.num_columns(), out.c_str());
   return 0;
 }
 
@@ -636,6 +714,7 @@ int CmdQa(const Args& args) {
   opts.metamorphic = !args.Has("no-metamorphic");
   opts.stopped_runs = !args.Has("no-stopped-runs");
   opts.resume_runs = !args.Has("no-resume-runs");
+  opts.ingest = !args.Has("no-ingest");
   opts.max_failures = args.GetSize("max-failures", 8);
   opts.repro_dir = args.Get("repro-dir", "");
   opts.spec.max_rows = args.GetSize("max-rows", opts.spec.max_rows);
@@ -677,6 +756,8 @@ int CmdQa(const Args& args) {
                 static_cast<unsigned long long>(summary.stopped_run_checks));
     std::printf("  resume-equivalence ..... %llu\n",
                 static_cast<unsigned long long>(summary.resume_checks));
+    std::printf("  ingest-policy checks ... %llu\n",
+                static_cast<unsigned long long>(summary.ingest_checks));
     std::printf("  skipped (engine bound) . %llu\n",
                 static_cast<unsigned long long>(summary.skipped));
     if (summary.clean()) {
@@ -812,6 +893,8 @@ void Usage() {
       "  qa         differential/metamorphic sweep over random relations:\n"
       "             --seed S --iters K [--inject MODE] [--json]\n"
       "             [--repro-dir DIR] [--max-rows N] [--max-cols N]\n"
+      "             [--no-metamorphic] [--no-stopped-runs]\n"
+      "             [--no-resume-runs] [--no-ingest]\n"
       "             exit 0 = clean, 3 = discrepancies (see docs/qa.md)\n"
       "<source>: a .csv path or a dataset name (YES, NO, NUMBERS, LINEITEM,\n"
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"
@@ -819,6 +902,12 @@ void Usage() {
       "flags: --rows N --seed S --threads N --time-limit SEC --max-level L\n"
       "       --memory-limit MIB --max-checks N\n"
       "       --checkpoint DIR --resume\n"
+      "       --on-bad-row fail|skip|quarantine   (CSV ingest policy;\n"
+      "        default fail: the first malformed data row aborts the read\n"
+      "        with a structured error naming the byte offset and row)\n"
+      "       --quarantine FILE  (with --on-bad-row quarantine: raw copies\n"
+      "        of rejected rows land here; counts go to the JSON report's\n"
+      "        \"ingest\" member either way)\n"
       "       --expand --partitions --lex --max-ratio R --order-by LIST\n"
       "       --json\n"
       "       --out FILE\n"

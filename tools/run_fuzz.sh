@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Time-boxed libFuzzer sweep over the four untrusted-byte boundaries
+# (src/fuzz: csv, snapshot, json_report, claims), seeded from the checked-in
+# corpora and pinned repros. See docs/fuzzing.md.
+#
+#   tools/run_fuzz.sh [seconds-per-target] [target ...]
+#
+#   tools/run_fuzz.sh              # 60s each, all four targets
+#   tools/run_fuzz.sh 300 csv      # 5 minutes, csv only
+#
+# Needs Clang (libFuzzer ships with it; GCC has no -fsanitize=fuzzer). When
+# no clang++ is on PATH the script explains and exits 0 — "skipped", not
+# "failed" — because the compiler-agnostic fuzz-lite replay in tier-1
+# (tests/fuzz_lite_test.cc) already covers the same target functions. Set
+# OCDD_FUZZ_REQUIRE=1 to turn that skip into a hard failure (for CI hosts
+# that are supposed to have Clang).
+#
+# Crashing inputs land in build-fuzz/artifacts/<target>/ and the script
+# exits non-zero. New coverage-increasing inputs are merged back into
+# tests/fuzz_corpus/<target>/ so they ride along in tier-1 replay — review
+# and commit them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SECONDS_PER_TARGET="${1:-60}"
+shift || true
+TARGETS=("$@")
+if [[ ${#TARGETS[@]} -eq 0 ]]; then
+  TARGETS=(csv snapshot json_report claims)
+fi
+
+CLANGXX="${OCDD_CLANGXX:-clang++}"
+if ! command -v "${CLANGXX}" >/dev/null 2>&1; then
+  echo "run_fuzz: '${CLANGXX}' not found — libFuzzer needs Clang" >&2
+  echo "run_fuzz: the tier-1 fuzz_lite_test corpus replay covers the same" >&2
+  echo "run_fuzz: target functions on every compiler; skipping." >&2
+  if [[ "${OCDD_FUZZ_REQUIRE:-0}" == "1" ]]; then
+    exit 1
+  fi
+  exit 0
+fi
+
+DIR="build-fuzz"
+echo "==> configuring ${DIR} (OCDD_FUZZ=ON, ${CLANGXX})"
+cmake -B "${DIR}" -S . -DOCDD_FUZZ=ON \
+      -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+status=0
+for target in "${TARGETS[@]}"; do
+  echo "==> building fuzz_${target}"
+  cmake --build "${DIR}" -j "$(nproc)" --target "fuzz_${target}"
+
+  bin="${DIR}/src/fuzz/fuzz_${target}"
+  corpus="tests/fuzz_corpus/${target}"
+  repros="tests/repros/fuzz/${target}"
+  work="${DIR}/corpus/${target}"
+  artifacts="${DIR}/artifacts/${target}"
+  mkdir -p "${work}" "${artifacts}"
+
+  echo "==> fuzzing ${target} for ${SECONDS_PER_TARGET}s"
+  # Work in a scratch copy of the corpus; pinned repros are seeds too.
+  if ! "${bin}" -max_total_time="${SECONDS_PER_TARGET}" \
+       -artifact_prefix="${artifacts}/" -print_final_stats=1 \
+       "${work}" "${corpus}" "${repros}"; then
+    echo "fuzz_${target}: CRASH — repro in ${artifacts}/" >&2
+    echo "fuzz_${target}: pin it under ${repros}/ once fixed" >&2
+    status=1
+    continue
+  fi
+
+  # Fold new coverage back into the checked-in corpus (minimized merge).
+  echo "==> merging ${target} corpus"
+  "${bin}" -merge=1 "${corpus}" "${work}" >/dev/null 2>&1 || true
+done
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "==> fuzz sweep FAILED (crashing inputs above)" >&2
+  exit "${status}"
+fi
+echo "==> fuzz sweep passed (${SECONDS_PER_TARGET}s per target)"

@@ -76,7 +76,15 @@ done
 # write path (fsync/rename/read-back) and the fork/exec supervisor must be
 # clean under sanitizers, not just in the default tier-1 build.
 echo "==> checkpoint/supervise tests under asan"
-cmake --build "${DIR}" -j "$(nproc)" --target checkpoint_test supervise_test
-(cd "${DIR}" && ctest -R 'checkpoint_test|supervise_test' --output-on-failure)
+cmake --build "${DIR}" -j "$(nproc)" --target checkpoint_test supervise_test \
+      fuzz_lite_test
+(cd "${DIR}" && ctest -R 'checkpoint_test|supervise_test|fuzz_lite_test' \
+      --output-on-failure)
+
+# Fuzz-lite corpus replay ran above under ASan; when Clang is available,
+# follow with a real coverage-guided sweep of the four untrusted-byte
+# boundaries (run_fuzz.sh skips itself cleanly on gcc-only hosts).
+echo "==> libFuzzer sweep (docs/fuzzing.md)"
+tools/run_fuzz.sh "${FUZZ_SECONDS:-60}"
 
 echo "==> nightly qa sweep passed"
