@@ -22,7 +22,8 @@ using ocdd::bench::FormatTime;
 using ocdd::bench::LoadCoded;
 using ocdd::bench::RunBudgetSeconds;
 
-void RunDataset(const ocdd::datagen::DatasetSpec& spec) {
+void RunDataset(const ocdd::datagen::DatasetSpec& spec,
+                ocdd::bench::BenchReport& report) {
   ocdd::rel::CodedRelation r = LoadCoded(spec.name);
   double budget = RunBudgetSeconds();
 
@@ -45,6 +46,10 @@ void RunDataset(const ocdd::datagen::DatasetSpec& spec) {
   ocdd::core::OcdDiscoverOptions ocd_opts;
   ocd_opts.time_limit_seconds = budget;
   auto mine = ocdd::core::DiscoverOcds(r, ocd_opts);
+  report.Add({spec.name, r.num_rows(), r.num_columns(), ocd_opts.num_threads,
+              ocd_opts.use_sorted_partitions, mine.elapsed_seconds,
+              mine.num_checks, mine.ocds.size(), mine.ods.size(),
+              mine.completed});
   ocdd::core::ExpansionOptions exp_opts;
   exp_opts.max_materialized = 200000;
   auto expanded = ocdd::core::ExpandResults(mine, r, exp_opts);
@@ -75,8 +80,9 @@ int main() {
       "dataset", "|r|", "|U|", "tane|Fd|", "time", "ord|Od|", "time",
       "fod|Fd|", "fod|Od|", "time", "|Ocd|", "|Od|exp", "#checks", "time");
   std::printf("%s\n", std::string(130, '-').c_str());
+  ocdd::bench::BenchReport report("table6");
   for (const auto& spec : ocdd::datagen::AllDatasets()) {
-    RunDataset(spec);
+    RunDataset(spec, report);
   }
   std::printf("\nNotes: datasets are seeded synthetic analogues (DESIGN.md "
               "section 2); |Od|exp expands OCDs, emitted ODs, equivalence\n"

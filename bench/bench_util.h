@@ -1,9 +1,11 @@
 #ifndef OCDD_BENCH_BENCH_UTIL_H_
 #define OCDD_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "datagen/registry.h"
 #include "relation/coded_relation.h"
@@ -55,6 +57,108 @@ inline std::string FormatTime(double seconds, bool completed) {
                   seconds - 60.0 * static_cast<int>(seconds / 60.0));
   }
   return buf;
+}
+
+/// One measured configuration in a machine-readable bench report. Fields
+/// that a bench does not measure stay at their zero defaults and still
+/// appear in the JSON, so every entry has the same shape.
+struct BenchEntry {
+  std::string dataset;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t threads = 0;
+  bool use_sorted_partitions = false;
+  double seconds = 0.0;
+  std::uint64_t checks = 0;
+  std::size_t ocds = 0;
+  std::size_t ods = 0;
+  bool completed = true;
+};
+
+/// Collects `BenchEntry` records and writes them as
+/// `$OCDD_BENCH_JSON_DIR/BENCH_<name>.json` (directory defaults to the
+/// working directory) when flushed or destroyed. The format is one object
+/// with a `bench` name and an `entries` array — see docs/performance.md.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { Flush(); }
+
+  void Add(BenchEntry entry) { entries_.push_back(std::move(entry)); }
+
+  /// Writes the report file; safe to call more than once (rewrites).
+  void Flush() {
+    std::string dir = ".";
+    if (const char* env = std::getenv("OCDD_BENCH_JSON_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [",
+                 Escaped(name_).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const BenchEntry& e = entries_[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"dataset\": \"%s\", \"rows\": %zu, \"cols\": %zu, "
+          "\"threads\": %zu, \"use_sorted_partitions\": %s, "
+          "\"seconds\": %.6f, \"checks\": %llu, \"ocds\": %zu, "
+          "\"ods\": %zu, \"completed\": %s}",
+          i == 0 ? "" : ",", Escaped(e.dataset).c_str(), e.rows, e.cols,
+          e.threads, e.use_sorted_partitions ? "true" : "false", e.seconds,
+          static_cast<unsigned long long>(e.checks), e.ocds, e.ods,
+          e.completed ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench report written to %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<BenchEntry> entries_;
+};
+
+/// Parses a comma-separated positive-integer list from the environment
+/// (e.g. `OCDD_BENCH_THREADS=1,2,4,8`); returns `fallback` when unset or
+/// unparsable. Lets tools/run_bench.sh drive sweeps without rebuilds.
+inline std::vector<std::size_t> SizeListFromEnv(
+    const char* var, std::vector<std::size_t> fallback) {
+  const char* env = std::getenv(var);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::size_t> out;
+  std::size_t current = 0;
+  bool have_digit = false;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      current = current * 10 + static_cast<std::size_t>(*p - '0');
+      have_digit = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (!have_digit || current == 0) return fallback;
+      out.push_back(current);
+      current = 0;
+      have_digit = false;
+      if (*p == '\0') break;
+    } else {
+      return fallback;
+    }
+  }
+  return out;
 }
 
 }  // namespace ocdd::bench

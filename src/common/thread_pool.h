@@ -60,6 +60,13 @@ class ThreadPool {
   /// of them. `fn` must be safe to invoke concurrently. Returns the first
   /// failure thrown by any invocation (remaining indices may be skipped
   /// after a failure), or OK.
+  ///
+  /// Work is handed out in contiguous blocks of ~`n / (4 * num_threads)`
+  /// indices claimed from an atomic cursor: one queue/mutex round-trip per
+  /// worker and one atomic add per block, instead of per index — the
+  /// difference is measurable on wide levels with cheap per-index bodies.
+  /// Blocks small enough for load balance, coarse enough that the cursor
+  /// never becomes the bottleneck.
   Status ParallelFor(std::size_t n,
                      const std::function<void(std::size_t)>& fn);
 

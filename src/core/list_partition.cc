@@ -16,53 +16,154 @@ ListPartition ListPartition::ForColumn(const rel::CodedRelation& relation,
 ListPartition ListPartition::ForList(const rel::CodedRelation& relation,
                                      const od::AttributeList& list) {
   ListPartition out = ForColumn(relation, list[0]);
+  RefineScratch scratch;
   for (std::size_t i = 1; i < list.size(); ++i) {
-    out = out.Refine(relation, list[i]);
+    out = out.Refine(relation, list[i], &scratch);
   }
   return out;
 }
 
 ListPartition ListPartition::Refine(const rel::CodedRelation& relation,
                                     rel::ColumnId column) const {
-  const std::vector<std::int32_t>& col = relation.column(column).codes;
-  std::size_t m = codes_.size();
+  RefineScratch scratch;
+  return Refine(relation, column, &scratch);
+}
 
-  // Bucket rows by their current rank (counting sort pass), then order each
-  // bucket by the new attribute's codes.
-  std::vector<std::uint32_t> offsets(
-      static_cast<std::size_t>(num_groups_) + 1, 0);
-  for (std::int32_t c : codes_) {
-    ++offsets[static_cast<std::size_t>(c) + 1];
-  }
-  for (std::size_t g = 1; g < offsets.size(); ++g) {
-    offsets[g] += offsets[g - 1];
-  }
-  std::vector<std::uint32_t> rows(m);
-  {
-    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::uint32_t row = 0; row < m; ++row) {
-      rows[cursor[static_cast<std::size_t>(codes_[row])]++] = row;
+ListPartition ListPartition::Refine(const rel::CodedRelation& relation,
+                                    rel::ColumnId column,
+                                    RefineScratch* scratch,
+                                    RefinePath path) const {
+  const rel::CodedColumn& coded = relation.column(column);
+  const std::int32_t* col = coded.codes.data();
+  const std::size_t m = codes_.size();
+  const std::size_t groups = static_cast<std::size_t>(num_groups_);
+
+  const std::size_t domain = static_cast<std::size_t>(coded.num_distinct);
+  const std::uint64_t buckets = static_cast<std::uint64_t>(groups) * domain;
+
+  if (path == RefinePath::kAuto) {
+    // The histogram path is two row passes plus a sequential bucket scan —
+    // cheapest by far while g·d stays within a few multiples of m. Beyond
+    // that, counting sort costs ~4 linear passes regardless of group
+    // structure and comparison sort costs the bucket pass plus m·log(group
+    // size): small domains mean large groups — the counting path's
+    // territory; near-key columns (tiny groups) sort almost for free.
+    if (buckets <= 8 * static_cast<std::uint64_t>(m)) {
+      path = RefinePath::kHistogram;
+    } else {
+      path = domain * 4 <= m ? RefinePath::kCounting : RefinePath::kComparison;
     }
   }
 
+  if (path == RefinePath::kHistogram) {
+    // Bucket key = parent rank · d + code preserves (parent rank, code)
+    // lexicographic order, so densely renumbering the occupied buckets in
+    // key order yields exactly the refined ranks.
+    std::vector<std::uint32_t>& occupied = scratch->tmp;
+    occupied.assign(static_cast<std::size_t>(buckets), 0);
+    const std::int32_t* parent = codes_.data();
+    for (std::size_t row = 0; row < m; ++row) {
+      occupied[static_cast<std::size_t>(parent[row]) * domain +
+               static_cast<std::size_t>(col[row])] = 1;
+    }
+    std::uint32_t next = 0;
+    for (std::uint32_t& slot : occupied) {
+      if (slot != 0) slot = next++;
+    }
+    ListPartition out;
+    out.codes_.resize(m);
+    for (std::size_t row = 0; row < m; ++row) {
+      out.codes_[row] = static_cast<std::int32_t>(
+          occupied[static_cast<std::size_t>(parent[row]) * domain +
+                   static_cast<std::size_t>(col[row])]);
+    }
+    out.num_groups_ = static_cast<std::int32_t>(next);
+    return out;
+  }
+
+  // Parent-rank histogram: reused across consecutive refinements of the
+  // same parent (the pipeline groups sibling lists by parent).
+  std::vector<std::uint32_t>& offsets = scratch->rank_offsets;
+  if (scratch->parent_tag != codes_.data()) {
+    offsets.assign(groups + 1, 0);
+    for (std::int32_t c : codes_) {
+      ++offsets[static_cast<std::size_t>(c) + 1];
+    }
+    for (std::size_t g = 1; g < offsets.size(); ++g) {
+      offsets[g] += offsets[g - 1];
+    }
+    scratch->parent_tag = codes_.data();
+  }
+
+  std::vector<std::uint32_t>& rows = scratch->rows;
+  rows.resize(m);
+
+  if (path == RefinePath::kCounting) {
+    // Stable two-pass counting sort: first order rows by the new column's
+    // code, then stably by parent rank — `rows` ends up sorted by
+    // (parent rank, code) with no comparisons.
+    std::vector<std::uint32_t>& code_offsets = scratch->code_offsets;
+    code_offsets.assign(domain + 1, 0);
+    for (std::size_t row = 0; row < m; ++row) {
+      ++code_offsets[static_cast<std::size_t>(col[row]) + 1];
+    }
+    for (std::size_t d = 1; d < code_offsets.size(); ++d) {
+      code_offsets[d] += code_offsets[d - 1];
+    }
+    std::vector<std::uint32_t>& tmp = scratch->tmp;
+    tmp.resize(m);
+    {
+      std::vector<std::uint32_t>& cursor = scratch->cursor;
+      cursor.assign(code_offsets.begin(), code_offsets.end() - 1);
+      for (std::uint32_t row = 0; row < m; ++row) {
+        tmp[cursor[static_cast<std::size_t>(col[row])]++] = row;
+      }
+    }
+    {
+      std::vector<std::uint32_t>& cursor = scratch->cursor;
+      cursor.assign(offsets.begin(), offsets.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        std::uint32_t row = tmp[i];
+        rows[cursor[static_cast<std::size_t>(codes_[row])]++] = row;
+      }
+    }
+  } else {
+    // Bucket rows by parent rank, then order each bucket by the new
+    // column's codes.
+    {
+      std::vector<std::uint32_t>& cursor = scratch->cursor;
+      cursor.assign(offsets.begin(), offsets.end() - 1);
+      for (std::uint32_t row = 0; row < m; ++row) {
+        rows[cursor[static_cast<std::size_t>(codes_[row])]++] = row;
+      }
+    }
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::uint32_t begin = offsets[g];
+      std::uint32_t end = offsets[g + 1];
+      std::sort(rows.begin() + begin, rows.begin() + end,
+                [col](std::uint32_t a, std::uint32_t b) {
+                  return col[a] < col[b];
+                });
+    }
+  }
+
+  // `rows` is ordered by (parent rank, code): assign dense new ranks,
+  // bumping at every parent-group boundary or code change within a group.
   ListPartition out;
   out.codes_.resize(m);
   std::int32_t next_rank = -1;
-  for (std::int32_t g = 0; g < num_groups_; ++g) {
-    std::uint32_t begin = offsets[static_cast<std::size_t>(g)];
-    std::uint32_t end = offsets[static_cast<std::size_t>(g) + 1];
-    std::sort(rows.begin() + begin, rows.begin() + end,
-              [&](std::uint32_t a, std::uint32_t b) {
-                return col[a] < col[b];
-              });
-    std::int32_t prev_code = std::numeric_limits<std::int32_t>::min();
-    for (std::uint32_t i = begin; i < end; ++i) {
-      if (col[rows[i]] != prev_code) {
-        ++next_rank;
-        prev_code = col[rows[i]];
-      }
-      out.codes_[rows[i]] = next_rank;
+  std::int32_t prev_parent = -1;
+  std::int32_t prev_code = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::uint32_t row = rows[i];
+    std::int32_t parent = codes_[row];
+    std::int32_t code = col[row];
+    if (parent != prev_parent || code != prev_code) {
+      ++next_rank;
+      prev_parent = parent;
+      prev_code = code;
     }
+    out.codes_[row] = next_rank;
   }
   out.num_groups_ = next_rank + 1;
   return out;
@@ -70,24 +171,31 @@ ListPartition ListPartition::Refine(const rel::CodedRelation& relation,
 
 namespace {
 
-/// Per-lhs-group min/max of the rhs ranks, indexed by lhs rank.
-struct GroupExtremes {
-  std::vector<std::int32_t> min_rhs;
-  std::vector<std::int32_t> max_rhs;
+/// Per-lhs-group min/max of the rhs ranks, indexed by lhs rank. Min and max
+/// are adjacent in memory so the per-row random update touches one cache
+/// line, not two. Thread-local so the O(groups) array is reused across
+/// checks instead of allocated per call — the parallel check phase runs one
+/// instance per pool worker.
+struct MinMax {
+  std::int32_t lo;
+  std::int32_t hi;
 };
 
-GroupExtremes ComputeExtremes(const ListPartition& lhs,
-                              const ListPartition& rhs) {
-  GroupExtremes out;
+std::vector<MinMax>& ComputeExtremes(const ListPartition& lhs,
+                                     const ListPartition& rhs) {
+  thread_local std::vector<MinMax> out;
   std::size_t groups = static_cast<std::size_t>(lhs.num_groups());
-  out.min_rhs.assign(groups, std::numeric_limits<std::int32_t>::max());
-  out.max_rhs.assign(groups, std::numeric_limits<std::int32_t>::min());
-  const auto& lc = lhs.codes();
-  const auto& rc = rhs.codes();
-  for (std::size_t row = 0; row < lc.size(); ++row) {
-    std::size_t g = static_cast<std::size_t>(lc[row]);
-    out.min_rhs[g] = std::min(out.min_rhs[g], rc[row]);
-    out.max_rhs[g] = std::max(out.max_rhs[g], rc[row]);
+  out.assign(groups, MinMax{std::numeric_limits<std::int32_t>::max(),
+                            std::numeric_limits<std::int32_t>::min()});
+  const std::int32_t* lc = lhs.codes().data();
+  const std::int32_t* rc = rhs.codes().data();
+  MinMax* ext = out.data();
+  const std::size_t m = lhs.num_rows();
+  for (std::size_t row = 0; row < m; ++row) {
+    MinMax& e = ext[static_cast<std::size_t>(lc[row])];
+    std::int32_t r = rc[row];
+    if (r < e.lo) e.lo = r;
+    if (r > e.hi) e.hi = r;
   }
   return out;
 }
@@ -98,12 +206,12 @@ OdCheckOutcome ListPartition::CheckOd(const ListPartition& lhs,
                                       const ListPartition& rhs) {
   OdCheckOutcome outcome;
   if (lhs.num_rows() < 2) return outcome;
-  GroupExtremes ext = ComputeExtremes(lhs, rhs);
+  const std::vector<MinMax>& ext = ComputeExtremes(lhs, rhs);
   std::int32_t running_max = std::numeric_limits<std::int32_t>::min();
-  for (std::size_t g = 0; g < ext.min_rhs.size(); ++g) {
-    if (ext.min_rhs[g] != ext.max_rhs[g]) outcome.has_split = true;
-    if (running_max > ext.min_rhs[g]) outcome.has_swap = true;
-    running_max = std::max(running_max, ext.max_rhs[g]);
+  for (const MinMax& e : ext) {
+    if (e.lo != e.hi) outcome.has_split = true;
+    if (running_max > e.lo) outcome.has_swap = true;
+    running_max = std::max(running_max, e.hi);
   }
   return outcome;
 }
@@ -111,11 +219,11 @@ OdCheckOutcome ListPartition::CheckOd(const ListPartition& lhs,
 bool ListPartition::CheckOcd(const ListPartition& lhs,
                              const ListPartition& rhs) {
   if (lhs.num_rows() < 2) return true;
-  GroupExtremes ext = ComputeExtremes(lhs, rhs);
+  const std::vector<MinMax>& ext = ComputeExtremes(lhs, rhs);
   std::int32_t running_max = std::numeric_limits<std::int32_t>::min();
-  for (std::size_t g = 0; g < ext.min_rhs.size(); ++g) {
-    if (running_max > ext.min_rhs[g]) return false;
-    running_max = std::max(running_max, ext.max_rhs[g]);
+  for (const MinMax& e : ext) {
+    if (running_max > e.lo) return false;
+    running_max = std::max(running_max, e.hi);
   }
   return true;
 }

@@ -11,6 +11,50 @@
 
 namespace ocdd::core {
 
+/// How `ListPartition::Refine` orders the rows inside each parent group.
+enum class RefinePath {
+  /// Pick per call: counting sort when the new column's domain is small
+  /// relative to the row count, comparison sort otherwise.
+  kAuto,
+  /// Two stable counting-sort passes over (code, parent rank): O(m + d + g)
+  /// with no comparisons. Wins when groups are large (small domains).
+  kCounting,
+  /// Direct bucket renumbering over the key `parent rank · d + code`:
+  /// marks occupied buckets, densely renumbers them in key order, then
+  /// assigns each row its bucket's rank — two passes over the rows and one
+  /// over the g·d buckets, never materializing a row order. The fastest
+  /// path whenever g·d is within a small multiple of m.
+  kHistogram,
+  /// Bucket by parent rank, then std::sort each group by the new column's
+  /// codes: O(m + Σ gᵢ log gᵢ). Wins when groups are already tiny.
+  kComparison,
+};
+
+/// Reusable buffers for `Refine`, so a pipeline of refinements performs no
+/// per-call allocations (beyond the result's own rank vector). One scratch
+/// per thread; a scratch must not be shared between concurrent refinements.
+///
+/// Consecutive refinements of the *same* parent partition additionally
+/// reuse the parent's rank histogram (`rank_offsets`): the parallel
+/// partition pipeline groups each level's missing lists by parent to
+/// exploit exactly this.
+struct RefineScratch {
+  /// Identity of the partition `rank_offsets` was computed for (its rank
+  /// vector's buffer address); an opaque tag, only ever compared. Call
+  /// `Invalidate()` after destroying a partition this scratch refined, in
+  /// the unlikely case a new partition's buffer could land at the same
+  /// address (long-lived cached parents, as in the discovery driver, are
+  /// never at risk).
+  const void* parent_tag = nullptr;
+  std::vector<std::uint32_t> rank_offsets;
+  std::vector<std::uint32_t> code_offsets;
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint32_t> tmp;
+
+  void Invalidate() { parent_tag = nullptr; }
+};
+
 /// A *sorted partition* of the rows under an attribute list X: the dense,
 /// order-preserving rank of every row under the lexicographic order `⪯_X`.
 ///
@@ -21,9 +65,9 @@ namespace ocdd::core {
 ///
 ///  * `ForColumn` is free — a CodedColumn's codes already are the sorted
 ///    partition of the singleton list;
-///  * `Refine` extends a list by one attribute in O(m log g) where g is the
-///    largest group, instead of the O(m log m) full sort per check;
-///  * `CheckOd` / `CheckOcdSwap` validate a candidate from the two sides'
+///  * `Refine` extends a list by one attribute in O(m)–O(m log g) where g
+///    is the largest group, instead of the O(m log m) full sort per check;
+///  * `CheckOd` / `CheckOcd` validate a candidate from the two sides'
 ///    partitions in O(m) — no sorting at all.
 ///
 /// The BFS candidate tree extends sides by appending one attribute, so each
@@ -47,17 +91,32 @@ class ListPartition {
   ListPartition Refine(const rel::CodedRelation& relation,
                        rel::ColumnId column) const;
 
+  /// `Refine` with caller-owned scratch (no internal allocations) and an
+  /// explicit path choice. `kCounting` and `kComparison` produce identical
+  /// partitions; `kAuto` picks by the column's domain size.
+  ListPartition Refine(const rel::CodedRelation& relation,
+                       rel::ColumnId column, RefineScratch* scratch,
+                       RefinePath path = RefinePath::kAuto) const;
+
   std::size_t num_rows() const { return codes_.size(); }
   std::int32_t num_groups() const { return num_groups_; }
   const std::vector<std::int32_t>& codes() const { return codes_; }
 
-  /// Approximate heap footprint, for cache budgeting.
+  /// Approximate heap footprint, for cache budgeting. Uses capacity, so
+  /// call `ShrinkToFit` first when the partition is about to be cached —
+  /// otherwise the budget is charged for slack the allocator is holding.
   std::size_t MemoryBytes() const {
     return codes_.capacity() * sizeof(std::int32_t) + sizeof(*this);
   }
 
+  /// Releases rank-vector slack (capacity beyond size) so `MemoryBytes`
+  /// reflects real heap use before the partition enters a budgeted cache.
+  void ShrinkToFit() { codes_.shrink_to_fit(); }
+
   /// Full OD check `X → Y` from the two sides' partitions (split and swap
   /// classification identical to OrderChecker::CheckOd), in O(m + groups).
+  /// `has_swap` alone decides the OCD single check (Theorem 4.1), so one
+  /// call answers both "X ~ Y?" and "X → Y?".
   static OdCheckOutcome CheckOd(const ListPartition& lhs,
                                 const ListPartition& rhs);
 

@@ -286,12 +286,10 @@ class Driver {
 
         // Sorted-partition mode: make sure both sides of every candidate
         // have a cached rank vector before the (parallel, read-only) check
-        // phase.
+        // phase. Refinement itself is parallel — see
+        // PrepareLevelPartitions.
         if (options_.use_sorted_partitions) {
-          for (const Candidate& c : level) {
-            EnsurePartition(c.x);
-            EnsurePartition(c.y);
-          }
+          PrepareLevelPartitions(level, pool.get());
         }
 
         std::vector<CheckedCandidate> checked(level.size());
@@ -305,13 +303,18 @@ class Driver {
           const ListPartition* px = FindPartition(c.x);
           const ListPartition* py = FindPartition(c.y);
           if (px != nullptr && py != nullptr) {
+            // One extremes pass answers both the OCD single check (swap
+            // only, Theorem 4.1) and the embedded OD X → Y; only Y → X
+            // needs a second pass. The check accounting is unchanged:
+            // 1 OCD check, plus 2 OD checks at valid nodes.
             part_checks_.fetch_add(1, std::memory_order_relaxed);
             ctx_->CountCheck(1);
-            out.ocd_valid = ListPartition::CheckOcd(*px, *py);
+            OdCheckOutcome xy = ListPartition::CheckOd(*px, *py);
+            out.ocd_valid = !xy.has_swap;
             if (out.ocd_valid) {
               part_checks_.fetch_add(2, std::memory_order_relaxed);
               ctx_->CountCheck(2);
-              out.od_xy = ListPartition::CheckOd(*px, *py).valid();
+              out.od_xy = xy.valid();
               out.od_yx = ListPartition::CheckOd(*py, *px).valid();
             }
             return;
@@ -467,31 +470,104 @@ class Driver {
     return it == part_cache_.end() ? nullptr : &it->second;
   }
 
-  /// Computes (recursively, via the list's prefix) and caches the sorted
-  /// partition of `list`, honoring the memory budget. Sequential use only.
-  /// Cache overflow is graceful (sort-based fallback), not a run stop.
-  const ListPartition* EnsurePartition(const od::AttributeList& list) {
-    auto it = part_cache_.find(list);
-    if (it != part_cache_.end()) return &it->second;
-    ListPartition part;
-    if (list.size() == 1) {
-      part = ListPartition::ForColumn(relation_, list[0]);
-    } else {
+  /// Two-phase per-level partition pipeline. Phase 1 (sequential) plans
+  /// every list the level needs that the cache is missing, walking each
+  /// side's prefixes so the plan is prefix-closed and its order depends
+  /// only on the candidate order — never on thread count. Phase 2 refines
+  /// the plan layer by layer (all lists of one length are independent once
+  /// the shorter ones are published) on the pool, sorting each layer by
+  /// parent so sibling refinements on one worker share the parent's rank
+  /// histogram, then publishes sequentially under the cache budget.
+  ///
+  /// Budget overflow stays graceful exactly as the old sequential pass: an
+  /// over-budget partition is dropped, its descendants are skipped, and
+  /// the affected candidates fall back to the sort-based checker. The
+  /// RunContext is consulted between layers so a stopped run does not
+  /// grind through refinements whose checks will never execute.
+  void PrepareLevelPartitions(const std::vector<Candidate>& level,
+                              ThreadPool* pool) {
+    struct Job {
+      od::AttributeList list;
+      ListPartition result;
+      bool computed = false;
+    };
+    std::vector<Job> jobs;
+    std::unordered_map<od::AttributeList, std::size_t, AttributeListHash>
+        planned;
+    auto plan_list = [&](const od::AttributeList& list) {
+      for (std::size_t k = 1; k <= list.size(); ++k) {
+        od::AttributeList prefix(std::vector<ColumnId>(
+            list.ids().begin(), list.ids().begin() + k));
+        if (part_cache_.find(prefix) != part_cache_.end()) continue;
+        if (planned.find(prefix) != planned.end()) continue;
+        planned.emplace(prefix, jobs.size());
+        jobs.push_back(Job{std::move(prefix), ListPartition{}, false});
+      }
+    };
+    for (const Candidate& c : level) {
+      plan_list(c.x);
+      plan_list(c.y);
+    }
+    if (jobs.empty()) return;
+
+    std::size_t max_len = 0;
+    for (const Job& j : jobs) max_len = std::max(max_len, j.list.size());
+    std::vector<std::vector<Job*>> layers(max_len + 1);
+    for (Job& j : jobs) layers[j.list.size()].push_back(&j);
+
+    auto compute_job = [&](Job& job) {
+      if (job.list.size() == 1) {
+        job.result = ListPartition::ForColumn(relation_, job.list[0]);
+        job.computed = true;
+        return;
+      }
       od::AttributeList prefix(std::vector<ColumnId>(
-          list.ids().begin(), list.ids().end() - 1));
-      const ListPartition* parent = EnsurePartition(prefix);
-      if (parent == nullptr) return nullptr;
-      part = parent->Refine(relation_, list[list.size() - 1]);
+          job.list.ids().begin(), job.list.ids().end() - 1));
+      auto parent = part_cache_.find(prefix);
+      if (parent == part_cache_.end()) return;  // dropped by the budget
+      thread_local RefineScratch scratch;
+      job.result = parent->second.Refine(
+          relation_, job.list[job.list.size() - 1], &scratch);
+      job.computed = true;
+    };
+
+    for (std::size_t len = 1; len <= max_len; ++len) {
+      std::vector<Job*>& layer = layers[len];
+      if (layer.empty()) continue;
+      if (ctx_->stop_requested()) return;
+      // Group siblings: jobs that refine the same parent become adjacent,
+      // so one worker's contiguous block reuses the parent histogram.
+      // Deterministic (pure list comparison), hence thread-count-stable.
+      std::stable_sort(layer.begin(), layer.end(),
+                       [](const Job* a, const Job* b) {
+                         return a->list.ids() < b->list.ids();
+                       });
+      if (pool != nullptr && layer.size() > 1) {
+        Status status = pool->ParallelFor(
+            layer.size(), [&](std::size_t i) { compute_job(*layer[i]); });
+        if (!status.ok()) {
+          // A refinement threw (allocation failure or similar): contained
+          // by the pool; stop the run and let the level unwind.
+          ctx_->RequestStop(StopReason::kFaultInjected);
+          return;
+        }
+      } else {
+        for (Job* j : layer) compute_job(*j);
+      }
+      // Publish in the sorted (deterministic) order, shrunk so the budget
+      // is charged for real heap use, not allocator slack.
+      for (Job* j : layer) {
+        if (!j->computed) continue;
+        j->result.ShrinkToFit();
+        std::size_t bytes = j->result.MemoryBytes();
+        if (options_.max_partition_cache_bytes != 0 &&
+            cache_bytes_ + bytes > options_.max_partition_cache_bytes) {
+          continue;
+        }
+        cache_bytes_ += bytes;
+        part_cache_.emplace(std::move(j->list), std::move(j->result));
+      }
     }
-    std::size_t bytes = part.MemoryBytes();
-    if (options_.max_partition_cache_bytes != 0 &&
-        cache_bytes_ + bytes > options_.max_partition_cache_bytes) {
-      return nullptr;
-    }
-    cache_bytes_ += bytes;
-    auto [pos, inserted] = part_cache_.emplace(list, std::move(part));
-    (void)inserted;
-    return &pos->second;
   }
 
   const rel::CodedRelation& relation_;

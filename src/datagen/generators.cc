@@ -437,4 +437,34 @@ Relation MakeFlight(std::size_t rows, std::uint64_t seed) {
   return std::move(b).Build();
 }
 
+Relation MakeLattice(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  // Hidden total order: row r has hidden rank perm[r] (Fisher-Yates).
+  std::vector<std::uint64_t> perm(rows);
+  for (std::size_t r = 0; r < rows; ++r) perm[r] = r;
+  for (std::size_t r = rows; r > 1; --r) {
+    std::swap(perm[r - 1], perm[rng.Uniform(r)]);
+  }
+  // Co-prime bucket counts: column c takes value hidden·bucketsᶜ/rows, so
+  // each column is a coarse monotone view of the hidden order, but no pair
+  // of columns determines each other's buckets.
+  static constexpr std::uint64_t kBuckets[8] = {5, 7, 9, 11, 13, 17, 6, 10};
+  std::vector<Attribute> attrs;
+  for (std::size_t c = 0; c < 8; ++c) {
+    attrs.push_back({std::string(1, static_cast<char>('A' + c)),
+                     DataType::kInt});
+  }
+  Relation::Builder b{Schema(std::move(attrs))};
+  std::vector<Value> row(8);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      std::uint64_t hidden = c < 6 ? perm[r] : rows - 1 - perm[r];
+      row[c] = Value::Int(
+          static_cast<std::int64_t>(hidden * kBuckets[c] / rows));
+    }
+    MustAdd(b, row);
+  }
+  return std::move(b).Build();
+}
+
 }  // namespace ocdd::datagen

@@ -40,6 +40,17 @@ rel::Relation MakeHepatitis(std::size_t rows, std::uint64_t seed = 42);
 /// Figure 5 blow-up.
 rel::Relation MakeHorse(std::size_t rows, std::uint64_t seed = 42);
 
+/// LATTICE: 8 columns engineered to exercise the full OCD candidate
+/// lattice — the partition-pipeline benchmark workload, not an analogue of
+/// a repeatability dataset. Six columns are coarse monotone bucketings of
+/// one hidden row permutation with pairwise co-prime bucket counts: every
+/// pair within the family is order compatible, but no column orders
+/// another (splits both ways), so no OD prunes and the BFS expands the
+/// family's lattice to the last level. The remaining two columns bucket
+/// the *reversed* permutation, so every cross-family candidate dies from a
+/// swap at level 2.
+rel::Relation MakeLattice(std::size_t rows, std::uint64_t seed = 42);
+
 /// FLIGHT analogue: 109 columns, default 1000 rows — a wide schema with a
 /// deliberate entropy spectrum: unique identifiers, medium-cardinality
 /// route/time columns, a large band of quasi-constant flags (2–4 distinct

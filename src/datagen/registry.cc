@@ -16,6 +16,7 @@ const std::vector<DatasetSpec>& AllDatasets() {
       {"FLIGHT_1K", 1000, 1000, 109, false},
       {"HEPATITIS", 155, 155, 20, false},
       {"HORSE", 300, 300, 29, false},
+      {"LATTICE", 100000, 20000, 8, false},
       {"LETTER", 20000, 5000, 17, false},
       {"LINEITEM", 6001215, 50000, 16, false},
       {"NCVOTER_1K", 1000, 1000, 19, false},
@@ -47,6 +48,7 @@ Result<rel::Relation> MakeDataset(const std::string& name, std::size_t rows,
   if (spec.name == "FLIGHT_1K") return MakeFlight(n, seed);
   if (spec.name == "HEPATITIS") return MakeHepatitis(n, seed);
   if (spec.name == "HORSE") return MakeHorse(n, seed);
+  if (spec.name == "LATTICE") return MakeLattice(n, seed);
   if (spec.name == "LETTER") return MakeLetter(n, seed);
   if (spec.name == "LINEITEM") return MakeLineitem(n, seed);
   if (spec.name == "NCVOTER_1K") return MakeNcvoter(n, seed);

@@ -16,20 +16,54 @@ int CompareRowsOnList(const CodedRelation& relation,
   return 0;
 }
 
+void SortRowsByListInto(const CodedRelation& relation,
+                        const std::vector<ColumnId>& attrs,
+                        std::vector<std::uint32_t>* index) {
+  index->resize(relation.num_rows());
+  std::iota(index->begin(), index->end(), 0);
+  if (attrs.size() == 1) {
+    // Single-attribute fast path: one code array, no per-comparison loop.
+    const std::int32_t* codes = relation.column(attrs[0]).codes.data();
+    std::sort(index->begin(), index->end(),
+              [codes](std::uint32_t a, std::uint32_t b) {
+                return codes[a] < codes[b];
+              });
+    return;
+  }
+  // Hoist the code pointers so the comparator does not chase
+  // relation -> column -> vector per column per comparison.
+  std::vector<const std::int32_t*> cols;
+  cols.reserve(attrs.size());
+  for (ColumnId col : attrs) {
+    cols.push_back(relation.column(col).codes.data());
+  }
+  std::sort(index->begin(), index->end(),
+            [&cols](std::uint32_t a, std::uint32_t b) {
+              for (const std::int32_t* codes : cols) {
+                if (codes[a] != codes[b]) return codes[a] < codes[b];
+              }
+              return false;
+            });
+}
+
 std::vector<std::uint32_t> SortRowsByList(const CodedRelation& relation,
                                           const std::vector<ColumnId>& attrs) {
-  std::vector<std::uint32_t> index(relation.num_rows());
-  std::iota(index.begin(), index.end(), 0);
-  std::sort(index.begin(), index.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return CompareRowsOnList(relation, attrs, a, b) < 0;
-            });
+  std::vector<std::uint32_t> index;
+  SortRowsByListInto(relation, attrs, &index);
   return index;
 }
 
 std::vector<std::uint32_t> StableSortRowsByList(
     const CodedRelation& relation, const std::vector<ColumnId>& attrs,
     std::vector<std::uint32_t> base) {
+  if (attrs.size() == 1) {
+    const std::int32_t* codes = relation.column(attrs[0]).codes.data();
+    std::stable_sort(base.begin(), base.end(),
+                     [codes](std::uint32_t a, std::uint32_t b) {
+                       return codes[a] < codes[b];
+                     });
+    return base;
+  }
   std::stable_sort(base.begin(), base.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
                      return CompareRowsOnList(relation, attrs, a, b) < 0;

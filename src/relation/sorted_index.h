@@ -20,6 +20,15 @@ int CompareRowsOnList(const CodedRelation& relation,
 std::vector<std::uint32_t> SortRowsByList(const CodedRelation& relation,
                                           const std::vector<ColumnId>& attrs);
 
+/// `SortRowsByList` into a caller-owned buffer (resized to the row count),
+/// so repeated checks can reuse one allocation. Single-attribute lists take
+/// a fast path that compares the raw `int32` codes directly instead of
+/// walking the id list per comparison; longer lists hoist the per-column
+/// code pointers out of the comparator.
+void SortRowsByListInto(const CodedRelation& relation,
+                        const std::vector<ColumnId>& attrs,
+                        std::vector<std::uint32_t>* index);
+
 /// Like `SortRowsByList` but reorders `base` (a previously computed index
 /// whose order is used as the tie-break via stable sort). Sorting an index
 /// that is already ordered by a prefix of `attrs` is faster in practice and

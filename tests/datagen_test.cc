@@ -25,8 +25,8 @@ TEST(FixturesTest, YesNoNumbersShapes) {
   EXPECT_EQ(MakeNumbers().num_columns(), 5u);
 }
 
-TEST(RegistryTest, AllDatasetsListsEleven) {
-  EXPECT_EQ(AllDatasets().size(), 11u);
+TEST(RegistryTest, AllDatasetsListsTwelve) {
+  EXPECT_EQ(AllDatasets().size(), 12u);
 }
 
 TEST(RegistryTest, FindDatasetIsCaseInsensitive) {

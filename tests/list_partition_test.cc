@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/ocd_discover.h"
 #include "datagen/fixtures.h"
+#include "datagen/random_relation.h"
 #include "od/brute_force.h"
 #include "relation/sorted_index.h"
 #include "test_util.h"
@@ -130,6 +132,40 @@ TEST_P(ListPartitionAgreementTest, CacheBudgetFallsBackCorrectly) {
   OcdDiscoverResult plain = DiscoverOcds(r);
   EXPECT_EQ(plain.ocds, constrained.ocds);
   EXPECT_EQ(plain.ods, constrained.ods);
+}
+
+TEST_P(ListPartitionAgreementTest, RefinePathsAgreeOnRandomRelations) {
+  // The three refinement paths — counting sort, comparison sort, and bucket
+  // histogram — must produce bit-identical partitions on the QA generator's
+  // adversarial shapes (ties, NULL blocks, duplicated rows, constant and
+  // order-equivalent columns), and all must match the full-sort ground
+  // truth. kAuto's correctness reduces to this equivalence.
+  Rng rng(GetParam() * 7919 + 1);
+  datagen::RandomRelationSpec spec;
+  spec.min_rows = 8;
+  spec.max_rows = 80;
+  for (int round = 0; round < 8; ++round) {
+    CodedRelation r =
+        CodedRelation::Encode(datagen::MakeRandomRelation(rng, spec));
+    ListPartition base = ListPartition::ForColumn(r, 0);
+    AttributeList list{0};
+    RefineScratch scratch;
+    for (rel::ColumnId c = 1; c < r.num_columns(); ++c) {
+      ListPartition counting =
+          base.Refine(r, c, &scratch, RefinePath::kCounting);
+      ListPartition comparison =
+          base.Refine(r, c, &scratch, RefinePath::kComparison);
+      ListPartition histogram =
+          base.Refine(r, c, &scratch, RefinePath::kHistogram);
+      list = list.WithAppended(c);
+      EXPECT_EQ(counting.codes(), comparison.codes()) << list.ToString();
+      EXPECT_EQ(counting.codes(), histogram.codes()) << list.ToString();
+      EXPECT_EQ(counting.num_groups(), comparison.num_groups());
+      EXPECT_EQ(counting.num_groups(), histogram.num_groups());
+      EXPECT_EQ(counting.codes(), RanksBySorting(r, list)) << list.ToString();
+      base = std::move(counting);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ListPartitionAgreementTest,

@@ -137,6 +137,43 @@ TEST(ThreadPoolTest, ParallelForPropagatesThrownFailure) {
   EXPECT_LE(visited.load(), 99);
 }
 
+TEST(ThreadPoolTest, ParallelForStressCoversAllIndicesExactlyOnce) {
+  // Stress for the block-chunked handout: 10k indices, repeated rounds.
+  // Every index must be visited exactly once — no block may be dropped at
+  // the tail, none handed to two workers.
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  for (int round = 0; round < 3; ++round) {
+    for (auto& v : visits) v.store(0);
+    ASSERT_TRUE(
+        pool.ParallelFor(kN, [&](std::size_t i) { visits[i].fetch_add(1); })
+            .ok());
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStressContainsExceptions) {
+  // Failures sprinkled across many blocks: the error surfaces as a Status,
+  // no worker dies, and the pool still runs a full clean pass afterwards.
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 10000;
+  std::atomic<int> visited{0};
+  Status s = pool.ParallelFor(kN, [&](std::size_t i) {
+    if (i % 1000 == 999) throw std::runtime_error("stress failure");
+    visited.fetch_add(1);
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("stress failure"), std::string::npos);
+  EXPECT_LE(visited.load(), static_cast<int>(kN) - 1);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(
+      pool.ParallelFor(kN, [&](std::size_t) { counter.fetch_add(1); }).ok());
+  EXPECT_EQ(counter.load(), static_cast<int>(kN));
+}
+
 TEST(ThreadPoolTest, PoolUsableAfterParallelForFailure) {
   ThreadPool pool(4);
   Status s = pool.ParallelFor(

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Thread-scaling bench sweep with machine-readable output.
+#
+# Runs bench_fig6_threads across thread counts and both check modes
+# (sort-based vs cached sorted partitions) and records every measurement
+# as JSON — one BENCH_<name>.json per bench binary, written by the shared
+# reporter in bench/bench_util.h. See docs/performance.md for the format
+# and how to compare two sweeps.
+#
+#   tools/run_bench.sh [out_dir]          # default out_dir: bench-out
+#
+# Overridable via environment:
+#   OCDD_BENCH_THREADS=1,2,4,8            thread counts to sweep
+#   OCDD_BENCH_DATASETS=LETTER,LATTICE    registry datasets to run
+#   OCDD_BENCH_BUDGET=<seconds>           per-run time limit
+#   OCDD_SCALE=full                       paper-scale rows
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out}"
+THREADS="${OCDD_BENCH_THREADS:-1,2,4,8}"
+DATASETS="${OCDD_BENCH_DATASETS:-LETTER,LINEITEM,DBTESMA,LATTICE}"
+
+echo "==> building bench_fig6_threads"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_fig6_threads
+
+mkdir -p "${OUT}"
+echo "==> thread sweep: threads=${THREADS} datasets=${DATASETS}"
+OCDD_BENCH_JSON_DIR="${OUT}" \
+OCDD_BENCH_THREADS="${THREADS}" \
+OCDD_BENCH_DATASETS="${DATASETS}" \
+  ./build/bench/bench_fig6_threads | tee "${OUT}/fig6_threads.log"
+
+echo "==> reports:"
+ls -l "${OUT}"/BENCH_*.json
