@@ -1,0 +1,327 @@
+// Load benchmark for the `ocdd serve` daemon (docs/serving.md): an
+// in-process Server with real `ocdd run` worker processes, driven by
+// concurrent protocol clients. Three scenarios:
+//
+//   warm_cache — one relation asked over and over; after the first miss
+//                every answer comes from the result cache, so this measures
+//                the daemon's fixed per-request overhead (socket, framing,
+//                admission, cache probe).
+//   cold_runs  — distinct relations (seed-varied), every request spawns a
+//                worker process: end-to-end serving latency.
+//   overload   — more concurrent clients than one executor plus a short
+//                queue can hold: measures typed-reject (shed) latency and
+//                verifies every request terminates under pressure.
+//
+// Latency percentiles plus shed/retry counters land in
+// $OCDD_BENCH_JSON_DIR/BENCH_serve_load.json (tools/run_serve_bench.sh).
+// The worker binary comes from $OCDD_CLI or argv[1].
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json_reader.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScenarioResult {
+  std::string scenario;
+  std::size_t requests = 0;
+  std::size_t concurrency = 0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t error = 0;
+  std::uint64_t transport_failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t shed = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+/// Issues `requests` requests from `concurrency` client threads; request i
+/// is produced by `make_request(i)`. Fills latencies and per-status counts.
+ScenarioResult Drive(const ocdd::serve::Server& server,
+                     const std::string& scenario, std::size_t requests,
+                     std::size_t concurrency,
+                     const std::function<ocdd::serve::ServeRequest(
+                         std::size_t)>& make_request) {
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.requests = requests;
+  result.concurrency = concurrency;
+
+  std::vector<double> latencies_ms(requests, 0.0);
+  std::vector<int> statuses(requests, 0);  // 0 ok 1 rej 2 timeout 3 err 4 io
+  std::vector<int> hits(requests, 0);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    ocdd::serve::ClientOptions copts;
+    copts.io_timeout_seconds = 600.0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= requests) return;
+      const ocdd::serve::ServeRequest req = make_request(i);
+      const Clock::time_point t0 = Clock::now();
+      auto resp =
+          ocdd::serve::SendRequest(server.socket_path(), req, copts);
+      latencies_ms[i] =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      if (!resp.ok()) {
+        statuses[i] = 4;
+      } else if (resp->status == "ok") {
+        statuses[i] = 0;
+        if (resp->cache == "hit") hits[i] = 1;
+      } else if (resp->status == "rejected") {
+        statuses[i] = 1;
+      } else if (resp->status == "timeout") {
+        statuses[i] = 2;
+      } else {
+        statuses[i] = 3;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < concurrency; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    switch (statuses[i]) {
+      case 0: ++result.ok; break;
+      case 1: ++result.rejected; break;
+      case 2: ++result.timeout; break;
+      case 3: ++result.error; break;
+      default: ++result.transport_failed; break;
+    }
+    result.cache_hits += static_cast<std::uint64_t>(hits[i]);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p90_ms = Percentile(latencies_ms, 0.90);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  return result;
+}
+
+/// Reads retry/crash/shed counters out of a daemon stats document, as
+/// deltas against `base`.
+void FillCounters(const ocdd::report::JsonValue& stats,
+                  const ocdd::report::JsonValue& base,
+                  ScenarioResult* result) {
+  auto delta = [&](const char* key) {
+    return static_cast<std::uint64_t>(stats["counters"][key].number_value() -
+                                      base["counters"][key].number_value());
+  };
+  auto delta_rej = [&](const char* key) {
+    return static_cast<std::uint64_t>(
+        stats["counters"]["rejected"][key].number_value() -
+        base["counters"]["rejected"][key].number_value());
+  };
+  result->retries = delta("retries");
+  result->worker_crashes = delta("worker_crashes");
+  result->shed = delta_rej("queue_full") + delta_rej("tenant_limit") +
+                 delta_rej("memory_watermark");
+}
+
+void WriteReport(const std::vector<ScenarioResult>& results) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("OCDD_BENCH_JSON_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_serve_load.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve_load\",\n  \"entries\": [");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"scenario\": \"%s\", \"requests\": %zu, "
+        "\"concurrency\": %zu, \"p50_ms\": %.3f, \"p90_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"ok\": %llu, \"rejected\": %llu, "
+        "\"timeout\": %llu, \"error\": %llu, \"transport_failed\": %llu, "
+        "\"cache_hits\": %llu, \"retries\": %llu, \"worker_crashes\": %llu, "
+        "\"shed\": %llu}",
+        i == 0 ? "" : ",", r.scenario.c_str(), r.requests, r.concurrency,
+        r.p50_ms, r.p90_ms, r.p99_ms,
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.rejected),
+        static_cast<unsigned long long>(r.timeout),
+        static_cast<unsigned long long>(r.error),
+        static_cast<unsigned long long>(r.transport_failed),
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.worker_crashes),
+        static_cast<unsigned long long>(r.shed));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench report written to %s\n", path.c_str());
+}
+
+void PrintScenario(const ScenarioResult& r) {
+  std::printf(
+      "%-12s requests=%zu conc=%zu  p50=%.2fms p90=%.2fms p99=%.2fms  "
+      "ok=%llu rejected=%llu (shed=%llu) timeout=%llu error=%llu "
+      "hits=%llu retries=%llu crashes=%llu\n",
+      r.scenario.c_str(), r.requests, r.concurrency, r.p50_ms, r.p90_ms,
+      r.p99_ms, static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.timeout),
+      static_cast<unsigned long long>(r.error),
+      static_cast<unsigned long long>(r.cache_hits),
+      static_cast<unsigned long long>(r.retries),
+      static_cast<unsigned long long>(r.worker_crashes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cli;
+  if (const char* env = std::getenv("OCDD_CLI")) cli = env;
+  if (argc > 1) cli = argv[1];
+  if (cli.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_serve_load <path-to-ocdd-cli>  "
+                 "(or set OCDD_CLI)\n");
+    return 2;
+  }
+
+  namespace fs = std::filesystem;
+  const std::string scratch =
+      (fs::temp_directory_path() /
+       ("ocdd_bench_serve_" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(scratch);
+
+  std::vector<ScenarioResult> results;
+
+  // warm_cache + cold_runs share one healthy daemon.
+  {
+    ocdd::serve::ServerOptions opts;
+    opts.socket_path = scratch + "/bench.sock";
+    opts.num_executors = 4;
+    opts.queue_capacity = 64;
+    opts.worker_argv_prefix = {cli, "run"};
+    ocdd::serve::Server server(std::move(opts));
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "daemon failed to start\n");
+      return 1;
+    }
+    std::thread run_thread([&server] { server.Run(); });
+
+    const ocdd::report::JsonValue base0 = server.StatsJson();
+    ScenarioResult warm = Drive(
+        server, "warm_cache", 400, 4, [](std::size_t i) {
+          ocdd::serve::ServeRequest req;
+          req.kind = "run";
+          req.id = "warm-" + std::to_string(i);
+          req.source = "NUMBERS";
+          req.rows = 100;
+          return req;
+        });
+    FillCounters(server.StatsJson(), base0, &warm);
+    PrintScenario(warm);
+    results.push_back(warm);
+
+    const ocdd::report::JsonValue base1 = server.StatsJson();
+    ScenarioResult cold = Drive(
+        server, "cold_runs", 24, 4, [](std::size_t i) {
+          ocdd::serve::ServeRequest req;
+          req.kind = "run";
+          req.id = "cold-" + std::to_string(i);
+          req.source = "NUMBERS";
+          req.rows = 100;
+          req.seed = 1000 + i;  // distinct content → distinct cache key
+          return req;
+        });
+    FillCounters(server.StatsJson(), base1, &cold);
+    PrintScenario(cold);
+    results.push_back(cold);
+
+    server.RequestStop();
+    run_thread.join();
+  }
+
+  // overload: one executor, short queue, a flood of distinct requests.
+  {
+    ocdd::serve::ServerOptions opts;
+    opts.socket_path = scratch + "/bench_overload.sock";
+    opts.num_executors = 1;
+    opts.queue_capacity = 4;
+    opts.worker_argv_prefix = {cli, "run"};
+    ocdd::serve::Server server(std::move(opts));
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "overload daemon failed to start\n");
+      return 1;
+    }
+    std::thread run_thread([&server] { server.Run(); });
+
+    const ocdd::report::JsonValue base = server.StatsJson();
+    ScenarioResult overload = Drive(
+        server, "overload", 64, 16, [](std::size_t i) {
+          ocdd::serve::ServeRequest req;
+          req.kind = "run";
+          req.id = "load-" + std::to_string(i);
+          req.source = "NUMBERS";
+          req.rows = 200;
+          req.seed = 5000 + i;
+          req.use_cache = false;
+          return req;
+        });
+    FillCounters(server.StatsJson(), base, &overload);
+    PrintScenario(overload);
+    results.push_back(overload);
+
+    server.RequestStop();
+    run_thread.join();
+  }
+
+  WriteReport(results);
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  // A request that fell through every status bucket means the daemon broke
+  // its termination contract — fail the bench loudly.
+  for (const ScenarioResult& r : results) {
+    if (r.transport_failed != 0) {
+      std::fprintf(stderr, "%s: %llu transport failures\n",
+                   r.scenario.c_str(),
+                   static_cast<unsigned long long>(r.transport_failed));
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/run_context.h"
 
+#include <cstdio>
 #include <string>
 
 #include "common/fault_injection.h"
@@ -24,6 +25,35 @@ const char* StopReasonName(StopReason reason) {
       return "level_cap";
   }
   return "unknown";
+}
+
+void RunBudgets::ApplyTo(RunContext& context) const {
+  if (time_limit_seconds > 0.0) {
+    context.set_time_limit_seconds(time_limit_seconds);
+  }
+  if (max_checks != 0) context.set_check_budget(max_checks);
+  if (memory_bytes != 0) context.set_memory_budget(memory_bytes);
+}
+
+std::vector<std::string> RunBudgets::ToCliFlags() const {
+  std::vector<std::string> flags;
+  if (time_limit_seconds > 0.0) {
+    // %.6g keeps sub-second limits exact without trailing-zero noise.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", time_limit_seconds);
+    flags.push_back("--time-limit");
+    flags.push_back(buf);
+  }
+  if (max_checks != 0) {
+    flags.push_back("--max-checks");
+    flags.push_back(std::to_string(max_checks));
+  }
+  if (memory_bytes != 0) {
+    const std::size_t mib = (memory_bytes + (1u << 20) - 1) >> 20;
+    flags.push_back("--memory-limit");
+    flags.push_back(std::to_string(mib));
+  }
+  return flags;
 }
 
 void RunContext::set_time_limit_seconds(double seconds) {

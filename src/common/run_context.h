@@ -5,10 +5,40 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace ocdd {
 
 class FaultInjector;
+class RunContext;
+
+/// A portable bundle of the three RunContext budgets — the unit in which
+/// callers hand out quotas. One value serves both deployment shapes: applied
+/// directly to a RunContext for an in-process run (`ApplyTo`), or rendered as
+/// the equivalent `ocdd` CLI flags for a worker child process (`ToCliFlags`),
+/// so a tenant quota in the serve daemon and a `--max-checks` flag on the
+/// command line are the same object (docs/serving.md).
+struct RunBudgets {
+  /// Wall-clock limit in seconds; 0 = unlimited.
+  double time_limit_seconds = 0.0;
+  /// Candidate-check budget; 0 = unlimited.
+  std::uint64_t max_checks = 0;
+  /// Byte-accounted memory budget; 0 = unlimited.
+  std::size_t memory_bytes = 0;
+
+  bool unlimited() const {
+    return time_limit_seconds <= 0.0 && max_checks == 0 && memory_bytes == 0;
+  }
+
+  /// Arms every non-zero budget on `context` (zero dimensions untouched).
+  void ApplyTo(RunContext& context) const;
+
+  /// The equivalent CLI flags (`--time-limit S --max-checks N
+  /// --memory-limit MIB`), omitting unlimited dimensions. Memory rounds up
+  /// to whole MiB — the flag's unit.
+  std::vector<std::string> ToCliFlags() const;
+};
 
 /// Why a discovery run stopped before exhausting its search space.
 ///

@@ -1,6 +1,7 @@
 #ifndef OCDD_ENGINE_SUPERVISOR_H_
 #define OCDD_ENGINE_SUPERVISOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -11,7 +12,8 @@
 namespace ocdd::engine {
 
 /// Supervised restarts for discovery runs (`ocdd supervise`, see
-/// docs/robustness.md).
+/// docs/robustness.md) plus the worker-process primitives the `ocdd serve`
+/// daemon pools (docs/serving.md).
 ///
 /// The supervisor forks a child run, captures its stdout (one JSON report),
 /// and classifies the outcome:
@@ -28,6 +30,63 @@ namespace ocdd::engine {
 /// Restarting is only useful when the child runs with `--checkpoint`; from
 /// the second attempt on, `resume_flag` is appended to the child argv so
 /// each retry continues from the newest snapshot generation.
+
+// ---------------------------------------------------------------------------
+// Worker-process primitives (shared by supervise and serve)
+// ---------------------------------------------------------------------------
+
+/// One child run, as observed from the parent.
+struct WorkerOutcome {
+  int exit_code = 0;    ///< child exit status; -1 when killed by a signal
+  int term_signal = 0;  ///< terminating signal, 0 for clean exits
+  std::string stdout_text;
+  bool spawn_failed = false;
+  /// The run deadline passed and the child was SIGINTed (and SIGKILLed after
+  /// the grace period if it did not drain). The child may still have exited
+  /// cleanly with a partial JSON report — the cooperative-cancel contract.
+  bool timed_out = false;
+  /// `interrupt` flipped mid-run and the child was SIGINTed. Distinct from
+  /// `timed_out` so a drain-stopped worker is not misreported as slow.
+  bool interrupted = false;
+};
+
+struct WorkerRunOptions {
+  /// Wall-clock limit for the child; 0 = none. At the deadline the child
+  /// gets SIGINT (cooperative cancel — discovery children drain to a
+  /// checkpoint and print partial JSON), then SIGKILL after
+  /// `kill_grace_seconds` more.
+  double timeout_seconds = 0.0;
+  double kill_grace_seconds = 2.0;
+  /// Optional external soft-stop (the serve daemon's drain): when it becomes
+  /// true the child is SIGINTed exactly as on timeout. Not owned.
+  const std::atomic<bool>* interrupt = nullptr;
+};
+
+/// fork + exec with the child's stdout captured into a pipe, stderr passed
+/// through; enforces the timeout/interrupt escalation above. Blocking.
+WorkerOutcome RunWorkerProcess(const std::vector<std::string>& args,
+                               const WorkerRunOptions& options = {});
+
+/// The restart-classification primitive shared by `ocdd supervise` and the
+/// serve daemon's per-request retry loop — one code path decides what a
+/// child outcome means.
+enum class ChildVerdict {
+  kCompleted,       ///< clean exit, report says completed
+  kCrash,           ///< killed by a signal → retry heals
+  kRetryableStop,   ///< clean stop whose budget is per attempt → retry heals
+  kStructuralStop,  ///< clean stop that recurs deterministically (level_cap)
+  kChildError,      ///< non-zero exit → input/usage error, don't retry
+  kNoReport,        ///< clean exit but stdout was not a JSON report object
+};
+
+const char* ChildVerdictName(ChildVerdict verdict);
+
+ChildVerdict ClassifyChild(int exit_code, int term_signal, bool json_valid,
+                           bool completed, const std::string& stop_reason);
+
+// ---------------------------------------------------------------------------
+// Supervised restarts
+// ---------------------------------------------------------------------------
 
 struct SuperviseOptions {
   /// Child argv; element 0 is the executable (resolved via PATH).
@@ -67,10 +126,30 @@ struct SuperviseAttempt {
   double backoff_seconds = 0.0;
 };
 
+/// Why a supervised run gave up — the machine-readable verdict behind
+/// `give_up_reason`. Emitted under `supervisor.give_up_kind` in the merged
+/// JSON so downstream restart logic (the serve daemon, dashboards) can react
+/// without parsing prose; in particular the no-progress guard is now visible
+/// in the summary, not only via exit code 4.
+enum class GiveUpKind {
+  kNone = 0,           ///< the run succeeded
+  kSpawnFailed,        ///< the child could not be started at all
+  kChildError,         ///< non-zero child exit (input/usage errors)
+  kNoReport,           ///< child stdout was not a JSON report
+  kNonRetryableStop,   ///< structural stop (level_cap) recurs on retry
+  kNoProgress,         ///< no-progress guard: stuck at the same level
+  kAttemptsExhausted,  ///< attempt budget spent while still retryable
+};
+
+/// Stable lower_snake_case name (e.g. "no_progress").
+const char* GiveUpKindName(GiveUpKind kind);
+
 struct SuperviseResult {
   bool success = false;
   /// Why the supervisor gave up; empty on success.
   std::string give_up_reason;
+  /// Machine-readable give-up classification; kNone on success.
+  GiveUpKind give_up_kind = GiveUpKind::kNone;
   std::vector<SuperviseAttempt> attempts;
   /// The last attempt's parsed report, when any attempt produced one.
   bool have_report = false;

@@ -1,5 +1,6 @@
 #include "fuzz/targets.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -11,6 +12,7 @@
 #include "qa/claims.h"
 #include "relation/csv.h"
 #include "report/json_reader.h"
+#include "serve/protocol.h"
 
 namespace ocdd::fuzz {
 
@@ -145,6 +147,99 @@ int RunJsonReportTarget(const std::uint8_t* data, std::size_t size) {
   if (diff.ok()) {
     Check(diff->empty(), "json: self-diff reported differences");
   }
+  return 0;
+}
+
+int RunServeFrameTarget(const std::uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+  serve::FrameLimits limits;
+  if (in.TakeBool()) limits.max_payload_bytes = 64;  // exercise kOversized
+  const std::size_t chunk = in.TakeByte() + 1;
+  const std::string stream = in.TakeRest();
+
+  // Decode the same byte stream twice — whole-buffer and in small chunks.
+  // The framing must be oblivious to read() boundaries: same frames, same
+  // typed error, in the same order.
+  std::vector<std::string> whole_frames;
+  serve::FrameError whole_error = serve::FrameError::kNone;
+  {
+    serve::FrameDecoder dec(limits);
+    dec.Feed(stream);
+    std::string payload;
+    serve::FrameError err;
+    for (;;) {
+      auto ev = dec.Next(&payload, &err);
+      if (ev == serve::FrameDecoder::Event::kFrame) {
+        whole_frames.push_back(payload);
+        continue;
+      }
+      if (ev == serve::FrameDecoder::Event::kError) whole_error = err;
+      break;
+    }
+  }
+  {
+    serve::FrameDecoder dec(limits);
+    std::vector<std::string> frames;
+    serve::FrameError error = serve::FrameError::kNone;
+    std::string payload;
+    serve::FrameError err;
+    std::size_t off = 0;
+    bool dead = false;
+    while (off < stream.size() && !dead) {
+      std::size_t n = std::min(chunk, stream.size() - off);
+      dec.Feed(stream.data() + off, n);
+      off += n;
+      for (;;) {
+        auto ev = dec.Next(&payload, &err);
+        if (ev == serve::FrameDecoder::Event::kFrame) {
+          frames.push_back(payload);
+          continue;
+        }
+        if (ev == serve::FrameDecoder::Event::kError) {
+          error = err;
+          dead = true;
+        }
+        break;
+      }
+    }
+    Check(frames == whole_frames, "serve: chunked decode frames differ");
+    Check(error == whole_error, "serve: chunked decode error differs");
+  }
+
+  // Whatever framed is an untrusted payload: parse it both ways. Accepted
+  // requests/responses must round-trip through the canonical serialization.
+  for (const std::string& payload : whole_frames) {
+    auto request = serve::ParseRequest(payload);
+    if (request.ok()) {
+      const std::string canonical = serve::SerializeRequest(*request);
+      auto again = serve::ParseRequest(canonical);
+      Check(again.ok(), "serve: canonical request fails to re-parse");
+      Check(serve::SerializeRequest(*again) == canonical,
+            "serve: request serialization is not a fixed point");
+      Check(serve::RequestDigest(*again) == serve::RequestDigest(*request),
+            "serve: request digest unstable across round-trip");
+    }
+    auto response = serve::ParseResponse(payload);
+    if (response.ok()) {
+      const std::string canonical = serve::SerializeResponse(*response);
+      auto again = serve::ParseResponse(canonical);
+      Check(again.ok(), "serve: canonical response fails to re-parse");
+      Check(serve::SerializeResponse(*again) == canonical,
+            "serve: response serialization is not a fixed point");
+    }
+  }
+
+  // Encode of any byte string must decode back to exactly that payload.
+  const std::string reframed = serve::EncodeFrame(stream.substr(
+      0, std::min<std::size_t>(stream.size(), limits.max_payload_bytes)));
+  serve::FrameDecoder dec(limits);
+  dec.Feed(reframed);
+  std::string payload;
+  serve::FrameError err;
+  Check(dec.Next(&payload, &err) == serve::FrameDecoder::Event::kFrame,
+        "serve: EncodeFrame output fails to decode");
+  Check(payload.size() <= limits.max_payload_bytes,
+        "serve: decoded payload exceeds the limit");
   return 0;
 }
 

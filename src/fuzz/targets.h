@@ -6,7 +6,7 @@
 
 namespace ocdd::fuzz {
 
-/// The four untrusted-byte boundaries, as plain functions over a raw byte
+/// The untrusted-byte boundaries, as plain functions over a raw byte
 /// buffer. Each one drives a deserializer plus the invariants that must
 /// hold on whatever it accepts (round-trips, count accounting), aborting
 /// the process on a violation — under libFuzzer/ASan that is a reported
@@ -21,6 +21,10 @@ int RunCsvTarget(const std::uint8_t* data, std::size_t size);
 int RunSnapshotTarget(const std::uint8_t* data, std::size_t size);
 int RunJsonReportTarget(const std::uint8_t* data, std::size_t size);
 int RunClaimsTarget(const std::uint8_t* data, std::size_t size);
+/// The `ocdd serve` wire boundary: frame decoding (incremental and
+/// whole-buffer must agree), request/response payload parsing, and
+/// round-trip stability of whatever is accepted.
+int RunServeFrameTarget(const std::uint8_t* data, std::size_t size);
 
 }  // namespace ocdd::fuzz
 

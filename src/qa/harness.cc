@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,11 +17,15 @@
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/snapshot.h"
+#include "engine/supervisor.h"
 #include "od/brute_force.h"
 #include "qa/canonical.h"
 #include "qa/metamorphic.h"
 #include "qa/shrinker.h"
 #include "relation/csv.h"
+#include "report/json_reader.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace ocdd::qa {
 
@@ -481,6 +488,138 @@ void AppendJsonString(std::string& out, const std::string& s) {
   out += '"';
 }
 
+/// Canonicalizes a worker report for equivalence comparison: drops the keys
+/// that legitimately differ between two runs of the same computation
+/// (timing), then re-serializes with the canonical sorted-key writer. Every
+/// semantic key — the dependency sets above all — survives verbatim.
+std::string CanonicalReportForCompare(const report::JsonValue& doc) {
+  std::map<std::string, report::JsonValue> members = doc.object();
+  members.erase("elapsed_seconds");
+  members.erase("checkpoint");
+  return report::SerializeJson(report::JsonValue::Object(std::move(members)));
+}
+
+/// The serve-equivalence stage: one in-process daemon (started lazily on
+/// first use, drained on destruction) whose workers are real `<cli> run`
+/// processes, plus a direct `<cli> run` baseline per check. Asserts the
+/// daemon answers the same question with byte-identical results, cold and
+/// from its cache.
+class ServeEquivalence {
+ public:
+  ServeEquivalence(std::string cli_path, std::string scratch_dir)
+      : cli_path_(std::move(cli_path)), scratch_(std::move(scratch_dir)) {}
+
+  ~ServeEquivalence() {
+    if (server_) {
+      server_->RequestStop();
+      run_thread_.join();
+    }
+  }
+
+  std::vector<Discrepancy> Check(const rel::Relation& relation,
+                                 std::uint64_t iteration,
+                                 std::uint64_t* checks) {
+    std::vector<Discrepancy> out;
+    if (!EnsureStarted()) {
+      // Report the infra failure once; later iterations skip quietly
+      // rather than drowning the summary in copies.
+      if (!start_failure_reported_) {
+        start_failure_reported_ = true;
+        out.push_back({"serve", "daemon", start_error_});
+      }
+      return out;
+    }
+    ++*checks;
+
+    // One CSV per check (distinct relations must be distinct cache keys —
+    // the daemon fingerprints content, not paths, so reuse of the path is
+    // itself part of the test).
+    const std::string csv_path = scratch_ + "/serve_check.csv";
+    Status wrote = rel::WriteCsvFile(relation, csv_path);
+    if (!wrote.ok()) {
+      out.push_back({"serve", "daemon", "scratch CSV: " + wrote.ToString()});
+      return out;
+    }
+
+    // Direct baseline: exactly the argv the daemon hands its worker.
+    engine::WorkerOutcome direct = engine::RunWorkerProcess(
+        {cli_path_, "run", csv_path, "--algo", "discover", "--json",
+         "--seed", "42"},
+        {});
+    Result<report::JsonValue> direct_doc =
+        report::ParseJson(direct.stdout_text);
+    if (direct.exit_code != 0 || !direct_doc.ok()) {
+      out.push_back({"serve", "run",
+                     "direct run failed (exit " +
+                         std::to_string(direct.exit_code) + ")"});
+      return out;
+    }
+    const std::string want = CanonicalReportForCompare(*direct_doc);
+
+    serve::ServeRequest request;
+    request.kind = "run";
+    request.tenant = "qa";
+    request.id = "qa-" + std::to_string(iteration);
+    request.source = csv_path;
+    for (const char* expect_cache : {"miss", "hit"}) {
+      auto resp = serve::SendRequest(server_->socket_path(), request);
+      if (!resp.ok()) {
+        out.push_back({"serve", expect_cache,
+                       "transport: " + resp.status().ToString()});
+        return out;
+      }
+      if (resp->status != "ok" || !resp->have_report) {
+        out.push_back({"serve", expect_cache,
+                       "daemon answered status=" + resp->status + " " +
+                           resp->reject_reason + " " + resp->error});
+        return out;
+      }
+      if (resp->cache != expect_cache) {
+        out.push_back({"serve", expect_cache,
+                       "expected a cache " + std::string(expect_cache) +
+                           ", got " + resp->cache});
+      }
+      const std::string got = CanonicalReportForCompare(resp->report);
+      if (got != want) {
+        out.push_back({"serve", expect_cache,
+                       "daemon-served report differs from direct `ocdd "
+                       "run` (" +
+                           std::to_string(got.size()) + " vs " +
+                           std::to_string(want.size()) + " bytes)"});
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool EnsureStarted() {
+    if (server_) return true;
+    if (!start_error_.empty()) return false;
+    serve::ServerOptions opts;
+    opts.socket_path = scratch_ + "/qa_serve.sock";
+    opts.num_executors = 1;
+    opts.worker_argv_prefix = {cli_path_, "run"};
+    opts.cache_capacity_bytes = 16u << 20;
+    opts.drain_grace_seconds = 10.0;
+    server_ = std::make_unique<serve::Server>(std::move(opts));
+    Status started = server_->Start();
+    if (!started.ok()) {
+      start_error_ = started.ToString();
+      server_.reset();
+      return false;
+    }
+    run_thread_ = std::thread([server = server_.get()] { server->Run(); });
+    return true;
+  }
+
+  std::string cli_path_;
+  std::string scratch_;
+  std::string start_error_;
+  bool start_failure_reported_ = false;
+  std::unique_ptr<serve::Server> server_;
+  std::thread run_thread_;
+};
+
 }  // namespace
 
 QaSummary RunQa(const QaOptions& options) {
@@ -492,11 +631,21 @@ QaSummary RunQa(const QaOptions& options) {
   // Per-process scratch (ctest runs harness instances in parallel; a shared
   // path would interleave snapshot generations across processes).
   std::string scratch = options.checkpoint_scratch_dir;
-  const bool scratch_is_ours = options.resume_runs && scratch.empty();
+  const bool scratch_is_ours =
+      (options.resume_runs || !options.serve_cli_path.empty()) &&
+      scratch.empty();
   if (scratch_is_ours) {
     scratch = (std::filesystem::temp_directory_path() /
                ("ocdd_qa_ckpt_" + std::to_string(::getpid())))
                   .string();
+  }
+
+  std::unique_ptr<ServeEquivalence> serve_stage;
+  if (!options.serve_cli_path.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(scratch, ec);
+    serve_stage =
+        std::make_unique<ServeEquivalence>(options.serve_cli_path, scratch);
   }
 
   for (std::size_t i = 0; i < options.iters; ++i) {
@@ -623,10 +772,26 @@ QaSummary RunQa(const QaOptions& options) {
             MakeFailure(i, iter_seed, "resumed_run", std::move(ds), relation);
         MaybeWriteRepro(options, &f);
         summary.failures.push_back(std::move(f));
+        continue;
+      }
+    }
+
+    // The serve stage spawns two real worker processes per check (direct
+    // baseline + cold daemon run), so it runs on its own sparse cadence.
+    if (serve_stage && i % 9 == 0) {
+      std::vector<Discrepancy> ds =
+          serve_stage->Check(relation, i, &summary.serve_checks);
+      if (!ds.empty()) {
+        QaFailure f =
+            MakeFailure(i, iter_seed, "serve", std::move(ds), relation);
+        MaybeWriteRepro(options, &f);
+        summary.failures.push_back(std::move(f));
       }
     }
   }
 
+  // Drain the daemon before tearing its scratch directory down.
+  serve_stage.reset();
   if (scratch_is_ours) {
     std::error_code ec;
     std::filesystem::remove_all(scratch, ec);
@@ -653,6 +818,8 @@ std::string SummaryToJson(const QaSummary& summary) {
   out += "  \"resume_checks\": " + std::to_string(summary.resume_checks) +
          ",\n";
   out += "  \"ingest_checks\": " + std::to_string(summary.ingest_checks) +
+         ",\n";
+  out += "  \"serve_checks\": " + std::to_string(summary.serve_checks) +
          ",\n";
   out += "  \"skipped\": " + std::to_string(summary.skipped) + ",\n";
   out += "  \"shrink_evaluations\": " +

@@ -33,6 +33,13 @@ struct QaOptions {
   /// exact per-code rejection accounting, and strict-fail erroring
   /// structurally (docs/robustness.md). Failures are shrunk line-wise.
   bool ingest = true;
+  /// Path to the `ocdd` CLI binary, enabling the serve-equivalence stage:
+  /// periodically serve the iteration's relation through an in-process
+  /// daemon (spawning real worker processes) and assert the daemon's report
+  /// is byte-identical to a direct `ocdd run` of the same CSV — both cold
+  /// (cache miss) and cached (hit) — after stripping volatile keys
+  /// (docs/serving.md). Empty disables the stage.
+  std::string serve_cli_path;
   /// Scratch directory for resume-equivalence snapshots; empty means a
   /// per-process directory under the system temp dir (removed afterwards).
   std::string checkpoint_scratch_dir;
@@ -50,8 +57,9 @@ struct QaFailure {
   /// the failing instance exactly. (Iteration seeds are derived, not
   /// sequential — see IterationSeed.)
   std::uint64_t iteration_seed = 0;
-  /// "oracle", "metamorphic/<transform>", "stopped_run", "resumed_run", or
-  /// "ingest". For "ingest" failures `csv` holds the raw corrupted text
+  /// "oracle", "metamorphic/<transform>", "stopped_run", "resumed_run",
+  /// "ingest", or "serve". For "ingest" failures `csv` holds the raw
+  /// corrupted text
   /// (line-shrunk when the contract violation survives shrinking) and each
   /// discrepancy names the bad-row policy it indicts.
   std::string kind;
@@ -76,6 +84,7 @@ struct QaSummary {
   std::uint64_t stopped_run_checks = 0;
   std::uint64_t resume_checks = 0;
   std::uint64_t ingest_checks = 0;
+  std::uint64_t serve_checks = 0;
   std::uint64_t skipped = 0;
   std::uint64_t shrink_evaluations = 0;
   std::vector<QaFailure> failures;

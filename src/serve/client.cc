@@ -1,0 +1,99 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ocdd::serve {
+
+namespace {
+
+Result<int> Connect(const std::string& socket_path,
+                    const ClientOptions& options) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int attempts =
+      options.connect_attempts < 1 ? 1 : options.connect_attempts;
+  int last_errno = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.connect_retry_seconds));
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal("socket() failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      if (options.io_timeout_seconds > 0) {
+        timeval tv;
+        tv.tv_sec = static_cast<time_t>(options.io_timeout_seconds);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (options.io_timeout_seconds - tv.tv_sec) * 1e6);
+        setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      }
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  return Status::NotFound("cannot connect to '" + socket_path +
+                          "': " + std::strerror(last_errno));
+}
+
+}  // namespace
+
+Result<ServeResponse> SendRequest(const std::string& socket_path,
+                                  const ServeRequest& request,
+                                  const ClientOptions& options) {
+  OCDD_ASSIGN_OR_RETURN(int fd, Connect(socket_path, options));
+  const std::string frame = EncodeFrame(SerializeRequest(request));
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a daemon that dies mid-exchange is a typed transport
+    // error for the caller, not a SIGPIPE that kills the client process.
+    ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Internal("short write to daemon");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  FrameDecoder decoder(options.frame_limits);
+  std::string payload;
+  FrameError frame_error = FrameError::kNone;
+  char buf[4096];
+  for (;;) {
+    FrameDecoder::Event ev = decoder.Next(&payload, &frame_error);
+    if (ev == FrameDecoder::Event::kFrame) break;
+    if (ev == FrameDecoder::Event::kError) {
+      ::close(fd);
+      return Status::ParseError(std::string("bad response frame: ") +
+                                FrameErrorName(frame_error));
+    }
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Internal("connection closed mid-response");
+    }
+    decoder.Feed(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return ParseResponse(payload);
+}
+
+}  // namespace ocdd::serve

@@ -1,0 +1,31 @@
+#ifndef OCDD_SERVE_CLIENT_H_
+#define OCDD_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace ocdd::serve {
+
+struct ClientOptions {
+  /// Connect attempts (the daemon may still be binding its socket when a
+  /// client races it at startup) and the delay between them.
+  int connect_attempts = 40;
+  double connect_retry_seconds = 0.05;
+  /// Socket read/write timeout for the exchange itself; 0 = none.
+  double io_timeout_seconds = 30.0;
+  FrameLimits frame_limits;
+};
+
+/// Performs one request/response exchange with an `ocdd serve` daemon:
+/// connect (with startup retry), send one request frame, read one response
+/// frame. The response payload is untrusted — framing and status vocabulary
+/// are validated before anything is returned.
+Result<ServeResponse> SendRequest(const std::string& socket_path,
+                                  const ServeRequest& request,
+                                  const ClientOptions& options = {});
+
+}  // namespace ocdd::serve
+
+#endif  // OCDD_SERVE_CLIENT_H_

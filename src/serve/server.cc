@@ -1,0 +1,660 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "datagen/registry.h"
+#include "engine/supervisor.h"
+#include "relation/coded_relation.h"
+#include "relation/csv.h"
+
+namespace ocdd::serve {
+
+namespace {
+
+using report::JsonValue;
+
+bool SetIoTimeout(int fd, double seconds) {
+  if (seconds <= 0) return true;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+/// Writes all of `bytes`, tolerating short writes; false on error/timeout.
+/// MSG_NOSIGNAL: a client that hung up mid-exchange must surface as a write
+/// error, never as a SIGPIPE that kills the daemon.
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string HexKey(const CacheKey& key) {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(key.fingerprint),
+                static_cast<unsigned long long>(key.digest));
+  return buf;
+}
+
+/// Loads and dictionary-encodes a request's source, mirroring the CLI's
+/// source resolution (CSV path vs built-in dataset). Strict ingest: a serve
+/// request has no --on-bad-row escape hatch, dirty CSV is an error answer.
+Result<std::uint64_t> SourceFingerprint(const ServeRequest& request) {
+  rel::Relation relation;
+  const std::string& src = request.source;
+  const bool is_csv =
+      src.size() > 4 && src.substr(src.size() - 4) == ".csv";
+  if (is_csv) {
+    OCDD_ASSIGN_OR_RETURN(rel::CsvRead read,
+                          rel::ReadCsvFileWithReport(src, {}));
+    relation = std::move(read.relation);
+  } else {
+    OCDD_ASSIGN_OR_RETURN(
+        relation, datagen::MakeDataset(src, request.rows, request.seed));
+  }
+  return rel::CodedRelation::Encode(relation).Fingerprint();
+}
+
+JsonValue CountersJson(const ServerCounters& c) {
+  std::map<std::string, JsonValue> rej;
+  rej["draining"] = JsonValue::Number(static_cast<double>(c.rejected_draining));
+  rej["bad_request"] =
+      JsonValue::Number(static_cast<double>(c.rejected_bad_request));
+  rej["bad_frame"] =
+      JsonValue::Number(static_cast<double>(c.rejected_bad_frame));
+  rej["queue_full"] =
+      JsonValue::Number(static_cast<double>(c.rejected_queue_full));
+  rej["tenant_limit"] =
+      JsonValue::Number(static_cast<double>(c.rejected_tenant_limit));
+  rej["memory_watermark"] =
+      JsonValue::Number(static_cast<double>(c.rejected_memory_watermark));
+
+  std::map<std::string, JsonValue> m;
+  m["connections"] = JsonValue::Number(static_cast<double>(c.connections));
+  m["admitted"] = JsonValue::Number(static_cast<double>(c.admitted));
+  m["rejected"] = JsonValue::Object(std::move(rej));
+  m["completed_ok"] = JsonValue::Number(static_cast<double>(c.completed_ok));
+  m["completed_timeout"] =
+      JsonValue::Number(static_cast<double>(c.completed_timeout));
+  m["completed_error"] =
+      JsonValue::Number(static_cast<double>(c.completed_error));
+  m["retries"] = JsonValue::Number(static_cast<double>(c.retries));
+  m["worker_crashes"] =
+      JsonValue::Number(static_cast<double>(c.worker_crashes));
+  m["drain_interrupted"] =
+      JsonValue::Number(static_cast<double>(c.drain_interrupted));
+  return JsonValue::Object(std::move(m));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      tenants_(std::move(options_.tenants)),
+      cache_(options_.cache_capacity_bytes) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+Status Server::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("serve: socket path is empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("serve: socket path too long (" +
+                                   options_.socket_path + ")");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  if (::pipe(stop_pipe_) != 0) {
+    return Status::Internal("serve: pipe() failed");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("serve: socket() failed");
+  }
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Internal("serve: cannot bind '" + options_.socket_path +
+                            "': " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::Internal("serve: listen() failed");
+  }
+
+  if (!options_.cache_dir.empty() && cache_.enabled()) {
+    SnapshotStore store(options_.cache_dir, "serve_cache");
+    cache_.Load(store);
+  }
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  // Only async-signal-safe calls here: the CLI invokes this from its
+  // SIGTERM/SIGINT handler.
+  char byte = 1;
+  ssize_t ignored = ::write(stop_pipe_[1], &byte, 1);
+  (void)ignored;
+}
+
+Status Server::Run() {
+  if (listen_fd_ < 0) {
+    return Status::Internal("serve: Run() before Start()");
+  }
+  for (std::size_t i = 0; i < options_.num_executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+
+  AcceptLoop();
+
+  // --- Graceful drain -----------------------------------------------------
+  draining_.store(true);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+
+  // Queued-but-not-running requests get a typed reject: "every admitted
+  // request terminates with a result, a typed reject, or a typed timeout".
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!queue_.empty()) {
+      Pending pending = std::move(queue_.front());
+      queue_.pop_front();
+      committed_memory_ -= pending.quota.budgets.memory_bytes;
+      ++counters_.rejected_draining;
+      lock.unlock();
+      tenants_.Release(pending.request.tenant, /*completed=*/false);
+      ServeResponse resp;
+      resp.id = pending.request.id;
+      resp.status = "rejected";
+      resp.reject_reason = "draining";
+      SendResponse(pending.fd, resp);
+      lock.lock();
+    }
+  }
+  queue_cv_.notify_all();
+
+  // In-flight workers get the grace period to finish on their own, then the
+  // interrupt flag flips and RunWorkerProcess SIGINTs them (they drain to a
+  // checkpoint and emit partial JSON).
+  const auto grace_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.drain_grace_seconds);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_ > 0 && std::chrono::steady_clock::now() < grace_end) {
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      lock.lock();
+    }
+    if (running_ > 0) interrupt_workers_.store(true);
+  }
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
+
+  if (!options_.cache_dir.empty() && cache_.enabled()) {
+    SnapshotStore store(options_.cache_dir, "serve_cache");
+    Status saved = cache_.Save(store);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "serve: cache persist failed: %s\n",
+                   saved.message().c_str());
+    }
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // RequestStop
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetIoTimeout(fd, options_.io_timeout_seconds);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.connections;
+    }
+    HandleConnection(fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  // Read exactly one request frame, bounded in size by FrameLimits and in
+  // time by the socket timeout. Torn frames, bad magic, oversized lengths
+  // and CRC mismatches all land here as typed rejects.
+  FrameDecoder decoder(options_.frame_limits);
+  std::string payload;
+  FrameError frame_error = FrameError::kNone;
+  bool have_frame = false;
+  char buf[4096];
+  for (;;) {
+    FrameDecoder::Event ev = decoder.Next(&payload, &frame_error);
+    if (ev == FrameDecoder::Event::kFrame) {
+      have_frame = true;
+      break;
+    }
+    if (ev == FrameDecoder::Event::kError) break;
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or timeout mid-frame: torn
+    decoder.Feed(buf, static_cast<std::size_t>(n));
+  }
+
+  if (!have_frame) {
+    ServeResponse resp;
+    resp.status = "rejected";
+    resp.reject_reason = frame_error != FrameError::kNone
+                             ? std::string("bad_frame:") +
+                                   FrameErrorName(frame_error)
+                             : "torn_frame";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.rejected_bad_frame;
+    }
+    SendResponse(fd, resp);
+    return;
+  }
+
+  Result<ServeRequest> parsed =
+      ParseRequest(payload, options_.request_limits);
+  if (!parsed.ok()) {
+    ServeResponse resp;
+    resp.status = "rejected";
+    resp.reject_reason = "bad_request";
+    resp.error = parsed.status().message();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.rejected_bad_request;
+    }
+    SendResponse(fd, resp);
+    return;
+  }
+  ServeRequest request = std::move(*parsed);
+
+  if (request.kind == "ping") {
+    ServeResponse resp;
+    resp.id = request.id;
+    resp.status = "ok";
+    SendResponse(fd, resp);
+    return;
+  }
+  if (request.kind == "stats") {
+    ServeResponse resp;
+    resp.id = request.id;
+    resp.status = "ok";
+    resp.have_report = true;
+    resp.report = StatsJson();
+    SendResponse(fd, resp);
+    return;
+  }
+
+  // kind == "run": admission control. Checks are ordered cheapest-first;
+  // each reject is typed so clients can tell shed load (retry later) from
+  // their own errors (don't retry).
+  const TenantQuota quota = tenants_.QuotaFor(request.tenant);
+  auto reject = [&](const char* reason,
+                    std::uint64_t ServerCounters::*counter) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++(counters_.*counter);
+    }
+    ServeResponse resp;
+    resp.id = request.id;
+    resp.status = "rejected";
+    resp.reject_reason = reason;
+    SendResponse(fd, resp);
+  };
+
+  if (draining_.load()) {
+    reject("draining", &ServerCounters::rejected_draining);
+    return;
+  }
+  if (!tenants_.TryAdmit(request.tenant)) {
+    reject("tenant_limit", &ServerCounters::rejected_tenant_limit);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      lock.unlock();
+      tenants_.Release(request.tenant, /*completed=*/false);
+      reject("queue_full", &ServerCounters::rejected_queue_full);
+      return;
+    }
+    const std::size_t mem = quota.budgets.memory_bytes;
+    if (options_.memory_watermark_bytes != 0 &&
+        committed_memory_ + mem > options_.memory_watermark_bytes) {
+      lock.unlock();
+      tenants_.Release(request.tenant, /*completed=*/false);
+      reject("memory_watermark", &ServerCounters::rejected_memory_watermark);
+      return;
+    }
+    committed_memory_ += mem;
+    ++counters_.admitted;
+    queue_.push_back(Pending{fd, std::move(request), quota});
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::ExecutorLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load();
+      });
+      if (queue_.empty()) {
+        if (draining_.load()) return;
+        continue;
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    ServeResponse resp = Execute(pending);
+    FinishRequest(pending, resp);
+  }
+}
+
+void Server::FinishRequest(const Pending& pending,
+                           const ServeResponse& response) {
+  // Bookkeeping strictly before the response bytes leave: a client that
+  // sees its answer and immediately asks for stats must observe this
+  // request as finished.
+  tenants_.Release(pending.request.tenant, /*completed=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    committed_memory_ -= pending.quota.budgets.memory_bytes;
+    --running_;
+    if (response.status == "ok") {
+      ++counters_.completed_ok;
+    } else if (response.status == "timeout") {
+      ++counters_.completed_timeout;
+    } else {
+      ++counters_.completed_error;
+    }
+  }
+  SendResponse(pending.fd, response);
+}
+
+ServeResponse Server::Execute(const Pending& pending) {
+  const ServeRequest& request = pending.request;
+  ServeResponse resp;
+  resp.id = request.id;
+
+  // Loading the source in-process both validates it early (the hardened
+  // ingest boundary runs here, before any worker is spawned) and yields the
+  // content fingerprint the cache is keyed by.
+  Result<std::uint64_t> fingerprint = SourceFingerprint(request);
+  if (!fingerprint.ok()) {
+    resp.status = "error";
+    resp.error = "source: " + fingerprint.status().message();
+    return resp;
+  }
+  const CacheKey key{*fingerprint, RequestDigest(request)};
+
+  const bool cacheable = request.use_cache && cache_.enabled();
+  resp.cache = cacheable ? "miss" : "off";
+  if (cacheable) {
+    std::string cached;
+    if (cache_.Get(key, &cached)) {
+      Result<JsonValue> doc = report::ParseJson(cached);
+      if (doc.ok()) {
+        resp.status = "ok";
+        resp.cache = "hit";
+        resp.have_report = true;
+        resp.report = std::move(*doc);
+        return resp;
+      }
+      // An unparseable cache entry cannot happen through Put (entries are
+      // serialized reports), but a corrupt snapshot that still passed CRC
+      // is conceivable; treat it as a miss.
+    }
+  }
+
+  return RunWorker(pending, *fingerprint, key);
+}
+
+ServeResponse Server::RunWorker(const Pending& pending,
+                                std::uint64_t /*fingerprint*/,
+                                const CacheKey& key) {
+  const ServeRequest& request = pending.request;
+  ServeResponse resp;
+  resp.id = request.id;
+  resp.cache = request.use_cache && cache_.enabled() ? "miss" : "off";
+
+  std::vector<std::string> args = options_.worker_argv_prefix;
+  args.push_back(request.source);
+  args.push_back("--algo");
+  args.push_back(request.algo);
+  args.push_back("--json");
+  if (request.rows != 0) {
+    args.push_back("--rows");
+    args.push_back(std::to_string(request.rows));
+  }
+  args.push_back("--seed");
+  args.push_back(std::to_string(request.seed));
+  if (request.max_level != 0) {
+    args.push_back("--max-level");
+    args.push_back(std::to_string(request.max_level));
+  }
+  for (std::string& flag : pending.quota.budgets.ToCliFlags()) {
+    args.push_back(std::move(flag));
+  }
+  const bool checkpointing = !options_.checkpoint_root.empty();
+  if (checkpointing) {
+    args.push_back("--checkpoint");
+    args.push_back(options_.checkpoint_root + "/" + HexKey(key));
+  }
+
+  engine::WorkerRunOptions run_options;
+  run_options.timeout_seconds = options_.request_timeout_seconds;
+  run_options.interrupt = &interrupt_workers_;
+
+  const int max_attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    resp.attempts = attempt;
+    std::vector<std::string> attempt_args = args;
+    if (checkpointing && attempt > 1) attempt_args.push_back("--resume");
+
+    engine::WorkerOutcome outcome =
+        engine::RunWorkerProcess(attempt_args, run_options);
+
+    if (outcome.spawn_failed) {
+      resp.status = "error";
+      resp.error = "worker spawn failed";
+      return resp;
+    }
+
+    bool json_valid = false;
+    bool completed = false;
+    std::string stop_reason;
+    JsonValue doc;
+    Result<JsonValue> parsed = report::ParseJson(outcome.stdout_text);
+    if (parsed.ok() && parsed->kind() == JsonValue::Kind::kObject) {
+      json_valid = true;
+      doc = std::move(*parsed);
+      completed = doc["completed"].bool_value();
+      stop_reason = doc["stop_reason"].string_value();
+    }
+
+    if (outcome.timed_out) {
+      // The serve-side backstop fired: a typed timeout, with the partial
+      // report attached when the worker drained in time.
+      resp.status = "timeout";
+      if (json_valid) {
+        resp.have_report = true;
+        resp.report = std::move(doc);
+      }
+      return resp;
+    }
+    if (outcome.interrupted) {
+      // Drain interrupt: a partial report is still an answer; without one
+      // the request ends as a typed error. Either way it terminates.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.drain_interrupted;
+      }
+      if (json_valid) {
+        resp.status = "ok";
+        resp.have_report = true;
+        resp.report = std::move(doc);
+      } else {
+        resp.status = "error";
+        resp.error = "interrupted by daemon drain";
+      }
+      return resp;
+    }
+
+    const engine::ChildVerdict verdict = engine::ClassifyChild(
+        outcome.exit_code, outcome.term_signal, json_valid, completed,
+        stop_reason);
+    switch (verdict) {
+      case engine::ChildVerdict::kCompleted:
+      case engine::ChildVerdict::kRetryableStop:
+      case engine::ChildVerdict::kStructuralStop: {
+        // A clean report — complete or stopped-with-reason — is the answer.
+        // Budget stops are the tenant's own quota doing its job, not a
+        // serve fault, so they are not retried here.
+        resp.status = "ok";
+        resp.have_report = true;
+        resp.report = std::move(doc);
+        if (completed && request.use_cache && cache_.enabled()) {
+          cache_.Put(key, outcome.stdout_text);
+        }
+        return resp;
+      }
+      case engine::ChildVerdict::kCrash: {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.worker_crashes;
+          if (attempt < max_attempts) ++counters_.retries;
+        }
+        if (attempt == max_attempts) {
+          resp.status = "error";
+          resp.error = "worker crashed (signal " +
+                       std::to_string(outcome.term_signal) + ") on all " +
+                       std::to_string(max_attempts) + " attempts";
+          return resp;
+        }
+        // Bounded exponential backoff before the retry; the drain
+        // interrupt shortcuts the sleep so SIGTERM stays prompt.
+        double delay = options_.backoff_base_seconds;
+        for (int i = 1; i < attempt; ++i) delay *= 2.0;
+        if (delay > options_.backoff_cap_seconds) {
+          delay = options_.backoff_cap_seconds;
+        }
+        const auto wake = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(delay);
+        while (std::chrono::steady_clock::now() < wake &&
+               !interrupt_workers_.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        continue;
+      }
+      case engine::ChildVerdict::kChildError: {
+        resp.status = "error";
+        resp.error =
+            "worker exited with code " + std::to_string(outcome.exit_code);
+        return resp;
+      }
+      case engine::ChildVerdict::kNoReport: {
+        resp.status = "error";
+        resp.error = "worker produced no parseable JSON report";
+        return resp;
+      }
+    }
+  }
+  // Unreachable: every verdict above returns or continues within bounds.
+  resp.status = "error";
+  resp.error = "retry loop exhausted";
+  return resp;
+}
+
+void Server::SendResponse(int fd, const ServeResponse& response) {
+  // Best-effort: the client may already be gone; the daemon never treats a
+  // dead peer as its own failure.
+  WriteAll(fd, EncodeFrame(SerializeResponse(response)));
+  ::close(fd);
+}
+
+report::JsonValue Server::StatsJson() const {
+  std::map<std::string, JsonValue> m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    m["counters"] = CountersJson(counters_);
+    m["queued"] = JsonValue::Number(static_cast<double>(queue_.size()));
+    m["running"] = JsonValue::Number(static_cast<double>(running_));
+    m["committed_memory_bytes"] =
+        JsonValue::Number(static_cast<double>(committed_memory_));
+  }
+  m["draining"] = JsonValue::Bool(draining_.load());
+
+  const CacheStats cache = cache_.Stats();
+  std::map<std::string, JsonValue> cj;
+  cj["hits"] = JsonValue::Number(static_cast<double>(cache.hits));
+  cj["misses"] = JsonValue::Number(static_cast<double>(cache.misses));
+  cj["insertions"] = JsonValue::Number(static_cast<double>(cache.insertions));
+  cj["evictions"] = JsonValue::Number(static_cast<double>(cache.evictions));
+  cj["bytes"] = JsonValue::Number(static_cast<double>(cache.bytes));
+  cj["entries"] = JsonValue::Number(static_cast<double>(cache.entries));
+  cj["load_corrupt_skipped"] =
+      JsonValue::Number(static_cast<double>(cache.load_corrupt_skipped));
+  cj["load_failed"] = JsonValue::Bool(cache.load_failed);
+  m["cache"] = JsonValue::Object(std::move(cj));
+
+  std::map<std::string, JsonValue> tj;
+  for (const auto& [tenant, stats] : tenants_.Snapshot()) {
+    std::map<std::string, JsonValue> t;
+    t["in_flight"] = JsonValue::Number(static_cast<double>(stats.in_flight));
+    t["admitted"] = JsonValue::Number(static_cast<double>(stats.admitted));
+    t["rejected_limit"] =
+        JsonValue::Number(static_cast<double>(stats.rejected_limit));
+    t["completed"] = JsonValue::Number(static_cast<double>(stats.completed));
+    tj[tenant] = JsonValue::Object(std::move(t));
+  }
+  m["tenants"] = JsonValue::Object(std::move(tj));
+  return JsonValue::Object(std::move(m));
+}
+
+}  // namespace ocdd::serve

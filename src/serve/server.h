@@ -1,0 +1,173 @@
+#ifndef OCDD_SERVE_SERVER_H_
+#define OCDD_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "report/json_reader.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "serve/tenant.h"
+
+namespace ocdd::serve {
+
+/// Configuration of one `ocdd serve` daemon (docs/serving.md).
+struct ServerOptions {
+  /// Unix-domain socket path; a stale file is unlinked at bind time.
+  std::string socket_path;
+
+  /// Executor threads; each runs at most one worker process at a time, so
+  /// this is also the daemon-wide concurrency cap.
+  std::size_t num_executors = 2;
+
+  /// Admitted-but-not-yet-running requests the daemon will hold; beyond
+  /// this the daemon sheds load with a typed `queue_full` reject.
+  std::size_t queue_capacity = 16;
+
+  /// Serve-side wall-clock backstop per worker attempt; 0 = none. The
+  /// tenant's own time budget travels to the worker as `--time-limit` and
+  /// normally fires first (a clean in-band stop); this one catches workers
+  /// that stopped cooperating.
+  double request_timeout_seconds = 0.0;
+
+  /// Crash-retry policy: total attempts per request (first run included)
+  /// and the bounded exponential backoff between them. Only signal deaths
+  /// retry — clean stops and error exits are answers, not faults.
+  int max_attempts = 3;
+  double backoff_base_seconds = 0.05;
+  double backoff_cap_seconds = 1.0;
+
+  /// Seconds a SIGTERM drain waits for in-flight workers to finish on their
+  /// own before interrupting them (SIGINT → they checkpoint and emit
+  /// partial JSON).
+  double drain_grace_seconds = 5.0;
+
+  /// Admission watermark over the *committed* memory budgets of queued and
+  /// running requests (each request commits its tenant's memory budget at
+  /// admission); 0 disables. Requests whose admission would push the sum
+  /// past the watermark are shed with `memory_watermark`.
+  std::size_t memory_watermark_bytes = 0;
+
+  /// Result cache budget; 0 disables caching entirely.
+  std::size_t cache_capacity_bytes = 16u << 20;
+  /// Directory for cache persistence across restarts; empty = memory only.
+  std::string cache_dir;
+
+  /// Root directory for per-request worker checkpoints (one subdirectory
+  /// per cache key); empty disables worker checkpointing. With it set,
+  /// crash retries resume instead of recomputing, and drain-interrupted
+  /// workers leave a resumable snapshot behind.
+  std::string checkpoint_root;
+
+  TenantConfig tenants;
+
+  /// Worker argv prefix; the executor appends `<source> --algo <algo>
+  /// --json` plus budget/checkpoint flags. The CLI passes
+  /// `{self_exe, "run"}`; tests substitute `{"/bin/sh", script.sh}` fakes.
+  std::vector<std::string> worker_argv_prefix;
+
+  FrameLimits frame_limits;
+  RequestLimits request_limits;
+
+  /// Socket read/write timeout — a client that stops mid-frame (torn frame)
+  /// is answered with a typed reject and closed, never waited on forever.
+  double io_timeout_seconds = 5.0;
+};
+
+/// Aggregate daemon counters, all under one lock with the admission state so
+/// a `stats` response is a consistent snapshot.
+struct ServerCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::uint64_t rejected_bad_frame = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_tenant_limit = 0;
+  std::uint64_t rejected_memory_watermark = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_timeout = 0;
+  std::uint64_t completed_error = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t drain_interrupted = 0;
+};
+
+/// The `ocdd serve` daemon: accept loop, admission control, a bounded queue
+/// feeding a pool of executor threads (one worker process each), the result
+/// cache, and graceful drain. Single-use: construct, Start(), Run().
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the socket and loads the persisted cache.
+  Status Start();
+
+  /// Serves until RequestStop(); then drains (reject queued, grace then
+  /// interrupt in-flight, persist cache) and returns. Blocking.
+  Status Run();
+
+  /// Initiates graceful drain. Async-signal-safe (one write() on a pipe) —
+  /// the CLI calls this straight from its SIGTERM handler.
+  void RequestStop();
+
+  /// Consistent stats snapshot (the `stats` request payload and the final
+  /// drain report).
+  report::JsonValue StatsJson() const;
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Pending {
+    int fd = -1;
+    ServeRequest request;
+    TenantQuota quota;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void ExecutorLoop();
+  ServeResponse Execute(const Pending& pending);
+  ServeResponse RunWorker(const Pending& pending, std::uint64_t fingerprint,
+                          const CacheKey& key);
+  void SendResponse(int fd, const ServeResponse& response);
+  void FinishRequest(const Pending& pending, const ServeResponse& response);
+
+  ServerOptions options_;
+  TenantTable tenants_;
+  ResultCache cache_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+
+  std::atomic<bool> draining_{false};
+  /// Flipped when the drain grace expires; RunWorkerProcess SIGINTs
+  /// children watching it.
+  std::atomic<bool> interrupt_workers_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::size_t running_ = 0;
+  /// Sum of committed memory budgets of queued + running requests.
+  std::size_t committed_memory_ = 0;
+  ServerCounters counters_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace ocdd::serve
+
+#endif  // OCDD_SERVE_SERVER_H_

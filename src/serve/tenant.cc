@@ -1,0 +1,124 @@
+#include "serve/tenant.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "report/json_reader.h"
+
+namespace ocdd::serve {
+
+namespace {
+
+using report::JsonValue;
+
+/// Largest quota value accepted from config; above this is a typo, not a
+/// budget (2^53 also bounds what a JSON double represents exactly).
+constexpr double kMaxQuotaValue = 9.0e15;
+
+Status QuotaFromJson(const JsonValue& obj, TenantQuota* quota) {
+  if (obj.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("tenant quota is not a JSON object");
+  }
+  auto number = [&obj](const char* name, double* out) {
+    const JsonValue& v = obj[name];
+    if (v.is_null()) {
+      *out = -1.0;
+      return Status::OK();
+    }
+    double d = v.number_value();
+    if (d < 0 || d > kMaxQuotaValue) {
+      return Status::InvalidArgument(std::string("tenant quota field '") +
+                                     name + "' out of range");
+    }
+    *out = d;
+    return Status::OK();
+  };
+  double v = -1.0;
+  OCDD_RETURN_IF_ERROR(number("time_limit_seconds", &v));
+  if (v >= 0) quota->budgets.time_limit_seconds = v;
+  OCDD_RETURN_IF_ERROR(number("max_checks", &v));
+  if (v >= 0) quota->budgets.max_checks = static_cast<std::uint64_t>(v);
+  OCDD_RETURN_IF_ERROR(number("memory_bytes", &v));
+  if (v >= 0) quota->budgets.memory_bytes = static_cast<std::size_t>(v);
+  OCDD_RETURN_IF_ERROR(number("max_in_flight", &v));
+  if (v >= 0) quota->max_in_flight = static_cast<std::size_t>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+void TenantTable::SetQuota(const std::string& tenant, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overrides_[tenant] = quota;
+}
+
+TenantQuota TenantTable::QuotaFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = overrides_.find(tenant);
+  return it != overrides_.end() ? it->second : default_quota_;
+}
+
+bool TenantTable::TryAdmit(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = overrides_.find(tenant);
+  const TenantQuota& quota =
+      it != overrides_.end() ? it->second : default_quota_;
+  TenantStats& stats = stats_[tenant];
+  if (quota.max_in_flight != 0 && stats.in_flight >= quota.max_in_flight) {
+    ++stats.rejected_limit;
+    return false;
+  }
+  ++stats.in_flight;
+  ++stats.admitted;
+  return true;
+}
+
+void TenantTable::Release(const std::string& tenant, bool completed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantStats& stats = stats_[tenant];
+  if (stats.in_flight > 0) --stats.in_flight;
+  if (completed) ++stats.completed;
+}
+
+std::map<std::string, TenantStats> TenantTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<TenantConfig> ParseTenantConfig(const std::string& json_text) {
+  OCDD_ASSIGN_OR_RETURN(JsonValue doc, report::ParseJson(json_text));
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("tenant config is not a JSON object");
+  }
+  TenantConfig config;
+  if (!doc["default"].is_null()) {
+    OCDD_RETURN_IF_ERROR(QuotaFromJson(doc["default"], &config.default_quota));
+  }
+  const JsonValue& tenants = doc["tenants"];
+  if (!tenants.is_null()) {
+    if (tenants.kind() != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("'tenants' is not a JSON object");
+    }
+    for (const auto& [name, value] : tenants.object()) {
+      // Overrides start from the default so a partial override inherits the
+      // rest of the default quota rather than resetting it to unlimited.
+      TenantQuota quota = config.default_quota;
+      OCDD_RETURN_IF_ERROR(QuotaFromJson(value, &quota));
+      config.overrides[name] = quota;
+    }
+  }
+  return config;
+}
+
+Result<TenantConfig> LoadTenantConfig(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open tenant config '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTenantConfig(buf.str());
+}
+
+}  // namespace ocdd::serve

@@ -1,0 +1,87 @@
+#ifndef OCDD_SERVE_TENANT_H_
+#define OCDD_SERVE_TENANT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/run_context.h"
+
+namespace ocdd::serve {
+
+/// Per-tenant resource quota: the RunContext budget bundle a worker runs
+/// under, plus an admission-side concurrency cap. A zero field means
+/// unlimited, matching RunBudgets semantics.
+struct TenantQuota {
+  RunBudgets budgets;
+  /// Requests a tenant may have queued or running at once; 0 = unlimited.
+  std::size_t max_in_flight = 0;
+};
+
+/// Accounting snapshot for one tenant, exposed through `stats` requests.
+struct TenantStats {
+  std::size_t in_flight = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_limit = 0;
+  std::uint64_t completed = 0;
+};
+
+/// Plain quota configuration: a default plus named overrides. Movable (no
+/// locks), so it can travel through Result and ServerOptions; a TenantTable
+/// is constructed from it at daemon start.
+struct TenantConfig {
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> overrides;
+};
+
+/// Thread-safe tenant registry: a default quota plus named overrides, and
+/// per-tenant in-flight accounting used by admission control. Unknown tenants
+/// get the default quota (multi-tenancy is cooperative isolation, not
+/// authentication — docs/serving.md).
+class TenantTable {
+ public:
+  explicit TenantTable(TenantConfig config = {})
+      : default_quota_(config.default_quota),
+        overrides_(std::move(config.overrides)) {}
+
+  void SetQuota(const std::string& tenant, TenantQuota quota);
+  TenantQuota QuotaFor(const std::string& tenant) const;
+
+  /// Admission check-and-claim: increments the tenant's in-flight count if
+  /// under its cap, else records a tenant_limit reject and returns false.
+  bool TryAdmit(const std::string& tenant);
+
+  /// Releases one in-flight slot (`completed` marks normal termination —
+  /// ok/timeout/error — as opposed to a drain reject of a queued request).
+  void Release(const std::string& tenant, bool completed);
+
+  std::map<std::string, TenantStats> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  TenantQuota default_quota_;
+  std::map<std::string, TenantQuota> overrides_;
+  std::map<std::string, TenantStats> stats_;
+};
+
+/// Parses a tenants config document:
+///
+///   {
+///     "default": {"time_limit_seconds": 30, "max_checks": 1000000,
+///                 "memory_bytes": 268435456, "max_in_flight": 4},
+///     "tenants": {"alice": {"max_in_flight": 1}}
+///   }
+///
+/// Every field is optional (absent = unlimited; a named override inherits
+/// the rest of the default quota). The file is untrusted input: parsed with
+/// the hardened JSON reader, fields range-checked.
+Result<TenantConfig> ParseTenantConfig(const std::string& json_text);
+
+/// Reads and parses `path` via ParseTenantConfig.
+Result<TenantConfig> LoadTenantConfig(const std::string& path);
+
+}  // namespace ocdd::serve
+
+#endif  // OCDD_SERVE_TENANT_H_

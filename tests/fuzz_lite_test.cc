@@ -33,6 +33,7 @@ const TargetCase kTargets[] = {
     {"snapshot", RunSnapshotTarget},
     {"json_report", RunJsonReportTarget},
     {"claims", RunClaimsTarget},
+    {"serve_frame", RunServeFrameTarget},
 };
 
 std::vector<fs::path> CorpusFiles(const std::string& subdir,

@@ -1,0 +1,213 @@
+// End-to-end smoke for `ocdd serve` through the real CLI binary: start a
+// daemon, exchange real requests over its socket (real `ocdd run` worker
+// processes, not script fakes), SIGTERM it, and assert a clean drain — exit
+// code 0 and a well-formed final stats document on stdout. This is the
+// acceptance gate of ISSUE 6: the daemon under its normal lifecycle never
+// crashes and never emits a malformed response.
+
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/json_reader.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace ocdd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("ocdd_serve_smoke_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// A daemon child process: stdout captured to a file, killed on scope exit
+/// if the test did not already reap it.
+class DaemonProcess {
+ public:
+  DaemonProcess(const std::vector<std::string>& argv,
+                const std::string& stdout_path) {
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      int out = ::open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                       0644);
+      if (out >= 0) {
+        ::dup2(out, STDOUT_FILENO);
+        ::close(out);
+      }
+      std::vector<char*> cargv;
+      cargv.reserve(argv.size() + 1);
+      for (const std::string& a : argv) {
+        cargv.push_back(const_cast<char*>(a.c_str()));
+      }
+      cargv.push_back(nullptr);
+      ::execv(cargv[0], cargv.data());
+      _exit(127);
+    }
+  }
+
+  ~DaemonProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  /// SIGTERMs the daemon and reaps it; returns the wait status.
+  int TerminateAndWait() {
+    EXPECT_GT(pid_, 0);
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return status;
+  }
+
+  pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+TEST(ServeSmokeTest, StartServeDrainExitsCleanWithValidStats) {
+  ScratchDir scratch("lifecycle");
+  const std::string sock = scratch.path + "/daemon.sock";
+  const std::string stdout_path = scratch.path + "/daemon.stdout";
+
+  DaemonProcess daemon(
+      {OCDD_CLI_PATH, "serve", sock, "--executors", "2", "--cache-mib", "4",
+       "--cache-dir", scratch.path + "/cache", "--drain-grace", "2"},
+      stdout_path);
+  ASSERT_GT(daemon.pid(), 0);
+
+  // SendRequest retries connect, absorbing daemon startup latency.
+  ClientOptions copts;
+  copts.io_timeout_seconds = 120.0;
+  ServeRequest ping;
+  ping.kind = "ping";
+  auto pong = SendRequest(sock, ping, copts);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->status, "ok");
+
+  // A real discovery through a real `ocdd run` worker process.
+  ServeRequest run;
+  run.kind = "run";
+  run.id = "smoke-1";
+  run.source = "NUMBERS";
+  run.rows = 50;
+  auto first = SendRequest(sock, run, copts);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, "ok");
+  EXPECT_EQ(first->cache, "miss");
+  ASSERT_TRUE(first->have_report);
+  EXPECT_TRUE(first->report["completed"].bool_value());
+  EXPECT_FALSE(first->report["ocds"].is_null())
+      << "a completed discovery report carries its result set";
+
+  // Same question again: a cache hit, no second worker.
+  run.id = "smoke-2";
+  auto second = SendRequest(sock, run, copts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, "ok");
+  EXPECT_EQ(second->cache, "hit");
+  EXPECT_EQ(second->attempts, 0);
+
+  // Graceful drain: SIGTERM → exit 0 and a final stats JSON on stdout.
+  int status = daemon.TerminateAndWait();
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon must exit, not die on a signal";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  auto stats = report::ParseJson(ReadFile(stdout_path));
+  ASSERT_TRUE(stats.ok()) << "drain report must be valid JSON: "
+                          << stats.status().ToString();
+  EXPECT_TRUE((*stats)["draining"].bool_value());
+  EXPECT_EQ((*stats)["counters"]["admitted"].number_value(), 2.0);
+  EXPECT_EQ((*stats)["counters"]["completed_ok"].number_value(), 2.0);
+  EXPECT_EQ((*stats)["cache"]["hits"].number_value(), 1.0);
+  EXPECT_EQ((*stats)["running"].number_value(), 0.0);
+
+  // The drain persisted the cache: a fresh daemon serves the same request
+  // as a hit without running any worker.
+  const std::string stdout2 = scratch.path + "/daemon2.stdout";
+  DaemonProcess second_daemon({OCDD_CLI_PATH, "serve", sock, "--cache-mib",
+                               "4", "--cache-dir", scratch.path + "/cache"},
+                              stdout2);
+  run.id = "smoke-3";
+  auto warm = SendRequest(sock, run, copts);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->cache, "hit");
+  int status2 = second_daemon.TerminateAndWait();
+  ASSERT_TRUE(WIFEXITED(status2));
+  EXPECT_EQ(WEXITSTATUS(status2), 0);
+}
+
+TEST(ServeSmokeTest, RequestVerbExitCodesAndReportOnly) {
+  ScratchDir scratch("cli_client");
+  const std::string sock = scratch.path + "/daemon.sock";
+  DaemonProcess daemon({OCDD_CLI_PATH, "serve", sock},
+                       scratch.path + "/daemon.stdout");
+  ASSERT_GT(daemon.pid(), 0);
+
+  // Wait for the daemon socket with an in-process ping first.
+  ServeRequest ping;
+  ping.kind = "ping";
+  ASSERT_TRUE(SendRequest(sock, ping).ok());
+
+  // The `ocdd request` client verb: exit 0 + JSON on stdout for a served
+  // run.
+  const std::string out = scratch.path + "/client.stdout";
+  const std::string cmd = std::string(OCDD_CLI_PATH) + " request " + sock +
+                          " --source NUMBERS --rows 20 --id cli-1 > " + out;
+  int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 0);
+  auto doc = report::ParseJson(ReadFile(out));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)["status"].string_value(), "ok");
+
+  // Transport failure (no such socket) is exit 1, distinct from rejects.
+  const std::string bad = std::string(OCDD_CLI_PATH) + " request " +
+                          scratch.path + "/nope.sock --source NUMBERS" +
+                          " > /dev/null 2>&1";
+  int rc_bad = std::system(bad.c_str());
+  ASSERT_TRUE(WIFEXITED(rc_bad));
+  EXPECT_EQ(WEXITSTATUS(rc_bad), 1);
+
+  int status = daemon.TerminateAndWait();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace ocdd::serve

@@ -70,6 +70,7 @@ TEST(SuperviseTest, ImmediateSuccess) {
   ASSERT_EQ(result.attempts.size(), 1u);
   EXPECT_EQ(result.attempts[0].classification, "success");
   EXPECT_TRUE(result.have_report);
+  EXPECT_EQ(result.give_up_kind, GiveUpKind::kNone);
 }
 
 TEST(SuperviseTest, CrashThenSuccessRestartsWithResume) {
@@ -129,6 +130,16 @@ TEST(SuperviseTest, NoLevelProgressGivesUp) {
   EXPECT_EQ(result.attempts.back().classification, "give_up");
   EXPECT_NE(result.give_up_reason.find("no level progress"),
             std::string::npos);
+  EXPECT_EQ(result.give_up_kind, GiveUpKind::kNoProgress);
+
+  // The no-progress verdict must survive into the merged JSON summary, not
+  // only the exit code: downstream consumers (the serve daemon, dashboards)
+  // read `supervisor.give_up_kind`.
+  auto doc = report::ParseJson(MergedResultJson(result));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)["supervisor"]["give_up_kind"].string_value(),
+            "no_progress");
+  EXPECT_FALSE((*doc)["supervisor"]["success"].bool_value());
 }
 
 TEST(SuperviseTest, NonRetryableStopGivesUpImmediately) {
@@ -140,6 +151,7 @@ TEST(SuperviseTest, NonRetryableStopGivesUpImmediately) {
   ASSERT_EQ(result.attempts.size(), 1u);
   EXPECT_EQ(result.attempts[0].classification, "give_up");
   EXPECT_NE(result.give_up_reason.find("not retryable"), std::string::npos);
+  EXPECT_EQ(result.give_up_kind, GiveUpKind::kNonRetryableStop);
 }
 
 TEST(SuperviseTest, NonZeroExitGivesUp) {
@@ -151,6 +163,7 @@ TEST(SuperviseTest, NonZeroExitGivesUp) {
   EXPECT_EQ(result.attempts[0].exit_code, 2);
   EXPECT_NE(result.give_up_reason.find("exited with code 2"),
             std::string::npos);
+  EXPECT_EQ(result.give_up_kind, GiveUpKind::kChildError);
 }
 
 TEST(SuperviseTest, GarbageOutputGivesUp) {
@@ -160,6 +173,7 @@ TEST(SuperviseTest, GarbageOutputGivesUp) {
   EXPECT_FALSE(result.success);
   EXPECT_NE(result.give_up_reason.find("no parseable JSON"),
             std::string::npos);
+  EXPECT_EQ(result.give_up_kind, GiveUpKind::kNoReport);
 }
 
 TEST(SuperviseTest, CrashesExhaustAttemptBudget) {
@@ -171,6 +185,7 @@ TEST(SuperviseTest, CrashesExhaustAttemptBudget) {
   EXPECT_FALSE(result.success);
   EXPECT_EQ(result.attempts.size(), 3u);
   EXPECT_EQ(result.attempts.back().classification, "give_up");
+  EXPECT_EQ(result.give_up_kind, GiveUpKind::kAttemptsExhausted);
 }
 
 TEST(SuperviseTest, MergedJsonCarriesReportAndSupervisor) {
@@ -189,6 +204,7 @@ TEST(SuperviseTest, MergedJsonCarriesReportAndSupervisor) {
   EXPECT_EQ(sup["attempts"].array().size(), 1u);
   EXPECT_EQ(sup["attempts"].array()[0]["classification"].string_value(),
             "success");
+  EXPECT_EQ(sup["give_up_kind"].string_value(), "none");
 }
 
 #ifdef OCDD_CLI_PATH

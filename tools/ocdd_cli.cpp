@@ -59,6 +59,8 @@
 #include "relation/csv.h"
 #include "report/json_reader.h"
 #include "report/json_writer.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -706,7 +708,9 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdQa(const Args& args) {
+std::string SelfExePath(const char* argv0);
+
+int CmdQa(const Args& args, const char* argv0) {
   ocdd::qa::QaOptions opts;
   opts.seed = args.GetU64("seed", 42);
   opts.iters = args.GetSize("iters", 100);
@@ -715,6 +719,9 @@ int CmdQa(const Args& args) {
   opts.stopped_runs = !args.Has("no-stopped-runs");
   opts.resume_runs = !args.Has("no-resume-runs");
   opts.ingest = !args.Has("no-ingest");
+  // The serve-equivalence stage drives this very binary both as an
+  // in-process daemon's worker and as a direct baseline run.
+  if (!args.Has("no-serve")) opts.serve_cli_path = SelfExePath(argv0);
   opts.max_failures = args.GetSize("max-failures", 8);
   opts.repro_dir = args.Get("repro-dir", "");
   opts.spec.max_rows = args.GetSize("max-rows", opts.spec.max_rows);
@@ -758,6 +765,8 @@ int CmdQa(const Args& args) {
                 static_cast<unsigned long long>(summary.resume_checks));
     std::printf("  ingest-policy checks ... %llu\n",
                 static_cast<unsigned long long>(summary.ingest_checks));
+    std::printf("  serve-equivalence ...... %llu\n",
+                static_cast<unsigned long long>(summary.serve_checks));
     std::printf("  skipped (engine bound) . %llu\n",
                 static_cast<unsigned long long>(summary.skipped));
     if (summary.clean()) {
@@ -863,6 +872,114 @@ int CmdSupervise(const Args& args, const char* argv0) {
   return 0;
 }
 
+/// The serve daemon being drained by HandleServeStop. Set exactly once,
+/// before the signal handlers are installed.
+std::atomic<ocdd::serve::Server*> g_server{nullptr};
+
+extern "C" void HandleServeStop(int) {
+  // RequestStop is one write() on a pipe — async-signal-safe.
+  ocdd::serve::Server* server = g_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestStop();
+}
+
+/// `ocdd serve <socket> [flags]` — the multi-tenant discovery daemon
+/// (docs/serving.md). Runs until SIGTERM/SIGINT, then drains gracefully and
+/// prints one final stats JSON document to stdout.
+int CmdServe(const Args& args, const char* argv0) {
+  if (args.source.empty()) {
+    std::fprintf(stderr, "serve requires a <socket-path> argument\n");
+    return 2;
+  }
+  ocdd::serve::ServerOptions opts;
+  opts.socket_path = args.source;
+  opts.num_executors = args.GetSize("executors", 2);
+  if (opts.num_executors == 0) opts.num_executors = 1;
+  opts.queue_capacity = args.GetSize("queue-capacity", 16);
+  opts.request_timeout_seconds = args.GetDouble("request-timeout", 0.0);
+  opts.max_attempts = static_cast<int>(args.GetSize("max-attempts", 3));
+  opts.backoff_base_seconds = args.GetDouble("backoff", 0.05);
+  opts.backoff_cap_seconds = args.GetDouble("max-backoff", 1.0);
+  opts.drain_grace_seconds = args.GetDouble("drain-grace", 5.0);
+  opts.memory_watermark_bytes =
+      args.GetSize("memory-watermark-mib", 0) << 20;
+  opts.cache_capacity_bytes = args.GetSize("cache-mib", 16) << 20;
+  opts.cache_dir = args.Get("cache-dir", "");
+  opts.checkpoint_root = args.Get("checkpoint-root", "");
+  opts.io_timeout_seconds = args.GetDouble("io-timeout", 5.0);
+
+  const std::string tenants_path = args.Get("tenants", "");
+  if (!tenants_path.empty()) {
+    auto config = ocdd::serve::LoadTenantConfig(tenants_path);
+    if (!config.ok()) {
+      std::fprintf(stderr, "serve: %s\n", config.status().ToString().c_str());
+      return 2;
+    }
+    opts.tenants = std::move(*config);
+  }
+
+  opts.worker_argv_prefix = {SelfExePath(argv0), "run"};
+
+  ocdd::serve::Server server(std::move(opts));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_server.store(&server);
+  std::signal(SIGTERM, HandleServeStop);
+  std::signal(SIGINT, HandleServeStop);
+  std::fprintf(stderr, "serve: listening on %s\n", args.source.c_str());
+
+  Status ran = server.Run();
+  g_server.store(nullptr);
+  if (!ran.ok()) {
+    std::fprintf(stderr, "%s\n", ran.ToString().c_str());
+    return 1;
+  }
+  // The final stats document: the drain report asserted by serve_smoke.
+  std::printf("%s\n",
+              ocdd::report::SerializeJson(server.StatsJson()).c_str());
+  return 0;
+}
+
+/// `ocdd request <socket> --source X [flags]` — one client exchange with a
+/// serve daemon. Exit codes: 0 ok, 5 rejected, 6 timeout, 7 worker error,
+/// 1 transport/protocol failure (docs/serving.md).
+int CmdRequest(const Args& args) {
+  if (args.source.empty()) {
+    std::fprintf(stderr, "request requires a <socket-path> argument\n");
+    return 2;
+  }
+  ocdd::serve::ServeRequest req;
+  req.kind = args.Get("kind", "run");
+  req.id = args.Get("id", "");
+  req.tenant = args.Get("tenant", "default");
+  req.algo = args.Get("algo", "discover");
+  req.source = args.Get("source", "");
+  req.rows = args.GetSize("rows", 0);
+  req.seed = args.GetSize("seed", 42);
+  req.max_level = args.GetSize("max-level", 0);
+  req.use_cache = !args.Has("no-cache");
+
+  ocdd::serve::ClientOptions copts;
+  copts.io_timeout_seconds = args.GetDouble("io-timeout", 600.0);
+
+  auto resp = ocdd::serve::SendRequest(args.source, req, copts);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "request: %s\n", resp.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Has("report-only") && resp->have_report) {
+    std::printf("%s\n", ocdd::report::SerializeJson(resp->report).c_str());
+  } else {
+    std::printf("%s\n", ocdd::serve::SerializeResponse(*resp).c_str());
+  }
+  if (resp->status == "ok") return 0;
+  if (resp->status == "rejected") return 5;
+  if (resp->status == "timeout") return 6;
+  return 7;
+}
+
 void Usage() {
   std::fputs(
       "usage: ocdd <command> <source> [flags]\n"
@@ -877,6 +994,17 @@ void Usage() {
       "              --backoff-multiplier M --no-progress-limit K);\n"
       "             requires --checkpoint DIR; prints one merged JSON report;\n"
       "             exit 4 = gave up\n"
+      "  serve      multi-tenant discovery daemon on a Unix socket:\n"
+      "             ocdd serve /path.sock [--executors N] [--queue-capacity N]\n"
+      "             [--tenants FILE] [--cache-mib N] [--cache-dir DIR]\n"
+      "             [--checkpoint-root DIR] [--request-timeout S]\n"
+      "             [--max-attempts N] [--memory-watermark-mib N]\n"
+      "             [--drain-grace S]; SIGTERM drains gracefully and prints\n"
+      "             final stats JSON (see docs/serving.md)\n"
+      "  request    one exchange with a serve daemon: ocdd request /path.sock\n"
+      "             --source SRC [--algo X] [--tenant T] [--kind run|ping|\n"
+      "             stats] [--no-cache] [--report-only]; exit 0 ok,\n"
+      "             5 rejected, 6 timeout, 7 worker error\n"
       "  discover   OCDDISCOVER: order compatibility + order dependencies\n"
       "  fds        TANE: minimal functional dependencies\n"
       "  fastod     FASTOD: set-based canonical order dependencies\n"
@@ -894,7 +1022,7 @@ void Usage() {
       "             --seed S --iters K [--inject MODE] [--json]\n"
       "             [--repro-dir DIR] [--max-rows N] [--max-cols N]\n"
       "             [--no-metamorphic] [--no-stopped-runs]\n"
-      "             [--no-resume-runs] [--no-ingest]\n"
+      "             [--no-resume-runs] [--no-ingest] [--no-serve]\n"
       "             exit 0 = clean, 3 = discrepancies (see docs/qa.md)\n"
       "<source>: a .csv path or a dataset name (YES, NO, NUMBERS, LINEITEM,\n"
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"
@@ -930,6 +1058,8 @@ int main(int argc, char** argv) {
   const std::string& cmd = args->command;
   if (cmd == "run") return CmdRun(*args);
   if (cmd == "supervise") return CmdSupervise(*args, argv[0]);
+  if (cmd == "serve") return CmdServe(*args, argv[0]);
+  if (cmd == "request") return CmdRequest(*args);
   if (cmd == "discover") return CmdDiscover(*args);
   if (cmd == "fds") return CmdFds(*args);
   if (cmd == "fastod") return CmdFastod(*args);
@@ -943,7 +1073,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") return CmdExplain(*args);
   if (cmd == "diff") return CmdDiff(*args);
   if (cmd == "generate") return CmdGenerate(*args);
-  if (cmd == "qa") return CmdQa(*args);
+  if (cmd == "qa") return CmdQa(*args, argv[0]);
   Usage();
   return 2;
 }

@@ -20,6 +20,12 @@ run_one() {
   cmake --build "${dir}" -j "$(nproc)"
   echo "==> ${preset}: running tests"
   ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+  # The serve fault matrix (worker kills, torn frames, drain, shedding) is
+  # the most concurrency-heavy surface in the tree; repeat it so the
+  # sanitizer sees several interleavings, not one lucky schedule.
+  echo "==> ${preset}: serve fault matrix (repeated)"
+  ctest --test-dir "${dir}" --output-on-failure -R "serve" \
+        --repeat until-fail:3
 }
 
 presets=("${@:-asan tsan}")

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Serve-daemon load bench with machine-readable output.
+#
+# Builds bench_serve_load plus the CLI it spawns as workers, runs the three
+# serving scenarios (warm cache, cold worker runs, overload shedding), and
+# records latency percentiles + shed/retry counters as
+# BENCH_serve_load.json — the same report convention as tools/run_bench.sh
+# (see docs/serving.md and docs/performance.md).
+#
+#   tools/run_serve_bench.sh [out_dir]     # default out_dir: bench-out
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out}"
+
+echo "==> building bench_serve_load + ocdd_cli"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_serve_load ocdd_cli
+
+mkdir -p "${OUT}"
+echo "==> serve load scenarios"
+OCDD_BENCH_JSON_DIR="${OUT}" \
+  ./build/bench/bench_serve_load ./build/tools/ocdd \
+  | tee "${OUT}/serve_load.log"
+
+echo "==> report:"
+ls -l "${OUT}"/BENCH_serve_load.json
