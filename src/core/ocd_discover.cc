@@ -284,16 +284,35 @@ class Driver {
           break;
         }
 
+        // Hook pre-resolution (sequential): candidates whose outcome the
+        // hook can prove are served up front, so the partition pipeline
+        // below never pays for their lists and the check phase skips them.
+        std::vector<CheckedCandidate> checked(level.size());
+        std::vector<char> served;
+        if (options_.check_hook != nullptr) {
+          served.assign(level.size(), 0);
+          for (std::size_t i = 0; i < level.size(); ++i) {
+            CandidateOutcome out;
+            if (options_.check_hook->Lookup(level[i].x, level[i].y, &out)) {
+              served[i] = 1;
+              checked[i] =
+                  CheckedCandidate{true, out.ocd_valid, out.od_xy, out.od_yx};
+              ++hook_served_;
+            }
+          }
+        }
+
         // Sorted-partition mode: make sure both sides of every candidate
         // have a cached rank vector before the (parallel, read-only) check
         // phase. Refinement itself is parallel — see
         // PrepareLevelPartitions.
         if (options_.use_sorted_partitions) {
-          PrepareLevelPartitions(level, pool.get());
+          PrepareLevelPartitions(level, pool.get(),
+                                 served.empty() ? nullptr : &served);
         }
 
-        std::vector<CheckedCandidate> checked(level.size());
         auto check_one = [&](std::size_t i) {
+          if (!served.empty() && served[i] != 0) return;
           if (ctx_->ShouldStop()) return;
           ctx_->AtInjectionPoint("ocd.check");
           const Candidate& c = level[i];
@@ -342,6 +361,20 @@ class Driver {
           for (std::size_t i = 0; i < level.size(); ++i) check_one(i);
         }
         aborted = ctx_->stop_requested();
+
+        // Feed every data-backed outcome to the hook (sequential, like
+        // Lookup). Candidates the budget stopped before checking are not
+        // reported — their outcome is unknown.
+        if (options_.check_hook != nullptr) {
+          for (std::size_t i = 0; i < level.size(); ++i) {
+            if (served[i] != 0 || !checked[i].checked) continue;
+            ++hook_recomputed_;
+            options_.check_hook->Observe(
+                level[i].x, level[i].y,
+                CandidateOutcome{checked[i].ocd_valid, checked[i].od_xy,
+                                 checked[i].od_yx});
+          }
+        }
 
         // Sequential generation phase: emission + next level (deduplicated).
         // On abort the emission still runs — every candidate the check phase
@@ -448,6 +481,8 @@ class Driver {
     result.stop_reason =
         ctx_->stop_reason() != StopReason::kNone ? ctx_->stop_reason()
                                                  : cap_reason;
+    result.hook_served = hook_served_;
+    result.hook_recomputed = hook_recomputed_;
     result.partition_cache_bytes = cache_bytes_;
     result.elapsed_seconds = timer.ElapsedSeconds();
     return result;
@@ -484,8 +519,13 @@ class Driver {
   /// the affected candidates fall back to the sort-based checker. The
   /// RunContext is consulted between layers so a stopped run does not
   /// grind through refinements whose checks will never execute.
+  /// `served`, when non-null, flags candidates already answered by the
+  /// check hook — their lists are not planned (nor refined, nor charged to
+  /// the cache budget), which is where the incremental walk's partition
+  /// savings come from.
   void PrepareLevelPartitions(const std::vector<Candidate>& level,
-                              ThreadPool* pool) {
+                              ThreadPool* pool,
+                              const std::vector<char>* served = nullptr) {
     struct Job {
       od::AttributeList list;
       ListPartition result;
@@ -504,9 +544,10 @@ class Driver {
         jobs.push_back(Job{std::move(prefix), ListPartition{}, false});
       }
     };
-    for (const Candidate& c : level) {
-      plan_list(c.x);
-      plan_list(c.y);
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (served != nullptr && (*served)[i] != 0) continue;
+      plan_list(level[i].x);
+      plan_list(level[i].y);
     }
     if (jobs.empty()) return;
 
@@ -576,6 +617,8 @@ class Driver {
   RunContext local_ctx_;
   RunContext* ctx_ = nullptr;
   std::uint64_t checks_base_ = 0;
+  std::uint64_t hook_served_ = 0;
+  std::uint64_t hook_recomputed_ = 0;
   std::atomic<std::uint64_t> part_checks_{0};
   std::unordered_map<od::AttributeList, ListPartition, AttributeListHash>
       part_cache_;

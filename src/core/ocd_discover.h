@@ -14,6 +14,38 @@
 
 namespace ocdd::core {
 
+/// The three bits of one candidate's check outcome, as exchanged with a
+/// `CandidateCheckHook`. The OD bits are meaningful only when `ocd_valid`
+/// is set — an invalid OCD candidate spawns nothing and its embedded ODs
+/// are never tested (§4.2.1).
+struct CandidateOutcome {
+  bool ocd_valid = false;
+  bool od_xy = false;
+  bool od_yx = false;
+};
+
+/// Injection seam for incremental maintenance (src/algo/incremental/).
+///
+/// Before a candidate `X ~ Y` is checked against the data the driver asks
+/// `Lookup`; returning true serves the outcome without a data pass — the
+/// candidate is not charged to the check budget and its lists are not
+/// partitioned. After every *data-backed* check the driver reports the
+/// fresh outcome through `Observe`, letting the hook warm its cache for
+/// the next run. Both methods are invoked sequentially from the driver
+/// thread (never from pool workers), so implementations need no locking.
+///
+/// Soundness is entirely the hook's burden: a served outcome must be
+/// exactly what a data-backed check of the current relation would return,
+/// or the walk diverges from the from-scratch result.
+class CandidateCheckHook {
+ public:
+  virtual ~CandidateCheckHook() = default;
+  virtual bool Lookup(const od::AttributeList& x, const od::AttributeList& y,
+                      CandidateOutcome* out) = 0;
+  virtual void Observe(const od::AttributeList& x, const od::AttributeList& y,
+                       const CandidateOutcome& outcome) = 0;
+};
+
 /// Tuning knobs for a discovery run.
 struct OcdDiscoverOptions {
   /// Injectable run control: deadline, check/memory budgets, cooperative
@@ -66,6 +98,11 @@ struct OcdDiscoverOptions {
   /// strictly more candidates and checks.
   bool apply_od_pruning = true;
 
+  /// Optional candidate-outcome cache consulted before every data-backed
+  /// check (see CandidateCheckHook above). Not owned; nullptr = every
+  /// candidate is checked against the data.
+  CandidateCheckHook* check_hook = nullptr;
+
   /// Crash-safe checkpointing (see docs/checkpointing.md). Snapshots are
   /// taken at level boundaries — the BFS frontier plus the emitted OCD/OD
   /// sets — per the RunContext cadence, plus once on any early stop (drain)
@@ -95,6 +132,12 @@ struct OcdDiscoverResult {
 
   /// Number of OCD candidates generated across all levels.
   std::uint64_t candidates_generated = 0;
+
+  /// Candidates answered by `options.check_hook` without a data pass, and
+  /// candidates that missed the hook and were recomputed against the data.
+  /// Both zero when no hook was installed.
+  std::uint64_t hook_served = 0;
+  std::uint64_t hook_recomputed = 0;
 
   /// Highest tree level fully processed (level ℓ holds candidates with
   /// |X| + |Y| = ℓ; the first level is 2).

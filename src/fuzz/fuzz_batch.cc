@@ -1,0 +1,14 @@
+// libFuzzer entry point for the batch wire-format boundary (incremental
+// maintenance, docs/incremental.md). Built only with -DOCDD_FUZZ=ON under
+// Clang (-fsanitize=fuzzer,address); see docs/fuzzing.md and
+// tools/run_fuzz.sh.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return ocdd::fuzz::RunBatchTarget(data, size);
+}

@@ -10,6 +10,7 @@
 #include "fuzz/fuzz_input.h"
 #include "qa/claim_parser.h"
 #include "qa/claims.h"
+#include "relation/batch.h"
 #include "relation/csv.h"
 #include "report/json_reader.h"
 #include "serve/protocol.h"
@@ -240,6 +241,114 @@ int RunServeFrameTarget(const std::uint8_t* data, std::size_t size) {
         "serve: EncodeFrame output fails to decode");
   Check(payload.size() <= limits.max_payload_bytes,
         "serve: decoded payload exceeds the limit");
+  return 0;
+}
+
+int RunBatchTarget(const std::uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+
+  rel::BatchParseOptions opts;
+  switch (in.TakeChoice(3)) {
+    case 0:
+      opts.on_bad_row = rel::BadRowPolicy::kFail;
+      break;
+    case 1:
+      opts.on_bad_row = rel::BadRowPolicy::kSkip;
+      break;
+    default:
+      opts.on_bad_row = rel::BadRowPolicy::kQuarantine;
+      break;
+  }
+  if (in.TakeBool()) {
+    // Tight limits so the limit-rejection paths get fuzzed too.
+    opts.limits.max_line_bytes = 24;
+    opts.limits.max_ops = 8;
+  }
+
+  // A fuzz-chosen target schema: typed cell parsing differs per column
+  // type, so sweep homogeneous and mixed shapes.
+  rel::Schema schema;
+  switch (in.TakeChoice(3)) {
+    case 0:
+      schema.AddAttribute({"a", rel::DataType::kInt});
+      schema.AddAttribute({"b", rel::DataType::kInt});
+      schema.AddAttribute({"c", rel::DataType::kInt});
+      break;
+    case 1:
+      schema.AddAttribute({"i", rel::DataType::kInt});
+      schema.AddAttribute({"d", rel::DataType::kDouble});
+      schema.AddAttribute({"s", rel::DataType::kString});
+      break;
+    default:
+      schema.AddAttribute({"s", rel::DataType::kString});
+      break;
+  }
+  const std::string text = in.TakeRest();
+
+  auto parsed = rel::ParseBatchText(text, schema, opts);
+  if (!parsed.ok()) return 0;
+  const rel::BatchIngestReport& report = parsed->report;
+  const rel::RowBatch& batch = parsed->batch;
+
+  Check(report.records_total == report.ops_parsed + report.rows_rejected,
+        "batch: records_total != parsed + rejected");
+  Check(report.rejected_by_code.total() == report.rows_rejected,
+        "batch: per-code counts don't sum to rows_rejected");
+  if (opts.on_bad_row == rel::BadRowPolicy::kFail) {
+    Check(report.clean(), "batch: kFail accepted input with rejections");
+  }
+  if (opts.on_bad_row == rel::BadRowPolicy::kQuarantine) {
+    Check(report.quarantined_rows.size() == report.rows_rejected,
+          "batch: quarantined rows != rows_rejected");
+  }
+  // Duplicate delete lines collapse, so num_ops may undershoot ops_parsed
+  // but never exceed it.
+  Check(batch.num_ops() <= report.ops_parsed,
+        "batch: more ops than parsed lines");
+  Check(std::is_sorted(batch.deletes.begin(), batch.deletes.end()),
+        "batch: deletes not sorted");
+  Check(std::adjacent_find(batch.deletes.begin(), batch.deletes.end()) ==
+            batch.deletes.end(),
+        "batch: duplicate delete indices survived parsing");
+  for (const auto& row : batch.appends) {
+    Check(row.size() == schema.num_columns(),
+          "batch: append row width != schema width");
+  }
+
+  // Whatever parsed must survive a write/parse round-trip, and the
+  // canonical rendering must be a fixed point.
+  const std::string canonical = rel::WriteBatchText(batch, schema);
+  auto again = rel::ParseBatchText(canonical, schema);
+  Check(again.ok(), "batch: canonical rendering fails to re-parse");
+  Check(again->report.clean(), "batch: canonical rendering has rejections");
+  Check(rel::WriteBatchText(again->batch, schema) == canonical,
+        "batch: write/parse is not a fixed point");
+
+  // Apply against a small relation of the schema: out-of-range deletes are
+  // typed errors, accepted applications obey the row-count identity.
+  rel::Relation::Builder builder(schema);
+  std::vector<rel::Value> row;
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    switch (schema.attribute(c).type) {
+      case rel::DataType::kInt:
+        row.push_back(rel::Value::Int(static_cast<std::int64_t>(c)));
+        break;
+      case rel::DataType::kDouble:
+        row.push_back(rel::Value::Double(0.5));
+        break;
+      case rel::DataType::kString:
+        row.push_back(rel::Value::String("x"));
+        break;
+    }
+  }
+  for (int r = 0; r < 3; ++r) (void)builder.AddRow(row);
+  rel::Relation base = std::move(builder).Build();
+  auto applied = rel::ApplyBatch(base, batch);
+  if (applied.ok()) {
+    Check(applied->num_rows() ==
+              base.num_rows() - batch.deletes.size() + batch.appends.size(),
+          "batch: applied row count breaks the delete/append identity");
+  }
   return 0;
 }
 

@@ -25,6 +25,12 @@ int RunClaimsTarget(const std::uint8_t* data, std::size_t size);
 /// whole-buffer must agree), request/response payload parsing, and
 /// round-trip stability of whatever is accepted.
 int RunServeFrameTarget(const std::uint8_t* data, std::size_t size);
+/// The batch wire format behind incremental maintenance
+/// (docs/incremental.md): ParseBatchText under every bad-row policy and a
+/// fuzz-chosen schema, the ingest accounting identities, the
+/// WriteBatchText round-trip fixed point, and a crash-free ApplyBatch of
+/// whatever parsed against a small relation of that schema.
+int RunBatchTarget(const std::uint8_t* data, std::size_t size);
 
 }  // namespace ocdd::fuzz
 

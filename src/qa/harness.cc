@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include "algo/incremental/incremental.h"
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/run_context.h"
@@ -22,6 +23,7 @@
 #include "qa/canonical.h"
 #include "qa/metamorphic.h"
 #include "qa/shrinker.h"
+#include "relation/batch.h"
 #include "relation/csv.h"
 #include "report/json_reader.h"
 #include "serve/client.h"
@@ -455,6 +457,230 @@ std::vector<Discrepancy> CheckIngest(const rel::Relation& relation, Rng& rng,
   return out;
 }
 
+/// One seeded batch schedule over `base`, covering the batch shapes the
+/// incremental contract names (docs/incremental.md): append-only with fresh
+/// rows, delete-only, mixed with a duplicated row, an empty batch,
+/// NULL-bearing appends (including an all-NULL row), and a final mixed
+/// batch. Delete indices are drawn against the row count the relation will
+/// have when each batch applies, so the schedule is valid by construction.
+std::vector<rel::RowBatch> MakeBatchSchedule(const rel::Relation& base,
+                                             Rng& rng) {
+  const std::size_t cols = base.num_columns();
+  std::size_t rows = base.num_rows();
+
+  auto fresh_row = [&](bool with_nulls, bool all_nulls) {
+    std::vector<rel::Value> row;
+    row.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (all_nulls || (with_nulls && rng.Uniform(4) == 0)) {
+        row.push_back(rel::Value::Null());
+      } else {
+        // A small domain keeps collisions and rank changes frequent — the
+        // cases the warm counting fast paths must decide correctly.
+        row.push_back(
+            rel::Value::Int(static_cast<std::int64_t>(rng.Uniform(8))));
+      }
+    }
+    return row;
+  };
+  // Duplicate of a base-relation row. If that row was deleted by an earlier
+  // batch this is a re-insert — equally interesting for the warm state.
+  auto duplicate_row = [&](std::size_t r) {
+    std::vector<rel::Value> row;
+    row.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      row.push_back(base.column(c).ValueAt(r));
+    }
+    return row;
+  };
+  // Distinct sorted pre-batch indices against the *current* row count.
+  auto draw_deletes = [&](std::size_t want) {
+    std::vector<std::size_t> ids(rows);
+    for (std::size_t r = 0; r < rows; ++r) ids[r] = r;
+    for (std::size_t r = 0; r + 1 < ids.size(); ++r) {
+      std::size_t j = r + rng.Uniform(ids.size() - r);
+      std::swap(ids[r], ids[j]);
+    }
+    ids.resize(std::min(want, rows));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  auto advance = [&rows](const rel::RowBatch& b) {
+    rows = rows - b.deletes.size() + b.appends.size();
+  };
+
+  std::vector<rel::RowBatch> schedule;
+  {
+    rel::RowBatch b;  // append-only, fresh rows
+    std::size_t n = 1 + rng.Uniform(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      b.appends.push_back(fresh_row(false, false));
+    }
+    advance(b);
+    schedule.push_back(std::move(b));
+  }
+  {
+    rel::RowBatch b;  // delete-only
+    b.deletes = draw_deletes(1 + rng.Uniform(2));
+    advance(b);
+    schedule.push_back(std::move(b));
+  }
+  {
+    rel::RowBatch b;  // mixed, with a duplicated row
+    b.deletes = draw_deletes(rng.Uniform(3));
+    if (base.num_rows() > 0) {
+      b.appends.push_back(duplicate_row(rng.Uniform(base.num_rows())));
+    }
+    b.appends.push_back(fresh_row(false, false));
+    advance(b);
+    schedule.push_back(std::move(b));
+  }
+  schedule.emplace_back();  // empty batch: everything must be served warm
+  {
+    rel::RowBatch b;  // NULL-bearing appends, first row all-NULL
+    b.appends.push_back(fresh_row(true, true));
+    b.appends.push_back(fresh_row(true, false));
+    advance(b);
+    schedule.push_back(std::move(b));
+  }
+  {
+    rel::RowBatch b;  // final mixed batch
+    b.deletes = draw_deletes(rng.Uniform(3));
+    std::size_t n = rng.Uniform(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      b.appends.push_back(fresh_row(true, false));
+    }
+    advance(b);
+    schedule.push_back(std::move(b));
+  }
+  return schedule;
+}
+
+/// The incremental-equivalence stage of one qa iteration: replay `schedule`
+/// on an IncrementalSession over `base` and assert after every batch that
+/// the session's claims equal a from-scratch discovery of the materialized
+/// relation — the contract of docs/incremental.md. With a non-empty
+/// `state_dir` the session is additionally dropped mid-schedule and
+/// reopened from its on-disk warm state (the persistence leg); an empty
+/// `state_dir` runs purely in memory, which is what the schedule shrinker's
+/// predicate uses.
+std::vector<Discrepancy> CheckIncremental(
+    const rel::Relation& base, const std::vector<rel::RowBatch>& schedule,
+    const std::string& state_dir, std::uint64_t* checks) {
+  std::vector<Discrepancy> out;
+  algo::IncrementalOptions iopts;
+  iopts.state_dir = state_dir;
+  if (!state_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(state_dir, ec);
+  }
+
+  auto compare = [&](const algo::IncrementalSession& session,
+                     const std::string& where, bool compare_counters) {
+    ++*checks;
+    core::OcdDiscoverResult oracle =
+        algo::DiscoverFromScratch(session.relation(), iopts);
+    if (!oracle.completed || !session.last_result().completed) {
+      out.push_back({"incremental", "walk", where + ": walk incomplete"});
+      return;
+    }
+    auto diff = [&](const char* what, const auto& inc_claims,
+                    const auto& want_claims) {
+      if (inc_claims == want_claims) return;
+      std::vector<std::string> got, want;
+      for (const auto& c : inc_claims) got.push_back(c.ToString());
+      for (const auto& c : want_claims) want.push_back(c.ToString());
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      std::vector<std::string> missing, extra;
+      std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                          std::back_inserter(missing));
+      std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                          std::back_inserter(extra));
+      for (const std::string& s : missing) {
+        out.push_back({"incremental", what, where + " lost " + s});
+      }
+      for (const std::string& s : extra) {
+        out.push_back({"incremental", what, where + " invented " + s});
+      }
+      if (missing.empty() && extra.empty()) {
+        out.push_back({"incremental", what, where + " claims reordered"});
+      }
+    };
+    diff("ods", session.last_result().ods, oracle.ods);
+    diff("ocds", session.last_result().ocds, oracle.ocds);
+    if (compare_counters && session.last_result().candidates_generated !=
+                                oracle.candidates_generated) {
+      out.push_back(
+          {"incremental", "lattice",
+           where + " visited " +
+               std::to_string(session.last_result().candidates_generated) +
+               " candidates, from-scratch " +
+               std::to_string(oracle.candidates_generated)});
+    }
+  };
+
+  auto started = algo::IncrementalSession::Start(base, iopts);
+  if (!started.ok()) {
+    out.push_back(
+        {"incremental", "session", "Start: " + started.status().ToString()});
+    return out;
+  }
+  algo::IncrementalSession session = std::move(started).value();
+  compare(session, "bootstrap", true);
+
+  // Reopen from disk once, mid-schedule — crossing the persistence boundary
+  // with warm state that has already absorbed batches.
+  const std::size_t reopen_after =
+      state_dir.empty() ? schedule.size() + 1 : schedule.size() / 2;
+
+  for (std::size_t b = 0; b < schedule.size() && out.empty(); ++b) {
+    auto stats = session.ApplyBatch(schedule[b]);
+    if (!stats.ok()) {
+      out.push_back({"incremental", "apply",
+                     "batch " + std::to_string(b + 1) + ": " +
+                         stats.status().ToString()});
+      return out;
+    }
+    const std::string where = "after batch " + std::to_string(b + 1);
+    compare(session, where, true);
+    if (schedule[b].empty() && stats->result.hook_recomputed != 0) {
+      out.push_back({"incremental", "warmth",
+                     where + " (empty) recomputed " +
+                         std::to_string(stats->result.hook_recomputed) +
+                         " candidates; all must be served warm"});
+    }
+
+    if (out.empty() && b + 1 == reopen_after) {
+      const std::uint64_t seq = session.batch_seq();
+      session = algo::IncrementalSession();  // drop the in-memory state
+      auto reopened = algo::IncrementalSession::Open(
+          iopts, [] {
+            return Result<rel::Relation>(
+                Status::NotFound("loader must not be consulted"));
+          });
+      if (!reopened.ok()) {
+        out.push_back({"incremental", "reopen",
+                       where + ": " + reopened.status().ToString()});
+        return out;
+      }
+      session = std::move(reopened).value();
+      if (!session.resumed() || session.batch_seq() != seq) {
+        out.push_back(
+            {"incremental", "reopen",
+             where + " warm state not restored (batch_seq " +
+                 std::to_string(session.batch_seq()) + " of " +
+                 std::to_string(seq) + "): " + session.open_warning()});
+        return out;
+      }
+      // Restored claims must equal the oracle too (counters travel through
+      // the snapshot's stats section, so they are held to the same bar).
+      compare(session, where + " (reopened)", true);
+    }
+  }
+  return out;
+}
+
 void AppendJsonString(std::string& out, const std::string& s) {
   out += '"';
   for (char ch : s) {
@@ -632,7 +858,8 @@ QaSummary RunQa(const QaOptions& options) {
   // path would interleave snapshot generations across processes).
   std::string scratch = options.checkpoint_scratch_dir;
   const bool scratch_is_ours =
-      (options.resume_runs || !options.serve_cli_path.empty()) &&
+      (options.resume_runs || options.incremental ||
+       !options.serve_cli_path.empty()) &&
       scratch.empty();
   if (scratch_is_ours) {
     scratch = (std::filesystem::temp_directory_path() /
@@ -776,6 +1003,55 @@ QaSummary RunQa(const QaOptions& options) {
       }
     }
 
+    // The incremental stage pays one from-scratch oracle walk per batch of
+    // its schedule, so it shares the sparse cadences above.
+    if (options.incremental && i % 3 == 0) {
+      std::vector<rel::RowBatch> schedule = MakeBatchSchedule(relation, rng);
+      std::vector<Discrepancy> ds =
+          CheckIncremental(relation, schedule, scratch + "/incremental_stage",
+                           &summary.incremental_checks);
+      if (!ds.empty()) {
+        // Shrink the schedule when the failure reproduces without the
+        // persistence leg; disk-specific failures ship unshrunk. Candidates
+        // that no longer apply cleanly are rejected, not counted as repros.
+        auto schedule_fails = [&relation](
+                                  const std::vector<rel::RowBatch>& cand) {
+          rel::Relation cur = relation;
+          for (const rel::RowBatch& b : cand) {
+            auto next = rel::ApplyBatch(cur, b);
+            if (!next.ok()) return false;
+            cur = std::move(next).value();
+          }
+          std::uint64_t scratch_checks = 0;
+          return !CheckIncremental(relation, cand, "", &scratch_checks)
+                      .empty();
+        };
+        if (schedule_fails(schedule)) {
+          ShrinkScheduleResult shrunk =
+              ShrinkFailingSchedule(schedule, schedule_fails);
+          summary.shrink_evaluations += shrunk.evaluations;
+          std::uint64_t scratch_checks = 0;
+          std::vector<Discrepancy> shrunk_ds = CheckIncremental(
+              relation, shrunk.schedule, "", &scratch_checks);
+          if (!shrunk_ds.empty()) {
+            schedule = std::move(shrunk.schedule);
+            ds = std::move(shrunk_ds);
+          }
+        }
+        std::string rendered;
+        for (std::size_t b = 0; b < schedule.size(); ++b) {
+          rendered += "batch " + std::to_string(b + 1) + ":\n" +
+                      rel::WriteBatchText(schedule[b], relation.schema());
+        }
+        ds.push_back({"incremental", "schedule", std::move(rendered)});
+        QaFailure f =
+            MakeFailure(i, iter_seed, "incremental", std::move(ds), relation);
+        MaybeWriteRepro(options, &f);
+        summary.failures.push_back(std::move(f));
+        continue;
+      }
+    }
+
     // The serve stage spawns two real worker processes per check (direct
     // baseline + cold daemon run), so it runs on its own sparse cadence.
     if (serve_stage && i % 9 == 0) {
@@ -819,6 +1095,8 @@ std::string SummaryToJson(const QaSummary& summary) {
          ",\n";
   out += "  \"ingest_checks\": " + std::to_string(summary.ingest_checks) +
          ",\n";
+  out += "  \"incremental_checks\": " +
+         std::to_string(summary.incremental_checks) + ",\n";
   out += "  \"serve_checks\": " + std::to_string(summary.serve_checks) +
          ",\n";
   out += "  \"skipped\": " + std::to_string(summary.skipped) + ",\n";

@@ -33,6 +33,15 @@ struct QaOptions {
   /// exact per-code rejection accounting, and strict-fail erroring
   /// structurally (docs/robustness.md). Failures are shrunk line-wise.
   bool ingest = true;
+  /// Periodically drive the iteration's relation through a seeded random
+  /// batch schedule — append-only (fresh, duplicated, and NULL-bearing
+  /// rows), delete-only, mixed, and empty batches — on an
+  /// `IncrementalSession`, asserting after every batch that the
+  /// incrementally maintained OD/OCD claims equal a from-scratch discovery
+  /// of the materialized relation, with a drop-and-reopen persistence leg
+  /// mid-schedule (docs/incremental.md). Failing schedules are ddmin-shrunk
+  /// batch- and op-wise (ShrinkFailingSchedule).
+  bool incremental = true;
   /// Path to the `ocdd` CLI binary, enabling the serve-equivalence stage:
   /// periodically serve the iteration's relation through an in-process
   /// daemon (spawning real worker processes) and assert the daemon's report
@@ -58,15 +67,17 @@ struct QaFailure {
   /// sequential — see IterationSeed.)
   std::uint64_t iteration_seed = 0;
   /// "oracle", "metamorphic/<transform>", "stopped_run", "resumed_run",
-  /// "ingest", or "serve". For "ingest" failures `csv` holds the raw
-  /// corrupted text
+  /// "ingest", "incremental", or "serve". For "ingest" failures `csv` holds
+  /// the raw corrupted text
   /// (line-shrunk when the contract violation survives shrinking) and each
   /// discrepancy names the bad-row policy it indicts.
   std::string kind;
   std::vector<Discrepancy> discrepancies;
   /// CSV of the shrunk failing relation (oracle failures) or of the base
   /// instance (metamorphic / stopped-run failures, which depend on more
-  /// state than the relation alone).
+  /// state than the relation alone). "incremental" failures carry the base
+  /// relation here and the ddmin-shrunk batch schedule (batch wire format)
+  /// in a trailing "schedule" discrepancy.
   std::string csv;
   std::size_t rows = 0;
   std::size_t cols = 0;
@@ -84,6 +95,7 @@ struct QaSummary {
   std::uint64_t stopped_run_checks = 0;
   std::uint64_t resume_checks = 0;
   std::uint64_t ingest_checks = 0;
+  std::uint64_t incremental_checks = 0;
   std::uint64_t serve_checks = 0;
   std::uint64_t skipped = 0;
   std::uint64_t shrink_evaluations = 0;

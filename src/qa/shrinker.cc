@@ -135,4 +135,68 @@ ShrinkCsvResult ShrinkFailingCsvLines(const std::string& failing_csv,
   return result;
 }
 
+ShrinkScheduleResult ShrinkFailingSchedule(
+    const std::vector<rel::RowBatch>& failing,
+    const SchedulePredicate& still_fails, std::size_t max_evaluations) {
+  ShrinkScheduleResult result{failing, 0};
+  std::vector<rel::RowBatch>& cur = result.schedule;
+  auto reproduces = [&](const std::vector<rel::RowBatch>& cand) {
+    if (result.evaluations >= max_evaluations) return false;
+    ++result.evaluations;
+    return still_fails(cand);
+  };
+
+  bool progress = true;
+  while (progress && result.evaluations < max_evaluations) {
+    progress = false;
+
+    // Whole-batch block drops with halving granularity (ddmin-style).
+    std::size_t chunk = std::max<std::size_t>(1, cur.size() / 2);
+    while (true) {
+      std::size_t at = 0;
+      while (at < cur.size() && cur.size() > 1) {
+        std::size_t end = std::min(cur.size(), at + chunk);
+        if (end - at >= cur.size()) break;  // keep at least one batch
+        std::vector<rel::RowBatch> cand(cur.begin(), cur.begin() + at);
+        cand.insert(cand.end(), cur.begin() + end, cur.end());
+        if (reproduces(cand)) {
+          cur = std::move(cand);
+          progress = true;
+          // retry the same position — the next block slid into it
+        } else {
+          at = end;
+        }
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+
+    // Op drops inside each surviving batch, one at a time (QA batches are
+    // small — a handful of ops — so per-op granularity is affordable and
+    // gets closer to 1-minimal than block drops would).
+    for (std::size_t b = 0; b < cur.size(); ++b) {
+      for (std::size_t a = cur[b].appends.size(); a-- > 0;) {
+        std::vector<rel::RowBatch> cand = cur;
+        cand[b].appends.erase(cand[b].appends.begin() +
+                              static_cast<std::ptrdiff_t>(a));
+        if (reproduces(cand)) {
+          cur = std::move(cand);
+          progress = true;
+        }
+      }
+      for (std::size_t d = cur[b].deletes.size(); d-- > 0;) {
+        std::vector<rel::RowBatch> cand = cur;
+        cand[b].deletes.erase(cand[b].deletes.begin() +
+                              static_cast<std::ptrdiff_t>(d));
+        if (reproduces(cand)) {
+          cur = std::move(cand);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
 }  // namespace ocdd::qa

@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "relation/batch.h"
 #include "relation/relation.h"
 
 namespace ocdd::qa {
@@ -55,6 +57,35 @@ struct ShrinkCsvResult {
 ShrinkCsvResult ShrinkFailingCsvLines(const std::string& failing_csv,
                                       const CsvTextPredicate& still_fails,
                                       std::size_t max_evaluations = 2000);
+
+/// Returns true when the batch schedule still reproduces the failure
+/// against its (fixed, captured-by-the-predicate) base relation. Candidates
+/// that no longer apply cleanly — dropping an append can push a later
+/// batch's delete index out of range — must simply return false; the
+/// shrinker never reasons about batch validity itself. Must be
+/// deterministic, like FailurePredicate.
+using SchedulePredicate =
+    std::function<bool(const std::vector<rel::RowBatch>&)>;
+
+struct ShrinkScheduleResult {
+  std::vector<rel::RowBatch> schedule;
+  /// Predicate evaluations spent (candidate schedules tried).
+  std::size_t evaluations = 0;
+};
+
+/// Delta-debugging minimizer for incremental-maintenance failures
+/// (docs/incremental.md): alternates ddmin-style whole-batch block drops
+/// with one-at-a-time op drops (appends, then deletes) inside each
+/// surviving batch, to a fixpoint or the evaluation budget. Each predicate
+/// evaluation replays the whole candidate schedule through a fresh session,
+/// so the default budget is deliberately small.
+///
+/// `failing` itself must satisfy the predicate; the returned schedule
+/// always does, and keeps at least one batch (possibly an empty one — an
+/// empty batch can itself be the repro).
+ShrinkScheduleResult ShrinkFailingSchedule(
+    const std::vector<rel::RowBatch>& failing,
+    const SchedulePredicate& still_fails, std::size_t max_evaluations = 400);
 
 }  // namespace ocdd::qa
 

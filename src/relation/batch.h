@@ -1,0 +1,118 @@
+#ifndef OCDD_RELATION_BATCH_H_
+#define OCDD_RELATION_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ingest_error.h"
+#include "common/result.h"
+#include "relation/csv.h"
+#include "relation/relation.h"
+
+namespace ocdd::rel {
+
+/// Append/delete batches against a relation — the delta unit of the
+/// incremental maintenance pipeline (docs/incremental.md).
+///
+/// A batch is a set of row deletions (by pre-batch row index) plus a list of
+/// appended rows. Application semantics are *deletes first, then appends*:
+/// delete indices always refer to the relation as it was before the batch,
+/// and appended rows land after the surviving rows, in batch order. This
+/// makes a batch's meaning independent of the order its lines were written
+/// in, and composes: a "mixed" batch equals a delete-only batch followed by
+/// an append-only batch.
+
+/// One parsed batch. `deletes` is sorted and duplicate-free after parsing;
+/// every append row has exactly the schema's width, cells NULL or matching
+/// the column type.
+struct RowBatch {
+  std::vector<std::size_t> deletes;
+  std::vector<std::vector<Value>> appends;
+
+  bool empty() const { return deletes.empty() && appends.empty(); }
+  std::size_t num_ops() const { return deletes.size() + appends.size(); }
+};
+
+/// Declared bounds on one batch text, enforced while scanning — the wire
+/// format is untrusted bytes (it arrives over the serve socket or from
+/// arbitrary files) and must reject adversarial input before buffering it.
+struct BatchLimits {
+  std::size_t max_text_bytes = 64u << 20;
+  std::size_t max_line_bytes = 1u << 20;
+  std::size_t max_ops = 10'000'000;
+};
+
+/// Batch parsing options. Malformed lines follow the CSV ingest contract:
+/// kFail aborts with a structured IngestError, kSkip drops and counts the
+/// line, kQuarantine additionally preserves its raw bytes.
+struct BatchParseOptions {
+  BadRowPolicy on_bad_row = BadRowPolicy::kFail;
+  BatchLimits limits;
+  /// NULL markers etc. for typed cell parsing; `force_lexicographic` is
+  /// ignored (the target schema fixes each column's type).
+  TypeInferenceOptions type_inference;
+};
+
+/// Ingest accounting for one batch parse — same shape as CsvIngestReport so
+/// the CLI/JSON surfaces render both boundaries uniformly.
+struct BatchIngestReport {
+  /// Operation lines seen (parsed + rejected); header/blank/comment lines
+  /// are not counted.
+  std::uint64_t records_total = 0;
+  std::uint64_t ops_parsed = 0;
+  std::uint64_t rows_rejected = 0;
+  IngestCounts rejected_by_code;
+  std::vector<IngestError> samples;
+  /// Raw rejected lines (kQuarantine only), terminators stripped.
+  std::vector<std::string> quarantined_rows;
+
+  bool clean() const { return rows_rejected == 0; }
+};
+
+/// A parsed batch plus its ingest accounting.
+struct BatchParse {
+  RowBatch batch;
+  BatchIngestReport report;
+};
+
+/// Parses the line-based batch wire format against `schema`:
+///
+///   ocdd-batch 1          # header (required first non-blank line)
+///   - 17                  # delete pre-batch row 17
+///   + 3,foo,1.5           # append a row (CSV cells, typed by the schema)
+///   + ,"",2.0             # empty cell = NULL; quoted empty = empty string
+///
+/// Blank lines and `#` comments are ignored. Delete indices are decimal row
+/// numbers; duplicates collapse. Append cells use RFC-4180-style quoting
+/// (separator/quotes/newlines inside quotes are NOT supported across lines —
+/// one op per line). Cells must parse under the column's type: a non-integer
+/// in a kInt column is a `value_out_of_range` rejection, not a silent NULL.
+///
+/// A malformed *header* is always fatal (there is no format version to parse
+/// against), like a malformed CSV header. Everything else follows
+/// `options.on_bad_row`. Delete indices are validated against the relation
+/// at *apply* time, not here — the same batch text may be replayed against
+/// relations of different sizes.
+Result<BatchParse> ParseBatchText(const std::string& text,
+                                  const Schema& schema,
+                                  const BatchParseOptions& options = {});
+
+/// Reads and parses a batch file from disk.
+Result<BatchParse> ReadBatchFile(const std::string& path, const Schema& schema,
+                                 const BatchParseOptions& options = {});
+
+/// Canonical rendering of a batch (header, sorted deletes, appends in
+/// order); ParseBatchText round-trips it against the same schema.
+std::string WriteBatchText(const RowBatch& batch, const Schema& schema);
+
+/// Applies `batch` to `relation`: drops the delete indices, then appends the
+/// new rows. Out-of-range or (post-dedup) duplicate delete indices and
+/// appends whose width/types don't match the schema are InvalidArgument —
+/// apply is all-or-nothing, the input relation is never half-mutated.
+Result<Relation> ApplyBatch(const Relation& relation, const RowBatch& batch);
+
+}  // namespace ocdd::rel
+
+#endif  // OCDD_RELATION_BATCH_H_

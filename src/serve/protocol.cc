@@ -139,7 +139,8 @@ Result<ServeRequest> ParseRequest(const std::string& payload,
 
   ServeRequest req;
   if (!doc["kind"].is_null()) req.kind = doc["kind"].string_value();
-  if (req.kind != "run" && req.kind != "ping" && req.kind != "stats") {
+  if (req.kind != "run" && req.kind != "apply_batch" && req.kind != "ping" &&
+      req.kind != "stats") {
     return Status::InvalidArgument("unknown request kind '" + req.kind + "'");
   }
   req.id = doc["id"].string_value();
@@ -150,17 +151,19 @@ Result<ServeRequest> ParseRequest(const std::string& payload,
   if (req.tenant.empty()) {
     return Status::InvalidArgument("tenant must be non-empty");
   }
-  if (req.kind != "run") return req;
+  if (req.kind != "run" && req.kind != "apply_batch") return req;
 
-  if (!doc["algo"].is_null()) req.algo = doc["algo"].string_value();
-  if (req.algo != "discover" && req.algo != "fds" && req.algo != "fastod") {
-    return Status::InvalidArgument("unknown algo '" + req.algo +
-                                   "' (discover, fds, fastod)");
+  if (req.kind == "run") {
+    if (!doc["algo"].is_null()) req.algo = doc["algo"].string_value();
+    if (req.algo != "discover" && req.algo != "fds" && req.algo != "fastod") {
+      return Status::InvalidArgument("unknown algo '" + req.algo +
+                                     "' (discover, fds, fastod)");
+    }
   }
   req.source = doc["source"].string_value();
   OCDD_RETURN_IF_ERROR(
       ValidateStringField("source", req.source, limits.max_source_bytes));
-  if (req.source.empty()) {
+  if (req.kind == "run" && req.source.empty()) {
     return Status::InvalidArgument("run request needs a source");
   }
 
@@ -186,6 +189,31 @@ Result<ServeRequest> ParseRequest(const std::string& payload,
   if (!doc["use_cache"].is_null()) {
     req.use_cache = doc["use_cache"].bool_value();
   }
+
+  if (req.kind == "apply_batch") {
+    req.batch = doc["batch"].string_value();
+    OCDD_RETURN_IF_ERROR(
+        ValidateStringField("batch", req.batch, limits.max_source_bytes));
+    req.state = doc["state"].string_value();
+    OCDD_RETURN_IF_ERROR(
+        ValidateStringField("state", req.state, limits.max_state_bytes));
+    // The state name becomes a directory component under the daemon's
+    // checkpoint root: reject anything that could traverse or hide.
+    if (req.state.empty()) {
+      return Status::InvalidArgument("apply_batch request needs a state name");
+    }
+    if (req.state[0] == '.') {
+      return Status::InvalidArgument("state must not start with '.'");
+    }
+    for (char c : req.state) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+      if (!ok) {
+        return Status::InvalidArgument(
+            "state may only contain [A-Za-z0-9._-]");
+      }
+    }
+  }
   return req;
 }
 
@@ -194,9 +222,19 @@ std::string SerializeRequest(const ServeRequest& request) {
   m["kind"] = JsonValue::String(request.kind);
   if (!request.id.empty()) m["id"] = JsonValue::String(request.id);
   m["tenant"] = JsonValue::String(request.tenant);
-  if (request.kind == "run") {
-    m["algo"] = JsonValue::String(request.algo);
-    m["source"] = JsonValue::String(request.source);
+  if (request.kind == "run" || request.kind == "apply_batch") {
+    if (request.kind == "run") {
+      m["algo"] = JsonValue::String(request.algo);
+      m["use_cache"] = JsonValue::Bool(request.use_cache);
+    } else {
+      if (!request.batch.empty()) {
+        m["batch"] = JsonValue::String(request.batch);
+      }
+      m["state"] = JsonValue::String(request.state);
+    }
+    if (!request.source.empty() || request.kind == "run") {
+      m["source"] = JsonValue::String(request.source);
+    }
     if (request.rows != 0) {
       m["rows"] = JsonValue::Number(static_cast<double>(request.rows));
     }
@@ -205,7 +243,6 @@ std::string SerializeRequest(const ServeRequest& request) {
       m["max_level"] =
           JsonValue::Number(static_cast<double>(request.max_level));
     }
-    m["use_cache"] = JsonValue::Bool(request.use_cache);
   }
   return report::SerializeJson(JsonValue::Object(std::move(m)));
 }

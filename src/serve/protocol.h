@@ -103,24 +103,41 @@ struct RequestLimits {
   std::size_t max_id_bytes = 128;
   std::size_t max_rows = 100'000'000;
   std::size_t max_level = 64;
+  /// Warm-state names become a directory component under the daemon's
+  /// checkpoint root, so they are tightly constrained (see ParseRequest).
+  std::size_t max_state_bytes = 64;
 };
 
-/// One client request. `kind` "run" executes a discovery; "ping" and
-/// "stats" are control probes answered inline by the acceptor.
+/// One client request. `kind` "run" executes a discovery; "apply_batch"
+/// applies one incremental maintenance step to a named warm state
+/// (docs/incremental.md); "ping" and "stats" are control probes answered
+/// inline by the acceptor.
 struct ServeRequest {
   std::string kind = "run";
   /// Correlation id, echoed verbatim in the response.
   std::string id;
   std::string tenant = "default";
   /// "discover", "fds", or "fastod" — the `ocdd run --algo` vocabulary.
+  /// Ignored by "apply_batch" (always OCDDISCOVER maintenance).
   std::string algo = "discover";
-  /// Dataset name or CSV path, as for `ocdd run`.
+  /// Dataset name or CSV path, as for `ocdd run`. For "apply_batch" this is
+  /// the *base* source, consulted only when the warm state needs a
+  /// from-scratch bootstrap (empty = state must already exist).
   std::string source;
   std::size_t rows = 0;
   std::size_t seed = 42;
   std::size_t max_level = 0;
-  /// Opt out of the result cache for this request.
+  /// Opt out of the result cache for this request. "apply_batch" is never
+  /// cached (it mutates state — replaying a cached answer would lie).
   bool use_cache = true;
+
+  /// "apply_batch" only: path to the batch file (the `ocdd-batch 1` wire
+  /// format), empty = bootstrap/validate the state without applying.
+  std::string batch;
+  /// "apply_batch" only: warm-state name, scoped per tenant under the
+  /// daemon's checkpoint root. Restricted to [A-Za-z0-9._-], no leading
+  /// dot — it becomes a filesystem path component.
+  std::string state;
 };
 
 /// Parses and validates an untrusted request payload. Unknown members are

@@ -422,6 +422,19 @@ ServeResponse Server::Execute(const Pending& pending) {
   ServeResponse resp;
   resp.id = request.id;
 
+  // Incremental maintenance: never cached (it mutates state) and requires a
+  // stateful daemon — the warm state lives under the checkpoint root.
+  if (request.kind == "apply_batch") {
+    if (options_.checkpoint_root.empty() ||
+        options_.batch_worker_argv_prefix.empty()) {
+      resp.status = "error";
+      resp.error =
+          "apply_batch requires a stateful daemon (--checkpoint-root)";
+      return resp;
+    }
+    return RunBatchWorker(pending);
+  }
+
   // Loading the source in-process both validates it early (the hardened
   // ingest boundary runs here, before any worker is spawned) and yields the
   // content fingerprint the cache is keyed by.
@@ -608,6 +621,109 @@ ServeResponse Server::RunWorker(const Pending& pending,
   // Unreachable: every verdict above returns or continues within bounds.
   resp.status = "error";
   resp.error = "retry loop exhausted";
+  return resp;
+}
+
+ServeResponse Server::RunBatchWorker(const Pending& pending) {
+  const ServeRequest& request = pending.request;
+  ServeResponse resp;
+  resp.id = request.id;
+  resp.cache = "off";
+
+  // Warm state is scoped per tenant: two tenants using the same state name
+  // never share (or clobber) each other's sessions. The name itself was
+  // validated at the protocol boundary ([A-Za-z0-9._-], no leading dot).
+  const std::string state_dir = options_.checkpoint_root + "/incremental/" +
+                                request.tenant + "/" + request.state;
+
+  std::vector<std::string> args = options_.batch_worker_argv_prefix;
+  if (!request.batch.empty()) args.push_back(request.batch);
+  args.push_back("--state");
+  args.push_back(state_dir);
+  if (!request.source.empty()) {
+    args.push_back("--base");
+    args.push_back(request.source);
+    args.push_back("--seed");
+    args.push_back(std::to_string(request.seed));
+    if (request.rows != 0) {
+      args.push_back("--rows");
+      args.push_back(std::to_string(request.rows));
+    }
+  }
+  if (request.max_level != 0) {
+    args.push_back("--max-level");
+    args.push_back(std::to_string(request.max_level));
+  }
+  args.push_back("--json");
+  for (std::string& flag : pending.quota.budgets.ToCliFlags()) {
+    args.push_back(std::move(flag));
+  }
+
+  engine::WorkerRunOptions run_options;
+  run_options.timeout_seconds = options_.request_timeout_seconds;
+  run_options.interrupt = &interrupt_workers_;
+
+  // Exactly one attempt: a batch application is not idempotent from the
+  // outside (a crash *after* the new warm generation landed but before the
+  // report was read would re-apply the batch on retry). The warm-state
+  // store's atomic generation writes make the single attempt all-or-nothing
+  // at every crash point; the client consults `batch_seq` and replays.
+  resp.attempts = 1;
+  engine::WorkerOutcome outcome = engine::RunWorkerProcess(args, run_options);
+
+  if (outcome.spawn_failed) {
+    resp.status = "error";
+    resp.error = "worker spawn failed";
+    return resp;
+  }
+
+  bool json_valid = false;
+  JsonValue doc;
+  Result<JsonValue> parsed = report::ParseJson(outcome.stdout_text);
+  if (parsed.ok() && parsed->kind() == JsonValue::Kind::kObject) {
+    json_valid = true;
+    doc = std::move(*parsed);
+  }
+
+  if (outcome.timed_out) {
+    resp.status = "timeout";
+    if (json_valid) {
+      resp.have_report = true;
+      resp.report = std::move(doc);
+    }
+    return resp;
+  }
+  if (outcome.interrupted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.drain_interrupted;
+    }
+    resp.status = "error";
+    resp.error = "interrupted by daemon drain";
+    return resp;
+  }
+  if (outcome.term_signal != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.worker_crashes;
+    resp.status = "error";
+    resp.error =
+        "worker crashed (signal " + std::to_string(outcome.term_signal) + ")";
+    return resp;
+  }
+  if (outcome.exit_code != 0) {
+    resp.status = "error";
+    resp.error =
+        "worker exited with code " + std::to_string(outcome.exit_code);
+    return resp;
+  }
+  if (!json_valid) {
+    resp.status = "error";
+    resp.error = "worker produced no parseable JSON report";
+    return resp;
+  }
+  resp.status = "ok";
+  resp.have_report = true;
+  resp.report = std::move(doc);
   return resp;
 }
 

@@ -74,6 +74,14 @@ struct ServerOptions {
   /// `{self_exe, "run"}`; tests substitute `{"/bin/sh", script.sh}` fakes.
   std::vector<std::string> worker_argv_prefix;
 
+  /// Worker argv prefix for "apply_batch" requests (incremental
+  /// maintenance, docs/incremental.md); the executor appends `[<batch>]
+  /// --state <dir> [--base <source>] --json` plus budget flags. The CLI
+  /// passes `{self_exe, "apply-batch"}`. Requires `checkpoint_root` (the
+  /// warm state lives under `<root>/incremental/<tenant>/<state>`); a
+  /// stateless daemon answers apply_batch with a typed error.
+  std::vector<std::string> batch_worker_argv_prefix;
+
   FrameLimits frame_limits;
   RequestLimits request_limits;
 
@@ -142,6 +150,7 @@ class Server {
   ServeResponse Execute(const Pending& pending);
   ServeResponse RunWorker(const Pending& pending, std::uint64_t fingerprint,
                           const CacheKey& key);
+  ServeResponse RunBatchWorker(const Pending& pending);
   void SendResponse(int fd, const ServeResponse& response);
   void FinishRequest(const Pending& pending, const ServeResponse& response);
 

@@ -1,0 +1,325 @@
+#include "relation/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ocdd::rel {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  s.AddAttribute({"id", DataType::kInt});
+  s.AddAttribute({"score", DataType::kDouble});
+  s.AddAttribute({"name", DataType::kString});
+  return s;
+}
+
+Relation TestRelation() {
+  Relation::Builder b(TestSchema());
+  EXPECT_TRUE(
+      b.AddRow({Value::Int(1), Value::Double(1.5), Value::String("a")}).ok());
+  EXPECT_TRUE(
+      b.AddRow({Value::Int(2), Value::Double(2.5), Value::String("b")}).ok());
+  EXPECT_TRUE(
+      b.AddRow({Value::Int(3), Value::Null(), Value::String("c")}).ok());
+  return std::move(b).Build();
+}
+
+TEST(BatchParseTest, BasicMixedBatch) {
+  const std::string text =
+      "ocdd-batch 1\n"
+      "# a comment\n"
+      "- 2\n"
+      "- 0\n"
+      "+ 7,3.5,x\n"
+      "+ ,,\"\"\n";
+  auto r = ParseBatchText(text, TestSchema());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->report.clean());
+  EXPECT_EQ(r->report.records_total, 4u);
+  EXPECT_EQ(r->report.ops_parsed, 4u);
+  ASSERT_EQ(r->batch.deletes.size(), 2u);
+  // Deletes come out sorted regardless of line order.
+  EXPECT_EQ(r->batch.deletes[0], 0u);
+  EXPECT_EQ(r->batch.deletes[1], 2u);
+  ASSERT_EQ(r->batch.appends.size(), 2u);
+  EXPECT_EQ(r->batch.appends[0][0], Value::Int(7));
+  EXPECT_EQ(r->batch.appends[0][1], Value::Double(3.5));
+  EXPECT_EQ(r->batch.appends[0][2], Value::String("x"));
+  // Unquoted empty cells are NULL; a quoted empty cell is the empty string.
+  EXPECT_TRUE(r->batch.appends[1][0].is_null());
+  EXPECT_TRUE(r->batch.appends[1][1].is_null());
+  EXPECT_EQ(r->batch.appends[1][2], Value::String(""));
+}
+
+TEST(BatchParseTest, DuplicateDeletesCollapse) {
+  auto r = ParseBatchText("ocdd-batch 1\n- 1\n- 1\n- 1\n", TestSchema());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->batch.deletes.size(), 1u);
+  EXPECT_EQ(r->batch.deletes[0], 1u);
+  EXPECT_EQ(r->report.ops_parsed, 3u);
+}
+
+TEST(BatchParseTest, MissingHeaderIsFatal) {
+  auto r = ParseBatchText("- 1\n", TestSchema());
+  ASSERT_FALSE(r.ok());
+  auto empty = ParseBatchText("", TestSchema());
+  EXPECT_FALSE(empty.ok());
+  auto comments = ParseBatchText("# nothing\n\n", TestSchema());
+  EXPECT_FALSE(comments.ok());
+}
+
+TEST(BatchParseTest, WrongVersionIsFatalEvenWhenSkipping) {
+  BatchParseOptions opts;
+  opts.on_bad_row = BadRowPolicy::kSkip;
+  auto r = ParseBatchText("ocdd-batch 2\n- 1\n", TestSchema(), opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BatchParseTest, MalformedLineFailsUnderFailPolicy) {
+  auto r = ParseBatchText("ocdd-batch 1\n* 1\n", TestSchema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BatchParseTest, SkipPolicyCountsRejects) {
+  BatchParseOptions opts;
+  opts.on_bad_row = BadRowPolicy::kSkip;
+  const std::string text =
+      "ocdd-batch 1\n"
+      "* junk\n"
+      "- -4\n"
+      "+ notanint,1.0,x\n"
+      "+ 1,2.0\n"
+      "+ 5,5.0,ok\n";
+  auto r = ParseBatchText(text, TestSchema(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->report.records_total, 5u);
+  EXPECT_EQ(r->report.ops_parsed, 1u);
+  EXPECT_EQ(r->report.rows_rejected, 4u);
+  EXPECT_EQ(r->report.rejected_by_code.count(IngestErrorCodeName(IngestErrorCode::kMalformedSyntax)),
+            2u);
+  EXPECT_EQ(r->report.rejected_by_code.count(IngestErrorCodeName(IngestErrorCode::kValueOutOfRange)),
+            1u);
+  EXPECT_EQ(r->report.rejected_by_code.count(IngestErrorCodeName(IngestErrorCode::kRaggedRow)), 1u);
+  EXPECT_EQ(r->report.ops_parsed + r->report.rows_rejected,
+            r->report.records_total);
+  ASSERT_EQ(r->batch.appends.size(), 1u);
+  EXPECT_EQ(r->batch.appends[0][2], Value::String("ok"));
+}
+
+TEST(BatchParseTest, QuarantineKeepsRawLines) {
+  BatchParseOptions opts;
+  opts.on_bad_row = BadRowPolicy::kQuarantine;
+  auto r = ParseBatchText("ocdd-batch 1\n+ bad,row\n- 3\n", TestSchema(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->report.rows_rejected, 1u);
+  ASSERT_EQ(r->report.quarantined_rows.size(), 1u);
+  EXPECT_EQ(r->report.quarantined_rows[0], "+ bad,row");
+  EXPECT_EQ(r->batch.deletes.size(), 1u);
+}
+
+TEST(BatchParseTest, TypedCellRejections) {
+  // A non-numeric cell in a typed column is a typed rejection, never a
+  // silent NULL.
+  auto bad_int = ParseBatchText("ocdd-batch 1\n+ x,1.0,a\n", TestSchema());
+  EXPECT_FALSE(bad_int.ok());
+  auto bad_double = ParseBatchText("ocdd-batch 1\n+ 1,zzz,a\n", TestSchema());
+  EXPECT_FALSE(bad_double.ok());
+  // An integer literal is fine in a double column.
+  auto widened = ParseBatchText("ocdd-batch 1\n+ 1,4,a\n", TestSchema());
+  ASSERT_TRUE(widened.ok());
+  EXPECT_EQ(widened->batch.appends[0][1], Value::Double(4.0));
+}
+
+TEST(BatchParseTest, NullMarkersRespected) {
+  auto r = ParseBatchText("ocdd-batch 1\n+ ?,NULL,null\n", TestSchema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->batch.appends[0][0].is_null());
+  EXPECT_TRUE(r->batch.appends[0][1].is_null());
+  EXPECT_TRUE(r->batch.appends[0][2].is_null());
+}
+
+TEST(BatchParseTest, QuotedCellsAndEscapes) {
+  auto r = ParseBatchText(
+      "ocdd-batch 1\n"
+      "+ 1,1.0,\"a,b\"\n"
+      "+ 2,2.0,\"say \"\"hi\"\"\"\n"
+      "+ 3,3.0,\"line1\\nline2\"\n"
+      "+ 4,4.0,\"back\\\\slash\"\n",
+      TestSchema());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.appends[0][2], Value::String("a,b"));
+  EXPECT_EQ(r->batch.appends[1][2], Value::String("say \"hi\""));
+  EXPECT_EQ(r->batch.appends[2][2], Value::String("line1\nline2"));
+  EXPECT_EQ(r->batch.appends[3][2], Value::String("back\\slash"));
+}
+
+TEST(BatchParseTest, QuotedNullMarkerIsAString) {
+  auto r = ParseBatchText("ocdd-batch 1\n+ 1,1.0,\"NULL\"\n", TestSchema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->batch.appends[0][2], Value::String("NULL"));
+}
+
+TEST(BatchParseTest, UnterminatedQuote) {
+  auto r = ParseBatchText("ocdd-batch 1\n+ 1,1.0,\"oops\n", TestSchema());
+  ASSERT_FALSE(r.ok());
+  BatchParseOptions opts;
+  opts.on_bad_row = BadRowPolicy::kSkip;
+  auto skipped =
+      ParseBatchText("ocdd-batch 1\n+ 1,1.0,\"oops\n", TestSchema(), opts);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(
+      skipped->report.rejected_by_code.count(
+          IngestErrorCodeName(IngestErrorCode::kUnterminatedQuote)),
+      1u);
+}
+
+TEST(BatchParseTest, EmbeddedNulRejected) {
+  std::string text = "ocdd-batch 1\n+ 1,1.0,a\n";
+  text[text.size() - 3] = '\0';
+  auto r = ParseBatchText(text, TestSchema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BatchParseTest, LimitsEnforced) {
+  BatchParseOptions opts;
+  opts.limits.max_ops = 2;
+  auto r =
+      ParseBatchText("ocdd-batch 1\n- 1\n- 2\n- 3\n", TestSchema(), opts);
+  EXPECT_FALSE(r.ok());  // max_ops is always fatal
+
+  BatchParseOptions line_opts;
+  line_opts.limits.max_line_bytes = 8;
+  line_opts.on_bad_row = BadRowPolicy::kSkip;
+  auto long_line = ParseBatchText(
+      "ocdd-batch 1\n+ 1,1.0,averylongcellvalue\n", TestSchema(), line_opts);
+  ASSERT_TRUE(long_line.ok());
+  EXPECT_EQ(long_line->report.rejected_by_code.count(
+                IngestErrorCodeName(IngestErrorCode::kRecordTooLarge)),
+            1u);
+
+  BatchParseOptions text_opts;
+  text_opts.limits.max_text_bytes = 4;
+  auto too_big = ParseBatchText("ocdd-batch 1\n", TestSchema(), text_opts);
+  EXPECT_FALSE(too_big.ok());
+}
+
+TEST(BatchParseTest, CrLfAndLoneCrLineEndings) {
+  auto r = ParseBatchText("ocdd-batch 1\r\n- 1\r+ 2,2.0,b\r\n", TestSchema());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.deletes.size(), 1u);
+  EXPECT_EQ(r->batch.appends.size(), 1u);
+}
+
+TEST(BatchWriteTest, RoundTrip) {
+  RowBatch batch;
+  batch.deletes = {5, 1, 5, 0};
+  batch.appends.push_back(
+      {Value::Int(-3), Value::Double(0.25), Value::String("plain")});
+  batch.appends.push_back({Value::Null(), Value::Null(), Value::String("")});
+  batch.appends.push_back(
+      {Value::Int(1), Value::Double(1e-9), Value::String("a,\"b\"\nc\\d")});
+  batch.appends.push_back(
+      {Value::Int(2), Value::Double(2.0), Value::String("NULL")});
+  batch.appends.push_back(
+      {Value::Int(3), Value::Double(3.0), Value::String(" padded ")});
+  batch.appends.push_back(
+      {Value::Int(4), Value::Double(4.0), Value::String("123")});
+
+  const Schema schema = TestSchema();
+  const std::string text = WriteBatchText(batch, schema);
+  auto r = ParseBatchText(text, schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->report.clean());
+  EXPECT_EQ(r->batch.deletes, (std::vector<std::size_t>{0, 1, 5}));
+  ASSERT_EQ(r->batch.appends.size(), batch.appends.size());
+  for (std::size_t i = 0; i < batch.appends.size(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(r->batch.appends[i][c], batch.appends[i][c])
+          << "row " << i << " col " << c;
+    }
+  }
+  // Canonical text is a fixed point.
+  EXPECT_EQ(WriteBatchText(r->batch, schema), text);
+}
+
+TEST(ApplyBatchTest, DeletesThenAppends) {
+  RowBatch batch;
+  batch.deletes = {1};
+  batch.appends.push_back(
+      {Value::Int(9), Value::Double(9.5), Value::String("z")});
+  auto r = ApplyBatch(TestRelation(), batch);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->ValueAt(0, 0), Value::Int(1));
+  EXPECT_EQ(r->ValueAt(1, 0), Value::Int(3));  // row 1 deleted, rows shift
+  EXPECT_TRUE(r->ValueAt(1, 1).is_null());
+  EXPECT_EQ(r->ValueAt(2, 0), Value::Int(9));
+  EXPECT_EQ(r->ValueAt(2, 2), Value::String("z"));
+}
+
+TEST(ApplyBatchTest, EmptyBatchIsIdentity) {
+  auto r = ApplyBatch(TestRelation(), RowBatch{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST(ApplyBatchTest, DeleteAllRows) {
+  RowBatch batch;
+  batch.deletes = {0, 1, 2};
+  auto r = ApplyBatch(TestRelation(), batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(ApplyBatchTest, OutOfRangeDeleteIsInvalidArgument) {
+  RowBatch batch;
+  batch.deletes = {3};
+  auto r = ApplyBatch(TestRelation(), batch);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApplyBatchTest, UnsortedDeletesRejected) {
+  RowBatch batch;
+  batch.deletes = {2, 1};
+  auto r = ApplyBatch(TestRelation(), batch);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ApplyBatchTest, BadAppendRejectedAtomically) {
+  RowBatch narrow;
+  narrow.appends.push_back({Value::Int(1)});
+  EXPECT_FALSE(ApplyBatch(TestRelation(), narrow).ok());
+
+  RowBatch mistyped;
+  mistyped.appends.push_back(
+      {Value::String("x"), Value::Double(1.0), Value::String("y")});
+  EXPECT_FALSE(ApplyBatch(TestRelation(), mistyped).ok());
+
+  // Int widens into a double column.
+  RowBatch widened;
+  widened.appends.push_back(
+      {Value::Int(1), Value::Int(2), Value::String("y")});
+  auto r = ApplyBatch(TestRelation(), widened);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ValueAt(3, 1), Value::Double(2.0));
+}
+
+TEST(ApplyBatchTest, NullAndDuplicateAppends) {
+  RowBatch batch;
+  batch.appends.push_back(
+      {Value::Null(), Value::Null(), Value::Null()});
+  batch.appends.push_back(
+      {Value::Int(1), Value::Double(1.5), Value::String("a")});  // dup of row 0
+  auto r = ApplyBatch(TestRelation(), batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 5u);
+  EXPECT_TRUE(r->ValueAt(3, 0).is_null());
+  EXPECT_EQ(r->ValueAt(4, 2), Value::String("a"));
+}
+
+}  // namespace
+}  // namespace ocdd::rel

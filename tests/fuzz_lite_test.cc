@@ -34,6 +34,7 @@ const TargetCase kTargets[] = {
     {"json_report", RunJsonReportTarget},
     {"claims", RunClaimsTarget},
     {"serve_frame", RunServeFrameTarget},
+    {"batch", RunBatchTarget},
 };
 
 std::vector<fs::path> CorpusFiles(const std::string& subdir,

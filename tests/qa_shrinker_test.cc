@@ -146,6 +146,68 @@ TEST(CsvLineShrinkerTest, DeterministicAcrossRuns) {
   EXPECT_TRUE(has_rejection(a.csv));
 }
 
+TEST(ScheduleShrinkerTest, DropsNoiseBatchesAndOps) {
+  // The "failure": some batch appends a row whose first cell is 7007.
+  // Buried in a schedule of noise batches and noise ops.
+  auto noise_row = [](std::int64_t v) {
+    return std::vector<rel::Value>{rel::Value::Int(v), rel::Value::Int(v)};
+  };
+  std::vector<rel::RowBatch> schedule(6);
+  for (std::size_t b = 0; b < schedule.size(); ++b) {
+    schedule[b].deletes = {b};
+    schedule[b].appends.push_back(noise_row(static_cast<std::int64_t>(b)));
+  }
+  schedule[3].appends.push_back(noise_row(7007));
+  schedule[3].appends.push_back(noise_row(8));
+
+  auto has_marker = [](const std::vector<rel::RowBatch>& cand) {
+    for (const rel::RowBatch& b : cand) {
+      for (const auto& row : b.appends) {
+        if (!row.empty() && !row[0].is_null() && row[0].int_value() == 7007) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_marker(schedule));
+
+  auto result = qa::ShrinkFailingSchedule(schedule, has_marker);
+  EXPECT_TRUE(has_marker(result.schedule));
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_TRUE(result.schedule[0].deletes.empty());
+  ASSERT_EQ(result.schedule[0].appends.size(), 1u);
+  EXPECT_EQ(result.schedule[0].appends[0][0].int_value(), 7007);
+  EXPECT_GT(result.evaluations, 0u);
+
+  // Deterministic across runs.
+  auto again = qa::ShrinkFailingSchedule(schedule, has_marker);
+  EXPECT_EQ(again.evaluations, result.evaluations);
+
+  // A budget of zero returns the input untouched.
+  auto untouched =
+      qa::ShrinkFailingSchedule(schedule, has_marker, /*max_evaluations=*/0);
+  EXPECT_EQ(untouched.schedule.size(), schedule.size());
+}
+
+TEST(ScheduleShrinkerTest, KeepsLoadBearingEmptyBatch) {
+  // An empty batch can itself be the repro (a warm-serving bug): the
+  // shrinker must be able to end at a single empty batch.
+  std::vector<rel::RowBatch> schedule(3);
+  schedule[0].appends.push_back({rel::Value::Int(1)});
+  schedule[2].deletes = {0};
+  auto has_empty = [](const std::vector<rel::RowBatch>& cand) {
+    for (const rel::RowBatch& b : cand) {
+      if (b.empty()) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_empty(schedule));
+  auto result = qa::ShrinkFailingSchedule(schedule, has_empty);
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_TRUE(result.schedule[0].empty());
+}
+
 TEST(HarnessEndToEndTest, InjectedFaultYieldsReplayableShrunkRepro) {
   // The acceptance-criteria loop: a deliberately injected fault must produce
   // a shrunk CSV repro plus a seed that replays deterministically.

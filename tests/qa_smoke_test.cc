@@ -28,6 +28,23 @@ TEST(QaSmokeTest, FixedSeedSweepIsClean) {
   }
 }
 
+TEST(QaSmokeTest, IncrementalChecksExecute) {
+  qa::QaOptions opts;
+  opts.seed = 5;
+  opts.iters = 4;  // incremental checks fire every 3rd iteration
+  opts.metamorphic = false;
+  opts.stopped_runs = false;
+  opts.resume_runs = false;
+  opts.ingest = false;
+  auto run = qa::RunQa(opts);
+  ASSERT_TRUE(run.clean())
+      << run.failures[0].kind << ": "
+      << run.failures[0].discrepancies[0].ToString();
+  // Each schedule pays one bootstrap check, one per batch, and one for the
+  // reopen-from-disk leg.
+  EXPECT_GT(run.incremental_checks, 7u);
+}
+
 TEST(QaSmokeTest, StoppedRunChecksExecute) {
   qa::QaOptions opts;
   opts.seed = 3;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "algo/fastod/fastod.h"
+#include "algo/incremental/incremental.h"
 #include "algo/fastod/fastod_bid.h"
 #include "algo/fd/tane.h"
 #include "algo/ucc/ucc.h"
@@ -56,6 +57,7 @@
 #include "engine/supervisor.h"
 #include "optimizer/order_by_rewrite.h"
 #include "qa/harness.h"
+#include "relation/batch.h"
 #include "relation/csv.h"
 #include "report/json_reader.h"
 #include "report/json_writer.h"
@@ -285,6 +287,145 @@ int CmdDiscover(const Args& args) {
     for (const auto& od : expanded.ods) {
       std::printf("ODx %s\n", od.ToString(coded).c_str());
     }
+  }
+  return 0;
+}
+
+/// `ocdd apply-batch [batch-file] --state DIR [--base SOURCE]` — one step of
+/// the incremental maintenance pipeline (docs/incremental.md). Opens (or
+/// bootstraps from `--base`) the warm session persisted under `--state`,
+/// applies the batch file, and writes the next warm-state generation. With
+/// no batch file the command only initializes/validates the state — the
+/// bootstrap step of a streaming deployment. Exit codes: 0 ok (including a
+/// budget-stopped partial walk — a truncated answer is still an answer),
+/// 1 error, 2 usage.
+int CmdApplyBatch(const Args& args) {
+  const std::string state_dir = args.Get("state", "");
+  if (state_dir.empty()) {
+    std::fprintf(stderr, "apply-batch requires --state DIR\n");
+    return 2;
+  }
+  ApplyRunFlags(args);
+  g_run_context.set_time_limit_seconds(args.GetDouble("time-limit", 0.0));
+
+  ocdd::algo::IncrementalOptions opts;
+  opts.state_dir = state_dir;
+  opts.num_threads = args.GetSize("threads", 1);
+  opts.max_level = args.GetSize("max-level", 0);
+  opts.keep_generations = args.GetSize("keep-generations", 2);
+  opts.max_perm_cache_bytes = args.GetSize("perm-cache-mib", 512) << 20;
+
+  // The base source is only consulted when no warm generation is usable —
+  // bootstrap, or degradation after corruption.
+  std::function<ocdd::Result<ocdd::rel::Relation>()> base_loader;
+  if (args.Has("base")) {
+    base_loader = [&args]() -> ocdd::Result<ocdd::rel::Relation> {
+      Args base_args = args;
+      base_args.source = args.Get("base", "");
+      OCDD_ASSIGN_OR_RETURN(ocdd::rel::CsvRead read, LoadSource(base_args));
+      return std::move(read.relation);
+    };
+  }
+
+  auto session =
+      ocdd::algo::IncrementalSession::Open(opts, base_loader, &g_run_context);
+  if (!session.ok()) {
+    std::fprintf(stderr, "apply-batch: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  ocdd::rel::BatchIngestReport ingest;
+  ocdd::algo::BatchApplyStats stats;
+  stats.batch_seq = session->batch_seq();
+  stats.num_rows = session->relation().num_rows();
+  stats.result = session->last_result();
+  bool applied = false;
+  if (!args.source.empty()) {
+    ocdd::rel::BatchParseOptions popts;
+    auto policy = BadRowPolicyFromArgs(args);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 2;
+    }
+    popts.on_bad_row = *policy;
+    auto parse = ocdd::rel::ReadBatchFile(
+        args.source, session->relation().schema(), popts);
+    if (!parse.ok()) {
+      std::fprintf(stderr, "apply-batch: %s\n",
+                   parse.status().ToString().c_str());
+      return 1;
+    }
+    ingest = std::move(parse->report);
+    auto result = session->ApplyBatch(parse->batch, &g_run_context);
+    if (!result.ok()) {
+      std::fprintf(stderr, "apply-batch: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    stats = std::move(*result);
+    applied = true;
+  }
+
+  if (args.Has("json")) {
+    std::string out = "{\"command\":\"apply_batch\"";
+    out += ",\"applied\":" + std::string(applied ? "true" : "false");
+    out += ",\"batch_seq\":" + std::to_string(stats.batch_seq);
+    out += ",\"deletes\":" + std::to_string(stats.deletes);
+    out += ",\"appends\":" + std::to_string(stats.appends);
+    out += ",\"num_rows\":" + std::to_string(stats.num_rows);
+    out += ",\"resumed\":" +
+           std::string(session->resumed() ? "true" : "false");
+    out += ",\"snapshot_written\":" +
+           std::string(stats.snapshot_written ? "true" : "false");
+    out += ",\"hook_served\":" + std::to_string(stats.result.hook_served);
+    out += ",\"hook_recomputed\":" +
+           std::to_string(stats.result.hook_recomputed);
+    out += ",\"seconds\":" + std::to_string(stats.seconds);
+    if (!session->open_warning().empty()) {
+      out += ",\"open_warning\":\"" +
+             ocdd::report::JsonEscape(session->open_warning()) + "\"";
+    }
+    if (!stats.warning.empty()) {
+      out += ",\"warning\":\"" + ocdd::report::JsonEscape(stats.warning) +
+             "\"";
+    }
+    out += ",\"ingest\":{\"records_total\":" +
+           std::to_string(ingest.records_total) +
+           ",\"ops_parsed\":" + std::to_string(ingest.ops_parsed) +
+           ",\"rows_rejected\":" + std::to_string(ingest.rows_rejected) + "}";
+    out += ",\"report\":" +
+           ocdd::report::ToJson(stats.result, session->coded());
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  if (!session->open_warning().empty()) {
+    std::printf("# warning: %s\n", session->open_warning().c_str());
+  }
+  if (!stats.warning.empty()) {
+    std::printf("# warning: %s\n", stats.warning.c_str());
+  }
+  if (!ingest.clean()) {
+    std::printf("# ingest: rejected %llu of %llu batch ops\n",
+                static_cast<unsigned long long>(ingest.rows_rejected),
+                static_cast<unsigned long long>(ingest.records_total));
+  }
+  std::printf(
+      "# batch %llu: -%zu +%zu rows -> %zu; served %llu recomputed %llu "
+      "(%llu checks) in %.3fs%s\n",
+      static_cast<unsigned long long>(stats.batch_seq), stats.deletes,
+      stats.appends, stats.num_rows,
+      static_cast<unsigned long long>(stats.result.hook_served),
+      static_cast<unsigned long long>(stats.result.hook_recomputed),
+      static_cast<unsigned long long>(stats.result.num_checks), stats.seconds,
+      PartialNote(stats.result.completed, stats.result.stop_reason).c_str());
+  for (const auto& ocd : stats.result.ocds) {
+    std::printf("OCD %s\n", ocd.ToString(session->coded()).c_str());
+  }
+  for (const auto& od : stats.result.ods) {
+    std::printf("OD  %s\n", od.ToString(session->coded()).c_str());
   }
   return 0;
 }
@@ -719,6 +860,7 @@ int CmdQa(const Args& args, const char* argv0) {
   opts.stopped_runs = !args.Has("no-stopped-runs");
   opts.resume_runs = !args.Has("no-resume-runs");
   opts.ingest = !args.Has("no-ingest");
+  opts.incremental = !args.Has("no-incremental");
   // The serve-equivalence stage drives this very binary both as an
   // in-process daemon's worker and as a direct baseline run.
   if (!args.Has("no-serve")) opts.serve_cli_path = SelfExePath(argv0);
@@ -765,6 +907,8 @@ int CmdQa(const Args& args, const char* argv0) {
                 static_cast<unsigned long long>(summary.resume_checks));
     std::printf("  ingest-policy checks ... %llu\n",
                 static_cast<unsigned long long>(summary.ingest_checks));
+    std::printf("  incremental-equivalence  %llu\n",
+                static_cast<unsigned long long>(summary.incremental_checks));
     std::printf("  serve-equivalence ...... %llu\n",
                 static_cast<unsigned long long>(summary.serve_checks));
     std::printf("  skipped (engine bound) . %llu\n",
@@ -918,6 +1062,7 @@ int CmdServe(const Args& args, const char* argv0) {
   }
 
   opts.worker_argv_prefix = {SelfExePath(argv0), "run"};
+  opts.batch_worker_argv_prefix = {SelfExePath(argv0), "apply-batch"};
 
   ocdd::serve::Server server(std::move(opts));
   Status started = server.Start();
@@ -960,6 +1105,8 @@ int CmdRequest(const Args& args) {
   req.seed = args.GetSize("seed", 42);
   req.max_level = args.GetSize("max-level", 0);
   req.use_cache = !args.Has("no-cache");
+  req.batch = args.Get("batch", "");
+  req.state = args.Get("state", "");
 
   ocdd::serve::ClientOptions copts;
   copts.io_timeout_seconds = args.GetDouble("io-timeout", 600.0);
@@ -1006,6 +1153,13 @@ void Usage() {
       "             stats] [--no-cache] [--report-only]; exit 0 ok,\n"
       "             5 rejected, 6 timeout, 7 worker error\n"
       "  discover   OCDDISCOVER: order compatibility + order dependencies\n"
+      "  apply-batch  incremental maintenance step: ocdd apply-batch\n"
+      "             [batch-file] --state DIR [--base SOURCE] [--rows N]\n"
+      "             [--seed S] [--threads N] [--max-level L] [--json]\n"
+      "             [--keep-generations K] [--perm-cache-mib N]\n"
+      "             [--on-bad-row fail|skip|quarantine]; with no batch file\n"
+      "             only bootstraps/validates the warm state\n"
+      "             (docs/incremental.md)\n"
       "  fds        TANE: minimal functional dependencies\n"
       "  fastod     FASTOD: set-based canonical order dependencies\n"
       "  fastod-bid bidirectional canonical order dependencies\n"
@@ -1022,7 +1176,8 @@ void Usage() {
       "             --seed S --iters K [--inject MODE] [--json]\n"
       "             [--repro-dir DIR] [--max-rows N] [--max-cols N]\n"
       "             [--no-metamorphic] [--no-stopped-runs]\n"
-      "             [--no-resume-runs] [--no-ingest] [--no-serve]\n"
+      "             [--no-resume-runs] [--no-ingest] [--no-incremental]\n"
+      "             [--no-serve]\n"
       "             exit 0 = clean, 3 = discrepancies (see docs/qa.md)\n"
       "<source>: a .csv path or a dataset name (YES, NO, NUMBERS, LINEITEM,\n"
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"
@@ -1061,6 +1216,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return CmdServe(*args, argv[0]);
   if (cmd == "request") return CmdRequest(*args);
   if (cmd == "discover") return CmdDiscover(*args);
+  if (cmd == "apply-batch") return CmdApplyBatch(*args);
   if (cmd == "fds") return CmdFds(*args);
   if (cmd == "fastod") return CmdFastod(*args);
   if (cmd == "fastod-bid") return CmdFastodBid(*args);

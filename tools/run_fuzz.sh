@@ -27,7 +27,7 @@ SECONDS_PER_TARGET="${1:-60}"
 shift || true
 TARGETS=("$@")
 if [[ ${#TARGETS[@]} -eq 0 ]]; then
-  TARGETS=(csv snapshot json_report claims)
+  TARGETS=(csv snapshot json_report claims serve_frame batch)
 fi
 
 CLANGXX="${OCDD_CLANGXX:-clang++}"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Incremental-maintenance bench with machine-readable output.
+#
+# Bootstraps one warm IncrementalSession over LATTICE and streams
+# append/delete/mixed batches (sizes 1..1000) through it, racing each
+# `ApplyBatch` against a from-scratch rediscovery of the same materialized
+# relation. Records per-batch timings, speedups, and hook counters as
+# BENCH_incremental.json — the same report convention as tools/run_bench.sh
+# (see docs/incremental.md and docs/performance.md).
+#
+#   tools/run_incremental_bench.sh [out_dir]   # default out_dir: bench-out
+#
+# Knobs (exported through to the binary): OCDD_BENCH_ROWS,
+# OCDD_BENCH_BATCH_SIZES=1,10,100,1000, OCDD_SCALE=full.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out}"
+
+echo "==> building bench_incremental"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_incremental
+
+mkdir -p "${OUT}"
+echo "==> incremental vs from-scratch"
+OCDD_BENCH_JSON_DIR="${OUT}" \
+  ./build/bench/bench_incremental \
+  | tee "${OUT}/incremental.log"
+
+echo "==> report:"
+ls -l "${OUT}"/BENCH_incremental.json

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Nightly QA sweep: a long differential/metamorphic fuzzing run of `ocdd qa`
-# under AddressSanitizer+UBSan (the existing OCDD_SANITIZE preset), plus an
+# under AddressSanitizer+UBSan (the existing OCDD_SANITIZE preset) — every
+# 3rd iteration includes the incremental-equivalence stage (batch schedules
+# against a warm IncrementalSession, docs/incremental.md) — plus an
 # end-to-end self-test that every injected corruption mode is detected,
 # shrunk, and written out as a repro (see docs/qa.md).
 #
@@ -72,13 +74,17 @@ for algo in discover fastod fds; do
   fi
 done
 
-# The checkpoint/supervise suites again, under ASan/UBSan — the snapshot
-# write path (fsync/rename/read-back) and the fork/exec supervisor must be
-# clean under sanitizers, not just in the default tier-1 build.
-echo "==> checkpoint/supervise tests under asan"
+# The checkpoint/supervise/incremental suites again, under ASan/UBSan — the
+# snapshot write path (fsync/rename/read-back), the fork/exec supervisor,
+# and the incremental fault matrix (SIGKILL mid-apply-batch, torn warm
+# state — docs/incremental.md) must be clean under sanitizers, not just in
+# the default tier-1 build. fuzz_lite_test replays the fuzz corpora,
+# including the batch wire-format seeds.
+echo "==> checkpoint/supervise/incremental tests under asan"
 cmake --build "${DIR}" -j "$(nproc)" --target checkpoint_test supervise_test \
-      fuzz_lite_test
-(cd "${DIR}" && ctest -R 'checkpoint_test|supervise_test|fuzz_lite_test' \
+      fuzz_lite_test incremental_test incremental_cli_test
+(cd "${DIR}" && ctest -R \
+      'checkpoint_test|supervise_test|fuzz_lite_test|incremental_test|incremental_cli_test' \
       --output-on-failure)
 
 # Fuzz-lite corpus replay ran above under ASan; when Clang is available,

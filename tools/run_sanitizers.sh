@@ -20,11 +20,13 @@ run_one() {
   cmake --build "${dir}" -j "$(nproc)"
   echo "==> ${preset}: running tests"
   ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
-  # The serve fault matrix (worker kills, torn frames, drain, shedding) is
-  # the most concurrency-heavy surface in the tree; repeat it so the
-  # sanitizer sees several interleavings, not one lucky schedule.
-  echo "==> ${preset}: serve fault matrix (repeated)"
-  ctest --test-dir "${dir}" --output-on-failure -R "serve" \
+  # The serve fault matrix (worker kills, torn frames, drain, shedding) and
+  # the incremental CLI matrix (SIGKILL mid-apply-batch, torn warm state —
+  # docs/incremental.md) are the most process/concurrency-heavy surfaces in
+  # the tree; repeat them so the sanitizer sees several interleavings, not
+  # one lucky schedule.
+  echo "==> ${preset}: serve + incremental fault matrices (repeated)"
+  ctest --test-dir "${dir}" --output-on-failure -R "serve|incremental_cli" \
         --repeat until-fail:3
 }
 
