@@ -1,0 +1,298 @@
+// Transport benchmark for the `ocdd serve` daemon (docs/serving.md):
+// warm-cache requests (the fixed per-request overhead — connect, framing,
+// admission, cache probe) measured over four paths:
+//
+//   unix            — the baseline Unix-domain socket transport.
+//   tcp             — the same daemon behind `--listen 127.0.0.1:0`.
+//   tcp_proxy       — TCP through the in-process chaos proxy with no
+//                     faults armed: isolates the proxy's relay overhead so
+//                     the reset scenario below is interpretable.
+//   tcp_reset_1pct  — TCP through the proxy with a 1% mid-frame
+//                     connection-reset rate; the retrying ServeClient must
+//                     absorb every reset (ok == requests), which prices a
+//                     realistic flaky-network tail into p99.
+//
+// Latency percentiles plus retry/absorption counters land in
+// $OCDD_BENCH_JSON_DIR/BENCH_serve_tcp.json (tools/run_serve_bench.sh).
+// The worker binary comes from $OCDD_CLI or argv[1].
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/chaos_proxy.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScenarioResult {
+  std::string scenario;
+  std::size_t requests = 0;
+  std::size_t concurrency = 0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t transport_failures = 0;
+  std::uint64_t faults_injected = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+/// Issues warm-cache requests at `endpoint` from `concurrency` threads,
+/// each through its own retrying ServeClient.
+ScenarioResult Drive(const ocdd::serve::Endpoint& endpoint,
+                     const std::string& scenario, std::size_t requests,
+                     std::size_t concurrency) {
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.requests = requests;
+  result.concurrency = concurrency;
+
+  std::vector<double> latencies_ms(requests, 0.0);
+  std::vector<int> ok(requests, 0);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> transport_failures{0};
+
+  auto worker = [&](std::size_t tid) {
+    ocdd::serve::ClientOptions copts;
+    copts.io_timeout_seconds = 30.0;
+    ocdd::serve::RetryOptions retry;
+    retry.max_retries = 8;
+    retry.backoff_base_seconds = 0.002;
+    retry.backoff_cap_seconds = 0.05;
+    retry.jitter_seed = 0x7cb0 + tid;
+    ocdd::serve::ServeClient client(endpoint, copts, retry);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= requests) return;
+      ocdd::serve::ServeRequest req;
+      req.kind = "run";
+      req.id = scenario + "-" + std::to_string(i);
+      req.source = "NUMBERS";
+      req.rows = 100;
+      const Clock::time_point t0 = Clock::now();
+      ocdd::serve::ClientResult r = client.Call(req);
+      latencies_ms[i] =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      attempts.fetch_add(static_cast<std::uint64_t>(r.attempts));
+      transport_failures.fetch_add(
+          static_cast<std::uint64_t>(r.transport_failures));
+      if (r.outcome == ocdd::serve::ClientOutcome::kResponse &&
+          r.response.status == "ok") {
+        ok[i] = 1;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < concurrency; ++t)
+    threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (ok[i] != 0) {
+      ++result.ok;
+    } else {
+      ++result.failed;
+    }
+  }
+  result.attempts = attempts.load();
+  result.transport_failures = transport_failures.load();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p90_ms = Percentile(latencies_ms, 0.90);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  return result;
+}
+
+void WriteReport(const std::vector<ScenarioResult>& results) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("OCDD_BENCH_JSON_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_serve_tcp.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve_tcp\",\n  \"entries\": [");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"scenario\": \"%s\", \"requests\": %zu, "
+        "\"concurrency\": %zu, \"p50_ms\": %.3f, \"p90_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"ok\": %llu, \"failed\": %llu, "
+        "\"attempts\": %llu, \"transport_failures\": %llu, "
+        "\"faults_injected\": %llu}",
+        i == 0 ? "" : ",", r.scenario.c_str(), r.requests, r.concurrency,
+        r.p50_ms, r.p90_ms, r.p99_ms,
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.failed),
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.transport_failures),
+        static_cast<unsigned long long>(r.faults_injected));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench report written to %s\n", path.c_str());
+}
+
+void PrintScenario(const ScenarioResult& r) {
+  std::printf(
+      "%-16s requests=%zu conc=%zu  p50=%.2fms p90=%.2fms p99=%.2fms  "
+      "ok=%llu failed=%llu attempts=%llu transport_failures=%llu "
+      "faults=%llu\n",
+      r.scenario.c_str(), r.requests, r.concurrency, r.p50_ms, r.p90_ms,
+      r.p99_ms, static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.failed),
+      static_cast<unsigned long long>(r.attempts),
+      static_cast<unsigned long long>(r.transport_failures),
+      static_cast<unsigned long long>(r.faults_injected));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cli;
+  if (const char* env = std::getenv("OCDD_CLI")) cli = env;
+  if (argc > 1) cli = argv[1];
+  if (cli.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_serve_tcp <path-to-ocdd-cli>  "
+                 "(or set OCDD_CLI)\n");
+    return 2;
+  }
+
+  namespace fs = std::filesystem;
+  const std::string scratch =
+      (fs::temp_directory_path() /
+       ("ocdd_bench_serve_tcp_" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(scratch);
+
+  constexpr std::size_t kRequests = 400;
+  constexpr std::size_t kConcurrency = 4;
+  std::vector<ScenarioResult> results;
+
+  // unix: baseline over the Unix-domain socket.
+  {
+    ocdd::serve::ServerOptions opts;
+    opts.socket_path = scratch + "/bench.sock";
+    opts.num_executors = 4;
+    opts.queue_capacity = 64;
+    opts.worker_argv_prefix = {cli, "run"};
+    ocdd::serve::Server server(std::move(opts));
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "unix daemon failed to start\n");
+      return 1;
+    }
+    std::thread run_thread([&server] { server.Run(); });
+    ScenarioResult r =
+        Drive(server.endpoint(), "unix", kRequests, kConcurrency);
+    PrintScenario(r);
+    results.push_back(r);
+    server.RequestStop();
+    run_thread.join();
+  }
+
+  // tcp / tcp_proxy / tcp_reset_1pct share one TCP daemon so the cache
+  // stays warm across scenarios and only the path under test changes.
+  {
+    ocdd::serve::ServerOptions opts;
+    opts.listen_address = "127.0.0.1:0";
+    opts.num_executors = 4;
+    opts.queue_capacity = 64;
+    opts.max_connections = 256;
+    opts.worker_argv_prefix = {cli, "run"};
+    ocdd::serve::Server server(std::move(opts));
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "tcp daemon failed to start\n");
+      return 1;
+    }
+    std::thread run_thread([&server] { server.Run(); });
+
+    ScenarioResult tcp =
+        Drive(server.endpoint(), "tcp", kRequests, kConcurrency);
+    PrintScenario(tcp);
+    results.push_back(tcp);
+
+    {
+      ocdd::serve::ChaosPlan plan;
+      plan.fault = ocdd::serve::ChaosFault::kNone;
+      ocdd::serve::ChaosProxy proxy(server.endpoint(), plan);
+      if (!proxy.Start().ok()) {
+        std::fprintf(stderr, "proxy failed to start\n");
+        return 1;
+      }
+      ScenarioResult r =
+          Drive(proxy.endpoint(), "tcp_proxy", kRequests, kConcurrency);
+      r.faults_injected = proxy.counters().faults_injected;
+      proxy.Stop();
+      PrintScenario(r);
+      results.push_back(r);
+    }
+
+    {
+      ocdd::serve::ChaosPlan plan;
+      plan.fault = ocdd::serve::ChaosFault::kResetMidFrame;
+      plan.probability = 0.01;
+      plan.seed = 0xbe9c;
+      ocdd::serve::ChaosProxy proxy(server.endpoint(), plan);
+      if (!proxy.Start().ok()) {
+        std::fprintf(stderr, "reset proxy failed to start\n");
+        return 1;
+      }
+      ScenarioResult r =
+          Drive(proxy.endpoint(), "tcp_reset_1pct", kRequests, kConcurrency);
+      r.faults_injected = proxy.counters().faults_injected;
+      proxy.Stop();
+      PrintScenario(r);
+      results.push_back(r);
+    }
+
+    server.RequestStop();
+    run_thread.join();
+  }
+
+  WriteReport(results);
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  // The retrying client must absorb every injected reset: a failed request
+  // means the resilience contract, not just a latency target, is broken.
+  for (const ScenarioResult& r : results) {
+    if (r.failed != 0) {
+      std::fprintf(stderr, "%s: %llu requests failed\n", r.scenario.c_str(),
+                   static_cast<unsigned long long>(r.failed));
+      return 1;
+    }
+  }
+  return 0;
+}

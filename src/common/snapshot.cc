@@ -116,7 +116,20 @@ Result<std::string> ReadFileAll(const std::string& path) {
 }
 
 Status EnsureDir(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  if (::mkdir(dir.c_str(), 0755) == 0) {
+    // The new directory entry lives in the *parent*; without fsyncing the
+    // parent a power loss can forget the whole store directory — taking
+    // every carefully synced generation inside it along. (SyncDir after
+    // rename covers renames *inside* the store, not its creation.)
+    std::string parent = dir;
+    const std::size_t slash = parent.find_last_of('/');
+    parent = slash == std::string::npos ? std::string(".")
+             : slash == 0               ? std::string("/")
+                                        : parent.substr(0, slash);
+    OCDD_RETURN_IF_ERROR(SyncDir(parent));
+    return Status::OK();
+  }
+  if (errno == EEXIST) return Status::OK();
   return IoError("mkdir", dir);
 }
 

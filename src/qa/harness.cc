@@ -26,6 +26,7 @@
 #include "relation/batch.h"
 #include "relation/csv.h"
 #include "report/json_reader.h"
+#include "serve/chaos_proxy.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -732,10 +733,14 @@ std::string CanonicalReportForCompare(const report::JsonValue& doc) {
 /// from its cache.
 class ServeEquivalence {
  public:
-  ServeEquivalence(std::string cli_path, std::string scratch_dir)
-      : cli_path_(std::move(cli_path)), scratch_(std::move(scratch_dir)) {}
+  ServeEquivalence(std::string cli_path, std::string scratch_dir,
+                   bool chaos = false)
+      : cli_path_(std::move(cli_path)),
+        scratch_(std::move(scratch_dir)),
+        chaos_(chaos) {}
 
   ~ServeEquivalence() {
+    if (proxy_) proxy_->Stop();
     if (server_) {
       server_->RequestStop();
       run_thread_.join();
@@ -788,7 +793,7 @@ class ServeEquivalence {
     request.id = "qa-" + std::to_string(iteration);
     request.source = csv_path;
     for (const char* expect_cache : {"miss", "hit"}) {
-      auto resp = serve::SendRequest(server_->socket_path(), request);
+      auto resp = serve::SendRequestOnce(server_->endpoint(), request);
       if (!resp.ok()) {
         out.push_back({"serve", expect_cache,
                        "transport: " + resp.status().ToString()});
@@ -814,6 +819,39 @@ class ServeEquivalence {
                            std::to_string(want.size()) + " bytes)"});
       }
     }
+
+    // Chaos leg: the same question again, but over TCP through the fault
+    // proxy with a retrying client. Every injected reset/torn/latency/
+    // corruption must be absorbed by a retry that lands on the (now warm)
+    // result cache — the answer stays byte-identical.
+    if (chaos_ && proxy_) {
+      serve::ClientOptions copts;
+      copts.connect_attempts = 10;
+      copts.io_timeout_seconds = 5.0;
+      serve::RetryOptions retry;
+      retry.max_retries = 12;
+      retry.deadline_seconds = 120.0;
+      retry.backoff_base_seconds = 0.01;
+      retry.backoff_cap_seconds = 0.1;
+      retry.jitter_seed = iteration + 1;
+      serve::ServeClient client(proxy_->endpoint(), copts, retry);
+      serve::ClientResult result = client.Call(request);
+      if (result.outcome != serve::ClientOutcome::kResponse) {
+        out.push_back({"serve", "chaos",
+                       std::string("chaos client gave up: ") +
+                           serve::ClientOutcomeName(result.outcome) + ": " +
+                           result.error});
+      } else if (result.response.status != "ok" ||
+                 !result.response.have_report) {
+        out.push_back({"serve", "chaos",
+                       "chaos answer status=" + result.response.status + " " +
+                           result.response.reject_reason + " " +
+                           result.response.error});
+      } else if (CanonicalReportForCompare(result.response.report) != want) {
+        out.push_back({"serve", "chaos",
+                       "chaos-path report differs from direct `ocdd run`"});
+      }
+    }
     return out;
   }
 
@@ -822,7 +860,13 @@ class ServeEquivalence {
     if (server_) return true;
     if (!start_error_.empty()) return false;
     serve::ServerOptions opts;
-    opts.socket_path = scratch_ + "/qa_serve.sock";
+    if (chaos_) {
+      // Chaos mode exercises the TCP transport end to end: daemon on an
+      // ephemeral TCP port, fault proxy in front of it.
+      opts.listen_address = "127.0.0.1:0";
+    } else {
+      opts.socket_path = scratch_ + "/qa_serve.sock";
+    }
     opts.num_executors = 1;
     opts.worker_argv_prefix = {cli_path_, "run"};
     opts.cache_capacity_bytes = 16u << 20;
@@ -835,14 +879,34 @@ class ServeEquivalence {
       return false;
     }
     run_thread_ = std::thread([server = server_.get()] { server->Run(); });
+    if (chaos_) {
+      serve::ChaosPlan plan;
+      plan.fault = serve::ChaosFault::kMix;
+      plan.probability = 0.5;
+      plan.seed = 0xc4a05;
+      plan.latency_seconds = 0.02;
+      proxy_ =
+          std::make_unique<serve::ChaosProxy>(server_->endpoint(), plan);
+      Status proxy_started = proxy_->Start();
+      if (!proxy_started.ok()) {
+        start_error_ = proxy_started.ToString();
+        proxy_.reset();
+        server_->RequestStop();
+        run_thread_.join();
+        server_.reset();
+        return false;
+      }
+    }
     return true;
   }
 
   std::string cli_path_;
   std::string scratch_;
+  bool chaos_ = false;
   std::string start_error_;
   bool start_failure_reported_ = false;
   std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<serve::ChaosProxy> proxy_;
   std::thread run_thread_;
 };
 
@@ -871,8 +935,8 @@ QaSummary RunQa(const QaOptions& options) {
   if (!options.serve_cli_path.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(scratch, ec);
-    serve_stage =
-        std::make_unique<ServeEquivalence>(options.serve_cli_path, scratch);
+    serve_stage = std::make_unique<ServeEquivalence>(
+        options.serve_cli_path, scratch, options.serve_chaos);
   }
 
   for (std::size_t i = 0; i < options.iters; ++i) {

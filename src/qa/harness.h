@@ -49,6 +49,12 @@ struct QaOptions {
   /// (cache miss) and cached (hit) — after stripping volatile keys
   /// (docs/serving.md). Empty disables the stage.
   std::string serve_cli_path;
+  /// With the serve stage enabled, also replay each equivalence exchange
+  /// over TCP through the in-process chaos fault proxy (ChaosProxy, mixed
+  /// recoverable faults) with a retrying ServeClient — the report must
+  /// still come back byte-identical despite injected resets, torn writes,
+  /// latency and corruption (docs/serving.md).
+  bool serve_chaos = false;
   /// Scratch directory for resume-equivalence snapshots; empty means a
   /// per-process directory under the system temp dir (removed afterwards).
   std::string checkpoint_scratch_dir;

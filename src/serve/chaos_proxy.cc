@@ -1,0 +1,260 @@
+#include "serve/chaos_proxy.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace ocdd::serve {
+
+namespace {
+
+/// Close with an RST instead of a FIN: SO_LINGER with zero timeout makes
+/// the kernel discard unsent data and send a reset — the "connection reset
+/// by peer" a dying middlebox produces.
+void CloseWithReset(int fd) {
+  linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+/// Reads until EOF (the daemon closes after its one response frame).
+/// Returns false on error/timeout before EOF.
+bool ReadToEof(int fd, std::string* out) {
+  char buf[4096];
+  for (;;) {
+    std::size_t n = 0;
+    const IoStatus status = ReadSome(fd, buf, sizeof(buf), &n);
+    if (status == IoStatus::kEof) return true;
+    if (status != IoStatus::kOk) return false;
+    out->append(buf, n);
+  }
+}
+
+}  // namespace
+
+const char* ChaosFaultName(ChaosFault fault) {
+  switch (fault) {
+    case ChaosFault::kNone: return "none";
+    case ChaosFault::kLatency: return "latency";
+    case ChaosFault::kResetMidFrame: return "reset_mid_frame";
+    case ChaosFault::kTornWrite: return "torn_write";
+    case ChaosFault::kBlackhole: return "blackhole";
+    case ChaosFault::kCorrupt: return "corrupt";
+    case ChaosFault::kResetRequest: return "reset_request";
+    case ChaosFault::kMix: return "mix";
+  }
+  return "unknown";
+}
+
+ChaosProxy::ChaosProxy(Endpoint upstream, ChaosPlan plan)
+    : upstream_(std::move(upstream)), plan_(plan), rng_(plan.seed) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  Endpoint local;
+  local.kind = Endpoint::Kind::kTcp;
+  local.host = "127.0.0.1";
+  local.port = 0;  // ephemeral
+  OCDD_ASSIGN_OR_RETURN(BoundListener bound, ListenOn(local));
+  listen_fd_ = bound.fd;
+  endpoint_ = bound.endpoint;
+  if (::pipe(stop_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("chaos proxy: pipe() failed");
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ChaosProxy::Stop() {
+  if (!started_) return;
+  started_ = false;
+  char byte = 1;
+  ssize_t ignored = ::write(stop_pipe_[1], &byte, 1);
+  (void)ignored;
+  accept_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+}
+
+ChaosCounters ChaosProxy::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+ChaosFault ChaosProxy::PickFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.connections;
+  if (plan_.fault == ChaosFault::kNone) {
+    ++counters_.passed_through;
+    return ChaosFault::kNone;
+  }
+  if (plan_.max_faults != 0 && injected_ >= plan_.max_faults) {
+    ++counters_.passed_through;
+    return ChaosFault::kNone;
+  }
+  if (!rng_.Bernoulli(plan_.probability)) {
+    ++counters_.passed_through;
+    return ChaosFault::kNone;
+  }
+  ChaosFault fault = plan_.fault;
+  if (fault == ChaosFault::kMix) {
+    static const ChaosFault kRecoverable[4] = {
+        ChaosFault::kLatency, ChaosFault::kResetMidFrame,
+        ChaosFault::kTornWrite, ChaosFault::kCorrupt};
+    fault = kRecoverable[rng_.Uniform(4)];
+  }
+  ++injected_;
+  ++counters_.faults_injected;
+  switch (fault) {
+    case ChaosFault::kLatency: ++counters_.latency; break;
+    case ChaosFault::kResetMidFrame: ++counters_.reset_mid_frame; break;
+    case ChaosFault::kTornWrite: ++counters_.torn_write; break;
+    case ChaosFault::kBlackhole: ++counters_.blackhole; break;
+    case ChaosFault::kCorrupt: ++counters_.corrupt; break;
+    case ChaosFault::kResetRequest: ++counters_.reset_request; break;
+    default: break;
+  }
+  return fault;
+}
+
+void ChaosProxy::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetIoDeadline(fd, plan_.io_timeout_seconds);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      HandleConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        --active_connections_;
+      }
+      conn_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void ChaosProxy::HandleConnection(int client_fd) {
+  // Read the one request frame. Parsing + re-encoding is byte-identical to
+  // the original (the framing is deterministic), and gives the proxy a
+  // clean boundary to inject at.
+  std::string payload;
+  FrameError frame_error = FrameError::kNone;
+  if (ReadFrame(client_fd, plan_.frame_limits, plan_.io_timeout_seconds,
+                &payload, &frame_error) != IoStatus::kOk) {
+    ::close(client_fd);
+    return;
+  }
+
+  const ChaosFault fault = PickFault();
+
+  if (fault == ChaosFault::kResetRequest) {
+    // The daemon never hears about this request at all.
+    CloseWithReset(client_fd);
+    return;
+  }
+
+  Result<int> upstream = ConnectTo(upstream_);
+  if (!upstream.ok()) {
+    ::close(client_fd);
+    return;
+  }
+  const int up_fd = *upstream;
+  SetIoDeadline(up_fd, plan_.io_timeout_seconds);
+
+  std::string response;
+  const bool forwarded =
+      WriteFull(up_fd, EncodeFrame(payload)) == IoStatus::kOk &&
+      ReadToEof(up_fd, &response);
+  ::close(up_fd);
+  if (!forwarded) {
+    CloseWithReset(client_fd);
+    return;
+  }
+
+  switch (fault) {
+    case ChaosFault::kNone: {
+      WriteFull(client_fd, response);
+      ::close(client_fd);
+      return;
+    }
+    case ChaosFault::kLatency: {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan_.latency_seconds));
+      WriteFull(client_fd, response);
+      ::close(client_fd);
+      return;
+    }
+    case ChaosFault::kResetMidFrame: {
+      const std::size_t cut =
+          plan_.cut_at_bytes < response.size() ? plan_.cut_at_bytes
+                                               : response.size();
+      WriteFull(client_fd, response.data(), cut);
+      CloseWithReset(client_fd);
+      return;
+    }
+    case ChaosFault::kTornWrite: {
+      const std::size_t cut =
+          plan_.cut_at_bytes < response.size() ? plan_.cut_at_bytes
+                                               : response.size();
+      WriteFull(client_fd, response.data(), cut);
+      ::close(client_fd);  // orderly FIN: the client sees a torn stream
+      return;
+    }
+    case ChaosFault::kBlackhole: {
+      // Hold the socket open, send nothing: the client's read timeout is
+      // the only way out. Bounded so the proxy itself always drains.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan_.blackhole_hold_seconds));
+      ::close(client_fd);
+      return;
+    }
+    case ChaosFault::kCorrupt: {
+      // Flip one payload byte (past the 12-byte header when possible): the
+      // frame still parses structurally but the CRC check must reject it.
+      std::string bad = response;
+      const std::size_t at = bad.size() > kFrameHeaderBytes
+                                 ? kFrameHeaderBytes
+                                 : bad.size() - 1;
+      if (!bad.empty()) bad[at] = static_cast<char>(bad[at] ^ 0x40);
+      WriteFull(client_fd, bad);
+      ::close(client_fd);
+      return;
+    }
+    case ChaosFault::kResetRequest:
+    case ChaosFault::kMix:
+      break;  // handled above / resolved by PickFault
+  }
+  ::close(client_fd);
+}
+
+}  // namespace ocdd::serve

@@ -1,0 +1,120 @@
+#ifndef OCDD_SERVE_CHAOS_PROXY_H_
+#define OCDD_SERVE_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace ocdd::serve {
+
+/// Network fault classes the proxy can inject (docs/serving.md). All of
+/// them act on real sockets, so the client and daemon under test exercise
+/// exactly the code paths a flaky production network would.
+enum class ChaosFault {
+  kNone,           ///< pass-through
+  kLatency,        ///< delay before forwarding the response
+  kResetMidFrame,  ///< RST (SO_LINGER{1,0}) after a prefix of the response
+  kTornWrite,      ///< orderly FIN after a prefix of the response
+  kBlackhole,      ///< swallow the response; hold the socket, send nothing
+  kCorrupt,        ///< flip one response payload byte (CRC must catch it)
+  kResetRequest,   ///< RST before the request ever reaches the daemon
+  kMix,            ///< per-connection uniform pick of the recoverable four
+                   ///< (latency / reset / torn / corrupt)
+};
+
+const char* ChaosFaultName(ChaosFault fault);
+
+struct ChaosPlan {
+  ChaosFault fault = ChaosFault::kNone;
+  /// Per-connection probability of injecting the fault; 1.0 = always.
+  double probability = 1.0;
+  /// Cap on total injected faults; after this many the proxy becomes a
+  /// clean pass-through (deterministic "fails N times then succeeds" for
+  /// retry tests). 0 = unlimited.
+  std::uint64_t max_faults = 0;
+  double latency_seconds = 0.05;
+  /// Response bytes forwarded before a reset/torn cut. The default lands
+  /// mid-header: the client sees a torn frame, not a short payload.
+  std::size_t cut_at_bytes = 7;
+  /// How long a black-holed connection is held open (the client's read
+  /// timeout should fire first).
+  double blackhole_hold_seconds = 2.0;
+  std::uint64_t seed = 1;
+  FrameLimits frame_limits;
+  /// Per-read/write socket timeout on both legs.
+  double io_timeout_seconds = 5.0;
+};
+
+struct ChaosCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t passed_through = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t latency = 0;
+  std::uint64_t reset_mid_frame = 0;
+  std::uint64_t torn_write = 0;
+  std::uint64_t blackhole = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t reset_request = 0;
+};
+
+/// An in-process TCP fault proxy: listens on 127.0.0.1:<ephemeral>, relays
+/// one request frame to `upstream` (Unix or TCP) and the response back,
+/// injecting the planned fault on the way. One thread per connection; the
+/// request leg is parsed-and-re-encoded (the framing is deterministic, so
+/// a clean relay is byte-identical) which lets the proxy cut, delay,
+/// corrupt or swallow the response at exact byte positions.
+class ChaosProxy {
+ public:
+  ChaosProxy(Endpoint upstream, ChaosPlan plan);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listener and starts the accept thread.
+  Status Start();
+
+  /// Stops accepting, waits for in-flight connections (all time-bounded)
+  /// and joins. Idempotent.
+  void Stop();
+
+  /// Where clients connect (valid after Start()).
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  ChaosCounters counters() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+  ChaosFault PickFault();
+
+  Endpoint upstream_;
+  ChaosPlan plan_;
+  Endpoint endpoint_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  ChaosCounters counters_;
+  std::uint64_t injected_ = 0;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace ocdd::serve
+
+#endif  // OCDD_SERVE_CHAOS_PROXY_H_

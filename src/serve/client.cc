@@ -1,99 +1,226 @@
 #include "serve/client.h"
 
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
 
 namespace ocdd::serve {
 
 namespace {
 
-Result<int> Connect(const std::string& socket_path,
-                    const ClientOptions& options) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("socket path too long: " + socket_path);
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+using Clock = std::chrono::steady_clock;
 
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+Result<int> Connect(const Endpoint& endpoint, const ClientOptions& options) {
   const int attempts =
       options.connect_attempts < 1 ? 1 : options.connect_attempts;
-  int last_errno = 0;
+  Status last = Status::OK();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(options.connect_retry_seconds));
     }
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) return Status::Internal("socket() failed");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
-      if (options.io_timeout_seconds > 0) {
-        timeval tv;
-        tv.tv_sec = static_cast<time_t>(options.io_timeout_seconds);
-        tv.tv_usec = static_cast<suseconds_t>(
-            (options.io_timeout_seconds - tv.tv_sec) * 1e6);
-        setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-      }
+    Result<int> fd = ConnectTo(endpoint);
+    if (fd.ok()) {
+      SetIoDeadline(*fd, options.io_timeout_seconds);
       return fd;
     }
-    last_errno = errno;
-    ::close(fd);
+    last = fd.status();
   }
-  return Status::NotFound("cannot connect to '" + socket_path +
-                          "': " + std::strerror(last_errno));
+  return last;
+}
+
+/// A reject the daemon issued because of *load*, not because of anything
+/// wrong with the request — less load (or another try) can change it.
+bool IsShedReject(const ServeResponse& response) {
+  if (response.status != "rejected") return false;
+  return response.reject_reason == "queue_full" ||
+         response.reject_reason == "tenant_limit" ||
+         response.reject_reason == "connection_limit" ||
+         response.reject_reason == "memory_watermark";
 }
 
 }  // namespace
 
-Result<ServeResponse> SendRequest(const std::string& socket_path,
-                                  const ServeRequest& request,
-                                  const ClientOptions& options) {
-  OCDD_ASSIGN_OR_RETURN(int fd, Connect(socket_path, options));
-  const std::string frame = EncodeFrame(SerializeRequest(request));
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    // MSG_NOSIGNAL: a daemon that dies mid-exchange is a typed transport
-    // error for the caller, not a SIGPIPE that kills the client process.
-    ssize_t n =
-        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      ::close(fd);
-      return Status::Internal("short write to daemon");
-    }
-    off += static_cast<std::size_t>(n);
+const char* ClientOutcomeName(ClientOutcome outcome) {
+  switch (outcome) {
+    case ClientOutcome::kResponse: return "response";
+    case ClientOutcome::kRetriesExhausted: return "retries_exhausted";
+    case ClientOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case ClientOutcome::kCircuitOpen: return "circuit_open";
+    case ClientOutcome::kNotRetryable: return "not_retryable";
   }
+  return "unknown";
+}
 
-  FrameDecoder decoder(options.frame_limits);
+Result<ServeResponse> SendRequestOnce(const Endpoint& endpoint,
+                                      const ServeRequest& request,
+                                      const ClientOptions& options,
+                                      bool* request_sent) {
+  if (request_sent != nullptr) *request_sent = false;
+  OCDD_ASSIGN_OR_RETURN(int fd, Connect(endpoint, options));
+  const std::string frame = EncodeFrame(SerializeRequest(request));
+  // WriteFull: MSG_NOSIGNAL + EINTR/short-write loop — a daemon that dies
+  // mid-exchange is a typed transport error, never a SIGPIPE.
+  if (WriteFull(fd, frame) != IoStatus::kOk) {
+    ::close(fd);
+    return Status::Internal("short write to daemon");
+  }
+  if (request_sent != nullptr) *request_sent = true;
+
   std::string payload;
   FrameError frame_error = FrameError::kNone;
-  char buf[4096];
-  for (;;) {
-    FrameDecoder::Event ev = decoder.Next(&payload, &frame_error);
-    if (ev == FrameDecoder::Event::kFrame) break;
-    if (ev == FrameDecoder::Event::kError) {
-      ::close(fd);
+  const IoStatus status =
+      ReadFrame(fd, options.frame_limits, /*total_deadline_seconds=*/0.0,
+                &payload, &frame_error);
+  ::close(fd);
+  if (status != IoStatus::kOk) {
+    if (frame_error != FrameError::kNone) {
       return Status::ParseError(std::string("bad response frame: ") +
                                 FrameErrorName(frame_error));
     }
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      ::close(fd);
-      return Status::Internal("connection closed mid-response");
+    if (status == IoStatus::kTimeout) {
+      return Status::Internal("daemon response timed out");
     }
-    decoder.Feed(buf, static_cast<std::size_t>(n));
+    return Status::Internal("connection closed mid-response");
   }
-  ::close(fd);
   return ParseResponse(payload);
+}
+
+Result<ServeResponse> SendRequest(const std::string& socket_path,
+                                  const ServeRequest& request,
+                                  const ClientOptions& options) {
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::kUnix;
+  endpoint.path = socket_path;
+  return SendRequestOnce(endpoint, request, options);
+}
+
+ServeClient::ServeClient(Endpoint endpoint, ClientOptions options,
+                         RetryOptions retry)
+    : endpoint_(std::move(endpoint)),
+      options_(std::move(options)),
+      retry_(retry),
+      rng_(retry.jitter_seed) {}
+
+ClientResult ServeClient::Call(const ServeRequest& request) {
+  ClientResult result;
+  const bool idempotent = request.kind != "apply_batch";
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(retry_.deadline_seconds));
+  const bool have_deadline = retry_.deadline_seconds > 0;
+  const int max_attempts =
+      1 + (retry_.max_retries < 0 ? 0 : retry_.max_retries);
+
+  // Circuit breaker gate: while open, fail fast until the cooldown has
+  // elapsed; then let exactly one half-open probe through.
+  if (retry_.breaker_threshold > 0 && breaker_ == BreakerState::kOpen) {
+    const std::uint64_t cooldown_ms =
+        static_cast<std::uint64_t>(retry_.breaker_cooldown_seconds * 1000.0);
+    if (NowMs() - breaker_opened_ms_ < cooldown_ms) {
+      result.outcome = ClientOutcome::kCircuitOpen;
+      result.error = "circuit breaker open (" +
+                     std::to_string(consecutive_failures_) +
+                     " consecutive transport failures)";
+      return result;
+    }
+    breaker_ = BreakerState::kHalfOpen;
+  }
+
+  std::string last_error;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (have_deadline && Clock::now() >= deadline) {
+      result.outcome = ClientOutcome::kDeadlineExceeded;
+      result.error = "deadline exceeded after " +
+                     std::to_string(result.attempts) + " attempt(s): " +
+                     last_error;
+      return result;
+    }
+
+    bool request_sent = false;
+    result.attempts = attempt;
+    Result<ServeResponse> response =
+        SendRequestOnce(endpoint_, request, options_, &request_sent);
+
+    if (response.ok()) {
+      // Any typed answer means the daemon is reachable: breaker closes.
+      consecutive_failures_ = 0;
+      breaker_ = BreakerState::kClosed;
+      if (IsShedReject(*response) && attempt < max_attempts) {
+        ++result.shed_rejects;
+        last_error = "shed (" + response->reject_reason + ")";
+      } else {
+        result.outcome = ClientOutcome::kResponse;
+        result.response = std::move(*response);
+        return result;
+      }
+    } else {
+      ++result.transport_failures;
+      last_error = response.status().message();
+      ++consecutive_failures_;
+      if (retry_.breaker_threshold > 0) {
+        if (breaker_ == BreakerState::kHalfOpen ||
+            consecutive_failures_ >= retry_.breaker_threshold) {
+          breaker_ = BreakerState::kOpen;
+          breaker_opened_ms_ = NowMs();
+        }
+      }
+      if (!idempotent && request_sent) {
+        // The daemon may have received — and acted on — the batch. A blind
+        // retry could apply it twice; surface the ambiguity instead (the
+        // caller consults batch_seq and replays, docs/incremental.md).
+        result.outcome = ClientOutcome::kNotRetryable;
+        result.error = "apply_batch failed after the request was delivered "
+                       "(" + last_error + "); not retried — outcome unknown";
+        return result;
+      }
+      if (retry_.breaker_threshold > 0 && breaker_ == BreakerState::kOpen) {
+        result.outcome = ClientOutcome::kCircuitOpen;
+        result.error = "circuit breaker opened (" + last_error + ")";
+        return result;
+      }
+    }
+
+    if (attempt < max_attempts) {
+      // Jittered exponential backoff: min(cap, base·2^(n-1)) scaled into
+      // [0.5, 1] so synchronized clients fan out.
+      double delay = retry_.backoff_base_seconds;
+      for (int i = 1; i < attempt; ++i) delay *= 2.0;
+      if (delay > retry_.backoff_cap_seconds) {
+        delay = retry_.backoff_cap_seconds;
+      }
+      delay *= 0.5 + 0.5 * rng_.UniformDouble();
+      if (have_deadline) {
+        const double remaining =
+            std::chrono::duration<double>(deadline - Clock::now()).count();
+        if (remaining <= 0) {
+          result.outcome = ClientOutcome::kDeadlineExceeded;
+          result.error = "deadline exceeded after " +
+                         std::to_string(result.attempts) +
+                         " attempt(s): " + last_error;
+          return result;
+        }
+        if (delay > remaining) delay = remaining;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+
+  result.outcome = ClientOutcome::kRetriesExhausted;
+  result.error = "gave up after " + std::to_string(result.attempts) +
+                 " attempt(s): " + last_error;
+  return result;
 }
 
 }  // namespace ocdd::serve

@@ -1,10 +1,13 @@
 #ifndef OCDD_SERVE_CLIENT_H_
 #define OCDD_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "serve/protocol.h"
+#include "serve/transport.h"
 
 namespace ocdd::serve {
 
@@ -18,10 +21,113 @@ struct ClientOptions {
   FrameLimits frame_limits;
 };
 
-/// Performs one request/response exchange with an `ocdd serve` daemon:
-/// connect (with startup retry), send one request frame, read one response
-/// frame. The response payload is untrusted — framing and status vocabulary
-/// are validated before anything is returned.
+/// Retry policy for a ServeClient (docs/serving.md). A retry is only ever
+/// attempted for *transport* failures (connect refused, reset, torn
+/// response, bad response frame) and *shed* rejects (`queue_full`,
+/// `tenant_limit`, `connection_limit`, `memory_watermark`) — answers the
+/// daemon will give differently under less load. Typed answers (`ok`,
+/// `timeout`, `error`, `rejected:bad_request`, `rejected:draining`) are
+/// terminal: retrying cannot change them.
+///
+/// Retried `run` requests are idempotent by construction: the daemon keys
+/// its result cache by {relation fingerprint, request digest}, so a retry
+/// of the same request hits the cache and returns the byte-identical
+/// report rather than recomputing. `apply_batch` is NOT idempotent — a
+/// retry is attempted only when the failure happened before the request
+/// frame was fully written (the daemon cannot have acted on it).
+struct RetryOptions {
+  /// Retries after the first attempt; 0 = single-shot (legacy behavior).
+  int max_retries = 0;
+  /// Overall wall-clock budget across all attempts and backoff sleeps;
+  /// 0 = none.
+  double deadline_seconds = 0.0;
+  /// Jittered exponential backoff between attempts:
+  /// min(cap, base·2^(attempt-1)) scaled by a uniform factor in [0.5, 1].
+  double backoff_base_seconds = 0.05;
+  double backoff_cap_seconds = 2.0;
+  /// Seed for the backoff jitter (ocdd::Rng) — deterministic in tests.
+  std::uint64_t jitter_seed = 0x0c2d5eed;
+
+  /// Circuit breaker: after this many *consecutive* transport failures the
+  /// breaker opens and calls fail fast (kCircuitOpen) without touching the
+  /// network until `breaker_cooldown_seconds` elapse; then one half-open
+  /// probe is let through — success closes the breaker, failure re-opens
+  /// it. 0 disables the breaker. Typed daemon answers (even errors and
+  /// rejects) count as breaker successes: the daemon is reachable.
+  int breaker_threshold = 0;
+  double breaker_cooldown_seconds = 1.0;
+};
+
+/// How a resilient call terminated.
+enum class ClientOutcome {
+  /// A typed daemon response was obtained (any status — inspect it).
+  kResponse,
+  /// All attempts failed on transport or shed rejects; retry budget spent.
+  kRetriesExhausted,
+  /// The overall deadline expired before a terminal answer.
+  kDeadlineExceeded,
+  /// The circuit breaker was open; the network was not touched.
+  kCircuitOpen,
+  /// A non-idempotent request (apply_batch) failed after its bytes were
+  /// delivered; retrying could re-apply the batch, so the failure is
+  /// surfaced instead.
+  kNotRetryable,
+};
+
+const char* ClientOutcomeName(ClientOutcome outcome);
+
+struct ClientResult {
+  ClientOutcome outcome = ClientOutcome::kResponse;
+  /// Valid when outcome == kResponse.
+  ServeResponse response;
+  /// Attempts that reached the network (>= 1 unless kCircuitOpen).
+  int attempts = 0;
+  /// Transport-level failures across those attempts.
+  int transport_failures = 0;
+  /// Shed rejects (queue_full/...) swallowed by retries.
+  int shed_rejects = 0;
+  /// Terminal error description when outcome != kResponse.
+  std::string error;
+};
+
+/// A client handle with retry, backoff and circuit-breaker state. Each
+/// Call() performs up to 1 + max_retries request/response exchanges; the
+/// breaker state persists across Call()s on the same handle.
+class ServeClient {
+ public:
+  explicit ServeClient(Endpoint endpoint, ClientOptions options = {},
+                       RetryOptions retry = {});
+
+  ClientResult Call(const ServeRequest& request);
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state() const { return breaker_; }
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  Endpoint endpoint_;
+  ClientOptions options_;
+  RetryOptions retry_;
+  Rng rng_;
+
+  BreakerState breaker_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::uint64_t breaker_opened_ms_ = 0;  // steady-clock ms at open
+};
+
+/// One request/response exchange with an `ocdd serve` daemon: connect
+/// (with startup retry), send one request frame, read one response frame.
+/// The response payload is untrusted — framing and status vocabulary are
+/// validated before anything is returned. `request_sent` (optional)
+/// reports whether the request frame was fully written before any failure
+/// — the idempotency pivot for apply_batch retries.
+Result<ServeResponse> SendRequestOnce(const Endpoint& endpoint,
+                                      const ServeRequest& request,
+                                      const ClientOptions& options = {},
+                                      bool* request_sent = nullptr);
+
+/// Legacy single-shot entry point over a Unix socket path.
 Result<ServeResponse> SendRequest(const std::string& socket_path,
                                   const ServeRequest& request,
                                   const ClientOptions& options = {});

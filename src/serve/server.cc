@@ -3,8 +3,6 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -24,33 +22,6 @@ namespace ocdd::serve {
 namespace {
 
 using report::JsonValue;
-
-bool SetIoTimeout(int fd, double seconds) {
-  if (seconds <= 0) return true;
-  timeval tv;
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
-  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
-         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
-}
-
-/// Writes all of `bytes`, tolerating short writes; false on error/timeout.
-/// MSG_NOSIGNAL: a client that hung up mid-exchange must surface as a write
-/// error, never as a SIGPIPE that kills the daemon.
-bool WriteAll(int fd, const std::string& bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t n =
-        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 std::string HexKey(const CacheKey& key) {
   char buf[36];
@@ -92,11 +63,16 @@ JsonValue CountersJson(const ServerCounters& c) {
       JsonValue::Number(static_cast<double>(c.rejected_tenant_limit));
   rej["memory_watermark"] =
       JsonValue::Number(static_cast<double>(c.rejected_memory_watermark));
+  rej["connection_limit"] =
+      JsonValue::Number(static_cast<double>(c.rejected_connection_limit));
 
   std::map<std::string, JsonValue> m;
   m["connections"] = JsonValue::Number(static_cast<double>(c.connections));
   m["admitted"] = JsonValue::Number(static_cast<double>(c.admitted));
   m["rejected"] = JsonValue::Object(std::move(rej));
+  m["slowloris_evicted"] =
+      JsonValue::Number(static_cast<double>(c.slowloris_evicted));
+  m["idle_reaped"] = JsonValue::Number(static_cast<double>(c.idle_reaped));
   m["completed_ok"] = JsonValue::Number(static_cast<double>(c.completed_ok));
   m["completed_timeout"] =
       JsonValue::Number(static_cast<double>(c.completed_timeout));
@@ -124,34 +100,22 @@ Server::~Server() {
 }
 
 Status Server::Start() {
-  if (options_.socket_path.empty()) {
-    return Status::InvalidArgument("serve: socket path is empty");
+  if (!options_.listen_address.empty()) {
+    OCDD_ASSIGN_OR_RETURN(endpoint_, ParseEndpoint(options_.listen_address));
+  } else if (!options_.socket_path.empty()) {
+    endpoint_.kind = Endpoint::Kind::kUnix;
+    endpoint_.path = options_.socket_path;
+  } else {
+    return Status::InvalidArgument(
+        "serve: no endpoint (need a socket path or --listen)");
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("serve: socket path too long (" +
-                                   options_.socket_path + ")");
-  }
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
 
   if (::pipe(stop_pipe_) != 0) {
     return Status::Internal("serve: pipe() failed");
   }
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal("serve: socket() failed");
-  }
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::Internal("serve: cannot bind '" + options_.socket_path +
-                            "': " + std::strerror(errno));
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    return Status::Internal("serve: listen() failed");
-  }
+  OCDD_ASSIGN_OR_RETURN(BoundListener bound, ListenOn(endpoint_));
+  listen_fd_ = bound.fd;
+  endpoint_ = bound.endpoint;  // TCP port 0 → the kernel-assigned port
 
   if (!options_.cache_dir.empty() && cache_.enabled()) {
     SnapshotStore store(options_.cache_dir, "serve_cache");
@@ -182,7 +146,18 @@ Status Server::Run() {
   draining_.store(true);
   ::close(listen_fd_);
   listen_fd_ = -1;
-  ::unlink(options_.socket_path.c_str());
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+
+  // Reader threads first: each is time-bounded (frame deadline + socket
+  // write timeout) and either answers inline — seeing draining_, a typed
+  // reject — or pushes onto the queue. Waiting here means the queue flush
+  // below sees every straggler, so no admitted fd is ever abandoned.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
 
   // Queued-but-not-running requests get a typed reject: "every admitted
   // request terminates with a result, a typed reject, or a typed timeout".
@@ -248,47 +223,87 @@ void Server::AcceptLoop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    SetIoTimeout(fd, options_.io_timeout_seconds);
+    SetIoDeadline(fd, options_.io_timeout_seconds);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.connections;
     }
-    HandleConnection(fd);
+
+    // Connection cap: reserved before the reader thread spawns so a flood
+    // can never hold more than max_connections sockets + threads. The shed
+    // path answers inline — the reject frame is tiny, so the send lands in
+    // the socket buffer without blocking the accept loop.
+    bool over_cap = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (options_.max_connections != 0 &&
+          active_connections_ >= options_.max_connections) {
+        over_cap = true;
+      } else {
+        ++active_connections_;
+      }
+    }
+    if (over_cap) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.rejected_connection_limit;
+      }
+      ServeResponse resp;
+      resp.status = "rejected";
+      resp.reject_reason = "connection_limit";
+      SendResponse(fd, resp);
+      continue;
+    }
+    // Detached, but accounted: drain waits for active_connections_ == 0,
+    // and every reader is time-bounded, so the wait terminates.
+    std::thread(&Server::ConnectionThread, this, fd).detach();
   }
 }
 
+void Server::ConnectionThread(int fd) {
+  HandleConnection(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --active_connections_;
+  }
+  conn_cv_.notify_all();
+}
+
 void Server::HandleConnection(int fd) {
-  // Read exactly one request frame, bounded in size by FrameLimits and in
-  // time by the socket timeout. Torn frames, bad magic, oversized lengths
-  // and CRC mismatches all land here as typed rejects.
-  FrameDecoder decoder(options_.frame_limits);
+  // Read exactly one request frame, bounded in size by FrameLimits, per
+  // read by the socket timeout, and in total by the frame deadline (the
+  // slowloris guard). Torn frames, bad magic, oversized lengths and CRC
+  // mismatches all land here as typed rejects.
   std::string payload;
   FrameError frame_error = FrameError::kNone;
-  bool have_frame = false;
-  char buf[4096];
-  for (;;) {
-    FrameDecoder::Event ev = decoder.Next(&payload, &frame_error);
-    if (ev == FrameDecoder::Event::kFrame) {
-      have_frame = true;
-      break;
-    }
-    if (ev == FrameDecoder::Event::kError) break;
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or timeout mid-frame: torn
-    decoder.Feed(buf, static_cast<std::size_t>(n));
-  }
+  bool got_bytes = false;
+  const IoStatus read_status =
+      ReadFrame(fd, options_.frame_limits, options_.frame_deadline_seconds,
+                &payload, &frame_error, &got_bytes);
 
-  if (!have_frame) {
+  if (read_status != IoStatus::kOk) {
+    if (!got_bytes) {
+      // Idle reaper: the peer connected and said nothing until the deadline
+      // (or hung up). Nobody is waiting for an answer; just close.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.idle_reaped;
+      }
+      ::close(fd);
+      return;
+    }
     ServeResponse resp;
     resp.status = "rejected";
-    resp.reject_reason = frame_error != FrameError::kNone
-                             ? std::string("bad_frame:") +
-                                   FrameErrorName(frame_error)
-                             : "torn_frame";
+    if (frame_error != FrameError::kNone) {
+      resp.reject_reason =
+          std::string("bad_frame:") + FrameErrorName(frame_error);
+    } else {
+      resp.reject_reason = "torn_frame";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.rejected_bad_frame;
+      if (read_status == IoStatus::kTimeout) ++counters_.slowloris_evicted;
     }
     SendResponse(fd, resp);
     return;
@@ -729,8 +744,9 @@ ServeResponse Server::RunBatchWorker(const Pending& pending) {
 
 void Server::SendResponse(int fd, const ServeResponse& response) {
   // Best-effort: the client may already be gone; the daemon never treats a
-  // dead peer as its own failure.
-  WriteAll(fd, EncodeFrame(SerializeResponse(response)));
+  // dead peer as its own failure. WriteFull loops on EINTR/short writes
+  // with MSG_NOSIGNAL, so a hung-up peer surfaces as an error, not SIGPIPE.
+  WriteFull(fd, EncodeFrame(SerializeResponse(response)));
   ::close(fd);
 }
 

@@ -16,6 +16,7 @@
 #include "serve/cache.h"
 #include "serve/protocol.h"
 #include "serve/tenant.h"
+#include "serve/transport.h"
 
 namespace ocdd::serve {
 
@@ -24,6 +25,11 @@ struct ServerOptions {
   /// Unix-domain socket path; a stale file is unlinked at bind time.
   std::string socket_path;
 
+  /// Endpoint spec overriding `socket_path` when non-empty — the CLI's
+  /// `--listen`. Accepts everything ParseEndpoint does; "127.0.0.1:0" binds
+  /// an ephemeral TCP port (the bound port is in `endpoint()` after Start).
+  std::string listen_address;
+
   /// Executor threads; each runs at most one worker process at a time, so
   /// this is also the daemon-wide concurrency cap.
   std::size_t num_executors = 2;
@@ -31,6 +37,12 @@ struct ServerOptions {
   /// Admitted-but-not-yet-running requests the daemon will hold; beyond
   /// this the daemon sheds load with a typed `queue_full` reject.
   std::size_t queue_capacity = 16;
+
+  /// Concurrent connections being read or answered; beyond this new
+  /// connections are shed with a typed `connection_limit` reject. 0 = no
+  /// cap. Distinct from `queue_capacity`: this bounds *sockets* (and the
+  /// short-lived reader thread each one holds), that bounds admitted work.
+  std::size_t max_connections = 64;
 
   /// Serve-side wall-clock backstop per worker attempt; 0 = none. The
   /// tenant's own time budget travels to the worker as `--time-limit` and
@@ -85,9 +97,17 @@ struct ServerOptions {
   FrameLimits frame_limits;
   RequestLimits request_limits;
 
-  /// Socket read/write timeout — a client that stops mid-frame (torn frame)
-  /// is answered with a typed reject and closed, never waited on forever.
+  /// Per-read/write socket timeout — one recv/send that makes no progress
+  /// for this long fails. A client that stops mid-frame (torn frame) is
+  /// answered with a typed reject and closed, never waited on forever.
   double io_timeout_seconds = 5.0;
+
+  /// Total wall-clock budget for reading one request frame — the slowloris
+  /// guard. A client trickling one byte per io_timeout window keeps each
+  /// read alive but still hits this deadline and is evicted. Also the idle
+  /// reaper: a connection that sends nothing at all for this long is closed
+  /// silently. 0 = no total deadline (per-read timeout still applies).
+  double frame_deadline_seconds = 10.0;
 };
 
 /// Aggregate daemon counters, all under one lock with the admission state so
@@ -101,6 +121,13 @@ struct ServerCounters {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_tenant_limit = 0;
   std::uint64_t rejected_memory_watermark = 0;
+  std::uint64_t rejected_connection_limit = 0;
+  /// Connections evicted by the frame deadline after sending *some* bytes —
+  /// slowloris clients (typed `torn_frame` reject, best effort).
+  std::uint64_t slowloris_evicted = 0;
+  /// Connections reaped by the frame deadline having sent *no* bytes —
+  /// idle peers, closed without a response.
+  std::uint64_t idle_reaped = 0;
   std::uint64_t completed_ok = 0;
   std::uint64_t completed_timeout = 0;
   std::uint64_t completed_error = 0;
@@ -109,9 +136,18 @@ struct ServerCounters {
   std::uint64_t drain_interrupted = 0;
 };
 
-/// The `ocdd serve` daemon: accept loop, admission control, a bounded queue
-/// feeding a pool of executor threads (one worker process each), the result
-/// cache, and graceful drain. Single-use: construct, Start(), Run().
+/// The `ocdd serve` daemon: accept loop, per-connection reader threads,
+/// admission control, a bounded queue feeding a pool of executor threads
+/// (one worker process each), the result cache, and graceful drain.
+/// Single-use: construct, Start(), Run().
+///
+/// Connection lifecycle: the accept loop only accepts and enforces the
+/// connection cap; a short-lived reader thread reads the single request
+/// frame (bounded by the per-read timeout *and* the total frame deadline)
+/// and either answers inline (ping/stats/reject) or queues the work. The
+/// executor that runs the worker sends the response and closes the fd. One
+/// slow or malicious client therefore never blocks accepts or other
+/// connections.
 class Server {
  public:
   explicit Server(ServerOptions options);
@@ -120,7 +156,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens on the socket and loads the persisted cache.
+  /// Binds and listens on the endpoint and loads the persisted cache.
   Status Start();
 
   /// Serves until RequestStop(); then drains (reject queued, grace then
@@ -137,6 +173,10 @@ class Server {
 
   const std::string& socket_path() const { return options_.socket_path; }
 
+  /// The bound endpoint. After Start() on a TCP spec with port 0 this
+  /// carries the kernel-assigned port, so tests can bind ephemerally.
+  const Endpoint& endpoint() const { return endpoint_; }
+
  private:
   struct Pending {
     int fd = -1;
@@ -146,6 +186,7 @@ class Server {
 
   void AcceptLoop();
   void HandleConnection(int fd);
+  void ConnectionThread(int fd);
   void ExecutorLoop();
   ServeResponse Execute(const Pending& pending);
   ServeResponse RunWorker(const Pending& pending, std::uint64_t fingerprint,
@@ -158,6 +199,7 @@ class Server {
   TenantTable tenants_;
   ResultCache cache_;
 
+  Endpoint endpoint_;
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
 
@@ -173,6 +215,13 @@ class Server {
   /// Sum of committed memory budgets of queued + running requests.
   std::size_t committed_memory_ = 0;
   ServerCounters counters_;
+
+  /// Live reader threads (detached); drain waits for the count to reach
+  /// zero — every reader is time-bounded by the frame deadline, so the wait
+  /// terminates.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::size_t active_connections_ = 0;
 
   std::vector<std::thread> executors_;
 };

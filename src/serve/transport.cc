@@ -1,0 +1,308 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace ocdd::serve {
+
+namespace {
+
+bool ParsePort(const std::string& text, std::uint16_t* port) {
+  if (text.empty() || text.size() > 5 ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  const unsigned long value = std::strtoul(text.c_str(), nullptr, 10);
+  if (value > 65535) return false;
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+Result<Endpoint> ParseTcpSpec(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("tcp endpoint '" + spec +
+                                   "' needs host:port");
+  }
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = spec.substr(0, colon);
+  if (ep.host.empty()) ep.host = "0.0.0.0";
+  if (!ParsePort(spec.substr(colon + 1), &ep.port)) {
+    return Status::InvalidArgument("tcp endpoint '" + spec +
+                                   "' has a bad port");
+  }
+  return ep;
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return path;
+  return host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty endpoint");
+  }
+  if (spec.rfind("unix:", 0) == 0) {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) {
+      return Status::InvalidArgument("unix endpoint '" + spec +
+                                     "' has an empty path");
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) return ParseTcpSpec(spec.substr(4));
+  // Bare spec: a '/' anywhere means a filesystem path; otherwise it must
+  // parse as host:port. A Unix socket path without a slash is spelled with
+  // the unix: prefix.
+  if (spec.find('/') != std::string::npos) {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec;
+    return ep;
+  }
+  return ParseTcpSpec(spec);
+}
+
+const char* IoStatusName(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+IoStatus ReadSome(int fd, char* buf, std::size_t cap, std::size_t* n) {
+  for (;;) {
+    const ssize_t rc = ::recv(fd, buf, cap, 0);
+    if (rc > 0) {
+      *n = static_cast<std::size_t>(rc);
+      return IoStatus::kOk;
+    }
+    if (rc == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus ReadFull(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  std::size_t off = 0;
+  while (off < len) {
+    std::size_t n = 0;
+    const IoStatus status = ReadSome(fd, p + off, len - off, &n);
+    if (status != IoStatus::kOk) return status;
+    off += n;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus WriteFull(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t rc = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+    if (rc > 0) {
+      off += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoStatus::kTimeout;
+    }
+    if (rc == 0) return IoStatus::kEof;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+bool SetIoDeadline(int fd, double seconds) {
+  if (seconds <= 0) return true;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+IoStatus ReadFrame(int fd, const FrameLimits& limits,
+                   double total_deadline_seconds, std::string* payload,
+                   FrameError* frame_error, bool* got_bytes) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(total_deadline_seconds));
+
+  FrameDecoder decoder(limits);
+  *frame_error = FrameError::kNone;
+  if (got_bytes != nullptr) *got_bytes = false;
+  char buf[4096];
+  for (;;) {
+    const FrameDecoder::Event ev = decoder.Next(payload, frame_error);
+    if (ev == FrameDecoder::Event::kFrame) return IoStatus::kOk;
+    if (ev == FrameDecoder::Event::kError) return IoStatus::kError;
+
+    if (total_deadline_seconds > 0) {
+      // The overall deadline is enforced with poll() so a peer trickling
+      // bytes cannot reset it: each wait gets only the *remaining* budget.
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return IoStatus::kTimeout;
+      pollfd pfd{fd, POLLIN, 0};
+      const int prc = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+      if (prc < 0) {
+        if (errno == EINTR) continue;
+        return IoStatus::kError;
+      }
+      if (prc == 0) return IoStatus::kTimeout;
+    }
+
+    std::size_t n = 0;
+    const IoStatus status = ReadSome(fd, buf, sizeof(buf), &n);
+    if (status != IoStatus::kOk) return status;
+    if (got_bytes != nullptr) *got_bytes = true;
+    decoder.Feed(buf, n);
+  }
+}
+
+Result<BoundListener> ListenOn(const Endpoint& endpoint, int backlog) {
+  BoundListener bound;
+  bound.endpoint = endpoint;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.empty()) {
+      return Status::InvalidArgument("listen: empty unix socket path");
+    }
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("listen: socket path too long (" +
+                                     endpoint.path + ")");
+    }
+    std::memcpy(addr.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    bound.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (bound.fd < 0) return Status::Internal("listen: socket() failed");
+    ::unlink(endpoint.path.c_str());
+    if (::bind(bound.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status s = Status::Internal("listen: cannot bind '" + endpoint.path +
+                                  "': " + std::strerror(errno));
+      ::close(bound.fd);
+      return s;
+    }
+  } else {
+    bound.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (bound.fd < 0) return Status::Internal("listen: socket() failed");
+    const int one = 1;
+    ::setsockopt(bound.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    const std::string host =
+        endpoint.host.empty() ? std::string("0.0.0.0") : endpoint.host;
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(bound.fd);
+      return Status::InvalidArgument("listen: bad host '" + host +
+                                     "' (use a dotted-quad IPv4 address)");
+    }
+    if (::bind(bound.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status s = Status::Internal("listen: cannot bind " +
+                                  endpoint.ToString() + ": " +
+                                  std::strerror(errno));
+      ::close(bound.fd);
+      return s;
+    }
+    // Port 0 asked the kernel for an ephemeral port; report the real one.
+    sockaddr_in actual{};
+    socklen_t actual_len = sizeof(actual);
+    if (::getsockname(bound.fd, reinterpret_cast<sockaddr*>(&actual),
+                      &actual_len) == 0) {
+      bound.endpoint.port = ntohs(actual.sin_port);
+    }
+    bound.endpoint.host = host;
+  }
+  if (::listen(bound.fd, backlog) != 0) {
+    Status s = Status::Internal("listen: listen() failed: " +
+                                std::string(std::strerror(errno)));
+    ::close(bound.fd);
+    return s;
+  }
+  return bound;
+}
+
+Result<int> ConnectTo(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("connect: socket path too long: " +
+                                     endpoint.path);
+    }
+    std::memcpy(addr.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal("connect: socket() failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status s = Status::NotFound("cannot connect to '" + endpoint.path +
+                                  "': " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    return fd;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  std::string host = endpoint.host.empty() ? "127.0.0.1" : endpoint.host;
+  if (host == "0.0.0.0") host = "127.0.0.1";  // connect-side convenience
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Resolve a name (e.g. "localhost") through getaddrinfo.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* info = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &info) != 0 ||
+        info == nullptr) {
+      if (info != nullptr) ::freeaddrinfo(info);
+      return Status::NotFound("cannot resolve host '" + host + "'");
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(info->ai_addr)->sin_addr;
+    ::freeaddrinfo(info);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("connect: socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::NotFound("cannot connect to " + endpoint.ToString() +
+                                ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace ocdd::serve

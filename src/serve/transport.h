@@ -1,0 +1,118 @@
+#ifndef OCDD_SERVE_TRANSPORT_H_
+#define OCDD_SERVE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace ocdd::serve {
+
+/// Transport layer of the `ocdd serve` daemon (docs/serving.md).
+///
+/// One vocabulary for *where* a daemon lives — a Unix-domain socket path or
+/// a TCP `host:port` — and one set of socket I/O primitives shared by the
+/// server, the client, and the chaos proxy. Every byte moved over a serve
+/// socket goes through `ReadSome`/`ReadFull`/`WriteFull` here: they loop on
+/// EINTR and short writes, use MSG_NOSIGNAL on every send (a peer that hung
+/// up must surface as a typed I/O error, never as a SIGPIPE), and map
+/// timeouts (SO_RCVTIMEO/SO_SNDTIMEO firing as EAGAIN) to a distinct status
+/// so callers can tell a slow peer from a dead one.
+
+// ---------------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------------
+
+/// Where a daemon listens (or a client connects). Parsed from one string:
+/// anything containing a '/' — or nothing that parses as `host:port` — is a
+/// Unix socket path; `host:port` with a numeric port is TCP. `tcp:` and
+/// `unix:` prefixes force the interpretation.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  /// Unix: the socket path.
+  std::string path;
+  /// TCP: host (an IPv4 dotted quad or a name resolved at bind/connect
+  /// time) and port. Port 0 binds an ephemeral port (tests); the bound
+  /// listener reports the real one.
+  std::string host;
+  std::uint16_t port = 0;
+
+  /// Canonical rendering: the path for Unix, "host:port" for TCP.
+  std::string ToString() const;
+};
+
+/// Parses an endpoint spec. Accepted: "/path/daemon.sock",
+/// "unix:/path/daemon.sock", "127.0.0.1:7411", "tcp:127.0.0.1:7411",
+/// ":7411" (all-interfaces shorthand, host 0.0.0.0).
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+// ---------------------------------------------------------------------------
+// Socket I/O primitives
+// ---------------------------------------------------------------------------
+
+/// Outcome of one socket read/write. `kTimeout` is the socket-level deadline
+/// (SO_RCVTIMEO/SO_SNDTIMEO) firing — the peer is slow, not gone.
+enum class IoStatus {
+  kOk,
+  kEof,      ///< orderly shutdown from the peer mid-operation
+  kTimeout,  ///< the configured socket deadline expired
+  kError,    ///< connection reset or any other socket error (see errno)
+};
+
+const char* IoStatusName(IoStatus status);
+
+/// Reads up to `cap` bytes; `*n` holds the count on kOk. Loops on EINTR.
+IoStatus ReadSome(int fd, char* buf, std::size_t cap, std::size_t* n);
+
+/// Reads exactly `len` bytes, looping on short reads and EINTR.
+IoStatus ReadFull(int fd, void* buf, std::size_t len);
+
+/// Writes all `len` bytes with MSG_NOSIGNAL, looping on short writes and
+/// EINTR. An EPIPE/ECONNRESET lands as kError, never a signal.
+IoStatus WriteFull(int fd, const void* data, std::size_t len);
+
+inline IoStatus WriteFull(int fd, const std::string& bytes) {
+  return WriteFull(fd, bytes.data(), bytes.size());
+}
+
+/// Sets SO_RCVTIMEO and SO_SNDTIMEO; <= 0 leaves the socket blocking.
+bool SetIoDeadline(int fd, double seconds);
+
+/// Reads one complete protocol frame with an overall wall-clock deadline —
+/// the slowloris guard. The per-read socket deadline bounds each read();
+/// `total_deadline_seconds` (0 = none) bounds the whole frame, so a client
+/// trickling one byte per read-timeout window still gets evicted. On
+/// success `*payload` holds the frame payload. `kTimeout` covers both the
+/// per-read and the total deadline; `*frame_error` is set (non-kNone) only
+/// when the stream itself framed garbage. `*got_bytes` (optional) reports
+/// whether any bytes arrived at all — an idle connection (zero bytes, then
+/// deadline or EOF) is distinguishable from a torn frame.
+IoStatus ReadFrame(int fd, const FrameLimits& limits,
+                   double total_deadline_seconds, std::string* payload,
+                   FrameError* frame_error, bool* got_bytes = nullptr);
+
+// ---------------------------------------------------------------------------
+// Listeners and connections
+// ---------------------------------------------------------------------------
+
+/// A bound, listening socket. For TCP with port 0 the `endpoint` carries the
+/// kernel-assigned port (via getsockname), so tests can bind ephemerally.
+struct BoundListener {
+  int fd = -1;
+  Endpoint endpoint;
+};
+
+/// Binds and listens on `endpoint`. Unix: unlinks a stale socket file
+/// first. TCP: SO_REUSEADDR, binds `host:port` (host empty or "0.0.0.0" =
+/// all interfaces).
+Result<BoundListener> ListenOn(const Endpoint& endpoint, int backlog = 64);
+
+/// One blocking connect attempt to `endpoint`. The caller owns the fd.
+Result<int> ConnectTo(const Endpoint& endpoint);
+
+}  // namespace ocdd::serve
+
+#endif  // OCDD_SERVE_TRANSPORT_H_

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -471,6 +472,53 @@ TEST(IncrementalTest, InvalidCandidatesCarryWitnesses) {
   // perm budget is ample — every one of them should carry a witness.
   EXPECT_GT(invalid, 0u);
   EXPECT_EQ(witnessed, invalid);
+}
+
+TEST(IncrementalTest, LargeDeleteSheddingSharedWitnessesStaysEquivalent) {
+  // Regression: many invalid candidates share witness rows (a hot swap pair
+  // witnesses dozens of candidates at once). A single large delete batch
+  // that removes EVERY witnessed row at once invalidates all of those
+  // cached refutations simultaneously — each affected candidate must be
+  // recomputed, not assumed still-invalid, and the session must land
+  // byte-identical to a from-scratch discovery of the survivor relation.
+  IncrementalOptions options;
+  auto session = IncrementalSession::Start(BaseRelation(90), options);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+
+  std::set<std::size_t> witness_rows;
+  for (const auto& [key, w] : session->outcomes()) {
+    if (!w.ocd_valid && w.swap_w.known()) {
+      witness_rows.insert(w.swap_w.a);
+      witness_rows.insert(w.swap_w.b);
+    }
+  }
+  ASSERT_GT(witness_rows.size(), 1u)
+      << "LINEITEM at this size must produce witnessed refutations";
+  ASSERT_LT(witness_rows.size(), session->relation().num_rows())
+      << "some rows must survive or the check is vacuous";
+
+  rel::RowBatch shed;
+  shed.deletes.assign(witness_rows.begin(), witness_rows.end());
+  auto stats = session->ApplyBatch(shed);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  ExpectEquivalent(*session, options);
+
+  // Surviving refutations must carry witnesses that still exist — no entry
+  // may point at a deleted (now out-of-range or remapped-away) row.
+  for (const auto& [key, w] : session->outcomes()) {
+    if (!w.ocd_valid && w.swap_w.known()) {
+      EXPECT_LT(w.swap_w.a, session->relation().num_rows());
+      EXPECT_LT(w.swap_w.b, session->relation().num_rows());
+    }
+  }
+
+  // And the shed state keeps composing: a follow-up mixed batch on top of
+  // the recomputed outcomes stays equivalent too.
+  std::mt19937 rng(99);
+  rel::RowBatch follow = RandomBatch(session->relation(), rng, 5, 8);
+  auto follow_stats = session->ApplyBatch(follow);
+  ASSERT_TRUE(follow_stats.ok()) << follow_stats.status().message();
+  ExpectEquivalent(*session, options);
 }
 
 }  // namespace

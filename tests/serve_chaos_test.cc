@@ -1,0 +1,563 @@
+// Chaos fault matrix for the network-facing `ocdd serve` stack
+// (docs/serving.md): the in-process ChaosProxy sits between a retrying
+// ServeClient and a TCP daemon, injecting latency spikes, mid-frame
+// connection resets, torn writes, black-holed reads, and CRC-caught byte
+// corruption. Every injected fault must end in a typed client outcome or a
+// successful retried result that is byte-identical to the clean path —
+// never a daemon hang, crash, orphaned worker, or corrupted cache. Also
+// covers the TCP transport itself: endpoint parsing, slowloris eviction,
+// idle-connection reaping, and the connection cap.
+
+#include "serve/chaos_proxy.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json_reader.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace ocdd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("ocdd_serve_chaos_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string WriteScript(const ScratchDir& scratch, const std::string& name,
+                        const std::string& body) {
+  std::string path = scratch.path + "/" + name;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "#!/bin/sh\n" << body;
+  }
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+/// A worker-report JSON line, single-quoted for sh echo.
+std::string ReportLine(bool completed, const std::string& stop_reason) {
+  return "echo '{\"completed\":" + std::string(completed ? "true" : "false") +
+         ",\"stop_reason\":\"" + stop_reason +
+         "\",\"algorithm\":\"fake\",\"checks\":10}'\n";
+}
+
+/// Runs one Server on its own thread for the duration of a test case.
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerOptions options)
+      : server_(std::move(options)) {
+    Status started = server_.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    thread_ = std::thread([this] {
+      Status ran = server_.Run();
+      EXPECT_TRUE(ran.ok()) << ran.ToString();
+    });
+  }
+
+  ~ServerHarness() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (thread_.joinable()) {
+      server_.RequestStop();
+      thread_.join();
+    }
+  }
+
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+/// A TCP daemon on an ephemeral port with sh-fake workers.
+ServerOptions TcpOptions(const ScratchDir& /*scratch*/,
+                         const std::string& worker_script) {
+  ServerOptions options;
+  options.listen_address = "127.0.0.1:0";
+  options.num_executors = 2;
+  options.worker_argv_prefix = {"/bin/sh", worker_script};
+  options.backoff_base_seconds = 0.001;
+  options.backoff_cap_seconds = 0.002;
+  options.drain_grace_seconds = 0.05;
+  options.io_timeout_seconds = 2.0;
+  options.frame_deadline_seconds = 5.0;
+  return options;
+}
+
+ServeRequest RunRequest(const std::string& id) {
+  ServeRequest req;
+  req.kind = "run";
+  req.id = id;
+  req.source = "NUMBERS";  // tiny built-in dataset; fingerprinting is real
+  req.rows = 50;
+  return req;
+}
+
+ClientOptions FastClient(double io_timeout = 10.0) {
+  ClientOptions options;
+  options.connect_attempts = 40;
+  options.connect_retry_seconds = 0.01;
+  options.io_timeout_seconds = io_timeout;
+  return options;
+}
+
+RetryOptions FastRetry(int retries) {
+  RetryOptions retry;
+  retry.max_retries = retries;
+  retry.backoff_base_seconds = 0.005;
+  retry.backoff_cap_seconds = 0.02;
+  return retry;
+}
+
+/// Fetches the daemon's stats document directly (no proxy).
+report::JsonValue Stats(const Endpoint& endpoint) {
+  ServeRequest req;
+  req.kind = "stats";
+  auto resp = SendRequestOnce(endpoint, req, FastClient());
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->have_report);
+  return resp->report;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing
+// ---------------------------------------------------------------------------
+
+TEST(Endpoint, ParseVocabulary) {
+  auto unix_path = ParseEndpoint("/tmp/daemon.sock");
+  ASSERT_TRUE(unix_path.ok());
+  EXPECT_EQ(unix_path->kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_path->path, "/tmp/daemon.sock");
+
+  auto unix_forced = ParseEndpoint("unix:relative.sock");
+  ASSERT_TRUE(unix_forced.ok());
+  EXPECT_EQ(unix_forced->kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_forced->path, "relative.sock");
+
+  auto tcp = ParseEndpoint("127.0.0.1:7411");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 7411);
+  EXPECT_EQ(tcp->ToString(), "127.0.0.1:7411");
+
+  auto tcp_forced = ParseEndpoint("tcp:localhost:80");
+  ASSERT_TRUE(tcp_forced.ok());
+  EXPECT_EQ(tcp_forced->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp_forced->host, "localhost");
+
+  auto all_ifaces = ParseEndpoint(":7411");
+  ASSERT_TRUE(all_ifaces.ok());
+  EXPECT_EQ(all_ifaces->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(all_ifaces->host, "0.0.0.0");
+
+  EXPECT_FALSE(ParseEndpoint("").ok());
+  EXPECT_FALSE(ParseEndpoint("host:notaport").ok());
+  EXPECT_FALSE(ParseEndpoint("host:99999").ok());
+  EXPECT_FALSE(ParseEndpoint("unix:").ok());
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport sanity
+// ---------------------------------------------------------------------------
+
+TEST(TcpTransport, RoundTripAndEphemeralPort) {
+  ScratchDir scratch("tcp_roundtrip");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  const Endpoint& endpoint = harness.server().endpoint();
+  EXPECT_EQ(endpoint.kind, Endpoint::Kind::kTcp);
+  EXPECT_NE(endpoint.port, 0) << "Start() must report the bound port";
+
+  auto resp = SendRequestOnce(endpoint, RunRequest("tcp-1"), FastClient());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_TRUE(resp->have_report);
+  EXPECT_EQ(resp->id, "tcp-1");
+}
+
+TEST(TcpTransport, SlowlorisClientEvictedByFrameDeadline) {
+  ScratchDir scratch("slowloris");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerOptions options = TcpOptions(scratch, worker);
+  options.io_timeout_seconds = 1.0;
+  options.frame_deadline_seconds = 0.3;  // the guard under test
+  ServerHarness harness(std::move(options));
+
+  auto fd = ConnectTo(harness.server().endpoint());
+  ASSERT_TRUE(fd.ok());
+  // Trickle a valid frame prefix one byte at a time, slower than the frame
+  // deadline allows in total but faster than any single-read timeout.
+  const std::string frame = EncodeFrame(SerializeRequest(RunRequest("slow")));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(WriteFull(*fd, frame.data() + i, 1), IoStatus::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }
+  // By now the total deadline has fired: the daemon answers a typed
+  // torn_frame reject and closes — it does not wait for the rest.
+  std::string payload;
+  FrameError frame_error = FrameError::kNone;
+  const IoStatus status =
+      ReadFrame(*fd, FrameLimits{}, 2.0, &payload, &frame_error);
+  ::close(*fd);
+  ASSERT_EQ(status, IoStatus::kOk) << IoStatusName(status);
+  auto resp = ParseResponse(payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, "rejected");
+  EXPECT_EQ(resp->reject_reason, "torn_frame");
+
+  const report::JsonValue stats = Stats(harness.server().endpoint());
+  EXPECT_GE(stats["counters"]["slowloris_evicted"].number_value(), 1.0);
+}
+
+TEST(TcpTransport, IdleConnectionReapedSilently) {
+  ScratchDir scratch("idle");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerOptions options = TcpOptions(scratch, worker);
+  options.frame_deadline_seconds = 0.2;
+  ServerHarness harness(std::move(options));
+
+  auto fd = ConnectTo(harness.server().endpoint());
+  ASSERT_TRUE(fd.ok());
+  // Say nothing. The reaper closes the connection without a response.
+  char byte = 0;
+  std::size_t n = 0;
+  SetIoDeadline(*fd, 2.0);
+  const IoStatus status = ReadSome(*fd, &byte, 1, &n);
+  ::close(*fd);
+  EXPECT_EQ(status, IoStatus::kEof) << IoStatusName(status);
+
+  const report::JsonValue stats = Stats(harness.server().endpoint());
+  EXPECT_GE(stats["counters"]["idle_reaped"].number_value(), 1.0);
+}
+
+TEST(TcpTransport, ConnectionCapShedsWithTypedReject) {
+  ScratchDir scratch("conn_cap");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerOptions options = TcpOptions(scratch, worker);
+  options.max_connections = 1;
+  options.frame_deadline_seconds = 0.3;  // evicts the occupier eventually
+  ServerHarness harness(std::move(options));
+
+  // Occupy the single slot with a connection that never speaks.
+  auto occupier = ConnectTo(harness.server().endpoint());
+  ASSERT_TRUE(occupier.ok());
+  // Wait until the reader thread actually holds the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto resp = SendRequestOnce(harness.server().endpoint(),
+                              RunRequest("capped"), FastClient());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "rejected");
+  EXPECT_EQ(resp->reject_reason, "connection_limit");
+
+  // The shed is retryable: the retrying client keeps colliding with the
+  // still-held slot until the occupier's frame deadline frees it.
+  RetryOptions retry = FastRetry(40);
+  retry.backoff_cap_seconds = 0.05;
+  ServeClient client(harness.server().endpoint(), FastClient(), retry);
+  ClientResult result = client.Call(RunRequest("after-cap"));
+  ::close(*occupier);
+  ASSERT_EQ(result.outcome, ClientOutcome::kResponse) << result.error;
+  EXPECT_EQ(result.response.status, "ok");
+  EXPECT_GE(result.shed_rejects, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The chaos fault matrix
+// ---------------------------------------------------------------------------
+
+struct MatrixCase {
+  ChaosFault fault;
+  /// After the (single) injected fault, must the retried answer land on the
+  /// daemon's result cache? True for every response-path fault: the worker
+  /// completed and cached before the bytes were mangled, so the retry MUST
+  /// be served from cache (idempotency), not recomputed.
+  bool expect_cache_hit;
+};
+
+class ChaosMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ChaosMatrix, FaultEndsInRetriedByteIdenticalResult) {
+  const MatrixCase& param = GetParam();
+  ScratchDir scratch(std::string("matrix_") + ChaosFaultName(param.fault));
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  // Clean baseline (also warms the daemon cache): what every retried
+  // answer must be byte-identical to.
+  auto baseline = SendRequestOnce(harness.server().endpoint(),
+                                  RunRequest("base"), FastClient());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->status, "ok");
+  const std::string want = report::SerializeJson(baseline->report);
+
+  ChaosPlan plan;
+  plan.fault = param.fault;
+  plan.probability = 1.0;
+  plan.max_faults = 1;  // fault once, then pass-through: the retry lands
+  plan.latency_seconds = 0.05;
+  plan.blackhole_hold_seconds = 0.5;
+  plan.io_timeout_seconds = 5.0;
+  ChaosProxy proxy(harness.server().endpoint(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  // Client read timeout below the blackhole hold so the black-holed read
+  // surfaces as a typed timeout, not a test hang.
+  ServeClient client(proxy.endpoint(), FastClient(/*io_timeout=*/0.3),
+                     FastRetry(4));
+  ClientResult result = client.Call(RunRequest("base"));
+  proxy.Stop();
+
+  ASSERT_EQ(result.outcome, ClientOutcome::kResponse)
+      << ChaosFaultName(param.fault) << ": " << result.error;
+  EXPECT_EQ(result.response.status, "ok");
+  ASSERT_TRUE(result.response.have_report);
+  EXPECT_EQ(report::SerializeJson(result.response.report), want)
+      << "retried result must be byte-identical to the clean path";
+  if (param.fault == ChaosFault::kLatency) {
+    EXPECT_EQ(result.attempts, 1) << "latency is not an error";
+  } else {
+    EXPECT_GE(result.attempts, 2) << "the fault must have forced a retry";
+    EXPECT_GE(result.transport_failures, 1);
+  }
+  if (param.expect_cache_hit) {
+    EXPECT_EQ(result.response.cache, "hit")
+        << "a retried run must be served from the result cache, never "
+           "recomputed";
+  }
+
+  // The daemon is healthy afterwards: a clean direct request succeeds and
+  // nothing is left running (no orphaned workers).
+  auto after = SendRequestOnce(harness.server().endpoint(),
+                               RunRequest("after"), FastClient());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->status, "ok");
+  EXPECT_EQ(report::SerializeJson(after->report), want)
+      << "cache must not be corrupted by the fault";
+  const report::JsonValue stats = Stats(harness.server().endpoint());
+  EXPECT_EQ(stats["running"].number_value(), 0.0);
+  EXPECT_EQ(stats["counters"]["worker_crashes"].number_value(), 0.0);
+}
+
+TEST_P(ChaosMatrix, PersistentFaultTerminatesWithTypedOutcome) {
+  const MatrixCase& param = GetParam();
+  if (param.fault == ChaosFault::kLatency) {
+    GTEST_SKIP() << "latency alone never fails a request";
+  }
+  ScratchDir scratch(std::string("typed_") + ChaosFaultName(param.fault));
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  ChaosPlan plan;
+  plan.fault = param.fault;
+  plan.probability = 1.0;  // unlimited: every attempt fails
+  plan.blackhole_hold_seconds = 0.5;
+  plan.io_timeout_seconds = 5.0;
+  ChaosProxy proxy(harness.server().endpoint(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  ServeClient client(proxy.endpoint(), FastClient(/*io_timeout=*/0.3),
+                     FastRetry(2));
+  ClientResult result = client.Call(RunRequest("doomed"));
+  proxy.Stop();
+
+  // Typed terminal outcome — never a hang, never an untyped failure.
+  EXPECT_EQ(result.outcome, ClientOutcome::kRetriesExhausted)
+      << ClientOutcomeName(result.outcome);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(result.transport_failures, 3);
+  EXPECT_FALSE(result.error.empty());
+
+  // The daemon survived every mangled exchange.
+  auto after = SendRequestOnce(harness.server().endpoint(),
+                               RunRequest("after"), FastClient());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->status, "ok");
+  const report::JsonValue stats = Stats(harness.server().endpoint());
+  EXPECT_EQ(stats["running"].number_value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, ChaosMatrix,
+    ::testing::Values(
+        MatrixCase{ChaosFault::kLatency, /*expect_cache_hit=*/false},
+        MatrixCase{ChaosFault::kResetMidFrame, /*expect_cache_hit=*/true},
+        MatrixCase{ChaosFault::kTornWrite, /*expect_cache_hit=*/true},
+        MatrixCase{ChaosFault::kBlackhole, /*expect_cache_hit=*/true},
+        MatrixCase{ChaosFault::kCorrupt, /*expect_cache_hit=*/true},
+        MatrixCase{ChaosFault::kResetRequest, /*expect_cache_hit=*/false}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return ChaosFaultName(info.param.fault);
+    });
+
+// ---------------------------------------------------------------------------
+// Retry semantics beyond the matrix
+// ---------------------------------------------------------------------------
+
+TEST(ResilientClient, DeadlineBoundsTheWholeCall) {
+  ScratchDir scratch("deadline");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  ChaosPlan plan;
+  plan.fault = ChaosFault::kBlackhole;
+  plan.probability = 1.0;
+  plan.blackhole_hold_seconds = 0.4;
+  ChaosProxy proxy(harness.server().endpoint(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  RetryOptions retry = FastRetry(50);
+  retry.deadline_seconds = 0.6;
+  ServeClient client(proxy.endpoint(), FastClient(/*io_timeout=*/0.25),
+                     retry);
+  const auto start = std::chrono::steady_clock::now();
+  ClientResult result = client.Call(RunRequest("late"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  proxy.Stop();
+
+  EXPECT_EQ(result.outcome, ClientOutcome::kDeadlineExceeded)
+      << ClientOutcomeName(result.outcome) << " " << result.error;
+  EXPECT_LT(elapsed, 2.0) << "the deadline must cut the retry loop short";
+}
+
+TEST(ResilientClient, CircuitBreakerOpensFailsFastAndRecovers) {
+  ScratchDir scratch("breaker");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  ChaosPlan plan;
+  plan.fault = ChaosFault::kResetMidFrame;
+  plan.probability = 1.0;
+  plan.max_faults = 2;  // exactly enough to trip the breaker, then healthy
+  ChaosProxy proxy(harness.server().endpoint(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  RetryOptions retry = FastRetry(5);
+  retry.breaker_threshold = 2;
+  retry.breaker_cooldown_seconds = 0.2;
+  ServeClient client(proxy.endpoint(), FastClient(), retry);
+
+  // Two consecutive resets trip the breaker mid-call.
+  ClientResult first = client.Call(RunRequest("trip"));
+  EXPECT_EQ(first.outcome, ClientOutcome::kCircuitOpen)
+      << ClientOutcomeName(first.outcome);
+  EXPECT_EQ(client.breaker_state(), ServeClient::BreakerState::kOpen);
+
+  // While open + inside the cooldown: fail fast, no network touched.
+  ClientResult fast = client.Call(RunRequest("fast-fail"));
+  EXPECT_EQ(fast.outcome, ClientOutcome::kCircuitOpen);
+  EXPECT_EQ(fast.attempts, 0);
+
+  // After the cooldown the half-open probe goes through the now-clean
+  // proxy, closes the breaker, and the answer is real.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ClientResult recovered = client.Call(RunRequest("recovered"));
+  ASSERT_EQ(recovered.outcome, ClientOutcome::kResponse) << recovered.error;
+  EXPECT_EQ(recovered.response.status, "ok");
+  EXPECT_EQ(client.breaker_state(), ServeClient::BreakerState::kClosed);
+  proxy.Stop();
+}
+
+TEST(ResilientClient, ApplyBatchNeverBlindlyRetriedAfterDelivery) {
+  ScratchDir scratch("batch_retry");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  ChaosPlan plan;
+  plan.fault = ChaosFault::kTornWrite;  // response lost AFTER delivery
+  plan.probability = 1.0;
+  ChaosProxy proxy(harness.server().endpoint(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  ServeRequest batch;
+  batch.kind = "apply_batch";
+  batch.state = "s1";
+  batch.tenant = "default";
+  ServeClient client(proxy.endpoint(), FastClient(), FastRetry(5));
+  ClientResult result = client.Call(batch);
+  proxy.Stop();
+
+  // The request reached the daemon; the response was torn. Retrying could
+  // apply the batch twice, so the client must surface the ambiguity.
+  EXPECT_EQ(result.outcome, ClientOutcome::kNotRetryable)
+      << ClientOutcomeName(result.outcome);
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(ResilientClient, MixedChaosEventuallyDeliversIdenticalBytes) {
+  ScratchDir scratch("mix");
+  const std::string worker =
+      WriteScript(scratch, "ok.sh", ReportLine(true, ""));
+  ServerHarness harness(TcpOptions(scratch, worker));
+
+  auto baseline = SendRequestOnce(harness.server().endpoint(),
+                                  RunRequest("mix"), FastClient());
+  ASSERT_TRUE(baseline.ok());
+  const std::string want = report::SerializeJson(baseline->report);
+
+  ChaosPlan plan;
+  plan.fault = ChaosFault::kMix;
+  plan.probability = 0.7;
+  plan.seed = 7;
+  plan.latency_seconds = 0.01;
+  ChaosProxy proxy(harness.server().endpoint(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  ServeClient client(proxy.endpoint(), FastClient(), FastRetry(15));
+  for (int i = 0; i < 5; ++i) {
+    ClientResult result = client.Call(RunRequest("mix"));
+    ASSERT_EQ(result.outcome, ClientOutcome::kResponse)
+        << "round " << i << ": " << result.error;
+    ASSERT_EQ(result.response.status, "ok");
+    EXPECT_EQ(report::SerializeJson(result.response.report), want);
+  }
+  const ChaosCounters counters = proxy.counters();
+  EXPECT_GE(counters.faults_injected, 1u)
+      << "the mix plan must actually have injected something";
+  proxy.Stop();
+
+  const report::JsonValue stats = Stats(harness.server().endpoint());
+  EXPECT_EQ(stats["running"].number_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ocdd::serve

@@ -864,6 +864,10 @@ int CmdQa(const Args& args, const char* argv0) {
   // The serve-equivalence stage drives this very binary both as an
   // in-process daemon's worker and as a direct baseline run.
   if (!args.Has("no-serve")) opts.serve_cli_path = SelfExePath(argv0);
+  // --chaos replays the serve-equivalence exchange over TCP through the
+  // fault proxy with a retrying client; the answer must still be
+  // byte-identical.
+  opts.serve_chaos = args.Has("chaos");
   opts.max_failures = args.GetSize("max-failures", 8);
   opts.repro_dir = args.Get("repro-dir", "");
   opts.spec.max_rows = args.GetSize("max-rows", opts.spec.max_rows);
@@ -1030,12 +1034,14 @@ extern "C" void HandleServeStop(int) {
 /// (docs/serving.md). Runs until SIGTERM/SIGINT, then drains gracefully and
 /// prints one final stats JSON document to stdout.
 int CmdServe(const Args& args, const char* argv0) {
-  if (args.source.empty()) {
-    std::fprintf(stderr, "serve requires a <socket-path> argument\n");
-    return 2;
-  }
   ocdd::serve::ServerOptions opts;
   opts.socket_path = args.source;
+  opts.listen_address = args.Get("listen", "");
+  if (opts.socket_path.empty() && opts.listen_address.empty()) {
+    std::fprintf(stderr,
+                 "serve requires a <socket-path> argument or --listen\n");
+    return 2;
+  }
   opts.num_executors = args.GetSize("executors", 2);
   if (opts.num_executors == 0) opts.num_executors = 1;
   opts.queue_capacity = args.GetSize("queue-capacity", 16);
@@ -1050,6 +1056,8 @@ int CmdServe(const Args& args, const char* argv0) {
   opts.cache_dir = args.Get("cache-dir", "");
   opts.checkpoint_root = args.Get("checkpoint-root", "");
   opts.io_timeout_seconds = args.GetDouble("io-timeout", 5.0);
+  opts.frame_deadline_seconds = args.GetDouble("frame-deadline", 10.0);
+  opts.max_connections = args.GetSize("max-connections", 64);
 
   const std::string tenants_path = args.Get("tenants", "");
   if (!tenants_path.empty()) {
@@ -1073,7 +1081,10 @@ int CmdServe(const Args& args, const char* argv0) {
   g_server.store(&server);
   std::signal(SIGTERM, HandleServeStop);
   std::signal(SIGINT, HandleServeStop);
-  std::fprintf(stderr, "serve: listening on %s\n", args.source.c_str());
+  // The bound endpoint, not the spec: with --listen host:0 this is where
+  // the kernel actually put us, and scripts parse this line to find out.
+  std::fprintf(stderr, "serve: listening on %s\n",
+               server.endpoint().ToString().c_str());
 
   Status ran = server.Run();
   g_server.store(nullptr);
@@ -1087,14 +1098,23 @@ int CmdServe(const Args& args, const char* argv0) {
   return 0;
 }
 
-/// `ocdd request <socket> --source X [flags]` — one client exchange with a
-/// serve daemon. Exit codes: 0 ok, 5 rejected, 6 timeout, 7 worker error,
-/// 1 transport/protocol failure (docs/serving.md).
+/// `ocdd request <endpoint> --source X [flags]` — one client exchange with
+/// a serve daemon (Unix socket path or TCP host:port). Exit codes: 0 ok,
+/// 5 rejected, 6 timeout, 7 worker error, 8 retries/deadline/breaker
+/// exhausted, 1 transport/protocol failure without retries
+/// (docs/serving.md).
 int CmdRequest(const Args& args) {
   if (args.source.empty()) {
-    std::fprintf(stderr, "request requires a <socket-path> argument\n");
+    std::fprintf(stderr, "request requires an <endpoint> argument\n");
     return 2;
   }
+  auto endpoint = ocdd::serve::ParseEndpoint(args.source);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "request: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+
   ocdd::serve::ServeRequest req;
   req.kind = args.Get("kind", "run");
   req.id = args.Get("id", "");
@@ -1111,19 +1131,45 @@ int CmdRequest(const Args& args) {
   ocdd::serve::ClientOptions copts;
   copts.io_timeout_seconds = args.GetDouble("io-timeout", 600.0);
 
-  auto resp = ocdd::serve::SendRequest(args.source, req, copts);
-  if (!resp.ok()) {
-    std::fprintf(stderr, "request: %s\n", resp.status().ToString().c_str());
-    return 1;
-  }
-  if (args.Has("report-only") && resp->have_report) {
-    std::printf("%s\n", ocdd::report::SerializeJson(resp->report).c_str());
+  ocdd::serve::ServeResponse response;
+  const bool resilient = args.Has("retries") || args.Has("deadline");
+  if (resilient) {
+    ocdd::serve::RetryOptions retry;
+    retry.max_retries = static_cast<int>(args.GetSize("retries", 0));
+    retry.deadline_seconds = args.GetDouble("deadline", 0.0);
+    retry.backoff_base_seconds = args.GetDouble("retry-backoff", 0.05);
+    retry.breaker_threshold =
+        static_cast<int>(args.GetSize("breaker-threshold", 0));
+    ocdd::serve::ServeClient client(*endpoint, copts, retry);
+    ocdd::serve::ClientResult result = client.Call(req);
+    if (result.outcome != ocdd::serve::ClientOutcome::kResponse) {
+      std::fprintf(stderr, "request: %s: %s\n",
+                   ocdd::serve::ClientOutcomeName(result.outcome),
+                   result.error.c_str());
+      return 8;
+    }
+    if (result.attempts > 1) {
+      std::fprintf(stderr, "request: succeeded on attempt %d\n",
+                   result.attempts);
+    }
+    response = std::move(result.response);
   } else {
-    std::printf("%s\n", ocdd::serve::SerializeResponse(*resp).c_str());
+    auto resp = ocdd::serve::SendRequestOnce(*endpoint, req, copts);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "request: %s\n", resp.status().ToString().c_str());
+      return 1;
+    }
+    response = std::move(*resp);
   }
-  if (resp->status == "ok") return 0;
-  if (resp->status == "rejected") return 5;
-  if (resp->status == "timeout") return 6;
+
+  if (args.Has("report-only") && response.have_report) {
+    std::printf("%s\n", ocdd::report::SerializeJson(response.report).c_str());
+  } else {
+    std::printf("%s\n", ocdd::serve::SerializeResponse(response).c_str());
+  }
+  if (response.status == "ok") return 0;
+  if (response.status == "rejected") return 5;
+  if (response.status == "timeout") return 6;
   return 7;
 }
 
@@ -1141,17 +1187,21 @@ void Usage() {
       "              --backoff-multiplier M --no-progress-limit K);\n"
       "             requires --checkpoint DIR; prints one merged JSON report;\n"
       "             exit 4 = gave up\n"
-      "  serve      multi-tenant discovery daemon on a Unix socket:\n"
-      "             ocdd serve /path.sock [--executors N] [--queue-capacity N]\n"
+      "  serve      multi-tenant discovery daemon on a Unix socket or TCP:\n"
+      "             ocdd serve /path.sock | --listen HOST:PORT\n"
+      "             [--executors N] [--queue-capacity N]\n"
+      "             [--max-connections N] [--frame-deadline S]\n"
       "             [--tenants FILE] [--cache-mib N] [--cache-dir DIR]\n"
       "             [--checkpoint-root DIR] [--request-timeout S]\n"
       "             [--max-attempts N] [--memory-watermark-mib N]\n"
       "             [--drain-grace S]; SIGTERM drains gracefully and prints\n"
       "             final stats JSON (see docs/serving.md)\n"
-      "  request    one exchange with a serve daemon: ocdd request /path.sock\n"
-      "             --source SRC [--algo X] [--tenant T] [--kind run|ping|\n"
-      "             stats] [--no-cache] [--report-only]; exit 0 ok,\n"
-      "             5 rejected, 6 timeout, 7 worker error\n"
+      "  request    one exchange with a serve daemon: ocdd request\n"
+      "             /path.sock|HOST:PORT --source SRC [--algo X] [--tenant T]\n"
+      "             [--kind run|ping|stats] [--no-cache] [--report-only]\n"
+      "             [--retries N] [--deadline S] [--retry-backoff S]\n"
+      "             [--breaker-threshold N]; exit 0 ok, 5 rejected,\n"
+      "             6 timeout, 7 worker error, 8 retries/deadline exhausted\n"
       "  discover   OCDDISCOVER: order compatibility + order dependencies\n"
       "  apply-batch  incremental maintenance step: ocdd apply-batch\n"
       "             [batch-file] --state DIR [--base SOURCE] [--rows N]\n"
@@ -1177,7 +1227,7 @@ void Usage() {
       "             [--repro-dir DIR] [--max-rows N] [--max-cols N]\n"
       "             [--no-metamorphic] [--no-stopped-runs]\n"
       "             [--no-resume-runs] [--no-ingest] [--no-incremental]\n"
-      "             [--no-serve]\n"
+      "             [--no-serve] [--chaos]\n"
       "             exit 0 = clean, 3 = discrepancies (see docs/qa.md)\n"
       "<source>: a .csv path or a dataset name (YES, NO, NUMBERS, LINEITEM,\n"
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"

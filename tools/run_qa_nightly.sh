@@ -87,6 +87,23 @@ cmake --build "${DIR}" -j "$(nproc)" --target checkpoint_test supervise_test \
       'checkpoint_test|supervise_test|fuzz_lite_test|incremental_test|incremental_cli_test' \
       --output-on-failure)
 
+# Time-boxed network-chaos pass: the serve-equivalence stage replayed over
+# TCP through the in-process chaos fault proxy (mixed resets, torn writes,
+# latency, CRC-caught corruption) with a retrying client — reports must stay
+# byte-identical despite the injected faults (docs/serving.md). `timeout`
+# bounds the wall clock; running out of the box is success, a discrepancy
+# (exit 3) or a sanitizer report is not.
+CHAOS_SECONDS="${CHAOS_SECONDS:-120}"
+echo "==> qa --chaos pass (time-boxed to ${CHAOS_SECONDS}s)"
+status=0
+timeout "${CHAOS_SECONDS}" \
+  "${QA}" qa --seed "${SEED}" --iters "${ITERS}" --chaos \
+         --repro-dir "${REPRO_DIR}/chaos" || status=$?
+if [[ "${status}" -ne 0 && "${status}" -ne 124 ]]; then
+  echo "qa --chaos: expected clean (0) or time-box (124), got ${status}" >&2
+  exit 1
+fi
+
 # Fuzz-lite corpus replay ran above under ASan; when Clang is available,
 # follow with a real coverage-guided sweep of the four untrusted-byte
 # boundaries (run_fuzz.sh skips itself cleanly on gcc-only hosts).

@@ -28,6 +28,14 @@ run_one() {
   echo "==> ${preset}: serve + incremental fault matrices (repeated)"
   ctest --test-dir "${dir}" --output-on-failure -R "serve|incremental_cli" \
         --repeat until-fail:3
+  # The network chaos matrix is the single most interleaving-sensitive test
+  # in the tree: proxy threads, per-connection daemon reader threads,
+  # executor threads, and a retrying client all racing injected resets and
+  # timeouts. TSan coverage here matters more than anywhere else — repeat
+  # it harder than the rest.
+  echo "==> ${preset}: network chaos matrix (repeated)"
+  ctest --test-dir "${dir}" --output-on-failure -R "serve_chaos" \
+        --repeat until-fail:5
 }
 
 presets=("${@:-asan tsan}")

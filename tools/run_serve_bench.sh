@@ -14,9 +14,10 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-bench-out}"
 
-echo "==> building bench_serve_load + ocdd_cli"
+echo "==> building bench_serve_load + bench_serve_tcp + ocdd_cli"
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_serve_load ocdd_cli
+cmake --build build -j "$(nproc)" --target bench_serve_load bench_serve_tcp \
+      ocdd_cli
 
 mkdir -p "${OUT}"
 echo "==> serve load scenarios"
@@ -24,5 +25,10 @@ OCDD_BENCH_JSON_DIR="${OUT}" \
   ./build/bench/bench_serve_load ./build/tools/ocdd \
   | tee "${OUT}/serve_load.log"
 
+echo "==> transport scenarios (unix vs tcp, ±1% injected resets)"
+OCDD_BENCH_JSON_DIR="${OUT}" \
+  ./build/bench/bench_serve_tcp ./build/tools/ocdd \
+  | tee "${OUT}/serve_tcp.log"
+
 echo "==> report:"
-ls -l "${OUT}"/BENCH_serve_load.json
+ls -l "${OUT}"/BENCH_serve_load.json "${OUT}"/BENCH_serve_tcp.json
