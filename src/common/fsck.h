@@ -1,0 +1,103 @@
+#ifndef OCDD_COMMON_FSCK_H_
+#define OCDD_COMMON_FSCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ocdd {
+
+/// Offline integrity scrubber for snapshot-store directories — checkpoint
+/// dirs, the serve cache dir, a daemon's whole checkpoint root, incremental
+/// warm-state dirs. Surfaced as `ocdd fsck DIR [--repair]`
+/// (docs/robustness.md, "ocdd fsck").
+///
+/// A store directory holds `<name>.<generation>.snap` files written by
+/// SnapshotStore plus, transiently, `<name>.tmp` in-flight images. After a
+/// crash the directory may contain torn or corrupt generations (which
+/// readers already skip at load time) and orphaned tmp files (which nothing
+/// ever cleans). Fsck makes that state visible and, with repair enabled,
+/// safe: corrupt generations are quarantined (renamed into
+/// `<dir>/fsck-quarantine/`, preserving the bytes for forensics) so the
+/// newest *valid* generation is what every future Load resolves, and orphan
+/// tmp files are reaped.
+
+/// Verdict for one scanned snapshot file.
+enum class FsckFileStatus {
+  kValid,      ///< decoded and CRC-validated end to end
+  kCorrupt,    ///< unreadable, torn, or CRC/structure violation
+  kOrphanTmp,  ///< a `<name>.tmp` left behind by an interrupted write
+};
+
+const char* FsckFileStatusName(FsckFileStatus status);
+
+struct FsckFile {
+  std::string path;
+  /// Store name parsed from the file name (empty for unparseable names).
+  std::string store;
+  std::uint64_t generation = 0;
+  std::size_t size_bytes = 0;
+  FsckFileStatus status = FsckFileStatus::kValid;
+  /// Decode failure detail for corrupt files.
+  std::string detail;
+  /// What repair did: empty, "quarantined", "reaped", or an error note.
+  std::string repair;
+};
+
+/// Per-store rollup within one directory.
+struct FsckStore {
+  std::string dir;
+  std::string name;
+  std::size_t valid = 0;
+  std::size_t corrupt = 0;
+  /// Newest generation that validates (0 = none) — what Load() resolves
+  /// once the corrupt ones are quarantined.
+  std::uint64_t newest_valid_generation = 0;
+};
+
+struct FsckOptions {
+  /// Quarantine corrupt generations and reap orphan tmp files.
+  bool repair = false;
+  /// Descend into subdirectories (checkpoint roots nest one store dir per
+  /// request key / warm state).
+  bool recursive = true;
+};
+
+struct FsckReport {
+  std::string root;
+  std::size_t dirs_scanned = 0;
+  std::vector<FsckFile> files;
+  std::vector<FsckStore> stores;
+  std::size_t valid_files = 0;
+  std::size_t corrupt_files = 0;
+  std::size_t orphan_tmp_files = 0;
+  std::size_t repaired_files = 0;
+  /// Non-fatal trouble during the scan (unreadable subdir, failed rename).
+  std::vector<std::string> warnings;
+
+  /// Nothing corrupt and no orphans (or repair handled all of them).
+  bool clean() const {
+    return corrupt_files == 0 && orphan_tmp_files == 0;
+  }
+};
+
+/// Scrubs `root`: every snapshot file is read fully and decoded (magic,
+/// per-section CRCs, file CRC trailer), tmp files are flagged as orphans,
+/// and with `options.repair` the directory is left in a state where every
+/// remaining `.snap` file validates. The scan itself never modifies
+/// anything unless repair is set. Fails only when `root` cannot be opened.
+Result<FsckReport> FsckDirectory(const std::string& root,
+                                 const FsckOptions& options = {});
+
+/// Renders a human-readable summary (the non-JSON CLI output).
+std::string FsckReportText(const FsckReport& report);
+
+/// Renders the report as a JSON document (the `--json` CLI output).
+std::string FsckReportJson(const FsckReport& report);
+
+}  // namespace ocdd
+
+#endif  // OCDD_COMMON_FSCK_H_

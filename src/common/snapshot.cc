@@ -1,20 +1,17 @@
 #include "common/snapshot.h"
 
 #include <dirent.h>
-#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <array>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include "common/fault_injection.h"
 #include "common/ingest_error.h"
+#include "common/io_env.h"
 #include "common/status.h"
 
 namespace ocdd {
@@ -52,85 +49,29 @@ const std::uint32_t* Crc32Table() {
   return table.data();
 }
 
-Status IoError(const std::string& op, const std::string& path) {
-  return Status::Internal("snapshot " + op + " failed for " + path + ": " +
-                          std::strerror(errno));
-}
+// Every durable operation below routes through the process-global IoEnv
+// under the "snapshot.*" fault-point namespace — the serve result cache,
+// incremental warm state, and checkpoint stores all persist through
+// SnapshotStore, so arming these sites covers every durability path at once
+// (docs/robustness.md, "Disk faults").
 
 // Durably writes `bytes` to `path` (open, write, fsync, close).
 Status WriteFileSynced(const std::string& path, const char* bytes,
                        std::size_t len) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return IoError("open", path);
-  std::size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::write(fd, bytes + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status s = IoError("write", path);
-      ::close(fd);
-      return s;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    Status s = IoError("fsync", path);
-    ::close(fd);
-    return s;
-  }
-  if (::close(fd) != 0) return IoError("close", path);
-  return Status::OK();
+  return IoWriteFileSynced(IoEnv::Get(), "snapshot", path, bytes, len);
 }
 
 // Fsyncs the directory itself so the rename is durable.
 Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return IoError("open dir", dir);
-  if (::fsync(fd) != 0) {
-    Status s = IoError("fsync dir", dir);
-    ::close(fd);
-    return s;
-  }
-  ::close(fd);
-  return Status::OK();
+  return IoSyncDir(IoEnv::Get(), "snapshot", dir);
 }
 
 Result<std::string> ReadFileAll(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return IoError("open", path);
-  std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status s = IoError("read", path);
-      ::close(fd);
-      return s;
-    }
-    if (n == 0) break;
-    out.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  return out;
+  return IoReadFileAll(IoEnv::Get(), "snapshot", path);
 }
 
 Status EnsureDir(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0) {
-    // The new directory entry lives in the *parent*; without fsyncing the
-    // parent a power loss can forget the whole store directory — taking
-    // every carefully synced generation inside it along. (SyncDir after
-    // rename covers renames *inside* the store, not its creation.)
-    std::string parent = dir;
-    const std::size_t slash = parent.find_last_of('/');
-    parent = slash == std::string::npos ? std::string(".")
-             : slash == 0               ? std::string("/")
-                                        : parent.substr(0, slash);
-    OCDD_RETURN_IF_ERROR(SyncDir(parent));
-    return Status::OK();
-  }
-  if (errno == EEXIST) return Status::OK();
-  return IoError("mkdir", dir);
+  return IoEnsureDir(IoEnv::Get(), "snapshot", dir);
 }
 
 }  // namespace
@@ -310,8 +251,8 @@ Result<std::uint64_t> SnapshotStore::Write(const std::string& encoded,
   }
 
   const std::string final_path = PathFor(generation);
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return IoError("rename", final_path);
+  if (IoEnv::Get().Rename("snapshot.rename", tmp_path, final_path) != 0) {
+    return IoErrorStatus("rename", final_path);
   }
   OCDD_RETURN_IF_ERROR(SyncDir(dir_));
 
@@ -325,7 +266,9 @@ Result<std::uint64_t> SnapshotStore::Write(const std::string& encoded,
   gens.push_back(generation);
   if (keep < 1) keep = 1;
   while (gens.size() > keep) {
-    ::unlink(PathFor(gens.front()).c_str());
+    // Prune failures are deliberately ignored: an undeleted old generation
+    // costs disk, not correctness, and `ocdd fsck` reports strays.
+    IoEnv::Get().Unlink("snapshot.prune", PathFor(gens.front()));
     gens.erase(gens.begin());
   }
   return generation;

@@ -15,6 +15,7 @@
 
 #include "algo/incremental/incremental.h"
 #include "common/fault_injection.h"
+#include "common/io_env.h"
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/snapshot.h"
@@ -53,10 +54,17 @@ void MaybeWriteRepro(const QaOptions& options, QaFailure* failure) {
   std::string path = options.repro_dir + "/qa_iter" +
                      std::to_string(failure->iteration) + "_seed" +
                      std::to_string(failure->iteration_seed) + ".csv";
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << failure->csv;
-  out.flush();
-  if (out) failure->repro_path = path;
+  // Through io_env (sites "qa_repro.*"): a failed repro write surfaces as a
+  // typed error on the failure record instead of a silently absent file —
+  // losing the repro for a failure the harness just caught is itself a
+  // reportable fault.
+  Status wrote = IoWriteFileSynced(IoEnv::Get(), "qa_repro", path,
+                                   failure->csv.data(), failure->csv.size());
+  if (wrote.ok()) {
+    failure->repro_path = path;
+  } else {
+    failure->repro_error = wrote.message();
+  }
 }
 
 QaFailure MakeFailure(std::uint64_t iteration, std::uint64_t iteration_seed,
@@ -1178,6 +1186,10 @@ std::string SummaryToJson(const QaSummary& summary) {
     out += ", \"rows\": " + std::to_string(f.rows) +
            ", \"cols\": " + std::to_string(f.cols) + ", \"repro_path\": ";
     AppendJsonString(out, f.repro_path);
+    if (!f.repro_error.empty()) {
+      out += ", \"repro_error\": ";
+      AppendJsonString(out, f.repro_error);
+    }
     out += ", \"csv\": ";
     AppendJsonString(out, f.csv);
     out += ", \"discrepancies\": [";

@@ -89,6 +89,9 @@ struct QaFailure {
   std::size_t cols = 0;
   /// File the CSV was written to, when QaOptions::repro_dir is set.
   std::string repro_path;
+  /// Typed IoError when the repro write itself failed (disk full while
+  /// saving evidence); empty on success.
+  std::string repro_error;
 };
 
 struct QaSummary {

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/io_env.h"
 #include "common/run_context.h"
 
 namespace ocdd::rel {
@@ -310,20 +311,16 @@ Result<CsvRead> ReadCsvWithReport(const std::string& text,
   // Quarantined raw rows go to the configured file; with no path they stay
   // on the report (tests, fuzzers).
   if (!report.quarantined_rows.empty() && !options.quarantine_path.empty()) {
-    std::ofstream q(options.quarantine_path,
-                    std::ios::binary | std::ios::trunc);
-    if (!q) {
-      return Status::Internal("cannot create quarantine file: " +
-                              options.quarantine_path);
-    }
+    // Through io_env (sites "quarantine.*"): a full disk mid-quarantine is a
+    // typed IoError, not a silently truncated evidence file.
+    std::string joined;
     for (const std::string& line : report.quarantined_rows) {
-      q << line << '\n';
+      joined += line;
+      joined += '\n';
     }
-    q.flush();
-    if (!q) {
-      return Status::Internal("quarantine write failed: " +
-                              options.quarantine_path);
-    }
+    OCDD_RETURN_IF_ERROR(IoWriteFileSynced(IoEnv::Get(), "quarantine",
+                                           options.quarantine_path,
+                                           joined.data(), joined.size()));
     report.quarantine_path = options.quarantine_path;
     report.quarantined_rows.clear();
   }
@@ -431,15 +428,9 @@ std::string WriteCsvString(const Relation& relation, char separator) {
 
 Status WriteCsvFile(const Relation& relation, const std::string& path,
                     char separator) {
-  std::ofstream outf(path, std::ios::binary);
-  if (!outf) {
-    return Status::InvalidArgument("cannot create file: " + path);
-  }
-  outf << WriteCsvString(relation, separator);
-  if (!outf) {
-    return Status::Internal("write failed: " + path);
-  }
-  return Status::OK();
+  const std::string text = WriteCsvString(relation, separator);
+  return IoWriteFileSynced(IoEnv::Get(), "csv_write", path, text.data(),
+                           text.size());
 }
 
 }  // namespace ocdd::rel

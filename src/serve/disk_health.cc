@@ -1,0 +1,119 @@
+#include "serve/disk_health.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/io_env.h"
+
+namespace ocdd {
+
+const char* DiskHealthName(DiskHealth health) {
+  switch (health) {
+    case DiskHealth::kHealthy:
+      return "healthy";
+    case DiskHealth::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+DiskHealthMonitor::DiskHealthMonitor(std::string probe_dir,
+                                     int failure_threshold,
+                                     std::chrono::milliseconds probe_interval)
+    : probe_dir_(std::move(probe_dir)),
+      failure_threshold_(failure_threshold < 1 ? 1 : failure_threshold),
+      probe_interval_(probe_interval) {}
+
+bool DiskHealthMonitor::ReportFailure(const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (health_ == DiskHealth::kDegraded) return false;
+  if (consecutive_failures_ <
+      static_cast<std::uint64_t>(failure_threshold_)) {
+    return false;
+  }
+  health_ = DiskHealth::kDegraded;
+  ++degraded_entered_;
+  last_failure_ = detail;
+  return true;
+}
+
+bool DiskHealthMonitor::ReportSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (health_ != DiskHealth::kDegraded) return false;
+  return RecoverLocked();
+}
+
+DiskHealth DiskHealthMonitor::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+bool DiskHealthMonitor::ProbeDue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (health_ != DiskHealth::kDegraded || probe_dir_.empty()) return false;
+  return std::chrono::steady_clock::now() - last_probe_ >= probe_interval_;
+}
+
+bool DiskHealthMonitor::Probe() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (health_ != DiskHealth::kDegraded || probe_dir_.empty()) return false;
+    last_probe_ = std::chrono::steady_clock::now();
+    ++probes_attempted_;
+  }
+  // The probe exercises the same failure surface as a snapshot write:
+  // directory creation, open, write, fsync — all through io_env so tests
+  // can hold the disk down or let it recover by arming "disk_probe.*".
+  IoEnv& env = IoEnv::Get();
+  const std::string path =
+      probe_dir_ + "/.ocdd-disk-probe." + std::to_string(::getpid());
+  Status probe = IoEnsureDir(env, "disk_probe", probe_dir_);
+  if (probe.ok()) {
+    static const char kPayload[] = "ocdd disk probe\n";
+    probe = IoWriteFileSynced(env, "disk_probe", path, kPayload,
+                              sizeof(kPayload) - 1);
+    // Best effort: a probe file left behind is reported by fsck, not fatal.
+    env.Unlink("disk_probe.unlink", path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!probe.ok()) return false;
+  consecutive_failures_ = 0;
+  return RecoverLocked();
+}
+
+bool DiskHealthMonitor::RecoverLocked() {
+  health_ = DiskHealth::kHealthy;
+  last_failure_.clear();
+  ++recovered_;
+  return true;
+}
+
+std::uint64_t DiskHealthMonitor::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+std::uint64_t DiskHealthMonitor::degraded_entered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_entered_;
+}
+
+std::uint64_t DiskHealthMonitor::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+std::uint64_t DiskHealthMonitor::probes_attempted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_attempted_;
+}
+
+std::string DiskHealthMonitor::last_failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_failure_;
+}
+
+}  // namespace ocdd

@@ -1,0 +1,90 @@
+#ifndef OCDD_SERVE_DISK_HEALTH_H_
+#define OCDD_SERVE_DISK_HEALTH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ocdd {
+
+/// Disk-health state machine for the serve daemon
+/// (docs/robustness.md, "Degraded mode").
+///
+/// The daemon's durable writes — periodic result-cache persistence,
+/// checkpoint stores handed to workers — are conveniences layered on an
+/// in-memory service. When the disk goes bad (full, read-only, failing
+/// media), losing those conveniences must not take the daemon down: after
+/// `failure_threshold` consecutive persistent-write failures the monitor
+/// flips to kDegraded, the server suspends persistence and stops handing
+/// workers checkpoint directories, and requests keep being served from
+/// memory with `disk_degraded` surfaced in stats and responses. A periodic
+/// probe (write + fsync + unlink of a small file through the io_env
+/// "disk_probe.*" sites) flips the state back to kHealthy once the disk
+/// recovers, and the server re-persists suspended state.
+enum class DiskHealth {
+  kHealthy = 0,
+  kDegraded,
+};
+
+const char* DiskHealthName(DiskHealth health);
+
+class DiskHealthMonitor {
+ public:
+  /// `probe_dir` is where recovery probes write (the daemon's cache or
+  /// checkpoint root); empty disables probing (state then only recovers via
+  /// a successful reported write). `failure_threshold` consecutive failures
+  /// trip degraded; 1 means the first failure trips it.
+  DiskHealthMonitor(std::string probe_dir, int failure_threshold,
+                    std::chrono::milliseconds probe_interval);
+
+  /// A durable write on the monitored disk failed. Returns true when this
+  /// call tripped the kHealthy -> kDegraded transition.
+  bool ReportFailure(const std::string& detail);
+
+  /// A durable write succeeded. In degraded mode this is treated like a
+  /// successful probe. Returns true when this call recovered to kHealthy.
+  bool ReportSuccess();
+
+  DiskHealth health() const;
+  bool degraded() const { return health() == DiskHealth::kDegraded; }
+
+  /// True when degraded and the probe interval has elapsed since the last
+  /// probe attempt (rate-limits Probe; callers poll this from their
+  /// maintenance loop).
+  bool ProbeDue() const;
+
+  /// Attempts a write+fsync+unlink probe in `probe_dir`. Returns true when
+  /// the probe succeeded and the monitor recovered to kHealthy. No-op
+  /// (false) when healthy or when `probe_dir` is empty.
+  bool Probe();
+
+  // --- introspection (stats JSON) -----------------------------------------
+
+  std::uint64_t consecutive_failures() const;
+  std::uint64_t degraded_entered() const;  ///< lifetime trip count
+  std::uint64_t recovered() const;         ///< lifetime recovery count
+  std::uint64_t probes_attempted() const;
+  /// Detail string from the failure that tripped degraded (empty if healthy).
+  std::string last_failure() const;
+
+ private:
+  bool RecoverLocked();
+
+  const std::string probe_dir_;
+  const int failure_threshold_;
+  const std::chrono::milliseconds probe_interval_;
+
+  mutable std::mutex mu_;
+  DiskHealth health_ = DiskHealth::kHealthy;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t degraded_entered_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t probes_attempted_ = 0;
+  std::string last_failure_;
+  std::chrono::steady_clock::time_point last_probe_{};
+};
+
+}  // namespace ocdd
+
+#endif  // OCDD_SERVE_DISK_HEALTH_H_

@@ -257,6 +257,7 @@ std::string SerializeResponse(const ServeResponse& response) {
   if (!response.error.empty()) m["error"] = JsonValue::String(response.error);
   m["attempts"] = JsonValue::Number(response.attempts);
   m["cache"] = JsonValue::String(response.cache);
+  if (response.disk_degraded) m["disk_degraded"] = JsonValue::Bool(true);
   if (response.have_report) m["report"] = response.report;
   return report::SerializeJson(JsonValue::Object(std::move(m)));
 }
@@ -278,6 +279,7 @@ Result<ServeResponse> ParseResponse(const std::string& payload) {
   resp.error = doc["error"].string_value();
   resp.attempts = static_cast<int>(doc["attempts"].number_value());
   resp.cache = doc["cache"].string_value();
+  resp.disk_degraded = doc["disk_degraded"].bool_value();
   const JsonValue& report = doc["report"];
   if (!report.is_null()) {
     resp.have_report = true;

@@ -172,6 +172,10 @@ struct ServeResponse {
   int attempts = 0;
   /// "hit", "miss", or "off".
   std::string cache = "off";
+  /// True when the daemon answered while its disk was in degraded mode:
+  /// the result is served from memory, persistence and worker checkpoints
+  /// are suspended (docs/robustness.md, "Degraded mode").
+  bool disk_degraded = false;
   bool have_report = false;
   report::JsonValue report;
 };

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -65,9 +66,17 @@ JsonValue CountersJson(const ServerCounters& c) {
       JsonValue::Number(static_cast<double>(c.rejected_memory_watermark));
   rej["connection_limit"] =
       JsonValue::Number(static_cast<double>(c.rejected_connection_limit));
+  rej["disk_degraded"] =
+      JsonValue::Number(static_cast<double>(c.rejected_disk_degraded));
 
   std::map<std::string, JsonValue> m;
   m["connections"] = JsonValue::Number(static_cast<double>(c.connections));
+  m["accept_errors"] =
+      JsonValue::Number(static_cast<double>(c.accept_errors));
+  m["cache_persist_ok"] =
+      JsonValue::Number(static_cast<double>(c.cache_persist_ok));
+  m["cache_persist_failed"] =
+      JsonValue::Number(static_cast<double>(c.cache_persist_failed));
   m["admitted"] = JsonValue::Number(static_cast<double>(c.admitted));
   m["rejected"] = JsonValue::Object(std::move(rej));
   m["slowloris_evicted"] =
@@ -91,7 +100,15 @@ JsonValue CountersJson(const ServerCounters& c) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       tenants_(std::move(options_.tenants)),
-      cache_(options_.cache_capacity_bytes) {}
+      cache_(options_.cache_capacity_bytes),
+      // The probe exercises whichever disk the daemon persists to; with no
+      // durable paths configured the monitor is inert (nothing reports
+      // failures into it).
+      disk_(!options_.cache_dir.empty() ? options_.cache_dir
+                                        : options_.checkpoint_root,
+            options_.disk_failure_threshold,
+            std::chrono::milliseconds(static_cast<long long>(
+                options_.disk_probe_interval_seconds * 1000.0))) {}
 
 Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -139,6 +156,7 @@ Status Server::Run() {
   for (std::size_t i = 0; i < options_.num_executors; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
   }
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
 
   AcceptLoop();
 
@@ -198,19 +216,92 @@ Status Server::Run() {
   for (std::thread& t : executors_) t.join();
   executors_.clear();
 
-  if (!options_.cache_dir.empty() && cache_.enabled()) {
-    SnapshotStore store(options_.cache_dir, "serve_cache");
-    Status saved = cache_.Save(store);
-    if (!saved.ok()) {
-      std::fprintf(stderr, "serve: cache persist failed: %s\n",
-                   saved.message().c_str());
-    }
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    maint_stop_ = true;
   }
+  maint_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+
+  // Final persist is attempted even when degraded — it is the last chance,
+  // and if the disk came back since the last probe this is what saves the
+  // cache. A failure here is the monitor's and the log's to report.
+  PersistCache();
   return Status::OK();
 }
 
-void Server::AcceptLoop() {
+void Server::MaintenanceLoop() {
+  const bool periodic = options_.cache_persist_interval_seconds > 0.0;
+  const auto persist_every = std::chrono::duration<double>(
+      options_.cache_persist_interval_seconds);
+  auto last_persist = std::chrono::steady_clock::now();
   for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      maint_cv_.wait_for(lock, std::chrono::milliseconds(20),
+                         [this] { return maint_stop_; });
+      if (maint_stop_) return;
+    }
+    if (disk_.ProbeDue() && disk_.Probe()) {
+      // Recovered: catch up on the persistence suspended while degraded.
+      std::fprintf(stderr, "serve: disk recovered, resuming persistence\n");
+      last_persist = std::chrono::steady_clock::now();
+      PersistCache();
+      continue;
+    }
+    if (periodic && !disk_.degraded() &&
+        std::chrono::steady_clock::now() - last_persist >= persist_every) {
+      last_persist = std::chrono::steady_clock::now();
+      PersistCache();
+    }
+  }
+}
+
+void Server::PersistCache() {
+  if (options_.cache_dir.empty() || !cache_.enabled()) return;
+  SnapshotStore store(options_.cache_dir, "serve_cache");
+  Status saved = cache_.Save(store);
+  if (saved.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.cache_persist_ok;
+    }
+    disk_.ReportSuccess();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.cache_persist_failed;
+  }
+  if (disk_.ReportFailure(saved.message())) {
+    std::fprintf(stderr,
+                 "serve: disk degraded (%s); serving from memory, "
+                 "persistence suspended\n",
+                 saved.message().c_str());
+  } else {
+    std::fprintf(stderr, "serve: cache persist failed: %s\n",
+                 saved.message().c_str());
+  }
+}
+
+void Server::AcceptLoop() {
+  // accept() failure backoff, doubled per consecutive failure up to the cap.
+  // EMFILE/ENFILE (fd exhaustion) would otherwise busy-spin this loop at
+  // 100% CPU: the listen fd stays readable until the backlog is drained,
+  // which a daemon out of descriptors cannot do. Backing off yields the CPU
+  // and gives in-flight connections time to close and return fds.
+  int backoff_ms = 0;  // reset on a successful accept, doubled on failure
+  constexpr int kBackoffStartMs = 5;
+  constexpr int kBackoffCapMs = 200;
+  for (;;) {
+    if (backoff_ms > 0) {
+      // Sleep on the stop pipe only, so SIGTERM stays prompt even with the
+      // listen fd permanently readable.
+      pollfd stop = {stop_pipe_[0], POLLIN, 0};
+      int src = ::poll(&stop, 1, backoff_ms);
+      if (src < 0 && errno != EINTR) return;
+      if (src > 0 && stop.revents != 0) return;  // RequestStop
+    }
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
     fds[1] = {stop_pipe_[0], POLLIN, 0};
@@ -222,7 +313,23 @@ void Server::AcceptLoop() {
     if (fds[1].revents != 0) return;  // RequestStop
     if ((fds[0].revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      std::uint64_t errors;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        errors = ++counters_.accept_errors;
+      }
+      if (errors == 1) {
+        std::fprintf(stderr, "serve: accept failed (%s); backing off\n",
+                     std::strerror(errno));
+      }
+      backoff_ms = backoff_ms == 0
+                       ? kBackoffStartMs
+                       : std::min(backoff_ms * 2, kBackoffCapMs);
+      continue;
+    }
+    backoff_ms = 0;
     SetIoDeadline(fd, options_.io_timeout_seconds);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -361,6 +468,14 @@ void Server::HandleConnection(int fd) {
 
   if (draining_.load()) {
     reject("draining", &ServerCounters::rejected_draining);
+    return;
+  }
+  if (request.kind == "apply_batch" && disk_.degraded()) {
+    // Batch application *needs* durable state — its whole output is a new
+    // warm-state generation on disk. Unlike run requests (served from
+    // memory, checkpoints merely suspended), it is shed, typed, while the
+    // disk is down.
+    reject("disk_degraded", &ServerCounters::rejected_disk_degraded);
     return;
   }
   if (!tenants_.TryAdmit(request.tenant)) {
@@ -509,7 +624,12 @@ ServeResponse Server::RunWorker(const Pending& pending,
   for (std::string& flag : pending.quota.budgets.ToCliFlags()) {
     args.push_back(std::move(flag));
   }
-  const bool checkpointing = !options_.checkpoint_root.empty();
+  // Degraded disk: run the worker without a checkpoint dir rather than let
+  // it die on ENOSPC mid-run. The request still completes from memory; it
+  // just loses crash-resume. Captured once so the retry loop below stays
+  // consistent even if health flips mid-request.
+  const bool checkpointing =
+      !options_.checkpoint_root.empty() && !disk_.degraded();
   if (checkpointing) {
     args.push_back("--checkpoint");
     args.push_back(options_.checkpoint_root + "/" + HexKey(key));
@@ -742,7 +862,10 @@ ServeResponse Server::RunBatchWorker(const Pending& pending) {
   return resp;
 }
 
-void Server::SendResponse(int fd, const ServeResponse& response) {
+void Server::SendResponse(int fd, ServeResponse response) {
+  // Every response carries the disk-health flag: clients learn the answer
+  // they just got was served from memory with persistence suspended.
+  response.disk_degraded = disk_.degraded();
   // Best-effort: the client may already be gone; the daemon never treats a
   // dead peer as its own failure. WriteFull loops on EINTR/short writes
   // with MSG_NOSIGNAL, so a hung-up peer surfaces as an error, not SIGPIPE.
@@ -761,6 +884,22 @@ report::JsonValue Server::StatsJson() const {
         JsonValue::Number(static_cast<double>(committed_memory_));
   }
   m["draining"] = JsonValue::Bool(draining_.load());
+
+  std::map<std::string, JsonValue> dj;
+  dj["health"] = JsonValue::String(DiskHealthName(disk_.health()));
+  dj["degraded"] = JsonValue::Bool(disk_.degraded());
+  dj["consecutive_failures"] =
+      JsonValue::Number(static_cast<double>(disk_.consecutive_failures()));
+  dj["degraded_entered"] =
+      JsonValue::Number(static_cast<double>(disk_.degraded_entered()));
+  dj["recovered"] = JsonValue::Number(static_cast<double>(disk_.recovered()));
+  dj["probes_attempted"] =
+      JsonValue::Number(static_cast<double>(disk_.probes_attempted()));
+  const std::string last_failure = disk_.last_failure();
+  if (!last_failure.empty()) {
+    dj["last_failure"] = JsonValue::String(last_failure);
+  }
+  m["disk"] = JsonValue::Object(std::move(dj));
 
   const CacheStats cache = cache_.Stats();
   std::map<std::string, JsonValue> cj;

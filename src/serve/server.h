@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "report/json_reader.h"
 #include "serve/cache.h"
+#include "serve/disk_health.h"
 #include "serve/protocol.h"
 #include "serve/tenant.h"
 #include "serve/transport.h"
@@ -79,6 +80,24 @@ struct ServerOptions {
   /// workers leave a resumable snapshot behind.
   std::string checkpoint_root;
 
+  /// Seconds between periodic result-cache persists while serving; 0 keeps
+  /// the old behavior (persist only at drain). Periodic persistence both
+  /// bounds the result loss of a daemon crash and gives the disk-health
+  /// monitor a live write path to observe.
+  double cache_persist_interval_seconds = 0.0;
+
+  /// Consecutive durable-write failures before the daemon flips to disk
+  /// degraded mode (docs/robustness.md, "Degraded mode"). In degraded mode
+  /// the daemon keeps serving from memory: persistence is suspended,
+  /// workers run without checkpoint dirs, and apply_batch (which *needs*
+  /// disk) is shed with a typed `disk_degraded` reject.
+  int disk_failure_threshold = 1;
+
+  /// Seconds between recovery probes (write+fsync+unlink of a small file)
+  /// while degraded; a successful probe returns the daemon to healthy and
+  /// triggers a catch-up persist.
+  double disk_probe_interval_seconds = 5.0;
+
   TenantConfig tenants;
 
   /// Worker argv prefix; the executor appends `<source> --algo <algo>
@@ -122,6 +141,14 @@ struct ServerCounters {
   std::uint64_t rejected_tenant_limit = 0;
   std::uint64_t rejected_memory_watermark = 0;
   std::uint64_t rejected_connection_limit = 0;
+  /// apply_batch shed while the disk was degraded (needs durable state).
+  std::uint64_t rejected_disk_degraded = 0;
+  /// accept() failures (EMFILE/ENFILE/...); each backs the accept loop off
+  /// instead of busy-spinning.
+  std::uint64_t accept_errors = 0;
+  /// Periodic/drain cache persists that succeeded / failed.
+  std::uint64_t cache_persist_ok = 0;
+  std::uint64_t cache_persist_failed = 0;
   /// Connections evicted by the frame deadline after sending *some* bytes —
   /// slowloris clients (typed `torn_frame` reject, best effort).
   std::uint64_t slowloris_evicted = 0;
@@ -188,16 +215,22 @@ class Server {
   void HandleConnection(int fd);
   void ConnectionThread(int fd);
   void ExecutorLoop();
+  /// Periodic cache persistence + degraded-mode probe-and-recover.
+  void MaintenanceLoop();
+  /// One cache persist attempt, reported to the disk-health monitor.
+  void PersistCache();
   ServeResponse Execute(const Pending& pending);
   ServeResponse RunWorker(const Pending& pending, std::uint64_t fingerprint,
                           const CacheKey& key);
   ServeResponse RunBatchWorker(const Pending& pending);
-  void SendResponse(int fd, const ServeResponse& response);
+  /// Stamps the disk_degraded flag on the response, sends it, closes fd.
+  void SendResponse(int fd, ServeResponse response);
   void FinishRequest(const Pending& pending, const ServeResponse& response);
 
   ServerOptions options_;
   TenantTable tenants_;
   ResultCache cache_;
+  DiskHealthMonitor disk_;
 
   Endpoint endpoint_;
   int listen_fd_ = -1;
@@ -224,6 +257,12 @@ class Server {
   std::size_t active_connections_ = 0;
 
   std::vector<std::thread> executors_;
+
+  /// Maintenance thread (periodic persist + disk probes); joined at drain.
+  std::thread maintenance_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
 };
 
 }  // namespace ocdd::serve

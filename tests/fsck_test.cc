@@ -1,0 +1,240 @@
+// The `ocdd fsck` store scrubber (docs/robustness.md, "ocdd fsck"): CRC and
+// structure validation per generation, orphan tmp-file detection, recursive
+// scans over checkpoint roots, and --repair semantics — corrupt generations
+// quarantined into fsck-quarantine/ so the newest *valid* generation is what
+// SnapshotStore::Load resolves afterwards.
+
+#include "common/fsck.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/io_env.h"
+#include "common/snapshot.h"
+
+namespace ocdd {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("ocdd_fsck_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string EncodeSnapshot(const std::string& payload) {
+  SnapshotBuilder builder;
+  builder.AddSection("data", payload);
+  return builder.Encode();
+}
+
+/// Writes `generations` valid generations into `dir` under `name`.
+void FillStore(const std::string& dir, const std::string& name,
+               int generations) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // stores only mkdir one level
+  SnapshotStore store(dir, name);
+  for (int i = 0; i < generations; ++i) {
+    auto gen = store.Write(EncodeSnapshot("gen " + std::to_string(i)),
+                           /*keep=*/16);
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  }
+}
+
+void CorruptFile(const std::string& path) {
+  // Flip bits in a middle byte: end magic survives, the CRC does not.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  ASSERT_GT(size, 0);
+  f.seekg(size / 2);
+  const int byte = f.get();
+  f.seekp(size / 2);
+  f.put(static_cast<char>(byte ^ 0x5A));
+}
+
+void TruncateFile(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  fs::resize_file(path, size / 2, ec);
+  ASSERT_FALSE(ec);
+}
+
+TEST(FsckTest, CleanStoreScansClean) {
+  ScratchDir scratch("clean");
+  FillStore(scratch.path, "store", 3);
+
+  auto report = FsckDirectory(scratch.path, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->valid_files, 3u);
+  EXPECT_EQ(report->corrupt_files, 0u);
+  EXPECT_EQ(report->orphan_tmp_files, 0u);
+  ASSERT_EQ(report->stores.size(), 1u);
+  EXPECT_EQ(report->stores[0].name, "store");
+  EXPECT_EQ(report->stores[0].newest_valid_generation, 3u);
+}
+
+TEST(FsckTest, MissingRootIsAnErrorNotACleanReport) {
+  auto report = FsckDirectory("/nonexistent/ocdd-fsck-root", {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FsckTest, DetectsBitFlipTruncationAndOrphans) {
+  ScratchDir scratch("detect");
+  FillStore(scratch.path, "store", 3);
+  SnapshotStore store(scratch.path, "store");
+  std::vector<std::uint64_t> gens = store.Generations();
+  ASSERT_EQ(gens.size(), 3u);
+
+  CorruptFile(scratch.path + "/store.000002.snap");
+  TruncateFile(scratch.path + "/store.000003.snap");
+  std::ofstream(scratch.path + "/store.tmp") << "partial";
+
+  auto report = FsckDirectory(scratch.path, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->clean());
+  EXPECT_EQ(report->valid_files, 1u);
+  EXPECT_EQ(report->corrupt_files, 2u);
+  EXPECT_EQ(report->orphan_tmp_files, 1u);
+  ASSERT_EQ(report->stores.size(), 1u);
+  // The newest *valid* generation — what Load would resolve after repair.
+  EXPECT_EQ(report->stores[0].newest_valid_generation, 1u);
+
+  // The scan without --repair must not modify anything.
+  EXPECT_TRUE(fs::exists(scratch.path + "/store.000002.snap"));
+  EXPECT_TRUE(fs::exists(scratch.path + "/store.tmp"));
+  EXPECT_FALSE(fs::exists(scratch.path + "/fsck-quarantine"));
+
+  // Per-file detail names the failure mode.
+  bool saw_crc = false, saw_torn = false;
+  for (const FsckFile& file : report->files) {
+    if (file.status != FsckFileStatus::kCorrupt) continue;
+    if (file.detail.find("CRC") != std::string::npos) saw_crc = true;
+    if (file.detail.find("torn") != std::string::npos ||
+        file.detail.find("truncated") != std::string::npos) {
+      saw_torn = true;
+    }
+  }
+  EXPECT_TRUE(saw_crc);
+  EXPECT_TRUE(saw_torn);
+}
+
+TEST(FsckTest, RepairQuarantinesAndPromotesNewestValid) {
+  ScratchDir scratch("repair");
+  FillStore(scratch.path, "store", 3);
+  // Corrupt the *newest* generation: before repair Load would skip it; after
+  // repair the directory holds only generations that validate.
+  CorruptFile(scratch.path + "/store.000003.snap");
+  std::ofstream(scratch.path + "/store.tmp") << "partial";
+
+  FsckOptions options;
+  options.repair = true;
+  auto report = FsckDirectory(scratch.path, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->corrupt_files, 1u);
+  EXPECT_EQ(report->orphan_tmp_files, 1u);
+  EXPECT_EQ(report->repaired_files, 2u);
+  EXPECT_TRUE(report->warnings.empty());
+
+  // Quarantined, not destroyed: the bytes stay for forensics.
+  EXPECT_FALSE(fs::exists(scratch.path + "/store.000003.snap"));
+  EXPECT_TRUE(
+      fs::exists(scratch.path + "/fsck-quarantine/store.000003.snap"));
+  EXPECT_FALSE(fs::exists(scratch.path + "/store.tmp"));
+
+  // Load now lands on generation 2 without skipping anything.
+  SnapshotStore store(scratch.path, "store");
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->generation, 2u);
+  EXPECT_EQ(loaded->corrupt_skipped, 0u);
+
+  // A re-scan is clean (the quarantine dir itself is not scanned).
+  auto rescan = FsckDirectory(scratch.path, {});
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_TRUE(rescan->clean());
+  EXPECT_EQ(rescan->valid_files, 2u);
+}
+
+TEST(FsckTest, RecursiveScanCoversCheckpointRoots) {
+  ScratchDir scratch("recursive");
+  // A serve checkpoint root: one store dir per request key, plus the
+  // incremental warm-state tree.
+  FillStore(scratch.path + "/aaaa-bbbb", "fastod", 2);
+  FillStore(scratch.path + "/incremental/tenant/session", "warm", 1);
+  CorruptFile(scratch.path + "/aaaa-bbbb/fastod.000002.snap");
+
+  auto report = FsckDirectory(scratch.path, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->dirs_scanned, 3u);
+  EXPECT_EQ(report->valid_files, 2u);
+  EXPECT_EQ(report->corrupt_files, 1u);
+  ASSERT_EQ(report->stores.size(), 2u);
+
+  FsckOptions flat;
+  flat.recursive = false;
+  auto shallow = FsckDirectory(scratch.path, flat);
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(shallow->valid_files + shallow->corrupt_files, 0u);
+}
+
+TEST(FsckTest, ReportRenderersCarryTheVerdicts) {
+  ScratchDir scratch("render");
+  FillStore(scratch.path, "store", 1);
+  CorruptFile(scratch.path + "/store.000001.snap");
+
+  auto report = FsckDirectory(scratch.path, {});
+  ASSERT_TRUE(report.ok());
+
+  const std::string text = FsckReportText(*report);
+  EXPECT_NE(text.find("corrupt"), std::string::npos) << text;
+  EXPECT_NE(text.find("store.000001.snap"), std::string::npos) << text;
+
+  const std::string json = FsckReportJson(*report);
+  EXPECT_NE(json.find("\"corrupt_files\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"status\":\"corrupt\""), std::string::npos) << json;
+}
+
+TEST(FsckTest, RepairFaultSurfacesAsWarningNotCrash) {
+  ScratchDir scratch("repair_fault");
+  FillStore(scratch.path, "store", 1);
+  CorruptFile(scratch.path + "/store.000001.snap");
+
+  // The repair path itself runs through io_env: a disk that fails during
+  // quarantine must degrade fsck to report-only, not corrupt or crash it.
+  IoEnv::Get().ClearFaults();
+  ASSERT_TRUE(IoEnv::Get().ArmFaultString("fsck.quarantine.*=eio").ok());
+  FsckOptions options;
+  options.repair = true;
+  auto report = FsckDirectory(scratch.path, options);
+  IoEnv::Get().ClearFaults();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->corrupt_files, 1u);
+  EXPECT_EQ(report->repaired_files, 0u);
+  EXPECT_FALSE(report->warnings.empty());
+  // The corrupt file is still in place, untouched.
+  EXPECT_TRUE(fs::exists(scratch.path + "/store.000001.snap"));
+}
+
+}  // namespace
+}  // namespace ocdd

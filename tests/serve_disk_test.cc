@@ -1,0 +1,381 @@
+// Disk-health fault matrix for the `ocdd serve` daemon (docs/robustness.md,
+// "Degraded mode"): persistent-write failure flips the daemon into a typed
+// degraded mode that keeps serving from memory, a background probe recovers
+// it when the disk heals, and descriptor exhaustion (RLIMIT_NOFILE) sheds at
+// the accept loop with a typed counter instead of busy-spinning — then
+// recovers without dropping the queued connection.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/io_env.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace ocdd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("ocdd_serve_disk_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string WriteScript(const ScratchDir& scratch, const std::string& name,
+                        const std::string& body) {
+  std::string path = scratch.path + "/" + name;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "#!/bin/sh\n" << body;
+  }
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+std::string ReportLine() {
+  return "echo '{\"completed\":true,\"stop_reason\":\"none\","
+         "\"algorithm\":\"fake\",\"checks\":10}'\n";
+}
+
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerOptions options)
+      : server_(std::move(options)) {
+    Status started = server_.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    thread_ = std::thread([this] {
+      Status ran = server_.Run();
+      EXPECT_TRUE(ran.ok()) << ran.ToString();
+    });
+  }
+
+  ~ServerHarness() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (thread_.joinable()) {
+      server_.RequestStop();
+      thread_.join();
+    }
+  }
+
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+ServerOptions BaseOptions(const ScratchDir& scratch,
+                          const std::string& worker_script) {
+  ServerOptions options;
+  options.socket_path = scratch.path + "/daemon.sock";
+  options.num_executors = 2;
+  options.worker_argv_prefix = {"/bin/sh", worker_script};
+  options.backoff_base_seconds = 0.001;
+  options.backoff_cap_seconds = 0.002;
+  options.drain_grace_seconds = 0.05;
+  options.io_timeout_seconds = 2.0;
+  return options;
+}
+
+ServeRequest RunRequest(const std::string& id) {
+  ServeRequest req;
+  req.kind = "run";
+  req.id = id;
+  req.tenant = "default";
+  req.source = "NUMBERS";
+  req.rows = 50;
+  return req;
+}
+
+ClientOptions FastClient() {
+  ClientOptions options;
+  options.io_timeout_seconds = 20.0;
+  return options;
+}
+
+/// Polls the in-process stats (needs no file descriptor, which matters for
+/// the fd-exhaustion test) until `pred` holds or ~5s elapse.
+bool WaitForStats(Server& server,
+                  const std::function<bool(const report::JsonValue&)>& pred) {
+  for (int i = 0; i < 250; ++i) {
+    if (pred(server.StatsJson())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(ServeDiskTest, DiskFullEntersDegradedServesFromMemoryAndRecovers) {
+  ScratchDir scratch("degraded");
+  IoEnv& env = IoEnv::Get();
+  env.ClearFaults();
+
+  std::string script = WriteScript(scratch, "worker.sh", ReportLine());
+  ServerOptions options = BaseOptions(scratch, script);
+  options.cache_dir = scratch.path + "/cache";
+  options.cache_persist_interval_seconds = 0.05;
+  options.disk_failure_threshold = 1;
+  options.disk_probe_interval_seconds = 0.05;
+  ServerHarness harness(options);
+  const std::string sock = harness.server().socket_path();
+
+  // Healthy daemon, one result in the in-memory cache.
+  auto first = SendRequest(sock, RunRequest("r1"), FastClient());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, "ok");
+  EXPECT_FALSE(first->disk_degraded);
+
+  // The disk fills: every snapshot write and every health probe fails. The
+  // workers are separate sh processes, so only the daemon's own persistence
+  // is affected — exactly the failure the state machine watches.
+  ASSERT_TRUE(env.ArmFaultString("snapshot.*=enospc,disk_probe.*=enospc").ok());
+  ASSERT_TRUE(WaitForStats(harness.server(), [](const report::JsonValue& s) {
+    return s["disk"]["degraded"].bool_value();
+  })) << "periodic persist failure never tripped degraded mode";
+
+  {
+    const report::JsonValue stats = harness.server().StatsJson();
+    EXPECT_EQ(stats["disk"]["health"].string_value(), "degraded");
+    EXPECT_GE(stats["disk"]["degraded_entered"].number_value(), 1.0);
+    EXPECT_GE(stats["counters"]["cache_persist_failed"].number_value(), 1.0);
+  }
+
+  // Degraded is not down: cached results still serve from memory, and every
+  // response is stamped so clients can see the daemon is running on fumes.
+  auto hit = SendRequest(sock, RunRequest("r2"), FastClient());
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit->status, "ok");
+  EXPECT_EQ(hit->cache, "hit");
+  EXPECT_TRUE(hit->disk_degraded);
+
+  ServeRequest ping;
+  ping.kind = "ping";
+  auto pong = SendRequest(sock, ping, FastClient());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->status, "ok");
+  EXPECT_TRUE(pong->disk_degraded);
+
+  // Durability-dependent work is refused typed, not accepted-and-lost.
+  ServeRequest batch;
+  batch.kind = "apply_batch";
+  batch.id = "b1";
+  batch.tenant = "default";
+  batch.state = "warm1";
+  batch.batch = "append 1";
+  auto rejected = SendRequest(sock, batch, FastClient());
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->status, "rejected");
+  EXPECT_EQ(rejected->reject_reason, "disk_degraded");
+
+  // The disk heals: the next probe notices and the daemon recovers on its
+  // own — no restart, and the catch-up persist lands the cache on disk.
+  env.ClearFaults();
+  ASSERT_TRUE(WaitForStats(harness.server(), [](const report::JsonValue& s) {
+    return !s["disk"]["degraded"].bool_value();
+  })) << "probe never recovered the daemon";
+  ASSERT_TRUE(WaitForStats(harness.server(), [](const report::JsonValue& s) {
+    return s["counters"]["cache_persist_ok"].number_value() >= 1.0;
+  }));
+  {
+    const report::JsonValue stats = harness.server().StatsJson();
+    EXPECT_EQ(stats["disk"]["health"].string_value(), "healthy");
+    EXPECT_GE(stats["disk"]["recovered"].number_value(), 1.0);
+  }
+
+  auto after = SendRequest(sock, RunRequest("r3"), FastClient());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, "ok");
+  EXPECT_FALSE(after->disk_degraded);
+
+  harness.StopAndJoin();
+  // The drain-time persist succeeded: a second daemon generation starts
+  // warm from the file the recovered daemon wrote.
+  ServerHarness second(options);
+  auto warm = SendRequest(second.server().socket_path(), RunRequest("r4"),
+                          FastClient());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache, "hit");
+  EXPECT_EQ(warm->attempts, 0);
+}
+
+TEST(ServeDiskTest, ThresholdAbsorbsTransientFailures) {
+  ScratchDir scratch("threshold");
+  IoEnv& env = IoEnv::Get();
+  env.ClearFaults();
+
+  std::string script = WriteScript(scratch, "worker.sh", ReportLine());
+  ServerOptions options = BaseOptions(scratch, script);
+  options.cache_dir = scratch.path + "/cache";
+  options.cache_persist_interval_seconds = 0.02;
+  options.disk_failure_threshold = 3;  // two strikes are not an outage
+  options.disk_probe_interval_seconds = 0.02;
+  ServerHarness harness(options);
+
+  // Exactly two persist failures (one-shot triggers), then the disk is fine.
+  ASSERT_TRUE(
+      env.ArmFaultString("snapshot.fsync=eio#1,snapshot.fsync=eio#2").ok());
+  ASSERT_TRUE(WaitForStats(harness.server(), [](const report::JsonValue& s) {
+    return s["counters"]["cache_persist_failed"].number_value() >= 2.0;
+  }));
+  // A success resets the consecutive-failure count: never degraded.
+  ASSERT_TRUE(WaitForStats(harness.server(), [](const report::JsonValue& s) {
+    return s["counters"]["cache_persist_ok"].number_value() >= 1.0;
+  }));
+  const report::JsonValue stats = harness.server().StatsJson();
+  EXPECT_FALSE(stats["disk"]["degraded"].bool_value());
+  EXPECT_EQ(stats["disk"]["degraded_entered"].number_value(), 0.0);
+  env.ClearFaults();
+}
+
+/// Restores RLIMIT_NOFILE and closes hogged descriptors even when an
+/// assertion bails out of the test early.
+struct FdSqueeze {
+  FdSqueeze() { ::getrlimit(RLIMIT_NOFILE, &original); }
+  ~FdSqueeze() { Release(); }
+
+  void Lower(rlim_t soft) {
+    rlimit lowered = original;
+    lowered.rlim_cur = soft;
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &lowered), 0) << strerror(errno);
+  }
+
+  // Opens /dev/null until the table is full.
+  void HogAll() {
+    for (;;) {
+      int fd = ::open("/dev/null", O_RDONLY);
+      if (fd < 0) {
+        ASSERT_TRUE(errno == EMFILE || errno == ENFILE) << strerror(errno);
+        return;
+      }
+      hogs.push_back(fd);
+    }
+  }
+
+  void FreeOne() {
+    if (!hogs.empty()) {
+      ::close(hogs.back());
+      hogs.pop_back();
+    }
+  }
+
+  void Release() {
+    for (int fd : hogs) ::close(fd);
+    hogs.clear();
+    ::setrlimit(RLIMIT_NOFILE, &original);
+  }
+
+  rlimit original{};
+  std::vector<int> hogs;
+};
+
+TEST(ServeDiskTest, FdExhaustionShedsTypedAtAcceptAndRecovers) {
+  ScratchDir scratch("emfile");
+  std::string script = WriteScript(scratch, "worker.sh", ReportLine());
+  // No cache_dir: the maintenance thread must not be competing for
+  // descriptors while the table is deliberately full.
+  ServerOptions options = BaseOptions(scratch, script);
+  ServerHarness harness(std::move(options));
+  const std::string sock = harness.server().socket_path();
+
+  // Baseline sanity before the squeeze.
+  {
+    ServeRequest ping;
+    ping.kind = "ping";
+    auto pong = SendRequest(sock, ping, FastClient());
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  }
+
+  FdSqueeze squeeze;
+  squeeze.Lower(256);
+  squeeze.HogAll();
+
+  // Free exactly one slot and immediately spend it on a client socket: the
+  // connect lands in the listen backlog, and the daemon's accept() has no
+  // descriptor left to accept it with.
+  squeeze.FreeOne();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+  int client = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0) << strerror(errno);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << strerror(errno);
+  ServeRequest ping;
+  ping.kind = "ping";
+  const std::string frame = EncodeFrame(SerializeRequest(ping));
+  ASSERT_EQ(::write(client, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  ::shutdown(client, SHUT_WR);
+
+  // The accept loop hits EMFILE, counts it, and backs off instead of
+  // spinning. StatsJson is in-process, so observing this needs no fd.
+  ASSERT_TRUE(WaitForStats(harness.server(), [](const report::JsonValue& s) {
+    return s["counters"]["accept_errors"].number_value() >= 1.0;
+  })) << "EMFILE at accept() was never counted";
+
+  // Descriptors return; the backed-off loop retries and the queued
+  // connection is served — shed during the squeeze, not dropped.
+  squeeze.Release();
+
+  timeval tv{10, 0};
+  ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  FrameDecoder decoder;
+  std::string payload;
+  FrameError error;
+  char buf[4096];
+  bool got_frame = false;
+  for (;;) {
+    FrameDecoder::Event ev = decoder.Next(&payload, &error);
+    if (ev == FrameDecoder::Event::kFrame) {
+      got_frame = true;
+      break;
+    }
+    ASSERT_NE(ev, FrameDecoder::Event::kError);
+    ssize_t n = ::read(client, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "daemon dropped the queued connection";
+    decoder.Feed(buf, static_cast<std::size_t>(n));
+  }
+  ::close(client);
+  ASSERT_TRUE(got_frame);
+  auto resp = ParseResponse(payload);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "ok");
+
+  // And a fresh client works as if nothing happened.
+  auto after = SendRequest(sock, RunRequest("after"), FastClient());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->status, "ok");
+}
+
+}  // namespace
+}  // namespace ocdd::serve

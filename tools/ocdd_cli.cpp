@@ -44,6 +44,7 @@
 #include "algo/fd/tane.h"
 #include "algo/ucc/ucc.h"
 #include "algo/order/order_discover.h"
+#include "common/fsck.h"
 #include "common/run_context.h"
 #include "common/string_util.h"
 #include "core/approximate.h"
@@ -937,6 +938,9 @@ int CmdQa(const Args& args, const char* argv0) {
         if (!f.repro_path.empty()) {
           std::printf("  repro csv: %s\n", f.repro_path.c_str());
         }
+        if (!f.repro_error.empty()) {
+          std::printf("  repro write failed: %s\n", f.repro_error.c_str());
+        }
         for (const auto& d : f.discrepancies) {
           std::printf("  %s\n", d.ToString().c_str());
         }
@@ -1058,6 +1062,10 @@ int CmdServe(const Args& args, const char* argv0) {
   opts.io_timeout_seconds = args.GetDouble("io-timeout", 5.0);
   opts.frame_deadline_seconds = args.GetDouble("frame-deadline", 10.0);
   opts.max_connections = args.GetSize("max-connections", 64);
+  opts.cache_persist_interval_seconds = args.GetDouble("persist-interval", 0.0);
+  opts.disk_failure_threshold =
+      static_cast<int>(args.GetSize("disk-failure-threshold", 1));
+  opts.disk_probe_interval_seconds = args.GetDouble("disk-probe-interval", 5.0);
 
   const std::string tenants_path = args.Get("tenants", "");
   if (!tenants_path.empty()) {
@@ -1096,6 +1104,39 @@ int CmdServe(const Args& args, const char* argv0) {
   std::printf("%s\n",
               ocdd::report::SerializeJson(server.StatsJson()).c_str());
   return 0;
+}
+
+/// `ocdd fsck <dir> [--repair] [--no-recursive] [--json]` — scrub a
+/// snapshot-store directory tree: every `<name>.<gen>.snap` is read fully
+/// and CRC/structure-validated, `<name>.tmp` leftovers are flagged as
+/// orphans; --repair quarantines corrupt generations into
+/// `<dir>/fsck-quarantine/` (promoting the newest valid one by removal of
+/// the corrupt ones above it) and reaps orphan tmp files. Exit codes:
+/// 0 clean (or all problems repaired), 9 problems remain, 1 cannot scan
+/// (docs/robustness.md).
+int CmdFsck(const Args& args) {
+  if (args.source.empty()) {
+    std::fprintf(stderr, "fsck requires a <dir> argument\n");
+    return 2;
+  }
+  ocdd::FsckOptions opts;
+  opts.repair = args.Has("repair");
+  opts.recursive = !args.Has("no-recursive");
+  auto report = ocdd::FsckDirectory(args.source, opts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Has("json")) {
+    std::printf("%s\n", ocdd::FsckReportJson(*report).c_str());
+  } else {
+    std::fputs(ocdd::FsckReportText(*report).c_str(), stdout);
+  }
+  const std::size_t problems =
+      report->corrupt_files + report->orphan_tmp_files;
+  const bool handled = opts.repair && report->repaired_files >= problems &&
+                       report->warnings.empty();
+  return problems == 0 || handled ? 0 : 9;
 }
 
 /// `ocdd request <endpoint> --source X [flags]` — one client exchange with
@@ -1194,8 +1235,12 @@ void Usage() {
       "             [--tenants FILE] [--cache-mib N] [--cache-dir DIR]\n"
       "             [--checkpoint-root DIR] [--request-timeout S]\n"
       "             [--max-attempts N] [--memory-watermark-mib N]\n"
-      "             [--drain-grace S]; SIGTERM drains gracefully and prints\n"
-      "             final stats JSON (see docs/serving.md)\n"
+      "             [--drain-grace S] [--persist-interval S]\n"
+      "             [--disk-failure-threshold N] [--disk-probe-interval S];\n"
+      "             SIGTERM drains gracefully and prints final stats JSON;\n"
+      "             persistent-write failures flip the daemon to a degraded\n"
+      "             mode that keeps serving from memory (docs/serving.md,\n"
+      "             docs/robustness.md)\n"
       "  request    one exchange with a serve daemon: ocdd request\n"
       "             /path.sock|HOST:PORT --source SRC [--algo X] [--tenant T]\n"
       "             [--kind run|ping|stats] [--no-cache] [--report-only]\n"
@@ -1210,6 +1255,12 @@ void Usage() {
       "             [--on-bad-row fail|skip|quarantine]; with no batch file\n"
       "             only bootstraps/validates the warm state\n"
       "             (docs/incremental.md)\n"
+      "  fsck       scrub a snapshot/cache/checkpoint directory tree:\n"
+      "             ocdd fsck DIR [--repair] [--no-recursive] [--json];\n"
+      "             validates every generation's CRCs, flags orphan tmp\n"
+      "             files; --repair quarantines corrupt generations into\n"
+      "             DIR/fsck-quarantine/ and reaps orphans; exit 0 clean,\n"
+      "             9 problems remain, 1 cannot scan (docs/robustness.md)\n"
       "  fds        TANE: minimal functional dependencies\n"
       "  fastod     FASTOD: set-based canonical order dependencies\n"
       "  fastod-bid bidirectional canonical order dependencies\n"
@@ -1265,6 +1316,7 @@ int main(int argc, char** argv) {
   if (cmd == "supervise") return CmdSupervise(*args, argv[0]);
   if (cmd == "serve") return CmdServe(*args, argv[0]);
   if (cmd == "request") return CmdRequest(*args);
+  if (cmd == "fsck") return CmdFsck(*args);
   if (cmd == "discover") return CmdDiscover(*args);
   if (cmd == "apply-batch") return CmdApplyBatch(*args);
   if (cmd == "fds") return CmdFds(*args);

@@ -104,6 +104,129 @@ if [[ "${status}" -ne 0 && "${status}" -ne 124 ]]; then
   exit 1
 fi
 
+# Disk-fault sweep (docs/robustness.md): arm the io_env fault grammar via
+# OCDD_IO_FAULTS against real checkpointed runs across an exec boundary.
+# Contract per armed fault: the run exits with a *typed* status (never a
+# signal death), `ocdd fsck --repair` cleans up whatever the fault left in
+# the checkpoint dir, and a faultless resume from the repaired dir succeeds.
+DF_DIR="${DIR}/disk-faults"
+rm -rf "${DF_DIR}"
+mkdir -p "${DF_DIR}"
+df_faults=(
+  'snapshot.write=enospc'
+  'snapshot.fsync=eio'
+  'snapshot.rename=eio'
+  'snapshot.open=emfile'
+  'snapshot.fsync=crash#2'
+  'snapshot.*=eio@0.25'
+  'snapshot.*=enospc@0.1'
+  '*=short@0.05'
+)
+for fault in "${df_faults[@]}"; do
+  echo "==> disk-fault sweep: ${fault}"
+  ckpt="${DF_DIR}/$(echo "${fault}" | tr -c 'A-Za-z0-9' '_')"
+  status=0
+  OCDD_IO_FAULTS="${fault}" OCDD_IO_FAULT_SEED="${SEED}" \
+    "${QA}" run LINEITEM --rows 120 --algo fastod \
+           --checkpoint "${ckpt}" --json >/dev/null 2>&1 || status=$?
+  if [[ "${status}" -ge 128 ]]; then
+    echo "disk-fault ${fault}: run died on a signal (exit ${status})" >&2
+    exit 1
+  fi
+  if [[ -d "${ckpt}" ]]; then
+    "${QA}" fsck "${ckpt}" --repair >/dev/null || {
+      echo "disk-fault ${fault}: fsck --repair could not clean up" >&2
+      exit 1
+    }
+    "${QA}" fsck "${ckpt}" >/dev/null || {
+      echo "disk-fault ${fault}: repaired dir still dirty on rescan" >&2
+      exit 1
+    }
+  fi
+  "${QA}" run LINEITEM --rows 120 --algo fastod \
+         --checkpoint "${ckpt}" --resume --json >/dev/null || {
+    echo "disk-fault ${fault}: faultless resume after repair failed" >&2
+    exit 1
+  }
+done
+
+# Disk-full serve run: the daemon must enter `degraded` (serving from
+# memory) and keep answering. On hosts where we can mount a tiny tmpfs the
+# disk really fills; everywhere else the io_env ENOSPC injection exercises
+# the same state machine through the same code path.
+SERVE_DIR="${DIR}/serve-disk"
+rm -rf "${SERVE_DIR}"
+mkdir -p "${SERVE_DIR}"
+SOCK="${SERVE_DIR}/daemon.sock"
+CACHE_DIR="${SERVE_DIR}/cache"
+MNT="${SERVE_DIR}/mnt"
+UNMOUNT=0
+if [[ "${EUID}" -eq 0 ]] && mkdir -p "${MNT}" &&
+   mount -t tmpfs -o size=256k tmpfs "${MNT}" 2>/dev/null; then
+  echo "==> serve disk-full run (real tmpfs quota)"
+  UNMOUNT=1
+  CACHE_DIR="${MNT}/cache"
+  # Fill the filesystem outright: every persist (even the cache dir mkdir)
+  # hits real ENOSPC until the ballast is removed.
+  dd if=/dev/zero of="${MNT}/ballast" bs=1k count=256 2>/dev/null || true
+  SERVE_ENV=()
+else
+  echo "==> serve disk-full run (io_env ENOSPC fallback; tmpfs unavailable)"
+  SERVE_ENV=(OCDD_IO_FAULTS='snapshot.*=enospc,disk_probe.*=enospc')
+fi
+env ${SERVE_ENV[@]+"${SERVE_ENV[@]}"} "${QA}" serve "${SOCK}" --executors 2 \
+    --cache-dir "${CACHE_DIR}" --persist-interval 0.2 \
+    --disk-probe-interval 0.2 --drain-grace 2 \
+    > "${SERVE_DIR}/daemon.log" 2>&1 &
+SERVE_PID=$!
+cleanup_serve() {
+  kill -TERM "${SERVE_PID}" 2>/dev/null || true
+  wait "${SERVE_PID}" 2>/dev/null || true
+  if [[ "${UNMOUNT}" -eq 1 ]]; then umount "${MNT}" 2>/dev/null || true; fi
+}
+trap cleanup_serve EXIT
+
+"${QA}" request "${SOCK}" --kind run --id warm --source NUMBERS --rows 50 \
+       --retries 20 --deadline 30 >/dev/null
+degraded=0
+for _ in $(seq 1 50); do
+  if "${QA}" request "${SOCK}" --kind stats --report-only 2>/dev/null \
+       | grep -q '"degraded":true'; then
+    degraded=1
+    break
+  fi
+  sleep 0.2
+done
+if [[ "${degraded}" -ne 1 ]]; then
+  echo "serve disk-full: daemon never reported disk degraded" >&2
+  exit 1
+fi
+# Degraded is not down: the cached answer still serves, stamped.
+"${QA}" request "${SOCK}" --kind run --id warm2 --source NUMBERS --rows 50 \
+       | grep -q '"disk_degraded":true' || {
+  echo "serve disk-full: degraded daemon stopped serving from memory" >&2
+  exit 1
+}
+if [[ "${UNMOUNT}" -eq 1 ]]; then
+  # Free the disk: the probe must recover the daemon on its own.
+  rm -f "${MNT}/ballast"
+  recovered=0
+  for _ in $(seq 1 50); do
+    if "${QA}" request "${SOCK}" --kind stats --report-only 2>/dev/null \
+         | grep -q '"degraded":false'; then
+      recovered=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [[ "${recovered}" -ne 1 ]]; then
+    echo "serve disk-full: daemon never recovered after the disk freed" >&2
+    exit 1
+  fi
+fi
+cleanup_serve
+trap - EXIT
+
 # Fuzz-lite corpus replay ran above under ASan; when Clang is available,
 # follow with a real coverage-guided sweep of the four untrusted-byte
 # boundaries (run_fuzz.sh skips itself cleanly on gcc-only hosts).

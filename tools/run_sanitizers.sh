@@ -36,6 +36,16 @@ run_one() {
   echo "==> ${preset}: network chaos matrix (repeated)"
   ctest --test-dir "${dir}" --output-on-failure -R "serve_chaos" \
         --repeat until-fail:5
+  # Serve-degraded pass: the disk-health state machine races the maintenance
+  # thread (periodic persist + probe) against executors and the accept-loop
+  # backoff, with io_env faults firing under every thread. The storage fault
+  # layer (io_env arming, op-log replay, fsck repair) runs here too — its
+  # fault bookkeeping is mutex-guarded global state that TSan must see
+  # hammered from several schedules.
+  echo "==> ${preset}: serve-degraded + storage fault layer (repeated)"
+  ctest --test-dir "${dir}" --output-on-failure \
+        -R "serve_disk|io_env|io_fault_sweep|crash_consistency|fsck" \
+        --repeat until-fail:3
 }
 
 presets=("${@:-asan tsan}")
