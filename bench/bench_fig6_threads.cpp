@@ -75,7 +75,8 @@ int main() {
         std::fflush(stdout);
         report.Add({name, r.num_rows(), r.num_columns(), t, partitions,
                     result.elapsed_seconds, result.num_checks,
-                    result.ocds.size(), result.ods.size(), result.completed});
+                    result.ocds.size(), result.ods.size(), result.completed,
+                    {}, {}});
       }
       std::printf("\n");
       all_times.push_back(times);

@@ -49,7 +49,7 @@ void RunDataset(const ocdd::datagen::DatasetSpec& spec,
   report.Add({spec.name, r.num_rows(), r.num_columns(), ocd_opts.num_threads,
               ocd_opts.use_sorted_partitions, mine.elapsed_seconds,
               mine.num_checks, mine.ocds.size(), mine.ods.size(),
-              mine.completed});
+              mine.completed, {}, {}});
   ocdd::core::ExpansionOptions exp_opts;
   exp_opts.max_materialized = 200000;
   auto expanded = ocdd::core::ExpandResults(mine, r, exp_opts);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/prof.h"
 #include "datagen/registry.h"
 #include "relation/coded_relation.h"
 
@@ -73,6 +74,15 @@ struct BenchEntry {
   std::size_t ocds = 0;
   std::size_t ods = 0;
   bool completed = true;
+  /// Free-form variant tag ("scalar" / "avx2" / "refine-histogram-u8" …)
+  /// distinguishing configurations of the same dataset, e.g. the kernel
+  /// micro-bench's backend × code-width matrix. Empty for plain sweeps.
+  /// Kept after the measurement fields so older aggregate initializers
+  /// that stop at `completed` keep compiling unchanged.
+  std::string label;
+  /// Per-entry profiler counters as a JSON object (prof::ToJson), filled
+  /// automatically by BenchReport::Add; empty when profiling is disabled.
+  std::string profile_json;
 };
 
 /// Collects `BenchEntry` records and writes them as
@@ -81,12 +91,25 @@ struct BenchEntry {
 /// with a `bench` name and an `entries` array — see docs/performance.md.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  /// Enables the in-process profiler for the bench: every entry then
+  /// carries the per-phase cycle/byte counters accumulated since the
+  /// previous `Add` (i.e. for its own run) in its `profile` member.
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    prof::SetEnabled(true);
+    prof::Reset();
+  }
   BenchReport(const BenchReport&) = delete;
   BenchReport& operator=(const BenchReport&) = delete;
   ~BenchReport() { Flush(); }
 
-  void Add(BenchEntry entry) { entries_.push_back(std::move(entry)); }
+  void Add(BenchEntry entry) {
+    if (entry.profile_json.empty()) {
+      prof::Report r = prof::Snapshot();
+      if (!r.empty()) entry.profile_json = prof::ToJson(r);
+      prof::Reset();
+    }
+    entries_.push_back(std::move(entry));
+  }
 
   /// Writes the report file; safe to call more than once (rewrites).
   void Flush() {
@@ -106,14 +129,19 @@ class BenchReport {
       const BenchEntry& e = entries_[i];
       std::fprintf(
           f,
-          "%s\n    {\"dataset\": \"%s\", \"rows\": %zu, \"cols\": %zu, "
-          "\"threads\": %zu, \"use_sorted_partitions\": %s, "
+          "%s\n    {\"dataset\": \"%s\", \"label\": \"%s\", \"rows\": %zu, "
+          "\"cols\": %zu, \"threads\": %zu, \"use_sorted_partitions\": %s, "
           "\"seconds\": %.6f, \"checks\": %llu, \"ocds\": %zu, "
-          "\"ods\": %zu, \"completed\": %s}",
-          i == 0 ? "" : ",", Escaped(e.dataset).c_str(), e.rows, e.cols,
-          e.threads, e.use_sorted_partitions ? "true" : "false", e.seconds,
+          "\"ods\": %zu, \"completed\": %s",
+          i == 0 ? "" : ",", Escaped(e.dataset).c_str(),
+          Escaped(e.label).c_str(), e.rows, e.cols, e.threads,
+          e.use_sorted_partitions ? "true" : "false", e.seconds,
           static_cast<unsigned long long>(e.checks), e.ocds, e.ods,
           e.completed ? "true" : "false");
+      if (!e.profile_json.empty()) {
+        std::fprintf(f, ", \"profile\": %s", e.profile_json.c_str());
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

@@ -1,0 +1,41 @@
+#ifndef OCDD_COMMON_SIMD_DISPATCH_H_
+#define OCDD_COMMON_SIMD_DISPATCH_H_
+
+namespace ocdd::simd {
+
+/// Which implementation of the vectorizable check kernels is active.
+///
+/// Every SIMD kernel in the tree ships with a bit-identical scalar
+/// implementation; the backend only selects *how* the same answer is
+/// computed. Selection happens once (cpuid + the `OCDD_SIMD` environment
+/// variable) and is cached; `Refresh()` re-evaluates — the QA harness uses
+/// it to force the scalar fallback mid-process and cross-check closures.
+///
+/// `OCDD_SIMD` values: `off` / `scalar` force the scalar fallback, `avx2`
+/// requests AVX2 (silently degrading to scalar when the CPU lacks it, so a
+/// forced-AVX2 CI pass can run anywhere), anything else / unset = auto.
+enum class Backend : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The cached active backend (first call resolves env + cpuid).
+Backend Active();
+
+/// True when the CPU supports AVX2 (independent of the env override).
+bool CpuHasAvx2();
+
+/// Re-resolves the backend from the environment and cpuid. Thread-safe;
+/// intended for tests and the QA scalar-fallback stage, not for flipping
+/// backends mid-check (kernels read the backend once per call).
+void Refresh();
+
+/// Test-only override; sticks until `Refresh()`. Forcing kAvx2 on a CPU
+/// without AVX2 is ignored (scalar stays active).
+void ForceBackendForTest(Backend backend);
+
+const char* BackendName(Backend backend);
+
+}  // namespace ocdd::simd
+
+#endif  // OCDD_COMMON_SIMD_DISPATCH_H_

@@ -50,38 +50,110 @@ Status ThreadPool::WaitIdle() {
   return out;
 }
 
-Status ThreadPool::ParallelFor(std::size_t n,
-                               const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return Status::OK();
-  // Aim for ~4 blocks per worker: each worker claims a contiguous block of
-  // indices with one atomic add, so the per-index cost is a plain loop
-  // iteration while stragglers can still steal up to 3 extra blocks.
-  std::size_t target_blocks = std::max<std::size_t>(1, 4 * workers_.size());
-  std::size_t block = std::max<std::size_t>(1, (n + target_blocks - 1) / target_blocks);
-  std::size_t num_blocks = (n + block - 1) / block;
-  std::size_t chunks = std::min(num_blocks, workers_.size());
+namespace {
+
+/// One worker's share of a ParallelFor range. Cache-line aligned so the
+/// owner's morsel claims never false-share with a neighbor's cursor.
+struct alignas(64) ForSpan {
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(std::size_t n,
+                               const std::function<void(std::size_t)>& fn,
+                               std::size_t grain) {
+  if (n == 0) return Status::OK();
+  const std::size_t workers = workers_.size();
+  std::size_t morsel = grain;
+  if (morsel == 0) {
+    // ~16 morsels per worker: local claims are uncontended atomic adds, so
+    // morsels only need to be coarse enough that *steals* stay rare.
+    morsel = std::max<std::size_t>(
+        1, std::min<std::size_t>(256, n / (16 * workers)));
+  }
+
+  if (n <= morsel) {
+    // Below one morsel: the queue mutex + worker wakeup + idle barrier cost
+    // more than the work; run on the caller, with worker-equivalent
+    // exception-to-Status containment.
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("task threw a non-std exception");
+    }
+    return Status::OK();
+  }
+
+  std::size_t chunks = std::min(workers, (n + morsel - 1) / morsel);
+  std::vector<ForSpan> spans(chunks);
+  std::size_t base = n / chunks;
+  std::size_t rem = n % chunks;
+  std::size_t cursor = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
-    Status submitted = Submit([&next, &failed, n, block, &fn] {
-      for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        std::size_t begin = next.fetch_add(block, std::memory_order_relaxed);
-        if (begin >= n) return;
-        std::size_t end = std::min(begin + block, n);
+    std::size_t size = base + (c < rem ? 1 : 0);
+    spans[c].next.store(cursor, std::memory_order_relaxed);
+    spans[c].end = cursor + size;
+    cursor += size;
+  }
+
+  std::atomic<bool> failed{false};
+  bool submit_failed = false;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    Status submitted = Submit([&spans, &failed, &fn, morsel, chunks, c] {
+      // Claims one morsel from a span; false when the span is dry. An
+      // over-claimed cursor (past `end`) is harmless — remaining-work scans
+      // clamp it to zero.
+      auto claim = [&](ForSpan& s) -> bool {
+        std::size_t begin = s.next.fetch_add(morsel, std::memory_order_relaxed);
+        if (begin >= s.end) return false;
+        std::size_t end = std::min(begin + morsel, s.end);
         try {
           for (std::size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
-          // The rest of this block (and any unclaimed blocks) are skipped,
+          // The rest of this morsel (and any unclaimed work) is skipped,
           // per the "remaining indices may be skipped" contract.
           failed.store(true, std::memory_order_relaxed);
           throw;  // recorded by the worker wrapper
         }
+        return true;
+      };
+      // Drain the local span, then steal from whichever span has the most
+      // left — the best chance the victim's owner is a straggler.
+      while (!failed.load(std::memory_order_relaxed) && claim(spans[c])) {
+      }
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        std::size_t best = chunks;
+        std::size_t best_rem = 0;
+        for (std::size_t s = 0; s < chunks; ++s) {
+          std::size_t pos = spans[s].next.load(std::memory_order_relaxed);
+          std::size_t left = spans[s].end - std::min(pos, spans[s].end);
+          if (left > best_rem) {
+            best_rem = left;
+            best = s;
+          }
+        }
+        if (best == chunks) return;
+        claim(spans[best]);
       }
     });
-    if (!submitted.ok()) return submitted;
+    if (!submitted.ok()) {
+      // Tasks already submitted reference the stack state above: drain them
+      // before unwinding.
+      failed.store(true, std::memory_order_relaxed);
+      submit_failed = true;
+      break;
+    }
   }
-  return WaitIdle();
+  Status status = WaitIdle();
+  if (submit_failed && status.ok()) {
+    return Status::ResourceExhausted("ThreadPool::ParallelFor after Shutdown");
+  }
+  return status;
 }
 
 void ThreadPool::RecordFailureLocked(Status status) {

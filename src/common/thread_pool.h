@@ -61,14 +61,22 @@ class ThreadPool {
   /// failure thrown by any invocation (remaining indices may be skipped
   /// after a failure), or OK.
   ///
-  /// Work is handed out in contiguous blocks of ~`n / (4 * num_threads)`
-  /// indices claimed from an atomic cursor: one queue/mutex round-trip per
-  /// worker and one atomic add per block, instead of per index — the
-  /// difference is measurable on wide levels with cheap per-index bodies.
-  /// Blocks small enough for load balance, coarse enough that the cursor
-  /// never becomes the bottleneck.
-  Status ParallelFor(std::size_t n,
-                     const std::function<void(std::size_t)>& fn);
+  /// Morsel scheduling: the range is pre-split into one contiguous span per
+  /// worker, and each worker claims cache-friendly morsels of `grain`
+  /// indices from *its own* span's cursor — an uncontended atomic add, with
+  /// no shared cursor in the common case. A worker that drains its span
+  /// steals morsels from the span with the most work remaining, so a
+  /// straggler index (one expensive candidate check) cannot serialize the
+  /// level barrier the way a coarse static block could. `grain == 0` picks
+  /// a size that keeps every worker fed without making steals too chatty.
+  ///
+  /// Ranges of at most one morsel run inline on the calling thread — the
+  /// queue round-trip plus wakeup costs more than the work itself (the
+  /// driver's last BFS levels are often a handful of candidates).
+  /// Exceptions from inline execution are converted to the same Status a
+  /// worker would record.
+  Status ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                     std::size_t grain = 0);
 
  private:
   void WorkerLoop();

@@ -40,7 +40,7 @@ enum class RefinePath {
 /// exploit exactly this.
 struct RefineScratch {
   /// Identity of the partition `rank_offsets` was computed for (its rank
-  /// vector's buffer address); an opaque tag, only ever compared. Call
+  /// storage's buffer address); an opaque tag, only ever compared. Call
   /// `Invalidate()` after destroying a partition this scratch refined, in
   /// the unlikely case a new partition's buffer could land at the same
   /// address (long-lived cached parents, as in the discovery driver, are
@@ -51,6 +51,9 @@ struct RefineScratch {
   std::vector<std::uint32_t> cursor;
   std::vector<std::uint32_t> rows;
   std::vector<std::uint32_t> tmp;
+  /// Per-position refined ranks of the counting/comparison paths, staged
+  /// here until the group count (and so the output width) is known.
+  std::vector<std::uint32_t> ranks;
 
   void Invalidate() { parent_tag = nullptr; }
 };
@@ -73,11 +76,20 @@ struct RefineScratch {
 /// The BFS candidate tree extends sides by appending one attribute, so each
 /// level's partitions derive from the previous level's — see the
 /// `use_sorted_partitions` option of `DiscoverOcds`.
+///
+/// Storage is width-adaptive: the rank vector lives in the narrowest of
+/// `uint8`/`uint16`/`int32` that holds `[0, num_groups)`, chosen from the
+/// actual group count (a deterministic function of the partition content,
+/// so cache accounting stays bit-identical across thread counts and
+/// backends). On low-cardinality data this shrinks the partition cache and
+/// the check kernels' memory traffic by 4x; the check and refine kernels
+/// are templated over the width and always stream the stored form directly.
 class ListPartition {
  public:
   ListPartition() = default;
 
-  /// Rank vector of a single-attribute list (copies the column codes).
+  /// Rank vector of a single-attribute list (copies the column's narrowest
+  /// code mirror).
   static ListPartition ForColumn(const rel::CodedRelation& relation,
                                  rel::ColumnId column);
 
@@ -98,20 +110,41 @@ class ListPartition {
                        rel::ColumnId column, RefineScratch* scratch,
                        RefinePath path = RefinePath::kAuto) const;
 
-  std::size_t num_rows() const { return codes_.size(); }
+  std::size_t num_rows() const { return num_rows_; }
   std::int32_t num_groups() const { return num_groups_; }
-  const std::vector<std::int32_t>& codes() const { return codes_; }
+
+  /// Width of the stored rank vector (the narrowest fitting num_groups).
+  rel::CodeWidth width() const { return rel::WidthForDistinct(num_groups_); }
+
+  /// Read-only width-dispatch view of the stored ranks.
+  rel::CodeView view() const;
+
+  /// Typed storage accessors; valid only for the matching `width()`.
+  const std::uint8_t* data8() const { return c8_.data(); }
+  const std::uint16_t* data16() const { return c16_.data(); }
+  const std::int32_t* data32() const { return c32_.data(); }
+
+  /// Materializes the ranks as int32 (a copy — the storage is
+  /// width-adaptive). Convenience for tests and cold paths; kernels use
+  /// `view()` or the typed accessors.
+  std::vector<std::int32_t> codes() const;
 
   /// Approximate heap footprint, for cache budgeting. Uses capacity, so
   /// call `ShrinkToFit` first when the partition is about to be cached —
   /// otherwise the budget is charged for slack the allocator is holding.
   std::size_t MemoryBytes() const {
-    return codes_.capacity() * sizeof(std::int32_t) + sizeof(*this);
+    return c8_.capacity() * sizeof(std::uint8_t) +
+           c16_.capacity() * sizeof(std::uint16_t) +
+           c32_.capacity() * sizeof(std::int32_t) + sizeof(*this);
   }
 
   /// Releases rank-vector slack (capacity beyond size) so `MemoryBytes`
   /// reflects real heap use before the partition enters a budgeted cache.
-  void ShrinkToFit() { codes_.shrink_to_fit(); }
+  void ShrinkToFit() {
+    c8_.shrink_to_fit();
+    c16_.shrink_to_fit();
+    c32_.shrink_to_fit();
+  }
 
   /// Full OD check `X → Y` from the two sides' partitions (split and swap
   /// classification identical to OrderChecker::CheckOd), in O(m + groups).
@@ -120,13 +153,37 @@ class ListPartition {
   static OdCheckOutcome CheckOd(const ListPartition& lhs,
                                 const ListPartition& rhs);
 
+  /// Both directions in one pass over the rows: `*forward` gets the
+  /// `lhs → rhs` outcome, `*reverse` the `rhs → lhs` outcome. A single
+  /// traversal fills both sides' extremes arrays, halving the dominant
+  /// sequential read traffic versus two `CheckOd` calls — the discovery
+  /// driver needs both directions for every order-compatible candidate.
+  static void CheckOdBoth(const ListPartition& lhs, const ListPartition& rhs,
+                          OdCheckOutcome* forward, OdCheckOutcome* reverse);
+
   /// OCD single check (Theorem 4.1): true iff no swap between the two
   /// sides, i.e. no row pair with `lhs` strictly increasing and `rhs`
   /// strictly decreasing. O(m + groups).
   static bool CheckOcd(const ListPartition& lhs, const ListPartition& rhs);
 
  private:
-  std::vector<std::int32_t> codes_;
+  /// Sizes the storage vector matching `WidthForDistinct(groups)` and sets
+  /// the shape fields; exactly one vector is non-empty afterwards (m > 0).
+  void Allocate(std::size_t m, std::int32_t groups);
+
+  /// Address of the active storage buffer — the scratch `parent_tag`.
+  const void* StorageTag() const;
+
+  template <typename P, typename C>
+  ListPartition RefineTyped(const P* parent, const C* col, std::size_t domain,
+                            RefineScratch* scratch, RefinePath path) const;
+
+  /// Exactly one of these is non-empty (for num_rows_ > 0): the one
+  /// matching `width()`.
+  std::vector<std::uint8_t> c8_;
+  std::vector<std::uint16_t> c16_;
+  std::vector<std::int32_t> c32_;
+  std::size_t num_rows_ = 0;
   std::int32_t num_groups_ = 0;
 };
 

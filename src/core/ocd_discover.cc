@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/prof.h"
 #include "common/snapshot.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -267,6 +268,7 @@ class Driver {
     try {
       while (!level.empty() && !aborted) {
         if (snap) {
+          prof::ScopedTimer ck_timer(prof::Phase::kCheckpoint);
           pending_blob = encode_state(false);
           pending_written = false;
           if (ctx_->CheckpointDue()) {
@@ -322,19 +324,22 @@ class Driver {
           const ListPartition* px = FindPartition(c.x);
           const ListPartition* py = FindPartition(c.y);
           if (px != nullptr && py != nullptr) {
-            // One extremes pass answers both the OCD single check (swap
-            // only, Theorem 4.1) and the embedded OD X → Y; only Y → X
-            // needs a second pass. The check accounting is unchanged:
+            // One row pass fills both directions' extremes, answering the
+            // OCD single check (swap only, Theorem 4.1) and both embedded
+            // ODs X → Y and Y → X at once — the rank vectors are streamed
+            // once instead of twice. The check accounting is unchanged:
             // 1 OCD check, plus 2 OD checks at valid nodes.
             part_checks_.fetch_add(1, std::memory_order_relaxed);
             ctx_->CountCheck(1);
-            OdCheckOutcome xy = ListPartition::CheckOd(*px, *py);
+            OdCheckOutcome xy;
+            OdCheckOutcome yx;
+            ListPartition::CheckOdBoth(*px, *py, &xy, &yx);
             out.ocd_valid = !xy.has_swap;
             if (out.ocd_valid) {
               part_checks_.fetch_add(2, std::memory_order_relaxed);
               ctx_->CountCheck(2);
               out.od_xy = xy.valid();
-              out.od_yx = ListPartition::CheckOd(*py, *px).valid();
+              out.od_yx = yx.valid();
             }
             return;
           }
@@ -383,6 +388,7 @@ class Driver {
         std::vector<Candidate> next;
         std::size_t next_bytes = 0;
         std::unordered_set<Candidate, CandidateHash> seen;
+        prof::ScopedTimer generate_timer(prof::Phase::kGenerate);
         for (std::size_t i = 0; i < level.size(); ++i) {
           const Candidate& c = level[i];
           const CheckedCandidate& r = checked[i];
@@ -459,6 +465,7 @@ class Driver {
     // in flight. A finished run writes a final generation (empty frontier)
     // so resuming a completed run is a no-op that returns the full result.
     if (snap) {
+      prof::ScopedTimer ck_timer(prof::Phase::kCheckpoint);
       if (aborted) {
         if (!pending_written && !pending_blob.empty()) {
           write_snapshot(pending_blob);
@@ -534,27 +541,31 @@ class Driver {
     std::vector<Job> jobs;
     std::unordered_map<od::AttributeList, std::size_t, AttributeListHash>
         planned;
-    auto plan_list = [&](const od::AttributeList& list) {
-      for (std::size_t k = 1; k <= list.size(); ++k) {
-        od::AttributeList prefix(std::vector<ColumnId>(
-            list.ids().begin(), list.ids().begin() + k));
-        if (part_cache_.find(prefix) != part_cache_.end()) continue;
-        if (planned.find(prefix) != planned.end()) continue;
-        planned.emplace(prefix, jobs.size());
-        jobs.push_back(Job{std::move(prefix), ListPartition{}, false});
-      }
-    };
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      if (served != nullptr && (*served)[i] != 0) continue;
-      plan_list(level[i].x);
-      plan_list(level[i].y);
-    }
-    if (jobs.empty()) return;
-
     std::size_t max_len = 0;
-    for (const Job& j : jobs) max_len = std::max(max_len, j.list.size());
-    std::vector<std::vector<Job*>> layers(max_len + 1);
-    for (Job& j : jobs) layers[j.list.size()].push_back(&j);
+    std::vector<std::vector<Job*>> layers;
+    {
+      prof::ScopedTimer plan_timer(prof::Phase::kPlan);
+      auto plan_list = [&](const od::AttributeList& list) {
+        for (std::size_t k = 1; k <= list.size(); ++k) {
+          od::AttributeList prefix(std::vector<ColumnId>(
+              list.ids().begin(), list.ids().begin() + k));
+          if (part_cache_.find(prefix) != part_cache_.end()) continue;
+          if (planned.find(prefix) != planned.end()) continue;
+          planned.emplace(prefix, jobs.size());
+          jobs.push_back(Job{std::move(prefix), ListPartition{}, false});
+        }
+      };
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        if (served != nullptr && (*served)[i] != 0) continue;
+        plan_list(level[i].x);
+        plan_list(level[i].y);
+      }
+      if (jobs.empty()) return;
+
+      for (const Job& j : jobs) max_len = std::max(max_len, j.list.size());
+      layers.resize(max_len + 1);
+      for (Job& j : jobs) layers[j.list.size()].push_back(&j);
+    }
 
     auto compute_job = [&](Job& job) {
       if (job.list.size() == 1) {
@@ -597,6 +608,7 @@ class Driver {
       }
       // Publish in the sorted (deterministic) order, shrunk so the budget
       // is charged for real heap use, not allocator slack.
+      prof::ScopedTimer publish_timer(prof::Phase::kPublish);
       for (Job* j : layer) {
         if (!j->computed) continue;
         j->result.ShrinkToFit();
@@ -605,6 +617,7 @@ class Driver {
             cache_bytes_ + bytes > options_.max_partition_cache_bytes) {
           continue;
         }
+        prof::AddAlloc(bytes);
         cache_bytes_ += bytes;
         part_cache_.emplace(std::move(j->list), std::move(j->result));
       }

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/prof.h"
+
 namespace ocdd::rel {
 
 namespace {
@@ -70,13 +72,82 @@ CodedColumn EncodeColumn(const Relation& relation, ColumnId col,
 
 }  // namespace
 
+void CodedColumn::SyncCompressedForms(bool bit_pack) {
+  codes8.clear();
+  codes16.clear();
+  packed.clear();
+  bits_per_code = 0;
+  std::size_t m = codes.size();
+  if (m > 0) {
+    if (num_distinct <= 256) {
+      codes8.resize(m);
+      for (std::size_t r = 0; r < m; ++r) {
+        codes8[r] = static_cast<std::uint8_t>(codes[r]);
+      }
+    } else if (num_distinct <= 65536) {
+      codes16.resize(m);
+      for (std::size_t r = 0; r < m; ++r) {
+        codes16[r] = static_cast<std::uint16_t>(codes[r]);
+      }
+    }
+  }
+  if (bit_pack && m > 0) {
+    std::uint32_t max_code =
+        num_distinct > 0 ? static_cast<std::uint32_t>(num_distinct - 1) : 0;
+    std::uint8_t bits = 1;
+    while ((max_code >> bits) != 0) ++bits;
+    bits_per_code = bits;
+    packed.assign((m * bits + 63) / 64, 0);
+    for (std::size_t r = 0; r < m; ++r) {
+      std::uint64_t v = static_cast<std::uint32_t>(codes[r]);
+      std::size_t bit = r * bits;
+      std::size_t word = bit / 64;
+      std::size_t off = bit % 64;
+      packed[word] |= v << off;
+      if (off + bits > 64) packed[word + 1] |= v >> (64 - off);
+    }
+  }
+}
+
+std::int32_t CodedColumn::PackedCodeAt(std::size_t row) const {
+  assert(bits_per_code > 0);
+  std::uint8_t bits = bits_per_code;
+  std::size_t bit = row * bits;
+  std::size_t word = bit / 64;
+  std::size_t off = bit % 64;
+  std::uint64_t v = packed[word] >> off;
+  if (off + bits > 64) v |= packed[word + 1] << (64 - off);
+  std::uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  return static_cast<std::int32_t>(v & mask);
+}
+
+void CodedColumn::UnpackInto(std::vector<std::int32_t>* out) const {
+  assert(bits_per_code > 0);
+  out->resize(codes.size());
+  for (std::size_t r = 0; r < codes.size(); ++r) {
+    (*out)[r] = PackedCodeAt(r);
+  }
+}
+
+CodeView NarrowView(const CodedColumn& column) {
+  if (!column.codes8.empty()) {
+    return CodeView{column.codes8.data(), CodeWidth::k8};
+  }
+  if (!column.codes16.empty()) {
+    return CodeView{column.codes16.data(), CodeWidth::k16};
+  }
+  return CodeView{column.codes.data(), CodeWidth::k32};
+}
+
 CodedRelation CodedRelation::Encode(const Relation& relation,
                                     const EncodeOptions& options) {
+  prof::ScopedTimer timer(prof::Phase::kEncode);
   CodedRelation out;
   out.num_rows_ = relation.num_rows();
   out.columns_.reserve(relation.num_columns());
   for (ColumnId c = 0; c < relation.num_columns(); ++c) {
     out.columns_.push_back(EncodeColumn(relation, c, options));
+    out.columns_.back().SyncCompressedForms(options.bit_pack);
   }
   return out;
 }
@@ -84,9 +155,9 @@ CodedRelation CodedRelation::Encode(const Relation& relation,
 CodedRelation CodedRelation::FromColumns(std::vector<CodedColumn> columns) {
   CodedRelation out;
   out.num_rows_ = columns.empty() ? 0 : columns[0].codes.size();
-  for (const CodedColumn& c : columns) {
+  for (CodedColumn& c : columns) {
     assert(c.codes.size() == out.num_rows_);
-    (void)c;
+    c.SyncCompressedForms(c.bits_per_code > 0);
   }
   out.columns_ = std::move(columns);
   return out;
@@ -162,6 +233,7 @@ CodedRelation CodedRelation::HeadRows(std::size_t n) const {
           sorted.begin());
     }
     trimmed.num_distinct = static_cast<std::int32_t>(sorted.size());
+    trimmed.SyncCompressedForms(c.bits_per_code > 0);
     out.columns_.push_back(std::move(trimmed));
   }
   return out;

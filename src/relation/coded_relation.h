@@ -10,12 +10,35 @@
 
 namespace ocdd::rel {
 
+/// Storage width of a dense code vector. The discovery kernels are
+/// templated over the width so the hot loops stream the narrowest
+/// representation a column (or partition) fits in — on low-cardinality
+/// data this divides the check kernels' memory traffic by 4.
+enum class CodeWidth : std::uint8_t {
+  k8 = 1,
+  k16 = 2,
+  k32 = 4,
+};
+
+/// The narrowest width that can hold codes in [0, num_distinct).
+inline CodeWidth WidthForDistinct(std::int64_t num_distinct) {
+  if (num_distinct <= 256) return CodeWidth::k8;
+  if (num_distinct <= 65536) return CodeWidth::k16;
+  return CodeWidth::k32;
+}
+
 /// Options controlling dictionary encoding.
 struct EncodeOptions {
   /// Rank values by their string rendering instead of their natural typed
   /// order. Mirrors FASTOD's all-columns-are-strings behaviour (§5.2.2) and
   /// OCDDISCOVER's optional lexicographic mode.
   bool force_lexicographic = false;
+
+  /// Additionally bit-pack each column's codes at ⌈log₂ d⌉ bits per code
+  /// (see CodedColumn::packed). Off by default: the fixed-width narrow
+  /// mirrors are what the check kernels consume; the packed form exists
+  /// for storage experiments and is unpacked before use.
+  bool bit_pack = false;
 };
 
 /// One order-preserving dictionary-encoded column.
@@ -26,6 +49,13 @@ struct EncodeOptions {
 /// `NULLS FIRST`, §4.3) are baked in: all NULLs share the smallest code.
 /// Every comparison made by the discovery algorithms thus reduces to an
 /// `int32` comparison.
+///
+/// `codes` is the canonical form. The narrow mirrors (`codes8`/`codes16`)
+/// and the optional bit-packed form are *derived*: they are rebuilt by
+/// `CodedRelation::Encode`/`FromColumns`/`HeadRows` and must never be
+/// edited directly. Code that mutates `codes` by hand must round-trip the
+/// column through `FromColumns` before the kernels see it (every in-tree
+/// construction site already does).
 struct CodedColumn {
   std::string name;
   DataType source_type = DataType::kString;
@@ -34,8 +64,56 @@ struct CodedColumn {
   std::int32_t num_distinct = 0;
   bool has_nulls = false;
 
+  /// Derived narrow mirrors: exactly one of `codes8` (d ≤ 256) or
+  /// `codes16` (256 < d ≤ 65536) is populated for non-empty columns that
+  /// fit; wider columns expose only `codes`.
+  std::vector<std::uint8_t> codes8;
+  std::vector<std::uint16_t> codes16;
+
+  /// Optional bit-packed codes (EncodeOptions::bit_pack): little-endian
+  /// bit stream, `bits_per_code` bits per row, `bits_per_code == 0` when
+  /// not packed.
+  std::vector<std::uint64_t> packed;
+  std::uint8_t bits_per_code = 0;
+
   bool is_constant() const { return num_distinct <= 1; }
+
+  /// Narrowest storage this column carries.
+  CodeWidth narrow_width() const { return WidthForDistinct(num_distinct); }
+
+  /// Rebuilds the derived forms from `codes`. Internal; called by the
+  /// CodedRelation factories.
+  void SyncCompressedForms(bool bit_pack);
+
+  /// Reads one code from the bit-packed form (requires bits_per_code > 0).
+  std::int32_t PackedCodeAt(std::size_t row) const;
+
+  /// Unpacks the bit-packed form into `out` (resized); requires packing.
+  void UnpackInto(std::vector<std::int32_t>* out) const;
 };
+
+/// Read-only view of a column's narrowest code array; the kernels'
+/// width-dispatch handle.
+struct CodeView {
+  const void* data = nullptr;
+  CodeWidth width = CodeWidth::k32;
+
+  std::int32_t At(std::size_t row) const {
+    switch (width) {
+      case CodeWidth::k8:
+        return static_cast<const std::uint8_t*>(data)[row];
+      case CodeWidth::k16:
+        return static_cast<const std::uint16_t*>(data)[row];
+      case CodeWidth::k32:
+        break;
+    }
+    return static_cast<const std::int32_t*>(data)[row];
+  }
+};
+
+/// The narrowest available view of a column's codes (falls back to the
+/// canonical int32 array when no mirror is populated).
+CodeView NarrowView(const CodedColumn& column);
 
 /// A fully dictionary-encoded relation: the input format of every discovery
 /// algorithm's hot loop.
@@ -51,7 +129,8 @@ class CodedRelation {
   /// generators that synthesize code matrices). All columns must have the
   /// same length. Callers that feed the partition-based algorithms
   /// (ListPartition, StrippedPartition, TANE, FASTOD, UCC) must respect the
-  /// dense-rank invariant: codes in [0, num_distinct).
+  /// dense-rank invariant: codes in [0, num_distinct). Narrow mirrors are
+  /// (re)derived here, so hand-mutated `codes` become consistent again.
   static CodedRelation FromColumns(std::vector<CodedColumn> columns);
 
   std::size_t num_rows() const { return num_rows_; }

@@ -288,6 +288,16 @@ std::string WithIngest(std::string report_json,
   return report_json;
 }
 
+std::string WithProfile(std::string report_json, const prof::Report& profile) {
+  if (profile.empty()) return report_json;
+  std::size_t brace = report_json.rfind('}');
+  if (brace == std::string::npos) return report_json;
+  std::string member = ",\"profile\":";
+  member += prof::ToJson(profile);
+  report_json.insert(brace, member);
+  return report_json;
+}
+
 std::string ToJson(const std::vector<core::ApproximateOcd>& pairs,
                    const CodedRelation& relation) {
   std::string out = "{\"algorithm\":\"approx_ocd\",\"pairs\":[";

@@ -5,6 +5,7 @@
 
 #include "algo/fastod/fastod.h"
 #include "algo/fastod/fastod_bid.h"
+#include "common/prof.h"
 #include "algo/fd/tane.h"
 #include "algo/order/order_discover.h"
 #include "core/approximate.h"
@@ -69,6 +70,14 @@ std::string ToJson(const std::vector<core::ApproximateOcd>& pairs,
 /// `report_json` unchanged if it is not a JSON object.
 std::string WithIngest(std::string report_json,
                        const rel::CsvIngestReport& ingest);
+
+/// Splices a `"profile"` member — the in-process profiler's per-phase
+/// cycle/byte breakdown (see common/prof.h) — into a top-level JSON report
+/// object: `"profile":{"cycles_per_second":..,"phases":[{"name":..,
+/// "cycles":..,"seconds":..,"bytes":..,"calls":..},..],
+/// "alloc":{"bytes":..,"calls":..}}`. Returns `report_json` unchanged if it
+/// is not a JSON object or the report is empty.
+std::string WithProfile(std::string report_json, const prof::Report& profile);
 
 }  // namespace ocdd::report
 

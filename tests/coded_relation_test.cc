@@ -98,6 +98,94 @@ TEST(CodedRelationTest, FromColumnsRoundTrip) {
   EXPECT_EQ(r.code(2, 0), 1);
 }
 
+TEST(CodedRelationTest, NarrowMirrorsTrackCanonicalCodes) {
+  // d <= 256: codes8 is the populated mirror, codes16 stays empty.
+  CodedRelation small = testutil::CodedIntTable({{30, 10, 20, 10}});
+  const CodedColumn& c = small.column(0);
+  EXPECT_EQ(c.narrow_width(), CodeWidth::k8);
+  ASSERT_EQ(c.codes8.size(), c.codes.size());
+  EXPECT_TRUE(c.codes16.empty());
+  for (std::size_t i = 0; i < c.codes.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(c.codes8[i]), c.codes[i]);
+  }
+  CodeView v = NarrowView(c);
+  EXPECT_EQ(v.width, CodeWidth::k8);
+  for (std::size_t i = 0; i < c.codes.size(); ++i) {
+    EXPECT_EQ(v.At(i), c.codes[i]);
+  }
+
+  // 256 < d <= 65536: codes16 carries the mirror.
+  std::vector<std::int32_t> wide(300);
+  CodedColumn raw;
+  raw.name = "w";
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    raw.codes.push_back(static_cast<std::int32_t>(i));
+  }
+  raw.num_distinct = static_cast<std::int32_t>(raw.codes.size());
+  CodedRelation mid = CodedRelation::FromColumns({raw});
+  const CodedColumn& m = mid.column(0);
+  EXPECT_EQ(m.narrow_width(), CodeWidth::k16);
+  EXPECT_TRUE(m.codes8.empty());
+  ASSERT_EQ(m.codes16.size(), m.codes.size());
+  EXPECT_EQ(static_cast<std::int32_t>(m.codes16[299]), 299);
+}
+
+TEST(CodedRelationTest, FromColumnsRebuildsMirrorsAfterHandMutation) {
+  // A column whose codes were edited by hand (stale codes8) must come out
+  // of FromColumns with consistent mirrors again.
+  CodedColumn c;
+  c.name = "x";
+  c.codes = {0, 1, 2};
+  c.num_distinct = 3;
+  c.codes8 = {9, 9, 9};  // deliberately wrong
+  CodedRelation r = CodedRelation::FromColumns({c});
+  ASSERT_EQ(r.column(0).codes8.size(), 3u);
+  EXPECT_EQ(r.column(0).codes8, (std::vector<std::uint8_t>{0, 1, 2}));
+}
+
+TEST(CodedRelationTest, HeadRowsRebuildsMirrors) {
+  CodedRelation r = testutil::CodedIntTable({{5, 5, 7, 9}});
+  CodedRelation h = r.HeadRows(2);
+  const CodedColumn& c = h.column(0);
+  EXPECT_EQ(c.num_distinct, 1);
+  ASSERT_EQ(c.codes8.size(), 2u);
+  EXPECT_EQ(c.codes8, (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(CodedRelationTest, BitPackedCodesRoundTrip) {
+  Relation table = testutil::IntTable({{4, 1, 3, 1, 2, 0, 4}});
+  EncodeOptions opts;
+  opts.bit_pack = true;
+  CodedRelation r = CodedRelation::Encode(table, opts);
+  const CodedColumn& c = r.column(0);
+  // 5 distinct values pack at ceil(log2 5) = 3 bits per code.
+  EXPECT_EQ(c.bits_per_code, 3);
+  ASSERT_FALSE(c.packed.empty());
+  for (std::size_t i = 0; i < c.codes.size(); ++i) {
+    EXPECT_EQ(c.PackedCodeAt(i), c.codes[i]) << "row " << i;
+  }
+  std::vector<std::int32_t> unpacked;
+  c.UnpackInto(&unpacked);
+  EXPECT_EQ(unpacked, c.codes);
+}
+
+TEST(CodedRelationTest, BitPackHandlesCrossWordCodes) {
+  // 33 distinct values -> 6 bits per code; codes straddle 64-bit word
+  // boundaries from row 10 onwards.
+  CodedColumn c;
+  c.name = "x";
+  for (std::int32_t i = 0; i < 33; ++i) c.codes.push_back(i);
+  for (std::int32_t i = 32; i >= 0; --i) c.codes.push_back(i);
+  c.num_distinct = 33;
+  CodedRelation r = CodedRelation::FromColumns({c});
+  CodedColumn packed = r.column(0);
+  packed.SyncCompressedForms(/*bit_pack=*/true);
+  EXPECT_EQ(packed.bits_per_code, 6);
+  std::vector<std::int32_t> unpacked;
+  packed.UnpackInto(&unpacked);
+  EXPECT_EQ(unpacked, r.column(0).codes);
+}
+
 TEST(CodedRelationTest, MixedDoubleIntColumnOrdering) {
   Relation::Builder b(Schema({Attribute{"d", DataType::kDouble}}));
   ASSERT_TRUE(b.AddRow({Value::Double(1.5)}).ok());

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace ocdd {
@@ -172,6 +173,77 @@ TEST(ThreadPoolTest, ParallelForStressContainsExceptions) {
   ASSERT_TRUE(
       pool.ParallelFor(kN, [&](std::size_t) { counter.fetch_add(1); }).ok());
   EXPECT_EQ(counter.load(), static_cast<int>(kN));
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineBelowOneMorsel) {
+  // Ranges no larger than one morsel skip the pool entirely and run on the
+  // caller thread — no Submit, no wakeup, no cross-thread latency.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(5);
+  ASSERT_TRUE(pool.ParallelFor(
+                      5, [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); },
+                      /*grain=*/8)
+                  .ok());
+  for (std::size_t i = 0; i < ran_on.size(); ++i) {
+    EXPECT_EQ(ran_on[i], caller) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForInlineConvertsExceptionsToStatus) {
+  // The inline short-circuit must have worker-equivalent error semantics:
+  // a throw becomes a Status, never an escaping exception.
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(
+      2, [](std::size_t) { throw std::runtime_error("inline boom"); },
+      /*grain=*/8);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("inline boom"), std::string::npos);
+  Status s2 = pool.ParallelFor(2, [](std::size_t) { throw 7; }, /*grain=*/8);
+  EXPECT_FALSE(s2.ok());
+  EXPECT_NE(s2.message().find("non-std"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitGrainCoversAllIndices) {
+  // Odd grain vs n: remainder morsels, uneven spans, nothing dropped or
+  // visited twice.
+  ThreadPool pool(8);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                            std::size_t{1000}}) {
+    constexpr std::size_t kN = 3001;
+    std::vector<std::atomic<int>> visits(kN);
+    ASSERT_TRUE(pool.ParallelFor(
+                        kN, [&](std::size_t i) { visits[i].fetch_add(1); },
+                        grain)
+                    .ok());
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStealsFromUnbalancedSpans) {
+  // Front-loaded work: the first span's indices are ~1000x heavier. With
+  // morsel stealing the whole range still completes, every index exactly
+  // once — and on multi-core hosts the light workers drain the heavy span.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::atomic<int>> visits(kN);
+  std::atomic<std::uint64_t> sink{0};
+  ASSERT_TRUE(pool.ParallelFor(kN, [&](std::size_t i) {
+                      visits[i].fetch_add(1);
+                      if (i < kN / 4) {
+                        std::uint64_t acc = i;
+                        for (int k = 0; k < 20000; ++k) {
+                          acc = acc * 1664525 + 1013904223;
+                        }
+                        sink.fetch_add(acc, std::memory_order_relaxed);
+                      }
+                    })
+                  .ok());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
 }
 
 TEST(ThreadPoolTest, PoolUsableAfterParallelForFailure) {

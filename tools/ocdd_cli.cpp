@@ -45,6 +45,7 @@
 #include "algo/ucc/ucc.h"
 #include "algo/order/order_discover.h"
 #include "common/fsck.h"
+#include "common/prof.h"
 #include "common/run_context.h"
 #include "common/string_util.h"
 #include "core/approximate.h"
@@ -237,8 +238,26 @@ void PrintIngestNote(const ocdd::rel::CsvIngestReport& report) {
               report.quarantine_path.c_str());
 }
 
+/// Non-JSON rendering of a `--profile` run (one `# profile:` line per
+/// phase, plus the allocation hook's totals).
+void PrintProfileNote(const ocdd::prof::Report& report) {
+  for (const auto& p : report.phases) {
+    std::printf("# profile: %-20s %10.6fs %14llu bytes %10llu calls\n",
+                p.name, p.seconds, static_cast<unsigned long long>(p.bytes),
+                static_cast<unsigned long long>(p.calls));
+  }
+  std::printf("# profile: %-20s %21llu bytes %10llu allocs\n", "alloc",
+              static_cast<unsigned long long>(report.alloc_bytes),
+              static_cast<unsigned long long>(report.alloc_calls));
+}
+
 int CmdDiscover(const Args& args) {
   ApplyRunFlags(args);
+  const bool profile = args.Has("profile");
+  if (profile) {
+    ocdd::prof::SetEnabled(true);
+    ocdd::prof::Reset();
+  }
   auto source = LoadSource(args);
   if (!source.ok()) {
     std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
@@ -259,13 +278,18 @@ int CmdDiscover(const Args& args) {
   auto result = ocdd::core::DiscoverOcds(coded, opts);
   result.stop_state.ingest_rejected = source->report.rows_rejected;
 
+  ocdd::prof::Report prof_report;
+  if (profile) prof_report = ocdd::prof::Snapshot();
+
   if (args.Has("json")) {
     std::string json = ocdd::report::ToJson(result, coded);
     if (IsCsvSource(args)) json = ocdd::report::WithIngest(std::move(json), source->report);
+    if (profile) json = ocdd::report::WithProfile(std::move(json), prof_report);
     std::printf("%s\n", json.c_str());
     return 0;
   }
   PrintIngestNote(source->report);
+  if (profile) PrintProfileNote(prof_report);
   std::printf("# %zu rows x %zu columns; %llu checks in %.3fs%s\n",
               coded.num_rows(), coded.num_columns(),
               static_cast<unsigned long long>(result.num_checks),
@@ -862,6 +886,7 @@ int CmdQa(const Args& args, const char* argv0) {
   opts.resume_runs = !args.Has("no-resume-runs");
   opts.ingest = !args.Has("no-ingest");
   opts.incremental = !args.Has("no-incremental");
+  opts.simd_fallback = !args.Has("no-simd");
   // The serve-equivalence stage drives this very binary both as an
   // in-process daemon's worker and as a direct baseline run.
   if (!args.Has("no-serve")) opts.serve_cli_path = SelfExePath(argv0);
@@ -914,6 +939,8 @@ int CmdQa(const Args& args, const char* argv0) {
                 static_cast<unsigned long long>(summary.ingest_checks));
     std::printf("  incremental-equivalence  %llu\n",
                 static_cast<unsigned long long>(summary.incremental_checks));
+    std::printf("  simd-fallback checks ... %llu\n",
+                static_cast<unsigned long long>(summary.simd_checks));
     std::printf("  serve-equivalence ...... %llu\n",
                 static_cast<unsigned long long>(summary.serve_checks));
     std::printf("  skipped (engine bound) . %llu\n",
@@ -1278,7 +1305,7 @@ void Usage() {
       "             [--repro-dir DIR] [--max-rows N] [--max-cols N]\n"
       "             [--no-metamorphic] [--no-stopped-runs]\n"
       "             [--no-resume-runs] [--no-ingest] [--no-incremental]\n"
-      "             [--no-serve] [--chaos]\n"
+      "             [--no-simd] [--no-serve] [--chaos]\n"
       "             exit 0 = clean, 3 = discrepancies (see docs/qa.md)\n"
       "<source>: a .csv path or a dataset name (YES, NO, NUMBERS, LINEITEM,\n"
       "          LETTER, DBTESMA, DBTESMA_1K, FLIGHT_1K, HEPATITIS, HORSE,\n"
@@ -1293,8 +1320,13 @@ void Usage() {
       "        of rejected rows land here; counts go to the JSON report's\n"
       "        \"ingest\" member either way)\n"
       "       --expand --partitions --lex --max-ratio R --order-by LIST\n"
+      "       --profile  (in-process per-phase cycle/byte profile: a\n"
+      "        \"profile\" member in --json reports, `# profile:` lines\n"
+      "        otherwise; OCDD_PROFILE=1 enables it process-wide)\n"
       "       --json\n"
       "       --out FILE\n"
+      "env: OCDD_SIMD=off|scalar|avx2 pins the check-kernel backend\n"
+      "     (default: auto-detect; scalar fallback is bit-identical)\n"
       "The first Ctrl-C cancels a discovery run cooperatively: the run\n"
       "drains (writing a final checkpoint when --checkpoint is set), partial\n"
       "results are printed with a stop reason, and the exit status stays 0.\n"
